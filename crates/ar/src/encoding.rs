@@ -1,0 +1,222 @@
+//! Per-column encodings, including intervalization (paper §4.3.2).
+//!
+//! The AR model sees every column as a small categorical distribution over
+//! *bins*. A categorical column has one bin per dictionary code. A numeric
+//! column with a large domain is **intervalized**: the distinct constants
+//! appearing in the workload's predicates induce cut points, and the model
+//! learns a distribution over the resulting code intervals instead of the
+//! raw values — shrinking the model and letting Group-and-Merge match rows
+//! at interval granularity. Decoding draws uniformly from the distinct base
+//! values inside the sampled bin.
+
+use rand::Rng;
+use sam_query::CodeSet;
+use sam_storage::{Domain, Value};
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A column encoding: the base dictionary plus a partition of its code space
+/// into contiguous bins. The model's domain for the column is the bin list.
+#[derive(Debug, Clone)]
+pub struct ColumnEncoding {
+    base: Arc<Domain>,
+    /// Contiguous, complete, ordered partition of `0..base.len()`.
+    bins: Vec<Range<u32>>,
+}
+
+impl ColumnEncoding {
+    /// One bin per base code (no intervalization).
+    pub fn categorical(base: Arc<Domain>) -> Self {
+        let bins = (0..base.len() as u32).map(|c| c..c + 1).collect();
+        ColumnEncoding { base, bins }
+    }
+
+    /// Intervalize from boundary codes. `boundaries` are cut positions in
+    /// code space; 0 and `base.len()` are added automatically. With no
+    /// boundaries the whole domain is a single bin.
+    pub fn intervalized(base: Arc<Domain>, mut boundaries: Vec<u32>) -> Self {
+        let d = base.len() as u32;
+        boundaries.push(0);
+        boundaries.push(d);
+        boundaries.retain(|&b| b <= d);
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        let bins = boundaries
+            .windows(2)
+            .map(|w| w[0]..w[1])
+            .filter(|r| !r.is_empty())
+            .collect();
+        ColumnEncoding { base, bins }
+    }
+
+    /// Intervalize a column from the workload's predicate [`CodeSet`]s: every
+    /// range endpoint (and every IN-list member, as a singleton) becomes a
+    /// cut point — so every *training* predicate is a union of whole bins.
+    pub fn from_code_sets(base: Arc<Domain>, sets: &[CodeSet]) -> Self {
+        let mut boundaries = Vec::new();
+        for s in sets {
+            match s {
+                CodeSet::Range(r) => {
+                    boundaries.push(r.start);
+                    boundaries.push(r.end);
+                }
+                CodeSet::Set(codes) => {
+                    for &c in codes {
+                        boundaries.push(c);
+                        boundaries.push(c + 1);
+                    }
+                }
+            }
+        }
+        Self::intervalized(base, boundaries)
+    }
+
+    /// The base dictionary.
+    pub fn base_domain(&self) -> &Arc<Domain> {
+        &self.base
+    }
+
+    /// Number of model bins (the model's domain size for this column).
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// The code range of bin `b`.
+    pub fn bin(&self, b: usize) -> &Range<u32> {
+        &self.bins[b]
+    }
+
+    /// Bin index containing base code `code`.
+    pub fn bin_of_code(&self, code: u32) -> usize {
+        debug_assert!((code as usize) < self.base.len());
+        self.bins
+            .partition_point(|r| r.end <= code)
+            .min(self.bins.len() - 1)
+    }
+
+    /// Per-bin fractional overlap with a [`CodeSet`]: `|bin ∩ set| / |bin|`.
+    /// Training predicates align with bins (entries are 0 or 1); unseen test
+    /// predicates may overlap partially (uniform-within-bin assumption).
+    pub fn frac_weights(&self, set: &CodeSet) -> Vec<f32> {
+        self.bins
+            .iter()
+            .map(|bin| {
+                if bin.is_empty() {
+                    return 0.0;
+                }
+                let hits = match set {
+                    CodeSet::Range(r) => {
+                        let lo = bin.start.max(r.start);
+                        let hi = bin.end.min(r.end);
+                        hi.saturating_sub(lo)
+                    }
+                    CodeSet::Set(codes) => {
+                        codes.iter().filter(|&&c| bin.contains(&c)).count() as u32
+                    }
+                };
+                hits as f32 / bin.len() as f32
+            })
+            .collect()
+    }
+
+    /// Decode bin `b` to a base code, drawing uniformly from the bin
+    /// (paper §4.3.2: "uniform random sampling from distinct values in the
+    /// interval").
+    pub fn decode(&self, b: usize, rng: &mut impl Rng) -> u32 {
+        let bin = &self.bins[b];
+        if bin.len() == 1 {
+            bin.start
+        } else {
+            rng.gen_range(bin.start..bin.end)
+        }
+    }
+
+    /// Decode bin `b` to its first base value without randomness (used for
+    /// deterministic round-trips in tests).
+    pub fn representative(&self, b: usize) -> &Value {
+        self.base.value(self.bins[b].start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn base() -> Arc<Domain> {
+        Domain::new((0..10).map(Value::Int).collect()).shared()
+    }
+
+    #[test]
+    fn categorical_has_one_bin_per_code() {
+        let e = ColumnEncoding::categorical(base());
+        assert_eq!(e.num_bins(), 10);
+        for c in 0..10u32 {
+            assert_eq!(e.bin_of_code(c), c as usize);
+        }
+    }
+
+    #[test]
+    fn intervalized_partitions_code_space() {
+        let e = ColumnEncoding::intervalized(base(), vec![3, 7]);
+        assert_eq!(e.num_bins(), 3);
+        assert_eq!(e.bin(0), &(0..3));
+        assert_eq!(e.bin(1), &(3..7));
+        assert_eq!(e.bin(2), &(7..10));
+        assert_eq!(e.bin_of_code(0), 0);
+        assert_eq!(e.bin_of_code(2), 0);
+        assert_eq!(e.bin_of_code(3), 1);
+        assert_eq!(e.bin_of_code(9), 2);
+    }
+
+    #[test]
+    fn from_code_sets_aligns_training_predicates() {
+        // Predicates: x <= 4 (codes 0..5), x >= 7 (codes 7..10).
+        let sets = vec![CodeSet::Range(0..5), CodeSet::Range(7..10)];
+        let e = ColumnEncoding::from_code_sets(base(), &sets);
+        // Every training predicate must be a union of whole bins.
+        for s in &sets {
+            for w in e.frac_weights(s) {
+                assert!(w == 0.0 || w == 1.0, "partial overlap {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn frac_weights_partial_overlap() {
+        let e = ColumnEncoding::intervalized(base(), vec![4]);
+        // Bins: 0..4, 4..10. Unseen predicate codes 2..6.
+        let w = e.frac_weights(&CodeSet::Range(2..6));
+        assert!((w[0] - 0.5).abs() < 1e-6);
+        assert!((w[1] - 2.0 / 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frac_weights_in_list() {
+        let e = ColumnEncoding::intervalized(base(), vec![5]);
+        let w = e.frac_weights(&CodeSet::Set(vec![1, 2, 7]));
+        assert!((w[0] - 2.0 / 5.0).abs() < 1e-6);
+        assert!((w[1] - 1.0 / 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn decode_draws_within_bin() {
+        let e = ColumnEncoding::intervalized(base(), vec![4]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let c = e.decode(0, &mut rng);
+            assert!(c < 4);
+            let c = e.decode(1, &mut rng);
+            assert!((4..10).contains(&c));
+        }
+        assert_eq!(e.representative(1), &Value::Int(4));
+    }
+
+    #[test]
+    fn empty_boundaries_give_single_bin() {
+        let e = ColumnEncoding::intervalized(base(), vec![]);
+        assert_eq!(e.num_bins(), 1);
+        assert_eq!(e.bin(0), &(0..10));
+    }
+}

@@ -1,0 +1,28 @@
+//! # sam-ar — the autoregressive model over database schemas
+//!
+//! Everything between the neural substrate and the SAM pipeline: per-column
+//! encodings with intervalization (§4.3.2), the model schema mirroring the
+//! full-outer-join virtual layout (§4.1), query → sampling-rule translation
+//! with fanout scaling, Differentiable Progressive Sampling training from
+//! (query, cardinality) pairs, progressive-sampling inference, and batched
+//! unconditional tuple sampling (Algorithm 1's inner loop).
+
+#![warn(missing_docs)]
+
+pub mod encoding;
+pub mod error;
+pub mod infer;
+pub mod model;
+pub mod model_schema;
+pub mod persist;
+pub mod sample;
+pub mod train;
+
+pub use encoding::ColumnEncoding;
+pub use error::ArError;
+pub use infer::{estimate_cardinality, estimate_dnf_cardinality};
+pub use model::{ArModel, ArModelConfig, BoundNet, FrozenModel, FrozenNet, Net, TransformerDims};
+pub use model_schema::{ArColumn, ArColumnKind, ArSchema, EncodingOptions, StepRule};
+pub use persist::{load_model, save_model};
+pub use sample::{sample_batch, sample_model_rows, ModelRow};
+pub use train::{train, TrainConfig, TrainReport};

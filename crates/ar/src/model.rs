@@ -1,0 +1,347 @@
+//! The AR model: a MADE or causal-Transformer backbone bound to an
+//! [`ArSchema`] (paper §4.1: "SAM can be instantiated by any learning-based
+//! AR architecture (e.g., MADE and Transformer)").
+
+use crate::model_schema::ArSchema;
+use sam_nn::{
+    BoundMade, BoundTransformer, FrozenMade, FrozenTransformer, Made, MadeConfig, Matrix,
+    ParamStore, Tape, TransformerAr, TransformerConfig, Var,
+};
+
+/// Transformer sizing (used when [`ArModelConfig::transformer`] is set).
+#[derive(Debug, Clone)]
+pub struct TransformerDims {
+    /// Model / embedding width.
+    pub d_model: usize,
+    /// Attention + FFN blocks.
+    pub blocks: usize,
+    /// FFN width multiplier.
+    pub ff_mult: usize,
+}
+
+impl Default for TransformerDims {
+    fn default() -> Self {
+        TransformerDims {
+            d_model: 32,
+            blocks: 2,
+            ff_mult: 2,
+        }
+    }
+}
+
+/// Model hyperparameters.
+#[derive(Debug, Clone)]
+pub struct ArModelConfig {
+    /// Hidden layer widths of the MADE backbone.
+    pub hidden: Vec<usize>,
+    /// Weight-init / mask seed.
+    pub seed: u64,
+    /// Use ResMADE residual blocks between equal-width hidden layers.
+    pub residual: bool,
+    /// Use a causal Transformer backbone instead of MADE (the `hidden` and
+    /// `residual` fields are then ignored).
+    pub transformer: Option<TransformerDims>,
+}
+
+impl Default for ArModelConfig {
+    fn default() -> Self {
+        ArModelConfig {
+            hidden: vec![64, 64],
+            seed: 0,
+            residual: false,
+            transformer: None,
+        }
+    }
+}
+
+/// The trainable backbone network.
+pub enum Net {
+    /// Masked autoencoder.
+    Made(Made),
+    /// Causal Transformer.
+    Transformer(TransformerAr),
+}
+
+impl Net {
+    /// Number of modelled columns.
+    pub fn num_columns(&self) -> usize {
+        match self {
+            Net::Made(m) => m.num_columns(),
+            Net::Transformer(t) => t.num_columns(),
+        }
+    }
+
+    /// Domain size of column `i`.
+    pub fn domain_size(&self, i: usize) -> usize {
+        match self {
+            Net::Made(m) => m.domain_size(i),
+            Net::Transformer(t) => t.domain_size(i),
+        }
+    }
+
+    /// One-hot block offset of column `i`.
+    pub fn offset(&self, i: usize) -> usize {
+        match self {
+            Net::Made(m) => m.offset(i),
+            Net::Transformer(t) => t.offset(i),
+        }
+    }
+
+    /// Input/logits width.
+    pub fn total_width(&self) -> usize {
+        match self {
+            Net::Made(m) => m.total_width(),
+            Net::Transformer(t) => t.total_width(),
+        }
+    }
+
+    /// Bind parameters to a tape for one training step.
+    pub fn bind<'m>(&'m self, tape: &mut Tape, store: &ParamStore) -> BoundNet<'m> {
+        match self {
+            Net::Made(m) => BoundNet::Made(m.bind(tape, store)),
+            Net::Transformer(t) => BoundNet::Transformer(t.bind(tape, store)),
+        }
+    }
+
+    /// Snapshot for inference and sampling.
+    pub fn freeze(&self, store: &ParamStore) -> FrozenNet {
+        match self {
+            Net::Made(m) => FrozenNet::Made(m.freeze(store)),
+            Net::Transformer(t) => FrozenNet::Transformer(t.freeze(store)),
+        }
+    }
+}
+
+/// A backbone bound to a tape for one step.
+pub enum BoundNet<'m> {
+    /// Bound MADE.
+    Made(BoundMade<'m>),
+    /// Bound Transformer.
+    Transformer(BoundTransformer<'m>),
+}
+
+impl<'m> BoundNet<'m> {
+    /// Forward pass (B × total_width one-hots → B × total_width logits).
+    pub fn forward(&self, tape: &mut Tape, input: Var) -> Var {
+        match self {
+            BoundNet::Made(m) => m.forward(tape, input),
+            BoundNet::Transformer(t) => t.forward(tape, input),
+        }
+    }
+
+    /// Logit block of column `i`.
+    pub fn logits_of(&self, tape: &mut Tape, logits: Var, i: usize) -> Var {
+        match self {
+            BoundNet::Made(m) => m.logits_of(tape, logits, i),
+            BoundNet::Transformer(t) => t.logits_of(tape, logits, i),
+        }
+    }
+
+    /// Fold parameter gradients back into the store.
+    pub fn apply_grads(&self, tape: &Tape, store: &mut ParamStore) {
+        match self {
+            BoundNet::Made(m) => m.apply_grads(tape, store),
+            BoundNet::Transformer(t) => t.apply_grads(tape, store),
+        }
+    }
+}
+
+/// An immutable trained backbone (the sampling/estimation interface).
+pub enum FrozenNet {
+    /// Frozen MADE.
+    Made(FrozenMade),
+    /// Frozen Transformer.
+    Transformer(FrozenTransformer),
+}
+
+impl FrozenNet {
+    /// Number of modelled columns.
+    pub fn num_columns(&self) -> usize {
+        match self {
+            FrozenNet::Made(m) => m.num_columns(),
+            FrozenNet::Transformer(t) => t.num_columns(),
+        }
+    }
+
+    /// Domain size of column `i`.
+    pub fn domain_size(&self, i: usize) -> usize {
+        match self {
+            FrozenNet::Made(m) => m.domain_size(i),
+            FrozenNet::Transformer(t) => t.domain_size(i),
+        }
+    }
+
+    /// One-hot block offset of column `i`.
+    pub fn offset(&self, i: usize) -> usize {
+        match self {
+            FrozenNet::Made(m) => m.offset(i),
+            FrozenNet::Transformer(t) => t.offset(i),
+        }
+    }
+
+    /// Input/logits width.
+    pub fn total_width(&self) -> usize {
+        match self {
+            FrozenNet::Made(m) => m.total_width(),
+            FrozenNet::Transformer(t) => t.total_width(),
+        }
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, input: &Matrix) -> Matrix {
+        match self {
+            FrozenNet::Made(m) => m.forward(input),
+            FrozenNet::Transformer(t) => t.forward(input),
+        }
+    }
+
+    /// Row-wise softmax of column `i`'s logit block.
+    pub fn conditional_probs(&self, logits: &Matrix, i: usize) -> Matrix {
+        match self {
+            FrozenNet::Made(m) => m.conditional_probs(logits, i),
+            FrozenNet::Transformer(t) => t.conditional_probs(logits, i),
+        }
+    }
+
+    /// The underlying MADE, if that is the backbone (persistence supports
+    /// MADE only).
+    pub fn as_made(&self) -> Option<&FrozenMade> {
+        match self {
+            FrozenNet::Made(m) => Some(m),
+            FrozenNet::Transformer(_) => None,
+        }
+    }
+}
+
+impl From<FrozenMade> for FrozenNet {
+    fn from(m: FrozenMade) -> Self {
+        FrozenNet::Made(m)
+    }
+}
+
+/// A trainable AR model of a database's (full-outer-join) distribution.
+pub struct ArModel {
+    schema: ArSchema,
+    net: Net,
+    store: ParamStore,
+}
+
+impl ArModel {
+    /// Instantiate with freshly initialised weights.
+    pub fn new(schema: ArSchema, config: &ArModelConfig) -> Self {
+        let mut store = ParamStore::new();
+        let net = match &config.transformer {
+            Some(dims) => Net::Transformer(TransformerAr::new(
+                TransformerConfig {
+                    domain_sizes: schema.domain_sizes(),
+                    d_model: dims.d_model,
+                    blocks: dims.blocks,
+                    ff_mult: dims.ff_mult,
+                    seed: config.seed,
+                },
+                &mut store,
+            )),
+            None => Net::Made(Made::new(
+                MadeConfig {
+                    domain_sizes: schema.domain_sizes(),
+                    hidden: config.hidden.clone(),
+                    seed: config.seed,
+                    residual: config.residual,
+                },
+                &mut store,
+            )),
+        };
+        ArModel { schema, net, store }
+    }
+
+    /// The model schema.
+    pub fn schema(&self) -> &ArSchema {
+        &self.schema
+    }
+
+    /// The backbone network (training needs direct access).
+    pub fn net(&self) -> &Net {
+        &self.net
+    }
+
+    /// The parameter store.
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Mutable parameter store (optimiser steps).
+    pub fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    /// Disjoint borrows of the schema, network, and mutable parameter store
+    /// (the training loop needs the store mutably while the network is
+    /// borrowed).
+    pub fn split_mut(&mut self) -> (&ArSchema, &Net, &mut ParamStore) {
+        (&self.schema, &self.net, &mut self.store)
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_parameters(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// Snapshot for inference and sampling (`Send + Sync`).
+    pub fn freeze(&self) -> FrozenModel {
+        FrozenModel {
+            schema: self.schema.clone(),
+            net: self.net.freeze(&self.store),
+        }
+    }
+}
+
+/// An immutable trained model: the sampling/estimation interface handed to
+/// the generation stage.
+pub struct FrozenModel {
+    /// The model schema (column order, encodings, normaliser).
+    pub schema: ArSchema,
+    /// The frozen backbone.
+    pub net: FrozenNet,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model_schema::EncodingOptions;
+    use sam_storage::{paper_example, DatabaseStats};
+
+    fn schema() -> ArSchema {
+        let db = paper_example::figure3_database();
+        let stats = DatabaseStats::from_database(&db);
+        ArSchema::build(db.schema(), &stats, &[], &EncodingOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn made_model_shapes_follow_schema() {
+        let schema = schema();
+        let total: usize = schema.domain_sizes().iter().sum();
+        let model = ArModel::new(schema, &ArModelConfig::default());
+        assert_eq!(model.net().total_width(), total);
+        assert!(model.num_parameters() > 0);
+        let frozen = model.freeze();
+        assert_eq!(frozen.net.num_columns(), 7);
+        assert!(frozen.net.as_made().is_some());
+    }
+
+    #[test]
+    fn transformer_model_shapes_follow_schema() {
+        let schema = schema();
+        let total: usize = schema.domain_sizes().iter().sum();
+        let model = ArModel::new(
+            schema,
+            &ArModelConfig {
+                transformer: Some(TransformerDims::default()),
+                ..Default::default()
+            },
+        );
+        assert_eq!(model.net().total_width(), total);
+        let frozen = model.freeze();
+        assert_eq!(frozen.net.num_columns(), 7);
+        assert!(frozen.net.as_made().is_none());
+    }
+}

@@ -1,0 +1,387 @@
+//! Model persistence: save a trained [`FrozenModel`] to JSON and load it
+//! back — train once, generate many times (or ship the model instead of
+//! the workload).
+//!
+//! The file carries everything generation needs: the database schema (for
+//! the join graph), the model columns with their base domains and interval
+//! bins, table sizes, the normaliser, and the MADE's *effective* (masked)
+//! weights.
+
+use crate::encoding::ColumnEncoding;
+use crate::error::ArError;
+use crate::model::FrozenModel;
+use crate::model_schema::{ArColumn, ArColumnKind, ArSchema};
+use sam_nn::{FrozenMade, Matrix};
+use sam_storage::{
+    ColumnDef, ColumnRole, DataType, DatabaseSchema, Domain, ForeignKeyEdge, TableSchema, Value,
+};
+use serde::{Deserialize, Serialize};
+
+/// Format version for forward compatibility.
+const VERSION: u32 = 1;
+
+#[derive(Debug, Serialize, Deserialize)]
+enum ValueDto {
+    #[serde(rename = "null")]
+    Null,
+    #[serde(rename = "i")]
+    Int(i64),
+    #[serde(rename = "f")]
+    Float(f64),
+    #[serde(rename = "s")]
+    Str(String),
+}
+
+impl From<&Value> for ValueDto {
+    fn from(v: &Value) -> Self {
+        match v {
+            Value::Null => ValueDto::Null,
+            Value::Int(x) => ValueDto::Int(*x),
+            Value::Float(x) => ValueDto::Float(*x),
+            Value::Str(s) => ValueDto::Str(s.to_string()),
+        }
+    }
+}
+
+impl From<&ValueDto> for Value {
+    fn from(v: &ValueDto) -> Self {
+        match v {
+            ValueDto::Null => Value::Null,
+            ValueDto::Int(x) => Value::Int(*x),
+            ValueDto::Float(x) => Value::Float(*x),
+            ValueDto::Str(s) => Value::str(s),
+        }
+    }
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct ColumnDefDto {
+    name: String,
+    dtype: String,
+    role: String,
+    references: Option<String>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct TableDto {
+    name: String,
+    columns: Vec<ColumnDefDto>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct EdgeDto {
+    pk_table: String,
+    fk_table: String,
+    fk_column: String,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct ArColumnDto {
+    /// `content` / `indicator` / `fanout`.
+    kind: String,
+    table: usize,
+    column: usize,
+    name: String,
+    base_values: Vec<ValueDto>,
+    /// Bin start codes (ends implied by the next start / domain length).
+    bin_starts: Vec<u32>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct MatrixDto {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct ModelFile {
+    version: u32,
+    tables: Vec<TableDto>,
+    edges: Vec<EdgeDto>,
+    columns: Vec<ArColumnDto>,
+    table_sizes: Vec<u64>,
+    normalizer: f64,
+    domain_sizes: Vec<usize>,
+    /// (effective weights, bias) per layer.
+    layers: Vec<(MatrixDto, MatrixDto)>,
+    /// Per-layer ResMADE residual flags (absent in plain MADE files).
+    #[serde(default)]
+    residual: Vec<bool>,
+}
+
+fn schema_to_dto(schema: &DatabaseSchema) -> (Vec<TableDto>, Vec<EdgeDto>) {
+    let tables = schema
+        .tables()
+        .iter()
+        .map(|t| TableDto {
+            name: t.name.clone(),
+            columns: t
+                .columns
+                .iter()
+                .map(|c| {
+                    let (role, references) = match &c.role {
+                        ColumnRole::Content => ("content", None),
+                        ColumnRole::PrimaryKey => ("pk", None),
+                        ColumnRole::ForeignKey { references } => ("fk", Some(references.clone())),
+                    };
+                    ColumnDefDto {
+                        name: c.name.clone(),
+                        dtype: match c.dtype {
+                            DataType::Int => "int".into(),
+                            DataType::Float => "float".into(),
+                            DataType::Str => "text".into(),
+                        },
+                        role: role.into(),
+                        references,
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+    let edges = schema
+        .edges()
+        .iter()
+        .map(|e| EdgeDto {
+            pk_table: e.pk_table.clone(),
+            fk_table: e.fk_table.clone(),
+            fk_column: e.fk_column.clone(),
+        })
+        .collect();
+    (tables, edges)
+}
+
+fn schema_from_dto(tables: &[TableDto], edges: &[EdgeDto]) -> Result<DatabaseSchema, ArError> {
+    let tables = tables
+        .iter()
+        .map(|t| {
+            let columns = t
+                .columns
+                .iter()
+                .map(|c| {
+                    let dtype = match c.dtype.as_str() {
+                        "int" => DataType::Int,
+                        "float" => DataType::Float,
+                        _ => DataType::Str,
+                    };
+                    let role = match c.role.as_str() {
+                        "pk" => ColumnRole::PrimaryKey,
+                        "fk" => ColumnRole::ForeignKey {
+                            references: c.references.clone().unwrap_or_default(),
+                        },
+                        _ => ColumnRole::Content,
+                    };
+                    ColumnDef {
+                        name: c.name.clone(),
+                        dtype,
+                        role,
+                    }
+                })
+                .collect();
+            TableSchema::new(t.name.clone(), columns)
+        })
+        .collect();
+    let edges = edges
+        .iter()
+        .map(|e| ForeignKeyEdge {
+            pk_table: e.pk_table.clone(),
+            fk_table: e.fk_table.clone(),
+            fk_column: e.fk_column.clone(),
+        })
+        .collect();
+    DatabaseSchema::new(tables, edges).map_err(ArError::Storage)
+}
+
+/// Serialise a trained model to JSON.
+pub fn save_model(model: &FrozenModel, db_schema: &DatabaseSchema) -> String {
+    let (tables, edges) = schema_to_dto(db_schema);
+    let columns = model
+        .schema
+        .columns()
+        .iter()
+        .map(|c| {
+            let (kind, table, column) = match c.kind {
+                ArColumnKind::Content { table, column } => ("content", table, column),
+                ArColumnKind::Indicator { table } => ("indicator", table, 0),
+                ArColumnKind::Fanout { table } => ("fanout", table, 0),
+            };
+            ArColumnDto {
+                kind: kind.into(),
+                table,
+                column,
+                name: c.name.clone(),
+                base_values: c
+                    .encoding
+                    .base_domain()
+                    .values()
+                    .iter()
+                    .map(ValueDto::from)
+                    .collect(),
+                bin_starts: (0..c.encoding.num_bins())
+                    .map(|b| c.encoding.bin(b).start)
+                    .collect(),
+            }
+        })
+        .collect();
+    let made = model
+        .net
+        .as_made()
+        .expect("save_model currently supports the MADE backbone only");
+    let layers = made
+        .layers()
+        .iter()
+        .map(|(w, b)| {
+            (
+                MatrixDto {
+                    rows: w.rows(),
+                    cols: w.cols(),
+                    data: w.data().to_vec(),
+                },
+                MatrixDto {
+                    rows: b.rows(),
+                    cols: b.cols(),
+                    data: b.data().to_vec(),
+                },
+            )
+        })
+        .collect();
+    let file = ModelFile {
+        version: VERSION,
+        tables,
+        edges,
+        columns,
+        table_sizes: (0..model.schema.graph().len())
+            .map(|t| model.schema.table_size(t))
+            .collect(),
+        normalizer: model.schema.normalizer(),
+        domain_sizes: model.schema.domain_sizes(),
+        layers,
+        residual: made.residual_flags().to_vec(),
+    };
+    serde_json::to_string(&file).expect("model serialises")
+}
+
+/// Load a model saved by [`save_model`], returning it with its schema.
+pub fn load_model(json: &str) -> Result<(FrozenModel, DatabaseSchema), ArError> {
+    let file: ModelFile =
+        serde_json::from_str(json).map_err(|e| ArError::Invalid(format!("model JSON: {e}")))?;
+    if file.version != VERSION {
+        return Err(ArError::Invalid(format!(
+            "unsupported model version {} (expected {VERSION})",
+            file.version
+        )));
+    }
+    let db_schema = schema_from_dto(&file.tables, &file.edges)?;
+
+    let columns = file
+        .columns
+        .iter()
+        .map(|c| {
+            let base = Domain::new(c.base_values.iter().map(Value::from).collect()).shared();
+            let encoding = ColumnEncoding::intervalized(base, c.bin_starts.clone());
+            let kind = match c.kind.as_str() {
+                "content" => ArColumnKind::Content {
+                    table: c.table,
+                    column: c.column,
+                },
+                "indicator" => ArColumnKind::Indicator { table: c.table },
+                "fanout" => ArColumnKind::Fanout { table: c.table },
+                other => return Err(ArError::Invalid(format!("bad column kind {other:?}"))),
+            };
+            Ok(ArColumn {
+                kind,
+                name: c.name.clone(),
+                encoding,
+            })
+        })
+        .collect::<Result<Vec<_>, ArError>>()?;
+
+    let schema = ArSchema::from_parts(&db_schema, columns, file.table_sizes, file.normalizer)?;
+    if schema.domain_sizes() != file.domain_sizes {
+        return Err(ArError::Invalid(
+            "encoding bins do not match recorded domain sizes".into(),
+        ));
+    }
+    let layers = file
+        .layers
+        .into_iter()
+        .map(|(w, b)| {
+            (
+                Matrix::from_vec(w.rows, w.cols, w.data),
+                Matrix::from_vec(b.rows, b.cols, b.data),
+            )
+        })
+        .collect();
+    let made = if file.residual.is_empty() {
+        FrozenMade::from_parts(layers, file.domain_sizes)
+    } else {
+        FrozenMade::from_parts_residual(layers, file.residual, file.domain_sizes)
+    };
+    Ok((
+        FrozenModel {
+            schema,
+            net: made.into(),
+        },
+        db_schema,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::estimate_cardinality;
+    use crate::model::{ArModel, ArModelConfig};
+    use crate::model_schema::EncodingOptions;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sam_query::Query;
+    use sam_storage::{paper_example, DatabaseStats};
+
+    #[test]
+    fn save_load_round_trip_preserves_estimates_and_samples() {
+        let db = paper_example::figure3_database();
+        let stats = DatabaseStats::from_database(&db);
+        let schema =
+            ArSchema::build(db.schema(), &stats, &[], &EncodingOptions::default()).unwrap();
+        let model = ArModel::new(
+            schema,
+            &ArModelConfig {
+                hidden: vec![16],
+                seed: 4,
+                residual: false,
+                transformer: None,
+            },
+        )
+        .freeze();
+
+        let json = save_model(&model, db.schema());
+        let (loaded, loaded_schema) = load_model(&json).unwrap();
+        assert_eq!(&loaded_schema, db.schema());
+        assert_eq!(loaded.schema.domain_sizes(), model.schema.domain_sizes());
+        assert_eq!(loaded.schema.normalizer(), model.schema.normalizer());
+
+        // Identical estimates under the same RNG stream.
+        let q = Query::join(vec!["A".into(), "B".into()], vec![]);
+        let a = estimate_cardinality(&model, &q, 64, &mut StdRng::seed_from_u64(1)).unwrap();
+        let b = estimate_cardinality(&loaded, &q, 64, &mut StdRng::seed_from_u64(1)).unwrap();
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+
+        // Identical samples under the same seed.
+        let s1 = crate::sample::sample_model_rows(&model, 32, 8, 9);
+        let s2 = crate::sample::sample_model_rows(&loaded, 32, 8, 9);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn rejects_bad_version_and_garbage() {
+        assert!(load_model("not json").is_err());
+        let db = paper_example::figure3_database();
+        let stats = DatabaseStats::from_database(&db);
+        let schema =
+            ArSchema::build(db.schema(), &stats, &[], &EncodingOptions::default()).unwrap();
+        let model = ArModel::new(schema, &ArModelConfig::default()).freeze();
+        let json = save_model(&model, db.schema());
+        let bad = json.replace("\"version\":1", "\"version\":99");
+        assert!(load_model(&bad).is_err());
+    }
+}

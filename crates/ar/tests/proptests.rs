@@ -1,0 +1,122 @@
+//! Property-based tests for encodings and query-rule translation.
+
+use proptest::prelude::*;
+use sam_ar::{ArSchema, ColumnEncoding, EncodingOptions, StepRule};
+use sam_query::{CodeSet, CompareOp, Predicate, Query, WorkloadGenerator};
+use sam_storage::{paper_example, DatabaseStats, Domain, Value};
+
+fn int_domain(n: usize) -> std::sync::Arc<Domain> {
+    Domain::new((0..n as i64).map(Value::Int).collect()).shared()
+}
+
+proptest! {
+    /// Bins always partition the code space: complete, ordered, disjoint.
+    #[test]
+    fn bins_partition_code_space(
+        n in 1usize..60,
+        boundaries in prop::collection::vec(0u32..80, 0..12),
+    ) {
+        let enc = ColumnEncoding::intervalized(int_domain(n), boundaries);
+        let mut expected_start = 0u32;
+        for b in 0..enc.num_bins() {
+            let bin = enc.bin(b);
+            prop_assert_eq!(bin.start, expected_start);
+            prop_assert!(bin.end > bin.start);
+            expected_start = bin.end;
+        }
+        prop_assert_eq!(expected_start as usize, n);
+        // bin_of_code inverts bin membership.
+        for code in 0..n as u32 {
+            let b = enc.bin_of_code(code);
+            prop_assert!(enc.bin(b).contains(&code));
+        }
+    }
+
+    /// frac_weights times bin sizes recovers the exact code-set size.
+    #[test]
+    fn frac_weights_conserve_mass(
+        n in 1usize..60,
+        boundaries in prop::collection::vec(0u32..80, 0..10),
+        lo in 0u32..60,
+        len in 0u32..60,
+    ) {
+        let enc = ColumnEncoding::intervalized(int_domain(n), boundaries);
+        let hi = (lo + len).min(n as u32);
+        let lo = lo.min(hi);
+        let set = CodeSet::Range(lo..hi);
+        let w = enc.frac_weights(&set);
+        let mass: f64 = (0..enc.num_bins())
+            .map(|b| w[b] as f64 * enc.bin(b).len() as f64)
+            .sum();
+        prop_assert!((mass - set.len() as f64).abs() < 1e-3,
+            "mass {} vs |set| {}", mass, set.len());
+    }
+
+    /// Training predicates (whose boundaries induced the bins) always align:
+    /// every frac weight is exactly 0 or 1.
+    #[test]
+    fn training_predicates_align_with_bins(
+        n in 2usize..60,
+        cut_points in prop::collection::vec(0u32..60, 1..8),
+    ) {
+        let sets: Vec<CodeSet> = cut_points
+            .iter()
+            .map(|&c| CodeSet::Range(0..c.min(n as u32)))
+            .collect();
+        let enc = ColumnEncoding::from_code_sets(int_domain(n), &sets);
+        for set in &sets {
+            for w in enc.frac_weights(set) {
+                prop_assert!(w == 0.0 || w == 1.0, "partial weight {}", w);
+            }
+        }
+    }
+
+    /// Query rules for random workloads on the Figure-3 schema are total:
+    /// every column gets a rule, and content rules only appear on filtered
+    /// columns.
+    #[test]
+    fn query_rules_are_total(seed in 0u64..300) {
+        let db = paper_example::figure3_database();
+        let stats = DatabaseStats::from_database(&db);
+        let ar = ArSchema::build(db.schema(), &stats, &[], &EncodingOptions::default()).unwrap();
+        let mut gen = WorkloadGenerator::new(&db, seed);
+        for q in gen.multi_workload(10, 2) {
+            let rules = ar.query_rules(&q).unwrap();
+            prop_assert_eq!(rules.len(), ar.num_columns());
+            // In-range content rules only where the query filters.
+            let filtered: Vec<(&str, &str)> =
+                q.filtered_columns().into_iter().collect();
+            for (pos, rule) in rules.iter().enumerate() {
+                if let (StepRule::InRange(_), sam_ar::ArColumnKind::Content { table, column }) =
+                    (rule, ar.columns()[pos].kind)
+                {
+                    let tname = &ar.graph().tables()[table];
+                    let cname = &db.table(table).schema().columns[column].name;
+                    prop_assert!(
+                        filtered.iter().any(|(t, c)| t == tname && c == cname),
+                        "unfiltered column {}.{} got a range rule", tname, cname
+                    );
+                }
+            }
+        }
+    }
+
+    /// Eq predicates with out-of-domain literals translate to all-zero
+    /// weights (impossible queries), never panics.
+    #[test]
+    fn out_of_domain_literal_is_impossible(lit in 100i64..10_000) {
+        let db = paper_example::figure3_database();
+        let stats = DatabaseStats::from_database(&db);
+        let ar = ArSchema::build(db.schema(), &stats, &[], &EncodingOptions::default()).unwrap();
+        let q = Query::single(
+            "A",
+            vec![Predicate::compare("A", "a", CompareOp::Eq, lit)],
+        );
+        let rules = ar.query_rules(&q).unwrap();
+        if let StepRule::InRange(w) = &rules[0] {
+            prop_assert!(w.iter().all(|&x| x == 0.0));
+        } else {
+            prop_assert!(false, "expected an in-range rule");
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Substrate microbenchmarks: full-outer-join materialisation / counting,
+//! exact cardinality evaluation, and the execution engine's scan + hash
+//! join path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sam_engine::Engine;
+use sam_query::{evaluate_cardinality, Query, WorkloadGenerator};
+use sam_storage::{foj_size, materialize_foj};
+
+fn bench_join_and_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("foj");
+    group.sample_size(10);
+    for titles in [100usize, 300] {
+        let db = sam_datasets::imdb(&sam_datasets::ImdbConfig {
+            titles,
+            seed: 1,
+            mean_fanout: 1.5,
+            ..Default::default()
+        });
+        group.bench_with_input(BenchmarkId::new("materialize", titles), &titles, |b, _| {
+            b.iter(|| materialize_foj(&db))
+        });
+        group.bench_with_input(BenchmarkId::new("count_only", titles), &titles, |b, _| {
+            b.iter(|| foj_size(&db))
+        });
+    }
+    group.finish();
+
+    let db = sam_datasets::imdb(&sam_datasets::ImdbConfig {
+        titles: 1_000,
+        seed: 1,
+        ..Default::default()
+    });
+    let mut gen = WorkloadGenerator::new(&db, 5);
+    let queries = gen.multi_workload(16, 2);
+    let five_way = Query::join(
+        vec![
+            "title".into(),
+            "cast_info".into(),
+            "movie_companies".into(),
+            "movie_info".into(),
+            "movie_keyword".into(),
+        ],
+        vec![],
+    );
+
+    let mut group = c.benchmark_group("evaluator");
+    group.sample_size(20);
+    group.bench_function("mscn_batch_16", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|q| evaluate_cardinality(&db, q).unwrap())
+                .sum::<u64>()
+        })
+    });
+    group.bench_function("five_way_join", |b| {
+        b.iter(|| evaluate_cardinality(&db, &five_way).unwrap())
+    });
+    group.finish();
+
+    let engine = Engine::new(&db);
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(20);
+    group.bench_function("scan_filter", |b| {
+        b.iter(|| engine.count(&queries[0]).unwrap())
+    });
+    group.bench_function("five_way_hash_join", |b| {
+        b.iter(|| engine.count(&five_way).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_join_and_engine);
+criterion_main!(benches);

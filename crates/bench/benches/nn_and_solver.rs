@@ -1,0 +1,66 @@
+//! Neural-substrate and PGM-solver microbenchmarks: matmul kernels, MADE
+//! forward passes, one DPS tape step, and the non-negative least-squares
+//! solver's scaling in system size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sam_nn::{Made, MadeConfig, Matrix, ParamStore};
+use sam_pgm::{solve_nonneg_least_squares, LinearSystem};
+
+fn bench_nn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(20);
+    for n in [64usize, 128, 256] {
+        let a = Matrix::from_fn(n, n, |r, cc| ((r * 31 + cc * 17) % 97) as f32 * 0.01);
+        let b = Matrix::from_fn(n, n, |r, cc| ((r * 13 + cc * 7) % 89) as f32 * 0.01);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b))
+        });
+    }
+    group.finish();
+
+    let mut store = ParamStore::new();
+    let made = Made::new(
+        MadeConfig {
+            domain_sizes: vec![32; 12],
+            hidden: vec![64, 64],
+            seed: 0,
+            residual: false,
+        },
+        &mut store,
+    );
+    let frozen = made.freeze(&store);
+    let mut group = c.benchmark_group("made_forward");
+    group.sample_size(20);
+    for batch in [16usize, 64, 256] {
+        let input = Matrix::zeros(batch, frozen.total_width());
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
+            b.iter(|| frozen.forward(&input))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("nnls_solver");
+    group.sample_size(10);
+    for vars in [256usize, 1024, 4096] {
+        // A banded consistent system: x sums to 1 in blocks plus point
+        // constraints — representative of clique systems.
+        let mut system = LinearSystem::new(vars);
+        let block = 16;
+        for start in (0..vars).step_by(block) {
+            let coefs = (start..(start + block).min(vars))
+                .map(|v| (v, 1.0))
+                .collect();
+            system.push(coefs, 1.0, 4.0);
+        }
+        for v in (0..vars).step_by(7) {
+            system.push(vec![(v, 1.0)], 1.0 / block as f64, 1.0);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(vars), &vars, |b, _| {
+            b.iter(|| solve_nonneg_least_squares(&system, 300, 1e-9))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nn);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Experiment binary: design-choice ablations.
+fn main() {
+    let ctx = sam_bench::parse_args();
+    for r in sam_bench::experiments::ablations::run(ctx) {
+        r.print();
+    }
+}

@@ -1,0 +1,7 @@
+//! Experiment binary: Figure 5 — workload processing time.
+fn main() {
+    let ctx = sam_bench::parse_args();
+    for r in sam_bench::experiments::fig5::run(ctx) {
+        r.print();
+    }
+}

@@ -1,0 +1,7 @@
+//! Experiment binary: Figure 6 — generation time vs FOJ samples.
+fn main() {
+    let ctx = sam_bench::parse_args();
+    for r in sam_bench::experiments::fig6::run(ctx) {
+        r.print();
+    }
+}

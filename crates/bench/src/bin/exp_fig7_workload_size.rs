@@ -1,0 +1,7 @@
+//! Experiment binary: Figure 7 — recovery vs workload size.
+fn main() {
+    let ctx = sam_bench::parse_args();
+    for r in sam_bench::experiments::fig7::run(ctx) {
+        r.print();
+    }
+}

@@ -1,0 +1,7 @@
+//! Experiment binary: Figure 8 — recovery vs coverage ratio.
+fn main() {
+    let ctx = sam_bench::parse_args();
+    for r in sam_bench::experiments::fig8::run(ctx) {
+        r.print();
+    }
+}

@@ -1,0 +1,7 @@
+//! Experiment binary: §5.6 — single-relation generation time.
+fn main() {
+    let ctx = sam_bench::parse_args();
+    for r in sam_bench::experiments::gen_single::run(ctx) {
+        r.print();
+    }
+}

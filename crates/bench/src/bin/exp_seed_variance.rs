@@ -1,0 +1,7 @@
+//! Experiment binary: fidelity robustness across seeds.
+fn main() {
+    let ctx = sam_bench::parse_args();
+    for r in sam_bench::experiments::seeds::run(ctx) {
+        r.print();
+    }
+}

@@ -1,0 +1,7 @@
+//! Experiment binary: Table 1 — Q-Error of input queries, full scale.
+fn main() {
+    let ctx = sam_bench::parse_args();
+    for r in sam_bench::experiments::table1::run(ctx) {
+        r.print();
+    }
+}

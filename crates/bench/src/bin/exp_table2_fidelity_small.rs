@@ -1,0 +1,7 @@
+//! Experiment binary: Table 2 — Q-Error of very few input queries.
+fn main() {
+    let ctx = sam_bench::parse_args();
+    for r in sam_bench::experiments::table2::run(ctx) {
+        r.print();
+    }
+}

@@ -1,0 +1,7 @@
+//! Experiment binary: Tables 3 & 4 — IMDB input-query fidelity.
+fn main() {
+    let ctx = sam_bench::parse_args();
+    for r in sam_bench::experiments::table34::run(ctx) {
+        r.print();
+    }
+}

@@ -1,0 +1,7 @@
+//! Experiment binary: Table 5 — Q-Error of test queries.
+fn main() {
+    let ctx = sam_bench::parse_args();
+    for r in sam_bench::experiments::table5::run(ctx) {
+        r.print();
+    }
+}

@@ -1,0 +1,7 @@
+//! Experiment binary: Table 6 — JOB-light Q-Error on IMDB.
+fn main() {
+    let ctx = sam_bench::parse_args();
+    for r in sam_bench::experiments::table6::run(ctx) {
+        r.print();
+    }
+}

@@ -1,0 +1,7 @@
+//! Experiment binary: Table 7 — cross entropy.
+fn main() {
+    let ctx = sam_bench::parse_args();
+    for r in sam_bench::experiments::table7::run(ctx) {
+        r.print();
+    }
+}

@@ -1,0 +1,7 @@
+//! Experiment binary: Tables 8 & 9 — performance deviation.
+fn main() {
+    let ctx = sam_bench::parse_args();
+    for r in sam_bench::experiments::table89::run(ctx) {
+        r.print();
+    }
+}

@@ -1,0 +1,84 @@
+//! Timing probe used to calibrate experiment scales (not a paper artifact).
+
+use sam_bench::*;
+use sam_core::JoinKeyStrategy;
+
+fn main() {
+    let ctx = parse_args();
+    println!("scale {:?}", ctx.scale);
+    let (bundle, t) = timed(|| census_bundle(ctx.scale, ctx.seed));
+    println!(
+        "census build: {t:.2}s rows={}",
+        bundle.db.tables()[0].num_rows()
+    );
+    let (w, t) = timed(|| single_workload(&bundle, 1000, ctx.seed));
+    println!("label 1000 queries: {t:.2}s");
+    let cfg = sam_config(ctx.scale, ctx.seed);
+    let (trained, t) = timed(|| fit_sam(&bundle, &w, &cfg));
+    println!(
+        "train {} queries x {} epochs: {t:.2}s (report {:.2}s, last loss {:?})",
+        w.len(),
+        cfg.train.epochs,
+        trained.report.wall_seconds,
+        trained.report.epoch_losses.last()
+    );
+    let (gen, t) = timed(|| {
+        trained
+            .generate(&generation_config(
+                ctx.scale,
+                ctx.seed,
+                JoinKeyStrategy::GroupAndMerge,
+            ))
+            .unwrap()
+    });
+    println!("generate: {t:.2}s rows={}", gen.0.tables()[0].num_rows());
+    let (qe, t) = timed(|| q_errors_on(&gen.0, &w.queries[..500.min(w.len())]));
+    let p = sam_metrics::Percentiles::from_values(&qe);
+    println!(
+        "eval 500: {t:.2}s median={:.2} mean={:.2} p90={:.2}",
+        p.median, p.mean, p.p90
+    );
+
+    // IMDB probe
+    let (bundle, t) = timed(|| imdb_bundle(ctx.scale, ctx.seed));
+    println!("imdb build: {t:.2}s total_rows={}", bundle.db.total_rows());
+    let (w, t) = timed(|| multi_workload(&bundle, 1000, ctx.seed));
+    println!("imdb label 1000: {t:.2}s");
+    let (trained, t) = timed(|| fit_sam(&bundle, &w, &cfg));
+    println!(
+        "imdb train: {t:.2}s last loss {:?}",
+        trained.report.epoch_losses.last()
+    );
+    let (gen, t) = timed(|| {
+        trained
+            .generate(&generation_config(
+                ctx.scale,
+                ctx.seed,
+                JoinKeyStrategy::GroupAndMerge,
+            ))
+            .unwrap()
+    });
+    println!(
+        "imdb generate: {t:.2}s sizes={:?}",
+        gen.0
+            .tables()
+            .iter()
+            .map(|t| t.num_rows())
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "imdb target sizes={:?}",
+        bundle
+            .db
+            .tables()
+            .iter()
+            .map(|t| t.num_rows())
+            .collect::<Vec<_>>()
+    );
+    let (qe, t) = timed(|| q_errors_on(&gen.0, &w.queries[..300.min(w.len())]));
+    let p = sam_metrics::Percentiles::from_values(&qe);
+    println!(
+        "imdb eval 300: {t:.2}s median={:.2} mean={:.2} p90={:.2} max={:.1}",
+        p.median, p.mean, p.p90, p.max
+    );
+}

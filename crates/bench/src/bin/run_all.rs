@@ -1,0 +1,59 @@
+//! Run every experiment in DESIGN.md's index, print all tables, and write
+//! `exp_results.json` (consumed when updating EXPERIMENTS.md).
+
+use sam_bench::experiments::*;
+use sam_bench::parse_args;
+
+/// One experiment suite: name plus runner.
+type Suite = (
+    &'static str,
+    fn(sam_bench::ExpContext) -> Vec<ExperimentResult>,
+);
+
+fn main() {
+    let ctx = parse_args();
+    println!(
+        "Running all experiments at {:?} scale (seed {})",
+        ctx.scale, ctx.seed
+    );
+    let suites: Vec<Suite> = vec![
+        ("fig5", fig5::run),
+        ("table1", table1::run),
+        ("table2", table2::run),
+        ("table3/4", table34::run),
+        ("table5", table5::run),
+        ("table6", table6::run),
+        ("table7", table7::run),
+        ("table8/9", table89::run),
+        ("fig6", fig6::run),
+        ("fig7", fig7::run),
+        ("fig8", fig8::run),
+        ("gen_single", gen_single::run),
+        ("ablations", ablations::run),
+        ("seeds", seeds::run),
+    ];
+    let mut all = Vec::new();
+    for (name, f) in suites {
+        eprintln!("--- running {name} ---");
+        let start = std::time::Instant::now();
+        for r in f(ctx) {
+            r.print();
+            all.push(r);
+        }
+        eprintln!(
+            "--- {name} done in {:.1}s ---",
+            start.elapsed().as_secs_f64()
+        );
+    }
+    let json = serde_json::json!({
+        "scale": format!("{:?}", ctx.scale),
+        "seed": ctx.seed,
+        "experiments": all,
+    });
+    std::fs::write(
+        "exp_results.json",
+        serde_json::to_string_pretty(&json).expect("serialisable"),
+    )
+    .expect("writable cwd");
+    println!("\nWrote exp_results.json");
+}

@@ -1,0 +1,127 @@
+//! Figure 5: workload processing time vs. number of input queries.
+//!
+//! The paper's headline scalability plot: PGM's processing time grows as a
+//! high-degree polynomial (more queries → more literals → bigger
+//! intervalized domains → clique tables explode), while SAM's grows
+//! linearly (fixed epochs over a growing workload). PGM's sweep stops once
+//! a fit exceeds the per-scale time cap — the moral equivalent of the
+//! paper's 12 h / 48 h frames.
+
+use super::ExperimentResult;
+use crate::harness::*;
+use serde_json::json;
+
+/// PGM per-fit time cap in seconds, per scale.
+fn pgm_cap(scale: Scale) -> f64 {
+    match scale {
+        Scale::Smoke => 2.0,
+        Scale::Quick => 15.0,
+        Scale::Full => 120.0,
+    }
+}
+
+/// Run the Figure 5 sweeps.
+pub fn run(ctx: ExpContext) -> Vec<ExperimentResult> {
+    let mut text = String::new();
+    let mut series = Vec::new();
+
+    // ---- Census (single relation) ----
+    let bundle = census_bundle(ctx.scale, ctx.seed);
+    let (train_n, _, _) = workload_sizes(ctx.scale);
+    let workload = single_workload(&bundle, train_n, ctx.seed);
+
+    text.push_str("Census — processing time (seconds) vs #queries\n");
+    text.push_str(&format!(
+        "{:>8}  {:>10}  {:>10}  {:>12}\n",
+        "n", "SAM", "PGM", "PGM vars"
+    ));
+
+    let mut pgm_dead = false;
+    let mut n = 4usize;
+    let cfg = sam_config(ctx.scale, ctx.seed);
+    let pgm_cfg = pgm_config(ctx.scale);
+    while n <= train_n {
+        let w = workload.truncate(n);
+        let (_, sam_t) = timed(|| fit_sam(&bundle, &w, &cfg));
+        let (pgm_t, pgm_vars) = if pgm_dead {
+            (f64::NAN, 0)
+        } else {
+            let (pgm, t) = timed(|| fit_pgm_single(&bundle, &w, &pgm_cfg));
+            if t > pgm_cap(ctx.scale) || pgm.exceeded {
+                pgm_dead = true;
+            }
+            let vars = pgm.num_variables();
+            (if pgm.exceeded { f64::NAN } else { t }, vars)
+        };
+        text.push_str(&format!(
+            "{:>8}  {:>10.3}  {:>10}  {:>12}\n",
+            n,
+            sam_t,
+            if pgm_t.is_nan() {
+                ">cap".to_string()
+            } else {
+                format!("{pgm_t:.3}")
+            },
+            if pgm_vars > 0 {
+                pgm_vars.to_string()
+            } else {
+                "-".into()
+            },
+        ));
+        series.push(json!({
+            "dataset": "census", "n": n, "sam_seconds": sam_t,
+            "pgm_seconds": if pgm_t.is_nan() { None } else { Some(pgm_t) },
+            "pgm_variables": pgm_vars,
+        }));
+        n *= 4;
+    }
+
+    // ---- IMDB (multi relation) ----
+    let bundle = imdb_bundle(ctx.scale, ctx.seed);
+    let (_, train_multi, _) = workload_sizes(ctx.scale);
+    let workload = multi_workload(&bundle, train_multi, ctx.seed);
+
+    text.push_str("\nIMDB — processing time (seconds) vs #queries\n");
+    text.push_str(&format!("{:>8}  {:>10}  {:>10}\n", "n", "SAM", "PGM"));
+    let mut pgm_dead = false;
+    let mut n = 8usize;
+    while n <= train_multi {
+        let w = workload.truncate(n);
+        let (_, sam_t) = timed(|| fit_sam(&bundle, &w, &cfg));
+        let pgm_t = if pgm_dead {
+            f64::NAN
+        } else {
+            let (pgm, t) = timed(|| fit_pgm_multi(&bundle, &w, &pgm_cfg));
+            if t > pgm_cap(ctx.scale) || pgm.exceeded {
+                pgm_dead = true;
+            }
+            if pgm.exceeded {
+                f64::NAN
+            } else {
+                t
+            }
+        };
+        text.push_str(&format!(
+            "{:>8}  {:>10.3}  {:>10}\n",
+            n,
+            sam_t,
+            if pgm_t.is_nan() {
+                ">cap".to_string()
+            } else {
+                format!("{pgm_t:.3}")
+            },
+        ));
+        series.push(json!({
+            "dataset": "imdb", "n": n, "sam_seconds": sam_t,
+            "pgm_seconds": if pgm_t.is_nan() { None } else { Some(pgm_t) },
+        }));
+        n *= 4;
+    }
+
+    vec![ExperimentResult {
+        id: "fig5".into(),
+        title: "Processing time of query workloads (SAM linear vs PGM polynomial)".into(),
+        text,
+        json: json!({ "series": series }),
+    }]
+}

@@ -1,0 +1,39 @@
+//! One module per paper table/figure (see DESIGN.md's experiment index).
+
+pub mod ablations;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod gen_single;
+pub mod seeds;
+pub mod table1;
+pub mod table2;
+pub mod table34;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+pub mod table89;
+
+use serde::Serialize;
+
+/// The outcome of one experiment: a printable block plus structured data.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentResult {
+    /// Stable id, e.g. `table1`, `fig5`.
+    pub id: String,
+    /// Paper-facing title.
+    pub title: String,
+    /// Rendered plain-text table(s)/series.
+    pub text: String,
+    /// Structured numbers for EXPERIMENTS.md.
+    pub json: serde_json::Value,
+}
+
+impl ExperimentResult {
+    /// Print to stdout in the harness's standard framing.
+    pub fn print(&self) {
+        println!("\n######## {} — {} ########", self.id, self.title);
+        println!("{}", self.text);
+    }
+}

@@ -1,0 +1,66 @@
+//! Table 1: Q-Error of input queries at full workload scale (Census, DMV).
+//!
+//! PGM cannot process workloads of this size at all (Fig 5); only SAM rows
+//! are reported, exactly as in the paper.
+
+use super::ExperimentResult;
+use crate::harness::*;
+use sam_core::JoinKeyStrategy;
+use sam_metrics::{render_table, Percentiles};
+use serde_json::json;
+
+/// Run Table 1 for one single-relation bundle.
+fn one(bundle: &Bundle, ctx: ExpContext) -> (Percentiles, f64, f64) {
+    let (train_n, _, _) = workload_sizes(ctx.scale);
+    let workload = single_workload(bundle, train_n, ctx.seed);
+    let cfg = sam_config(ctx.scale, ctx.seed);
+    let (trained, train_secs) = timed(|| fit_sam(bundle, &workload, &cfg));
+    let ((generated, _), gen_secs) = timed(|| {
+        trained
+            .generate(&generation_config(
+                ctx.scale,
+                ctx.seed,
+                JoinKeyStrategy::GroupAndMerge,
+            ))
+            .expect("generation succeeds")
+    });
+    // Evaluate a 1000-query sample of the input constraints (paper protocol
+    // for large workloads).
+    let sample = &workload.queries[..workload.len().min(1000)];
+    let qe = q_errors_on(&generated, sample);
+    (Percentiles::from_values(&qe), train_secs, gen_secs)
+}
+
+/// Run Table 1.
+pub fn run(ctx: ExpContext) -> Vec<ExperimentResult> {
+    let census = census_bundle(ctx.scale, ctx.seed);
+    let dmv = dmv_bundle(ctx.scale, ctx.seed);
+    let (pc, ct, cg) = one(&census, ctx);
+    let (pd, dt, dg) = one(&dmv, ctx);
+
+    let text = render_table(
+        "Table 1: Q-Error of input queries — full scale",
+        &[
+            "Cen.Med", "Cen.75", "Cen.90", "Cen.Mean", "DMV.Med", "DMV.75", "DMV.90", "DMV.Mean",
+        ],
+        &[(
+            "SAM".into(),
+            vec![
+                pc.median, pc.p75, pc.p90, pc.mean, pd.median, pd.p75, pd.p90, pd.mean,
+            ],
+        )],
+    );
+    vec![ExperimentResult {
+        id: "table1".into(),
+        title: "Q-Error of input queries — full scale".into(),
+        text,
+        json: json!({
+            "census": {"median": pc.median, "p75": pc.p75, "p90": pc.p90, "mean": pc.mean,
+                        "train_seconds": ct, "generate_seconds": cg},
+            "dmv": {"median": pd.median, "p75": pd.p75, "p90": pd.p90, "mean": pd.mean,
+                     "train_seconds": dt, "generate_seconds": dg},
+            "paper": {"census": {"median": 1.27, "p75": 1.65, "p90": 2.50, "mean": 1.80},
+                       "dmv": {"median": 1.15, "p75": 1.48, "p90": 2.28, "mean": 2.10}},
+        }),
+    }]
+}

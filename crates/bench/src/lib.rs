@@ -1,0 +1,11 @@
+//! # sam-bench — experiment harness for the SAM reproduction
+//!
+//! One binary per table/figure of the paper's §5 (see DESIGN.md's
+//! experiment index), Criterion microbenchmarks, and the shared harness.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::*;

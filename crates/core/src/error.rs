@@ -1,0 +1,46 @@
+//! Error type for the SAM pipeline.
+
+use std::fmt;
+
+/// Errors raised by the SAM pipeline.
+#[derive(Debug)]
+pub enum SamError {
+    /// AR-model layer error.
+    Ar(sam_ar::ArError),
+    /// Storage layer error.
+    Storage(sam_storage::StorageError),
+    /// Invalid configuration or degenerate state (message).
+    Invalid(String),
+}
+
+impl fmt::Display for SamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SamError::Ar(e) => write!(f, "model error: {e}"),
+            SamError::Storage(e) => write!(f, "storage error: {e}"),
+            SamError::Invalid(m) => write!(f, "invalid: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SamError::Ar(e) => Some(e),
+            SamError::Storage(e) => Some(e),
+            SamError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<sam_ar::ArError> for SamError {
+    fn from(e: sam_ar::ArError) -> Self {
+        SamError::Ar(e)
+    }
+}
+
+impl From<sam_storage::StorageError> for SamError {
+    fn from(e: sam_storage::StorageError) -> Self {
+        SamError::Storage(e)
+    }
+}

@@ -1,0 +1,388 @@
+//! Group-and-Merge join-key assignment (paper §4.3.2, Algorithm 3).
+//!
+//! Theorem 2: FOJ rows sharing a join key `T.pk` agree on `T.pk`'s
+//! *identifier columns*. The algorithm therefore groups the weighted FOJ
+//! samples by identifier-column values and greedily merges rows within each
+//! group, emitting one primary-key value whenever the merged scaled weights
+//! reach 1 — so the generated base relations, joined back together, recover
+//! the full outer join the model sampled.
+//!
+//! Multiple join keys (deeper trees) are handled recursively, as the paper
+//! sketches: keys are assigned top-down; the grouping for a deeper table's
+//! key includes the already-assigned ancestor keys, so merges never straddle
+//! distinct parent tuples. A sampled row whose scaled weight exceeds 1
+//! splits into multiple *pieces*, each carrying a fraction of the row's
+//! mass and its own key — this is how one high-weight sample legitimately
+//! yields several primary-key tuples (the paper's Group 3 walk-through).
+//!
+//! **Leftover handling (extension beyond the paper).** Algorithm 3 as
+//! written silently drops group tails whose merged weight never reaches 1.
+//! When identifier combinations are diverse (every group's total weight
+//! `|T|·P(group)` can sit below 1), that would discard most of the mass. We
+//! instead resample the leftover sets *systematically by weight*: about
+//! `Σ tails` of them receive keys, and their pieces get a Horvitz–Thompson
+//! boost `1/π` recorded per pk table so that descendant-relation masses stay
+//! unbiased. With concentrated groups (the paper's regime) tails are rare
+//! and this path is almost never taken.
+
+use crate::weights::WeightedSamples;
+use sam_ar::{ArSchema, ModelRow};
+use std::collections::BTreeMap;
+
+const EPS: f64 = 1e-9;
+
+/// Merged-set grouping key: (ancestor keys, identifier-column bins).
+type GroupMap = BTreeMap<(Vec<Option<u64>>, Vec<u32>), Vec<Piece>>;
+
+/// A fragment of a sampled FOJ row with its assigned keys.
+#[derive(Debug, Clone)]
+pub struct Piece {
+    /// Index into the sampled rows.
+    pub row: usize,
+    /// Fraction of the original row's mass carried by this piece.
+    pub fraction: f64,
+    /// Assigned primary-key value per table (pk tables only).
+    pub keys: Vec<Option<u64>>,
+    /// Per pk table: Horvitz–Thompson boost applied to the masses of that
+    /// table's *descendants* (1.0 unless the piece survived leftover
+    /// resampling).
+    pub boost: Vec<f64>,
+}
+
+impl Piece {
+    /// Effective emission weight of table `t` for this piece: the scaled
+    /// sample weight times the piece fraction times the boosts of `t`'s
+    /// pk ancestors.
+    pub fn effective_weight(&self, schema: &ArSchema, weights: &WeightedSamples, t: usize) -> f64 {
+        let mut w = weights.scaled[self.row][t] * self.fraction;
+        for a in schema.graph().ancestors(t) {
+            w *= self.boost[a];
+        }
+        w
+    }
+}
+
+/// A generated primary-key tuple.
+#[derive(Debug, Clone)]
+pub struct PkTuple {
+    /// The assigned key (1-based).
+    pub key: u64,
+    /// Representative sampled row (identifier columns — hence the pk table's
+    /// content — are shared by every merged row).
+    pub row: usize,
+    /// The parent key this tuple's own fk points at (None for the root).
+    pub parent_key: Option<u64>,
+}
+
+/// Result of key assignment.
+#[derive(Debug, Clone)]
+pub struct AssignedKeys {
+    /// Final row pieces with per-table keys.
+    pub pieces: Vec<Piece>,
+    /// Per table: generated pk tuples (empty for tables nothing references).
+    pub pk_tuples: Vec<Vec<PkTuple>>,
+}
+
+/// Group-and-Merge over weighted samples.
+pub fn assign_keys_group_merge(
+    schema: &ArSchema,
+    rows: &[ModelRow],
+    weights: &WeightedSamples,
+) -> AssignedKeys {
+    let graph = schema.graph();
+    let n = graph.len();
+    let mut pieces: Vec<Piece> = (0..rows.len())
+        .map(|r| Piece {
+            row: r,
+            fraction: 1.0,
+            keys: vec![None; n],
+            boost: vec![1.0; n],
+        })
+        .collect();
+    let mut pk_tuples: Vec<Vec<PkTuple>> = vec![Vec::new(); n];
+
+    // Tables whose pk is referenced, root-first.
+    let pk_tables: Vec<usize> = graph
+        .topo_order()
+        .iter()
+        .copied()
+        .filter(|&t| !graph.children(t).is_empty())
+        .collect();
+
+    for p in pk_tables {
+        let identifier = schema.identifier_columns(p);
+        let ancestors = graph.ancestors(p);
+        let parent = graph.parent(p);
+
+        // Partition pieces: those eligible for a p-key vs. the rest.
+        let mut groups: GroupMap = BTreeMap::new();
+        let mut done: Vec<Piece> = Vec::new();
+        for piece in pieces.drain(..) {
+            let eligible = weights.participates[piece.row][p]
+                && parent.is_none_or(|pp| piece.keys[pp].is_some());
+            if !eligible {
+                done.push(piece);
+                continue;
+            }
+            let anc_keys: Vec<Option<u64>> = ancestors.iter().map(|&a| piece.keys[a]).collect();
+            let id_bins: Vec<u32> = identifier.iter().map(|&c| rows[piece.row][c]).collect();
+            groups.entry((anc_keys, id_bins)).or_default().push(piece);
+        }
+
+        let mut counter: u64 = 0;
+        // Leftover merged sets that never filled a unit: (pieces, weight).
+        let mut leftovers: Vec<(Vec<Piece>, f64)> = Vec::new();
+
+        for (_gk, group) in groups {
+            let mut acc = 0.0f64;
+            let mut current: Vec<Piece> = Vec::new();
+            for mut piece in group {
+                let row_unit = piece.effective_weight(schema, weights, p) / piece.fraction.max(EPS);
+                let mut w = row_unit * piece.fraction;
+                // Carve unit chunks while the accumulated mass fills keys.
+                while acc + w >= 1.0 - EPS {
+                    let take = (1.0 - acc).max(0.0);
+                    let take_fraction = if row_unit > 0.0 { take / row_unit } else { 0.0 };
+                    counter += 1;
+                    let key = counter;
+                    // The chunk of this piece belonging to the new key.
+                    let mut head = piece.clone();
+                    head.fraction = take_fraction.min(piece.fraction);
+                    head.keys[p] = Some(key);
+                    // Everything accumulated so far merges under this key.
+                    for mut prev in current.drain(..) {
+                        prev.keys[p] = Some(key);
+                        done.push(prev);
+                    }
+                    pk_tuples[p].push(PkTuple {
+                        key,
+                        row: head.row,
+                        parent_key: parent
+                            .map(|pp| head.keys[pp].expect("eligibility checked parent key")),
+                    });
+                    piece.fraction -= head.fraction;
+                    done.push(head);
+                    w -= take;
+                    acc = 0.0;
+                    if piece.fraction <= EPS {
+                        break;
+                    }
+                }
+                if piece.fraction > EPS && w > EPS {
+                    acc += w;
+                    current.push(piece);
+                }
+            }
+            if acc > EPS && !current.is_empty() {
+                leftovers.push((current, acc));
+            }
+        }
+
+        // Systematic weighted resampling of leftover sets (see module docs).
+        let total_tail: f64 = leftovers.iter().map(|(_, w)| w).sum();
+        let n_keys = total_tail.round() as u64;
+        if n_keys > 0 {
+            let spacing = total_tail / n_keys as f64;
+            let mut next_mark = spacing / 2.0;
+            let mut cum = 0.0f64;
+            for (mut set, w) in leftovers {
+                cum += w;
+                let selected = next_mark < cum - EPS;
+                if selected {
+                    // Consume every mark inside this set (a set wider than
+                    // the spacing would deserve several keys; we assign one
+                    // — the case requires w ≈ 1 and is vanishingly rare).
+                    while next_mark < cum - EPS {
+                        next_mark += spacing;
+                    }
+                    counter += 1;
+                    let key = counter;
+                    // Inclusion probability π = w / spacing (≤ 1 since w < 1
+                    // and spacing ≈ 1); boost descendants by 1/π.
+                    let pi = (w / spacing).min(1.0);
+                    let rep = set[0].clone();
+                    pk_tuples[p].push(PkTuple {
+                        key,
+                        row: rep.row,
+                        parent_key: parent.map(|pp| rep.keys[pp].expect("parent key present")),
+                    });
+                    for mut piece in set.drain(..) {
+                        piece.keys[p] = Some(key);
+                        piece.boost[p] = 1.0 / pi.max(EPS);
+                        done.push(piece);
+                    }
+                } else {
+                    done.append(&mut set);
+                }
+            }
+        } else {
+            for (mut set, _) in leftovers {
+                done.append(&mut set);
+            }
+        }
+        pieces = done;
+    }
+
+    AssignedKeys { pieces, pk_tuples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::weigh_samples;
+    use sam_ar::{ArSchema, EncodingOptions};
+    use sam_storage::{paper_example, DatabaseStats};
+
+    fn schema() -> ArSchema {
+        let db = paper_example::figure3_database();
+        let stats = DatabaseStats::from_database(&db);
+        ArSchema::build(db.schema(), &stats, &[], &EncodingOptions::default()).unwrap()
+    }
+
+    /// The Figure 3(c) samples: see weights.rs tests for the layout.
+    fn figure3c_rows() -> Vec<ModelRow> {
+        vec![
+            vec![0, 1, 1, 0, 1, 2, 0],
+            vec![0, 1, 2, 1, 1, 2, 0],
+            vec![0, 1, 2, 2, 1, 2, 1],
+            vec![1, 0, 0, 0, 0, 0, 0],
+        ]
+    }
+
+    #[test]
+    fn paper_walkthrough_assigns_four_keys() {
+        let s = schema();
+        let rows = figure3c_rows();
+        let w = weigh_samples(&s, &rows);
+        let assigned = assign_keys_group_merge(&s, &rows, &w);
+        // |A| = 4 keys: one from group 1, one merged from group 2, two from
+        // the weight-2 sample in group 3.
+        assert_eq!(assigned.pk_tuples[0].len(), 4);
+        let keys: Vec<u64> = assigned.pk_tuples[0].iter().map(|t| t.key).collect();
+        assert_eq!(keys, vec![1, 2, 3, 4]);
+        // Root tuples carry no parent key.
+        assert!(assigned.pk_tuples[0].iter().all(|t| t.parent_key.is_none()));
+        // No keys for B/C (nothing references them).
+        assert!(assigned.pk_tuples[1].is_empty());
+        assert!(assigned.pk_tuples[2].is_empty());
+    }
+
+    #[test]
+    fn samples_two_and_three_merge_under_one_key() {
+        let s = schema();
+        let rows = figure3c_rows();
+        let w = weigh_samples(&s, &rows);
+        let assigned = assign_keys_group_merge(&s, &rows, &w);
+        let key_of = |row: usize| -> Vec<u64> {
+            assigned
+                .pieces
+                .iter()
+                .filter(|p| p.row == row)
+                .filter_map(|p| p.keys[0])
+                .collect()
+        };
+        let k1 = key_of(1);
+        let k2 = key_of(2);
+        assert_eq!(k1.len(), 1);
+        assert_eq!(k1, k2, "merged samples must share the key");
+    }
+
+    #[test]
+    fn high_weight_sample_splits_into_two_keys() {
+        let s = schema();
+        let rows = figure3c_rows();
+        let w = weigh_samples(&s, &rows);
+        let assigned = assign_keys_group_merge(&s, &rows, &w);
+        let keys: Vec<u64> = assigned
+            .pieces
+            .iter()
+            .filter(|p| p.row == 3)
+            .filter_map(|p| p.keys[0])
+            .collect();
+        assert_eq!(keys.len(), 2, "weight-2 sample yields two pk tuples");
+        assert_ne!(keys[0], keys[1]);
+        for p in assigned.pieces.iter().filter(|p| p.row == 3) {
+            assert!((p.fraction - 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn groups_never_merge_across_identifier_values() {
+        let s = schema();
+        let rows = figure3c_rows();
+        let w = weigh_samples(&s, &rows);
+        let assigned = assign_keys_group_merge(&s, &rows, &w);
+        let k0: Vec<u64> = assigned
+            .pieces
+            .iter()
+            .filter(|p| p.row == 0)
+            .filter_map(|p| p.keys[0])
+            .collect();
+        let k1: Vec<u64> = assigned
+            .pieces
+            .iter()
+            .filter(|p| p.row == 1)
+            .filter_map(|p| p.keys[0])
+            .collect();
+        assert!(!k0.is_empty() && !k1.is_empty());
+        assert_ne!(k0[0], k1[0]);
+    }
+
+    #[test]
+    fn leftover_resampling_assigns_about_total_tail_keys() {
+        // Three distinct groups with weight 0.4 each: ~1 key in total, and
+        // the surviving pieces carry a boost ≈ 1/0.4 ≈ 2.5... capped by π≤1.
+        let s = schema();
+        let rows: Vec<ModelRow> = vec![
+            vec![0, 1, 1, 0, 1, 1, 0],
+            vec![0, 1, 1, 1, 1, 2, 1],
+            vec![1, 0, 0, 0, 0, 0, 0],
+        ];
+        let mut w = weigh_samples(&s, &rows);
+        for r in 0..3 {
+            w.scaled[r][0] = 0.4;
+        }
+        let assigned = assign_keys_group_merge(&s, &rows, &w);
+        assert_eq!(assigned.pk_tuples[0].len(), 1);
+        // The keyed piece is boosted; unkeyed pieces are not.
+        for p in &assigned.pieces {
+            if p.keys[0].is_some() {
+                assert!(p.boost[0] > 1.0);
+            } else {
+                assert_eq!(p.boost[0], 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn leftover_mass_is_preserved_in_expectation() {
+        // Many small groups: #keys ≈ |T| and total boosted child mass stays
+        // close to the unboosted total.
+        let s = schema();
+        // 40 rows alternating identifier signatures, each weight 0.1 for A.
+        let mut rows: Vec<ModelRow> = Vec::new();
+        for i in 0..40u32 {
+            // Vary F_B between 1 and 2 to alternate identifier groups.
+            let fb = 1 + (i % 2);
+            rows.push(vec![0, 1, fb, (i % 3), 1, 1, (i % 2)]);
+        }
+        let mut w = weigh_samples(&s, &rows);
+        for r in 0..rows.len() {
+            w.scaled[r][0] = 0.1;
+            w.scaled[r][1] = 0.075; // B mass: 3 total
+        }
+        let assigned = assign_keys_group_merge(&s, &rows, &w);
+        // 40 × 0.1 = 4 keys expected (two groups of weight 2 each → exactly
+        // 2 keys per group by carving).
+        assert_eq!(assigned.pk_tuples[0].len(), 4);
+        // Every piece that got a key contributes B mass; total effective B
+        // mass over keyed pieces ≈ 3.
+        let total_b: f64 = assigned
+            .pieces
+            .iter()
+            .filter(|p| p.keys[0].is_some())
+            .map(|p| p.effective_weight(&s, &w, 1))
+            .sum();
+        assert!((total_b - 3.0).abs() < 0.5, "B mass {total_b}");
+    }
+}

@@ -1,0 +1,205 @@
+//! Synthetic Census-like dataset (substitution for UCI Adult/Census \[2\]).
+//!
+//! Matches the published shape: 14 columns, a mix of categoricals and
+//! numerics, domain sizes from 2 to ~123, and strong cross-column
+//! correlations (education drives education-num and income; age and hours
+//! interact with income; occupation depends on workclass) — the structure
+//! SAM must learn through cardinality constraints alone.
+
+use crate::util::{gaussian_int, weighted_index, zipf_weights};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use sam_storage::{ColumnDef, DataType, Database, Table, TableSchema, Value};
+
+const WORKCLASS: usize = 9;
+const EDUCATION: usize = 16;
+const MARITAL: usize = 7;
+const OCCUPATION: usize = 15;
+const RELATIONSHIP: usize = 6;
+const RACE: usize = 5;
+const COUNTRY: usize = 42;
+
+/// Schema of the synthetic census relation (14 columns).
+pub fn census_schema() -> TableSchema {
+    TableSchema::new(
+        "census",
+        vec![
+            ColumnDef::content("age", DataType::Int),       // 17..=90
+            ColumnDef::content("workclass", DataType::Int), // 9
+            ColumnDef::content("education", DataType::Int), // 16
+            ColumnDef::content("education_num", DataType::Int), // 16
+            ColumnDef::content("marital_status", DataType::Int), // 7
+            ColumnDef::content("occupation", DataType::Int), // 15
+            ColumnDef::content("relationship", DataType::Int), // 6
+            ColumnDef::content("race", DataType::Int),      // 5
+            ColumnDef::content("sex", DataType::Int),       // 2
+            ColumnDef::content("capital_gain", DataType::Int), // ~120 buckets
+            ColumnDef::content("capital_loss", DataType::Int), // ~95 buckets
+            ColumnDef::content("hours_per_week", DataType::Int), // 1..=99
+            ColumnDef::content("native_country", DataType::Int), // 42
+            ColumnDef::content("income", DataType::Int),    // 2
+        ],
+    )
+}
+
+/// Generate the synthetic census relation with `rows` tuples.
+pub fn census(rows: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let workclass_w = zipf_weights(WORKCLASS, 1.1);
+    let education_w = zipf_weights(EDUCATION, 0.7);
+    let country_w = zipf_weights(COUNTRY, 1.6);
+
+    let mut data = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let age = gaussian_int(38.0, 13.0, 17, 90, &mut rng);
+        let workclass = weighted_index(&workclass_w, &mut rng) as i64;
+        let education = weighted_index(&education_w, &mut rng) as i64;
+        // education_num is a noisy monotone function of education.
+        let education_num = (education + rng.gen_range(-1i64..=1)).clamp(0, EDUCATION as i64 - 1);
+        // Marital status correlates with age.
+        let marital = if age < 25 {
+            if rng.gen_bool(0.8) {
+                0
+            } else {
+                rng.gen_range(1..MARITAL as i64)
+            }
+        } else if rng.gen_bool(0.55) {
+            1
+        } else {
+            rng.gen_range(0..MARITAL as i64)
+        };
+        // Occupation depends on workclass and education.
+        let occupation =
+            ((workclass * 2 + education / 3 + rng.gen_range(0..4)) as usize % OCCUPATION) as i64;
+        let relationship = if marital == 1 {
+            if rng.gen_bool(0.7) {
+                0
+            } else {
+                rng.gen_range(1..RELATIONSHIP as i64)
+            }
+        } else {
+            rng.gen_range(0..RELATIONSHIP as i64)
+        };
+        let race = weighted_index(&zipf_weights(RACE, 1.8), &mut rng) as i64;
+        let sex = if rng.gen_bool(0.52) { 0 } else { 1 };
+        // Capital gain: mostly zero, heavy bucketed tail.
+        let capital_gain = if rng.gen_bool(0.90) {
+            0
+        } else {
+            (rng.gen_range(1..120i64)) * 500
+        };
+        let capital_loss = if rng.gen_bool(0.95) {
+            0
+        } else {
+            rng.gen_range(1..95i64) * 20
+        };
+        let hours = gaussian_int(40.0, 12.0, 1, 99, &mut rng);
+        let country = weighted_index(&country_w, &mut rng) as i64;
+        // Income: logistic-ish in education_num, age, hours, capital gain.
+        let score = 0.35 * education_num as f64
+            + 0.04 * age as f64
+            + 0.03 * hours as f64
+            + if capital_gain > 0 { 2.0 } else { 0.0 }
+            - 6.0;
+        let p = 1.0 / (1.0 + (-score).exp());
+        let income = if rng.gen_bool(p.clamp(0.01, 0.99)) {
+            1
+        } else {
+            0
+        };
+
+        data.push(vec![
+            Value::Int(age),
+            Value::Int(workclass),
+            Value::Int(education),
+            Value::Int(education_num),
+            Value::Int(marital),
+            Value::Int(occupation),
+            Value::Int(relationship),
+            Value::Int(race),
+            Value::Int(sex),
+            Value::Int(capital_gain),
+            Value::Int(capital_loss),
+            Value::Int(hours),
+            Value::Int(country),
+            Value::Int(income),
+        ]);
+    }
+    let table = Table::from_rows(census_schema(), &data).expect("census rows match schema");
+    Database::single(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let db = census(2000, 1);
+        let t = db.table_by_name("census").unwrap();
+        assert_eq!(t.num_rows(), 2000);
+        assert_eq!(t.schema().arity(), 14);
+        // Domain sizes within the published 2..=123 band (small samples may
+        // not realise every value; check bounds).
+        for c in 0..t.num_columns() {
+            let d = t.column(c).domain().len();
+            assert!(d >= 2, "col {c} domain {d}");
+            assert!(d <= 130, "col {c} domain {d}");
+        }
+        // sex and income are binary.
+        assert_eq!(t.column_by_name("sex").unwrap().domain().len(), 2);
+        assert_eq!(t.column_by_name("income").unwrap().domain().len(), 2);
+    }
+
+    #[test]
+    fn determinism() {
+        let a = census(100, 7);
+        let b = census(100, 7);
+        let ta = a.table_by_name("census").unwrap();
+        let tb = b.table_by_name("census").unwrap();
+        for r in 0..100 {
+            assert_eq!(ta.row(r), tb.row(r));
+        }
+    }
+
+    #[test]
+    fn income_correlates_with_education() {
+        let db = census(8000, 3);
+        let t = db.table_by_name("census").unwrap();
+        let edu = t.column_by_name("education_num").unwrap();
+        let inc = t.column_by_name("income").unwrap();
+        let mut hi = (0u32, 0u32); // (high-edu rows, high-edu & income=1)
+        let mut lo = (0u32, 0u32);
+        for r in 0..t.num_rows() {
+            let e = edu.value(r).as_int().unwrap();
+            let i = inc.value(r).as_int().unwrap();
+            if e >= 12 {
+                hi.0 += 1;
+                hi.1 += i as u32;
+            } else if e <= 4 {
+                lo.0 += 1;
+                lo.1 += i as u32;
+            }
+        }
+        let p_hi = hi.1 as f64 / hi.0.max(1) as f64;
+        let p_lo = lo.1 as f64 / lo.0.max(1) as f64;
+        assert!(
+            p_hi > p_lo + 0.15,
+            "income|high-edu {p_hi} vs income|low-edu {p_lo}"
+        );
+    }
+
+    #[test]
+    fn capital_gain_is_zero_heavy() {
+        let db = census(4000, 5);
+        let t = db.table_by_name("census").unwrap();
+        let zeros = t
+            .column_by_name("capital_gain")
+            .unwrap()
+            .iter()
+            .filter(|v| *v == Value::Int(0))
+            .count();
+        let f = zeros as f64 / 4000.0;
+        assert!(f > 0.8 && f < 0.99, "zero fraction {f}");
+    }
+}

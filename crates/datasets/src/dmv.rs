@@ -1,0 +1,174 @@
+//! Synthetic DMV-like dataset (substitution for the New York vehicle
+//! registration data \[37\]).
+//!
+//! Matches the published shape: 11 columns with wildly different domain
+//! sizes (2 up to ~2101), dominated by categoricals with a couple of
+//! large-domain numerics, plus the correlations a registration file shows:
+//! body type determines registration class and weight range; fuel follows
+//! body type; suspension/revocation flags are rare and co-occur.
+
+use crate::util::{gaussian_int, weighted_index, zipf_weights};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use sam_storage::{ColumnDef, DataType, Database, Table, TableSchema, Value};
+
+const RECORD_TYPE: usize = 4;
+const REG_CLASS: usize = 75;
+const STATE: usize = 67;
+const COUNTY: usize = 62;
+const BODY: usize = 35;
+const FUEL: usize = 9;
+const COLOR: usize = 225;
+
+/// Schema of the synthetic DMV relation (11 columns).
+pub fn dmv_schema() -> TableSchema {
+    TableSchema::new(
+        "dmv",
+        vec![
+            ColumnDef::content("record_type", DataType::Int), // 4
+            ColumnDef::content("reg_class", DataType::Int),   // 75
+            ColumnDef::content("state", DataType::Int),       // 67
+            ColumnDef::content("county", DataType::Int),      // 62
+            ColumnDef::content("body_type", DataType::Int),   // 35
+            ColumnDef::content("fuel_type", DataType::Int),   // 9
+            ColumnDef::content("color", DataType::Int),       // 225
+            ColumnDef::content("unladen_weight", DataType::Int), // ~2101
+            ColumnDef::content("scofflaw", DataType::Int),    // 2
+            ColumnDef::content("suspension", DataType::Int),  // 2
+            ColumnDef::content("revocation", DataType::Int),  // 2
+        ],
+    )
+}
+
+/// Generate the synthetic DMV relation with `rows` tuples.
+pub fn dmv(rows: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let state_w = zipf_weights(STATE, 2.2); // one home state dominates
+    let county_w = zipf_weights(COUNTY, 0.9);
+    let color_w = zipf_weights(COLOR, 1.3);
+    let body_w = zipf_weights(BODY, 1.2);
+
+    let mut data = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let record_type = weighted_index(&zipf_weights(RECORD_TYPE, 1.5), &mut rng) as i64;
+        let body = weighted_index(&body_w, &mut rng) as i64;
+        // Registration class strongly follows body type.
+        let reg_class = ((body * 2 + rng.gen_range(0..3)) as usize % REG_CLASS) as i64;
+        let state = weighted_index(&state_w, &mut rng) as i64;
+        // County only meaningful in-state; out-of-state pools into county 0.
+        let county = if state == 0 {
+            weighted_index(&county_w, &mut rng) as i64
+        } else {
+            0
+        };
+        // Fuel follows body type: heavy bodies skew diesel (1).
+        let fuel = if body >= 20 {
+            if rng.gen_bool(0.6) {
+                1
+            } else {
+                rng.gen_range(0..FUEL as i64)
+            }
+        } else if rng.gen_bool(0.8) {
+            0
+        } else {
+            rng.gen_range(0..FUEL as i64)
+        };
+        let color = weighted_index(&color_w, &mut rng) as i64;
+        // Weight range keyed to body type; ~2101 distinct values overall.
+        let base = 900 + body * 55;
+        let weight = gaussian_int(base as f64, 180.0, 500, 2600, &mut rng);
+        let scofflaw = i64::from(rng.gen_bool(0.02));
+        // Suspension rare, revocation mostly conditioned on suspension.
+        let suspension = i64::from(rng.gen_bool(0.04));
+        let revocation = if suspension == 1 {
+            i64::from(rng.gen_bool(0.5))
+        } else {
+            i64::from(rng.gen_bool(0.005))
+        };
+
+        data.push(vec![
+            Value::Int(record_type),
+            Value::Int(reg_class),
+            Value::Int(state),
+            Value::Int(county),
+            Value::Int(body),
+            Value::Int(fuel),
+            Value::Int(color),
+            Value::Int(weight),
+            Value::Int(scofflaw),
+            Value::Int(suspension),
+            Value::Int(revocation),
+        ]);
+    }
+    let table = Table::from_rows(dmv_schema(), &data).expect("dmv rows match schema");
+    Database::single(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let db = dmv(5000, 1);
+        let t = db.table_by_name("dmv").unwrap();
+        assert_eq!(t.num_rows(), 5000);
+        assert_eq!(t.schema().arity(), 11);
+        // Binary flags and a large numeric domain.
+        assert_eq!(t.column_by_name("scofflaw").unwrap().domain().len(), 2);
+        let weight_domain = t.column_by_name("unladen_weight").unwrap().domain().len();
+        assert!(
+            weight_domain > 500,
+            "weight should have a large domain, got {weight_domain}"
+        );
+        assert!(weight_domain <= 2101);
+    }
+
+    #[test]
+    fn determinism() {
+        let a = dmv(50, 9);
+        let b = dmv(50, 9);
+        for r in 0..50 {
+            assert_eq!(
+                a.table_by_name("dmv").unwrap().row(r),
+                b.table_by_name("dmv").unwrap().row(r)
+            );
+        }
+    }
+
+    #[test]
+    fn weight_correlates_with_body_type() {
+        let db = dmv(6000, 4);
+        let t = db.table_by_name("dmv").unwrap();
+        let body = t.column_by_name("body_type").unwrap();
+        let w = t.column_by_name("unladen_weight").unwrap();
+        let (mut light_sum, mut light_n, mut heavy_sum, mut heavy_n) = (0f64, 0u32, 0f64, 0u32);
+        for r in 0..t.num_rows() {
+            let b = body.value(r).as_int().unwrap();
+            let wt = w.value(r).as_int().unwrap() as f64;
+            if b <= 3 {
+                light_sum += wt;
+                light_n += 1;
+            } else if b >= 20 {
+                heavy_sum += wt;
+                heavy_n += 1;
+            }
+        }
+        let light = light_sum / light_n.max(1) as f64;
+        let heavy = heavy_sum / heavy_n.max(1) as f64;
+        assert!(heavy > light + 400.0, "heavy {heavy} vs light {light}");
+    }
+
+    #[test]
+    fn home_state_dominates() {
+        let db = dmv(4000, 2);
+        let t = db.table_by_name("dmv").unwrap();
+        let home = t
+            .column_by_name("state")
+            .unwrap()
+            .iter()
+            .filter(|v| *v == Value::Int(0))
+            .count();
+        assert!(home as f64 / 4000.0 > 0.5);
+    }
+}

@@ -1,0 +1,260 @@
+//! Synthetic IMDB / JOB-light-like database (substitution for [18, 19]).
+//!
+//! The JOB-light schema: a central `title` relation joined by five fact
+//! relations through `movie_id` foreign keys (a star — the acyclic tree SAM
+//! requires). The generator reproduces the traits the benchmark leans on:
+//! skewed, correlated fanouts (popular recent movies accumulate cast/info
+//! rows; a sizeable share of titles join *nothing*, putting NULL rows in the
+//! full outer join), content columns correlated with the title side, and —
+//! crucially — a **latent per-title factor** (think genre/production scale)
+//! that correlates the *sibling* fact relations with each other without
+//! being observable in any `title` column. This is what real IMDB data has
+//! and what view-based key assignment cannot preserve (paper Figure 4):
+//! matching on title content alone severs latent-mediated correlations.
+
+use crate::util::{gaussian_int, weighted_index, zipf_weights};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use sam_storage::{
+    ColumnDef, DataType, Database, DatabaseSchema, ForeignKeyEdge, Table, TableSchema, Value,
+};
+
+/// Scale/shape knobs for the synthetic IMDB database.
+#[derive(Debug, Clone)]
+pub struct ImdbConfig {
+    /// Number of `title` rows.
+    pub titles: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Mean fanout of each fact table (before zeros).
+    pub mean_fanout: f64,
+    /// Fraction of titles joining nothing in a given fact table.
+    pub zero_fraction: f64,
+}
+
+impl Default for ImdbConfig {
+    fn default() -> Self {
+        ImdbConfig {
+            titles: 2_000,
+            seed: 0,
+            mean_fanout: 2.5,
+            zero_fraction: 0.25,
+        }
+    }
+}
+
+const KINDS: usize = 6;
+const ROLES: usize = 11;
+const COMPANY_TYPES: usize = 2;
+const INFO_TYPES: usize = 110;
+const INFO_IDX_TYPES: usize = 5;
+const KEYWORDS: usize = 100;
+
+/// The JOB-light database schema (6 relations, star on `title`).
+pub fn imdb_schema() -> DatabaseSchema {
+    let title = TableSchema::new(
+        "title",
+        vec![
+            ColumnDef::primary_key("id"),
+            ColumnDef::content("kind_id", DataType::Int), // 6
+            ColumnDef::content("production_year", DataType::Int), // ~140
+        ],
+    );
+    let fact = |name: &str, col: &str| {
+        TableSchema::new(
+            name,
+            vec![
+                ColumnDef::foreign_key("movie_id", "title"),
+                ColumnDef::content(col, DataType::Int),
+            ],
+        )
+    };
+    let tables = vec![
+        title,
+        fact("cast_info", "role_id"),
+        fact("movie_companies", "company_type_id"),
+        fact("movie_info", "info_type_id"),
+        fact("movie_info_idx", "info_type_id"),
+        fact("movie_keyword", "keyword_id"),
+    ];
+    let edges = [
+        "cast_info",
+        "movie_companies",
+        "movie_info",
+        "movie_info_idx",
+        "movie_keyword",
+    ]
+    .iter()
+    .map(|t| ForeignKeyEdge {
+        pk_table: "title".into(),
+        fk_table: (*t).into(),
+        fk_column: "movie_id".into(),
+    })
+    .collect();
+    DatabaseSchema::new(tables, edges).expect("JOB-light schema is a valid star")
+}
+
+/// Generate the synthetic IMDB database.
+pub fn imdb(config: &ImdbConfig) -> Database {
+    let schema = imdb_schema();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Titles: production year 1880..2019 with recency skew; kind zipf.
+    let kind_w = zipf_weights(KINDS, 1.0);
+    let mut titles = Vec::with_capacity(config.titles);
+    // Per-title popularity drives every fact table's fanout (correlated
+    // fanouts are what make the FOJ interesting).
+    let mut popularity = Vec::with_capacity(config.titles);
+    // Latent per-title factor: influences every fact table's content and
+    // fanout but is NOT a title column.
+    let mut latent = Vec::with_capacity(config.titles);
+    for i in 0..config.titles {
+        let kind = weighted_index(&kind_w, &mut rng) as i64;
+        let year = 2019 - (140.0 * rng.gen_range(0.0f64..1.0).powf(2.5)) as i64;
+        titles.push(vec![
+            Value::Int((i + 1) as i64),
+            Value::Int(kind),
+            Value::Int(year),
+        ]);
+        let l = rng.gen_range(0..4usize);
+        latent.push(l);
+        // Newer movies, kind 0 (movie), and high-latent titles are popular.
+        let recency = ((year - 1880) as f64 / 140.0).clamp(0.0, 1.0);
+        let kind_boost = if kind == 0 { 1.5 } else { 1.0 };
+        let latent_boost = 0.6 + 0.35 * l as f64;
+        popularity.push((0.3 + recency) * kind_boost * latent_boost * rng.gen_range(0.7f64..1.3));
+    }
+    let title_table = Table::from_rows(schema.table("title").unwrap().clone(), &titles)
+        .expect("title rows match schema");
+
+    // Fact tables: fanout ~ popularity-scaled geometric with zero inflation.
+    let fact_specs: [(&str, usize, f64); 5] = [
+        ("cast_info", ROLES, 1.4),
+        ("movie_companies", COMPANY_TYPES, 0.5),
+        ("movie_info", INFO_TYPES, 1.2),
+        ("movie_info_idx", INFO_IDX_TYPES, 0.4),
+        ("movie_keyword", KEYWORDS, 0.9),
+    ];
+    let mut tables = vec![title_table];
+    for (name, domain, fanout_scale) in fact_specs {
+        let content_w = zipf_weights(domain, 1.1);
+        let mut rows = Vec::new();
+        for (i, &pop) in popularity.iter().enumerate() {
+            if rng.gen_bool(config.zero_fraction) {
+                continue;
+            }
+            let mean = (config.mean_fanout * fanout_scale * pop).max(0.2);
+            let fanout = gaussian_int(mean, mean.sqrt(), 1, (mean * 6.0).ceil() as i64, &mut rng);
+            let movie_id = (i + 1) as i64;
+            let year = titles[i][2].as_int().unwrap();
+            for _ in 0..fanout {
+                // Content correlated with the title's year bucket AND the
+                // latent factor — the latter induces sibling-to-sibling
+                // correlation invisible from title's columns.
+                let shift = ((2019 - year) / 20) as usize + latent[i] * (domain / 4).max(1);
+                let c = (weighted_index(&content_w, &mut rng) + shift) % domain;
+                rows.push(vec![Value::Int(movie_id), Value::Int(c as i64)]);
+            }
+        }
+        tables.push(
+            Table::from_rows(schema.table(name).unwrap().clone(), &rows)
+                .expect("fact rows match schema"),
+        );
+    }
+
+    Database::new(schema, tables, cfg!(debug_assertions)).expect("synthetic IMDB is consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sam_storage::foj_size;
+
+    #[test]
+    fn schema_is_job_light() {
+        let s = imdb_schema();
+        assert_eq!(s.tables().len(), 6);
+        assert_eq!(s.edges().len(), 5);
+        let g = sam_storage::JoinGraph::new(&s).unwrap();
+        assert_eq!(g.root(), g.index_of("title").unwrap());
+        assert_eq!(g.children(g.root()).len(), 5);
+    }
+
+    #[test]
+    fn generates_consistent_star() {
+        let db = imdb(&ImdbConfig {
+            titles: 300,
+            seed: 1,
+            ..Default::default()
+        });
+        assert_eq!(db.table_by_name("title").unwrap().num_rows(), 300);
+        for t in ["cast_info", "movie_info", "movie_keyword"] {
+            assert!(db.table_by_name(t).unwrap().num_rows() > 0);
+        }
+        // FOJ is larger than any base relation (fanout effect).
+        let foj = foj_size(&db);
+        assert!(foj as usize >= db.table_by_name("title").unwrap().num_rows());
+    }
+
+    #[test]
+    fn some_titles_join_nothing() {
+        let db = imdb(&ImdbConfig {
+            titles: 500,
+            seed: 3,
+            ..Default::default()
+        });
+        let cast = db.graph().index_of("cast_info").unwrap();
+        let fanouts = db.fanout_of(cast).unwrap();
+        // Some pk values absent → zero fanout → NULL rows in the FOJ.
+        assert!(fanouts.len() < 500, "all titles joined cast_info");
+    }
+
+    #[test]
+    fn fanout_correlates_with_recency() {
+        let db = imdb(&ImdbConfig {
+            titles: 2000,
+            seed: 5,
+            ..Default::default()
+        });
+        let title = db.table_by_name("title").unwrap();
+        let cast = db.graph().index_of("cast_info").unwrap();
+        let fanouts = db.fanout_of(cast).unwrap();
+        let (mut new_sum, mut new_n, mut old_sum, mut old_n) = (0f64, 0u32, 0f64, 0u32);
+        for r in 0..title.num_rows() {
+            let id = title.value(r, 0);
+            let year = title.value(r, 2).as_int().unwrap();
+            let f = fanouts.get(&id).copied().unwrap_or(0) as f64;
+            if year >= 2005 {
+                new_sum += f;
+                new_n += 1;
+            } else if year <= 1960 {
+                old_sum += f;
+                old_n += 1;
+            }
+        }
+        let new_mean = new_sum / new_n.max(1) as f64;
+        let old_mean = old_sum / old_n.max(1) as f64;
+        assert!(
+            new_mean > old_mean,
+            "recent titles should fan out more: {new_mean} vs {old_mean}"
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let a = imdb(&ImdbConfig {
+            titles: 100,
+            seed: 11,
+            ..Default::default()
+        });
+        let b = imdb(&ImdbConfig {
+            titles: 100,
+            seed: 11,
+            ..Default::default()
+        });
+        assert_eq!(
+            a.table_by_name("cast_info").unwrap().num_rows(),
+            b.table_by_name("cast_info").unwrap().num_rows()
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! # sam-datasets — synthetic stand-ins for the paper's datasets
+//!
+//! Seeded generators matching the published *shape* of Census (48K×14,
+//! domains 2–123), DMV (11.6M×11, domains 2–2101 — scaled down here), and
+//! the IMDB/JOB-light star (6 relations, skewed correlated fanouts, zero-
+//! fanout titles). See DESIGN.md for the substitution rationale: SAM only
+//! observes (query, cardinality) pairs and schema metadata, so correlated
+//! synthetics with the same shape exercise identical code paths.
+
+#![warn(missing_docs)]
+
+pub mod census;
+pub mod dmv;
+pub mod imdb;
+pub mod util;
+
+pub use census::{census, census_schema};
+pub use dmv::{dmv, dmv_schema};
+pub use imdb::{imdb, imdb_schema, ImdbConfig};

@@ -1,0 +1,81 @@
+//! Shared sampling helpers for the synthetic dataset generators.
+
+use rand::Rng;
+
+/// Draw an index from unnormalised weights.
+///
+/// # Panics
+/// Panics if the weights are empty or sum to zero.
+pub fn weighted_index(weights: &[f64], rng: &mut impl Rng) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must have positive mass");
+    let mut u = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if u < w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+/// Zipf-like weights `1/(k+1)^s` for `n` categories.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    (0..n).map(|k| 1.0 / ((k + 1) as f64).powf(s)).collect()
+}
+
+/// Draw from a (rough) zipf over `0..n`.
+pub fn zipf(n: usize, s: f64, rng: &mut impl Rng) -> usize {
+    weighted_index(&zipf_weights(n, s), rng)
+}
+
+/// Draw a clamped, rounded gaussian via the central-limit trick (12 uniform
+/// draws), avoiding a dependency on rand_distr.
+pub fn gaussian_int(mean: f64, std: f64, lo: i64, hi: i64, rng: &mut impl Rng) -> i64 {
+    let z: f64 = (0..12).map(|_| rng.gen_range(0.0f64..1.0)).sum::<f64>() - 6.0;
+    ((mean + std * z).round() as i64).clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weighted_index_distribution() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = [1.0, 3.0];
+        let hits = (0..4000)
+            .filter(|_| weighted_index(&w, &mut rng) == 1)
+            .count();
+        let f = hits as f64 / 4000.0;
+        assert!((f - 0.75).abs() < 0.03, "freq {f}");
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 10];
+        for _ in 0..5000 {
+            counts[zipf(10, 1.2, &mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[4]);
+        assert!(counts[0] > counts[9]);
+    }
+
+    #[test]
+    fn gaussian_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = gaussian_int(50.0, 20.0, 0, 100, &mut rng);
+            assert!((0..=100).contains(&v));
+        }
+        // Mean roughly correct.
+        let mean: f64 = (0..2000)
+            .map(|_| gaussian_int(50.0, 10.0, 0, 100, &mut rng) as f64)
+            .sum::<f64>()
+            / 2000.0;
+        assert!((mean - 50.0).abs() < 2.0);
+    }
+}

@@ -1,0 +1,382 @@
+//! # sam-engine — an in-memory COUNT(*) execution engine
+//!
+//! The PostgreSQL substitute for the paper's performance-deviation
+//! experiments (Tables 8–9): a small but real executor — sequential scans
+//! with predicate filters, left-deep hash joins materialising intermediate
+//! match vectors, and a COUNT aggregate — whose wall-clock latency scales
+//! with scan sizes and join cardinalities exactly the way benchmark
+//! latencies do. Performance deviation compares the *same engine* on the
+//! original vs. the generated database, preserving the metric's meaning.
+
+#![warn(missing_docs)]
+
+use sam_query::{CodeSet, Query};
+use sam_storage::{Database, StorageError, Table, Value, NULL_CODE};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Execution counters (for tests and plan inspection).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Base rows scanned across all inputs.
+    pub rows_scanned: u64,
+    /// Tuples produced by all join steps combined.
+    pub rows_joined: u64,
+    /// Final count.
+    pub output: u64,
+}
+
+/// A query executor over one database.
+pub struct Engine<'db> {
+    db: &'db Database,
+}
+
+impl<'db> Engine<'db> {
+    /// Create an engine over `db`.
+    pub fn new(db: &'db Database) -> Self {
+        Engine { db }
+    }
+
+    /// Filtered row ids of one table (sequential scan + predicate filters).
+    fn scan(
+        &self,
+        table: &Table,
+        query: &Query,
+        stats: &mut ExecStats,
+    ) -> Result<Vec<usize>, StorageError> {
+        stats.rows_scanned += table.num_rows() as u64;
+        let preds = query.predicates_on(table.name());
+        let mut keep: Vec<bool> = vec![true; table.num_rows()];
+        for p in preds {
+            let ci = table
+                .schema()
+                .column_index(&p.column)
+                .ok_or_else(|| StorageError::UnknownColumn(p.table.clone(), p.column.clone()))?;
+            let col = table.column(ci);
+            let set = p.code_set(col.domain());
+            match set {
+                CodeSet::Range(r) => {
+                    for (row, k) in keep.iter_mut().enumerate() {
+                        let c = col.code(row);
+                        *k &= c != NULL_CODE && r.contains(&c);
+                    }
+                }
+                CodeSet::Set(s) => {
+                    for (row, k) in keep.iter_mut().enumerate() {
+                        let c = col.code(row);
+                        *k &= c != NULL_CODE && s.binary_search(&c).is_ok();
+                    }
+                }
+            }
+        }
+        Ok(keep
+            .iter()
+            .enumerate()
+            .filter(|(_, &k)| k)
+            .map(|(i, _)| i)
+            .collect())
+    }
+
+    /// Execute `SELECT COUNT(*)` and return the count with counters.
+    ///
+    /// Plan: scan + filter every closure table, then left-deep hash joins in
+    /// topological order (parent before child), materialising intermediate
+    /// key vectors; finally count. Time and memory are proportional to scan
+    /// sizes plus join output sizes, like a hash-join engine's.
+    pub fn count(&self, query: &Query) -> Result<(u64, ExecStats), StorageError> {
+        let mut stats = ExecStats::default();
+        let graph = self.db.graph();
+        let closure = query
+            .table_closure(graph)
+            .ok_or_else(|| StorageError::UnknownTable(query.tables.join(",")))?;
+
+        // Scans.
+        let mut filtered: HashMap<usize, Vec<usize>> = HashMap::new();
+        for &t in &closure {
+            let rows = self.scan(self.db.table(t), query, &mut stats)?;
+            filtered.insert(t, rows);
+        }
+
+        // Closure root: the table whose parent is outside the closure.
+        let root = closure
+            .iter()
+            .copied()
+            .find(|&t| graph.parent(t).is_none_or(|p| !closure.contains(&p)))
+            .expect("closure non-empty");
+
+        let order: Vec<usize> = graph
+            .topo_order()
+            .iter()
+            .copied()
+            .filter(|t| closure.contains(t))
+            .collect();
+
+        let pending_children = |t: usize| -> usize {
+            graph
+                .children(t)
+                .iter()
+                .filter(|c| closure.contains(c))
+                .count()
+        };
+
+        // Intermediate: per tuple, (table, pk value) for every bound table
+        // that still has closure children to join.
+        let root_table = self.db.table(root);
+        let root_pk = root_table.schema().pk_index();
+        let mut current: Vec<Vec<(usize, Value)>> = filtered[&root]
+            .iter()
+            .map(|&r| {
+                if pending_children(root) > 0 {
+                    let pk = root_pk.expect("root with children has pk");
+                    vec![(root, root_table.value(r, pk))]
+                } else {
+                    vec![]
+                }
+            })
+            .collect();
+
+        for &t in order.iter().skip(1) {
+            if t == root {
+                continue;
+            }
+            let parent = graph.parent(t).expect("non-root in closure");
+            let table = self.db.table(t);
+            let fk_name = graph.fk_column(t).expect("non-root fk");
+            let fk_idx = table
+                .schema()
+                .column_index(fk_name)
+                .ok_or_else(|| StorageError::UnknownColumn(table.name().into(), fk_name.into()))?;
+            // Build hash on the (filtered) child side.
+            let mut build: HashMap<Value, Vec<usize>> = HashMap::new();
+            for &r in &filtered[&t] {
+                let k = table.value(r, fk_idx);
+                if !k.is_null() {
+                    build.entry(k).or_default().push(r);
+                }
+            }
+            let t_pending = pending_children(t);
+            let t_pk = table.schema().pk_index();
+            // Probe with the running intermediate.
+            let mut next: Vec<Vec<(usize, Value)>> = Vec::new();
+            for tuple in &current {
+                let key = tuple
+                    .iter()
+                    .find(|(tt, _)| *tt == parent)
+                    .map(|(_, v)| v.clone())
+                    .expect("parent pk bound before child join");
+                if let Some(matches) = build.get(&key) {
+                    for &r in matches {
+                        let mut out = tuple.clone();
+                        if t_pending > 0 {
+                            let pk = t_pk.expect("table with children has pk");
+                            out.push((t, table.value(r, pk)));
+                        }
+                        next.push(out);
+                    }
+                }
+            }
+            stats.rows_joined += next.len() as u64;
+            current = next;
+        }
+
+        stats.output = current.len() as u64;
+        Ok((stats.output, stats))
+    }
+
+    /// Median wall-clock latency of `query` over `repeats` runs, in
+    /// milliseconds.
+    pub fn latency_ms(&self, query: &Query, repeats: usize) -> Result<f64, StorageError> {
+        let repeats = repeats.max(1);
+        let mut times = Vec::with_capacity(repeats);
+        for _ in 0..repeats {
+            let start = Instant::now();
+            let _ = self.count(query)?;
+            times.push(start.elapsed().as_secs_f64() * 1e3);
+        }
+        times.sort_unstable_by(|a, b| a.total_cmp(b));
+        Ok(times[times.len() / 2])
+    }
+}
+
+/// Per-query performance deviation: `|latency(generated) − latency(original)|`
+/// in milliseconds (paper §5.1, following Touchstone \[21\]).
+pub fn performance_deviation(
+    original: &Database,
+    generated: &Database,
+    queries: &[Query],
+    repeats: usize,
+) -> Result<Vec<f64>, StorageError> {
+    let orig = Engine::new(original);
+    let gen = Engine::new(generated);
+    queries
+        .iter()
+        .map(|q| {
+            let a = orig.latency_ms(q, repeats)?;
+            let b = gen.latency_ms(q, repeats)?;
+            Ok((a - b).abs())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sam_query::{evaluate_cardinality, CompareOp, Predicate, WorkloadGenerator};
+    use sam_storage::paper_example;
+
+    #[test]
+    fn counts_agree_with_reference_evaluator() {
+        let db = paper_example::figure3_database();
+        let engine = Engine::new(&db);
+        let queries = vec![
+            Query::single("A", vec![]),
+            Query::single("A", vec![Predicate::compare("A", "a", CompareOp::Eq, "m")]),
+            Query::join(vec!["A".into(), "B".into()], vec![]),
+            Query::join(vec!["B".into(), "C".into()], vec![]),
+            Query::join(
+                vec!["A".into(), "B".into(), "C".into()],
+                vec![Predicate::compare("C", "c", CompareOp::Ge, "j")],
+            ),
+        ];
+        for q in queries {
+            let (got, _) = engine.count(&q).unwrap();
+            let want = evaluate_cardinality(&db, &q).unwrap();
+            assert_eq!(got, want, "query {q}");
+        }
+    }
+
+    #[test]
+    fn counts_agree_on_random_workload() {
+        let db = paper_example::figure3_database();
+        let engine = Engine::new(&db);
+        let mut gen = WorkloadGenerator::new(&db, 17);
+        for q in gen.multi_workload(60, 2) {
+            let (got, _) = engine.count(&q).unwrap();
+            assert_eq!(got, evaluate_cardinality(&db, &q).unwrap(), "query {q}");
+        }
+    }
+
+    #[test]
+    fn stats_reflect_work() {
+        let db = paper_example::figure3_database();
+        let engine = Engine::new(&db);
+        let q = Query::join(vec!["A".into(), "B".into(), "C".into()], vec![]);
+        let (count, stats) = engine.count(&q).unwrap();
+        assert_eq!(count, 6);
+        assert_eq!(stats.rows_scanned, 4 + 3 + 4);
+        assert!(stats.rows_joined >= count);
+        assert_eq!(stats.output, 6);
+    }
+
+    #[test]
+    fn latency_is_positive_and_repeatable() {
+        let db = paper_example::figure3_database();
+        let engine = Engine::new(&db);
+        let q = Query::join(vec!["A".into(), "C".into()], vec![]);
+        let l = engine.latency_ms(&q, 5).unwrap();
+        assert!(l >= 0.0);
+        assert!(l < 1e3);
+    }
+
+    #[test]
+    fn performance_deviation_of_identical_dbs_is_small() {
+        let db = paper_example::figure3_database();
+        let queries = vec![
+            Query::single("A", vec![]),
+            Query::join(vec!["A".into(), "B".into()], vec![]),
+        ];
+        let dev = performance_deviation(&db, &db, &queries, 5).unwrap();
+        for d in dev {
+            assert!(d < 5.0, "deviation {d} ms on identical data");
+        }
+    }
+}
+
+#[cfg(test)]
+mod edge_case_tests {
+    use super::*;
+    use sam_query::{CompareOp, Predicate};
+    use sam_storage::{paper_example, ColumnDef, DataType, Table, TableSchema};
+
+    #[test]
+    fn impossible_predicate_returns_zero_fast() {
+        let db = paper_example::figure3_database();
+        let engine = Engine::new(&db);
+        let q = Query::single(
+            "A",
+            vec![Predicate::compare("A", "a", CompareOp::Eq, "zzz")],
+        );
+        let (count, stats) = engine.count(&q).unwrap();
+        assert_eq!(count, 0);
+        assert_eq!(stats.rows_scanned, 4);
+        assert_eq!(stats.rows_joined, 0);
+    }
+
+    #[test]
+    fn unknown_table_and_column_error_cleanly() {
+        let db = paper_example::figure3_database();
+        let engine = Engine::new(&db);
+        assert!(engine.count(&Query::single("Z", vec![])).is_err());
+        let q = Query::single(
+            "A",
+            vec![Predicate::compare("A", "nope", CompareOp::Eq, 1i64)],
+        );
+        assert!(engine.count(&q).is_err());
+    }
+
+    #[test]
+    fn null_fk_rows_never_join() {
+        use sam_storage::{DatabaseSchema, ForeignKeyEdge};
+        let a_schema = TableSchema::new(
+            "A",
+            vec![
+                ColumnDef::primary_key("x"),
+                ColumnDef::content("a", DataType::Int),
+            ],
+        );
+        let b_schema = TableSchema::new(
+            "B",
+            vec![
+                ColumnDef::foreign_key("x", "A"),
+                ColumnDef::content("b", DataType::Int),
+            ],
+        );
+        let schema = DatabaseSchema::new(
+            vec![a_schema.clone(), b_schema.clone()],
+            vec![ForeignKeyEdge {
+                pk_table: "A".into(),
+                fk_table: "B".into(),
+                fk_column: "x".into(),
+            }],
+        )
+        .unwrap();
+        let a = Table::from_rows(a_schema, &[vec![Value::Int(1), Value::Int(10)]]).unwrap();
+        // One joining row, one NULL-fk row (allowed: integrity skips NULLs).
+        let b = Table::from_rows(
+            b_schema,
+            &[
+                vec![Value::Int(1), Value::Int(5)],
+                vec![Value::Null, Value::Int(6)],
+            ],
+        )
+        .unwrap();
+        let db = sam_storage::Database::new(schema, vec![a, b], true).unwrap();
+        let engine = Engine::new(&db);
+        let q = Query::join(vec!["A".into(), "B".into()], vec![]);
+        let (count, _) = engine.count(&q).unwrap();
+        assert_eq!(count, 1, "NULL fk must not match any key");
+    }
+
+    #[test]
+    fn empty_filtered_build_side_short_circuits() {
+        let db = paper_example::figure3_database();
+        let engine = Engine::new(&db);
+        let q = Query::join(
+            vec!["A".into(), "B".into()],
+            vec![Predicate::compare("B", "b", CompareOp::Eq, "zzz")],
+        );
+        let (count, stats) = engine.count(&q).unwrap();
+        assert_eq!(count, 0);
+        assert_eq!(stats.rows_joined, 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Q-Error (Moerkotte et al. \[25\]) — the paper's fidelity metric.
+
+/// `Q-Error(est, truth) = max(est/truth, truth/est)` with both sides clamped
+/// to at least 1 (the convention learned-cardinality papers use so empty
+/// results do not divide by zero).
+pub fn q_error(estimate: f64, truth: f64) -> f64 {
+    let e = estimate.max(1.0);
+    let t = truth.max(1.0);
+    (e / t).max(t / e)
+}
+
+/// Q-Errors for paired (estimate, truth) slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn q_errors(estimates: &[f64], truths: &[f64]) -> Vec<f64> {
+    assert_eq!(estimates.len(), truths.len(), "paired slices required");
+    estimates
+        .iter()
+        .zip(truths)
+        .map(|(&e, &t)| q_error(e, t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_and_at_least_one() {
+        assert_eq!(q_error(10.0, 100.0), 10.0);
+        assert_eq!(q_error(100.0, 10.0), 10.0);
+        assert_eq!(q_error(42.0, 42.0), 1.0);
+    }
+
+    #[test]
+    fn zero_clamps_to_one() {
+        assert_eq!(q_error(0.0, 5.0), 5.0);
+        assert_eq!(q_error(5.0, 0.0), 5.0);
+        assert_eq!(q_error(0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn batch_matches_scalar() {
+        let e = [1.0, 10.0, 100.0];
+        let t = [2.0, 10.0, 1.0];
+        assert_eq!(q_errors(&e, &t), vec![2.0, 1.0, 100.0]);
+    }
+}

@@ -1,0 +1,215 @@
+//! Percentile summaries and plain-text table rendering in the paper's
+//! format (Median / 75th / 90th / Mean / Max).
+
+/// Percentile summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// 50th percentile.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sample count.
+    pub count: usize,
+}
+
+impl Percentiles {
+    /// Compute from raw values (NaNs are dropped; empty input yields NaNs).
+    pub fn from_values(values: &[f64]) -> Self {
+        let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+        if v.is_empty() {
+            return Percentiles {
+                median: f64::NAN,
+                p75: f64::NAN,
+                p90: f64::NAN,
+                p95: f64::NAN,
+                mean: f64::NAN,
+                max: f64::NAN,
+                count: 0,
+            };
+        }
+        v.sort_unstable_by(|a, b| a.total_cmp(b));
+        let pct = |p: f64| -> f64 {
+            // Nearest-rank with linear interpolation.
+            let rank = p * (v.len() - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            if lo == hi {
+                v[lo]
+            } else {
+                let f = rank - lo as f64;
+                v[lo] * (1.0 - f) + v[hi] * f
+            }
+        };
+        Percentiles {
+            median: pct(0.50),
+            p75: pct(0.75),
+            p90: pct(0.90),
+            p95: pct(0.95),
+            mean: v.iter().sum::<f64>() / v.len() as f64,
+            max: *v.last().expect("non-empty"),
+            count: v.len(),
+        }
+    }
+
+    /// The paper's standard row: `[median, 75th, 90th, mean, max]`.
+    pub fn paper_row(&self) -> [f64; 5] {
+        [self.median, self.p75, self.p90, self.mean, self.max]
+    }
+}
+
+/// Format a value the way the paper's tables do: two decimals below 100,
+/// scientific beyond 10⁴.
+pub fn format_paper(v: f64) -> String {
+    if !v.is_finite() {
+        return "-".into();
+    }
+    let a = v.abs();
+    if a >= 1e4 {
+        format!("{:.0e}", v)
+    } else if a >= 100.0 {
+        format!("{:.1}", v)
+    } else {
+        format!("{:.2}", v)
+    }
+}
+
+/// Render an aligned plain-text table: a header row plus labelled rows.
+pub fn render_table(title: &str, header: &[&str], rows: &[(String, Vec<f64>)]) -> String {
+    let mut cells: Vec<Vec<String>> = Vec::new();
+    let mut head: Vec<String> = vec!["Model".to_string()];
+    head.extend(header.iter().map(|s| s.to_string()));
+    cells.push(head);
+    for (label, values) in rows {
+        let mut row = vec![label.clone()];
+        row.extend(values.iter().map(|&v| format_paper(v)));
+        cells.push(row);
+    }
+    let cols = cells.iter().map(Vec::len).max().unwrap_or(0);
+    let widths: Vec<usize> = (0..cols)
+        .map(|c| {
+            cells
+                .iter()
+                .filter_map(|r| r.get(c))
+                .map(String::len)
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    for (i, row) in cells.iter().enumerate() {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(c, s)| format!("{:>width$}", s, width = widths[c]))
+            .collect();
+        out.push_str(&line.join("  "));
+        out.push('\n');
+        if i == 0 {
+            out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_sample() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let p = Percentiles::from_values(&v);
+        assert!((p.median - 50.5).abs() < 1e-9);
+        assert!((p.p90 - 90.1).abs() < 1e-9);
+        assert!((p.mean - 50.5).abs() < 1e-9);
+        assert_eq!(p.max, 100.0);
+        assert_eq!(p.count, 100);
+    }
+
+    #[test]
+    fn empty_and_nan_inputs() {
+        let p = Percentiles::from_values(&[]);
+        assert!(p.median.is_nan());
+        assert_eq!(p.count, 0);
+        let p = Percentiles::from_values(&[f64::NAN, 2.0]);
+        assert_eq!(p.count, 1);
+        assert_eq!(p.median, 2.0);
+    }
+
+    #[test]
+    fn paper_formatting() {
+        assert_eq!(format_paper(1.2345), "1.23");
+        assert_eq!(format_paper(149.5), "149.5");
+        assert_eq!(format_paper(2.0e6), "2e6");
+        assert_eq!(format_paper(f64::NAN), "-");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let s = render_table(
+            "Table X",
+            &["Median", "Mean"],
+            &[
+                ("SAM".to_string(), vec![1.27, 1.8]),
+                ("PGM".to_string(), vec![46.0, 1097.0]),
+            ],
+        );
+        assert!(s.contains("Table X"));
+        assert!(s.contains("SAM"));
+        assert!(s.contains("1.27"));
+        assert!(s.lines().count() >= 4);
+    }
+}
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Percentiles are ordered and bracket the mean.
+        #[test]
+        fn percentiles_are_monotone(values in prop::collection::vec(0.0f64..1e6, 1..200)) {
+            let p = Percentiles::from_values(&values);
+            prop_assert!(p.median <= p.p75 + 1e-9);
+            prop_assert!(p.p75 <= p.p90 + 1e-9);
+            prop_assert!(p.p90 <= p.p95 + 1e-9);
+            prop_assert!(p.p95 <= p.max + 1e-9);
+            let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+            prop_assert!(p.mean >= min - 1e-9 && p.mean <= p.max + 1e-9);
+            prop_assert_eq!(p.count, values.len());
+        }
+
+        /// Percentiles are permutation-invariant.
+        #[test]
+        fn permutation_invariant(mut values in prop::collection::vec(0.0f64..1e3, 2..100)) {
+            let a = Percentiles::from_values(&values);
+            values.reverse();
+            let b = Percentiles::from_values(&values);
+            prop_assert!((a.median - b.median).abs() < 1e-9);
+            prop_assert!((a.mean - b.mean).abs() < 1e-9);
+            prop_assert!((a.max - b.max).abs() < 1e-9);
+        }
+
+        /// Scaling the sample scales every statistic linearly.
+        #[test]
+        fn positive_scaling_commutes(values in prop::collection::vec(0.0f64..1e3, 1..100),
+                                     k in 0.5f64..10.0) {
+            let a = Percentiles::from_values(&values);
+            let scaled: Vec<f64> = values.iter().map(|v| v * k).collect();
+            let b = Percentiles::from_values(&scaled);
+            prop_assert!((a.median * k - b.median).abs() < 1e-6 * (1.0 + b.median.abs()));
+            prop_assert!((a.mean * k - b.mean).abs() < 1e-6 * (1.0 + b.mean.abs()));
+        }
+    }
+}

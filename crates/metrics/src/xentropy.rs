@@ -1,0 +1,116 @@
+//! Cross entropy between original and generated relations (paper Eq 1).
+//!
+//! `H(T, T̂) = −E_{x∼T}[log₂ Ŝel(x)]` where `Ŝel(x)` is the selectivity of
+//! tuple `x` in the generated relation. Tuples are compared on **content
+//! columns only** (primary/foreign keys are synthetic identifiers whose raw
+//! values carry no distributional meaning). Unseen tuples get add-one
+//! (Laplace) smoothing over the generated relation's observed support —
+//! without smoothing a single missing tuple would make the entropy infinite.
+
+use sam_storage::{Table, Value};
+use std::collections::HashMap;
+
+fn content_tuple(table: &Table, row: usize) -> Vec<Value> {
+    table
+        .schema()
+        .content_indices()
+        .into_iter()
+        .map(|c| table.value(row, c))
+        .collect()
+}
+
+/// Cross entropy in bits between `original` and `generated` (same schema).
+pub fn cross_entropy(original: &Table, generated: &Table) -> f64 {
+    assert_eq!(
+        original.schema().columns.len(),
+        generated.schema().columns.len(),
+        "schemas must match"
+    );
+    if original.num_rows() == 0 {
+        return 0.0;
+    }
+    let mut counts: HashMap<Vec<Value>, u64> = HashMap::new();
+    for r in 0..generated.num_rows() {
+        *counts.entry(content_tuple(generated, r)).or_insert(0) += 1;
+    }
+    let support = counts.len().max(1) as f64;
+    let denom = generated.num_rows() as f64 + support;
+
+    let mut h = 0.0f64;
+    for r in 0..original.num_rows() {
+        let t = content_tuple(original, r);
+        let c = counts.get(&t).copied().unwrap_or(0) as f64;
+        let sel = (c + 1.0) / denom;
+        h -= sel.log2();
+    }
+    h / original.num_rows() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sam_storage::{ColumnDef, DataType, TableSchema};
+
+    fn table(rows: &[(i64, &str)]) -> Table {
+        let schema = TableSchema::new(
+            "T",
+            vec![
+                ColumnDef::content("a", DataType::Int),
+                ColumnDef::content("b", DataType::Str),
+            ],
+        );
+        let rows: Vec<Vec<Value>> = rows
+            .iter()
+            .map(|(a, b)| vec![Value::Int(*a), Value::str(*b)])
+            .collect();
+        Table::from_rows(schema, &rows).unwrap()
+    }
+
+    #[test]
+    fn identical_tables_have_low_entropy() {
+        let t = table(&[(1, "x"), (1, "x"), (2, "y"), (3, "z")]);
+        let h_same = cross_entropy(&t, &t);
+        let other = table(&[(9, "q"), (9, "q"), (9, "q"), (9, "q")]);
+        let h_diff = cross_entropy(&t, &other);
+        assert!(h_same < h_diff, "{h_same} !< {h_diff}");
+    }
+
+    #[test]
+    fn entropy_is_finite_for_disjoint_supports() {
+        let a = table(&[(1, "x")]);
+        let b = table(&[(2, "y")]);
+        let h = cross_entropy(&a, &b);
+        assert!(h.is_finite());
+        assert!(h > 0.0);
+    }
+
+    #[test]
+    fn closer_distributions_score_lower() {
+        let orig = table(&[(1, "x"), (1, "x"), (1, "x"), (2, "y")]);
+        let close = table(&[(1, "x"), (1, "x"), (2, "y"), (2, "y")]);
+        let far = table(&[(2, "y"), (2, "y"), (2, "y"), (2, "y")]);
+        assert!(cross_entropy(&orig, &close) < cross_entropy(&orig, &far));
+    }
+
+    #[test]
+    fn pk_columns_are_ignored() {
+        let schema = TableSchema::new(
+            "T",
+            vec![
+                ColumnDef::primary_key("id"),
+                ColumnDef::content("a", DataType::Int),
+            ],
+        );
+        let t1 = Table::from_rows(schema.clone(), &[vec![Value::Int(1), Value::Int(7)]]).unwrap();
+        let t2 = Table::from_rows(schema, &[vec![Value::Int(999), Value::Int(7)]]).unwrap();
+        // Same content, different pks → as good as identical.
+        assert_eq!(cross_entropy(&t1, &t2), cross_entropy(&t1, &t1));
+    }
+
+    #[test]
+    fn empty_original_is_zero() {
+        let t = table(&[]);
+        let g = table(&[(1, "x")]);
+        assert_eq!(cross_entropy(&t, &g), 0.0);
+    }
+}

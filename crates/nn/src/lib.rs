@@ -1,0 +1,23 @@
+//! # sam-nn — neural substrate for the SAM reproduction
+//!
+//! The thin-ML-ecosystem substitution (see DESIGN.md): a from-scratch `f32`
+//! matrix kernel, reverse-mode tape autodiff with exactly the op set
+//! Differentiable Progressive Sampling needs, the MADE masked autoencoder
+//! (the paper's AR architecture of choice), Gumbel-Softmax sampling, and
+//! Adam/SGD optimisers.
+
+#![warn(missing_docs)]
+
+pub mod gumbel;
+pub mod made;
+pub mod matrix;
+pub mod optim;
+pub mod tape;
+pub mod transformer;
+
+pub use gumbel::{gumbel_noise, gumbel_softmax, log_mask, NEG_LARGE};
+pub use made::{BoundMade, FrozenMade, Made, MadeConfig};
+pub use matrix::Matrix;
+pub use optim::{Adam, ParamId, ParamStore, Sgd};
+pub use tape::{Tape, Var};
+pub use transformer::{BoundTransformer, FrozenTransformer, TransformerAr, TransformerConfig};

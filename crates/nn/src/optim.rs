@@ -1,0 +1,254 @@
+//! Parameter storage and optimisers.
+
+use crate::matrix::Matrix;
+
+/// Handle to a parameter in a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamId(pub usize);
+
+/// Owns model parameters and their accumulated gradients, decoupled from the
+/// per-step [`crate::tape::Tape`] (tapes are rebuilt every step; parameters
+/// persist).
+#[derive(Debug, Default)]
+pub struct ParamStore {
+    values: Vec<Matrix>,
+    grads: Vec<Matrix>,
+}
+
+impl ParamStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        ParamStore::default()
+    }
+
+    /// Register a parameter.
+    pub fn add(&mut self, value: Matrix) -> ParamId {
+        self.grads.push(Matrix::zeros(value.rows(), value.cols()));
+        self.values.push(value);
+        ParamId(self.values.len() - 1)
+    }
+
+    /// Number of parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True iff no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(Matrix::len).sum()
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.values[id.0]
+    }
+
+    /// Mutable value (used by optimiser steps).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.values[id.0]
+    }
+
+    /// Accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Matrix {
+        &self.grads[id.0]
+    }
+
+    /// Add `g` into the parameter's gradient accumulator.
+    pub fn accumulate_grad(&mut self, id: ParamId, g: &Matrix) {
+        self.grads[id.0].add_assign(g);
+    }
+
+    /// Zero all gradient accumulators.
+    pub fn zero_grads(&mut self) {
+        self.grads.iter_mut().for_each(Matrix::clear);
+    }
+
+    fn pairs(&mut self) -> impl Iterator<Item = (&mut Matrix, &Matrix)> {
+        self.values.iter_mut().zip(self.grads.iter())
+    }
+}
+
+/// Plain SGD with optional gradient clipping (by global norm).
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Clip the global gradient norm to this value (disabled if `None`).
+    pub clip_norm: Option<f32>,
+}
+
+impl Sgd {
+    /// SGD with learning rate `lr` and no clipping.
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            clip_norm: None,
+        }
+    }
+
+    /// Apply one step and zero the gradients.
+    pub fn step(&self, store: &mut ParamStore) {
+        let scale = clip_scale(store, self.clip_norm);
+        let lr = self.lr * scale;
+        for (v, g) in store.pairs() {
+            v.add_scaled_assign(g, -lr);
+        }
+        store.zero_grads();
+    }
+}
+
+fn clip_scale(store: &ParamStore, clip: Option<f32>) -> f32 {
+    match clip {
+        Some(max_norm) => {
+            let norm = store.grads.iter().map(Matrix::norm_sq).sum::<f32>().sqrt();
+            if norm > max_norm {
+                max_norm / norm
+            } else {
+                1.0
+            }
+        }
+        None => 1.0,
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction and optional global-norm clipping.
+#[derive(Debug)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Denominator fuzz.
+    pub eps: f32,
+    /// Clip the global gradient norm (disabled if `None`).
+    pub clip_norm: Option<f32>,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Adam with standard betas for the given store layout.
+    pub fn new(store: &ParamStore, lr: f32) -> Self {
+        let shape = |src: &Vec<Matrix>| -> Vec<Matrix> {
+            src.iter()
+                .map(|m| Matrix::zeros(m.rows(), m.cols()))
+                .collect()
+        };
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip_norm: Some(5.0),
+            t: 0,
+            m: shape(&store.values),
+            v: shape(&store.values),
+        }
+    }
+
+    /// Apply one Adam step from the accumulated gradients, then zero them.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        let scale = clip_scale(store, self.clip_norm);
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..store.values.len() {
+            let g = &store.grads[i];
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            for ((mi, vi), &gi_raw) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut().iter_mut())
+                .zip(g.data())
+            {
+                let gi = gi_raw * scale;
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+            }
+            let value = &mut store.values[i];
+            for ((pv, &mi), &vi) in value.data_mut().iter_mut().zip(m.data()).zip(v.data()) {
+                let m_hat = mi / b1t;
+                let v_hat = vi / b2t;
+                *pv -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+        store.zero_grads();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+    use std::rc::Rc;
+
+    /// Minimise mean((w·x − t)²) over w; both optimisers must converge.
+    fn converges(mut step: impl FnMut(&mut ParamStore)) -> f32 {
+        let mut store = ParamStore::new();
+        let w = store.add(Matrix::from_vec(1, 2, vec![0.0, 0.0]));
+        let x = Matrix::from_vec(3, 2, vec![1., 0., 0., 1., 1., 1.]);
+        let target = Rc::new(vec![2.0f32, -1.0, 1.0]); // solution w = (2, -1)
+        let mut last = f32::MAX;
+        for _ in 0..500 {
+            let mut tape = Tape::new();
+            let wv = tape.leaf(store.value(w).clone());
+            let xv = tape.leaf(x.clone());
+            let zero_bias = tape.leaf(Matrix::zeros(1, 1));
+            let y = tape.masked_linear(xv, wv, zero_bias, None);
+            let loss = tape.sq_err_mean(y, Rc::clone(&target));
+            last = tape.value(loss).get(0, 0);
+            tape.backward(loss);
+            store.accumulate_grad(w, &tape.grad(wv));
+            step(&mut store);
+        }
+        last
+    }
+
+    #[test]
+    fn sgd_converges_on_least_squares() {
+        let sgd = Sgd::new(0.1);
+        let loss = converges(|s| sgd.step(s));
+        assert!(loss < 1e-6, "sgd final loss {loss}");
+    }
+
+    #[test]
+    fn adam_converges_on_least_squares() {
+        let mut store_probe = ParamStore::new();
+        store_probe.add(Matrix::zeros(1, 2));
+        let mut adam = Adam::new(&store_probe, 0.05);
+        let loss = converges(|s| adam.step(s));
+        assert!(loss < 1e-4, "adam final loss {loss}");
+    }
+
+    #[test]
+    fn clipping_bounds_update_norm() {
+        let mut store = ParamStore::new();
+        let w = store.add(Matrix::zeros(1, 1));
+        store.accumulate_grad(w, &Matrix::full(1, 1, 1000.0));
+        let sgd = Sgd {
+            lr: 1.0,
+            clip_norm: Some(1.0),
+        };
+        sgd.step(&mut store);
+        assert!((store.value(w).get(0, 0) + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_grads_resets() {
+        let mut store = ParamStore::new();
+        let w = store.add(Matrix::zeros(2, 2));
+        store.accumulate_grad(w, &Matrix::full(2, 2, 3.0));
+        store.zero_grads();
+        assert_eq!(store.grad(w).norm_sq(), 0.0);
+        assert_eq!(store.num_scalars(), 4);
+    }
+}

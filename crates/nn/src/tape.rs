@@ -1,0 +1,807 @@
+//! Reverse-mode automatic differentiation over matrices.
+//!
+//! A [`Tape`] records a DAG of matrix ops; [`Tape::backward`] walks it in
+//! reverse, accumulating gradients. The op set is exactly what Differentiable
+//! Progressive Sampling (paper §4.1) requires: masked linear layers,
+//! ReLU, temperature softmax (for Gumbel-Softmax), column slicing/padding
+//! (per-column one-hot blocks), constant row-dots (in-range mass and
+//! expected inverse fanout), logs, and a mean-squared-error head on log
+//! cardinalities.
+
+use crate::matrix::Matrix;
+use std::rc::Rc;
+
+/// Handle to a tape node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+enum Op {
+    Leaf,
+    /// `y = x @ (w ∘ mask)ᵀ + b` with `w: out×in`, `b: 1×out`.
+    MaskedLinear {
+        x: Var,
+        w: Var,
+        b: Var,
+        mask: Option<Rc<Matrix>>,
+    },
+    Relu(Var),
+    /// Row-wise `softmax(x / temp)`.
+    SoftmaxRows {
+        x: Var,
+        temp: f32,
+    },
+    Add(Var, Var),
+    /// `y = x + c` for a constant matrix (gradient passes through to `x`).
+    AddConst {
+        x: Var,
+    },
+    Scale {
+        x: Var,
+        c: f32,
+    },
+    MulElem(Var, Var),
+    /// Columns `start..start+width` of `x`.
+    SliceCols {
+        x: Var,
+        start: usize,
+    },
+    /// `x` placed at column `offset` inside a zero matrix of width `total`.
+    PadCols {
+        x: Var,
+        offset: usize,
+    },
+    /// Per-row dot with a constant weight vector: `y[i] = Σ_j x[i,j]·w[j]`.
+    RowDotConst {
+        x: Var,
+        w: Rc<Vec<f32>>,
+    },
+    /// Per-row dot with a constant weight *matrix*: `y[i] = Σ_j x[i,j]·W[i,j]`
+    /// (each batch row has its own weights — batches mix queries with
+    /// different predicate masks).
+    RowDotRows {
+        x: Var,
+        w: Rc<Matrix>,
+    },
+    /// Elementwise `ln(x + eps)`.
+    Log {
+        x: Var,
+        eps: f32,
+    },
+    /// Scalar `mean((x[i,0] - target[i])²)`.
+    SqErrMeanConst {
+        x: Var,
+        target: Rc<Vec<f32>>,
+    },
+    /// Interleave `parts` (each `B×d`) into a `(B·n)×d` sequence tensor with
+    /// row layout `(b·n + t)`.
+    ConcatSeq {
+        parts: Vec<Var>,
+    },
+    /// `y[b·n + t] = x[b·n + t] + pos[t]` — broadcast a positional/parameter
+    /// matrix over the batch.
+    AddPosition {
+        x: Var,
+        pos: Var,
+        seq: usize,
+    },
+    /// Extract position `t` from a `(B·n)×d` sequence tensor → `B×d`.
+    SliceSeqPos {
+        x: Var,
+        seq: usize,
+        pos: usize,
+    },
+    /// Single-head causal self-attention over `(B·n)×d` q/k/v tensors.
+    /// Attention weights are recomputed in backward.
+    CausalAttention {
+        q: Var,
+        k: Var,
+        v: Var,
+        seq: usize,
+        scale: f32,
+    },
+}
+
+/// Row-softmax of an `n×n` score matrix with a causal mask (`j > i` blocked).
+fn causal_softmax(scores: &Matrix) -> Matrix {
+    let n = scores.rows();
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        let row = scores.row(i);
+        let m = row[..=i].iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        let out = a.row_mut(i);
+        for (j, o) in out.iter_mut().enumerate().take(i + 1) {
+            let e = (row[j] - m).exp();
+            *o = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum.max(f32::MIN_POSITIVE);
+        out[..=i].iter_mut().for_each(|o| *o *= inv);
+    }
+    a
+}
+
+/// Copy batch `b`'s `n×d` block out of a `(B·n)×d` tensor.
+fn batch_block(x: &Matrix, b: usize, n: usize) -> Matrix {
+    let d = x.cols();
+    Matrix::from_fn(n, d, |t, c| x.get(b * n + t, c))
+}
+
+struct Node {
+    value: Matrix,
+    grad: Option<Matrix>,
+    op: Op,
+}
+
+/// The gradient tape.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Empty tape.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff no nodes are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> Var {
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Record a leaf (input or parameter) node.
+    pub fn leaf(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// The accumulated gradient of a node (zeros if it never received one).
+    pub fn grad(&self, v: Var) -> Matrix {
+        match &self.nodes[v.0].grad {
+            Some(g) => g.clone(),
+            None => Matrix::zeros(self.nodes[v.0].value.rows(), self.nodes[v.0].value.cols()),
+        }
+    }
+
+    /// `x @ (w ∘ mask)ᵀ + b`. `mask` (same shape as `w`) freezes connections
+    /// — the MADE autoregressive masks.
+    pub fn masked_linear(&mut self, x: Var, w: Var, b: Var, mask: Option<Rc<Matrix>>) -> Var {
+        let (xv, wv, bv) = (
+            &self.nodes[x.0].value,
+            &self.nodes[w.0].value,
+            &self.nodes[b.0].value,
+        );
+        assert_eq!(bv.rows(), 1, "bias must be a row vector");
+        assert_eq!(bv.cols(), wv.rows(), "bias width must equal out features");
+        let eff = match &mask {
+            Some(m) => wv.mul_elem(m),
+            None => wv.clone(),
+        };
+        let mut y = xv.matmul_transb(&eff);
+        for r in 0..y.rows() {
+            let row = y.row_mut(r);
+            for (o, &bb) in row.iter_mut().zip(bv.row(0)) {
+                *o += bb;
+            }
+        }
+        self.push(y, Op::MaskedLinear { x, w, b, mask })
+    }
+
+    /// Elementwise `max(x, 0)`.
+    pub fn relu(&mut self, x: Var) -> Var {
+        let y = self.nodes[x.0].value.map(|v| v.max(0.0));
+        self.push(y, Op::Relu(x))
+    }
+
+    /// Row-wise temperature softmax (numerically stabilised).
+    pub fn softmax_rows(&mut self, x: Var, temp: f32) -> Var {
+        let xv = &self.nodes[x.0].value;
+        let mut y = Matrix::zeros(xv.rows(), xv.cols());
+        for r in 0..xv.rows() {
+            let row = xv.row(r);
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            let out = y.row_mut(r);
+            for (o, &v) in out.iter_mut().zip(row) {
+                let e = ((v - m) / temp).exp();
+                *o = e;
+                sum += e;
+            }
+            let inv = 1.0 / sum.max(f32::MIN_POSITIVE);
+            out.iter_mut().for_each(|o| *o *= inv);
+        }
+        self.push(y, Op::SoftmaxRows { x, temp })
+    }
+
+    /// `a + b` (same shape).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let mut y = self.nodes[a.0].value.clone();
+        y.add_assign(&self.nodes[b.0].value);
+        self.push(y, Op::Add(a, b))
+    }
+
+    /// `x + c` for a constant matrix.
+    pub fn add_const(&mut self, x: Var, c: Rc<Matrix>) -> Var {
+        let mut y = self.nodes[x.0].value.clone();
+        y.add_assign(&c);
+        self.push(y, Op::AddConst { x })
+    }
+
+    /// `c * x`.
+    pub fn scale(&mut self, x: Var, c: f32) -> Var {
+        let y = self.nodes[x.0].value.map(|v| c * v);
+        self.push(y, Op::Scale { x, c })
+    }
+
+    /// Elementwise `a ∘ b`.
+    pub fn mul_elem(&mut self, a: Var, b: Var) -> Var {
+        let y = self.nodes[a.0].value.mul_elem(&self.nodes[b.0].value);
+        self.push(y, Op::MulElem(a, b))
+    }
+
+    /// Columns `start..start+width` of `x`.
+    pub fn slice_cols(&mut self, x: Var, start: usize, width: usize) -> Var {
+        let xv = &self.nodes[x.0].value;
+        assert!(start + width <= xv.cols(), "slice out of range");
+        let y = Matrix::from_fn(xv.rows(), width, |r, c| xv.get(r, start + c));
+        self.push(y, Op::SliceCols { x, start })
+    }
+
+    /// `x` embedded at column `offset` of a zero matrix with `total` columns.
+    pub fn pad_cols(&mut self, x: Var, offset: usize, total: usize) -> Var {
+        let xv = &self.nodes[x.0].value;
+        assert!(offset + xv.cols() <= total, "pad out of range");
+        let mut y = Matrix::zeros(xv.rows(), total);
+        for r in 0..xv.rows() {
+            let src = xv.row(r);
+            y.row_mut(r)[offset..offset + src.len()].copy_from_slice(src);
+        }
+        self.push(y, Op::PadCols { x, offset })
+    }
+
+    /// `y[i] = Σ_j x[i,j]·w[j]` as a `batch×1` column.
+    pub fn row_dot_const(&mut self, x: Var, w: Rc<Vec<f32>>) -> Var {
+        let xv = &self.nodes[x.0].value;
+        assert_eq!(xv.cols(), w.len(), "weight length mismatch");
+        let y = Matrix::from_fn(xv.rows(), 1, |r, _| {
+            xv.row(r).iter().zip(w.iter()).map(|(a, b)| a * b).sum()
+        });
+        self.push(y, Op::RowDotConst { x, w })
+    }
+
+    /// `y[i] = Σ_j x[i,j]·W[i,j]` as a `batch×1` column (per-row weights).
+    pub fn row_dot_rows(&mut self, x: Var, w: Rc<Matrix>) -> Var {
+        let xv = &self.nodes[x.0].value;
+        assert_eq!(
+            (xv.rows(), xv.cols()),
+            (w.rows(), w.cols()),
+            "weight matrix shape mismatch"
+        );
+        let y = Matrix::from_fn(xv.rows(), 1, |r, _| {
+            xv.row(r).iter().zip(w.row(r)).map(|(a, b)| a * b).sum()
+        });
+        self.push(y, Op::RowDotRows { x, w })
+    }
+
+    /// Elementwise `ln(x + eps)`.
+    pub fn log(&mut self, x: Var, eps: f32) -> Var {
+        let y = self.nodes[x.0].value.map(|v| (v + eps).ln());
+        self.push(y, Op::Log { x, eps })
+    }
+
+    /// Scalar loss `mean_i (x[i,0] - target[i])²`.
+    pub fn sq_err_mean(&mut self, x: Var, target: Rc<Vec<f32>>) -> Var {
+        let xv = &self.nodes[x.0].value;
+        assert_eq!(xv.cols(), 1, "loss input must be a column");
+        assert_eq!(xv.rows(), target.len(), "target length mismatch");
+        let n = target.len().max(1) as f32;
+        let mse = xv
+            .data()
+            .iter()
+            .zip(target.iter())
+            .map(|(a, t)| (a - t) * (a - t))
+            .sum::<f32>()
+            / n;
+        self.push(
+            Matrix::from_vec(1, 1, vec![mse]),
+            Op::SqErrMeanConst { x, target },
+        )
+    }
+
+    /// Interleave `parts` (each `B×d`) into a `(B·n)×d` sequence tensor.
+    pub fn concat_seq(&mut self, parts: Vec<Var>) -> Var {
+        assert!(!parts.is_empty(), "need at least one sequence position");
+        let b = self.nodes[parts[0].0].value.rows();
+        let d = self.nodes[parts[0].0].value.cols();
+        for p in &parts {
+            let v = &self.nodes[p.0].value;
+            assert_eq!((v.rows(), v.cols()), (b, d), "ragged sequence parts");
+        }
+        let n = parts.len();
+        let mut y = Matrix::zeros(b * n, d);
+        for (t, p) in parts.iter().enumerate() {
+            let v = &self.nodes[p.0].value;
+            for bi in 0..b {
+                y.row_mut(bi * n + t).copy_from_slice(v.row(bi));
+            }
+        }
+        self.push(y, Op::ConcatSeq { parts })
+    }
+
+    /// Broadcast-add an `n×d` parameter over the batch of a `(B·n)×d` tensor.
+    pub fn add_position(&mut self, x: Var, pos: Var, seq: usize) -> Var {
+        let xv = &self.nodes[x.0].value;
+        let pv = &self.nodes[pos.0].value;
+        assert_eq!(pv.rows(), seq, "positional rows must equal seq");
+        assert_eq!(pv.cols(), xv.cols(), "positional width mismatch");
+        assert_eq!(xv.rows() % seq, 0, "rows must be a multiple of seq");
+        let mut y = xv.clone();
+        for r in 0..y.rows() {
+            let t = r % seq;
+            let prow: Vec<f32> = pv.row(t).to_vec();
+            for (o, &p) in y.row_mut(r).iter_mut().zip(&prow) {
+                *o += p;
+            }
+        }
+        self.push(y, Op::AddPosition { x, pos, seq })
+    }
+
+    /// Rows at sequence position `pos` of a `(B·n)×d` tensor → `B×d`.
+    pub fn slice_seq_pos(&mut self, x: Var, seq: usize, pos: usize) -> Var {
+        let xv = &self.nodes[x.0].value;
+        assert!(pos < seq, "position out of range");
+        assert_eq!(xv.rows() % seq, 0, "rows must be a multiple of seq");
+        let b = xv.rows() / seq;
+        let y = Matrix::from_fn(b, xv.cols(), |bi, c| xv.get(bi * seq + pos, c));
+        self.push(y, Op::SliceSeqPos { x, seq, pos })
+    }
+
+    /// Single-head causal self-attention: softmax(QKᵀ·scale + causal mask)V,
+    /// independently per batch block of `seq` rows.
+    pub fn causal_attention(&mut self, q: Var, k: Var, v: Var, seq: usize, scale: f32) -> Var {
+        let (rows, d) = {
+            let qv = &self.nodes[q.0].value;
+            (qv.rows(), qv.cols())
+        };
+        for var in [k, v] {
+            let m = &self.nodes[var.0].value;
+            assert_eq!((m.rows(), m.cols()), (rows, d), "q/k/v shape mismatch");
+        }
+        assert_eq!(rows % seq, 0, "rows must be a multiple of seq");
+        let batches = rows / seq;
+        let mut out = Matrix::zeros(rows, d);
+        for b in 0..batches {
+            let qb = batch_block(&self.nodes[q.0].value, b, seq);
+            let kb = batch_block(&self.nodes[k.0].value, b, seq);
+            let vb = batch_block(&self.nodes[v.0].value, b, seq);
+            let scores = qb.matmul_transb(&kb).map(|x| x * scale);
+            let a = causal_softmax(&scores);
+            let ob = a.matmul(&vb);
+            for t in 0..seq {
+                out.row_mut(b * seq + t).copy_from_slice(ob.row(t));
+            }
+        }
+        self.push(
+            out,
+            Op::CausalAttention {
+                q,
+                k,
+                v,
+                seq,
+                scale,
+            },
+        )
+    }
+
+    fn accumulate(&mut self, v: Var, g: Matrix) {
+        match &mut self.nodes[v.0].grad {
+            Some(existing) => existing.add_assign(&g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+
+    /// Run backpropagation from a scalar (`1×1`) root.
+    pub fn backward(&mut self, root: Var) {
+        let rv = &self.nodes[root.0].value;
+        assert_eq!(
+            (rv.rows(), rv.cols()),
+            (1, 1),
+            "backward root must be scalar"
+        );
+        self.nodes[root.0].grad = Some(Matrix::full(1, 1, 1.0));
+
+        for i in (0..=root.0).rev() {
+            let Some(g) = self.nodes[i].grad.clone() else {
+                continue;
+            };
+            // Decompose op without holding a borrow across accumulate calls.
+            match &self.nodes[i].op {
+                Op::Leaf => {}
+                Op::MaskedLinear { x, w, b, mask } => {
+                    let (x, w, b, mask) = (*x, *w, *b, mask.clone());
+                    let xv = self.nodes[x.0].value.clone();
+                    let wv = self.nodes[w.0].value.clone();
+                    let eff = match &mask {
+                        Some(m) => wv.mul_elem(m),
+                        None => wv,
+                    };
+                    // y = x @ effᵀ + b
+                    let gx = g.matmul(&eff);
+                    let mut gw = g.matmul_transa(&xv); // (out×in)
+                    if let Some(m) = &mask {
+                        gw = gw.mul_elem(m);
+                    }
+                    let mut gb = Matrix::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for (o, &v) in gb.row_mut(0).iter_mut().zip(g.row(r)) {
+                            *o += v;
+                        }
+                    }
+                    self.accumulate(x, gx);
+                    self.accumulate(w, gw);
+                    self.accumulate(b, gb);
+                }
+                Op::Relu(x) => {
+                    let x = *x;
+                    let xv = &self.nodes[x.0].value;
+                    let gx = Matrix::from_fn(g.rows(), g.cols(), |r, c| {
+                        if xv.get(r, c) > 0.0 {
+                            g.get(r, c)
+                        } else {
+                            0.0
+                        }
+                    });
+                    self.accumulate(x, gx);
+                }
+                Op::SoftmaxRows { x, temp } => {
+                    let (x, temp) = (*x, *temp);
+                    let yv = self.nodes[i].value.clone();
+                    let mut gx = Matrix::zeros(g.rows(), g.cols());
+                    for r in 0..g.rows() {
+                        let gr = g.row(r);
+                        let yr = yv.row(r);
+                        let dot: f32 = gr.iter().zip(yr).map(|(a, b)| a * b).sum();
+                        let out = gx.row_mut(r);
+                        for ((o, &gi), &yi) in out.iter_mut().zip(gr).zip(yr) {
+                            *o = yi * (gi - dot) / temp;
+                        }
+                    }
+                    self.accumulate(x, gx);
+                }
+                Op::Add(a, b) => {
+                    let (a, b) = (*a, *b);
+                    self.accumulate(a, g.clone());
+                    self.accumulate(b, g);
+                }
+                Op::AddConst { x } => {
+                    let x = *x;
+                    self.accumulate(x, g);
+                }
+                Op::Scale { x, c } => {
+                    let (x, c) = (*x, *c);
+                    self.accumulate(x, g.map(|v| c * v));
+                }
+                Op::MulElem(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let av = self.nodes[a.0].value.clone();
+                    let bv = self.nodes[b.0].value.clone();
+                    self.accumulate(a, g.mul_elem(&bv));
+                    self.accumulate(b, g.mul_elem(&av));
+                }
+                Op::SliceCols { x, start } => {
+                    let (x, start) = (*x, *start);
+                    let xv = &self.nodes[x.0].value;
+                    let mut gx = Matrix::zeros(xv.rows(), xv.cols());
+                    for r in 0..g.rows() {
+                        let src = g.row(r);
+                        gx.row_mut(r)[start..start + src.len()].copy_from_slice(src);
+                    }
+                    self.accumulate(x, gx);
+                }
+                Op::PadCols { x, offset } => {
+                    let (x, offset) = (*x, *offset);
+                    let xv = &self.nodes[x.0].value;
+                    let w = xv.cols();
+                    let gx = Matrix::from_fn(xv.rows(), w, |r, c| g.get(r, offset + c));
+                    self.accumulate(x, gx);
+                }
+                Op::RowDotConst { x, w } => {
+                    let (x, w) = (*x, Rc::clone(w));
+                    let xv = &self.nodes[x.0].value;
+                    let gx = Matrix::from_fn(xv.rows(), xv.cols(), |r, c| g.get(r, 0) * w[c]);
+                    self.accumulate(x, gx);
+                }
+                Op::RowDotRows { x, w } => {
+                    let (x, w) = (*x, Rc::clone(w));
+                    let xv = &self.nodes[x.0].value;
+                    let gx =
+                        Matrix::from_fn(xv.rows(), xv.cols(), |r, c| g.get(r, 0) * w.get(r, c));
+                    self.accumulate(x, gx);
+                }
+                Op::Log { x, eps } => {
+                    let (x, eps) = (*x, *eps);
+                    let xv = self.nodes[x.0].value.clone();
+                    let gx = Matrix::from_fn(g.rows(), g.cols(), |r, c| {
+                        g.get(r, c) / (xv.get(r, c) + eps)
+                    });
+                    self.accumulate(x, gx);
+                }
+                Op::SqErrMeanConst { x, target } => {
+                    let (x, target) = (*x, Rc::clone(target));
+                    let xv = &self.nodes[x.0].value;
+                    let n = target.len().max(1) as f32;
+                    let scale = g.get(0, 0) * 2.0 / n;
+                    let gx =
+                        Matrix::from_fn(xv.rows(), 1, |r, _| scale * (xv.get(r, 0) - target[r]));
+                    self.accumulate(x, gx);
+                }
+                Op::ConcatSeq { parts } => {
+                    let parts = parts.clone();
+                    let n = parts.len();
+                    let b = g.rows() / n;
+                    for (t, p) in parts.iter().enumerate() {
+                        let d = self.nodes[p.0].value.cols();
+                        let gp = Matrix::from_fn(b, d, |bi, c| g.get(bi * n + t, c));
+                        self.accumulate(*p, gp);
+                    }
+                }
+                Op::AddPosition { x, pos, seq } => {
+                    let (x, pos, seq) = (*x, *pos, *seq);
+                    let d = g.cols();
+                    let mut gp = Matrix::zeros(seq, d);
+                    for r in 0..g.rows() {
+                        let t = r % seq;
+                        for (o, &v) in gp.row_mut(t).iter_mut().zip(g.row(r)) {
+                            *o += v;
+                        }
+                    }
+                    self.accumulate(x, g.clone());
+                    self.accumulate(pos, gp);
+                }
+                Op::SliceSeqPos { x, seq, pos } => {
+                    let (x, seq, pos) = (*x, *seq, *pos);
+                    let xv = &self.nodes[x.0].value;
+                    let mut gx = Matrix::zeros(xv.rows(), xv.cols());
+                    for bi in 0..g.rows() {
+                        gx.row_mut(bi * seq + pos).copy_from_slice(g.row(bi));
+                    }
+                    self.accumulate(x, gx);
+                }
+                Op::CausalAttention {
+                    q,
+                    k,
+                    v,
+                    seq,
+                    scale,
+                } => {
+                    let (q, k, v, seq, scale) = (*q, *k, *v, *seq, *scale);
+                    let rows = g.rows();
+                    let d = g.cols();
+                    let batches = rows / seq;
+                    let mut gq = Matrix::zeros(rows, d);
+                    let mut gk = Matrix::zeros(rows, d);
+                    let mut gv = Matrix::zeros(rows, d);
+                    for b in 0..batches {
+                        let qb = batch_block(&self.nodes[q.0].value, b, seq);
+                        let kb = batch_block(&self.nodes[k.0].value, b, seq);
+                        let vb = batch_block(&self.nodes[v.0].value, b, seq);
+                        let gb = batch_block(&g, b, seq);
+                        // Recompute attention weights.
+                        let scores = qb.matmul_transb(&kb).map(|x| x * scale);
+                        let a = causal_softmax(&scores);
+                        // Grad wrt V: Aᵀ g.
+                        let gvb = a.transpose().matmul(&gb);
+                        // Grad wrt A: g Vᵀ, then row-softmax backward.
+                        let ga = gb.matmul_transb(&vb);
+                        let mut gs = Matrix::zeros(seq, seq);
+                        for i in 0..seq {
+                            let arow = a.row(i);
+                            let garow = ga.row(i);
+                            let dot: f32 =
+                                arow.iter().zip(garow).take(i + 1).map(|(x, y)| x * y).sum();
+                            let out = gs.row_mut(i);
+                            for j in 0..=i {
+                                out[j] = arow[j] * (garow[j] - dot) * scale;
+                            }
+                        }
+                        let gqb = gs.matmul(&kb);
+                        let gkb = gs.transpose().matmul(&qb);
+                        for t in 0..seq {
+                            gq.row_mut(b * seq + t).copy_from_slice(gqb.row(t));
+                            gk.row_mut(b * seq + t).copy_from_slice(gkb.row(t));
+                            gv.row_mut(b * seq + t).copy_from_slice(gvb.row(t));
+                        }
+                    }
+                    self.accumulate(q, gq);
+                    self.accumulate(k, gk);
+                    self.accumulate(v, gv);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Finite-difference gradient check for a scalar function of one leaf.
+    fn grad_check(build: impl Fn(&mut Tape, Var) -> Var, x0: Matrix, tol: f32) {
+        // Analytic gradient.
+        let mut tape = Tape::new();
+        let x = tape.leaf(x0.clone());
+        let loss = build(&mut tape, x);
+        tape.backward(loss);
+        let g = tape.grad(x);
+
+        // Numeric gradient.
+        let h = 1e-3f32;
+        for idx in 0..x0.len() {
+            let mut xp = x0.clone();
+            xp.data_mut()[idx] += h;
+            let mut tp = Tape::new();
+            let vp = tp.leaf(xp);
+            let lossp = build(&mut tp, vp);
+            let lp = tp.value(lossp).get(0, 0);
+
+            let mut xm = x0.clone();
+            xm.data_mut()[idx] -= h;
+            let mut tm = Tape::new();
+            let vm = tm.leaf(xm);
+            let lossm = build(&mut tm, vm);
+            let lm = tm.value(lossm).get(0, 0);
+
+            let numeric = (lp - lm) / (2.0 * h);
+            let analytic = g.data()[idx];
+            assert!(
+                (numeric - analytic).abs() <= tol * (1.0 + numeric.abs().max(analytic.abs())),
+                "idx {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn grad_linear_relu_chain() {
+        let w0 = Matrix::from_vec(2, 3, vec![0.5, -0.3, 0.8, -0.1, 0.2, 0.4]);
+        let b0 = Matrix::from_vec(1, 2, vec![0.1, -0.2]);
+        let target = Rc::new(vec![0.7f32, -0.4]);
+        grad_check(
+            move |t, x| {
+                let w = t.leaf(w0.clone());
+                let b = t.leaf(b0.clone());
+                let h = t.masked_linear(x, w, b, None);
+                let h = t.relu(h);
+                let s = t.row_dot_const(h, Rc::new(vec![1.0, -1.0]));
+                t.sq_err_mean(s, Rc::clone(&target))
+            },
+            Matrix::from_vec(2, 3, vec![0.3, 0.9, -0.5, 0.2, 0.1, 0.6]),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_masked_linear_respects_mask() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::from_vec(1, 2, vec![1.0, 1.0]));
+        let w = tape.leaf(Matrix::from_vec(1, 2, vec![0.5, 0.5]));
+        let b = tape.leaf(Matrix::zeros(1, 1));
+        let mask = Rc::new(Matrix::from_vec(1, 2, vec![1.0, 0.0]));
+        let y = tape.masked_linear(x, w, b, Some(mask));
+        // Forward: only the unmasked connection contributes.
+        assert!((tape.value(y).get(0, 0) - 0.5).abs() < 1e-6);
+        let loss = tape.sq_err_mean(y, Rc::new(vec![0.0]));
+        tape.backward(loss);
+        let gw = tape.grad(w);
+        assert!(gw.get(0, 0).abs() > 0.0);
+        assert_eq!(gw.get(0, 1), 0.0, "masked weight must get zero grad");
+        let gx = tape.grad(x);
+        assert_eq!(gx.get(0, 1), 0.0, "masked input must get zero grad");
+    }
+
+    #[test]
+    fn grad_softmax_log_chain() {
+        let target = Rc::new(vec![-0.5f32, 0.2]);
+        grad_check(
+            move |t, x| {
+                let p = t.softmax_rows(x, 1.0);
+                let s = t.row_dot_const(p, Rc::new(vec![1.0, 0.0, 1.0]));
+                let l = t.log(s, 1e-6);
+                t.sq_err_mean(l, Rc::clone(&target))
+            },
+            Matrix::from_vec(2, 3, vec![0.1, 0.7, -0.4, 0.9, 0.0, 0.3]),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_softmax_with_temperature() {
+        let target = Rc::new(vec![0.4f32]);
+        grad_check(
+            move |t, x| {
+                let p = t.softmax_rows(x, 0.5);
+                let s = t.row_dot_const(p, Rc::new(vec![0.3, 0.6, 0.1]));
+                t.sq_err_mean(s, Rc::clone(&target))
+            },
+            Matrix::from_vec(1, 3, vec![0.2, -0.1, 0.5]),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_slice_pad_add() {
+        let target = Rc::new(vec![1.0f32]);
+        grad_check(
+            move |t, x| {
+                let a = t.slice_cols(x, 0, 2);
+                let b = t.slice_cols(x, 2, 2);
+                let sum = t.add(a, b);
+                let padded = t.pad_cols(sum, 1, 4);
+                let s = t.row_dot_const(padded, Rc::new(vec![0.5, 1.0, -1.0, 2.0]));
+                t.sq_err_mean(s, Rc::clone(&target))
+            },
+            Matrix::from_vec(1, 4, vec![0.3, -0.2, 0.8, 0.1]),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_row_dot_rows() {
+        let w = Rc::new(Matrix::from_vec(2, 3, vec![1.0, 0.5, 0.0, 0.2, 0.0, 2.0]));
+        let target = Rc::new(vec![0.3f32, -0.1]);
+        grad_check(
+            move |t, x| {
+                let s = t.row_dot_rows(x, Rc::clone(&w));
+                t.sq_err_mean(s, Rc::clone(&target))
+            },
+            Matrix::from_vec(2, 3, vec![0.5, -0.2, 0.9, 0.1, 0.4, -0.6]),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_scale_mul_addconst() {
+        let c = Rc::new(Matrix::from_vec(1, 2, vec![0.5, -0.5]));
+        let target = Rc::new(vec![0.0f32]);
+        grad_check(
+            move |t, x| {
+                let s = t.scale(x, 3.0);
+                let m = t.mul_elem(s, x);
+                let a = t.add_const(m, Rc::clone(&c));
+                let d = t.row_dot_const(a, Rc::new(vec![1.0, 1.0]));
+                t.sq_err_mean(d, Rc::clone(&target))
+            },
+            Matrix::from_vec(1, 2, vec![0.4, -0.7]),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn add_accumulates_gradients_through_shared_node() {
+        // loss = mean((x + x)²) → dloss/dx = 4x.
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::from_vec(1, 1, vec![1.5]));
+        let y = tape.add(x, x);
+        let loss = tape.sq_err_mean(y, Rc::new(vec![0.0]));
+        tape.backward(loss);
+        assert!((tape.grad(x).get(0, 0) - 12.0).abs() < 1e-5); // 2·(2x)·2 = 4x·... = 12 at x=1.5
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the neural substrate: algebraic identities of
+//! the matrix kernels, randomized gradient checks of the tape, and MADE's
+//! autoregressive invariant under random configurations.
+
+use proptest::prelude::*;
+use sam_nn::{Made, MadeConfig, Matrix, ParamStore, Tape};
+use std::rc::Rc;
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    /// (AB)ᵀ = BᵀAᵀ.
+    #[test]
+    fn matmul_transpose_identity(a in arb_matrix(3, 4), b in arb_matrix(4, 2)) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// matmul distributes over addition: A(B + C) = AB + AC.
+    #[test]
+    fn matmul_distributes(
+        a in arb_matrix(2, 3),
+        b in arb_matrix(3, 3),
+        c in arb_matrix(3, 3),
+    ) {
+        let mut bc = b.clone();
+        bc.add_assign(&c);
+        let left = a.matmul(&bc);
+        let mut right = a.matmul(&b);
+        right.add_assign(&a.matmul(&c));
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Randomized gradient check of a softmax → weighted-sum → log → MSE
+    /// chain (the exact op composition DPS uses).
+    #[test]
+    fn random_gradient_check(
+        x0 in arb_matrix(2, 4),
+        w in prop::collection::vec(0.05f32..1.0, 4),
+        t in prop::collection::vec(-1.0f32..1.0, 2),
+    ) {
+        let build = |tape: &mut Tape, x| {
+            let p = tape.softmax_rows(x, 1.0);
+            let s = tape.row_dot_const(p, Rc::new(w.clone()));
+            let l = tape.log(s, 1e-6);
+            tape.sq_err_mean(l, Rc::new(t.clone()))
+        };
+        let mut tape = Tape::new();
+        let x = tape.leaf(x0.clone());
+        let loss = build(&mut tape, x);
+        tape.backward(loss);
+        let grad = tape.grad(x);
+
+        let h = 1e-2f32;
+        for idx in 0..x0.len() {
+            let mut xp = x0.clone();
+            xp.data_mut()[idx] += h;
+            let mut tp = Tape::new();
+            let vp = tp.leaf(xp);
+            let lp = build(&mut tp, vp);
+            let fp = tp.value(lp).get(0, 0);
+
+            let mut xm = x0.clone();
+            xm.data_mut()[idx] -= h;
+            let mut tm = Tape::new();
+            let vm = tm.leaf(xm);
+            let lm = build(&mut tm, vm);
+            let fm = tm.value(lm).get(0, 0);
+
+            let numeric = (fp - fm) / (2.0 * h);
+            let analytic = grad.data()[idx];
+            prop_assert!(
+                (numeric - analytic).abs() <= 0.05 * (1.0 + numeric.abs().max(analytic.abs())),
+                "idx {}: numeric {} vs analytic {}", idx, numeric, analytic
+            );
+        }
+    }
+
+    /// MADE's autoregressive property holds for random shapes and seeds:
+    /// perturbing column j's input never changes logits of columns <= j.
+    #[test]
+    fn made_autoregressive_property(
+        domains in prop::collection::vec(2usize..5, 2..5),
+        hidden in 4usize..24,
+        seed in 0u64..1000,
+        perturb_col in any::<prop::sample::Index>(),
+    ) {
+        let mut store = ParamStore::new();
+        let made = Made::new(
+            MadeConfig { domain_sizes: domains.clone(), hidden: vec![hidden], seed, residual: false },
+            &mut store,
+        );
+        let frozen = made.freeze(&store);
+        let width = frozen.total_width();
+        let base = Matrix::zeros(1, width);
+        let l1 = frozen.forward(&base);
+
+        let j = perturb_col.index(domains.len());
+        let mut alt = base.clone();
+        alt.set(0, frozen.offset(j), 1.0);
+        let l2 = frozen.forward(&alt);
+
+        // Logits of all columns i <= j must be untouched.
+        for i in 0..=j {
+            let off = frozen.offset(i);
+            for k in 0..frozen.domain_size(i) {
+                prop_assert!(
+                    (l1.get(0, off + k) - l2.get(0, off + k)).abs() < 1e-5,
+                    "column {} leaked into column {}", j, i
+                );
+            }
+        }
+    }
+
+    /// Softmax outputs are valid distributions for arbitrary logits.
+    #[test]
+    fn softmax_is_distribution(x in arb_matrix(3, 5), temp in 0.2f32..3.0) {
+        let mut tape = Tape::new();
+        let v = tape.leaf(x);
+        let p = tape.softmax_rows(v, temp);
+        let out = tape.value(p);
+        for r in 0..out.rows() {
+            let sum: f32 = out.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(out.row(r).iter().all(|&x| (0.0..=1.0001).contains(&x)));
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Markov network construction, chordal triangulation, maximal cliques,
+//! and junction trees — the structural machinery of the PGM baseline \[4\]
+//! (paper §2.3).
+//!
+//! Vertices are attributes; an edge connects two attributes filtered
+//! together in some cardinality constraint. The graph is triangulated with
+//! the min-fill heuristic; maximal cliques fall out of the perfect
+//! elimination ordering; the junction tree is a maximum spanning tree over
+//! sepset sizes (one per connected component — a junction forest).
+
+use std::collections::BTreeSet;
+
+/// An undirected graph over `n` attribute vertices.
+#[derive(Debug, Clone)]
+pub struct MarkovNet {
+    n: usize,
+    adj: Vec<BTreeSet<usize>>,
+}
+
+impl MarkovNet {
+    /// Empty graph over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        MarkovNet {
+            n,
+            adj: vec![BTreeSet::new(); n],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True iff there are no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Add an undirected edge.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        if a != b {
+            self.adj[a].insert(b);
+            self.adj[b].insert(a);
+        }
+    }
+
+    /// Connect every pair among `vertices` (a query filtering k attributes
+    /// together contributes a k-clique).
+    pub fn add_clique(&mut self, vertices: &[usize]) {
+        for (i, &a) in vertices.iter().enumerate() {
+            for &b in &vertices[i + 1..] {
+                self.add_edge(a, b);
+            }
+        }
+    }
+
+    /// Neighbours of `v`.
+    pub fn neighbors(&self, v: usize) -> &BTreeSet<usize> {
+        &self.adj[v]
+    }
+
+    /// Triangulate in place (min-fill heuristic) and return the maximal
+    /// cliques of the resulting chordal graph.
+    pub fn triangulate(&mut self) -> Vec<BTreeSet<usize>> {
+        let mut work = self.adj.clone();
+        let mut eliminated = vec![false; self.n];
+        let mut cliques: Vec<BTreeSet<usize>> = Vec::new();
+
+        for _ in 0..self.n {
+            // Pick the uneliminated vertex adding fewest fill edges.
+            let mut best: Option<(usize, usize)> = None; // (fill, vertex)
+            for v in 0..self.n {
+                if eliminated[v] {
+                    continue;
+                }
+                let nb: Vec<usize> = work[v]
+                    .iter()
+                    .copied()
+                    .filter(|&u| !eliminated[u])
+                    .collect();
+                let mut fill = 0usize;
+                for (i, &a) in nb.iter().enumerate() {
+                    for &b in &nb[i + 1..] {
+                        if !work[a].contains(&b) {
+                            fill += 1;
+                        }
+                    }
+                }
+                if best.is_none_or(|(bf, _)| fill < bf) {
+                    best = Some((fill, v));
+                }
+            }
+            let Some((_, v)) = best else { break };
+
+            // The elimination clique: v plus its uneliminated neighbours.
+            let nb: Vec<usize> = work[v]
+                .iter()
+                .copied()
+                .filter(|&u| !eliminated[u])
+                .collect();
+            let mut clique: BTreeSet<usize> = nb.iter().copied().collect();
+            clique.insert(v);
+            // Add fill edges to both the working copy and self.
+            for (i, &a) in nb.iter().enumerate() {
+                for &b in &nb[i + 1..] {
+                    if !work[a].contains(&b) {
+                        work[a].insert(b);
+                        work[b].insert(a);
+                        self.add_edge(a, b);
+                    }
+                }
+            }
+            eliminated[v] = true;
+            // Keep only maximal cliques.
+            if !cliques.iter().any(|c| clique.is_subset(c)) {
+                cliques.retain(|c| !c.is_subset(&clique));
+                cliques.push(clique);
+            }
+        }
+        cliques
+    }
+}
+
+/// A junction forest over maximal cliques.
+#[derive(Debug, Clone)]
+pub struct JunctionTree {
+    /// The maximal cliques.
+    pub cliques: Vec<BTreeSet<usize>>,
+    /// Edges `(a, b, sepset)` of the forest.
+    pub edges: Vec<(usize, usize, BTreeSet<usize>)>,
+    /// A traversal order: `(clique, Some(parent edge index))`, roots first.
+    pub order: Vec<(usize, Option<usize>)>,
+}
+
+/// Build the junction forest (max spanning tree on sepset size).
+pub fn junction_tree(cliques: Vec<BTreeSet<usize>>) -> JunctionTree {
+    let k = cliques.len();
+    // Candidate edges weighted by sepset size.
+    let mut candidates: Vec<(usize, usize, usize)> = Vec::new();
+    for i in 0..k {
+        for j in i + 1..k {
+            let sep = cliques[i].intersection(&cliques[j]).count();
+            if sep > 0 {
+                candidates.push((sep, i, j));
+            }
+        }
+    }
+    candidates.sort_by_key(|c| std::cmp::Reverse(c.0));
+
+    // Kruskal.
+    let mut parent: Vec<usize> = (0..k).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let r = find(parent, parent[x]);
+            parent[x] = r;
+        }
+        parent[x]
+    }
+    let mut edges = Vec::new();
+    for (_, i, j) in candidates {
+        let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+        if ri != rj {
+            parent[ri] = rj;
+            let sep: BTreeSet<usize> = cliques[i].intersection(&cliques[j]).copied().collect();
+            edges.push((i, j, sep));
+        }
+    }
+
+    // Traversal order: BFS per component.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (e, (a, b, _)) in edges.iter().enumerate() {
+        adj[*a].push(e);
+        adj[*b].push(e);
+    }
+    let mut seen = vec![false; k];
+    let mut order = Vec::with_capacity(k);
+    for start in 0..k {
+        if seen[start] {
+            continue;
+        }
+        seen[start] = true;
+        let mut queue = std::collections::VecDeque::from([(start, None::<usize>)]);
+        while let Some((c, via)) = queue.pop_front() {
+            order.push((c, via));
+            for &e in &adj[c] {
+                let (a, b, _) = &edges[e];
+                let other = if *a == c { *b } else { *a };
+                if !seen[other] {
+                    seen[other] = true;
+                    queue.push_back((other, Some(e)));
+                }
+            }
+        }
+    }
+
+    JunctionTree {
+        cliques,
+        edges,
+        order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(v: &[usize]) -> BTreeSet<usize> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn chain_graph_cliques() {
+        // 0-1, 1-2: already chordal; cliques {0,1}, {1,2}.
+        let mut g = MarkovNet::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let mut cliques = g.triangulate();
+        cliques.sort();
+        assert_eq!(cliques, vec![set(&[0, 1]), set(&[1, 2])]);
+    }
+
+    #[test]
+    fn cycle_gets_fill_edge() {
+        // 4-cycle 0-1-2-3-0 needs one chord → two triangles.
+        let mut g = MarkovNet::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 0);
+        let cliques = g.triangulate();
+        assert_eq!(cliques.len(), 2);
+        for c in &cliques {
+            assert_eq!(c.len(), 3);
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_become_singletons() {
+        let mut g = MarkovNet::new(3);
+        g.add_edge(0, 1);
+        let mut cliques = g.triangulate();
+        cliques.sort();
+        assert_eq!(cliques, vec![set(&[0, 1]), set(&[2])]);
+    }
+
+    #[test]
+    fn add_clique_connects_all_pairs() {
+        let mut g = MarkovNet::new(4);
+        g.add_clique(&[0, 1, 2]);
+        assert!(g.neighbors(0).contains(&1));
+        assert!(g.neighbors(0).contains(&2));
+        assert!(g.neighbors(1).contains(&2));
+        assert!(!g.neighbors(0).contains(&3));
+        let cliques = g.triangulate();
+        assert!(cliques.contains(&set(&[0, 1, 2])));
+    }
+
+    #[test]
+    fn junction_tree_has_running_intersection() {
+        // Cliques {0,1,2}, {1,2,3}, {3,4}: tree edges must carry the right
+        // sepsets and the order must start at a root.
+        let cliques = vec![set(&[0, 1, 2]), set(&[1, 2, 3]), set(&[3, 4])];
+        let jt = junction_tree(cliques);
+        assert_eq!(jt.edges.len(), 2);
+        assert_eq!(jt.order.len(), 3);
+        assert!(jt.order[0].1.is_none(), "first clique is a root");
+        // Every non-root is connected via an edge whose sepset is inside
+        // both endpoint cliques.
+        for (a, b, sep) in &jt.edges {
+            assert!(sep.is_subset(&jt.cliques[*a]));
+            assert!(sep.is_subset(&jt.cliques[*b]));
+            assert!(!sep.is_empty());
+        }
+    }
+
+    #[test]
+    fn junction_forest_handles_disconnected_components() {
+        let cliques = vec![set(&[0, 1]), set(&[2, 3])];
+        let jt = junction_tree(cliques);
+        assert!(jt.edges.is_empty());
+        let roots = jt.order.iter().filter(|(_, via)| via.is_none()).count();
+        assert_eq!(roots, 2);
+    }
+}

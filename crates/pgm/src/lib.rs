@@ -1,0 +1,21 @@
+//! # sam-pgm — the PGM baseline (Arasu et al. \[4\])
+//!
+//! The prior database-generation method SAM is compared against, as
+//! described in paper §2.3: a Markov network of co-filtered attributes,
+//! chordal triangulation into a junction tree of clique distributions over
+//! intervalized domains, a non-negative least-squares solve for the cell
+//! probabilities, and per-view models for multi-relation workloads with the
+//! naive pairwise foreign-key assignment of Figure 4. The unknown count
+//! grows polynomially with the workload — the scalability wall of Figure 5.
+
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod multi;
+pub mod single;
+pub mod solver;
+
+pub use graph::{junction_tree, JunctionTree, MarkovNet};
+pub use multi::{fit_multi_pgm, view_sizes_from_database, MultiPgm, ViewSizes};
+pub use single::{fit_single_pgm, PgmConfig, TablePgm};
+pub use solver::{solve_nonneg_least_squares, ConstraintRow, LinearSystem, SolveReport};

@@ -1,0 +1,434 @@
+//! Multi-relation PGM generation: one model per *view* (paper §2.3).
+//!
+//! The baseline builds a separate PGM for each distinct set of joined
+//! relations appearing in the workload, each fitted only to its own
+//! queries — the source of the cross-view inconsistencies the paper blames
+//! for PGM's tail errors on join queries. Views are flattened into virtual
+//! single relations (columns named `table.column`) so the single-relation
+//! machinery is reused verbatim. Foreign keys are then assigned from the
+//! pairwise (pk, fk) views by matching parent *content* only — the naive
+//! procedure the paper's Figure 4 dissects.
+
+use crate::single::{fit_single_pgm, PgmConfig, TablePgm};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use sam_query::{LabeledQuery, Predicate, Query};
+use sam_storage::{
+    ColumnDef, ColumnRole, ColumnStats, Database, DatabaseSchema, DatabaseStats, JoinGraph,
+    StorageError, Table, Value,
+};
+use std::collections::{BTreeMap, HashMap};
+use std::time::Instant;
+
+/// A fitted multi-relation PGM.
+pub struct MultiPgm {
+    graph: JoinGraph,
+    /// Per sorted table-set view: the flattened model.
+    views: BTreeMap<Vec<usize>, ViewModel>,
+    /// Total fit wall-clock seconds.
+    pub fit_seconds: f64,
+    /// Total unknowns across all view systems.
+    pub num_variables: usize,
+    /// True when any view blew the variable budget and degraded to uniform.
+    pub exceeded: bool,
+}
+
+struct ViewModel {
+    /// Flattened virtual schema (content columns named `table.column`).
+    schema: sam_storage::TableSchema,
+    /// Virtual column index → (table, base column index).
+    col_map: Vec<(usize, usize)>,
+    pgm: TablePgm,
+}
+
+/// Sizes of the unfiltered inner joins per view (the baseline's selectivity
+/// normalisers — assumed known, equivalent to one unfiltered query per view
+/// in the workload).
+pub type ViewSizes = HashMap<Vec<usize>, u64>;
+
+/// Compute every view size appearing in `workload` by evaluating the
+/// unfiltered join on the target database (harness helper).
+pub fn view_sizes_from_database(
+    db: &Database,
+    workload: &[LabeledQuery],
+) -> Result<ViewSizes, StorageError> {
+    let mut out = ViewSizes::new();
+    for lq in workload {
+        let closure = lq
+            .query
+            .table_closure(db.graph())
+            .ok_or_else(|| StorageError::UnknownTable(lq.query.tables.join(",")))?;
+        if out.contains_key(&closure) {
+            continue;
+        }
+        let tables = closure
+            .iter()
+            .map(|&t| db.graph().tables()[t].clone())
+            .collect();
+        let size = sam_query::evaluate_cardinality(db, &Query::join(tables, vec![]))?;
+        out.insert(closure, size);
+    }
+    Ok(out)
+}
+
+fn flatten_view(
+    db_schema: &DatabaseSchema,
+    graph: &JoinGraph,
+    stats: &DatabaseStats,
+    tables: &[usize],
+) -> (
+    sam_storage::TableSchema,
+    Vec<(usize, usize)>,
+    Vec<ColumnStats>,
+) {
+    let mut columns = Vec::new();
+    let mut col_map = Vec::new();
+    let mut col_stats = Vec::new();
+    for &t in tables {
+        let tname = &graph.tables()[t];
+        let tschema = db_schema.table(tname).expect("graph table in schema");
+        for (stat_idx, ci) in tschema.content_indices().into_iter().enumerate() {
+            let stat = &stats.table(t).columns[stat_idx];
+            let vname = format!("{tname}.{}", stat.name);
+            columns.push(ColumnDef::content(vname.clone(), stat.dtype));
+            col_map.push((t, ci));
+            col_stats.push(ColumnStats {
+                name: vname,
+                dtype: stat.dtype,
+                domain: stat.domain.clone(),
+            });
+        }
+    }
+    (
+        sam_storage::TableSchema::new("view", columns),
+        col_map,
+        col_stats,
+    )
+}
+
+/// Rewrite a query's predicates onto the flattened view columns.
+fn rewrite_query(lq: &LabeledQuery) -> LabeledQuery {
+    let predicates = lq
+        .query
+        .predicates
+        .iter()
+        .map(|p| Predicate {
+            table: "view".into(),
+            column: format!("{}.{}", p.table, p.column),
+            constraint: p.constraint.clone(),
+        })
+        .collect();
+    LabeledQuery {
+        query: Query::single("view", predicates),
+        cardinality: lq.cardinality,
+    }
+}
+
+/// Fit the multi-relation PGM: one flattened model per view.
+pub fn fit_multi_pgm(
+    db_schema: &DatabaseSchema,
+    stats: &DatabaseStats,
+    workload: &[LabeledQuery],
+    view_sizes: &ViewSizes,
+    config: &PgmConfig,
+) -> Result<MultiPgm, StorageError> {
+    let start = Instant::now();
+    let graph = JoinGraph::new(db_schema)?;
+
+    // Group queries by their closure table set.
+    let mut groups: BTreeMap<Vec<usize>, Vec<LabeledQuery>> = BTreeMap::new();
+    for lq in workload {
+        let closure = lq
+            .query
+            .table_closure(&graph)
+            .ok_or_else(|| StorageError::UnknownTable(lq.query.tables.join(",")))?;
+        groups.entry(closure).or_default().push(lq.clone());
+    }
+    // Ensure every base relation has a (possibly empty) singleton view so it
+    // can be generated.
+    for t in 0..graph.len() {
+        groups.entry(vec![t]).or_default();
+    }
+
+    let mut views = BTreeMap::new();
+    let mut num_variables = 0usize;
+    let mut exceeded = false;
+    for (tables, queries) in groups {
+        let (schema, col_map, col_stats) = flatten_view(db_schema, &graph, stats, &tables);
+        let normalizer = match tables.as_slice() {
+            [t] => stats.table(*t).num_rows,
+            _ => view_sizes
+                .get(&tables)
+                .copied()
+                .unwrap_or_else(|| tables.iter().map(|&t| stats.table(t).num_rows).sum()),
+        };
+        let rewritten: Vec<LabeledQuery> = queries.iter().map(rewrite_query).collect();
+        let pgm = fit_single_pgm(&schema, &col_stats, normalizer, &rewritten, config);
+        num_variables += pgm.num_variables();
+        exceeded |= pgm.exceeded;
+        views.insert(
+            tables,
+            ViewModel {
+                schema,
+                col_map,
+                pgm,
+            },
+        );
+    }
+
+    Ok(MultiPgm {
+        graph,
+        views,
+        fit_seconds: start.elapsed().as_secs_f64(),
+        num_variables,
+        exceeded,
+    })
+}
+
+impl MultiPgm {
+    /// Generate a database: every base relation from its singleton view,
+    /// foreign keys resolved from the pairwise views by content matching
+    /// (Figure 4's procedure).
+    pub fn generate(
+        &self,
+        db_schema: &DatabaseSchema,
+        stats: &DatabaseStats,
+        seed: u64,
+    ) -> Result<Database, StorageError> {
+        let graph = &self.graph;
+        let n = graph.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Per table: generated content rows (content values only, keyed by
+        // base column index), assigned pk.
+        let mut generated: Vec<Vec<HashMap<usize, Value>>> = vec![Vec::new(); n];
+
+        for &t in graph.topo_order() {
+            let view = &self.views[&vec![t]];
+            let rows = stats.table(t).num_rows as usize;
+            let table = view
+                .pgm
+                .generate(&view.schema, rows, seed ^ (t as u64) << 8);
+            for r in 0..table.num_rows() {
+                let mut content = HashMap::new();
+                for (vc, &(_, base_ci)) in view.col_map.iter().enumerate() {
+                    content.insert(base_ci, table.value(r, vc));
+                }
+                generated[t].push(content);
+            }
+        }
+
+        // FK assignment: match parent content via the pairwise view.
+        let mut tables_out: Vec<Table> = Vec::with_capacity(n);
+        for t in 0..n {
+            let tname = &graph.tables()[t];
+            let tschema = db_schema.table(tname).expect("schema table").clone();
+            let parent = graph.parent(t);
+
+            // Parent content index under the pair view's encodings.
+            let pair_view = parent.and_then(|p| {
+                let mut key = vec![p.min(t), p.max(t)];
+                key.dedup();
+                self.views.get(&key)
+            });
+            let parent_index: Option<HashMap<Vec<usize>, Vec<u64>>> = parent.map(|p| {
+                let mut idx: HashMap<Vec<usize>, Vec<u64>> = HashMap::new();
+                for (r, content) in generated[p].iter().enumerate() {
+                    let sig = self.parent_signature(pair_view, p, content);
+                    idx.entry(sig).or_default().push((r + 1) as u64);
+                }
+                idx
+            });
+
+            let mut out_rows = Vec::with_capacity(generated[t].len());
+            for (r, content) in generated[t].iter().enumerate() {
+                let fk: Option<u64> = match (parent, &parent_index) {
+                    (Some(p), Some(idx)) => {
+                        let sig = self.sample_parent_signature(pair_view, p, t, content, &mut rng);
+                        let keys = sig.and_then(|s| idx.get(&s));
+                        match keys {
+                            Some(ks) if !ks.is_empty() => ks.choose(&mut rng).copied(),
+                            _ => {
+                                let total = generated[p].len() as u64;
+                                (total > 0).then(|| rng.gen_range(1..=total))
+                            }
+                        }
+                    }
+                    _ => None,
+                };
+                let mut seq = r as u64;
+                let row: Vec<Value> = tschema
+                    .columns
+                    .iter()
+                    .enumerate()
+                    .map(|(ci, col)| match &col.role {
+                        ColumnRole::Content => content.get(&ci).cloned().unwrap_or(Value::Null),
+                        ColumnRole::PrimaryKey => {
+                            seq = (r + 1) as u64;
+                            Value::Int(seq as i64)
+                        }
+                        ColumnRole::ForeignKey { .. } => match fk {
+                            Some(k) => Value::Int(k as i64),
+                            None => Value::Null,
+                        },
+                    })
+                    .collect();
+                out_rows.push(row);
+            }
+            tables_out.push(Table::from_rows(tschema, &out_rows)?);
+        }
+
+        let ordered = db_schema
+            .tables()
+            .iter()
+            .map(|ts| {
+                let idx = graph.index_of(&ts.name).expect("table in graph");
+                tables_out[idx].clone()
+            })
+            .collect();
+        Database::new(db_schema.clone(), ordered, false)
+    }
+
+    /// A parent row's content signature as pair-view bins (or raw values'
+    /// hash when no pair view exists — content equality fallback).
+    fn parent_signature(
+        &self,
+        pair_view: Option<&ViewModel>,
+        p: usize,
+        content: &HashMap<usize, Value>,
+    ) -> Vec<usize> {
+        match pair_view {
+            Some(v) => v
+                .col_map
+                .iter()
+                .enumerate()
+                .filter(|(_, &(t, _))| t == p)
+                .map(|(vc, &(_, base_ci))| {
+                    let value = content.get(&base_ci).cloned().unwrap_or(Value::Null);
+                    self.bin_of(v, vc, &value)
+                })
+                .collect(),
+            None => vec![0],
+        }
+    }
+
+    /// Sample the parent-content signature for a child row: condition the
+    /// pair view on the child's content and read off the parent bins.
+    fn sample_parent_signature(
+        &self,
+        pair_view: Option<&ViewModel>,
+        p: usize,
+        t: usize,
+        child_content: &HashMap<usize, Value>,
+        rng: &mut StdRng,
+    ) -> Option<Vec<usize>> {
+        let v = pair_view?;
+        // Evidence: the child's attributes pinned to their bins.
+        let mut evidence = Vec::new();
+        for (vc, &(vt, base_ci)) in v.col_map.iter().enumerate() {
+            if vt != t {
+                continue;
+            }
+            if let Some(a) = v.pgm.attr_of_column(vc) {
+                let value = child_content.get(&base_ci).cloned().unwrap_or(Value::Null);
+                if let Some(code) = v.pgm.encoding(a).base_domain().code_of(&value) {
+                    evidence.push((a, v.pgm.encoding(a).bin_of_code(code)));
+                }
+            }
+        }
+        let bins = v.pgm.sample_bins_with_evidence(&evidence, rng);
+        // Parent signature: per parent virtual column, its bin (modelled) or
+        // 0 (unmodelled columns contribute nothing to matching).
+        let sig = v
+            .col_map
+            .iter()
+            .enumerate()
+            .filter(|(_, &(vt, _))| vt == p)
+            .map(|(vc, _)| v.pgm.attr_of_column(vc).map_or(0, |a| bins[a]))
+            .collect();
+        Some(sig)
+    }
+
+    /// Bin of a concrete value under a view column's encoding (0 when the
+    /// column is unmodelled — it then never discriminates).
+    fn bin_of(&self, view: &ViewModel, vc: usize, value: &Value) -> usize {
+        match view.pgm.attr_of_column(vc) {
+            Some(a) => view
+                .pgm
+                .encoding(a)
+                .base_domain()
+                .code_of(value)
+                .map_or(0, |code| view.pgm.encoding(a).bin_of_code(code)),
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sam_query::{label_workload, WorkloadGenerator};
+    use sam_storage::paper_example;
+
+    fn fit_figure3(n_queries: usize) -> (Database, MultiPgm, Vec<LabeledQuery>) {
+        let db = paper_example::figure3_database();
+        let stats = DatabaseStats::from_database(&db);
+        let mut gen = WorkloadGenerator::new(&db, 7);
+        let workload = label_workload(&db, gen.multi_workload(n_queries, 2)).unwrap();
+        let sizes = view_sizes_from_database(&db, &workload.queries).unwrap();
+        let pgm = fit_multi_pgm(
+            db.schema(),
+            &stats,
+            &workload.queries,
+            &sizes,
+            &PgmConfig::default(),
+        )
+        .unwrap();
+        (db, pgm, workload.queries)
+    }
+
+    #[test]
+    fn fits_views_per_table_set() {
+        let (_, pgm, _) = fit_figure3(24);
+        // At minimum the three singleton views exist.
+        assert!(pgm.views.contains_key(&vec![0]));
+        assert!(pgm.views.contains_key(&vec![1]));
+        assert!(pgm.views.contains_key(&vec![2]));
+        assert!(pgm.num_variables > 0);
+        assert!(pgm.fit_seconds >= 0.0);
+    }
+
+    #[test]
+    fn generates_full_size_relations() {
+        let (db, pgm, _) = fit_figure3(24);
+        let stats = DatabaseStats::from_database(&db);
+        let gen = pgm.generate(db.schema(), &stats, 3).unwrap();
+        assert_eq!(gen.table_by_name("A").unwrap().num_rows(), 4);
+        assert_eq!(gen.table_by_name("B").unwrap().num_rows(), 3);
+        assert_eq!(gen.table_by_name("C").unwrap().num_rows(), 4);
+        // FKs reference existing keys (1..=|A|).
+        for t in ["B", "C"] {
+            for v in gen
+                .table_by_name(t)
+                .unwrap()
+                .column_by_name("x")
+                .unwrap()
+                .iter()
+            {
+                let k = v.as_int().unwrap();
+                assert!((1..=4).contains(&k));
+            }
+        }
+    }
+
+    #[test]
+    fn view_sizes_helper_matches_evaluator() {
+        let db = paper_example::figure3_database();
+        let q = LabeledQuery {
+            query: Query::join(vec!["A".into(), "B".into()], vec![]),
+            cardinality: 3,
+        };
+        let sizes = view_sizes_from_database(&db, &[q]).unwrap();
+        assert_eq!(sizes[&vec![0, 1]], 3);
+    }
+}

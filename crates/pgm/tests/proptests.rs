@@ -1,0 +1,129 @@
+//! Property-based tests for the PGM baseline's structural and numerical
+//! machinery.
+
+use proptest::prelude::*;
+use sam_pgm::{junction_tree, solve_nonneg_least_squares, LinearSystem, MarkovNet};
+use std::collections::BTreeSet;
+
+proptest! {
+    /// Triangulation output covers every original edge with some clique,
+    /// and cliques are maximal (no clique contains another).
+    #[test]
+    fn triangulation_covers_edges(
+        n in 2usize..8,
+        edges in prop::collection::vec((0usize..8, 0usize..8), 0..12),
+    ) {
+        let mut net = MarkovNet::new(n);
+        let mut real_edges = Vec::new();
+        for (a, b) in edges {
+            let (a, b) = (a % n, b % n);
+            if a != b {
+                net.add_edge(a, b);
+                real_edges.push((a.min(b), a.max(b)));
+            }
+        }
+        let cliques = net.triangulate();
+        // Every vertex appears in some clique.
+        for v in 0..n {
+            prop_assert!(cliques.iter().any(|c| c.contains(&v)), "vertex {} lost", v);
+        }
+        // Every original edge is inside some clique.
+        for (a, b) in real_edges {
+            prop_assert!(
+                cliques.iter().any(|c| c.contains(&a) && c.contains(&b)),
+                "edge ({},{}) uncovered", a, b
+            );
+        }
+        // Maximality.
+        for (i, c1) in cliques.iter().enumerate() {
+            for (j, c2) in cliques.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!c1.is_subset(c2), "clique {:?} ⊆ {:?}", c1, c2);
+                }
+            }
+        }
+    }
+
+    /// The junction forest satisfies the running intersection property:
+    /// for any vertex, the cliques containing it form a connected subtree.
+    #[test]
+    fn junction_tree_running_intersection(
+        n in 2usize..7,
+        edges in prop::collection::vec((0usize..7, 0usize..7), 0..10),
+    ) {
+        let mut net = MarkovNet::new(n);
+        for (a, b) in edges {
+            net.add_edge(a % n, b % n);
+        }
+        let cliques = net.triangulate();
+        let jt = junction_tree(cliques);
+        let k = jt.cliques.len();
+
+        for v in 0..n {
+            let holders: BTreeSet<usize> = (0..k)
+                .filter(|&c| jt.cliques[c].contains(&v))
+                .collect();
+            if holders.len() <= 1 {
+                continue;
+            }
+            // BFS within holders over edges whose sepset contains v.
+            let mut seen = BTreeSet::new();
+            let start = *holders.iter().next().unwrap();
+            let mut stack = vec![start];
+            while let Some(c) = stack.pop() {
+                if !seen.insert(c) {
+                    continue;
+                }
+                for (a, b, sep) in &jt.edges {
+                    if sep.contains(&v) {
+                        if *a == c && holders.contains(b) {
+                            stack.push(*b);
+                        } else if *b == c && holders.contains(a) {
+                            stack.push(*a);
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(
+                &seen, &holders,
+                "cliques holding vertex {} are not connected", v
+            );
+        }
+    }
+
+    /// The NNLS solver reaches near-zero residual on random *consistent*
+    /// systems (constraints generated from a known non-negative solution).
+    #[test]
+    fn solver_fits_consistent_systems(
+        x_true in prop::collection::vec(0.0f64..1.0, 2..10),
+        picks in prop::collection::vec(
+            prop::collection::vec(any::<bool>(), 2..10),
+            1..6
+        ),
+    ) {
+        let n = x_true.len();
+        let mut system = LinearSystem::new(n);
+        // Normalisation-style full-sum row.
+        let total: f64 = x_true.iter().sum();
+        system.push((0..n).map(|v| (v, 1.0)).collect(), total, 2.0);
+        // Random subset-sum rows.
+        for pick in picks {
+            let coefs: Vec<(usize, f64)> = pick
+                .iter()
+                .cycle()
+                .take(n)
+                .enumerate()
+                .filter(|(_, &b)| b)
+                .map(|(v, _)| (v, 1.0))
+                .collect();
+            if coefs.is_empty() {
+                continue;
+            }
+            let rhs: f64 = coefs.iter().map(|&(v, _)| x_true[v]).sum();
+            system.push(coefs, rhs, 1.0);
+        }
+        let (x, report) = solve_nonneg_least_squares(&system, 8000, 1e-10);
+        prop_assert!(report.residual < 5e-3, "residual {}", report.residual);
+        prop_assert!(x.iter().all(|&v| v >= 0.0));
+    }
+}

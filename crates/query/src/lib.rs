@@ -1,0 +1,28 @@
+//! # sam-query — queries, workloads, and exact cardinality evaluation
+//!
+//! The query class of the paper (§2.2): conjunctions of range / equality /
+//! IN predicates on content columns, over single relations or foreign-key
+//! joins along an acyclic schema. Provides the exact evaluator used both to
+//! label training workloads on the target database and to measure Q-Error of
+//! generated databases, plus the §5.1 workload generators.
+
+#![warn(missing_docs)]
+
+pub mod dnf;
+pub mod eval;
+pub mod io;
+pub mod predicate;
+pub mod query;
+pub mod sql;
+pub mod workload;
+
+pub use dnf::DnfQuery;
+pub use eval::{evaluate_cardinality, evaluate_naive, label_workload};
+pub use io::{
+    format_workload, read_labeled_workload, read_queries, read_workload_entries, write_workload,
+    WorkloadIoError,
+};
+pub use predicate::{CodeSet, CompareOp, Constraint, Predicate};
+pub use query::{LabeledQuery, Query, Workload};
+pub use sql::{parse_query, ParseError};
+pub use workload::{dedup_queries, CoverageWindows, WorkloadGenerator};

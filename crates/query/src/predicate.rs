@@ -1,0 +1,297 @@
+//! Selection predicates on content columns (paper §2.2).
+//!
+//! Supported constraints: range (`<`, `<=`, `>`, `>=`), equality, and IN
+//! lists, on numerical or categorical columns. Join-key columns are never
+//! filtered (the paper's standing assumption).
+
+use sam_storage::{Domain, Value};
+use std::fmt;
+
+/// Comparison operators for range/equality constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompareOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+}
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Eq => "=",
+            CompareOp::Ge => ">=",
+            CompareOp::Gt => ">",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The constraint half of a predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Constraint {
+    /// `column <op> literal`.
+    Compare(CompareOp, Value),
+    /// `column IN (v1, v2, …)`.
+    In(Vec<Value>),
+}
+
+/// A predicate: a constraint on one content column of one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Table name.
+    pub table: String,
+    /// Content column name.
+    pub column: String,
+    /// The constraint.
+    pub constraint: Constraint,
+}
+
+impl Predicate {
+    /// `table.column <op> literal`.
+    pub fn compare(
+        table: impl Into<String>,
+        column: impl Into<String>,
+        op: CompareOp,
+        literal: impl Into<Value>,
+    ) -> Self {
+        Predicate {
+            table: table.into(),
+            column: column.into(),
+            constraint: Constraint::Compare(op, literal.into()),
+        }
+    }
+
+    /// `table.column IN (values…)`.
+    pub fn in_list(
+        table: impl Into<String>,
+        column: impl Into<String>,
+        values: Vec<Value>,
+    ) -> Self {
+        Predicate {
+            table: table.into(),
+            column: column.into(),
+            constraint: Constraint::In(values),
+        }
+    }
+
+    /// Does a (non-NULL) value satisfy the constraint? NULL never matches.
+    pub fn matches(&self, v: &Value) -> bool {
+        if v.is_null() {
+            return false;
+        }
+        match &self.constraint {
+            Constraint::Compare(op, lit) => match op {
+                CompareOp::Lt => v < lit,
+                CompareOp::Le => v <= lit,
+                CompareOp::Eq => v == lit,
+                CompareOp::Ge => v >= lit,
+                CompareOp::Gt => v > lit,
+            },
+            Constraint::In(vals) => vals.contains(v),
+        }
+    }
+
+    /// The literal(s) referenced by this predicate (used by intervalization).
+    pub fn literals(&self) -> Vec<&Value> {
+        match &self.constraint {
+            Constraint::Compare(_, lit) => vec![lit],
+            Constraint::In(vals) => vals.iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.constraint {
+            Constraint::Compare(op, lit) => {
+                write!(f, "{}.{} {} {}", self.table, self.column, op, lit)
+            }
+            Constraint::In(vals) => {
+                write!(f, "{}.{} IN (", self.table, self.column)?;
+                for (i, v) in vals.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// The set of dictionary codes satisfying a constraint — either a contiguous
+/// range (range/equality predicates on a sorted domain) or an explicit set
+/// (IN lists).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodeSet {
+    /// Contiguous half-open code range.
+    Range(std::ops::Range<u32>),
+    /// Explicit sorted code list.
+    Set(Vec<u32>),
+}
+
+impl CodeSet {
+    /// Membership test.
+    pub fn contains(&self, code: u32) -> bool {
+        match self {
+            CodeSet::Range(r) => r.contains(&code),
+            CodeSet::Set(s) => s.binary_search(&code).is_ok(),
+        }
+    }
+
+    /// Number of codes in the set.
+    pub fn len(&self) -> usize {
+        match self {
+            CodeSet::Range(r) => r.len(),
+            CodeSet::Set(s) => s.len(),
+        }
+    }
+
+    /// True iff no code satisfies the constraint.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate the member codes.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = u32> + '_> {
+        match self {
+            CodeSet::Range(r) => Box::new(r.clone()),
+            CodeSet::Set(s) => Box::new(s.iter().copied()),
+        }
+    }
+
+    /// Intersect with another code set (used when a query has several
+    /// predicates on the same column).
+    pub fn intersect(&self, other: &CodeSet) -> CodeSet {
+        match (self, other) {
+            (CodeSet::Range(a), CodeSet::Range(b)) => {
+                let start = a.start.max(b.start);
+                let end = a.end.min(b.end);
+                CodeSet::Range(start..end.max(start))
+            }
+            _ => {
+                let codes: Vec<u32> = self.iter().filter(|&c| other.contains(c)).collect();
+                CodeSet::Set(codes)
+            }
+        }
+    }
+}
+
+impl Predicate {
+    /// Project the constraint onto a sorted [`Domain`] as a [`CodeSet`].
+    pub fn code_set(&self, domain: &Domain) -> CodeSet {
+        match &self.constraint {
+            Constraint::Compare(op, lit) => {
+                let range = match op {
+                    CompareOp::Lt => domain.codes_lt(lit),
+                    CompareOp::Le => domain.codes_le(lit),
+                    CompareOp::Ge => domain.codes_ge(lit),
+                    CompareOp::Gt => domain.codes_gt(lit),
+                    CompareOp::Eq => match domain.code_of(lit) {
+                        Some(c) => c..c + 1,
+                        None => 0..0,
+                    },
+                };
+                CodeSet::Range(range)
+            }
+            Constraint::In(vals) => {
+                let mut codes: Vec<u32> = vals.iter().filter_map(|v| domain.code_of(v)).collect();
+                codes.sort_unstable();
+                codes.dedup();
+                CodeSet::Set(codes)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dom() -> Domain {
+        Domain::new((0..10).map(|i| Value::Int(i * 10)).collect())
+    }
+
+    #[test]
+    fn matches_semantics() {
+        let p = Predicate::compare("T", "a", CompareOp::Le, 30i64);
+        assert!(p.matches(&Value::Int(30)));
+        assert!(p.matches(&Value::Int(0)));
+        assert!(!p.matches(&Value::Int(31)));
+        assert!(!p.matches(&Value::Null));
+
+        let q = Predicate::in_list("T", "a", vec![Value::Int(10), Value::Int(50)]);
+        assert!(q.matches(&Value::Int(50)));
+        assert!(!q.matches(&Value::Int(20)));
+    }
+
+    #[test]
+    fn code_set_of_ranges() {
+        let d = dom(); // 0,10,...,90 at codes 0..10
+        let le = Predicate::compare("T", "a", CompareOp::Le, 35i64).code_set(&d);
+        assert_eq!(le, CodeSet::Range(0..4));
+        let ge = Predicate::compare("T", "a", CompareOp::Ge, 35i64).code_set(&d);
+        assert_eq!(ge, CodeSet::Range(4..10));
+        let eq = Predicate::compare("T", "a", CompareOp::Eq, 40i64).code_set(&d);
+        assert_eq!(eq, CodeSet::Range(4..5));
+        let eq_missing = Predicate::compare("T", "a", CompareOp::Eq, 41i64).code_set(&d);
+        assert!(eq_missing.is_empty());
+    }
+
+    #[test]
+    fn code_set_of_in_list() {
+        let d = dom();
+        let p = Predicate::in_list(
+            "T",
+            "a",
+            vec![Value::Int(90), Value::Int(0), Value::Int(41)],
+        );
+        let cs = p.code_set(&d);
+        assert_eq!(cs, CodeSet::Set(vec![0, 9]));
+        assert!(cs.contains(9));
+        assert!(!cs.contains(4));
+    }
+
+    #[test]
+    fn code_set_agrees_with_matches() {
+        let d = dom();
+        for op in [
+            CompareOp::Lt,
+            CompareOp::Le,
+            CompareOp::Eq,
+            CompareOp::Ge,
+            CompareOp::Gt,
+        ] {
+            let p = Predicate::compare("T", "a", op, 50i64);
+            let cs = p.code_set(&d);
+            for code in 0..d.len() as u32 {
+                assert_eq!(
+                    cs.contains(code),
+                    p.matches(d.value(code)),
+                    "op {op} code {code}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn intersection() {
+        let a = CodeSet::Range(2..8);
+        let b = CodeSet::Range(5..10);
+        assert_eq!(a.intersect(&b), CodeSet::Range(5..8));
+        let empty = CodeSet::Range(0..2).intersect(&CodeSet::Range(5..7));
+        assert!(empty.is_empty());
+        let s = CodeSet::Set(vec![1, 5, 7]);
+        assert_eq!(s.intersect(&CodeSet::Range(4..8)), CodeSet::Set(vec![5, 7]));
+    }
+}

@@ -1,0 +1,213 @@
+//! Conjunctive queries and labelled workloads (paper §2.1–2.2).
+
+use crate::predicate::Predicate;
+use sam_storage::JoinGraph;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A conjunctive query: a set of tables (implicitly joined along the fk tree)
+/// and a conjunction of predicates on their content columns.
+///
+/// The involved-table set may exceed the predicate tables: a query can join a
+/// table without filtering it (common in MSCN-style workloads).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Names of the relations the query ranges over (joined along the fk
+    /// tree). Must form a connected subtree of the join graph.
+    pub tables: Vec<String>,
+    /// Conjunction of predicates; every predicate's table must be in `tables`.
+    pub predicates: Vec<Predicate>,
+}
+
+impl Query {
+    /// Single-relation query.
+    pub fn single(table: impl Into<String>, predicates: Vec<Predicate>) -> Self {
+        Query {
+            tables: vec![table.into()],
+            predicates,
+        }
+    }
+
+    /// Multi-relation join query.
+    pub fn join(tables: Vec<String>, predicates: Vec<Predicate>) -> Self {
+        Query { tables, predicates }
+    }
+
+    /// Number of predicates.
+    pub fn num_predicates(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// True iff the query ranges over exactly one relation.
+    pub fn is_single_relation(&self) -> bool {
+        self.tables.len() == 1
+    }
+
+    /// Number of joins (involved tables minus one).
+    pub fn num_joins(&self) -> usize {
+        self.tables.len().saturating_sub(1)
+    }
+
+    /// Predicates on a given table.
+    pub fn predicates_on(&self, table: &str) -> Vec<&Predicate> {
+        self.predicates
+            .iter()
+            .filter(|p| p.table == table)
+            .collect()
+    }
+
+    /// The closure of involved tables on the join graph — the smallest
+    /// connected subtree containing every listed table (tables the join must
+    /// pass through even if unfiltered). Returned as join-graph indices.
+    pub fn table_closure(&self, graph: &JoinGraph) -> Option<Vec<usize>> {
+        let idx: Option<Vec<usize>> = self.tables.iter().map(|t| graph.index_of(t)).collect();
+        let mut idx = idx?;
+        idx.sort_unstable();
+        idx.dedup();
+        if idx.is_empty() {
+            return None;
+        }
+        Some(graph.steiner_tree(&idx))
+    }
+
+    /// Distinct (table, column) pairs filtered by this query.
+    pub fn filtered_columns(&self) -> BTreeSet<(&str, &str)> {
+        self.predicates
+            .iter()
+            .map(|p| (p.table.as_str(), p.column.as_str()))
+            .collect()
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT COUNT(*) FROM {}", self.tables.join(", "))?;
+        if !self.predicates.is_empty() {
+            write!(f, " WHERE ")?;
+            for (i, p) in self.predicates.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " AND ")?;
+                }
+                write!(f, "{p}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A query labelled with its true cardinality on the target database — one
+/// *cardinality constraint* of the workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledQuery {
+    /// The query.
+    pub query: Query,
+    /// `Card(q)` on the target database.
+    pub cardinality: u64,
+}
+
+/// A query workload: the generator's entire view of the target data.
+#[derive(Debug, Clone, Default)]
+pub struct Workload {
+    /// Labelled queries in collection order.
+    pub queries: Vec<LabeledQuery>,
+}
+
+impl Workload {
+    /// Wrap labelled queries.
+    pub fn new(queries: Vec<LabeledQuery>) -> Self {
+        Workload { queries }
+    }
+
+    /// Number of cardinality constraints.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True iff the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Iterate the labelled queries.
+    pub fn iter(&self) -> std::slice::Iter<'_, LabeledQuery> {
+        self.queries.iter()
+    }
+
+    /// The first `n` constraints as a new workload (prefix truncation, used
+    /// by the processing-time sweeps).
+    pub fn truncate(&self, n: usize) -> Workload {
+        Workload {
+            queries: self.queries.iter().take(n).cloned().collect(),
+        }
+    }
+
+    /// Mean number of predicates per query.
+    pub fn mean_filters(&self) -> f64 {
+        if self.queries.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.queries.iter().map(|q| q.query.num_predicates()).sum();
+        total as f64 / self.queries.len() as f64
+    }
+}
+
+impl<'a> IntoIterator for &'a Workload {
+    type Item = &'a LabeledQuery;
+    type IntoIter = std::slice::Iter<'a, LabeledQuery>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.queries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CompareOp;
+    use sam_storage::paper_example;
+
+    #[test]
+    fn display_renders_sql() {
+        let q = Query::single(
+            "T",
+            vec![
+                Predicate::compare("T", "a", CompareOp::Le, 5i64),
+                Predicate::compare("T", "b", CompareOp::Eq, "x"),
+            ],
+        );
+        assert_eq!(
+            q.to_string(),
+            "SELECT COUNT(*) FROM T WHERE T.a <= 5 AND T.b = 'x'"
+        );
+    }
+
+    #[test]
+    fn closure_expands_to_connected_subtree() {
+        let db = paper_example::figure3_database();
+        let g = db.graph();
+        // B and C connect through A.
+        let q = Query::join(vec!["B".into(), "C".into()], vec![]);
+        assert_eq!(q.table_closure(g), Some(vec![0, 1, 2]));
+        let single = Query::single("B", vec![]);
+        assert_eq!(single.table_closure(g), Some(vec![1]));
+        let unknown = Query::single("Z", vec![]);
+        assert_eq!(unknown.table_closure(g), None);
+    }
+
+    #[test]
+    fn workload_helpers() {
+        let q = Query::single("T", vec![Predicate::compare("T", "a", CompareOp::Eq, 1i64)]);
+        let w = Workload::new(vec![
+            LabeledQuery {
+                query: q.clone(),
+                cardinality: 10,
+            },
+            LabeledQuery {
+                query: Query::single("T", vec![]),
+                cardinality: 100,
+            },
+        ]);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.mean_filters(), 0.5);
+        assert_eq!(w.truncate(1).len(), 1);
+    }
+}

@@ -1,0 +1,318 @@
+//! A tiny SQL front-end for the supported query class.
+//!
+//! Parses `SELECT COUNT(*) FROM t1, t2, … [WHERE pred AND pred …]` where each
+//! predicate is `table.column <op> literal` or `table.column IN (lit, …)`.
+//! Literals: integers, floats, or single-quoted strings. This is a
+//! convenience for examples and tests — [`crate::Query`]'s `Display` renders
+//! the inverse form.
+
+use crate::predicate::{CompareOp, Constraint, Predicate};
+use crate::query::Query;
+use sam_storage::Value;
+use std::fmt;
+
+/// SQL parse errors with a byte offset and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SQL parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { input, pos: 0 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.input.len() - trimmed.len();
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let rest = self.rest();
+        if rest.len() >= kw.len() && rest[..kw.len()].eq_ignore_ascii_case(kw) {
+            let after = rest[kw.len()..].chars().next();
+            let boundary = after.is_none_or(|c| !c.is_alphanumeric() && c != '_');
+            if boundary || !kw.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kw:?}")))
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(sym) {
+            self.pos += sym.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn identifier(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !c.is_alphanumeric() && *c != '_')
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(self.err("expected identifier"));
+        }
+        let ident = rest[..end].to_string();
+        self.pos += end;
+        Ok(ident)
+    }
+
+    fn literal(&mut self) -> Result<Value, ParseError> {
+        self.skip_ws();
+        let rest = self.rest();
+        if let Some(stripped) = rest.strip_prefix('\'') {
+            let mut out = String::new();
+            let mut chars = stripped.char_indices().peekable();
+            while let Some((i, c)) = chars.next() {
+                if c == '\'' {
+                    if chars.peek().map(|(_, c2)| *c2) == Some('\'') {
+                        chars.next();
+                        out.push('\'');
+                    } else {
+                        self.pos += 1 + i + 1;
+                        return Ok(Value::str(out));
+                    }
+                } else {
+                    out.push(c);
+                }
+            }
+            return Err(self.err("unterminated string literal"));
+        }
+        // Numeric literal.
+        let end = rest
+            .char_indices()
+            .find(|(i, c)| {
+                !(c.is_ascii_digit()
+                    || *c == '.'
+                    || *c == 'e'
+                    || *c == 'E'
+                    || ((*c == '-' || *c == '+')
+                        && (*i == 0 || matches!(rest.as_bytes()[*i - 1], b'e' | b'E'))))
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(self.err("expected literal"));
+        }
+        let tok = &rest[..end];
+        self.pos += end;
+        if let Ok(v) = tok.parse::<i64>() {
+            Ok(Value::Int(v))
+        } else if let Ok(v) = tok.parse::<f64>() {
+            Ok(Value::Float(v))
+        } else {
+            Err(self.err(format!("bad numeric literal {tok:?}")))
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, ParseError> {
+        let table = self.identifier()?;
+        if !self.eat_symbol(".") {
+            return Err(self.err("expected '.' after table name"));
+        }
+        let column = self.identifier()?;
+        self.skip_ws();
+        if self.eat_keyword("IN") {
+            if !self.eat_symbol("(") {
+                return Err(self.err("expected '(' after IN"));
+            }
+            let mut values = Vec::new();
+            loop {
+                values.push(self.literal()?);
+                if self.eat_symbol(",") {
+                    continue;
+                }
+                if self.eat_symbol(")") {
+                    break;
+                }
+                return Err(self.err("expected ',' or ')' in IN list"));
+            }
+            return Ok(Predicate {
+                table,
+                column,
+                constraint: Constraint::In(values),
+            });
+        }
+        let op = if self.eat_symbol("<=") {
+            CompareOp::Le
+        } else if self.eat_symbol(">=") {
+            CompareOp::Ge
+        } else if self.eat_symbol("<") {
+            CompareOp::Lt
+        } else if self.eat_symbol(">") {
+            CompareOp::Gt
+        } else if self.eat_symbol("=") {
+            CompareOp::Eq
+        } else {
+            return Err(self.err("expected comparison operator"));
+        };
+        let literal = self.literal()?;
+        Ok(Predicate {
+            table,
+            column,
+            constraint: Constraint::Compare(op, literal),
+        })
+    }
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        self.expect_keyword("SELECT")?;
+        self.expect_keyword("COUNT")?;
+        if !(self.eat_symbol("(") && self.eat_symbol("*") && self.eat_symbol(")")) {
+            return Err(self.err("expected COUNT(*)"));
+        }
+        self.expect_keyword("FROM")?;
+        let mut tables = vec![self.identifier()?];
+        while self.eat_symbol(",") {
+            tables.push(self.identifier()?);
+        }
+        let mut predicates = Vec::new();
+        if self.eat_keyword("WHERE") {
+            predicates.push(self.predicate()?);
+            while self.eat_keyword("AND") {
+                predicates.push(self.predicate()?);
+            }
+        }
+        self.skip_ws();
+        if self.eat_symbol(";") {
+            self.skip_ws();
+        }
+        if !self.rest().is_empty() {
+            return Err(self.err("trailing input"));
+        }
+        Ok(Query { tables, predicates })
+    }
+}
+
+/// Parse one `SELECT COUNT(*)` query.
+pub fn parse_query(sql: &str) -> Result<Query, ParseError> {
+    Parser::new(sql).query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_single_relation() {
+        let q = parse_query("SELECT COUNT(*) FROM t WHERE t.a <= 5 AND t.b = 'x'").unwrap();
+        assert_eq!(q.tables, vec!["t"]);
+        assert_eq!(q.predicates.len(), 2);
+        assert_eq!(
+            q.predicates[0],
+            Predicate::compare("t", "a", CompareOp::Le, 5i64)
+        );
+        assert_eq!(
+            q.predicates[1],
+            Predicate::compare("t", "b", CompareOp::Eq, "x")
+        );
+    }
+
+    #[test]
+    fn parses_joins_and_in_lists() {
+        let q =
+            parse_query("SELECT COUNT(*) FROM a, b WHERE a.x IN (1, 2, 3) AND b.y > 1.5;").unwrap();
+        assert_eq!(q.tables, vec!["a", "b"]);
+        assert_eq!(
+            q.predicates[0].constraint,
+            Constraint::In(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+        );
+        assert_eq!(
+            q.predicates[1].constraint,
+            Constraint::Compare(CompareOp::Gt, Value::Float(1.5))
+        );
+    }
+
+    #[test]
+    fn parses_no_where_clause() {
+        let q = parse_query("select count(*) from movies").unwrap();
+        assert_eq!(q.tables, vec!["movies"]);
+        assert!(q.predicates.is_empty());
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let sql = "SELECT COUNT(*) FROM a, b WHERE a.x <= 3 AND b.y = 'hi' AND a.z IN (1, 2)";
+        let q = parse_query(sql).unwrap();
+        let q2 = parse_query(&q.to_string()).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn escaped_quotes_in_strings() {
+        let q = parse_query("SELECT COUNT(*) FROM t WHERE t.s = 'it''s'").unwrap();
+        assert_eq!(
+            q.predicates[0].constraint,
+            Constraint::Compare(CompareOp::Eq, Value::str("it's"))
+        );
+    }
+
+    #[test]
+    fn reports_errors_with_offsets() {
+        let err = parse_query("SELECT COUNT(*) FROM").unwrap_err();
+        assert!(err.offset >= 20);
+        assert!(parse_query("SELECT COUNT(*) FROM t WHERE t.a ! 5").is_err());
+        assert!(parse_query("SELECT COUNT(*) FROM t extra").is_err());
+    }
+
+    #[test]
+    fn negative_and_scientific_numbers() {
+        let q = parse_query("SELECT COUNT(*) FROM t WHERE t.a >= -42 AND t.b < 1e3").unwrap();
+        assert_eq!(
+            q.predicates[0].constraint,
+            Constraint::Compare(CompareOp::Ge, Value::Int(-42))
+        );
+        assert_eq!(
+            q.predicates[1].constraint,
+            Constraint::Compare(CompareOp::Lt, Value::Float(1000.0))
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! Minimal CSV import/export for relations (no external dependencies).
+//!
+//! The dialect: comma separator, `"`-quoted fields with `""` escapes, a
+//! header row of column names, and the literal token `NULL` (unquoted) for
+//! SQL NULL. Typed parsing is driven by the [`TableSchema`].
+
+use crate::error::StorageError;
+use crate::schema::TableSchema;
+use crate::table::Table;
+use crate::value::{DataType, Value};
+use std::io::{BufRead, Write};
+
+/// Split one CSV record into fields, honouring quotes.
+fn split_record(line: &str, line_no: usize) -> Result<Vec<(String, bool)>, StorageError> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut quoted = false;
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => cur.push(c),
+            }
+        } else {
+            match c {
+                '"' if cur.is_empty() => {
+                    in_quotes = true;
+                    quoted = true;
+                }
+                ',' => {
+                    fields.push((std::mem::take(&mut cur), quoted));
+                    quoted = false;
+                }
+                _ => cur.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(StorageError::Csv(line_no, "unterminated quote".into()));
+    }
+    fields.push((cur, quoted));
+    Ok(fields)
+}
+
+fn parse_field(
+    raw: &str,
+    quoted: bool,
+    dtype: DataType,
+    line_no: usize,
+) -> Result<Value, StorageError> {
+    if !quoted && raw == "NULL" {
+        return Ok(Value::Null);
+    }
+    match dtype {
+        DataType::Int => raw
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|e| StorageError::Csv(line_no, format!("bad int {raw:?}: {e}"))),
+        DataType::Float => raw
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|e| StorageError::Csv(line_no, format!("bad float {raw:?}: {e}"))),
+        DataType::Str => Ok(Value::str(raw)),
+    }
+}
+
+/// Read a table from CSV with a header row matching `schema`'s column names.
+pub fn read_csv<R: BufRead>(schema: TableSchema, reader: R) -> Result<Table, StorageError> {
+    let mut lines = reader.lines().enumerate();
+    let header = match lines.next() {
+        Some((_, Ok(h))) => h,
+        Some((_, Err(e))) => return Err(StorageError::Csv(1, e.to_string())),
+        None => return Err(StorageError::Csv(1, "empty input".into())),
+    };
+    let header_fields = split_record(&header, 1)?;
+    if header_fields.len() != schema.arity() {
+        return Err(StorageError::Csv(
+            1,
+            format!(
+                "header has {} fields, schema has {}",
+                header_fields.len(),
+                schema.arity()
+            ),
+        ));
+    }
+    for ((name, _), decl) in header_fields.iter().zip(&schema.columns) {
+        if name != &decl.name {
+            return Err(StorageError::Csv(
+                1,
+                format!(
+                    "header field {name:?} does not match column {:?}",
+                    decl.name
+                ),
+            ));
+        }
+    }
+
+    let mut rows = Vec::new();
+    for (i, line) in lines {
+        let line_no = i + 1;
+        let line = line.map_err(|e| StorageError::Csv(line_no, e.to_string()))?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_record(&line, line_no)?;
+        if fields.len() != schema.arity() {
+            return Err(StorageError::Csv(
+                line_no,
+                format!("expected {} fields, got {}", schema.arity(), fields.len()),
+            ));
+        }
+        let row: Result<Vec<Value>, _> = fields
+            .iter()
+            .zip(&schema.columns)
+            .map(|((raw, quoted), decl)| parse_field(raw, *quoted, decl.dtype, line_no))
+            .collect();
+        rows.push(row?);
+    }
+    Table::from_rows(schema, &rows)
+}
+
+fn needs_quoting(s: &str) -> bool {
+    s == "NULL" || s.contains([',', '"', '\n'])
+}
+
+/// Write a table as CSV (header row + one record per row).
+pub fn write_csv<W: Write>(table: &Table, writer: &mut W) -> std::io::Result<()> {
+    let header: Vec<&str> = table
+        .schema()
+        .columns
+        .iter()
+        .map(|c| c.name.as_str())
+        .collect();
+    writeln!(writer, "{}", header.join(","))?;
+    for row in table.iter_rows() {
+        let mut first = true;
+        for v in &row {
+            if !first {
+                write!(writer, ",")?;
+            }
+            first = false;
+            match v {
+                Value::Null => write!(writer, "NULL")?,
+                Value::Int(x) => write!(writer, "{x}")?,
+                Value::Float(x) => write!(writer, "{x}")?,
+                Value::Str(s) => {
+                    if needs_quoting(s) {
+                        write!(writer, "\"{}\"", s.replace('"', "\"\""))?;
+                    } else {
+                        write!(writer, "{s}")?;
+                    }
+                }
+            }
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "T",
+            vec![
+                ColumnDef::content("a", DataType::Int),
+                ColumnDef::content("b", DataType::Str),
+                ColumnDef::content("c", DataType::Float),
+            ],
+        )
+    }
+
+    #[test]
+    fn round_trip() {
+        let t = Table::from_rows(
+            schema(),
+            &[
+                vec![Value::Int(1), Value::str("hello"), Value::Float(1.5)],
+                vec![Value::Null, Value::str("a,b"), Value::Float(-2.0)],
+                vec![Value::Int(3), Value::str("say \"hi\""), Value::Null],
+                vec![Value::Int(4), Value::str("NULL"), Value::Float(0.0)],
+            ],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let back = read_csv(schema(), buf.as_slice()).unwrap();
+        assert_eq!(back.num_rows(), 4);
+        for r in 0..4 {
+            assert_eq!(back.row(r), t.row(r));
+        }
+        // The quoted string "NULL" survives as a string, not SQL NULL.
+        assert_eq!(back.value(3, 1), Value::str("NULL"));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = read_csv(schema(), "x,y,z\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, StorageError::Csv(1, _)));
+    }
+
+    #[test]
+    fn rejects_bad_arity() {
+        let err = read_csv(schema(), "a,b,c\n1,2\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, StorageError::Csv(2, _)));
+    }
+
+    #[test]
+    fn rejects_bad_int() {
+        let err = read_csv(schema(), "a,b,c\nxx,s,1.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, StorageError::Csv(2, _)));
+    }
+
+    #[test]
+    fn rejects_unterminated_quote() {
+        let err = read_csv(schema(), "a,b,c\n1,\"oops,2.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, StorageError::Csv(2, _)));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let t = read_csv(schema(), "a,b,c\n1,x,2.0\n\n2,y,3.0\n".as_bytes()).unwrap();
+        assert_eq!(t.num_rows(), 2);
+    }
+}

@@ -1,0 +1,218 @@
+//! Databases: a set of tables with a validated join graph.
+
+use crate::error::StorageError;
+use crate::join_graph::JoinGraph;
+use crate::schema::DatabaseSchema;
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A materialised database instance.
+#[derive(Debug, Clone)]
+pub struct Database {
+    schema: DatabaseSchema,
+    graph: JoinGraph,
+    /// Tables in schema declaration order.
+    tables: Vec<Table>,
+}
+
+impl Database {
+    /// Assemble a database from tables matching the schema.
+    ///
+    /// Validates the join graph (tree), table presence/order, and — when
+    /// `check_integrity` — referential integrity of every fk edge.
+    pub fn new(
+        schema: DatabaseSchema,
+        tables: Vec<Table>,
+        check_integrity: bool,
+    ) -> Result<Self, StorageError> {
+        let graph = JoinGraph::new(&schema)?;
+        if tables.len() != schema.tables().len() {
+            return Err(StorageError::SchemaViolation(format!(
+                "schema declares {} tables but {} were provided",
+                schema.tables().len(),
+                tables.len()
+            )));
+        }
+        for (decl, tab) in schema.tables().iter().zip(&tables) {
+            if decl != tab.schema() {
+                return Err(StorageError::SchemaViolation(format!(
+                    "table {} does not match its declared schema",
+                    decl.name
+                )));
+            }
+        }
+        let db = Database {
+            schema,
+            graph,
+            tables,
+        };
+        if check_integrity {
+            db.check_referential_integrity()?;
+        }
+        Ok(db)
+    }
+
+    /// A single-relation database.
+    pub fn single(table: Table) -> Self {
+        let schema = DatabaseSchema::single(table.schema().clone());
+        let graph = JoinGraph::new(&schema).expect("single table is a trivial tree");
+        Database {
+            schema,
+            graph,
+            tables: vec![table],
+        }
+    }
+
+    fn check_referential_integrity(&self) -> Result<(), StorageError> {
+        for &t in self.graph.topo_order() {
+            let Some(p) = self.graph.parent(t) else {
+                continue;
+            };
+            let fk_col = self.graph.fk_column(t).expect("non-root has fk column");
+            let fk_idx = self.tables[t]
+                .schema()
+                .column_index(fk_col)
+                .ok_or_else(|| {
+                    StorageError::UnknownColumn(self.tables[t].name().into(), fk_col.into())
+                })?;
+            let pk_idx = self.tables[p].schema().pk_index().ok_or_else(|| {
+                StorageError::SchemaViolation(format!(
+                    "table {} has no primary key",
+                    self.tables[p].name()
+                ))
+            })?;
+            let pk_values: std::collections::HashSet<Value> =
+                self.tables[p].column(pk_idx).iter().collect();
+            for v in self.tables[t].column(fk_idx).iter() {
+                if !v.is_null() && !pk_values.contains(&v) {
+                    return Err(StorageError::SchemaViolation(format!(
+                        "fk violation: {}.{} = {} has no match in {}",
+                        self.tables[t].name(),
+                        fk_col,
+                        v,
+                        self.tables[p].name()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The database schema.
+    pub fn schema(&self) -> &DatabaseSchema {
+        &self.schema
+    }
+
+    /// The validated join graph.
+    pub fn graph(&self) -> &JoinGraph {
+        &self.graph
+    }
+
+    /// Tables in schema order.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// The table at graph index `t`.
+    pub fn table(&self, t: usize) -> &Table {
+        &self.tables[t]
+    }
+
+    /// Look up a table by name.
+    pub fn table_by_name(&self, name: &str) -> Option<&Table> {
+        self.graph.index_of(name).map(|i| &self.tables[i])
+    }
+
+    /// Per-pk-value fanout of fk table `t` into its parent: how many rows of
+    /// `t` carry each join-key value. Keys absent from the map have fanout 0.
+    pub fn fanout_of(&self, t: usize) -> Result<HashMap<Value, u64>, StorageError> {
+        let fk_col = self.graph.fk_column(t).ok_or_else(|| {
+            StorageError::SchemaViolation(format!("table {} is the root", self.tables[t].name()))
+        })?;
+        let fk_idx = self.tables[t]
+            .schema()
+            .column_index(fk_col)
+            .ok_or_else(|| {
+                StorageError::UnknownColumn(self.tables[t].name().into(), fk_col.into())
+            })?;
+        Ok(self.tables[t].value_counts(fk_idx))
+    }
+
+    /// Total rows across all relations.
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(Table::num_rows).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example;
+
+    #[test]
+    fn paper_example_database_is_valid() {
+        let db = paper_example::figure3_database();
+        assert_eq!(db.tables().len(), 3);
+        assert_eq!(db.table_by_name("A").unwrap().num_rows(), 4);
+        assert_eq!(db.table_by_name("B").unwrap().num_rows(), 3);
+        assert_eq!(db.table_by_name("C").unwrap().num_rows(), 4);
+        assert_eq!(db.total_rows(), 11);
+    }
+
+    #[test]
+    fn fanout_matches_paper_figure3() {
+        let db = paper_example::figure3_database();
+        let b = db.graph().index_of("B").unwrap();
+        let c = db.graph().index_of("C").unwrap();
+        let fan_b = db.fanout_of(b).unwrap();
+        let fan_c = db.fanout_of(c).unwrap();
+        // B has one row with x=1 and two rows with x=2.
+        assert_eq!(fan_b.get(&Value::Int(1)), Some(&1));
+        assert_eq!(fan_b.get(&Value::Int(2)), Some(&2));
+        // C has two rows with x=1 and two with x=2.
+        assert_eq!(fan_c.get(&Value::Int(1)), Some(&2));
+        assert_eq!(fan_c.get(&Value::Int(2)), Some(&2));
+        // x=3 and x=4 join nothing.
+        assert_eq!(fan_b.get(&Value::Int(3)), None);
+    }
+
+    #[test]
+    fn integrity_check_rejects_dangling_fk() {
+        use crate::schema::{ColumnDef, DatabaseSchema, ForeignKeyEdge, TableSchema};
+        use crate::table::Table;
+        use crate::value::DataType;
+
+        let a_schema = TableSchema::new(
+            "A",
+            vec![
+                ColumnDef::primary_key("x"),
+                ColumnDef::content("a", DataType::Str),
+            ],
+        );
+        let b_schema = TableSchema::new(
+            "B",
+            vec![
+                ColumnDef::foreign_key("x", "A"),
+                ColumnDef::content("b", DataType::Str),
+            ],
+        );
+        let schema = DatabaseSchema::new(
+            vec![a_schema.clone(), b_schema.clone()],
+            vec![ForeignKeyEdge {
+                pk_table: "A".into(),
+                fk_table: "B".into(),
+                fk_column: "x".into(),
+            }],
+        )
+        .unwrap();
+        let a = Table::from_rows(a_schema, &[vec![Value::Int(1), Value::str("m")]]).unwrap();
+        let b = Table::from_rows(
+            b_schema,
+            &[vec![Value::Int(9), Value::str("a")]], // dangling fk
+        )
+        .unwrap();
+        let err = Database::new(schema, vec![a, b], true).unwrap_err();
+        assert!(matches!(err, StorageError::SchemaViolation(_)));
+    }
+}

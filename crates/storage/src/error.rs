@@ -1,0 +1,35 @@
+//! Error types for the storage layer.
+
+use std::fmt;
+
+/// Errors raised while constructing or manipulating relational data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A table name was not found in the schema.
+    UnknownTable(String),
+    /// A column name was not found in a table (table, column).
+    UnknownColumn(String, String),
+    /// A structural schema rule was violated (message).
+    SchemaViolation(String),
+    /// The join graph is not an acyclic tree as required by the paper (§2.2).
+    NotATree(String),
+    /// Row data did not match the declared schema (message).
+    RowShape(String),
+    /// CSV parsing failed (line number, message).
+    Csv(usize, String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            StorageError::UnknownColumn(t, c) => write!(f, "unknown column: {t}.{c}"),
+            StorageError::SchemaViolation(m) => write!(f, "schema violation: {m}"),
+            StorageError::NotATree(m) => write!(f, "join graph is not a tree: {m}"),
+            StorageError::RowShape(m) => write!(f, "row does not match schema: {m}"),
+            StorageError::Csv(line, m) => write!(f, "csv error at line {line}: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

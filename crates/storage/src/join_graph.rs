@@ -1,0 +1,347 @@
+//! The join graph: a tree-structured DAG over relations (paper §2.2).
+//!
+//! Vertices are relations; a directed edge runs from table `T1` to `T2` when
+//! `T1`'s primary key joins `T2`'s foreign key. SAM (like the paper) requires
+//! the graph to be a rooted tree: acyclic, one parent per table, connected.
+
+use crate::error::StorageError;
+use crate::schema::DatabaseSchema;
+
+/// Validated tree view of a [`DatabaseSchema`]'s foreign-key edges.
+#[derive(Debug, Clone)]
+pub struct JoinGraph {
+    /// Table names in schema declaration order.
+    tables: Vec<String>,
+    /// `parent[i]` = index of the pk-side table `i` joins into, if any.
+    parent: Vec<Option<usize>>,
+    /// `fk_column[i]` = the fk column in table `i` joining its parent.
+    fk_column: Vec<Option<String>>,
+    /// `children[i]` = fk-side tables referencing table `i`.
+    children: Vec<Vec<usize>>,
+    /// Index of the root (single-relation databases: table 0).
+    root: usize,
+    /// Tables in a root-first topological order.
+    topo: Vec<usize>,
+}
+
+impl JoinGraph {
+    /// Build and validate the join graph from a schema.
+    ///
+    /// Errors if a table has more than one parent, the edges contain a cycle,
+    /// or (for multi-table schemas) the graph is disconnected.
+    pub fn new(schema: &DatabaseSchema) -> Result<Self, StorageError> {
+        let n = schema.tables().len();
+        let tables: Vec<String> = schema.tables().iter().map(|t| t.name.clone()).collect();
+        let mut parent = vec![None; n];
+        let mut fk_column = vec![None; n];
+        let mut children = vec![Vec::new(); n];
+
+        for e in schema.edges() {
+            let pk = schema
+                .table_index(&e.pk_table)
+                .ok_or_else(|| StorageError::UnknownTable(e.pk_table.clone()))?;
+            let fk = schema
+                .table_index(&e.fk_table)
+                .ok_or_else(|| StorageError::UnknownTable(e.fk_table.clone()))?;
+            if parent[fk].is_some() {
+                return Err(StorageError::NotATree(format!(
+                    "table {} has multiple parents",
+                    e.fk_table
+                )));
+            }
+            parent[fk] = Some(pk);
+            fk_column[fk] = Some(e.fk_column.clone());
+            children[pk].push(fk);
+        }
+
+        let roots: Vec<usize> = (0..n).filter(|&i| parent[i].is_none()).collect();
+        if n > 0 && roots.len() != 1 {
+            return Err(StorageError::NotATree(format!(
+                "expected exactly one root, found {} ({:?})",
+                roots.len(),
+                roots.iter().map(|&i| &tables[i]).collect::<Vec<_>>()
+            )));
+        }
+        let root = roots.first().copied().unwrap_or(0);
+
+        // Root-first topological order; also detects cycles/disconnection.
+        let mut topo = Vec::with_capacity(n);
+        let mut stack = vec![root];
+        let mut seen = vec![false; n];
+        while let Some(t) = stack.pop() {
+            if seen[t] {
+                return Err(StorageError::NotATree(format!(
+                    "cycle detected at table {}",
+                    tables[t]
+                )));
+            }
+            seen[t] = true;
+            topo.push(t);
+            // Push reversed so children pop in declaration order.
+            for &c in children[t].iter().rev() {
+                stack.push(c);
+            }
+        }
+        if topo.len() != n {
+            return Err(StorageError::NotATree(
+                "join graph is disconnected".to_string(),
+            ));
+        }
+
+        Ok(JoinGraph {
+            tables,
+            parent,
+            fk_column,
+            children,
+            root,
+            topo,
+        })
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True iff the graph has no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Table names in schema order.
+    pub fn tables(&self) -> &[String] {
+        &self.tables
+    }
+
+    /// Index of the root relation.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Index of a table by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.tables.iter().position(|t| t == name)
+    }
+
+    /// Parent (pk-side) table of `t`, if `t` is not the root.
+    pub fn parent(&self, t: usize) -> Option<usize> {
+        self.parent[t]
+    }
+
+    /// The fk column in `t` joining its parent, if `t` is not the root.
+    pub fn fk_column(&self, t: usize) -> Option<&str> {
+        self.fk_column[t].as_deref()
+    }
+
+    /// Children (fk-side) tables of `t`.
+    pub fn children(&self, t: usize) -> &[usize] {
+        &self.children[t]
+    }
+
+    /// Strict ancestors of `t` (parent, grandparent, …, root).
+    pub fn ancestors(&self, t: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut cur = t;
+        while let Some(p) = self.parent[cur] {
+            out.push(p);
+            cur = p;
+        }
+        out
+    }
+
+    /// `t` plus every table reachable below it.
+    pub fn subtree(&self, t: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![t];
+        while let Some(x) = stack.pop() {
+            out.push(x);
+            stack.extend(self.children[x].iter().copied());
+        }
+        out
+    }
+
+    /// Root-first topological order of all tables.
+    pub fn topo_order(&self) -> &[usize] {
+        &self.topo
+    }
+
+    /// Non-root tables (those owning a fanout/indicator virtual column) in
+    /// topological order.
+    pub fn fk_tables(&self) -> Vec<usize> {
+        self.topo
+            .iter()
+            .copied()
+            .filter(|&t| self.parent[t].is_some())
+            .collect()
+    }
+
+    /// The smallest connected subtree containing `tables` (the tables a join
+    /// query over `tables` must touch). Assumes `tables` is non-empty.
+    pub fn steiner_tree(&self, tables: &[usize]) -> Vec<usize> {
+        // Union of root-paths, then trim prefixes above the highest branching
+        // point is unnecessary for fk-join semantics: any query joining a set
+        // of tables in a tree schema must include every table on the paths
+        // between them, which equals the union of paths to their LCA.
+        let mut paths: Vec<Vec<usize>> = tables
+            .iter()
+            .map(|&t| {
+                let mut p = self.ancestors(t);
+                p.reverse(); // root .. parent
+                p.push(t);
+                p
+            })
+            .collect();
+        // Depth of the LCA = longest common prefix of all root-paths.
+        let mut lca_depth = paths[0].len();
+        for p in &paths[1..] {
+            let common = paths[0]
+                .iter()
+                .zip(p.iter())
+                .take_while(|(a, b)| a == b)
+                .count();
+            lca_depth = lca_depth.min(common);
+        }
+        let mut out: Vec<usize> = Vec::new();
+        for p in paths.iter_mut() {
+            for &t in &p[lca_depth.saturating_sub(1)..] {
+                if !out.contains(&t) {
+                    out.push(t);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, DatabaseSchema, ForeignKeyEdge, TableSchema};
+    use crate::value::DataType;
+
+    fn edge(pk: &str, fk: &str, col: &str) -> ForeignKeyEdge {
+        ForeignKeyEdge {
+            pk_table: pk.into(),
+            fk_table: fk.into(),
+            fk_column: col.into(),
+        }
+    }
+
+    fn pk_table(name: &str) -> TableSchema {
+        TableSchema::new(
+            name,
+            vec![
+                ColumnDef::primary_key("id"),
+                ColumnDef::content("v", DataType::Int),
+            ],
+        )
+    }
+
+    fn fk_table(name: &str, parent: &str) -> TableSchema {
+        TableSchema::new(
+            name,
+            vec![
+                ColumnDef::primary_key("id"),
+                ColumnDef::foreign_key("pid", parent),
+                ColumnDef::content("v", DataType::Int),
+            ],
+        )
+    }
+
+    /// A -> {B, C}, B -> D (a depth-2 tree).
+    fn tree() -> JoinGraph {
+        let schema = DatabaseSchema::new(
+            vec![
+                pk_table("A"),
+                fk_table("B", "A"),
+                fk_table("C", "A"),
+                fk_table("D", "B"),
+            ],
+            vec![
+                edge("A", "B", "pid"),
+                edge("A", "C", "pid"),
+                edge("B", "D", "pid"),
+            ],
+        )
+        .unwrap();
+        JoinGraph::new(&schema).unwrap()
+    }
+
+    #[test]
+    fn root_and_parents() {
+        let g = tree();
+        assert_eq!(g.root(), 0);
+        assert_eq!(g.parent(1), Some(0));
+        assert_eq!(g.parent(3), Some(1));
+        assert_eq!(g.parent(0), None);
+        assert_eq!(g.fk_column(1), Some("pid"));
+    }
+
+    #[test]
+    fn ancestors_and_subtree() {
+        let g = tree();
+        assert_eq!(g.ancestors(3), vec![1, 0]);
+        assert_eq!(g.ancestors(0), Vec::<usize>::new());
+        let mut sub = g.subtree(1);
+        sub.sort_unstable();
+        assert_eq!(sub, vec![1, 3]);
+    }
+
+    #[test]
+    fn topo_order_is_root_first() {
+        let g = tree();
+        let topo = g.topo_order();
+        assert_eq!(topo[0], 0);
+        let pos = |t: usize| topo.iter().position(|&x| x == t).unwrap();
+        assert!(pos(1) < pos(3));
+    }
+
+    #[test]
+    fn steiner_tree_includes_connecting_tables() {
+        let g = tree();
+        // D and C connect through B and A.
+        assert_eq!(g.steiner_tree(&[3, 2]), vec![0, 1, 2, 3]);
+        // B alone.
+        assert_eq!(g.steiner_tree(&[1]), vec![1]);
+        // A and D connect through B.
+        assert_eq!(g.steiner_tree(&[0, 3]), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn rejects_two_parents() {
+        let schema = DatabaseSchema::new(
+            vec![
+                pk_table("A"),
+                pk_table("B"),
+                TableSchema::new(
+                    "C",
+                    vec![
+                        ColumnDef::foreign_key("pa", "A"),
+                        ColumnDef::foreign_key("pb", "B"),
+                    ],
+                ),
+            ],
+            vec![edge("A", "C", "pa"), edge("B", "C", "pb")],
+        )
+        .unwrap();
+        let err = JoinGraph::new(&schema).unwrap_err();
+        assert!(matches!(err, StorageError::NotATree(_)));
+    }
+
+    #[test]
+    fn rejects_disconnected_forest() {
+        let schema = DatabaseSchema::new(vec![pk_table("A"), pk_table("B")], vec![]).unwrap();
+        let err = JoinGraph::new(&schema).unwrap_err();
+        assert!(matches!(err, StorageError::NotATree(_)));
+    }
+
+    #[test]
+    fn single_table_graph() {
+        let schema = DatabaseSchema::single(pk_table("A"));
+        let g = JoinGraph::new(&schema).unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.root(), 0);
+        assert!(g.fk_tables().is_empty());
+    }
+}

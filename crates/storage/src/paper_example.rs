@@ -1,0 +1,96 @@
+//! The worked example from Figure 3 of the paper, used as a shared fixture.
+//!
+//! Relation `A` (pk `x`, content `a`) is joined by `B` and `C` through fk
+//! column `x`:
+//!
+//! ```text
+//! A: (1,m) (2,m) (3,n) (4,n)
+//! B: (1,a) (2,b) (2,c)
+//! C: (1,i) (1,j) (2,i) (2,j)
+//! ```
+//!
+//! The full outer join has 8 rows: tuple `(1,m)` is fanned out twice (two `C`
+//! matches), `(2,m)` four times (two `B` × two `C` matches), and `(3,n)`,
+//! `(4,n)` appear once each with NULL `B`/`C` sides — exactly the numbers the
+//! paper's inverse-probability-weighting walkthrough relies on.
+
+use crate::database::Database;
+use crate::schema::{ColumnDef, DatabaseSchema, ForeignKeyEdge, TableSchema};
+use crate::table::Table;
+use crate::value::{DataType, Value};
+
+/// Schema of the Figure 3 database (`A -> {B, C}` star).
+pub fn figure3_schema() -> DatabaseSchema {
+    let a = TableSchema::new(
+        "A",
+        vec![
+            ColumnDef::primary_key("x"),
+            ColumnDef::content("a", DataType::Str),
+        ],
+    );
+    let b = TableSchema::new(
+        "B",
+        vec![
+            ColumnDef::foreign_key("x", "A"),
+            ColumnDef::content("b", DataType::Str),
+        ],
+    );
+    let c = TableSchema::new(
+        "C",
+        vec![
+            ColumnDef::foreign_key("x", "A"),
+            ColumnDef::content("c", DataType::Str),
+        ],
+    );
+    DatabaseSchema::new(
+        vec![a, b, c],
+        vec![
+            ForeignKeyEdge {
+                pk_table: "A".into(),
+                fk_table: "B".into(),
+                fk_column: "x".into(),
+            },
+            ForeignKeyEdge {
+                pk_table: "A".into(),
+                fk_table: "C".into(),
+                fk_column: "x".into(),
+            },
+        ],
+    )
+    .expect("figure 3 schema is valid")
+}
+
+/// The Figure 3 database instance.
+pub fn figure3_database() -> Database {
+    let schema = figure3_schema();
+    let a = Table::from_rows(
+        schema.table("A").unwrap().clone(),
+        &[
+            vec![Value::Int(1), Value::str("m")],
+            vec![Value::Int(2), Value::str("m")],
+            vec![Value::Int(3), Value::str("n")],
+            vec![Value::Int(4), Value::str("n")],
+        ],
+    )
+    .unwrap();
+    let b = Table::from_rows(
+        schema.table("B").unwrap().clone(),
+        &[
+            vec![Value::Int(1), Value::str("a")],
+            vec![Value::Int(2), Value::str("b")],
+            vec![Value::Int(2), Value::str("c")],
+        ],
+    )
+    .unwrap();
+    let c = Table::from_rows(
+        schema.table("C").unwrap().clone(),
+        &[
+            vec![Value::Int(1), Value::str("i")],
+            vec![Value::Int(1), Value::str("j")],
+            vec![Value::Int(2), Value::str("i")],
+            vec![Value::Int(2), Value::str("j")],
+        ],
+    )
+    .unwrap();
+    Database::new(schema, vec![a, b, c], true).expect("figure 3 instance is consistent")
+}

@@ -1,0 +1,309 @@
+//! Logical schemas: columns, tables, foreign-key edges, databases.
+
+use crate::error::StorageError;
+use crate::value::DataType;
+use std::fmt;
+
+/// The role a column plays in its table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnRole {
+    /// A value attribute; the only kind queries may filter (paper §2.2).
+    Content,
+    /// The table's primary key (at most one per table).
+    PrimaryKey,
+    /// A foreign key referencing `references`' primary key.
+    ForeignKey {
+        /// Name of the referenced (primary-key) table.
+        references: String,
+    },
+}
+
+/// Definition of one column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name, unique within its table.
+    pub name: String,
+    /// Logical data type.
+    pub dtype: DataType,
+    /// Role (content / pk / fk).
+    pub role: ColumnRole,
+}
+
+impl ColumnDef {
+    /// A content (value) column.
+    pub fn content(name: impl Into<String>, dtype: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            dtype,
+            role: ColumnRole::Content,
+        }
+    }
+
+    /// An integer primary-key column.
+    pub fn primary_key(name: impl Into<String>) -> Self {
+        ColumnDef {
+            name: name.into(),
+            dtype: DataType::Int,
+            role: ColumnRole::PrimaryKey,
+        }
+    }
+
+    /// An integer foreign-key column referencing `references`.
+    pub fn foreign_key(name: impl Into<String>, references: impl Into<String>) -> Self {
+        ColumnDef {
+            name: name.into(),
+            dtype: DataType::Int,
+            role: ColumnRole::ForeignKey {
+                references: references.into(),
+            },
+        }
+    }
+}
+
+/// Schema of one relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Relation name, unique within the database.
+    pub name: String,
+    /// Ordered column definitions.
+    pub columns: Vec<ColumnDef>,
+}
+
+impl TableSchema {
+    /// Create a table schema.
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>) -> Self {
+        TableSchema {
+            name: name.into(),
+            columns,
+        }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of the column named `name`.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Index of the primary-key column, if declared.
+    pub fn pk_index(&self) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.role == ColumnRole::PrimaryKey)
+    }
+
+    /// Indices of foreign-key columns together with the referenced table.
+    pub fn fk_indices(&self) -> Vec<(usize, &str)> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| match &c.role {
+                ColumnRole::ForeignKey { references } => Some((i, references.as_str())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Indices of content columns.
+    pub fn content_indices(&self) -> Vec<usize> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.role == ColumnRole::Content)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// A foreign-key join edge: `fk_table.fk_column` references
+/// `pk_table`'s primary key. In the paper's join graph the edge is directed
+/// `pk_table -> fk_table`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKeyEdge {
+    /// Table owning the referenced primary key.
+    pub pk_table: String,
+    /// Table owning the foreign-key column.
+    pub fk_table: String,
+    /// Name of the foreign-key column in `fk_table`.
+    pub fk_column: String,
+}
+
+impl fmt::Display for ForeignKeyEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} -> {}.{}",
+            self.pk_table, self.fk_table, self.fk_column
+        )
+    }
+}
+
+/// Schema of a whole database: tables plus foreign-key edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatabaseSchema {
+    tables: Vec<TableSchema>,
+    edges: Vec<ForeignKeyEdge>,
+}
+
+impl DatabaseSchema {
+    /// Single-relation database schema (no joins).
+    pub fn single(table: TableSchema) -> Self {
+        DatabaseSchema {
+            tables: vec![table],
+            edges: vec![],
+        }
+    }
+
+    /// Multi-relation schema. Validates that every edge references declared
+    /// tables and a declared fk column, and that referenced tables have a
+    /// primary key.
+    pub fn new(tables: Vec<TableSchema>, edges: Vec<ForeignKeyEdge>) -> Result<Self, StorageError> {
+        let schema = DatabaseSchema { tables, edges };
+        for e in &schema.edges {
+            let pk = schema
+                .table(&e.pk_table)
+                .ok_or_else(|| StorageError::UnknownTable(e.pk_table.clone()))?;
+            if pk.pk_index().is_none() {
+                return Err(StorageError::SchemaViolation(format!(
+                    "table {} is referenced by {} but has no primary key",
+                    e.pk_table, e
+                )));
+            }
+            let fk = schema
+                .table(&e.fk_table)
+                .ok_or_else(|| StorageError::UnknownTable(e.fk_table.clone()))?;
+            match fk.column_index(&e.fk_column) {
+                Some(i) => {
+                    let role = &fk.columns[i].role;
+                    let ok = matches!(role, ColumnRole::ForeignKey { references } if *references == e.pk_table);
+                    if !ok {
+                        return Err(StorageError::SchemaViolation(format!(
+                            "column {}.{} is not a foreign key to {}",
+                            e.fk_table, e.fk_column, e.pk_table
+                        )));
+                    }
+                }
+                None => {
+                    return Err(StorageError::UnknownColumn(
+                        e.fk_table.clone(),
+                        e.fk_column.clone(),
+                    ))
+                }
+            }
+        }
+        Ok(schema)
+    }
+
+    /// All tables in declaration order.
+    pub fn tables(&self) -> &[TableSchema] {
+        &self.tables
+    }
+
+    /// All foreign-key edges.
+    pub fn edges(&self) -> &[ForeignKeyEdge] {
+        &self.edges
+    }
+
+    /// Look up a table schema by name.
+    pub fn table(&self, name: &str) -> Option<&TableSchema> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Index of a table in declaration order.
+    pub fn table_index(&self, name: &str) -> Option<usize> {
+        self.tables.iter().position(|t| t.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star_schema() -> DatabaseSchema {
+        let a = TableSchema::new(
+            "A",
+            vec![
+                ColumnDef::primary_key("x"),
+                ColumnDef::content("a", DataType::Str),
+            ],
+        );
+        let b = TableSchema::new(
+            "B",
+            vec![
+                ColumnDef::foreign_key("x", "A"),
+                ColumnDef::content("b", DataType::Str),
+            ],
+        );
+        DatabaseSchema::new(
+            vec![a, b],
+            vec![ForeignKeyEdge {
+                pk_table: "A".into(),
+                fk_table: "B".into(),
+                fk_column: "x".into(),
+            }],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_and_indexes() {
+        let s = star_schema();
+        assert_eq!(s.tables().len(), 2);
+        assert_eq!(s.table_index("B"), Some(1));
+        let a = s.table("A").unwrap();
+        assert_eq!(a.pk_index(), Some(0));
+        assert_eq!(a.content_indices(), vec![1]);
+        let b = s.table("B").unwrap();
+        assert_eq!(b.fk_indices(), vec![(0, "A")]);
+    }
+
+    #[test]
+    fn rejects_edge_to_unknown_table() {
+        let a = TableSchema::new("A", vec![ColumnDef::primary_key("x")]);
+        let err = DatabaseSchema::new(
+            vec![a],
+            vec![ForeignKeyEdge {
+                pk_table: "A".into(),
+                fk_table: "Z".into(),
+                fk_column: "x".into(),
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, StorageError::UnknownTable(_)));
+    }
+
+    #[test]
+    fn rejects_edge_without_pk() {
+        let a = TableSchema::new("A", vec![ColumnDef::content("a", DataType::Int)]);
+        let b = TableSchema::new("B", vec![ColumnDef::foreign_key("x", "A")]);
+        let err = DatabaseSchema::new(
+            vec![a, b],
+            vec![ForeignKeyEdge {
+                pk_table: "A".into(),
+                fk_table: "B".into(),
+                fk_column: "x".into(),
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, StorageError::SchemaViolation(_)));
+    }
+
+    #[test]
+    fn rejects_non_fk_column_edge() {
+        let a = TableSchema::new("A", vec![ColumnDef::primary_key("x")]);
+        let b = TableSchema::new("B", vec![ColumnDef::content("x", DataType::Int)]);
+        let err = DatabaseSchema::new(
+            vec![a, b],
+            vec![ForeignKeyEdge {
+                pk_table: "A".into(),
+                fk_table: "B".into(),
+                fk_column: "x".into(),
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, StorageError::SchemaViolation(_)));
+    }
+}

@@ -1,0 +1,123 @@
+//! Schema-level metadata available to a workload-driven generator.
+//!
+//! SAM never reads the target database's *rows*; it learns from (query,
+//! cardinality) pairs. It does, however, need coarse metadata that a cloud
+//! provider realistically has (paper §2.2, §4): table sizes `|T|` (used for
+//! normalisation and scaling), per-column categorical domains or numeric
+//! ranges (domain sizes are quoted for every dataset in §5.1), the full
+//! outer join size, and a cap on fk fanout (to bound the fanout-column
+//! domain). [`DatabaseStats::from_database`] extracts exactly this summary —
+//! the only channel through which the original data reaches the generator.
+
+use crate::database::Database;
+use crate::domain::Domain;
+use crate::value::DataType;
+use std::sync::Arc;
+
+/// Metadata for one content column.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    /// Column name.
+    pub name: String,
+    /// Logical type.
+    pub dtype: DataType,
+    /// The column's value domain (categorical dictionary, or the distinct
+    /// values for numerics; intervalization may shrink it later).
+    pub domain: Arc<Domain>,
+}
+
+/// Metadata for one relation.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    /// Relation name.
+    pub name: String,
+    /// `|T|` — the row count the generated relation must match.
+    pub num_rows: u64,
+    /// Stats for content columns only, in schema order.
+    pub columns: Vec<ColumnStats>,
+    /// Largest fanout of this table's fk into its parent (0 for the root);
+    /// bounds the fanout-column domain of the AR model.
+    pub max_fanout: u64,
+}
+
+/// Metadata for the whole database.
+#[derive(Debug, Clone)]
+pub struct DatabaseStats {
+    /// Per-table stats in schema order.
+    pub tables: Vec<TableStats>,
+    /// `|FOJ|` — the full-outer-join size (normaliser for join cardinalities).
+    pub foj_size: u128,
+}
+
+impl DatabaseStats {
+    /// Extract the metadata summary from a database instance.
+    pub fn from_database(db: &Database) -> Self {
+        let graph = db.graph();
+        let tables = db
+            .tables()
+            .iter()
+            .enumerate()
+            .map(|(t, table)| {
+                let columns = table
+                    .schema()
+                    .content_indices()
+                    .into_iter()
+                    .map(|ci| ColumnStats {
+                        name: table.schema().columns[ci].name.clone(),
+                        dtype: table.schema().columns[ci].dtype,
+                        domain: Arc::clone(table.column(ci).domain()),
+                    })
+                    .collect();
+                let max_fanout = if graph.parent(t).is_some() {
+                    db.fanout_of(t)
+                        .map(|m| m.values().copied().max().unwrap_or(0))
+                        .unwrap_or(0)
+                } else {
+                    0
+                };
+                TableStats {
+                    name: table.name().to_string(),
+                    num_rows: table.num_rows() as u64,
+                    columns,
+                    max_fanout,
+                }
+            })
+            .collect();
+        DatabaseStats {
+            tables,
+            foj_size: crate::foj::foj_size(db),
+        }
+    }
+
+    /// Stats of the table at join-graph index `t`.
+    pub fn table(&self, t: usize) -> &TableStats {
+        &self.tables[t]
+    }
+
+    /// Stats of the table named `name`.
+    pub fn table_by_name(&self, name: &str) -> Option<&TableStats> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example;
+
+    #[test]
+    fn figure3_stats() {
+        let db = paper_example::figure3_database();
+        let stats = DatabaseStats::from_database(&db);
+        assert_eq!(stats.foj_size, 8);
+        let a = stats.table_by_name("A").unwrap();
+        assert_eq!(a.num_rows, 4);
+        assert_eq!(a.max_fanout, 0);
+        assert_eq!(a.columns.len(), 1); // content column "a" only
+        assert_eq!(a.columns[0].domain.len(), 2); // {m, n}
+        let b = stats.table_by_name("B").unwrap();
+        assert_eq!(b.max_fanout, 2);
+        let c = stats.table_by_name("C").unwrap();
+        assert_eq!(c.max_fanout, 2);
+    }
+}

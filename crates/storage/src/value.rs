@@ -1,0 +1,241 @@
+//! Scalar values and data types.
+//!
+//! Every cell in a relation is a [`Value`]. Columns are dictionary-encoded
+//! (see [`crate::domain`]), so `Value` comparisons and hashing must be total:
+//! floats are ordered with [`f64::total_cmp`] and hashed by bit pattern.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// The logical type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integers (also used for dates encoded as days, booleans, …).
+    Int,
+    /// 64-bit IEEE floats with total ordering.
+    Float,
+    /// Interned UTF-8 strings.
+    Str,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "INT"),
+            DataType::Float => write!(f, "FLOAT"),
+            DataType::Str => write!(f, "TEXT"),
+        }
+    }
+}
+
+/// A single scalar value.
+///
+/// `Null` sorts before every non-null value; across types the order is
+/// `Int < Float < Str` (mixed-type columns never occur in practice, but the
+/// ordering must still be total for dictionary encoding).
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL (appears in full-outer-join results for non-matching rows).
+    Null,
+    /// Integer value.
+    Int(i64),
+    /// Floating-point value.
+    Float(f64),
+    /// String value (cheaply cloneable).
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// True iff this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The [`DataType`] of a non-null value; `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+        }
+    }
+
+    /// Interpret the value as `i64`, if it is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as `f64` (integers are widened).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) => 1,
+            Value::Float(_) => 2,
+            Value::Str(_) => 3,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Str(a), Str(b)) => a.as_ref().cmp(b.as_ref()),
+            // Mixed types / NULL: order by type rank so the order stays total.
+            (a, b) => a.type_rank().cmp(&b.type_rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.type_rank().hash(state);
+        match self {
+            Value::Null => {}
+            Value::Int(v) => v.hash(state),
+            Value::Float(v) => v.to_bits().hash(state),
+            Value::Str(s) => s.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        assert!(Value::Null < Value::Int(i64::MIN));
+        assert!(Value::Null < Value::Float(f64::NEG_INFINITY));
+        assert!(Value::Null < Value::str(""));
+    }
+
+    #[test]
+    fn int_ordering() {
+        assert!(Value::Int(-5) < Value::Int(3));
+        assert_eq!(Value::Int(7), Value::Int(7));
+    }
+
+    #[test]
+    fn float_total_ordering_handles_nan() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert!(Value::Float(1.0) < nan);
+    }
+
+    #[test]
+    fn string_ordering_is_lexicographic() {
+        assert!(Value::str("abc") < Value::str("abd"));
+        assert_eq!(Value::str("x"), Value::str("x"));
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(hash_of(&Value::Int(42)), hash_of(&Value::Int(42)));
+        assert_eq!(hash_of(&Value::str("hi")), hash_of(&Value::str("hi")));
+        assert_eq!(hash_of(&Value::Float(2.5)), hash_of(&Value::Float(2.5)));
+    }
+
+    #[test]
+    fn data_type_accessors() {
+        assert_eq!(Value::Int(1).data_type(), Some(DataType::Int));
+        assert_eq!(Value::Null.data_type(), None);
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(1.5).as_f64(), Some(1.5));
+        assert_eq!(Value::str("a").as_str(), Some("a"));
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn display_round_trips_readably() {
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::str("q").to_string(), "'q'");
+    }
+}

@@ -1,0 +1,51 @@
+//! DBMS benchmarking without the data (paper §1, first use case).
+//!
+//! A cloud provider wants to benchmark an engine on a customer's database
+//! it cannot access. It generates a synthetic stand-in from the query
+//! workload and compares query latencies: if the *performance deviation*
+//! between original and synthetic is small, benchmark results transfer.
+//!
+//! Run with: `cargo run --release --example benchmarking_census`
+
+use sam::engine::{performance_deviation, Engine};
+use sam::prelude::*;
+
+fn main() {
+    let target = sam::datasets::census(12_000, 1);
+    let stats = DatabaseStats::from_database(&target);
+
+    // Train from a workload and generate the stand-in.
+    let mut gen = WorkloadGenerator::new(&target, 1);
+    let workload =
+        label_workload(&target, gen.single_workload("census", 2_000)).expect("labelling");
+    let mut config = SamConfig::default();
+    config.train.epochs = 8;
+    let trained = Sam::fit(target.schema(), &stats, &workload, &config).expect("training");
+    let (synthetic, _) = trained
+        .generate(&GenerationConfig::default())
+        .expect("generation");
+
+    // An independent benchmark workload the provider wants to time.
+    let bench_queries: Vec<Query> =
+        WorkloadGenerator::new(&target, 999).single_workload("census", 40);
+
+    // Run it on both databases with the same engine.
+    let orig_engine = Engine::new(&target);
+    let synth_engine = Engine::new(&synthetic);
+    println!("{:<64} {:>10} {:>10}", "query", "orig µs", "synth µs");
+    for q in bench_queries.iter().take(10) {
+        let a = orig_engine.latency_ms(q, 7).unwrap() * 1e3;
+        let b = synth_engine.latency_ms(q, 7).unwrap() * 1e3;
+        let sql = q.to_string();
+        let short = if sql.len() > 62 { &sql[..62] } else { &sql };
+        println!("{short:<64} {a:>10.1} {b:>10.1}");
+    }
+
+    let dev = performance_deviation(&target, &synthetic, &bench_queries, 7).unwrap();
+    let p = Percentiles::from_values(&dev.iter().map(|d| d * 1e3).collect::<Vec<_>>());
+    println!(
+        "\nperformance deviation: median {:.1} µs, 90th {:.1} µs, mean {:.1} µs",
+        p.median, p.p90, p.mean
+    );
+    println!("small deviation ⇒ benchmark results on the synthetic database transfer.");
+}

@@ -1,0 +1,74 @@
+//! Quickstart: the full SAM workflow on a small synthetic database.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use sam::prelude::*;
+
+fn main() {
+    // 1. The target database — in the paper's scenario this lives behind
+    //    the customer's access controls and is never handed over. Here we
+    //    stand it up synthetically.
+    let target = sam::datasets::census(5_000, 42);
+    let stats = DatabaseStats::from_database(&target);
+    println!(
+        "target: table `census`, {} rows x {} columns",
+        target.tables()[0].num_rows(),
+        target.tables()[0].num_columns()
+    );
+
+    // 2. The query workload — queries plus true cardinalities, the one
+    //    artifact the cloud provider may see.
+    let mut gen = WorkloadGenerator::new(&target, 42);
+    let queries = gen.single_workload("census", 1_000);
+    let workload = label_workload(&target, queries).expect("labelling");
+    println!("workload: {} labelled queries, e.g.:", workload.len());
+    for lq in workload.iter().take(3) {
+        println!("  {}  -- Card = {}", lq.query, lq.cardinality);
+    }
+
+    // 3. Learning stage: train the autoregressive model from the
+    //    (query, cardinality) pairs with differentiable progressive
+    //    sampling. No row of the target database is read.
+    let mut config = SamConfig::default();
+    config.train.epochs = 8;
+    let trained = Sam::fit(target.schema(), &stats, &workload, &config).expect("training");
+    println!(
+        "trained in {:.1}s; loss {:.3} -> {:.3}",
+        trained.report.wall_seconds,
+        trained.report.epoch_losses.first().unwrap(),
+        trained.report.epoch_losses.last().unwrap()
+    );
+
+    // 4. Generation stage: sample a synthetic database of the same size.
+    let (synthetic, report) = trained
+        .generate(&GenerationConfig::default())
+        .expect("generation");
+    println!(
+        "generated {} rows in {:.1}s",
+        synthetic.tables()[0].num_rows(),
+        report.wall_seconds
+    );
+
+    // 5. Fidelity: the input constraints hold on the synthetic database.
+    let q_errors: Vec<f64> = workload
+        .iter()
+        .take(500)
+        .map(|lq| {
+            let got = evaluate_cardinality(&synthetic, &lq.query).unwrap() as f64;
+            q_error(got, lq.cardinality as f64)
+        })
+        .collect();
+    let p = Percentiles::from_values(&q_errors);
+    println!(
+        "input-query Q-Error: median {:.2}, 90th {:.2}, mean {:.2}",
+        p.median, p.p90, p.mean
+    );
+
+    // 6. And it generalises: a brand-new query gets a similar count.
+    let probe =
+        parse_query("SELECT COUNT(*) FROM census WHERE census.age <= 40 AND census.income = 1")
+            .expect("valid SQL");
+    let truth = evaluate_cardinality(&target, &probe).unwrap();
+    let synth = evaluate_cardinality(&synthetic, &probe).unwrap();
+    println!("unseen probe: target {truth} vs synthetic {synth}");
+}

@@ -1,0 +1,416 @@
+//! `sam-cli` — drive the SAM pipeline from the command line.
+//!
+//! ```text
+//! sam-cli demo     --dataset census|dmv|imdb [--rows N] [--queries N] [--epochs N] [--seed N]
+//! sam-cli export   --dataset census|dmv|imdb --out DIR [--rows N] [--seed N]
+//! sam-cli train    --schema schema.json --data DIR --model-out model.json
+//!                  [--queries N | --workload FILE] [--epochs N] [--seed N]
+//! sam-cli generate --schema schema.json (--data DIR | --stats stats.json) --out DIR
+//!                  [--model model.json] [--queries N | --workload FILE]
+//!                  [--epochs N] [--foj-samples N] [--seed N]
+//! sam-cli evaluate --schema schema.json --original DIR --generated DIR
+//!                  [--queries N | --workload FILE] [--seed N]
+//! sam-cli estimate --schema schema.json --data DIR [--queries N] [--epochs N] [--seed N]
+//!                  (then one SQL query per stdin line)
+//! ```
+//!
+//! Data directories hold one `<table>.csv` per schema table (header row,
+//! `NULL` for SQL NULL). Workload files hold one `SELECT COUNT(*) …` query
+//! per line (blank lines and `--` comments ignored), optionally suffixed
+//! with its true cardinality as `-- card=N`; unlabelled queries are
+//! labelled against `--data`. With `--stats` plus a fully labelled
+//! workload, `generate` needs **no data at all** — the paper's scenario.
+
+use sam::prelude::*;
+use sam::schema_file::SchemaFile;
+use sam::stats_file::StatsFile;
+use sam::storage::csv::{read_csv, write_csv};
+use std::collections::HashMap;
+use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Minimal flag parser: `--key value` pairs after the subcommand.
+struct Args {
+    command: String,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let command = argv.first().cloned().ok_or_else(usage)?;
+        let mut flags = HashMap::new();
+        let mut i = 1;
+        while i < argv.len() {
+            let key = argv[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {:?}", argv[i]))?;
+            let value = argv
+                .get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("--{key} needs a value"))?;
+            flags.insert(key.to_string(), value);
+            i += 2;
+        }
+        Ok(Args { command, flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    fn required(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("--{key} is required"))
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad number {v:?}")),
+            None => Ok(default),
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: sam-cli <demo|export|train|generate|evaluate|estimate> [--flags]\n\
+     run with a subcommand; see the crate docs for details"
+        .into()
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse()?;
+    match args.command.as_str() {
+        "demo" => demo(&args),
+        "export" => export(&args),
+        "train" => train_cmd(&args),
+        "generate" => generate(&args),
+        "evaluate" => evaluate(&args),
+        "estimate" => estimate(&args),
+        other => Err(format!("unknown subcommand {other:?}\n{}", usage())),
+    }
+}
+
+// ---------------------------------------------------------------- datasets
+
+fn synthetic(dataset: &str, rows: usize, seed: u64) -> Result<Database, String> {
+    match dataset {
+        "census" => Ok(sam::datasets::census(rows, seed)),
+        "dmv" => Ok(sam::datasets::dmv(rows, seed)),
+        "imdb" => Ok(sam::datasets::imdb(&sam::datasets::ImdbConfig {
+            titles: rows / 10,
+            seed,
+            ..Default::default()
+        })),
+        other => Err(format!("unknown dataset {other:?} (census|dmv|imdb)")),
+    }
+}
+
+// ---------------------------------------------------------------- file I/O
+
+fn load_database(schema_path: &str, data_dir: &str) -> Result<Database, String> {
+    let text = fs::read_to_string(schema_path).map_err(|e| format!("read {schema_path}: {e}"))?;
+    let schema = SchemaFile::from_json(&text)?.to_schema()?;
+    let mut tables = Vec::new();
+    for t in schema.tables() {
+        let path = Path::new(data_dir).join(format!("{}.csv", t.name));
+        let file = fs::File::open(&path).map_err(|e| format!("open {path:?}: {e}"))?;
+        let table =
+            read_csv(t.clone(), BufReader::new(file)).map_err(|e| format!("{path:?}: {e}"))?;
+        tables.push(table);
+    }
+    Database::new(schema, tables, true).map_err(|e| e.to_string())
+}
+
+fn save_database(db: &Database, out_dir: &str) -> Result<Vec<PathBuf>, String> {
+    fs::create_dir_all(out_dir).map_err(|e| format!("mkdir {out_dir}: {e}"))?;
+    let schema_path = Path::new(out_dir).join("schema.json");
+    fs::write(&schema_path, SchemaFile::from_schema(db.schema()).to_json())
+        .map_err(|e| format!("write {schema_path:?}: {e}"))?;
+    let mut written = vec![schema_path];
+    for t in db.tables() {
+        let path = Path::new(out_dir).join(format!("{}.csv", t.name()));
+        let mut file = fs::File::create(&path).map_err(|e| format!("create {path:?}: {e}"))?;
+        write_csv(t, &mut file).map_err(|e| format!("write {path:?}: {e}"))?;
+        file.flush().map_err(|e| e.to_string())?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+fn load_workload_queries(path: &str) -> Result<Vec<Query>, String> {
+    let file = fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    sam::query::read_queries(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Load a *fully labelled* workload file (every line must carry `-- card=`).
+fn load_labelled_workload(path: &str) -> Result<Workload, String> {
+    let file = fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    sam::query::read_labeled_workload(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn build_workload(db: &Database, args: &Args, default_n: usize) -> Result<Workload, String> {
+    let queries = match args.get("workload") {
+        Some(path) => load_workload_queries(path)?,
+        None => {
+            let n: usize = args.num("queries", default_n)?;
+            let seed: u64 = args.num("seed", 0)?;
+            let mut gen = WorkloadGenerator::new(db, seed);
+            if db.tables().len() == 1 {
+                gen.single_workload(db.tables()[0].name(), n)
+            } else {
+                gen.multi_workload(n, 2)
+            }
+        }
+    };
+    label_workload(db, queries).map_err(|e| e.to_string())
+}
+
+fn sam_config(args: &Args) -> Result<SamConfig, String> {
+    let mut config = SamConfig::default();
+    config.train.epochs = args.num("epochs", 10usize)?;
+    config.train.seed = args.num("seed", 0u64)?;
+    config.model.seed = config.train.seed;
+    Ok(config)
+}
+
+fn fidelity_report(generated: &Database, workload: &Workload, label: &str) {
+    let qe: Vec<f64> = workload
+        .iter()
+        .take(1000)
+        .map(|lq| {
+            let got = evaluate_cardinality(generated, &lq.query).unwrap_or(0) as f64;
+            q_error(got, lq.cardinality as f64)
+        })
+        .collect();
+    let p = Percentiles::from_values(&qe);
+    println!(
+        "{label}: Q-Error median {:.2}  75th {:.2}  90th {:.2}  mean {:.2}  max {:.1}  ({} queries)",
+        p.median, p.p75, p.p90, p.mean, p.max, p.count
+    );
+}
+
+// ------------------------------------------------------------- subcommands
+
+fn demo(args: &Args) -> Result<(), String> {
+    let dataset = args.get("dataset").unwrap_or("census");
+    let rows: usize = args.num("rows", 8_000)?;
+    let seed: u64 = args.num("seed", 0)?;
+    let db = synthetic(dataset, rows, seed)?;
+    let stats = DatabaseStats::from_database(&db);
+    println!(
+        "dataset {dataset}: {} tables, {} total rows",
+        db.tables().len(),
+        db.total_rows()
+    );
+
+    let workload = build_workload(&db, args, 1_500)?;
+    println!("workload: {} labelled queries", workload.len());
+    let config = sam_config(args)?;
+    let trained = Sam::fit(db.schema(), &stats, &workload, &config).map_err(|e| e.to_string())?;
+    println!("trained in {:.1}s", trained.report.wall_seconds);
+
+    let (generated, report) = trained
+        .generate(&GenerationConfig {
+            seed,
+            ..Default::default()
+        })
+        .map_err(|e| e.to_string())?;
+    println!("generated in {:.1}s", report.wall_seconds);
+    fidelity_report(&generated, &workload, "input constraints");
+    Ok(())
+}
+
+fn export(args: &Args) -> Result<(), String> {
+    let dataset = args.required("dataset")?;
+    let out = args.required("out")?;
+    let rows: usize = args.num("rows", 8_000)?;
+    let seed: u64 = args.num("seed", 0)?;
+    let db = synthetic(dataset, rows, seed)?;
+    let mut files = save_database(&db, out)?;
+
+    // The no-data-access bundle: stats.json + a labelled workload sample.
+    let stats = DatabaseStats::from_database(&db);
+    let stats_path = Path::new(out).join("stats.json");
+    fs::write(&stats_path, StatsFile::from_stats(&stats).to_json())
+        .map_err(|e| format!("write {stats_path:?}: {e}"))?;
+    files.push(stats_path);
+    let workload = build_workload(&db, args, 1_000)?;
+    let wl_path = Path::new(out).join("workload.sql");
+    fs::write(&wl_path, sam::query::format_workload(&workload))
+        .map_err(|e| format!("write {wl_path:?}: {e}"))?;
+    files.push(wl_path);
+
+    println!("wrote {} files to {out}/:", files.len());
+    for f in files {
+        println!("  {}", f.display());
+    }
+    Ok(())
+}
+
+fn train_cmd(args: &Args) -> Result<(), String> {
+    let schema_path = args.required("schema")?;
+    let data_dir = args.required("data")?;
+    let model_out = args.required("model-out")?;
+    let db = load_database(schema_path, data_dir)?;
+    let stats = DatabaseStats::from_database(&db);
+    let workload = build_workload(&db, args, 2_000)?;
+    println!(
+        "loaded {} tables; workload of {} queries",
+        db.tables().len(),
+        workload.len()
+    );
+    let config = sam_config(args)?;
+    let trained = Sam::fit(db.schema(), &stats, &workload, &config).map_err(|e| e.to_string())?;
+    println!("trained in {:.1}s", trained.report.wall_seconds);
+    let json = sam::ar::save_model(trained.model(), db.schema());
+    fs::write(model_out, json).map_err(|e| format!("write {model_out}: {e}"))?;
+    println!("model saved to {model_out}");
+    Ok(())
+}
+
+fn generate(args: &Args) -> Result<(), String> {
+    let schema_path = args.required("schema")?;
+    let out = args.required("out")?;
+    let seed: u64 = args.num("seed", 0)?;
+
+    let schema_text =
+        fs::read_to_string(schema_path).map_err(|e| format!("read {schema_path}: {e}"))?;
+    let file_schema = SchemaFile::from_json(&schema_text)?.to_schema()?;
+
+    // Two modes: with --data (stats + labels derived from the original), or
+    // data-free with --stats plus a fully labelled --workload — the paper's
+    // actual deployment scenario, where no row of the data is available.
+    let (db_schema, stats, workload) = match (args.get("data"), args.get("stats")) {
+        (Some(data_dir), _) => {
+            let db = load_database(schema_path, data_dir)?;
+            let stats = DatabaseStats::from_database(&db);
+            let workload = build_workload(&db, args, 2_000)?;
+            (db.schema().clone(), stats, workload)
+        }
+        (None, Some(stats_path)) => {
+            let stats_text =
+                fs::read_to_string(stats_path).map_err(|e| format!("read {stats_path}: {e}"))?;
+            let stats = StatsFile::from_json(&stats_text)?.to_stats(&file_schema)?;
+            let wl_path = args.required("workload").map_err(|_| {
+                "data-free mode needs --workload with `-- card=N` labels".to_string()
+            })?;
+            let workload = load_labelled_workload(wl_path)?;
+            (file_schema, stats, workload)
+        }
+        (None, None) => return Err("provide --data DIR or --stats stats.json".into()),
+    };
+    println!(
+        "schema of {} tables; workload of {} queries",
+        db_schema.tables().len(),
+        workload.len()
+    );
+
+    let trained = match args.get("model") {
+        Some(model_path) => {
+            let json =
+                fs::read_to_string(model_path).map_err(|e| format!("read {model_path}: {e}"))?;
+            let (model, model_schema) = sam::ar::load_model(&json).map_err(|e| e.to_string())?;
+            if model_schema != db_schema {
+                return Err("model schema does not match --schema".into());
+            }
+            println!("loaded trained model from {model_path}");
+            Sam::from_frozen(
+                model_schema,
+                model,
+                sam::ar::TrainReport {
+                    epoch_losses: vec![],
+                    constraints_processed: 0,
+                    wall_seconds: 0.0,
+                },
+            )
+        }
+        None => {
+            let config = sam_config(args)?;
+            let trained =
+                Sam::fit(&db_schema, &stats, &workload, &config).map_err(|e| e.to_string())?;
+            println!("trained in {:.1}s", trained.report.wall_seconds);
+            trained
+        }
+    };
+
+    let (generated, report) = trained
+        .generate(&GenerationConfig {
+            foj_samples: args.num("foj-samples", 20_000usize)?,
+            seed,
+            ..Default::default()
+        })
+        .map_err(|e| e.to_string())?;
+    println!("generated in {:.1}s", report.wall_seconds);
+    fidelity_report(&generated, &workload, "input constraints");
+    save_database(&generated, out)?;
+    println!("synthetic database written to {out}/");
+    Ok(())
+}
+
+fn evaluate(args: &Args) -> Result<(), String> {
+    let schema_path = args.required("schema")?;
+    let original = load_database(schema_path, args.required("original")?)?;
+    let generated = load_database(schema_path, args.required("generated")?)?;
+    let workload = build_workload(&original, args, 500)?;
+    fidelity_report(&generated, &workload, "workload");
+
+    let queries: Vec<Query> = workload
+        .iter()
+        .take(100)
+        .map(|lq| lq.query.clone())
+        .collect();
+    let dev = sam::engine::performance_deviation(&original, &generated, &queries, 5)
+        .map_err(|e| e.to_string())?;
+    let p = Percentiles::from_values(&dev.iter().map(|d| d * 1e3).collect::<Vec<_>>());
+    println!(
+        "performance deviation: median {:.1} µs  90th {:.1} µs  mean {:.1} µs",
+        p.median, p.p90, p.mean
+    );
+    Ok(())
+}
+
+fn estimate(args: &Args) -> Result<(), String> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let schema_path = args.required("schema")?;
+    let db = load_database(schema_path, args.required("data")?)?;
+    let stats = DatabaseStats::from_database(&db);
+    let workload = build_workload(&db, args, 1_500)?;
+    let config = sam_config(args)?;
+    let trained = Sam::fit(db.schema(), &stats, &workload, &config).map_err(|e| e.to_string())?;
+    println!("model trained; enter one SQL query per line (Ctrl-D to end):");
+
+    let mut rng = StdRng::seed_from_u64(args.num("seed", 0u64)?);
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match parse_query(line) {
+            Ok(q) => match sam::ar::estimate_cardinality(trained.model(), &q, 512, &mut rng) {
+                Ok(est) => {
+                    let truth = evaluate_cardinality(&db, &q).map_err(|e| e.to_string())?;
+                    println!("estimate {est:.1}  (true {truth})");
+                }
+                Err(e) => eprintln!("cannot estimate: {e}"),
+            },
+            Err(e) => eprintln!("parse error: {e}"),
+        }
+    }
+    Ok(())
+}

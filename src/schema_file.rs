@@ -1,0 +1,196 @@
+//! JSON schema files for the CLI: a serde DTO layer over
+//! [`sam_storage::DatabaseSchema`].
+//!
+//! ```json
+//! {
+//!   "tables": [
+//!     {"name": "title", "columns": [
+//!       {"name": "id", "type": "int", "role": "primary_key"},
+//!       {"name": "kind_id", "type": "int", "role": "content"}
+//!     ]},
+//!     {"name": "cast_info", "columns": [
+//!       {"name": "movie_id", "type": "int", "role": "foreign_key",
+//!        "references": "title"},
+//!       {"name": "role_id", "type": "int", "role": "content"}
+//!     ]}
+//!   ]
+//! }
+//! ```
+//!
+//! Foreign-key edges are derived from the column declarations.
+
+use sam_storage::{
+    ColumnDef, ColumnRole, DataType, DatabaseSchema, ForeignKeyEdge, StorageError, TableSchema,
+};
+use serde::{Deserialize, Serialize};
+
+/// One column in the schema file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColumnFile {
+    /// Column name.
+    pub name: String,
+    /// `int` | `float` | `text`.
+    #[serde(rename = "type")]
+    pub dtype: String,
+    /// `content` (default) | `primary_key` | `foreign_key`.
+    #[serde(default = "default_role")]
+    pub role: String,
+    /// Referenced table for foreign keys.
+    #[serde(default)]
+    pub references: Option<String>,
+}
+
+fn default_role() -> String {
+    "content".into()
+}
+
+/// One table in the schema file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableFile {
+    /// Table name (its CSV is `<name>.csv`).
+    pub name: String,
+    /// Ordered columns.
+    pub columns: Vec<ColumnFile>,
+}
+
+/// The schema file root.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SchemaFile {
+    /// All tables.
+    pub tables: Vec<TableFile>,
+}
+
+impl SchemaFile {
+    /// Parse from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("schema JSON: {e}"))
+    }
+
+    /// Serialise to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("schema file serialises")
+    }
+
+    /// Convert into a validated [`DatabaseSchema`].
+    pub fn to_schema(&self) -> Result<DatabaseSchema, String> {
+        let mut tables = Vec::new();
+        let mut edges = Vec::new();
+        for t in &self.tables {
+            let mut columns = Vec::new();
+            for c in &t.columns {
+                let dtype = match c.dtype.as_str() {
+                    "int" => DataType::Int,
+                    "float" => DataType::Float,
+                    "text" | "str" | "string" => DataType::Str,
+                    other => return Err(format!("unknown type {other:?} in {}", t.name)),
+                };
+                let role = match c.role.as_str() {
+                    "content" => ColumnRole::Content,
+                    "primary_key" | "pk" => ColumnRole::PrimaryKey,
+                    "foreign_key" | "fk" => {
+                        let references = c.references.clone().ok_or_else(|| {
+                            format!("column {}.{} needs \"references\"", t.name, c.name)
+                        })?;
+                        edges.push(ForeignKeyEdge {
+                            pk_table: references.clone(),
+                            fk_table: t.name.clone(),
+                            fk_column: c.name.clone(),
+                        });
+                        ColumnRole::ForeignKey { references }
+                    }
+                    other => return Err(format!("unknown role {other:?} in {}", t.name)),
+                };
+                columns.push(ColumnDef {
+                    name: c.name.clone(),
+                    dtype,
+                    role,
+                });
+            }
+            tables.push(TableSchema::new(t.name.clone(), columns));
+        }
+        DatabaseSchema::new(tables, edges).map_err(|e: StorageError| e.to_string())
+    }
+
+    /// Build a schema file from an existing [`DatabaseSchema`] (for
+    /// exporting synthetic datasets).
+    pub fn from_schema(schema: &DatabaseSchema) -> Self {
+        let tables = schema
+            .tables()
+            .iter()
+            .map(|t| TableFile {
+                name: t.name.clone(),
+                columns: t
+                    .columns
+                    .iter()
+                    .map(|c| {
+                        let (role, references) = match &c.role {
+                            ColumnRole::Content => ("content".into(), None),
+                            ColumnRole::PrimaryKey => ("primary_key".into(), None),
+                            ColumnRole::ForeignKey { references } => {
+                                ("foreign_key".into(), Some(references.clone()))
+                            }
+                        };
+                        ColumnFile {
+                            name: c.name.clone(),
+                            dtype: match c.dtype {
+                                DataType::Int => "int".into(),
+                                DataType::Float => "float".into(),
+                                DataType::Str => "text".into(),
+                            },
+                            role,
+                            references,
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        SchemaFile { tables }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sam_storage::paper_example;
+
+    #[test]
+    fn round_trips_figure3_schema() {
+        let schema = paper_example::figure3_schema();
+        let file = SchemaFile::from_schema(&schema);
+        let json = file.to_json();
+        let parsed = SchemaFile::from_json(&json).unwrap();
+        let back = parsed.to_schema().unwrap();
+        assert_eq!(&back, &schema);
+    }
+
+    #[test]
+    fn parses_handwritten_json() {
+        let json = r#"{
+          "tables": [
+            {"name": "t", "columns": [
+              {"name": "id", "type": "int", "role": "primary_key"},
+              {"name": "v", "type": "text"}
+            ]},
+            {"name": "child", "columns": [
+              {"name": "tid", "type": "int", "role": "foreign_key", "references": "t"},
+              {"name": "x", "type": "float"}
+            ]}
+          ]
+        }"#;
+        let schema = SchemaFile::from_json(json).unwrap().to_schema().unwrap();
+        assert_eq!(schema.tables().len(), 2);
+        assert_eq!(schema.edges().len(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_role_and_missing_reference() {
+        let bad_role =
+            r#"{"tables":[{"name":"t","columns":[{"name":"a","type":"int","role":"wat"}]}]}"#;
+        assert!(SchemaFile::from_json(bad_role)
+            .unwrap()
+            .to_schema()
+            .is_err());
+        let no_ref = r#"{"tables":[{"name":"t","columns":[{"name":"a","type":"int","role":"foreign_key"}]}]}"#;
+        assert!(SchemaFile::from_json(no_ref).unwrap().to_schema().is_err());
+    }
+}

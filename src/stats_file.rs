@@ -1,0 +1,253 @@
+//! JSON stats files: the metadata summary a cloud provider actually has in
+//! the paper's scenario — table sizes and per-column domains — without any
+//! row of the customer's data. Together with a schema file and a labelled
+//! workload file, this lets `sam-cli generate` run with **no `--data`
+//! directory at all**.
+//!
+//! ```json
+//! {
+//!   "tables": [
+//!     {"name": "census", "num_rows": 48000, "max_fanout": 0, "columns": [
+//!       {"name": "age", "int_range": [17, 90]},
+//!       {"name": "workclass", "values": [0, 1, 2, 3, 4, 5, 6, 7, 8]}
+//!     ]}
+//!   ],
+//!   "foj_size": 48000
+//! }
+//! ```
+//!
+//! Columns declare either an inclusive `int_range` or an explicit `values`
+//! list (ints, floats, or strings).
+
+use sam_storage::{DatabaseSchema, DatabaseStats, Domain, TableStats, Value};
+use serde::{Deserialize, Serialize};
+
+/// One column's domain description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColumnStatsFile {
+    /// Column name (must be a content column of the table).
+    pub name: String,
+    /// Inclusive integer range `[lo, hi]`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub int_range: Option<[i64; 2]>,
+    /// Explicit domain values.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub values: Option<Vec<serde_json::Value>>,
+}
+
+/// One table's stats.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableStatsFile {
+    /// Table name.
+    pub name: String,
+    /// `|T|` — the size the generated relation must have.
+    pub num_rows: u64,
+    /// Largest fk fanout into the parent (0 for the root / single tables).
+    #[serde(default)]
+    pub max_fanout: u64,
+    /// Content-column domains, in schema order.
+    pub columns: Vec<ColumnStatsFile>,
+}
+
+/// The stats file root.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatsFile {
+    /// Per-table stats (must cover every schema table, in schema order).
+    pub tables: Vec<TableStatsFile>,
+    /// Full-outer-join size (defaults to the single table's size).
+    #[serde(default)]
+    pub foj_size: Option<u128>,
+}
+
+fn value_from_json(v: &serde_json::Value) -> Result<Value, String> {
+    match v {
+        serde_json::Value::Null => Ok(Value::Null),
+        serde_json::Value::Number(n) => {
+            if let Some(i) = n.as_i64() {
+                Ok(Value::Int(i))
+            } else {
+                Ok(Value::Float(n.as_f64().ok_or("bad number")?))
+            }
+        }
+        serde_json::Value::String(s) => Ok(Value::str(s)),
+        other => Err(format!("unsupported domain value {other}")),
+    }
+}
+
+fn value_to_json(v: &Value) -> serde_json::Value {
+    match v {
+        Value::Null => serde_json::Value::Null,
+        Value::Int(i) => serde_json::json!(i),
+        Value::Float(f) => serde_json::json!(f),
+        Value::Str(s) => serde_json::json!(s.to_string()),
+    }
+}
+
+impl StatsFile {
+    /// Parse from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("stats JSON: {e}"))
+    }
+
+    /// Serialise to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("stats file serialises")
+    }
+
+    /// Validate against a schema and convert to [`DatabaseStats`].
+    pub fn to_stats(&self, schema: &DatabaseSchema) -> Result<DatabaseStats, String> {
+        let mut tables = Vec::new();
+        for decl in schema.tables() {
+            let tf = self
+                .tables
+                .iter()
+                .find(|t| t.name == decl.name)
+                .ok_or_else(|| format!("stats missing table {}", decl.name))?;
+            let mut columns = Vec::new();
+            for ci in decl.content_indices() {
+                let col = &decl.columns[ci];
+                let cf = tf
+                    .columns
+                    .iter()
+                    .find(|c| c.name == col.name)
+                    .ok_or_else(|| format!("stats missing column {}.{}", decl.name, col.name))?;
+                let domain = match (&cf.int_range, &cf.values) {
+                    (Some([lo, hi]), None) => {
+                        if hi < lo {
+                            return Err(format!("{}.{}: empty int_range", decl.name, col.name));
+                        }
+                        Domain::int_range(*lo, *hi)
+                    }
+                    (None, Some(values)) => {
+                        let vs: Result<Vec<Value>, String> =
+                            values.iter().map(value_from_json).collect();
+                        Domain::new(vs?)
+                    }
+                    _ => {
+                        return Err(format!(
+                            "{}.{}: exactly one of int_range / values required",
+                            decl.name, col.name
+                        ))
+                    }
+                };
+                columns.push(sam_storage::ColumnStats {
+                    name: col.name.clone(),
+                    dtype: col.dtype,
+                    domain: domain.shared(),
+                });
+            }
+            tables.push(TableStats {
+                name: tf.name.clone(),
+                num_rows: tf.num_rows,
+                columns,
+                max_fanout: tf.max_fanout,
+            });
+        }
+        let foj_size = self
+            .foj_size
+            .unwrap_or_else(|| tables.first().map(|t| t.num_rows as u128).unwrap_or(0));
+        Ok(DatabaseStats { tables, foj_size })
+    }
+
+    /// Export from computed [`DatabaseStats`] (used by `sam-cli export`).
+    pub fn from_stats(stats: &DatabaseStats) -> Self {
+        let tables = stats
+            .tables
+            .iter()
+            .map(|t| TableStatsFile {
+                name: t.name.clone(),
+                num_rows: t.num_rows,
+                max_fanout: t.max_fanout,
+                columns: t
+                    .columns
+                    .iter()
+                    .map(|c| ColumnStatsFile {
+                        name: c.name.clone(),
+                        int_range: None,
+                        values: Some(c.domain.values().iter().map(value_to_json).collect()),
+                    })
+                    .collect(),
+            })
+            .collect();
+        StatsFile {
+            tables,
+            foj_size: Some(stats.foj_size),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sam_storage::{paper_example, DatabaseStats};
+
+    #[test]
+    fn round_trips_figure3_stats() {
+        let db = paper_example::figure3_database();
+        let stats = DatabaseStats::from_database(&db);
+        let file = StatsFile::from_stats(&stats);
+        let json = file.to_json();
+        let parsed = StatsFile::from_json(&json).unwrap();
+        let back = parsed.to_stats(db.schema()).unwrap();
+        assert_eq!(back.foj_size, stats.foj_size);
+        for (a, b) in back.tables.iter().zip(&stats.tables) {
+            assert_eq!(a.num_rows, b.num_rows);
+            assert_eq!(a.max_fanout, b.max_fanout);
+            for (ca, cb) in a.columns.iter().zip(&b.columns) {
+                assert_eq!(ca.domain.values(), cb.domain.values());
+            }
+        }
+    }
+
+    #[test]
+    fn int_range_domains() {
+        let json = r#"{
+          "tables": [
+            {"name": "census", "num_rows": 100, "columns": [
+              {"name": "age", "int_range": [17, 20]}
+            ]}
+          ]
+        }"#;
+        let schema = sam_storage::DatabaseSchema::single(sam_storage::TableSchema::new(
+            "census",
+            vec![sam_storage::ColumnDef::content(
+                "age",
+                sam_storage::DataType::Int,
+            )],
+        ));
+        let stats = StatsFile::from_json(json)
+            .unwrap()
+            .to_stats(&schema)
+            .unwrap();
+        assert_eq!(stats.tables[0].columns[0].domain.len(), 4);
+        assert_eq!(stats.foj_size, 100);
+    }
+
+    #[test]
+    fn rejects_missing_pieces() {
+        let schema = sam_storage::DatabaseSchema::single(sam_storage::TableSchema::new(
+            "t",
+            vec![sam_storage::ColumnDef::content(
+                "a",
+                sam_storage::DataType::Int,
+            )],
+        ));
+        let missing_table = r#"{"tables": []}"#;
+        assert!(StatsFile::from_json(missing_table)
+            .unwrap()
+            .to_stats(&schema)
+            .is_err());
+        let missing_col = r#"{"tables": [{"name": "t", "num_rows": 5, "columns": []}]}"#;
+        assert!(StatsFile::from_json(missing_col)
+            .unwrap()
+            .to_stats(&schema)
+            .is_err());
+        let both = r#"{"tables": [{"name": "t", "num_rows": 5, "columns": [
+            {"name": "a", "int_range": [0, 1], "values": [1]}
+        ]}]}"#;
+        assert!(StatsFile::from_json(both)
+            .unwrap()
+            .to_stats(&schema)
+            .is_err());
+    }
+}

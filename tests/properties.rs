@@ -1,0 +1,165 @@
+//! Cross-crate property-based tests (proptest): join algebra, weighting,
+//! and evaluator invariants on randomly generated star databases.
+
+use proptest::prelude::*;
+use sam::ar::{ArSchema, EncodingOptions};
+use sam::core::weigh_samples;
+use sam::prelude::*;
+use sam::storage::{foj_size, materialize_foj, ColumnDef, ForeignKeyEdge, Table, TableSchema};
+
+/// A random small star database A -> {B, C} with integer content columns.
+fn star_db(
+    a_vals: Vec<u8>,
+    b_rows: Vec<(u8, u8)>, // (key index into a, content)
+    c_rows: Vec<(u8, u8)>,
+) -> Database {
+    let a_schema = TableSchema::new(
+        "A",
+        vec![
+            ColumnDef::primary_key("x"),
+            ColumnDef::content("a", DataType::Int),
+        ],
+    );
+    let b_schema = TableSchema::new(
+        "B",
+        vec![
+            ColumnDef::foreign_key("x", "A"),
+            ColumnDef::content("b", DataType::Int),
+        ],
+    );
+    let c_schema = TableSchema::new(
+        "C",
+        vec![
+            ColumnDef::foreign_key("x", "A"),
+            ColumnDef::content("c", DataType::Int),
+        ],
+    );
+    let schema = sam::storage::DatabaseSchema::new(
+        vec![a_schema.clone(), b_schema.clone(), c_schema.clone()],
+        vec![
+            ForeignKeyEdge {
+                pk_table: "A".into(),
+                fk_table: "B".into(),
+                fk_column: "x".into(),
+            },
+            ForeignKeyEdge {
+                pk_table: "A".into(),
+                fk_table: "C".into(),
+                fk_column: "x".into(),
+            },
+        ],
+    )
+    .unwrap();
+
+    let n = a_vals.len() as u8;
+    let a_rows: Vec<Vec<Value>> = a_vals
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| vec![Value::Int(i as i64), Value::Int(v as i64)])
+        .collect();
+    let to_rows = |rows: &[(u8, u8)]| -> Vec<Vec<Value>> {
+        rows.iter()
+            .map(|&(k, v)| vec![Value::Int((k % n) as i64), Value::Int(v as i64)])
+            .collect()
+    };
+    Database::new(
+        schema,
+        vec![
+            Table::from_rows(a_schema, &a_rows).unwrap(),
+            Table::from_rows(b_schema, &to_rows(&b_rows)).unwrap(),
+            Table::from_rows(c_schema, &to_rows(&c_rows)).unwrap(),
+        ],
+        true,
+    )
+    .unwrap()
+}
+
+fn star_strategy() -> impl Strategy<Value = Database> {
+    (
+        prop::collection::vec(0u8..4, 1..6),
+        prop::collection::vec((0u8..6, 0u8..4), 0..10),
+        prop::collection::vec((0u8..6, 0u8..4), 0..10),
+    )
+        .prop_map(|(a, b, c)| star_db(a, b, c))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The counting FOJ size always equals the materialised row count.
+    #[test]
+    fn foj_size_matches_materialisation(db in star_strategy()) {
+        let counted = foj_size(&db);
+        let materialised = materialize_foj(&db).num_rows() as u128;
+        prop_assert_eq!(counted, materialised);
+    }
+
+    /// The fast evaluator agrees with the naive reference on random queries.
+    #[test]
+    fn evaluators_agree(db in star_strategy(), seed in 0u64..500) {
+        let mut gen = WorkloadGenerator::new(&db, seed);
+        for q in gen.multi_workload(8, 2) {
+            let fast = evaluate_cardinality(&db, &q).unwrap();
+            let naive = sam::query::evaluate_naive(&db, &q).unwrap();
+            prop_assert_eq!(fast, naive, "query {}", q);
+        }
+    }
+
+    /// Engine counts agree with the evaluator on random queries.
+    #[test]
+    fn engine_agrees(db in star_strategy(), seed in 0u64..500) {
+        let engine = sam::engine::Engine::new(&db);
+        let mut gen = WorkloadGenerator::new(&db, seed);
+        for q in gen.multi_workload(6, 2) {
+            let (count, _) = engine.count(&q).unwrap();
+            prop_assert_eq!(count, evaluate_cardinality(&db, &q).unwrap());
+        }
+    }
+
+    /// IPW over the *exact* FOJ recovers every base relation's weight mass:
+    /// scaled weights sum to |T| per table, and raw weights sum to |T| too
+    /// (Theorem 1's finite-population identity: Σ_FOJ W_T = |T| exactly
+    /// when the whole FOJ is the sample).
+    #[test]
+    fn ipw_mass_identity(db in star_strategy()) {
+        let stats = DatabaseStats::from_database(&db);
+        let ar = ArSchema::build(db.schema(), &stats, &[], &EncodingOptions::default()).unwrap();
+        let foj = materialize_foj(&db);
+        // Convert the exact FOJ into model rows.
+        let rows: Vec<Vec<u32>> = (0..foj.num_rows()).map(|r| {
+            ar.columns().iter().map(|col| {
+                let pos = match col.kind {
+                    sam::ar::ArColumnKind::Content { table, column } =>
+                        foj.schema.content_position(table, column).unwrap(),
+                    sam::ar::ArColumnKind::Indicator { table } =>
+                        foj.schema.indicator_index(table).unwrap(),
+                    sam::ar::ArColumnKind::Fanout { table } =>
+                        foj.schema.fanout_index(table).unwrap(),
+                };
+                let v = foj.value(r, pos);
+                let code = col.encoding.base_domain().code_of(&v).unwrap_or(0);
+                col.encoding.bin_of_code(code) as u32
+            }).collect()
+        }).collect();
+        let w = weigh_samples(&ar, &rows);
+        for t in 0..3 {
+            let raw: f64 = w.weight.iter().map(|r| r[t]).sum();
+            prop_assert!((raw - stats.table(t).num_rows as f64).abs() < 1e-6,
+                "table {}: raw mass {} vs |T| {}", t, raw, stats.table(t).num_rows);
+            let scaled: f64 = w.scaled.iter().map(|r| r[t]).sum();
+            if stats.table(t).num_rows > 0 {
+                prop_assert!((scaled - stats.table(t).num_rows as f64).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// SQL rendering round-trips through the parser for generated queries.
+    #[test]
+    fn sql_round_trip(db in star_strategy(), seed in 0u64..500) {
+        let mut gen = WorkloadGenerator::new(&db, seed);
+        for q in gen.multi_workload(6, 2) {
+            let parsed = parse_query(&q.to_string()).unwrap();
+            prop_assert_eq!(parsed, q);
+        }
+    }
+}
