@@ -42,49 +42,200 @@ pub fn estimate_cardinality(
     n_samples: usize,
     rng: &mut impl Rng,
 ) -> Result<f64, ArError> {
-    let rules = model.schema.query_rules(query)?;
-    let n = n_samples.max(1);
+    estimate_cardinality_batch(model, &[(query, n_samples)], std::slice::from_mut(rng))
+        .pop()
+        .expect("exactly one result for one request")
+}
+
+/// Per-request micro-batch state: resolved step rules plus the request's
+/// row window inside the stacked input matrix.
+struct BatchSlot {
+    request: usize,
+    rules: Vec<StepRule>,
+    start: usize,
+    rows: usize,
+}
+
+/// Rows per rayon task in [`forward_row_parallel`]. Small enough that a
+/// default-sized micro-batch (8 × 64 paths) spans many cores, large enough
+/// that per-task overhead stays negligible.
+const PAR_FORWARD_ROWS: usize = 64;
+
+/// Network forward split into row blocks evaluated in parallel.
+///
+/// Both backbones process rows (sample paths) independently — MADE is
+/// row-wise matmul + activation, and the transformer attends only across
+/// column positions *within* a row — so the per-row arithmetic is exactly
+/// that of a single whole-matrix forward and the result is bit-identical.
+/// This is where micro-batching buys throughput: stacking many requests
+/// yields enough rows to occupy every core, which a lone low-path estimate
+/// cannot.
+fn forward_row_parallel(model: &FrozenModel, input: &Matrix) -> Matrix {
+    use rayon::prelude::*;
+    let rows = input.rows();
+    let width = input.cols();
+    if rows <= PAR_FORWARD_ROWS {
+        return model.net.forward(input);
+    }
+    let n_chunks = rows.div_ceil(PAR_FORWARD_ROWS);
+    let blocks: Vec<Matrix> = (0..n_chunks)
+        .into_par_iter()
+        .map(|c| {
+            let start = c * PAR_FORWARD_ROWS;
+            let end = (start + PAR_FORWARD_ROWS).min(rows);
+            let block = Matrix::from_vec(
+                end - start,
+                width,
+                input.data()[start * width..end * width].to_vec(),
+            );
+            model.net.forward(&block)
+        })
+        .collect();
+    let out_width = blocks[0].cols();
+    let mut out = Matrix::zeros(rows, out_width);
+    let mut at = 0usize;
+    for block in blocks {
+        let n = block.rows() * out_width;
+        out.data_mut()[at..at + n].copy_from_slice(block.data());
+        at += n;
+    }
+    out
+}
+
+/// Estimate several queries in one micro-batch, sharing each column's
+/// forward pass across every request's sample paths.
+///
+/// `rngs[j]` drives request `j` alone, and rows are visited per request in
+/// ascending order within each column — so every request consumes its RNG
+/// stream exactly as a sequential [`estimate_cardinality`] call would, and
+/// the returned estimates are bit-identical to sequential ones (the serving
+/// layer's equality guarantee). The network forward pass is row-independent,
+/// so stacking requests changes throughput, not values.
+///
+/// Requests whose predicates fail to resolve against the model schema get
+/// their own `Err` slot without affecting the rest of the batch.
+pub fn estimate_cardinality_batch<R: Rng>(
+    model: &FrozenModel,
+    requests: &[(&Query, usize)],
+    rngs: &mut [R],
+) -> Vec<Result<f64, ArError>> {
+    assert_eq!(
+        requests.len(),
+        rngs.len(),
+        "one RNG per batched request (got {} requests, {} rngs)",
+        requests.len(),
+        rngs.len()
+    );
     let width = model.net.total_width();
     let n_cols = model.net.num_columns();
 
-    let mut input = Matrix::zeros(n, width);
-    let mut factors = vec![1.0f64; n];
-
-    for i in 0..n_cols {
-        let logits = model.net.forward(&input);
-        let probs = model.net.conditional_probs(&logits, i);
-        let offset = model.net.offset(i);
-        for r in 0..n {
-            if factors[r] == 0.0 {
-                continue;
+    let mut results: Vec<Option<Result<f64, ArError>>> = Vec::with_capacity(requests.len());
+    let mut slots: Vec<BatchSlot> = Vec::with_capacity(requests.len());
+    let mut total_rows = 0usize;
+    for (request, (query, n_samples)) in requests.iter().enumerate() {
+        match model.schema.query_rules(query) {
+            Ok(rules) => {
+                let rows = (*n_samples).max(1);
+                slots.push(BatchSlot {
+                    request,
+                    rules,
+                    start: total_rows,
+                    rows,
+                });
+                total_rows += rows;
+                results.push(None);
             }
-            let p_row = probs.row(r);
-            let code = match &rules[i] {
-                StepRule::Free => sample_weighted(p_row, rng).unwrap_or(0),
-                StepRule::InRange(frac) => {
-                    let masked: Vec<f32> = p_row.iter().zip(frac).map(|(p, f)| p * f).collect();
-                    let mass: f32 = masked.iter().sum();
-                    factors[r] *= mass as f64;
-                    match sample_weighted(&masked, rng) {
-                        Some(c) => c,
-                        None => {
-                            factors[r] = 0.0;
-                            continue;
-                        }
-                    }
-                }
-                StepRule::WeightBySampled(w) => {
-                    let code = sample_weighted(p_row, rng).unwrap_or(0);
-                    factors[r] *= w[code] as f64;
-                    code
-                }
-            };
-            input.set(r, offset + code, 1.0);
+            Err(e) => results.push(Some(Err(e))),
         }
     }
 
-    let mean = factors.iter().sum::<f64>() / n as f64;
-    Ok(mean * model.schema.normalizer())
+    if !slots.is_empty() {
+        let mut factors = vec![1.0f64; total_rows];
+        // Sampled codes per path so far — both the forward input (as one-hot)
+        // and the dedup key.
+        let mut codes: Vec<Vec<u32>> = vec![Vec::with_capacity(n_cols); total_rows];
+
+        for i in 0..n_cols {
+            // Paths with identical code prefixes have identical one-hot
+            // inputs, hence identical conditionals: run the forward pass on
+            // unique prefixes only. Co-batched requests share prefixes (every
+            // path starts empty; similar queries stay overlapped for several
+            // columns), so the shared forward work is paid once per batch —
+            // the micro-batching throughput win. Values are unchanged: each
+            // path reads the same conditionals a per-path forward would give.
+            let (probs, path_slot) = {
+                let mut uniq: std::collections::HashMap<&[u32], usize> =
+                    std::collections::HashMap::new();
+                let mut path_slot = vec![usize::MAX; total_rows];
+                let mut reps: Vec<usize> = Vec::new();
+                for r in 0..total_rows {
+                    if factors[r] == 0.0 {
+                        continue;
+                    }
+                    let next = reps.len();
+                    let idx = *uniq.entry(codes[r].as_slice()).or_insert_with(|| {
+                        reps.push(r);
+                        next
+                    });
+                    path_slot[r] = idx;
+                }
+                if reps.is_empty() {
+                    // Every path died on an empty range; all estimates are 0.
+                    break;
+                }
+                let mut input = Matrix::zeros(reps.len(), width);
+                for (u, &r) in reps.iter().enumerate() {
+                    for (j, &code) in codes[r].iter().enumerate() {
+                        input.set(u, model.net.offset(j) + code as usize, 1.0);
+                    }
+                }
+                let logits = forward_row_parallel(model, &input);
+                (model.net.conditional_probs(&logits, i), path_slot)
+            };
+            for slot in &slots {
+                let rng = &mut rngs[slot.request];
+                for r in slot.start..slot.start + slot.rows {
+                    if factors[r] == 0.0 {
+                        continue;
+                    }
+                    let p_row = probs.row(path_slot[r]);
+                    let code = match &slot.rules[i] {
+                        StepRule::Free => sample_weighted(p_row, rng).unwrap_or(0),
+                        StepRule::InRange(frac) => {
+                            let masked: Vec<f32> =
+                                p_row.iter().zip(frac).map(|(p, f)| p * f).collect();
+                            let mass: f32 = masked.iter().sum();
+                            factors[r] *= mass as f64;
+                            match sample_weighted(&masked, rng) {
+                                Some(c) => c,
+                                None => {
+                                    factors[r] = 0.0;
+                                    continue;
+                                }
+                            }
+                        }
+                        StepRule::WeightBySampled(w) => {
+                            let code = sample_weighted(p_row, rng).unwrap_or(0);
+                            factors[r] *= w[code] as f64;
+                            code
+                        }
+                    };
+                    codes[r].push(code as u32);
+                }
+            }
+        }
+
+        for slot in &slots {
+            let window = &factors[slot.start..slot.start + slot.rows];
+            let mean = window.iter().sum::<f64>() / slot.rows as f64;
+            results[slot.request] = Some(Ok(mean * model.schema.normalizer()));
+        }
+    }
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every request resolved to a result"))
+        .collect()
 }
 
 /// Estimate the cardinality of a disjunctive query via inclusion–exclusion
@@ -146,6 +297,60 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let est = estimate_cardinality(&model, &Query::single("A", vec![]), 32, &mut rng).unwrap();
         assert!((est - 4.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn batched_estimates_are_bit_identical_to_sequential() {
+        let db = paper_example::figure3_database();
+        let stats = DatabaseStats::from_database(&db);
+        let schema =
+            ArSchema::build(db.schema(), &stats, &[], &EncodingOptions::default()).unwrap();
+        let model = ArModel::new(schema, &ArModelConfig::default()).freeze();
+
+        let queries = [
+            Query::join(vec!["A".into(), "B".into()], vec![]),
+            Query::join(vec!["A".into(), "B".into(), "C".into()], vec![]),
+            Query::single("A", vec![]),
+        ];
+        let counts = [16usize, 48, 7];
+        let seeds = [101u64, 7, 3];
+
+        let sequential: Vec<f64> = queries
+            .iter()
+            .zip(counts)
+            .zip(seeds)
+            .map(|((q, n), s)| {
+                let mut rng = StdRng::seed_from_u64(s);
+                estimate_cardinality(&model, q, n, &mut rng).unwrap()
+            })
+            .collect();
+
+        let requests: Vec<(&Query, usize)> = queries.iter().zip(counts).collect();
+        let mut rngs: Vec<StdRng> = seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect();
+        let batched = estimate_cardinality_batch(&model, &requests, &mut rngs);
+
+        for (seq, got) in sequential.iter().zip(&batched) {
+            let got = *got.as_ref().unwrap();
+            assert_eq!(*seq, got, "batched estimate diverged from sequential");
+        }
+    }
+
+    #[test]
+    fn batched_estimate_isolates_bad_requests() {
+        let db = paper_example::figure3_database();
+        let stats = DatabaseStats::from_database(&db);
+        let schema =
+            ArSchema::build(db.schema(), &stats, &[], &EncodingOptions::default()).unwrap();
+        let model = ArModel::new(schema, &ArModelConfig::default()).freeze();
+
+        let good = Query::single("A", vec![]);
+        let bad = Query::single("no_such_table", vec![]);
+        let requests = vec![(&good, 8usize), (&bad, 8usize), (&good, 8usize)];
+        let mut rngs: Vec<StdRng> = (0..3).map(StdRng::seed_from_u64).collect();
+        let out = estimate_cardinality_batch(&model, &requests, &mut rngs);
+        assert!(out[0].is_ok());
+        assert!(out[1].is_err());
+        assert!(out[2].is_ok());
     }
 
     #[test]

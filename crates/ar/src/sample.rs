@@ -24,7 +24,26 @@ pub fn sample_model_rows(
 ) -> Vec<ModelRow> {
     let batch = batch.max(1);
     let n_batches = count.div_ceil(batch);
-    (0..n_batches)
+    sample_model_rows_range(model, count, batch, seed, 0..n_batches)
+}
+
+/// Sample only batches `batches` of the run that [`sample_model_rows`]
+/// would perform with the same `(count, batch, seed)`. Each batch draws
+/// from an RNG seeded by the *global* batch index, so concatenating
+/// consecutive ranges reproduces the full run bit-for-bit — this is what
+/// lets callers (e.g. cancellable generation jobs) sample in chunks with
+/// progress checks in between without changing the output.
+pub fn sample_model_rows_range(
+    model: &FrozenModel,
+    count: usize,
+    batch: usize,
+    seed: u64,
+    batches: std::ops::Range<usize>,
+) -> Vec<ModelRow> {
+    let batch = batch.max(1);
+    let n_batches = count.div_ceil(batch);
+    let batches = batches.start.min(n_batches)..batches.end.min(n_batches);
+    batches
         .into_par_iter()
         .flat_map_iter(|b| {
             let rows = batch.min(count - b * batch);
@@ -92,6 +111,20 @@ mod tests {
         assert_eq!(a, b);
         let c = sample_model_rows(&m, 64, 16, 10);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranged_sampling_composes_to_the_full_run() {
+        let m = model();
+        let full = sample_model_rows(&m, 70, 16, 3);
+        let mut chunked = Vec::new();
+        // 70 rows at batch 16 → 5 batches; stitch from uneven ranges.
+        for range in [0..2, 2..3, 3..5] {
+            chunked.extend(sample_model_rows_range(&m, 70, 16, 3, range));
+        }
+        assert_eq!(full, chunked);
+        // Out-of-range requests clamp instead of panicking.
+        assert!(sample_model_rows_range(&m, 70, 16, 3, 5..9).is_empty());
     }
 
     #[test]

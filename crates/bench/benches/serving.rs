@@ -1,0 +1,104 @@
+//! Serving-path microbenchmark: sequential per-request inference vs the
+//! micro-batched estimator (`sam_ar::estimate_cardinality_batch`) that
+//! `sam-serve`'s worker pool runs.
+//!
+//! Three arrival mixes, each at batch sizes 1 / 4 / 8 / 16:
+//!
+//! * `hot_query` — every co-batched request is the same (query, seed,
+//!   samples), the repeated-plan pattern of estimator services. Prefix
+//!   deduplication coalesces identical sample paths, so the fused batch
+//!   costs one request; throughput scales ~linearly with batch size.
+//! * `hot_set4` — requests round-robin over 4 hot queries; each query's
+//!   copies coalesce, giving ~batch/4 × throughput.
+//! * `distinct` — worst case, every request a different query; paths
+//!   diverge after the first few columns, so fusing buys little on one
+//!   core (row-parallel forwards recover the gap on multicore).
+//!
+//! Batched results are bit-identical to sequential ones by construction
+//! (each request keeps its own seeded RNG; see `estimate_cardinality_batch`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sam_ar::{
+    estimate_cardinality, estimate_cardinality_batch, ArModel, ArModelConfig, ArSchema,
+    EncodingOptions, FrozenModel,
+};
+use sam_query::{Query, WorkloadGenerator};
+use sam_storage::DatabaseStats;
+
+const SAMPLES: usize = 64;
+
+fn build_model() -> (FrozenModel, Vec<Query>) {
+    let db = sam_datasets::census(2_000, 2);
+    let stats = DatabaseStats::from_database(&db);
+    let mut gen = WorkloadGenerator::new(&db, 2);
+    let queries = gen.single_workload("census", 32);
+    let schema =
+        ArSchema::build(db.schema(), &stats, &queries, &EncodingOptions::default()).unwrap();
+    let model = ArModel::new(
+        schema,
+        &ArModelConfig {
+            hidden: vec![32],
+            seed: 2,
+            residual: false,
+            transformer: None,
+        },
+    )
+    .freeze();
+    (model, queries)
+}
+
+/// Maps the b-th request of a batch to a query index.
+type QueryPick = fn(usize) -> usize;
+
+fn bench_serving(c: &mut Criterion) {
+    let (model, queries) = build_model();
+    let scenarios: [(&str, QueryPick); 3] = [
+        ("hot_query", |_| 0),
+        ("hot_set4", |b| b % 4),
+        ("distinct", |b| b),
+    ];
+
+    for (scenario, pick) in scenarios {
+        let mut group = c.benchmark_group(format!("serving_{scenario}"));
+        group.sample_size(10);
+        for batch in [1usize, 4, 8, 16] {
+            let reqs: Vec<(&Query, usize)> =
+                (0..batch).map(|b| (&queries[pick(b)], SAMPLES)).collect();
+            // The serving default: deterministic estimates, one seed.
+            let seeds: Vec<u64> = (0..batch).map(|_| 0).collect();
+
+            group.bench_with_input(
+                BenchmarkId::new("sequential", batch),
+                &batch,
+                |bencher, _| {
+                    bencher.iter(|| {
+                        reqs.iter()
+                            .zip(&seeds)
+                            .map(|((q, n), &s)| {
+                                let mut rng = StdRng::seed_from_u64(s);
+                                estimate_cardinality(&model, q, *n, &mut rng).unwrap()
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("micro_batched", batch),
+                &batch,
+                |bencher, _| {
+                    bencher.iter(|| {
+                        let mut rngs: Vec<StdRng> =
+                            seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect();
+                        estimate_cardinality_batch(&model, &reqs, &mut rngs)
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

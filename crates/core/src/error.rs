@@ -11,6 +11,8 @@ pub enum SamError {
     Storage(sam_storage::StorageError),
     /// Invalid configuration or degenerate state (message).
     Invalid(String),
+    /// The job was cancelled before completing.
+    Cancelled,
 }
 
 impl fmt::Display for SamError {
@@ -19,6 +21,7 @@ impl fmt::Display for SamError {
             SamError::Ar(e) => write!(f, "model error: {e}"),
             SamError::Storage(e) => write!(f, "storage error: {e}"),
             SamError::Invalid(m) => write!(f, "invalid: {m}"),
+            SamError::Cancelled => write!(f, "generation job cancelled"),
         }
     }
 }
@@ -28,7 +31,7 @@ impl std::error::Error for SamError {
         match self {
             SamError::Ar(e) => Some(e),
             SamError::Storage(e) => Some(e),
-            SamError::Invalid(_) => None,
+            SamError::Invalid(_) | SamError::Cancelled => None,
         }
     }
 }

@@ -1,0 +1,152 @@
+//! Cooperative control for long-running generation jobs.
+//!
+//! A [`JobControl`] is a cheap, cloneable handle shared between the thread
+//! running [`TrainedSam::generate_controlled`] and whoever supervises it
+//! (the serving layer's job registry, a CLI progress printer, a test).
+//! The worker publishes its [`JobStage`] and fractional progress; the
+//! supervisor may request cancellation, which the worker honours at chunk
+//! boundaries — so a cancelled job stops within one sampling chunk rather
+//! than running to completion.
+//!
+//! [`TrainedSam::generate_controlled`]: crate::pipeline::TrainedSam::generate_controlled
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// Coarse phase of a generation job, for status endpoints and logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStage {
+    /// Accepted, not started.
+    Queued,
+    /// Drawing FOJ tuples from the model (Algorithm 1).
+    Sampling,
+    /// Weighting samples and assigning join keys (Algorithms 2–3).
+    Assembling,
+    /// Finished successfully.
+    Finished,
+}
+
+impl JobStage {
+    fn from_u8(v: u8) -> JobStage {
+        match v {
+            1 => JobStage::Sampling,
+            2 => JobStage::Assembling,
+            3 => JobStage::Finished,
+            _ => JobStage::Queued,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            JobStage::Queued => 0,
+            JobStage::Sampling => 1,
+            JobStage::Assembling => 2,
+            JobStage::Finished => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for JobStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            JobStage::Queued => "queued",
+            JobStage::Sampling => "sampling",
+            JobStage::Assembling => "assembling",
+            JobStage::Finished => "finished",
+        })
+    }
+}
+
+#[derive(Debug, Default)]
+struct ControlInner {
+    cancelled: AtomicBool,
+    stage: AtomicU8,
+    progress_permille: AtomicU32,
+}
+
+/// Shared cancellation + progress handle for one generation job.
+#[derive(Debug, Clone, Default)]
+pub struct JobControl {
+    inner: Arc<ControlInner>,
+}
+
+impl JobControl {
+    /// A fresh handle (stage `Queued`, progress 0, not cancelled).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ask the running job to stop at its next chunk boundary.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Current coarse stage.
+    pub fn stage(&self) -> JobStage {
+        JobStage::from_u8(self.inner.stage.load(Ordering::Relaxed))
+    }
+
+    /// Fraction of the job completed, in `[0, 1]`.
+    pub fn progress(&self) -> f64 {
+        self.inner.progress_permille.load(Ordering::Relaxed) as f64 / 1000.0
+    }
+
+    /// Publish the current stage (worker side).
+    pub fn set_stage(&self, stage: JobStage) {
+        self.inner.stage.store(stage.as_u8(), Ordering::Relaxed);
+    }
+
+    /// Publish progress as `done` of `total` units (worker side).
+    pub fn set_progress(&self, done: usize, total: usize) {
+        let permille = if total == 0 {
+            1000
+        } else {
+            ((done.min(total) as u64 * 1000) / total as u64) as u32
+        };
+        self.inner
+            .progress_permille
+            .store(permille, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_round_trips_and_displays() {
+        let ctl = JobControl::new();
+        assert_eq!(ctl.stage(), JobStage::Queued);
+        for stage in [JobStage::Sampling, JobStage::Assembling, JobStage::Finished] {
+            ctl.set_stage(stage);
+            assert_eq!(ctl.stage(), stage);
+            assert!(!stage.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn progress_saturates_and_handles_zero_total() {
+        let ctl = JobControl::new();
+        assert_eq!(ctl.progress(), 0.0);
+        ctl.set_progress(5, 10);
+        assert_eq!(ctl.progress(), 0.5);
+        ctl.set_progress(20, 10);
+        assert_eq!(ctl.progress(), 1.0);
+        ctl.set_progress(0, 0);
+        assert_eq!(ctl.progress(), 1.0);
+    }
+
+    #[test]
+    fn cancellation_is_visible_across_clones() {
+        let ctl = JobControl::new();
+        let seen_by_worker = ctl.clone();
+        assert!(!seen_by_worker.is_cancelled());
+        ctl.cancel();
+        assert!(seen_by_worker.is_cancelled());
+    }
+}

@@ -18,6 +18,7 @@
 pub mod assemble;
 pub mod error;
 pub mod group_merge;
+pub mod job;
 pub mod pipeline;
 pub mod single;
 pub mod weights;
@@ -25,6 +26,7 @@ pub mod weights;
 pub use assemble::{assemble_database, JoinKeyStrategy};
 pub use error::SamError;
 pub use group_merge::{assign_keys_group_merge, AssignedKeys, Piece, PkTuple};
+pub use job::{JobControl, JobStage};
 pub use pipeline::{GenerationConfig, GenerationReport, Sam, SamConfig, TrainedSam};
 pub use single::generate_single_relation;
 pub use weights::{weigh_samples, WeightedSamples};

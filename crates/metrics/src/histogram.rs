@@ -1,0 +1,243 @@
+//! Lock-free log-bucketed latency histogram for long-running services.
+//!
+//! [`LatencyHistogram`] records durations into 64 power-of-two buckets with
+//! relaxed atomics, so many request threads can record concurrently without
+//! a lock. Percentiles are reconstructed from the bucket counts with
+//! geometric interpolation inside the winning bucket — a ≤2× worst-case
+//! relative error, which is plenty for a `/metrics` endpoint — while the
+//! count, sum (hence mean), and maximum are tracked exactly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const NUM_BUCKETS: usize = 64;
+
+/// Concurrent latency histogram over nanosecond durations.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    /// `buckets[b]` counts values with `floor(log2(ns)) == b` (0 ns joins
+    /// bucket 0).
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one duration.
+    pub fn record(&self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record one duration given in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact mean in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum_ns.load(Ordering::Relaxed) as f64 / n as f64
+    }
+
+    /// Approximate `p`-th percentile (`p` in `[0, 1]`) in nanoseconds.
+    ///
+    /// Exact for the bucket choice; geometric interpolation within the
+    /// bucket. Returns 0 when empty.
+    pub fn percentile_ns(&self, p: f64) -> f64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based.
+        let rank = ((p * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let (lo, hi) = bucket_bounds(b);
+                // Position of the rank inside this bucket, in (0, 1].
+                let frac = (rank - seen) as f64 / c as f64;
+                // Geometric interpolation between the bucket bounds.
+                let estimate = lo * (hi / lo).powf(frac);
+                // Never report beyond the exactly-tracked maximum.
+                return estimate.min(self.max_ns.load(Ordering::Relaxed) as f64);
+            }
+            seen += c;
+        }
+        self.max_ns.load(Ordering::Relaxed) as f64
+    }
+
+    /// Consistent-enough snapshot for reporting (individual loads are
+    /// relaxed, so a snapshot taken during heavy recording may be off by
+    /// the few in-flight increments — fine for monitoring).
+    pub fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            count: self.count(),
+            mean_ms: self.mean_ns() / 1e6,
+            p50_ms: self.percentile_ns(0.50) / 1e6,
+            p90_ms: self.percentile_ns(0.90) / 1e6,
+            p95_ms: self.percentile_ns(0.95) / 1e6,
+            p99_ms: self.percentile_ns(0.99) / 1e6,
+            max_ms: self.max_ns.load(Ordering::Relaxed) as f64 / 1e6,
+        }
+    }
+}
+
+/// Point-in-time view of a [`LatencyHistogram`], in milliseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySnapshot {
+    /// Number of recorded durations.
+    pub count: u64,
+    /// Exact mean.
+    pub mean_ms: f64,
+    /// Approximate median.
+    pub p50_ms: f64,
+    /// Approximate 90th percentile.
+    pub p90_ms: f64,
+    /// Approximate 95th percentile.
+    pub p95_ms: f64,
+    /// Approximate 99th percentile.
+    pub p99_ms: f64,
+    /// Exact maximum.
+    pub max_ms: f64,
+}
+
+/// `floor(log2(ns))`, with 0 mapping to bucket 0.
+fn bucket_of(ns: u64) -> usize {
+    (63 - (ns | 1).leading_zeros()) as usize
+}
+
+/// `[lo, hi)` value bounds of bucket `b` as floats (bucket 0 covers 0..2).
+fn bucket_bounds(b: usize) -> (f64, f64) {
+    if b == 0 {
+        (1.0, 2.0)
+    } else {
+        ((1u64 << b) as f64, (1u128 << (b + 1)) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.percentile_ns(0.99), 0.0);
+    }
+
+    #[test]
+    fn percentiles_are_within_bucket_error() {
+        let h = LatencyHistogram::new();
+        for ns in 1..=1000u64 {
+            h.record_ns(ns * 1_000); // 1µs .. 1ms
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.percentile_ns(0.5);
+        // True median 500µs; log-bucket estimate must be within 2×.
+        assert!(
+            (250_000.0..=1_000_000.0).contains(&p50),
+            "p50 estimate {p50}"
+        );
+        let p99 = h.percentile_ns(0.99);
+        assert!(
+            (495_000.0..=1_000_000.0).contains(&p99),
+            "p99 estimate {p99}"
+        );
+        // Max is exact, and no percentile exceeds it.
+        assert_eq!(h.snapshot().max_ms, 1.0);
+        assert!(h.percentile_ns(1.0) <= 1_000_000.0);
+    }
+
+    #[test]
+    fn mean_and_max_are_exact() {
+        let h = LatencyHistogram::new();
+        for ns in [10u64, 20, 30, 140] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.mean_ns(), 50.0);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.max_ms, 140.0 / 1e6);
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_p() {
+        let h = LatencyHistogram::new();
+        let mut x = 7u64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record_ns(x % 10_000_000);
+        }
+        let mut last = 0.0;
+        for i in 0..=20 {
+            let p = h.percentile_ns(i as f64 / 20.0);
+            assert!(p >= last, "percentile not monotone at {i}: {p} < {last}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let h = std::sync::Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record_ns(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 80_000);
+    }
+}

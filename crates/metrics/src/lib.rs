@@ -1,16 +1,19 @@
 //! # sam-metrics — evaluation metrics for the SAM reproduction
 //!
 //! Q-Error percentile summaries (§5.1), cross entropy between a relation and
-//! its generated counterpart (Eq 1), performance deviation, and plain-text
-//! table rendering for the experiment harness.
+//! its generated counterpart (Eq 1), performance deviation, plain-text
+//! table rendering for the experiment harness, and a lock-free latency
+//! histogram backing the serving layer's `/metrics` endpoint.
 
 #![warn(missing_docs)]
 
+pub mod histogram;
 pub mod pairwise;
 pub mod qerror;
 pub mod summary;
 pub mod xentropy;
 
+pub use histogram::{LatencyHistogram, LatencySnapshot};
 pub use pairwise::pairwise_cross_entropy;
 pub use qerror::{q_error, q_errors};
 pub use summary::{render_table, Percentiles};

@@ -1,0 +1,178 @@
+//! Micro-batching queue for cardinality estimates (the serving hot path).
+//!
+//! Connection handlers `try_send` requests into one bounded channel — a full
+//! queue is immediate backpressure ([`ServeError::Overloaded`], HTTP 429),
+//! never an unbounded backlog. A pool of worker threads drains the queue:
+//! each worker blocks for one request, then opportunistically drains up to
+//! `max_batch - 1` more without waiting, groups the drained requests by model,
+//! and runs one batched progressive-sampling pass per group
+//! ([`sam_ar::estimate_cardinality_batch`]). Batched estimates are
+//! bit-identical to sequential ones (each request keeps its own seeded RNG),
+//! so batching is invisible to clients except in throughput.
+//!
+//! Shutdown: dropping the sender side lets workers finish draining whatever
+//! is queued, then exit on channel disconnect.
+
+use crate::error::ServeError;
+use crate::metrics::ServeMetrics;
+use crate::registry::ModelEntry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sam_ar::estimate_cardinality_batch;
+use sam_query::Query;
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One queued estimate request.
+pub struct EstimateJob {
+    /// Model to estimate against (pinned version).
+    pub entry: Arc<ModelEntry>,
+    /// Parsed COUNT(*) query.
+    pub query: Query,
+    /// Progressive-sampling paths.
+    pub samples: usize,
+    /// RNG seed (per request, so batching cannot change results).
+    pub seed: u64,
+    /// Absolute deadline; expired requests are answered 504 without running.
+    pub deadline: Instant,
+    /// Reply channel back to the connection handler.
+    pub reply: SyncSender<BatchReply>,
+}
+
+/// Worker's answer to one [`EstimateJob`].
+pub struct BatchReply {
+    /// The estimate, or the error to surface.
+    pub result: Result<f64, ServeError>,
+    /// How many requests shared the forward passes (1 = no co-batching).
+    pub batch_size: usize,
+}
+
+/// Handle over the queue and worker pool.
+pub struct Batcher {
+    tx: Mutex<Option<SyncSender<EstimateJob>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Batcher {
+    /// Start `workers` threads behind a queue of `queue_capacity` slots.
+    pub fn start(
+        workers: usize,
+        queue_capacity: usize,
+        max_batch: usize,
+        metrics: Arc<ServeMetrics>,
+    ) -> Batcher {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<EstimateJob>(queue_capacity.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let metrics = Arc::clone(&metrics);
+                let max_batch = max_batch.max(1);
+                std::thread::Builder::new()
+                    .name(format!("sam-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, max_batch, &metrics))
+                    .expect("spawn inference worker")
+            })
+            .collect();
+        Batcher {
+            tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Enqueue without blocking. Full queue → [`ServeError::Overloaded`];
+    /// after [`shutdown`](Self::shutdown) → [`ServeError::ShuttingDown`].
+    pub fn submit(&self, job: EstimateJob) -> Result<(), ServeError> {
+        let guard = self.tx.lock().unwrap_or_else(|e| e.into_inner());
+        let tx = guard.as_ref().ok_or(ServeError::ShuttingDown)?;
+        match tx.try_send(job) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => Err(ServeError::Overloaded),
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Stop accepting work, let workers drain the queue, and join them.
+    pub fn shutdown(&self) {
+        drop(self.tx.lock().unwrap_or_else(|e| e.into_inner()).take());
+        let handles: Vec<_> = self
+            .workers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<EstimateJob>>, max_batch: usize, metrics: &ServeMetrics) {
+    loop {
+        let mut jobs = Vec::new();
+        {
+            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+            match guard.recv() {
+                Ok(job) => jobs.push(job),
+                // All senders dropped: queue fully drained, worker exits.
+                Err(_) => return,
+            }
+            while jobs.len() < max_batch {
+                match guard.try_recv() {
+                    Ok(job) => jobs.push(job),
+                    Err(_) => break,
+                }
+            }
+        }
+
+        let now = Instant::now();
+        let (live, expired): (Vec<_>, Vec<_>) = jobs.into_iter().partition(|j| j.deadline > now);
+        for job in expired {
+            let _ = job.reply.try_send(BatchReply {
+                result: Err(ServeError::DeadlineExceeded),
+                batch_size: 0,
+            });
+        }
+        if live.is_empty() {
+            continue;
+        }
+
+        // Group by model entry so each group shares forward passes. Keying on
+        // the Arc pointer distinguishes versions even under the same name.
+        let mut groups: HashMap<usize, Vec<EstimateJob>> = HashMap::new();
+        for job in live {
+            groups
+                .entry(Arc::as_ptr(&job.entry) as usize)
+                .or_default()
+                .push(job);
+        }
+        for (_, group) in groups {
+            run_group(group, metrics);
+        }
+    }
+}
+
+fn run_group(group: Vec<EstimateJob>, metrics: &ServeMetrics) {
+    let batch_size = group.len();
+    let results = {
+        let requests: Vec<(&Query, usize)> = group.iter().map(|j| (&j.query, j.samples)).collect();
+        let mut rngs: Vec<StdRng> = group
+            .iter()
+            .map(|j| StdRng::seed_from_u64(j.seed))
+            .collect();
+        estimate_cardinality_batch(group[0].entry.trained.model(), &requests, &mut rngs)
+    };
+    ServeMetrics::bump(&metrics.batches);
+    metrics
+        .batched_requests
+        .fetch_add(batch_size as u64, std::sync::atomic::Ordering::Relaxed);
+    for (job, result) in group.into_iter().zip(results) {
+        let _ = job.reply.try_send(BatchReply {
+            result: result.map_err(|e| ServeError::BadRequest(e.to_string())),
+            batch_size,
+        });
+    }
+}

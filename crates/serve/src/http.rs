@@ -1,0 +1,147 @@
+//! Minimal HTTP/1.1 framing over `std::io` — just enough for a JSON API.
+//!
+//! One request per connection (`Connection: close`). Requests are parsed
+//! from any [`BufRead`] so the parser is unit-testable without sockets;
+//! responses are written to any [`Write`].
+
+use crate::error::ServeError;
+use std::io::{BufRead, Write};
+
+/// Largest accepted request body (1 MiB) — estimates and job submissions
+/// are small; anything bigger is a client error.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// A parsed HTTP request: method, path, and (possibly empty) body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercased method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target as sent (no query-string splitting; the API is
+    /// JSON-body based).
+    pub path: String,
+    /// Raw UTF-8 body.
+    pub body: String,
+}
+
+/// Read and parse one HTTP/1.1 request from `reader`.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ServeError> {
+    let bad = |m: &str| ServeError::BadRequest(m.to_string());
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| ServeError::Internal(format!("read request line: {e}")))?;
+    if line.is_empty() {
+        return Err(bad("empty request"));
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| bad("missing method"))?
+        .to_string();
+    let path = parts.next().ok_or_else(|| bad("missing path"))?.to_string();
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1") => {}
+        _ => return Err(bad("expected HTTP/1.x request")),
+    }
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        let n = reader
+            .read_line(&mut header)
+            .map_err(|e| ServeError::Internal(format!("read header: {e}")))?;
+        if n == 0 || header.trim().is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse::<usize>()
+                    .map_err(|_| bad("invalid Content-Length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(bad("request body too large"));
+    }
+    let mut buf = vec![0u8; content_length];
+    reader
+        .read_exact(&mut buf)
+        .map_err(|e| ServeError::BadRequest(format!("short body: {e}")))?;
+    let body = String::from_utf8(buf).map_err(|_| bad("body is not UTF-8"))?;
+    Ok(Request { method, path, body })
+}
+
+/// Write a JSON response with the given status and serialised body.
+pub fn write_json_response<W: Write>(out: &mut W, status: u16, body: &str) -> std::io::Result<()> {
+    write!(
+        out,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        reason(status),
+        body.len(),
+    )?;
+    out.flush()
+}
+
+/// Canonical reason phrases for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = "POST /estimate HTTP/1.1\r\nHost: x\r\nContent-Length: 9\r\n\r\n{\"a\": 1}x";
+        let req = read_request(&mut Cursor::new(raw)).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/estimate");
+        assert_eq!(req.body, "{\"a\": 1}x");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = read_request(&mut Cursor::new("GET /healthz HTTP/1.1\r\n\r\n")).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_request(&mut Cursor::new("")).is_err());
+        assert!(read_request(&mut Cursor::new("nonsense\r\n\r\n")).is_err());
+        let oversize = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(read_request(&mut Cursor::new(oversize)).is_err());
+        // Declared body longer than what arrives.
+        let short = "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert!(read_request(&mut Cursor::new(short)).is_err());
+    }
+
+    #[test]
+    fn writes_framed_response() {
+        let mut out = Vec::new();
+        write_json_response(&mut out, 429, "{\"error\":\"full\"}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Content-Length: 16\r\n"));
+        assert!(text.ends_with("{\"error\":\"full\"}"));
+    }
+}

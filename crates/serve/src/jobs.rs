@@ -1,0 +1,178 @@
+//! Asynchronous generation jobs.
+//!
+//! `POST /generate` is accepted immediately: generation runs on its own
+//! thread through [`TrainedSam::generate_controlled`], which reports stage +
+//! progress and honours cancellation via [`JobControl`]. Clients poll
+//! `GET /jobs/{id}`. Shutdown *drains*: [`JobRegistry::drain`] joins every
+//! job thread, so accepted jobs always reach a terminal state.
+
+use crate::metrics::ServeMetrics;
+use crate::registry::ModelEntry;
+use sam_core::{GenerationConfig, JobControl, SamError, TrainedSam};
+use serde_json::{json, Value};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Terminal or running state of a generation job.
+pub enum JobState {
+    /// Still generating (see [`JobControl`] for stage/progress).
+    Running,
+    /// Finished successfully; payload is the result summary JSON.
+    Done(Value),
+    /// Failed with an error message.
+    Failed(String),
+    /// Cancelled before completion.
+    Cancelled,
+}
+
+/// One generation job: control handle plus current state.
+pub struct JobRecord {
+    /// Job id (unique per server).
+    pub id: u64,
+    /// Model name the job runs against.
+    pub model: String,
+    /// Model version pinned at submission.
+    pub version: u64,
+    /// Cooperative cancel / progress handle shared with the job thread.
+    pub control: JobControl,
+    state: Mutex<JobState>,
+}
+
+impl JobRecord {
+    /// Whether the job reached a terminal state.
+    pub fn is_finished(&self) -> bool {
+        !matches!(
+            *self.state.lock().unwrap_or_else(|e| e.into_inner()),
+            JobState::Running
+        )
+    }
+
+    /// Status document served at `GET /jobs/{id}`.
+    pub fn status_json(&self) -> Value {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let (label, result, error) = match &*state {
+            JobState::Running => ("running", Value::Null, Value::Null),
+            JobState::Done(summary) => ("done", summary.clone(), Value::Null),
+            JobState::Failed(msg) => ("failed", Value::Null, Value::String(msg.clone())),
+            JobState::Cancelled => ("cancelled", Value::Null, Value::Null),
+        };
+        json!({
+            "id": self.id,
+            "model": self.model.clone(),
+            "model_version": self.version,
+            "state": label,
+            "stage": self.control.stage().to_string(),
+            "progress": self.control.progress(),
+            "result": result,
+            "error": error,
+        })
+    }
+}
+
+/// Concurrent job table. All methods take `&self`.
+#[derive(Default)]
+pub struct JobRegistry {
+    next_id: AtomicU64,
+    jobs: Mutex<HashMap<u64, Arc<JobRecord>>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl JobRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start a generation job on its own thread; returns the job id.
+    pub fn spawn(
+        &self,
+        entry: Arc<ModelEntry>,
+        config: GenerationConfig,
+        metrics: Arc<ServeMetrics>,
+    ) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let record = Arc::new(JobRecord {
+            id,
+            model: entry.name.clone(),
+            version: entry.version,
+            control: JobControl::new(),
+            state: Mutex::new(JobState::Running),
+        });
+        self.jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(id, Arc::clone(&record));
+        ServeMetrics::bump(&metrics.jobs_started);
+        let handle = std::thread::Builder::new()
+            .name(format!("sam-serve-job-{id}"))
+            .spawn(move || run_job(&entry.trained, &config, &record, &metrics))
+            .expect("spawn generation job");
+        self.handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(handle);
+        id
+    }
+
+    /// Look up a job by id.
+    pub fn get(&self, id: u64) -> Option<Arc<JobRecord>> {
+        self.jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&id)
+            .cloned()
+    }
+
+    /// Request cancellation; returns false for unknown ids.
+    pub fn cancel(&self, id: u64) -> bool {
+        match self.get(id) {
+            Some(record) => {
+                record.control.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Join every job thread (drain semantics — jobs run to completion or to
+    /// their next cancellation check; none are abandoned mid-write).
+    pub fn drain(&self) {
+        let handles: Vec<_> = self
+            .handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn run_job(
+    trained: &TrainedSam,
+    config: &GenerationConfig,
+    record: &JobRecord,
+    metrics: &ServeMetrics,
+) {
+    let outcome = match trained.generate_controlled(config, &record.control) {
+        Ok((db, report)) => {
+            let tables: Vec<Value> = db
+                .tables()
+                .iter()
+                .map(|t| json!({"table": t.name(), "rows": t.num_rows()}))
+                .collect();
+            JobState::Done(json!({
+                "tables": Value::Array(tables),
+                "foj_samples": report.foj_samples,
+                "wall_seconds": report.wall_seconds,
+            }))
+        }
+        Err(SamError::Cancelled) => JobState::Cancelled,
+        Err(e) => JobState::Failed(e.to_string()),
+    };
+    *record.state.lock().unwrap_or_else(|e| e.into_inner()) = outcome;
+    ServeMetrics::bump(&metrics.jobs_finished);
+}

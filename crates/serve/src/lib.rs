@@ -1,0 +1,36 @@
+//! # sam-serve — concurrent model-serving subsystem
+//!
+//! Serves trained SAM models over HTTP for the two production workloads the
+//! paper's pipeline produces: **cardinality estimation** (interactive, high
+//! QPS) and **database generation** (long-running, asynchronous).
+//!
+//! Built entirely on `std` (TcpListener + threads + channels):
+//!
+//! * [`ModelRegistry`] — versioned, hot-swappable model store; reloads never
+//!   disturb in-flight requests.
+//! * [`Batcher`] — bounded micro-batching queue: concurrent estimates are
+//!   fused into one batched progressive-sampling pass
+//!   ([`sam_ar::estimate_cardinality_batch`]) with bit-identical results;
+//!   a full queue is immediate 429 backpressure.
+//! * [`JobRegistry`] — async generation jobs with stage/progress polling and
+//!   cooperative cancellation ([`sam_core::JobControl`]).
+//! * [`Server`] — hand-rolled HTTP/1.1 + JSON front end with per-request
+//!   deadlines and graceful shutdown that drains queued estimates and
+//!   running jobs.
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod error;
+pub mod http;
+pub mod jobs;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+
+pub use batcher::{BatchReply, Batcher, EstimateJob};
+pub use error::ServeError;
+pub use jobs::{JobRecord, JobRegistry, JobState};
+pub use metrics::ServeMetrics;
+pub use registry::{ModelEntry, ModelRegistry};
+pub use server::{ServeConfig, Server};

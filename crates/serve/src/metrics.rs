@@ -1,0 +1,88 @@
+//! Server-side request counters and latency tracking for `/metrics`.
+
+use sam_metrics::LatencyHistogram;
+use serde_json::{json, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cheap concurrent counters + an estimate-latency histogram. One instance
+/// per server, shared by every connection handler and inference worker.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// All HTTP requests routed (any endpoint, any outcome).
+    pub http_requests: AtomicU64,
+    /// `/estimate` calls answered 200.
+    pub estimates_ok: AtomicU64,
+    /// `/estimate` calls answered 4xx/5xx (excluding 429s/504s below).
+    pub estimate_errors: AtomicU64,
+    /// `/estimate` calls rejected with 429 (queue full).
+    pub rejected_overload: AtomicU64,
+    /// `/estimate` calls that missed their deadline (504).
+    pub deadline_exceeded: AtomicU64,
+    /// Micro-batches executed by inference workers.
+    pub batches: AtomicU64,
+    /// Requests summed over those micro-batches (ratio = mean batch size).
+    pub batched_requests: AtomicU64,
+    /// Generation jobs accepted.
+    pub jobs_started: AtomicU64,
+    /// Generation jobs that reached a terminal state.
+    pub jobs_finished: AtomicU64,
+    /// End-to-end `/estimate` latency (arrival → reply).
+    pub estimate_latency: LatencyHistogram,
+}
+
+impl ServeMetrics {
+    /// Increment a counter.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// JSON rendering for the `/metrics` endpoint.
+    pub fn to_json(&self) -> Value {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let batches = load(&self.batches);
+        let batched = load(&self.batched_requests);
+        let lat = self.estimate_latency.snapshot();
+        json!({
+            "http_requests": load(&self.http_requests),
+            "estimates_ok": load(&self.estimates_ok),
+            "estimate_errors": load(&self.estimate_errors),
+            "rejected_overload": load(&self.rejected_overload),
+            "deadline_exceeded": load(&self.deadline_exceeded),
+            "batches": batches,
+            "batched_requests": batched,
+            "mean_batch_size": if batches == 0 { 0.0 } else { batched as f64 / batches as f64 },
+            "jobs_started": load(&self.jobs_started),
+            "jobs_finished": load(&self.jobs_finished),
+            "estimate_latency_ms": {
+                "count": lat.count,
+                "mean": lat.mean_ms,
+                "p50": lat.p50_ms,
+                "p90": lat.p90_ms,
+                "p95": lat.p95_ms,
+                "p99": lat.p99_ms,
+                "max": lat.max_ms,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn json_reflects_counters() {
+        let m = ServeMetrics::default();
+        ServeMetrics::bump(&m.http_requests);
+        ServeMetrics::bump(&m.http_requests);
+        ServeMetrics::bump(&m.batches);
+        m.batched_requests.fetch_add(8, Ordering::Relaxed);
+        m.estimate_latency.record(Duration::from_millis(3));
+        let v = m.to_json();
+        assert_eq!(v.get("http_requests").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("mean_batch_size").unwrap().as_f64(), Some(8.0));
+        let lat = v.get("estimate_latency_ms").unwrap();
+        assert_eq!(lat.get("count").unwrap().as_u64(), Some(1));
+    }
+}

@@ -1,0 +1,112 @@
+//! Versioned model registry with lock-light reads and hot swap.
+//!
+//! Each named slot holds an [`Arc<ModelEntry>`]; readers clone the `Arc` and
+//! release the lock, so in-flight estimates keep using the model version they
+//! resolved even while a reload swaps the slot underneath them. Versions are
+//! per-name and bump on every swap, letting clients detect reloads.
+
+use crate::error::ServeError;
+use sam_ar::TrainReport;
+use sam_core::{Sam, TrainedSam};
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// One registered model version.
+pub struct ModelEntry {
+    /// Registry name the model is addressed by.
+    pub name: String,
+    /// Monotone per-name version, starting at 1.
+    pub version: u64,
+    /// The trained pipeline (shared with in-flight requests and jobs).
+    pub trained: Arc<TrainedSam>,
+}
+
+impl ModelEntry {
+    /// Table names of the model's target schema.
+    pub fn table_names(&self) -> Vec<String> {
+        self.trained
+            .db_schema()
+            .tables()
+            .iter()
+            .map(|t| t.name.clone())
+            .collect()
+    }
+}
+
+/// Concurrent name → model map. All methods take `&self`.
+#[derive(Default)]
+pub struct ModelRegistry {
+    inner: RwLock<HashMap<String, Arc<ModelEntry>>>,
+}
+
+impl ModelRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or hot-swap) `trained` under `name`; returns the new version.
+    pub fn insert(&self, name: &str, trained: TrainedSam) -> u64 {
+        let mut map = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        let version = map.get(name).map_or(0, |e| e.version) + 1;
+        map.insert(
+            name.to_string(),
+            Arc::new(ModelEntry {
+                name: name.to_string(),
+                version,
+                trained: Arc::new(trained),
+            }),
+        );
+        version
+    }
+
+    /// Load a persisted model (the `sam_ar::save_model` JSON format) from
+    /// `path` and register it under `name`. A load of an already-registered
+    /// name is a hot swap: the version bumps and new requests see the new
+    /// model while in-flight ones finish on the old `Arc`.
+    pub fn load_file(&self, name: &str, path: &str) -> Result<u64, ServeError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ServeError::BadRequest(format!("cannot read model file {path}: {e}")))?;
+        let (model, db_schema) = sam_ar::load_model(&text)
+            .map_err(|e| ServeError::BadRequest(format!("cannot load model {path}: {e}")))?;
+        // Persisted models carry no training telemetry; serve with an empty report.
+        let report = TrainReport {
+            epoch_losses: Vec::new(),
+            constraints_processed: 0,
+            wall_seconds: 0.0,
+        };
+        Ok(self.insert(name, Sam::from_frozen(db_schema, model, report)))
+    }
+
+    /// Resolve a model by name.
+    pub fn get(&self, name: &str) -> Option<Arc<ModelEntry>> {
+        self.inner
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned()
+    }
+
+    /// All registered models, sorted by name.
+    pub fn list(&self) -> Vec<Arc<ModelEntry>> {
+        let mut entries: Vec<_> = self
+            .inner
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .cloned()
+            .collect();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        entries
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.inner.read().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -1,0 +1,421 @@
+//! The HTTP server: accept loop, routing, and graceful shutdown.
+//!
+//! Built on `std::net::TcpListener` with one thread per connection (requests
+//! are short; the expensive work happens in the batcher / job threads).
+//! Endpoints:
+//!
+//! | Route | Effect |
+//! |---|---|
+//! | `GET /healthz` | liveness + model count |
+//! | `GET /models` | registered models and versions |
+//! | `POST /models` | load / hot-swap a persisted model from disk |
+//! | `POST /estimate` | micro-batched cardinality estimate |
+//! | `POST /generate` | start an async generation job (202) |
+//! | `GET /jobs/{id}` | poll job state / stage / progress |
+//! | `POST /jobs/{id}/cancel` | request cooperative cancellation |
+//! | `GET /metrics` | counters + latency percentiles |
+//!
+//! Shutdown order matters: stop accepting, join connection handlers (they may
+//! still be waiting on estimate replies), drain + stop the batcher, then join
+//! all generation jobs (drain semantics — accepted jobs reach a terminal
+//! state before [`Server::shutdown`] returns).
+
+use crate::batcher::{Batcher, EstimateJob};
+use crate::error::ServeError;
+use crate::http::{self, Request};
+use crate::jobs::JobRegistry;
+use crate::metrics::ServeMetrics;
+use crate::registry::ModelRegistry;
+use sam_core::{GenerationConfig, JoinKeyStrategy};
+use sam_query::parse_query;
+use serde_json::{json, Value};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::RecvTimeoutError;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Upper bound on progressive-sampling paths per estimate request.
+const MAX_SAMPLES: usize = 1_000_000;
+/// Upper bound on FOJ samples per generation job.
+const MAX_FOJ_SAMPLES: usize = 5_000_000;
+/// Grace period past a request's deadline before the handler gives up
+/// waiting for the worker's own 504 (avoids racing the worker).
+const DEADLINE_GRACE: Duration = Duration::from_millis(100);
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Inference worker threads.
+    pub workers: usize,
+    /// Bounded estimate-queue capacity (full queue → 429).
+    pub queue_capacity: usize,
+    /// Max requests fused into one forward-pass batch.
+    pub max_batch: usize,
+    /// Progressive-sampling paths when the request omits `samples`.
+    pub default_samples: usize,
+    /// Per-request deadline when the request omits `timeout_ms`.
+    pub default_timeout_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 64,
+            max_batch: 16,
+            default_samples: 200,
+            default_timeout_ms: 10_000,
+        }
+    }
+}
+
+struct ServerState {
+    config: ServeConfig,
+    registry: ModelRegistry,
+    jobs: JobRegistry,
+    metrics: Arc<ServeMetrics>,
+    batcher: Batcher,
+    shutting_down: AtomicBool,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running server. Dropping it shuts it down gracefully.
+pub struct Server {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Bind and start serving in background threads.
+    pub fn start(config: ServeConfig) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| ServeError::Internal(format!("bind {}: {e}", config.addr)))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::Internal(format!("local_addr: {e}")))?;
+        let metrics = Arc::new(ServeMetrics::default());
+        let batcher = Batcher::start(
+            config.workers,
+            config.queue_capacity,
+            config.max_batch,
+            Arc::clone(&metrics),
+        );
+        let state = Arc::new(ServerState {
+            config,
+            registry: ModelRegistry::new(),
+            jobs: JobRegistry::new(),
+            metrics,
+            batcher,
+            shutting_down: AtomicBool::new(false),
+            conn_threads: Mutex::new(Vec::new()),
+        });
+        let accept_state = Arc::clone(&state);
+        let accept_thread = std::thread::Builder::new()
+            .name("sam-serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, &accept_state))
+            .map_err(|e| ServeError::Internal(format!("spawn accept loop: {e}")))?;
+        Ok(Server {
+            state,
+            addr,
+            accept_thread: Mutex::new(Some(accept_thread)),
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The model registry, for programmatic loading (CLI, tests).
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.state.registry
+    }
+
+    /// The generation-job registry.
+    pub fn jobs(&self) -> &JobRegistry {
+        &self.state.jobs
+    }
+
+    /// Server metrics.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.state.metrics
+    }
+
+    /// Graceful shutdown: stop accepting connections, finish in-flight
+    /// requests, drain the estimate queue, and join every generation job.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        self.state.shutting_down.store(true, Ordering::SeqCst);
+        // Wake the blocking accept so the loop observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self
+            .accept_thread
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+        {
+            let _ = handle.join();
+        }
+        let conns: Vec<_> = self
+            .state
+            .conn_threads
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+            .collect();
+        for handle in conns {
+            let _ = handle.join();
+        }
+        self.state.batcher.shutdown();
+        self.state.jobs.drain();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    for conn in listener.incoming() {
+        if state.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let conn_state = Arc::clone(state);
+        let spawned = std::thread::Builder::new()
+            .name("sam-serve-conn".to_string())
+            .spawn(move || handle_connection(&stream, &conn_state));
+        if let Ok(handle) = spawned {
+            let mut threads = state.conn_threads.lock().unwrap_or_else(|e| e.into_inner());
+            // Reap finished handlers so the vec stays bounded on long runs.
+            threads.retain(|h| !h.is_finished());
+            threads.push(handle);
+        }
+    }
+}
+
+fn handle_connection(stream: &TcpStream, state: &Arc<ServerState>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    ServeMetrics::bump(&state.metrics.http_requests);
+    let mut reader = std::io::BufReader::new(stream);
+    let (status, body) = match http::read_request(&mut reader) {
+        Ok(request) => route(&request, state),
+        Err(e) => (e.status(), json!({"error": e.to_string()})),
+    };
+    let text = serde_json::to_string(&body).unwrap_or_else(|_| "{}".to_string());
+    let mut writer = stream;
+    let _ = http::write_json_response(&mut writer, status, &text);
+}
+
+fn route(request: &Request, state: &Arc<ServerState>) -> (u16, Value) {
+    let result = match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Ok((
+            200,
+            json!({
+                "status": "ok",
+                "models": state.registry.len(),
+                "shutting_down": state.shutting_down.load(Ordering::SeqCst),
+            }),
+        )),
+        ("GET", "/metrics") => Ok((200, state.metrics.to_json())),
+        ("GET", "/models") => Ok((200, list_models(state))),
+        ("POST", "/models") => load_model_route(state, &request.body),
+        ("POST", "/estimate") => estimate_route(state, &request.body),
+        ("POST", "/generate") => generate_route(state, &request.body),
+        (method, path) if path.starts_with("/jobs/") => job_route(state, method, path),
+        (_, path) => Err(ServeError::NotFound(format!("no route for {path}"))),
+    };
+    match result {
+        Ok((status, body)) => (status, body),
+        Err(e) => (e.status(), json!({"error": e.to_string()})),
+    }
+}
+
+fn list_models(state: &ServerState) -> Value {
+    let models: Vec<Value> = state
+        .registry
+        .list()
+        .iter()
+        .map(|entry| {
+            json!({
+                "name": entry.name.clone(),
+                "version": entry.version,
+                "tables": entry.table_names(),
+            })
+        })
+        .collect();
+    json!({"models": Value::Array(models)})
+}
+
+fn load_model_route(state: &ServerState, body: &str) -> Result<(u16, Value), ServeError> {
+    let doc = parse_body(body)?;
+    let name = str_field(&doc, "name")?;
+    let path = str_field(&doc, "path")?;
+    let version = state.registry.load_file(name, path)?;
+    Ok((200, json!({"name": name, "version": version})))
+}
+
+fn estimate_route(state: &ServerState, body: &str) -> Result<(u16, Value), ServeError> {
+    let started = Instant::now();
+    let result = run_estimate(state, body, started);
+    match &result {
+        Ok(_) => {
+            ServeMetrics::bump(&state.metrics.estimates_ok);
+            state.metrics.estimate_latency.record(started.elapsed());
+        }
+        Err(ServeError::Overloaded) => ServeMetrics::bump(&state.metrics.rejected_overload),
+        Err(ServeError::DeadlineExceeded) => ServeMetrics::bump(&state.metrics.deadline_exceeded),
+        Err(_) => ServeMetrics::bump(&state.metrics.estimate_errors),
+    }
+    result
+}
+
+fn run_estimate(
+    state: &ServerState,
+    body: &str,
+    started: Instant,
+) -> Result<(u16, Value), ServeError> {
+    let doc = parse_body(body)?;
+    let model_name = str_field(&doc, "model")?;
+    let sql = str_field(&doc, "sql")?;
+    let samples = opt_u64(&doc, "samples")?
+        .unwrap_or(state.config.default_samples as u64)
+        .clamp(1, MAX_SAMPLES as u64) as usize;
+    let seed = opt_u64(&doc, "seed")?.unwrap_or(0);
+    let timeout_ms = opt_u64(&doc, "timeout_ms")?
+        .unwrap_or(state.config.default_timeout_ms)
+        .max(1);
+
+    let entry = state
+        .registry
+        .get(model_name)
+        .ok_or_else(|| ServeError::NotFound(format!("model '{model_name}'")))?;
+    let query =
+        parse_query(sql).map_err(|e| ServeError::BadRequest(format!("invalid SQL: {e}")))?;
+
+    let deadline = started + Duration::from_millis(timeout_ms);
+    let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
+    state.batcher.submit(EstimateJob {
+        entry: Arc::clone(&entry),
+        query,
+        samples,
+        seed,
+        deadline,
+        reply: reply_tx,
+    })?;
+    let wait = deadline.saturating_duration_since(Instant::now()) + DEADLINE_GRACE;
+    let reply = match reply_rx.recv_timeout(wait) {
+        Ok(reply) => reply,
+        Err(RecvTimeoutError::Timeout) => return Err(ServeError::DeadlineExceeded),
+        Err(RecvTimeoutError::Disconnected) => {
+            return Err(ServeError::Internal(
+                "inference worker dropped request".into(),
+            ))
+        }
+    };
+    let estimate = reply.result?;
+    Ok((
+        200,
+        json!({
+            "model": entry.name.clone(),
+            "model_version": entry.version,
+            "estimate": estimate,
+            "samples": samples,
+            "batch_size": reply.batch_size,
+            "latency_ms": started.elapsed().as_secs_f64() * 1e3,
+        }),
+    ))
+}
+
+fn generate_route(state: &ServerState, body: &str) -> Result<(u16, Value), ServeError> {
+    if state.shutting_down.load(Ordering::SeqCst) {
+        return Err(ServeError::ShuttingDown);
+    }
+    let doc = parse_body(body)?;
+    let model_name = str_field(&doc, "model")?;
+    let foj_samples = opt_u64(&doc, "foj_samples")?
+        .unwrap_or(2_000)
+        .clamp(1, MAX_FOJ_SAMPLES as u64) as usize;
+    let batch = opt_u64(&doc, "batch")?.unwrap_or(256).max(1) as usize;
+    let seed = opt_u64(&doc, "seed")?.unwrap_or(0);
+    let entry = state
+        .registry
+        .get(model_name)
+        .ok_or_else(|| ServeError::NotFound(format!("model '{model_name}'")))?;
+    let config = GenerationConfig {
+        foj_samples,
+        batch,
+        seed,
+        strategy: JoinKeyStrategy::GroupAndMerge,
+    };
+    let id = state.jobs.spawn(entry, config, Arc::clone(&state.metrics));
+    Ok((
+        202,
+        json!({"job_id": id, "status_url": format!("/jobs/{id}")}),
+    ))
+}
+
+fn job_route(state: &ServerState, method: &str, path: &str) -> Result<(u16, Value), ServeError> {
+    let rest = &path["/jobs/".len()..];
+    match method {
+        "GET" => {
+            let id = parse_job_id(rest)?;
+            let record = state
+                .jobs
+                .get(id)
+                .ok_or_else(|| ServeError::NotFound(format!("job {id}")))?;
+            Ok((200, record.status_json()))
+        }
+        "POST" => {
+            let id_part = rest
+                .strip_suffix("/cancel")
+                .ok_or_else(|| ServeError::NotFound(format!("no route for {path}")))?;
+            let id = parse_job_id(id_part)?;
+            if state.jobs.cancel(id) {
+                Ok((200, json!({"job_id": id, "cancelled": true})))
+            } else {
+                Err(ServeError::NotFound(format!("job {id}")))
+            }
+        }
+        _ => Err(ServeError::NotFound(format!("no route for {path}"))),
+    }
+}
+
+fn parse_job_id(text: &str) -> Result<u64, ServeError> {
+    text.parse::<u64>()
+        .map_err(|_| ServeError::BadRequest(format!("invalid job id '{text}'")))
+}
+
+fn parse_body(body: &str) -> Result<Value, ServeError> {
+    if body.trim().is_empty() {
+        return Err(ServeError::BadRequest("missing JSON body".to_string()));
+    }
+    serde_json::parse_value(body).map_err(|e| ServeError::BadRequest(format!("invalid JSON: {e}")))
+}
+
+fn str_field<'a>(doc: &'a Value, key: &str) -> Result<&'a str, ServeError> {
+    doc.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| ServeError::BadRequest(format!("missing string field '{key}'")))
+}
+
+fn opt_u64(doc: &Value, key: &str) -> Result<Option<u64>, ServeError> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(v) if v.is_null() => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            ServeError::BadRequest(format!("field '{key}' must be a non-negative integer"))
+        }),
+    }
+}

@@ -1,0 +1,305 @@
+//! Integration tests for the serving subsystem: happy paths, graceful
+//! degradation (429 / 400 / 404 / 504), hot swap, and drain-on-shutdown.
+
+use sam_core::{Sam, SamConfig, TrainedSam};
+use sam_query::{label_workload, WorkloadGenerator};
+use sam_serve::{ServeConfig, Server};
+use sam_storage::{paper_example, DatabaseStats};
+use serde_json::Value;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Train a small model on the paper's Figure-3 database.
+fn tiny_model(arch_seed: u64) -> TrainedSam {
+    let db = paper_example::figure3_database();
+    let stats = DatabaseStats::from_database(&db);
+    let mut gen = WorkloadGenerator::new(&db, 7);
+    let workload = label_workload(&db, gen.multi_workload(24, 2)).unwrap();
+    let config = SamConfig {
+        model: sam_ar::ArModelConfig {
+            hidden: vec![12],
+            seed: arch_seed,
+            residual: false,
+            transformer: None,
+        },
+        train: sam_ar::TrainConfig {
+            epochs: 4,
+            batch_size: 8,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    Sam::fit(db.schema(), &stats, &workload, &config).unwrap()
+}
+
+/// Blocking one-shot HTTP client: send a request, read the full response.
+fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, Value) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &str) -> (u16, Value) {
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let json = raw.split("\r\n\r\n").nth(1).expect("body");
+    (status, serde_json::parse_value(json).expect("JSON body"))
+}
+
+fn start_server(config: ServeConfig) -> Server {
+    let server = Server::start(config).expect("start server");
+    server.registry().insert("demo", tiny_model(3));
+    server
+}
+
+#[test]
+fn health_models_and_estimate_roundtrip() {
+    let server = start_server(ServeConfig::default());
+    let addr = server.addr();
+
+    let (status, health) = http(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert_eq!(health.get("models").and_then(Value::as_u64), Some(1));
+
+    let (status, models) = http(addr, "GET", "/models", "");
+    assert_eq!(status, 200);
+    let list = models.get("models").and_then(Value::as_array).unwrap();
+    assert_eq!(list.len(), 1);
+    assert_eq!(list[0].get("name").and_then(Value::as_str), Some("demo"));
+    assert_eq!(list[0].get("version").and_then(Value::as_u64), Some(1));
+
+    let body = r#"{"model": "demo", "sql": "SELECT COUNT(*) FROM A", "samples": 64, "seed": 1}"#;
+    let (status, est) = http(addr, "POST", "/estimate", body);
+    assert_eq!(status, 200, "estimate failed: {est:?}");
+    let value = est.get("estimate").and_then(Value::as_f64).unwrap();
+    assert!(value.is_finite() && value >= 0.0);
+    assert!(est.get("batch_size").and_then(Value::as_u64).unwrap() >= 1);
+
+    let (status, metrics) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert_eq!(metrics.get("estimates_ok").and_then(Value::as_u64), Some(1));
+    server.shutdown();
+}
+
+#[test]
+fn malformed_and_missing_requests_degrade_cleanly() {
+    let server = start_server(ServeConfig::default());
+    let addr = server.addr();
+
+    // Invalid JSON → 400.
+    let (status, body) = http(addr, "POST", "/estimate", "{not json");
+    assert_eq!(status, 400, "{body:?}");
+
+    // Missing required field → 400.
+    let (status, _) = http(addr, "POST", "/estimate", r#"{"model": "demo"}"#);
+    assert_eq!(status, 400);
+
+    // Unparsable SQL → 400.
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/estimate",
+        r#"{"model": "demo", "sql": "DELETE FROM A"}"#,
+    );
+    assert_eq!(status, 400);
+    assert!(body
+        .get("error")
+        .and_then(Value::as_str)
+        .unwrap()
+        .contains("SQL"));
+
+    // Unknown model → 404.
+    let (status, _) = http(
+        addr,
+        "POST",
+        "/estimate",
+        r#"{"model": "nope", "sql": "SELECT COUNT(*) FROM A"}"#,
+    );
+    assert_eq!(status, 404);
+
+    // Unknown job → 404; bad job id → 400.
+    let (status, _) = http(addr, "GET", "/jobs/999", "");
+    assert_eq!(status, 404);
+    let (status, _) = http(addr, "GET", "/jobs/abc", "");
+    assert_eq!(status, 400);
+
+    // Unknown route → 404.
+    let (status, _) = http(addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+
+    // Wrongly typed field → 400.
+    let (status, _) = http(
+        addr,
+        "POST",
+        "/estimate",
+        r#"{"model": "demo", "sql": "SELECT COUNT(*) FROM A", "samples": "many"}"#,
+    );
+    assert_eq!(status, 400);
+
+    let (_, metrics) = http(addr, "GET", "/metrics", "");
+    assert!(
+        metrics
+            .get("estimate_errors")
+            .and_then(Value::as_u64)
+            .unwrap()
+            >= 4
+    );
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_rejects_with_429() {
+    // One worker, one queue slot, no co-batching: while the worker chews on a
+    // big request and one more waits in the queue, further requests bounce.
+    let server = start_server(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        max_batch: 1,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let slow = r#"{"model": "demo", "sql": "SELECT COUNT(*) FROM A, B, C", "samples": 100000, "timeout_ms": 120000}"#;
+
+    // Fire several requests on parallel connections without waiting for
+    // replies; with capacity worker+queue = 2, at least one of 6 must get 429.
+    let clients: Vec<_> = (0..6)
+        .map(|_| {
+            let body = slow.to_string();
+            std::thread::spawn(move || http(addr, "POST", "/estimate", &body).0)
+        })
+        .collect();
+    let statuses: Vec<u16> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    let rejected = statuses.iter().filter(|&&s| s == 429).count();
+    let served = statuses.iter().filter(|&&s| s == 200).count();
+    assert!(rejected >= 1, "expected at least one 429, got {statuses:?}");
+    assert!(
+        served >= 1,
+        "expected at least one success, got {statuses:?}"
+    );
+
+    let (_, metrics) = http(addr, "GET", "/metrics", "");
+    assert_eq!(
+        metrics.get("rejected_overload").and_then(Value::as_u64),
+        Some(rejected as u64)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn missed_deadline_returns_504() {
+    let server = start_server(ServeConfig::default());
+    let addr = server.addr();
+    let body = r#"{"model": "demo", "sql": "SELECT COUNT(*) FROM A, B, C", "samples": 400000, "timeout_ms": 1}"#;
+    let (status, payload) = http(addr, "POST", "/estimate", body);
+    assert_eq!(status, 504, "{payload:?}");
+    let (_, metrics) = http(addr, "GET", "/metrics", "");
+    assert!(
+        metrics
+            .get("deadline_exceeded")
+            .and_then(Value::as_u64)
+            .unwrap()
+            >= 1
+    );
+    server.shutdown();
+}
+
+#[test]
+fn hot_swap_bumps_version_without_downtime() {
+    let server = start_server(ServeConfig::default());
+    let addr = server.addr();
+    assert_eq!(server.registry().insert("demo", tiny_model(9)), 2);
+    let (status, est) = http(
+        addr,
+        "POST",
+        "/estimate",
+        r#"{"model": "demo", "sql": "SELECT COUNT(*) FROM A", "samples": 32}"#,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(est.get("model_version").and_then(Value::as_u64), Some(2));
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_running_generation_job() {
+    let server = start_server(ServeConfig::default());
+    let addr = server.addr();
+    let (status, accepted) = http(
+        addr,
+        "POST",
+        "/generate",
+        r#"{"model": "demo", "foj_samples": 2000, "batch": 64, "seed": 2}"#,
+    );
+    assert_eq!(status, 202, "{accepted:?}");
+    let id = accepted.get("job_id").and_then(Value::as_u64).unwrap();
+
+    // Poll once over HTTP while the server is still up.
+    let (status, polled) = http(addr, "GET", &format!("/jobs/{id}"), "");
+    assert_eq!(status, 200);
+    assert!(matches!(
+        polled.get("state").and_then(Value::as_str),
+        Some("running") | Some("done")
+    ));
+
+    // Shutdown must block until the job reached a terminal state (drain).
+    server.shutdown();
+    let record = server.jobs().get(id).expect("job record survives shutdown");
+    assert!(
+        record.is_finished(),
+        "shutdown returned with job unfinished"
+    );
+    let status = record.status_json();
+    assert_eq!(status.get("state").and_then(Value::as_str), Some("done"));
+    let tables = status
+        .get("result")
+        .and_then(|r| r.get("tables"))
+        .and_then(Value::as_array)
+        .unwrap();
+    assert_eq!(tables.len(), 3);
+}
+
+#[test]
+fn cancel_endpoint_cancels_long_job() {
+    let server = start_server(ServeConfig::default());
+    let addr = server.addr();
+    let (status, accepted) = http(
+        addr,
+        "POST",
+        "/generate",
+        r#"{"model": "demo", "foj_samples": 2000000, "batch": 64, "seed": 2}"#,
+    );
+    assert_eq!(status, 202);
+    let id = accepted.get("job_id").and_then(Value::as_u64).unwrap();
+    let (status, cancelled) = http(addr, "POST", &format!("/jobs/{id}/cancel"), "");
+    assert_eq!(status, 200);
+    assert_eq!(
+        cancelled.get("cancelled").and_then(Value::as_bool),
+        Some(true)
+    );
+
+    // The job must reach a terminal state quickly (next chunk boundary).
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (_, polled) = http(addr, "GET", &format!("/jobs/{id}"), "");
+        match polled.get("state").and_then(Value::as_str) {
+            Some("cancelled") | Some("done") => break,
+            _ if Instant::now() > deadline => panic!("job did not terminate: {polled:?}"),
+            _ => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    server.shutdown();
+}

@@ -12,6 +12,9 @@
 //!                  [--queries N | --workload FILE] [--seed N]
 //! sam-cli estimate --schema schema.json --data DIR [--queries N] [--epochs N] [--seed N]
 //!                  (then one SQL query per stdin line)
+//! sam-cli serve    [--addr HOST:PORT] [--models name=model.json,...]
+//!                  [--workers N] [--queue N] [--max-batch N]
+//!                  [--samples N] [--timeout-ms N]
 //! ```
 //!
 //! Data directories hold one `<table>.csv` per schema table (header row,
@@ -84,7 +87,7 @@ impl Args {
 }
 
 fn usage() -> String {
-    "usage: sam-cli <demo|export|train|generate|evaluate|estimate> [--flags]\n\
+    "usage: sam-cli <demo|export|train|generate|evaluate|estimate|serve> [--flags]\n\
      run with a subcommand; see the crate docs for details"
         .into()
 }
@@ -98,6 +101,7 @@ fn run() -> Result<(), String> {
         "generate" => generate(&args),
         "evaluate" => evaluate(&args),
         "estimate" => estimate(&args),
+        "serve" => serve(&args),
         other => Err(format!("unknown subcommand {other:?}\n{}", usage())),
     }
 }
@@ -413,4 +417,38 @@ fn estimate(args: &Args) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+fn serve(args: &Args) -> Result<(), String> {
+    let config = sam::serve::ServeConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:8080").to_string(),
+        workers: args.num("workers", 2usize)?,
+        queue_capacity: args.num("queue", 64usize)?,
+        max_batch: args.num("max-batch", 16usize)?,
+        default_samples: args.num("samples", 200usize)?,
+        default_timeout_ms: args.num("timeout-ms", 10_000u64)?,
+    };
+    let server = sam::serve::Server::start(config).map_err(|e| e.to_string())?;
+    if let Some(models) = args.get("models") {
+        for spec in models.split(',') {
+            let (name, path) = spec
+                .split_once('=')
+                .ok_or_else(|| format!("--models entries are name=path, got {spec:?}"))?;
+            let version = server
+                .registry()
+                .load_file(name.trim(), path.trim())
+                .map_err(|e| e.to_string())?;
+            println!("loaded model {name} v{version} from {path}");
+        }
+    }
+    println!(
+        "sam-serve listening on http://{} ({} models loaded; POST /models to add more)",
+        server.addr(),
+        server.registry().len()
+    );
+    // Serve until the process is terminated; all work happens on the
+    // server's own threads. Embedders use `Server::shutdown` to drain.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
 }

@@ -20,6 +20,7 @@
 //! * [`datasets`] — synthetic Census / DMV / IMDB stand-ins.
 //! * [`engine`] — an in-memory executor for latency experiments.
 //! * [`metrics`] — Q-Error, cross entropy, percentile summaries.
+//! * [`serve`] — HTTP model serving: micro-batched estimates, async jobs.
 //!
 //! ## Quickstart
 //!
@@ -56,6 +57,7 @@ pub use sam_metrics as metrics;
 pub use sam_nn as nn;
 pub use sam_pgm as pgm;
 pub use sam_query as query;
+pub use sam_serve as serve;
 pub use sam_storage as storage;
 
 /// The most common imports for using SAM end to end.

@@ -1,0 +1,623 @@
+//! Offline vendored stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//! the [`proptest!`] macro, [`Strategy`](strategy::Strategy) with
+//! `prop_map`, numeric-range / tuple / `Just` / char-class-regex
+//! strategies, `prop::collection::vec`, `prop::sample::Index`,
+//! [`any`], [`prop_oneof!`], and the `prop_assert*` macros.
+//!
+//! Semantics differ from upstream in one deliberate way: there is no
+//! shrinking. A failing case panics with the assertion message and the
+//! case number; the RNG is seeded deterministically from the test name,
+//! so failures reproduce exactly on re-run.
+
+pub use rand::{RngCore, SeedableRng};
+
+/// The RNG driving all strategies (deterministic per test).
+pub type TestRng = rand::rngs::StdRng;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed assertion inside a proptest case body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Build a failure from a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and the strategy combinators / primitives.
+
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Produces random values of `Self::Value`. Object safe; combinators
+    /// are gated on `Self: Sized` so `Box<dyn Strategy<Value = V>>` works
+    /// (needed by `prop_oneof!`).
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draw one value.
+        fn sample_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+
+        fn sample_value(&self, rng: &mut TestRng) -> V {
+            (**self).sample_value(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample_value(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )+};
+    }
+
+    impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A.0);
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+    /// Weighted choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+        total: u32,
+    }
+
+    impl<V> Union<V> {
+        /// From `(weight, strategy)` arms; weights must not all be zero.
+        pub fn new_weighted(arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! needs a positive total weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn sample_value(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.gen_range(0..self.total);
+            for (w, s) in &self.arms {
+                if pick < *w {
+                    return s.sample_value(rng);
+                }
+                pick -= *w;
+            }
+            unreachable!("weights summed to total")
+        }
+    }
+
+    /// Box a strategy for use in heterogeneous collections (`prop_oneof!`).
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+
+    /// Strategy produced by [`crate::any`].
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T> Any<T> {
+        pub(crate) fn new() -> Self {
+            Any {
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    impl<T: crate::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// `&'static str` char-class patterns (`"[a-z ]{0,12}"`) act as
+    /// string strategies, mirroring proptest's regex-string support for
+    /// the single-class subset this workspace uses. A pattern without a
+    /// leading `[` yields the literal string itself.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn sample_value(&self, rng: &mut TestRng) -> String {
+            if !self.starts_with('[') {
+                return (*self).to_string();
+            }
+            let (alphabet, min, max) = parse_char_class(self);
+            if alphabet.is_empty() {
+                return String::new();
+            }
+            let len = rng.gen_range(min..=max);
+            (0..len)
+                .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+                .collect()
+        }
+    }
+
+    /// Parse `[class]{m,n}` (or `[class]{n}` / bare `[class]`, meaning
+    /// one repetition). Supports `\n`, `\r`, `\t`, `\\`, `\"`, escaped
+    /// `\]`/`\-`, and `a-z` ranges inside the class.
+    fn parse_char_class(pattern: &str) -> (Vec<char>, usize, usize) {
+        let chars: Vec<char> = pattern.chars().collect();
+        if chars.first() != Some(&'[') {
+            // Literal string: exactly itself.
+            return (Vec::new(), 0, 0);
+        }
+        let mut alphabet = Vec::new();
+        let mut i = 1;
+        while i < chars.len() && chars[i] != ']' {
+            let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                i += 1;
+                match chars[i] {
+                    'n' => '\n',
+                    'r' => '\r',
+                    't' => '\t',
+                    other => other,
+                }
+            } else {
+                chars[i]
+            };
+            // Range like `a-z` (a bare `-` at class end is literal).
+            if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                let hi = chars[i + 2];
+                for code in (c as u32)..=(hi as u32) {
+                    if let Some(ch) = char::from_u32(code) {
+                        alphabet.push(ch);
+                    }
+                }
+                i += 3;
+            } else {
+                alphabet.push(c);
+                i += 1;
+            }
+        }
+        // Past `]`: optional `{m,n}` / `{n}` repetition.
+        let rest: String = chars.iter().skip(i + 1).collect();
+        let (min, max) =
+            if let Some(spec) = rest.strip_prefix('{').and_then(|r| r.strip_suffix('}')) {
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().unwrap_or(0),
+                        hi.trim().parse().unwrap_or(0),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+        (alphabet, min, max.max(min))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use rand::SeedableRng;
+
+        #[test]
+        fn char_class_respects_alphabet_and_length() {
+            let mut rng = TestRng::seed_from_u64(1);
+            for _ in 0..200 {
+                let s = "[a-c]{2,5}".sample_value(&mut rng);
+                assert!((2..=5).contains(&s.chars().count()), "len {}", s.len());
+                assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+            }
+        }
+
+        #[test]
+        fn escaped_class_members() {
+            let mut rng = TestRng::seed_from_u64(2);
+            let s = "[\\n\"]{64}".sample_value(&mut rng);
+            assert_eq!(s.chars().count(), 64);
+            assert!(s.chars().all(|c| c == '\n' || c == '"'));
+        }
+    }
+}
+
+/// Types that `any::<T>()` can generate uniformly.
+pub trait Arbitrary {
+    /// Draw one arbitrary value.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut TestRng) -> f64 {
+        // Uniform in [0, 1): full-range floats break most numeric code
+        // in uninteresting ways, matching how the workspace uses ranges.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Arbitrary for sample::Index {
+    fn arbitrary_value(rng: &mut TestRng) -> sample::Index {
+        sample::Index::from_raw(rng.next_u64())
+    }
+}
+
+/// Uniform values of `T` (via [`Arbitrary`]).
+pub fn any<T: Arbitrary>() -> strategy::Any<T> {
+    strategy::Any::new()
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Length specifier for [`vec`]: a fixed `usize` or a `Range<usize>`.
+    pub trait SizeRange {
+        /// Draw a length.
+        fn pick_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick_len(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick_len(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn sample_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.pick_len(rng);
+            (0..n).map(|_| self.element.sample_value(rng)).collect()
+        }
+    }
+
+    /// A `Vec` whose elements come from `element` and whose length comes
+    /// from `len` (fixed or range).
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod sample {
+    //! Index sampling (`any::<prop::sample::Index>()`).
+
+    /// A deferred uniform index: stores raw entropy, projected onto a
+    /// concrete `0..len` range only when [`Index::index`] is called.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        pub(crate) fn from_raw(raw: u64) -> Self {
+            Index(raw)
+        }
+
+        /// Project onto `0..len`; panics if `len == 0` (as upstream does).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            ((self.0 as u128 * len as u128) >> 64) as usize
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        ProptestConfig, TestCaseError,
+    };
+
+    pub mod prop {
+        //! The `prop::` namespace (`prop::collection::vec`, `prop::sample::Index`).
+        pub use crate::{collection, sample};
+    }
+}
+
+/// Define property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]`-able function running `cases` random draws; the
+/// body may use `prop_assert*` macros (which short-circuit the case).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            // Deterministic per-test seed (FNV-1a over the test name).
+            let mut __seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for __b in stringify!($name).bytes() {
+                __seed = (__seed ^ __b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+            let mut __rng = <$crate::TestRng as $crate::SeedableRng>::seed_from_u64(__seed);
+            for __case in 0..__config.cases {
+                $(
+                    let $p = $crate::strategy::Strategy::sample_value(&($s), &mut __rng);
+                )+
+                let __result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(__e) = __result {
+                    panic!(
+                        "proptest case {}/{} failed: {}",
+                        __case + 1,
+                        __config.cases,
+                        __e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+/// Assert inside a proptest body; on failure the case returns an error.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{:?}` == `{:?}`",
+                        __l, __r
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{:?}` == `{:?}`: {}",
+                        __l,
+                        __r,
+                        format!($($fmt)+)
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Inequality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{:?}` != `{:?}`",
+                        __l, __r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Weighted alternation between strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strategy),+]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_and_tuple_compose(
+            v in prop::collection::vec((0u8..4, 10i64..20), 2..6),
+            ix in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            let (a, b) = v[ix.index(v.len())];
+            prop_assert!(a < 4);
+            prop_assert!((10..20).contains(&b));
+        }
+
+        #[test]
+        fn oneof_and_map(x in prop_oneof![3 => (0i64..5).prop_map(|v| v * 2), 1 => Just(99i64)]) {
+            prop_assert!(x == 99 || (x % 2 == 0 && x < 10), "got {}", x);
+        }
+    }
+
+    #[test]
+    fn proptest_macro_generates_runnable_tests() {
+        ranges_stay_in_bounds();
+        vec_and_tuple_compose();
+        oneof_and_map();
+    }
+}

@@ -1,0 +1,261 @@
+//! Offline vendored stand-in for the [`rayon`] crate.
+//!
+//! The build container has no network access, so the workspace vendors the
+//! small slice of rayon it uses: `into_par_iter()` over ranges and vectors
+//! with `map` / `flat_map_iter` / `for_each` / `collect` / `sum`. Work *is*
+//! executed in parallel — each combinator chain is evaluated stage-wise and
+//! the per-item closure runs on `std::thread::scope` workers, chunked over
+//! `available_parallelism` threads — it is simply not work-stealing.
+//!
+//! [`rayon`]: https://crates.io/crates/rayon
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads used for parallel evaluation.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run `items` through `f` on scoped worker threads, preserving order.
+fn parallel_map<T, B, F>(items: Vec<T>, f: F) -> Vec<B>
+where
+    T: Send,
+    B: Send,
+    F: Fn(T) -> B + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f = &f;
+    let mut out: Vec<Vec<B>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<B>>()))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("rayon shim worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// A parallel iterator: a materialised item list plus a parallel evaluator.
+pub trait ParallelIterator: Sized {
+    /// Item type produced by this stage.
+    type Item: Send;
+
+    /// Evaluate this stage (and its predecessors) to a vector, in parallel.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Parallel map.
+    fn map<B, F>(self, f: F) -> Map<Self, F>
+    where
+        B: Send,
+        F: Fn(Self::Item) -> B + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Parallel map to a serial iterator per item, flattened.
+    fn flat_map_iter<B, F, I>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        I: IntoIterator<Item = B>,
+        B: Send,
+        F: Fn(Self::Item) -> I + Sync + Send,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    /// Parallel filter.
+    fn filter<F>(self, f: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        Filter { base: self, f }
+    }
+
+    /// Apply `f` to every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        parallel_map(self.drive(), &f);
+    }
+
+    /// Collect into any `FromIterator` container (order preserved).
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.drive().into_iter().collect()
+    }
+
+    /// Sum the items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.drive().into_iter().sum()
+    }
+
+    /// Number of items (evaluates the chain).
+    fn count(self) -> usize {
+        self.drive().len()
+    }
+}
+
+/// Base stage over already-materialised items.
+pub struct Base<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for Base<T> {
+    type Item = T;
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// `map` stage.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, B, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    B: Send,
+    F: Fn(P::Item) -> B + Sync + Send,
+{
+    type Item = B;
+    fn drive(self) -> Vec<B> {
+        parallel_map(self.base.drive(), self.f)
+    }
+}
+
+/// `flat_map_iter` stage.
+pub struct FlatMapIter<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, B, F, I> ParallelIterator for FlatMapIter<P, F>
+where
+    P: ParallelIterator,
+    I: IntoIterator<Item = B>,
+    B: Send,
+    F: Fn(P::Item) -> I + Sync + Send,
+{
+    type Item = B;
+    fn drive(self) -> Vec<B> {
+        let f = self.f;
+        parallel_map(self.base.drive(), |x| f(x).into_iter().collect::<Vec<B>>())
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+/// `filter` stage.
+pub struct Filter<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F> ParallelIterator for Filter<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(&P::Item) -> bool + Sync + Send,
+{
+    type Item = P::Item;
+    fn drive(self) -> Vec<P::Item> {
+        let f = self.f;
+        parallel_map(self.base.drive(), |x| if f(&x) { Some(x) } else { None })
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = Base<T>;
+    fn into_par_iter(self) -> Base<T> {
+        Base { items: self }
+    }
+}
+
+macro_rules! impl_range_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Item = $t;
+            type Iter = Base<$t>;
+            fn into_par_iter(self) -> Base<$t> {
+                Base { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_par!(usize, u32, u64, i32, i64);
+
+/// The commonly glob-imported names, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flat_map_iter_flattens_in_order() {
+        let out: Vec<usize> = (0..10usize)
+            .into_par_iter()
+            .flat_map_iter(|x| vec![x; x])
+            .collect();
+        let expect: Vec<usize> = (0..10).flat_map(|x| vec![x; x]).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn sum_and_filter() {
+        let s: usize = (0..100usize).into_par_iter().filter(|x| x % 2 == 0).sum();
+        assert_eq!(s, (0..100).filter(|x| x % 2 == 0).sum());
+    }
+}

@@ -1,0 +1,337 @@
+//! Offline vendored stand-in for the [`serde`] crate.
+//!
+//! The build container has no network access, so the workspace vendors a
+//! functional serialisation layer with serde's *spelling* (`Serialize` /
+//! `Deserialize` traits, `#[derive(Serialize, Deserialize)]`, a subset of
+//! `#[serde(...)]` attributes) but a radically simpler data model: values
+//! serialise to/from an owned JSON tree ([`json::Value`]), and
+//! `serde_json` is a thin formatter/parser over that tree. This supports
+//! everything the workspace needs — JSON only — and none of serde's
+//! zero-copy or non-self-describing formats.
+//!
+//! Supported derive attributes: `#[serde(rename = "…")]` (fields and
+//! variants), `#[serde(default)]`, `#[serde(default = "path")]`, and
+//! `#[serde(skip_serializing_if = "path")]`. Missing `Option` fields
+//! deserialise to `None` without needing `default`.
+//!
+//! [`serde`]: https://crates.io/crates/serde
+
+pub mod json;
+
+use json::{Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A value serialisable to the JSON tree.
+pub trait Serialize {
+    /// Convert to the tree.
+    fn to_json_value(&self) -> Value;
+}
+
+/// A value reconstructible from the JSON tree.
+pub trait Deserialize: Sized {
+    /// Parse from the tree.
+    fn from_json_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Deserialisation error: a human-readable path + reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// New error from a message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError(m.into())
+    }
+
+    /// Prefix the error with a field / context name.
+    pub fn context(self, ctx: &str) -> Self {
+        DeError(format!("{ctx}: {}", self.0))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+// --------------------------------------------------------------- primitives
+
+macro_rules! impl_ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                match i64::try_from(*self) {
+                    Ok(i) => Value::Number(Number::from_i64(i)),
+                    // Out of i64 range (large u64/u128): keep magnitude as u64
+                    // when possible, else lossily as f64.
+                    Err(_) => match u64::try_from(*self) {
+                        Ok(u) => Value::Number(Number::from_u64(u)),
+                        Err(_) => Value::Number(Number::from_f64(*self as f64)),
+                    },
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Number(n) => {
+                        if let Some(i) = n.as_i64() {
+                            <$t>::try_from(i).map_err(|_| {
+                                DeError::msg(format!("integer {i} out of range for {}", stringify!($t)))
+                            })
+                        } else if let Some(u) = n.as_u64() {
+                            <$t>::try_from(u).map_err(|_| {
+                                DeError::msg(format!("integer {u} out of range for {}", stringify!($t)))
+                            })
+                        } else {
+                            Err(DeError::msg(format!(
+                                "expected integer, found float {:?}", n.as_f64()
+                            )))
+                        }
+                    }
+                    other => Err(DeError::msg(format!(
+                        "expected {}, found {}", stringify!($t), other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_ser_de_int!(i8, i16, i32, i64, i128, u8, u16, u32, u64, u128, usize, isize);
+
+macro_rules! impl_ser_de_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::from_f64(*self as f64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Number(n) => Ok(n.as_f64_lossy() as $t),
+                    other => Err(DeError::msg(format!(
+                        "expected {}, found {}", stringify!($t), other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_ser_de_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::msg(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::msg(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+// --------------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, x)| T::from_json_value(x).map_err(|e| e.context(&format!("[{i}]"))))
+                .collect(),
+            other => Err(DeError::msg(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        let items = <Vec<T>>::from_json_value(v)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::msg(format!("expected array of {N}, found {got}")))
+    }
+}
+
+macro_rules! impl_ser_de_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                match v {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($name::from_json_value(&items[$idx])
+                            .map_err(|e| e.context(&format!("[{}]", $idx)))?,)+))
+                    }
+                    Value::Array(items) => Err(DeError::msg(format!(
+                        "expected {LEN}-tuple, found array of {}", items.len()
+                    ))),
+                    other => Err(DeError::msg(format!(
+                        "expected array, found {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_ser_de_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        for v in [0i64, -5, i64::MAX, i64::MIN] {
+            let t = v.to_json_value();
+            assert_eq!(i64::from_json_value(&t).unwrap(), v);
+        }
+        let t = (u64::MAX).to_json_value();
+        assert_eq!(u64::from_json_value(&t).unwrap(), u64::MAX);
+        let t = 1.5f64.to_json_value();
+        assert_eq!(f64::from_json_value(&t).unwrap(), 1.5);
+        let t = Some("hi".to_string()).to_json_value();
+        assert_eq!(
+            <Option<String>>::from_json_value(&t).unwrap(),
+            Some("hi".to_string())
+        );
+        assert_eq!(
+            <Option<String>>::from_json_value(&Value::Null).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn tuple_and_array_round_trips() {
+        let t = (1u32, "x".to_string()).to_json_value();
+        assert_eq!(
+            <(u32, String)>::from_json_value(&t).unwrap(),
+            (1, "x".to_string())
+        );
+        let t = [3i64, 4].to_json_value();
+        assert_eq!(<[i64; 2]>::from_json_value(&t).unwrap(), [3, 4]);
+        assert!(<[i64; 3]>::from_json_value(&t).is_err());
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        assert!(i64::from_json_value(&Value::String("x".into())).is_err());
+        assert!(bool::from_json_value(&Value::Null).is_err());
+        assert!(<Vec<i64>>::from_json_value(&Value::Bool(true)).is_err());
+    }
+}

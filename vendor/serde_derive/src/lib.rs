@@ -1,0 +1,392 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the vendored
+//! `serde` stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the container has no
+//! `syn`/`quote`), so it supports exactly the shapes this workspace uses:
+//!
+//! * structs with named fields (no generics),
+//! * enums of unit and one-field tuple variants (externally tagged),
+//! * `#[serde(rename = "…")]`, `#[serde(default)]`,
+//!   `#[serde(default = "path")]`, `#[serde(skip_serializing_if = "path")]`.
+//!
+//! `Option` fields deserialise to `None` when the key is missing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ------------------------------------------------------------------ parsing
+
+#[derive(Debug, Default, Clone)]
+struct SerdeAttrs {
+    rename: Option<String>,
+    /// `Some(None)` = bare `default`, `Some(Some(path))` = `default = "path"`.
+    default: Option<Option<String>>,
+    skip_serializing_if: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    ident: String,
+    attrs: SerdeAttrs,
+    is_option: bool,
+}
+
+#[derive(Debug)]
+struct Variant {
+    ident: String,
+    attrs: SerdeAttrs,
+    /// True for one-field tuple variants, false for unit variants.
+    newtype: bool,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn strip_string_literal(lit: &str) -> String {
+    // Token literals keep their quotes: `"type"` -> type.
+    let t = lit.trim();
+    let t = t.strip_prefix('"').unwrap_or(t);
+    let t = t.strip_suffix('"').unwrap_or(t);
+    t.to_string()
+}
+
+/// Parse the inside of one `#[serde(...)]` group into `attrs`.
+fn parse_serde_attr(tokens: TokenStream, attrs: &mut SerdeAttrs) -> Result<(), String> {
+    let mut it = tokens.into_iter().peekable();
+    while let Some(tt) = it.next() {
+        let key = match tt {
+            TokenTree::Ident(id) => id.to_string(),
+            TokenTree::Punct(ref p) if p.as_char() == ',' => continue,
+            other => return Err(format!("unexpected token {other} in #[serde(...)]")),
+        };
+        let value = match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                it.next();
+                match it.next() {
+                    Some(TokenTree::Literal(l)) => Some(strip_string_literal(&l.to_string())),
+                    other => return Err(format!("expected string after {key} =, got {other:?}")),
+                }
+            }
+            _ => None,
+        };
+        match (key.as_str(), value) {
+            ("rename", Some(v)) => attrs.rename = Some(v),
+            ("default", v) => attrs.default = Some(v),
+            ("skip_serializing_if", Some(v)) => attrs.skip_serializing_if = Some(v),
+            // Accepted and ignored: only affects formats we don't implement.
+            ("deny_unknown_fields", _) | ("transparent", _) => {}
+            (other, _) => {
+                return Err(format!(
+                    "unsupported serde attribute `{other}` in offline vendored serde_derive"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Consume leading `#[...]` attribute groups, folding serde ones into the
+/// result; returns the collected serde attrs.
+fn take_attrs(
+    it: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+) -> Result<SerdeAttrs, String> {
+    let mut attrs = SerdeAttrs::default();
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        let mut inner = g.stream().into_iter();
+                        if let Some(TokenTree::Ident(id)) = inner.next() {
+                            if id.to_string() == "serde" {
+                                if let Some(TokenTree::Group(args)) = inner.next() {
+                                    parse_serde_attr(args.stream(), &mut attrs)?;
+                                }
+                            }
+                        }
+                    }
+                    other => return Err(format!("expected [...] after #, got {other:?}")),
+                }
+            }
+            _ => return Ok(attrs),
+        }
+    }
+}
+
+/// Skip `pub`, `pub(...)`.
+fn skip_visibility(it: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Ident(id)) = it.peek() {
+        if id.to_string() == "pub" {
+            it.next();
+            if let Some(TokenTree::Group(g)) = it.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    it.next();
+                }
+            }
+        }
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        if it.peek().is_none() {
+            return Ok(fields);
+        }
+        let attrs = take_attrs(&mut it)?;
+        skip_visibility(&mut it);
+        let ident = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => return Ok(fields),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field {ident}, got {other:?}")),
+        }
+        // Scan the type: record whether it starts with `Option`, then skip
+        // to the next top-level comma (tracking `<`/`>` depth; parens and
+        // brackets arrive as opaque groups).
+        let mut is_option = false;
+        let mut first = true;
+        let mut angle_depth = 0i32;
+        while let Some(tt) = it.peek() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    it.next();
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Ident(id) if first => {
+                    is_option = id.to_string() == "Option";
+                }
+                _ => {}
+            }
+            first = false;
+            it.next();
+        }
+        fields.push(Field {
+            ident,
+            attrs,
+            is_option,
+        });
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        if it.peek().is_none() {
+            return Ok(variants);
+        }
+        let attrs = take_attrs(&mut it)?;
+        let ident = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => return Ok(variants),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let mut newtype = false;
+        if let Some(TokenTree::Group(g)) = it.peek() {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    newtype = true;
+                    it.next();
+                }
+                Delimiter::Brace => {
+                    return Err(format!(
+                        "struct variant {ident} unsupported by vendored serde_derive"
+                    ))
+                }
+                _ => {}
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == ',' {
+                it.next();
+            }
+        }
+        variants.push(Variant {
+            ident,
+            attrs,
+            newtype,
+        });
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut it = input.into_iter().peekable();
+    let _ = take_attrs(&mut it)?; // container attrs (none supported, tolerated)
+    skip_visibility(&mut it);
+    let kind = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    let body = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!(
+                "generic item {name} unsupported by vendored serde_derive"
+            ))
+        }
+        other => return Err(format!("expected {{...}} body for {name}, got {other:?}")),
+    };
+    match kind.as_str() {
+        "struct" => Ok(Item::Struct {
+            name,
+            fields: parse_fields(body)?,
+        }),
+        "enum" => Ok(Item::Enum {
+            name,
+            variants: parse_variants(body)?,
+        }),
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+// --------------------------------------------------------------- generation
+
+fn key_of_field(f: &Field) -> String {
+    f.attrs.rename.clone().unwrap_or_else(|| f.ident.clone())
+}
+
+fn key_of_variant(v: &Variant) -> String {
+    v.attrs.rename.clone().unwrap_or_else(|| v.ident.clone())
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut body = String::new();
+            body.push_str(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::json::Value)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                let key = key_of_field(f);
+                let push = format!(
+                    "__fields.push((\"{key}\".to_string(), ::serde::Serialize::to_json_value(&self.{id})));",
+                    id = f.ident
+                );
+                if let Some(skip) = &f.attrs.skip_serializing_if {
+                    body.push_str(&format!(
+                        "if !{skip}(&self.{id}) {{ {push} }}\n",
+                        id = f.ident
+                    ));
+                } else {
+                    body.push_str(&push);
+                    body.push('\n');
+                }
+            }
+            body.push_str("::serde::json::Value::Object(__fields)");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n fn to_json_value(&self) -> ::serde::json::Value {{\n {body}\n }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let key = key_of_variant(v);
+                if v.newtype {
+                    arms.push_str(&format!(
+                        "{name}::{id}(__x) => ::serde::json::Value::Object(vec![(\"{key}\".to_string(), ::serde::Serialize::to_json_value(__x))]),\n",
+                        id = v.ident
+                    ));
+                } else {
+                    arms.push_str(&format!(
+                        "{name}::{id} => ::serde::json::Value::String(\"{key}\".to_string()),\n",
+                        id = v.ident
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n fn to_json_value(&self) -> ::serde::json::Value {{\n match self {{\n {arms} }}\n }}\n}}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                let key = key_of_field(f);
+                let missing = match &f.attrs.default {
+                    Some(Some(path)) => format!("{path}()"),
+                    Some(None) => "::core::default::Default::default()".to_string(),
+                    None if f.is_option => "::core::option::Option::None".to_string(),
+                    None => format!(
+                        "return ::core::result::Result::Err(::serde::DeError::msg(\"missing field `{key}` in {name}\"))"
+                    ),
+                };
+                inits.push_str(&format!(
+                    "{id}: match __v.get(\"{key}\") {{\n Some(__x) => ::serde::Deserialize::from_json_value(__x).map_err(|e| e.context(\"{name}.{key}\"))?,\n None => {missing},\n }},\n",
+                    id = f.ident
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n fn from_json_value(__v: &::serde::json::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n if !matches!(__v, ::serde::json::Value::Object(_)) {{\n return ::core::result::Result::Err(::serde::DeError::msg(::std::format!(\"expected object for {name}, found {{}}\", __v.kind())));\n }}\n ::core::result::Result::Ok({name} {{\n {inits} }})\n }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut newtype_arms = String::new();
+            for v in variants {
+                let key = key_of_variant(v);
+                if v.newtype {
+                    newtype_arms.push_str(&format!(
+                        "\"{key}\" => ::core::result::Result::Ok({name}::{id}(::serde::Deserialize::from_json_value(__val).map_err(|e| e.context(\"{name}::{id}\"))?)),\n",
+                        id = v.ident
+                    ));
+                } else {
+                    unit_arms.push_str(&format!(
+                        "\"{key}\" => ::core::result::Result::Ok({name}::{id}),\n",
+                        id = v.ident
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n fn from_json_value(__v: &::serde::json::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n match __v {{\n ::serde::json::Value::String(__s) => match __s.as_str() {{\n {unit_arms} __other => ::core::result::Result::Err(::serde::DeError::msg(::std::format!(\"unknown {name} variant {{__other:?}}\"))),\n }},\n ::serde::json::Value::Object(__fields) if __fields.len() == 1 => {{\n let (__k, __val) = &__fields[0];\n match __k.as_str() {{\n {newtype_arms} __other => ::core::result::Result::Err(::serde::DeError::msg(::std::format!(\"unknown {name} variant {{__other:?}}\"))),\n }}\n }},\n __other => ::core::result::Result::Err(::serde::DeError::msg(::std::format!(\"expected {name} variant, found {{}}\", __other.kind()))),\n }}\n }}\n}}"
+            )
+        }
+    }
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("vendored serde_derive generated invalid Rust"),
+        Err(msg) => {
+            let escaped = msg.replace('\\', "\\\\").replace('"', "\\\"");
+            format!("compile_error!(\"{escaped}\");").parse().unwrap()
+        }
+    }
+}
+
+/// Derive the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}

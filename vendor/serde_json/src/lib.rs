@@ -1,0 +1,399 @@
+//! Offline vendored stand-in for the [`serde_json`] crate.
+//!
+//! A strict JSON text layer over the vendored `serde`'s owned tree
+//! ([`Value`]): [`to_string`] / [`to_string_pretty`] / [`from_str`] plus the
+//! [`json!`] literal macro. Supports exactly what the workspace uses.
+//!
+//! [`serde_json`]: https://crates.io/crates/serde_json
+
+pub use serde::json::{Number, Value};
+use serde::{Deserialize, Serialize};
+
+/// Parse or serialisation failure with position info where available.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialise to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_json_value().write_compact(&mut out);
+    Ok(out)
+}
+
+/// Serialise to human-readable JSON (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_json_value().write_pretty(&mut out, 0);
+    Ok(out)
+}
+
+/// Convert any serialisable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_json_value()
+}
+
+/// Parse JSON text into any deserialisable type.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse_value(text)?;
+    T::from_json_value(&value).map_err(|e| Error(e.to_string()))
+}
+
+/// Parse JSON text into a [`Value`] tree.
+pub fn parse_value(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        // Report 1-based line/column like upstream.
+        let (mut line, mut col) = (1usize, 1usize);
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        Error(format!("{msg} at line {line} column {col}"))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected character `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 5 > self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Surrogate pairs unsupported (unused by this
+                            // workspace's writers): map to replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    if (c as u32) < 0x20 {
+                        return Err(self.err("control character in string"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::from_i64(i)));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::from_u64(u)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::from_f64(f)))
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+/// Build a [`Value`] with JSON literal syntax. Keys must be literals;
+/// values may be nested JSON literals or any `Serialize` expression.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => { $crate::json_value!($($tt)+) };
+}
+
+/// One JSON value (helper for [`json!`]; not public API).
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_value {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut __items: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json_array_inner!(@start __items ($($tt)*));
+        $crate::Value::Array(__items)
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut __fields: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+            ::std::vec::Vec::new();
+        $crate::json_object_inner!(@start __fields ($($tt)*));
+        $crate::Value::Object(__fields)
+    }};
+    ($($other:tt)+) => { $crate::to_value(&($($other)+)) };
+}
+
+/// Object-entry muncher for [`json!`] (not public API). Accumulates the
+/// current value's tokens one `tt` at a time so arbitrary expressions work
+/// as values; nested `{}`/`[]`/`()` arrive as single opaque token trees, so
+/// any comma seen at this level is an entry separator.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_object_inner {
+    (@entry $vec:ident ($key:literal) ($($val:tt)+) ()) => {
+        ::std::vec::Vec::push(&mut $vec, ($key.to_string(), $crate::json_value!($($val)+)));
+    };
+    (@entry $vec:ident ($key:literal) ($($val:tt)+) (, $($rest:tt)*)) => {
+        ::std::vec::Vec::push(&mut $vec, ($key.to_string(), $crate::json_value!($($val)+)));
+        $crate::json_object_inner!(@start $vec ($($rest)*));
+    };
+    (@entry $vec:ident ($key:literal) ($($val:tt)*) ($next:tt $($rest:tt)*)) => {
+        $crate::json_object_inner!(@entry $vec ($key) ($($val)* $next) ($($rest)*));
+    };
+    (@start $vec:ident ()) => {};
+    (@start $vec:ident ($key:literal : $($rest:tt)*)) => {
+        $crate::json_object_inner!(@entry $vec ($key) () ($($rest)*));
+    };
+}
+
+/// Array-element muncher for [`json!`] (not public API).
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_array_inner {
+    (@elem $vec:ident ($($val:tt)+) ()) => {
+        ::std::vec::Vec::push(&mut $vec, $crate::json_value!($($val)+));
+    };
+    (@elem $vec:ident ($($val:tt)+) (, $($rest:tt)*)) => {
+        ::std::vec::Vec::push(&mut $vec, $crate::json_value!($($val)+));
+        $crate::json_array_inner!(@start $vec ($($rest)*));
+    };
+    (@elem $vec:ident ($($val:tt)*) ($next:tt $($rest:tt)*)) => {
+        $crate::json_array_inner!(@elem $vec ($($val)* $next) ($($rest)*));
+    };
+    (@start $vec:ident ()) => {};
+    (@start $vec:ident ($($rest:tt)+)) => {
+        $crate::json_array_inner!(@elem $vec () ($($rest)+));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_nested_values() {
+        let v = json!({
+            "name": "x",
+            "n": 3,
+            "f": 1.5,
+            "flag": true,
+            "none": null,
+            "list": [1, 2, 3],
+            "nested": {"a": [true, "s"]},
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parses_escapes_and_rejects_garbage() {
+        let v: Value = from_str(r#""a\"b\nA""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\nA"));
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Value>("").is_err());
+    }
+
+    #[test]
+    fn numbers_preserve_integers() {
+        let v: Value = from_str("9223372036854775807").unwrap();
+        assert_eq!(v.as_i64(), Some(i64::MAX));
+        let v: Value = from_str("18446744073709551615").unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+        let v: Value = from_str("-1.25e2").unwrap();
+        assert_eq!(v.as_f64(), Some(-125.0));
+        // Float-typed integral values keep their float-ness through text.
+        let text = to_string(&Value::Number(Number::from_f64(2.0))).unwrap();
+        assert_eq!(text, "2.0");
+    }
+
+    #[test]
+    fn json_macro_accepts_expressions() {
+        let x = 41;
+        let v = json!({"a": x, "b": [x, 1], "s": format!("n={x}")});
+        assert_eq!(v.get("a").and_then(Value::as_i64), Some(41));
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("n=41"));
+    }
+}
