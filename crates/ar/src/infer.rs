@@ -47,6 +47,27 @@ pub fn estimate_cardinality(
         .expect("exactly one result for one request")
 }
 
+/// Inference counters on the global [`sam_obs::Registry`], resolved once.
+/// `forwards` counts network forward passes, `requests`/`batch_rows` size
+/// the micro-batches, and `dedup_hits` counts rows whose forward pass was
+/// skipped because an identical sample-path prefix was already queued.
+struct ObsCounters {
+    forwards: std::sync::Arc<sam_obs::Counter>,
+    requests: std::sync::Arc<sam_obs::Counter>,
+    batch_rows: std::sync::Arc<sam_obs::Counter>,
+    dedup_hits: std::sync::Arc<sam_obs::Counter>,
+}
+
+fn obs_counters() -> &'static ObsCounters {
+    static COUNTERS: std::sync::OnceLock<ObsCounters> = std::sync::OnceLock::new();
+    COUNTERS.get_or_init(|| ObsCounters {
+        forwards: sam_obs::counter("sam_forward_total"),
+        requests: sam_obs::counter("sam_estimate_requests_total"),
+        batch_rows: sam_obs::counter("sam_estimate_batch_rows_total"),
+        dedup_hits: sam_obs::counter("sam_dedup_hits_total"),
+    })
+}
+
 /// Per-request micro-batch state: resolved step rules plus the request's
 /// row window inside the stacked input matrix.
 struct BatchSlot {
@@ -72,6 +93,7 @@ const PAR_FORWARD_ROWS: usize = 64;
 /// cannot.
 fn forward_row_parallel(model: &FrozenModel, input: &Matrix) -> Matrix {
     use rayon::prelude::*;
+    obs_counters().forwards.inc();
     let rows = input.rows();
     let width = input.cols();
     if rows <= PAR_FORWARD_ROWS {
@@ -150,6 +172,9 @@ pub fn estimate_cardinality_batch<R: Rng>(
     }
 
     if !slots.is_empty() {
+        let obs = obs_counters();
+        obs.requests.add(slots.len() as u64);
+        obs.batch_rows.add(total_rows as u64);
         let mut factors = vec![1.0f64; total_rows];
         // Sampled codes per path so far — both the forward input (as one-hot)
         // and the dedup key.
@@ -168,10 +193,12 @@ pub fn estimate_cardinality_batch<R: Rng>(
                     std::collections::HashMap::new();
                 let mut path_slot = vec![usize::MAX; total_rows];
                 let mut reps: Vec<usize> = Vec::new();
+                let mut live_rows = 0u64;
                 for r in 0..total_rows {
                     if factors[r] == 0.0 {
                         continue;
                     }
+                    live_rows += 1;
                     let next = reps.len();
                     let idx = *uniq.entry(codes[r].as_slice()).or_insert_with(|| {
                         reps.push(r);
@@ -179,6 +206,7 @@ pub fn estimate_cardinality_batch<R: Rng>(
                     });
                     path_slot[r] = idx;
                 }
+                obs.dedup_hits.add(live_rows - reps.len() as u64);
                 if reps.is_empty() {
                     // Every path died on an empty range; all estimates are 0.
                     break;

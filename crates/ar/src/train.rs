@@ -99,7 +99,23 @@ pub fn train(
     let mut adam = Adam::new(store, config.lr);
     let mut epoch_losses = Vec::with_capacity(config.epochs);
 
-    for _epoch in 0..config.epochs {
+    // Observability: one span per training run and per epoch, with the
+    // epoch's mean loss / last grad norm / constraint throughput exported
+    // as gauges on the global registry.
+    let mut train_span = sam_obs::span!(
+        "train",
+        epochs = config.epochs,
+        queries = workload.len(),
+        params = store.num_scalars()
+    );
+    let loss_gauge = sam_obs::gauge("sam_train_loss");
+    let grad_gauge = sam_obs::gauge("sam_train_grad_norm");
+    let throughput_gauge = sam_obs::gauge("sam_train_constraints_per_sec");
+    let epochs_counter = sam_obs::counter("sam_train_epochs_total");
+
+    for epoch in 0..config.epochs {
+        let mut epoch_span = sam_obs::span!("epoch", epoch = epoch);
+        let mut last_grad_norm = 0.0f32;
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0f64;
         let mut steps = 0usize;
@@ -192,14 +208,30 @@ pub fn train(
             steps += 1;
             tape.backward(loss);
             bound.apply_grads(&tape, store);
+            last_grad_norm = store.grad_norm();
             adam.step(store);
         }
-        epoch_losses.push(if steps > 0 {
+        let mean_loss = if steps > 0 {
             (epoch_loss / steps as f64) as f32
         } else {
             f32::NAN
-        });
+        };
+        epoch_losses.push(mean_loss);
+
+        epochs_counter.inc();
+        loss_gauge.set(mean_loss as f64);
+        grad_gauge.set(last_grad_norm as f64);
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed > 0.0 {
+            throughput_gauge.set(((epoch + 1) * workload.len()) as f64 / elapsed);
+        }
+        epoch_span.record("loss", mean_loss);
+        epoch_span.record("grad_norm", last_grad_norm);
     }
+    train_span.record(
+        "wall_seconds",
+        format!("{:.3}", start.elapsed().as_secs_f64()),
+    );
 
     Ok(TrainReport {
         epoch_losses,

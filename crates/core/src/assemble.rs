@@ -320,13 +320,23 @@ pub fn assemble_database(
     strategy: JoinKeyStrategy,
     seed: u64,
 ) -> Result<Database, SamError> {
-    let weights = crate::weights::weigh_samples(ar, rows);
+    let weights = {
+        let _span = sam_obs::span!("weight", rows = rows.len());
+        crate::weights::weigh_samples(ar, rows)
+    };
     match strategy {
         JoinKeyStrategy::GroupAndMerge => {
-            let assigned = assign_keys_group_merge(ar, rows, &weights);
+            let assigned = {
+                let _span = sam_obs::span!("group_merge", rows = rows.len());
+                assign_keys_group_merge(ar, rows, &weights)
+            };
+            let _span = sam_obs::span!("assemble", strategy = "group_merge");
             assemble_group_merge(db_schema, ar, rows, &weights, &assigned, seed)
         }
-        JoinKeyStrategy::PairwiseViews => assemble_pairwise(db_schema, ar, rows, &weights, seed),
+        JoinKeyStrategy::PairwiseViews => {
+            let _span = sam_obs::span!("assemble", strategy = "pairwise");
+            assemble_pairwise(db_schema, ar, rows, &weights, seed)
+        }
     }
 }
 

@@ -153,8 +153,15 @@ impl TrainedSam {
             return Err(SamError::Cancelled);
         }
         let graph = self.model.schema.graph();
+        let mut gen_span = sam_obs::span!(
+            "generate",
+            tables = graph.len(),
+            foj_samples = config.foj_samples,
+            batch = config.batch
+        );
         let db = if graph.len() == 1 {
             control.set_stage(JobStage::Sampling);
+            let _sample_span = sam_obs::span!("sample", rows = self.model.schema.table_size(0));
             let table_schema = self
                 .db_schema
                 .table(&graph.tables()[0])
@@ -167,6 +174,7 @@ impl TrainedSam {
             let batch = config.batch.max(1);
             let n_batches = config.foj_samples.div_ceil(batch);
             let mut rows = Vec::with_capacity(config.foj_samples);
+            let sample_span = sam_obs::span!("sample", rows = config.foj_samples, batch = batch);
             let mut next = 0usize;
             while next < n_batches {
                 if control.is_cancelled() {
@@ -183,6 +191,7 @@ impl TrainedSam {
                 next = upto;
                 control.set_progress(rows.len(), config.foj_samples);
             }
+            drop(sample_span);
             if control.is_cancelled() {
                 return Err(SamError::Cancelled);
             }
@@ -195,6 +204,13 @@ impl TrainedSam {
                 config.seed,
             )?
         };
+        let generated_tuples: usize = db.tables().iter().map(|t| t.num_rows()).sum();
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed > 0.0 {
+            sam_obs::gauge("sam_generate_tuples_per_sec").set(generated_tuples as f64 / elapsed);
+        }
+        gen_span.record("tuples", generated_tuples);
+        drop(gen_span);
         control.set_progress(1, 1);
         control.set_stage(JobStage::Finished);
         let report = GenerationReport {

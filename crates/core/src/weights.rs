@@ -111,6 +111,7 @@ pub fn weigh_samples(schema: &ArSchema, rows: &[ModelRow]) -> WeightedSamples {
         fanout.push(fans);
     }
 
+    let _scale_span = sam_obs::span!("scale", tables = n, rows = rows.len());
     let scale_factor: Vec<f64> = (0..n)
         .map(|t| {
             if weight_sum[t] > 0.0 {

@@ -58,6 +58,30 @@ impl LatencyHistogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Exact sum of recorded durations in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// Raw per-bucket counts (64 log2 buckets; see [`Self::bucket_bounds_ns`]).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Exclusive upper bound of bucket `b` in nanoseconds (`2^(b+1)`, saturating
+    /// at `u64::MAX` for the last bucket). Used by exposition formats that need
+    /// cumulative `le` buckets.
+    pub fn bucket_bounds_ns(b: usize) -> u64 {
+        if b >= NUM_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            1u64 << (b + 1)
+        }
+    }
+
     /// Exact mean in nanoseconds (0 when empty).
     pub fn mean_ns(&self) -> f64 {
         let n = self.count();

@@ -11,6 +11,7 @@
 pub mod gumbel;
 pub mod made;
 pub mod matrix;
+pub(crate) mod obs_hooks;
 pub mod optim;
 pub mod tape;
 pub mod transformer;

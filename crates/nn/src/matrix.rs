@@ -116,6 +116,7 @@ impl Matrix {
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let (m, k, n) = (self.rows, self.cols, other.cols);
+        crate::obs_hooks::count_matmul!(m, k, n);
         let mut out = Matrix::zeros(m, n);
         for i in 0..m {
             let a_row = self.row(i);
@@ -137,6 +138,7 @@ impl Matrix {
     pub fn matmul_transb(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_transb shape mismatch");
         let (m, k, n) = (self.rows, self.cols, other.rows);
+        crate::obs_hooks::count_matmul!(m, k, n);
         let mut out = Matrix::zeros(m, n);
         for i in 0..m {
             let a_row = self.row(i);
@@ -157,6 +159,7 @@ impl Matrix {
     pub fn matmul_transa(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "matmul_transa shape mismatch");
         let (k, m, n) = (self.rows, self.cols, other.cols);
+        crate::obs_hooks::count_matmul!(m, k, n);
         let mut out = Matrix::zeros(m, n);
         for p in 0..k {
             let a_row = self.row(p);

@@ -1,0 +1,41 @@
+//! Kernel-level observability hooks (feature `obs`).
+//!
+//! The matmul kernels are the substrate's entire FLOP budget, so two
+//! counters on the global [`sam_obs::Registry`] — calls and floating-point
+//! operations — make every training epoch, estimate, and generation run
+//! attributable to arithmetic actually performed. The handles are cached
+//! in `OnceLock`s: after first use a hook costs one atomic load plus one
+//! relaxed `fetch_add`, which disappears next to an `m×k×n` kernel. With
+//! the feature disabled the [`count_matmul!`] macro expands to nothing.
+
+#[cfg(feature = "obs")]
+pub(crate) mod active {
+    use sam_obs::Counter;
+    use std::sync::{Arc, OnceLock};
+
+    fn calls() -> &'static Arc<Counter> {
+        static CALLS: OnceLock<Arc<Counter>> = OnceLock::new();
+        CALLS.get_or_init(|| sam_obs::counter("sam_nn_matmul_total"))
+    }
+
+    fn flops() -> &'static Arc<Counter> {
+        static FLOPS: OnceLock<Arc<Counter>> = OnceLock::new();
+        FLOPS.get_or_init(|| sam_obs::counter("sam_nn_matmul_flops_total"))
+    }
+
+    /// Record one `m×k @ k×n` kernel invocation (2·m·k·n FLOPs).
+    pub fn count_matmul(m: usize, k: usize, n: usize) {
+        calls().inc();
+        flops().add(2 * (m as u64) * (k as u64) * (n as u64));
+    }
+}
+
+/// Count one matmul kernel call; compiles to nothing without feature `obs`.
+macro_rules! count_matmul {
+    ($m:expr, $k:expr, $n:expr) => {
+        #[cfg(feature = "obs")]
+        $crate::obs_hooks::active::count_matmul($m, $k, $n);
+    };
+}
+
+pub(crate) use count_matmul;

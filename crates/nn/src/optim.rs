@@ -68,6 +68,12 @@ impl ParamStore {
         self.grads.iter_mut().for_each(Matrix::clear);
     }
 
+    /// Global L2 norm of the accumulated gradients (0 when empty). Read it
+    /// *before* an optimiser step — steps zero the accumulators.
+    pub fn grad_norm(&self) -> f32 {
+        self.grads.iter().map(Matrix::norm_sq).sum::<f32>().sqrt()
+    }
+
     fn pairs(&mut self) -> impl Iterator<Item = (&mut Matrix, &Matrix)> {
         self.values.iter_mut().zip(self.grads.iter())
     }

@@ -1,0 +1,167 @@
+//! Chrome trace-event export (`chrome://tracing` / Perfetto loadable).
+//!
+//! When tracing is enabled, every completed span becomes one complete
+//! (`"ph":"X"`) trace event with microsecond timestamps relative to the
+//! first event of the process, a per-thread track id, and the span's
+//! fields as `args`. The collector is global and append-only behind a
+//! mutex — span *completion* is rare relative to the work inside spans, so
+//! the lock is not on any hot path (and the enabled check is one relaxed
+//! atomic load).
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One complete trace event.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Span name.
+    pub name: String,
+    /// Microseconds since the process trace epoch.
+    pub ts_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Small integer per OS thread (Chrome's `tid`).
+    pub tid: u64,
+    /// Span fields, rendered into `args`.
+    pub args: Vec<(String, String)>,
+}
+
+struct Collector {
+    enabled: AtomicBool,
+    events: Mutex<Vec<TraceEvent>>,
+    next_tid: AtomicU64,
+}
+
+fn collector() -> &'static Collector {
+    static COLLECTOR: OnceLock<Collector> = OnceLock::new();
+    COLLECTOR.get_or_init(|| Collector {
+        enabled: AtomicBool::new(false),
+        events: Mutex::new(Vec::new()),
+        next_tid: AtomicU64::new(1),
+    })
+}
+
+/// The instant all trace timestamps are measured from (first use wins).
+pub fn trace_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Start collecting trace events.
+pub fn enable_tracing() {
+    trace_epoch(); // pin the epoch before the first span
+    collector().enabled.store(true, Ordering::Relaxed);
+}
+
+/// Stop collecting (already-collected events are kept until drained).
+pub fn disable_tracing() {
+    collector().enabled.store(false, Ordering::Relaxed);
+}
+
+/// Whether spans should record trace events.
+#[inline]
+pub fn tracing_enabled() -> bool {
+    collector().enabled.load(Ordering::Relaxed)
+}
+
+/// Small integer identifying the calling thread in trace output.
+pub fn current_tid() -> u64 {
+    thread_local! {
+        static TID: u64 = collector().next_tid.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// Record one completed span (no-op unless tracing is enabled).
+pub fn record(event: TraceEvent) {
+    let c = collector();
+    if !c.enabled.load(Ordering::Relaxed) {
+        return;
+    }
+    c.events
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(event);
+}
+
+/// Number of collected events (test / CLI helper).
+pub fn event_count() -> usize {
+    collector()
+        .events
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .len()
+}
+
+/// Render all collected events as Chrome trace JSON **without** draining
+/// them (so a long-running server can export periodically).
+pub fn chrome_trace_json() -> String {
+    let events = collector().events.lock().unwrap_or_else(|e| e.into_inner());
+    render(&events)
+}
+
+/// Drain collected events and render them as Chrome trace JSON.
+pub fn take_chrome_trace() -> String {
+    let mut events = collector().events.lock().unwrap_or_else(|e| e.into_inner());
+    let drained: Vec<TraceEvent> = events.drain(..).collect();
+    drop(events);
+    render(&drained)
+}
+
+/// Write the current trace (undrained) to `path`.
+pub fn write_chrome_trace(path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, chrome_trace_json())
+}
+
+/// Chrome trace "JSON array format": a plain array of complete events.
+fn render(events: &[TraceEvent]) -> String {
+    let mut out = String::from("[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"cat\":\"sam\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}",
+            json_string(&e.name),
+            e.ts_us,
+            e.dur_us,
+            e.tid
+        );
+        if !e.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (j, (k, v)) in e.args.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}:{}", json_string(k), json_string(v));
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push(']');
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,62 @@
+//! # sam-obs — unified observability for the SAM reproduction
+//!
+//! One layer, three concerns, zero external dependencies:
+//!
+//! * **Metrics registry** ([`Registry`]) — named counters, gauges, and
+//!   latency histograms (reusing [`sam_metrics::LatencyHistogram`]),
+//!   registered lazily from any crate, rendered as flat JSON or Prometheus
+//!   text exposition. Library instrumentation uses the process-wide
+//!   [`Registry::global`]; `sam-serve` owns one registry per server so
+//!   multiple servers in one process never mix counts.
+//! * **Hierarchical spans** ([`span!`]) — wall-clock timing with
+//!   thread-local nesting, `key = value` fields, per-thread trace ids, and
+//!   a configurable line sink (stderr / silent / in-memory). The inactive
+//!   path is two relaxed atomic loads, so instrumentation can live inside
+//!   hot loops.
+//! * **Chrome trace export** — when tracing is enabled every completed
+//!   span becomes a `chrome://tracing`-loadable complete event;
+//!   [`write_chrome_trace`] dumps the profile, which is how per-stage cost
+//!   questions ("where does a generate run spend its time?") get answered.
+//!
+//! ```
+//! let registry = sam_obs::Registry::global();
+//! let batches = registry.counter("sam_batches_total");
+//! batches.inc();
+//!
+//! let _span = sam_obs::span!("epoch", epoch = 3);
+//! // ... work ...
+//! drop(_span); // records duration to sink + trace collector
+//! assert!(registry.render_prometheus().contains("sam_batches_total"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod registry;
+pub mod sink;
+pub mod span;
+
+pub use chrome::{
+    chrome_trace_json, disable_tracing, enable_tracing, event_count, take_chrome_trace,
+    tracing_enabled, write_chrome_trace, TraceEvent,
+};
+pub use registry::{Counter, Gauge, HistogramSample, Registry, Sample, SampleValue};
+pub use sink::{log_level, memory_sink, set_log_level, set_sink, LogLevel, Sink};
+pub use span::{current_trace_id, set_trace_id, span_active, Span};
+
+use std::sync::Arc;
+
+/// Get-or-create a counter on the global registry.
+pub fn counter(name: &str) -> Arc<Counter> {
+    Registry::global().counter(name)
+}
+
+/// Get-or-create a gauge on the global registry.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    Registry::global().gauge(name)
+}
+
+/// Get-or-create a histogram on the global registry.
+pub fn histogram(name: &str) -> Arc<sam_metrics::LatencyHistogram> {
+    Registry::global().histogram(name)
+}

@@ -1,0 +1,434 @@
+//! Named metrics registry with JSON and Prometheus text exposition.
+//!
+//! Counters, gauges, and histograms are registered lazily by name (plus
+//! optional labels) from any crate; the first caller creates the metric,
+//! later callers get the same handle. Handles are `Arc`s over atomics, so
+//! the hot path never touches the registry's lock — bumping a counter is
+//! one relaxed `fetch_add`.
+//!
+//! Two registries exist in practice: the process-wide [`Registry::global`]
+//! (training / inference / pipeline instrumentation) and per-server
+//! instances owned by `sam-serve`, so two servers in one process never mix
+//! counts. Both render through the same code paths: [`Registry::snapshot`]
+//! is the single source every renderer ([`Registry::render_json`],
+//! [`Registry::render_prometheus`]) reads from.
+
+use sam_metrics::LatencyHistogram;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding one `f64` (stored as bits in an atomic, so sets and
+/// reads are lock-free).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value (0.0 until first set).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Identity of a metric: name plus sorted label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<LatencyHistogram>),
+}
+
+/// Point-in-time value of one registered metric.
+#[derive(Debug, Clone)]
+pub enum SampleValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram summary for exposition.
+    Histogram(HistogramSample),
+}
+
+/// Snapshot of a histogram for exposition: exact count/sum plus cumulative
+/// log2 buckets (only up to the last non-empty bucket, then `+Inf`).
+#[derive(Debug, Clone)]
+pub struct HistogramSample {
+    /// Number of recorded durations.
+    pub count: u64,
+    /// Exact sum in seconds.
+    pub sum_seconds: f64,
+    /// `(upper_bound_seconds, cumulative_count)`, ascending; excludes `+Inf`
+    /// (whose cumulative count is `count`).
+    pub buckets: Vec<(f64, u64)>,
+}
+
+/// One row of [`Registry::snapshot`].
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Metric name as registered.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// Current value.
+    pub value: SampleValue,
+}
+
+/// A set of named metrics. Creation is lock-guarded; access through the
+/// returned handles is lock-free.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<MetricKey, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The process-wide registry used by library instrumentation.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Get or create a counter. Counter names conventionally end in
+    /// `_total`; the Prometheus renderer appends the suffix if missing.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// Get or create a labelled counter.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric type.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = MetricKey::new(name, labels);
+        let mut map = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        match map
+            .entry(key)
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Get or create a gauge.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric type.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// Get or create a labelled gauge.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric type.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key = MetricKey::new(name, labels);
+        let mut map = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        match map
+            .entry(key)
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Get or create a latency histogram (log2-bucketed, nanosecond domain;
+    /// see [`sam_metrics::LatencyHistogram`]).
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric type.
+    pub fn histogram(&self, name: &str) -> Arc<LatencyHistogram> {
+        let key = MetricKey::new(name, &[]);
+        let mut map = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        match map
+            .entry(key)
+            .or_insert_with(|| Metric::Histogram(Arc::new(LatencyHistogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Point-in-time values of every registered metric, name-sorted. The
+    /// single source that every rendering format reads from.
+    pub fn snapshot(&self) -> Vec<Sample> {
+        let map = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        map.iter()
+            .map(|(key, metric)| Sample {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
+                value: match metric {
+                    Metric::Counter(c) => SampleValue::Counter(c.get()),
+                    Metric::Gauge(g) => SampleValue::Gauge(g.get()),
+                    Metric::Histogram(h) => SampleValue::Histogram(histogram_sample(h)),
+                },
+            })
+            .collect()
+    }
+
+    /// Flat JSON object rendering: `{"name": value, ...}`. Histograms render
+    /// as nested objects with count / sum / percentiles. Labelled metrics
+    /// render under `name{k=v}` keys.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, sample) in self.snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let mut key = sample.name.clone();
+            if !sample.labels.is_empty() {
+                key.push('{');
+                for (j, (k, v)) in sample.labels.iter().enumerate() {
+                    if j > 0 {
+                        key.push(',');
+                    }
+                    let _ = write!(key, "{k}={v}");
+                }
+                key.push('}');
+            }
+            let _ = write!(out, "{}:", json_string(&key));
+            match &sample.value {
+                SampleValue::Counter(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                SampleValue::Gauge(v) => {
+                    let _ = write!(out, "{}", json_f64(*v));
+                }
+                SampleValue::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "{{\"count\":{},\"sum_seconds\":{}}}",
+                        h.count,
+                        json_f64(h.sum_seconds)
+                    );
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Prometheus text exposition (format version 0.0.4).
+    ///
+    /// * counters get a `_total` suffix when the registered name lacks one;
+    /// * histograms expose cumulative `_bucket{le="…"}` series in seconds,
+    ///   plus `_sum` and `_count`;
+    /// * label values are escaped per the spec (`\\`, `\"`, `\n`).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name = String::new();
+        for sample in self.snapshot() {
+            match &sample.value {
+                SampleValue::Counter(v) => {
+                    let name = counter_name(&sample.name);
+                    if name != last_name {
+                        let _ = writeln!(out, "# TYPE {name} counter");
+                        last_name = name.clone();
+                    }
+                    let _ = writeln!(out, "{name}{} {v}", label_block(&sample.labels));
+                }
+                SampleValue::Gauge(v) => {
+                    let name = sanitize_name(&sample.name);
+                    if name != last_name {
+                        let _ = writeln!(out, "# TYPE {name} gauge");
+                        last_name = name.clone();
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{name}{} {}",
+                        label_block(&sample.labels),
+                        prom_f64(*v)
+                    );
+                }
+                SampleValue::Histogram(h) => {
+                    let name = sanitize_name(&sample.name);
+                    let _ = writeln!(out, "# TYPE {name} histogram");
+                    last_name = name.clone();
+                    let mut cumulative = 0;
+                    for (le, c) in &h.buckets {
+                        cumulative = *c;
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {c}", prom_f64(*le));
+                    }
+                    debug_assert!(cumulative <= h.count);
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+                    let _ = writeln!(out, "{name}_sum {}", prom_f64(h.sum_seconds));
+                    let _ = writeln!(out, "{name}_count {}", h.count);
+                }
+            }
+        }
+        out
+    }
+}
+
+fn histogram_sample(h: &LatencyHistogram) -> HistogramSample {
+    let counts = h.bucket_counts();
+    let last_nonzero = counts.iter().rposition(|&c| c > 0);
+    let mut buckets = Vec::new();
+    let mut cumulative = 0u64;
+    if let Some(last) = last_nonzero {
+        for (b, &c) in counts.iter().enumerate().take(last + 1) {
+            cumulative += c;
+            let le = LatencyHistogram::bucket_bounds_ns(b) as f64 / 1e9;
+            buckets.push((le, cumulative));
+        }
+    }
+    HistogramSample {
+        count: h.count(),
+        sum_seconds: h.sum_ns() as f64 / 1e9,
+        buckets,
+    }
+}
+
+/// Counters must end in `_total` in the exposition; append when missing.
+fn counter_name(name: &str) -> String {
+    let name = sanitize_name(name);
+    if name.ends_with("_total") {
+        name
+    } else {
+        format!("{name}_total")
+    }
+}
+
+/// Replace characters outside `[a-zA-Z0-9_:]` with `_` (Prometheus metric
+/// name charset).
+fn sanitize_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// `{k="v",…}` with label-value escaping, or `""` when unlabelled.
+fn label_block(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}=\"{}\"", sanitize_name(k), escape_label_value(v));
+    }
+    out.push('}');
+    out
+}
+
+/// Escape a Prometheus label value: backslash, double quote, newline.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Prometheus float formatting (plain decimal, no exponent surprises for
+/// the values we emit).
+fn prom_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// JSON-safe float (JSON has no NaN/Inf; clamp to null-ish 0).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Minimal JSON string quoting.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

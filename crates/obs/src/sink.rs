@@ -1,0 +1,98 @@
+//! Where span / log lines go, and how much of them.
+//!
+//! The sink is process-global and cheap to consult: the hot-path check
+//! (is anything listening?) is one relaxed atomic load. Three sinks:
+//! structured stderr lines (production CLI), silent (the default — the
+//! library never writes anywhere unless asked), and an in-memory buffer
+//! (tests assert on emitted lines).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Verbosity of the line sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Emit nothing.
+    Silent = 0,
+    /// Emit span-end lines (one line per completed span).
+    Info = 1,
+    /// Also emit span-begin lines.
+    Debug = 2,
+}
+
+impl std::str::FromStr for LogLevel {
+    type Err = String;
+    fn from_str(s: &str) -> Result<LogLevel, String> {
+        match s {
+            "silent" => Ok(LogLevel::Silent),
+            "info" => Ok(LogLevel::Info),
+            "debug" => Ok(LogLevel::Debug),
+            other => Err(format!("unknown log level {other:?} (silent|info|debug)")),
+        }
+    }
+}
+
+/// Destination for structured lines.
+#[derive(Debug, Clone)]
+pub enum Sink {
+    /// Discard everything.
+    Silent,
+    /// One line per event on stderr.
+    Stderr,
+    /// Append lines to a shared buffer (for tests).
+    Memory(Arc<Mutex<Vec<String>>>),
+}
+
+struct SinkState {
+    level: AtomicU8,
+    sink: Mutex<Sink>,
+}
+
+fn state() -> &'static SinkState {
+    static STATE: OnceLock<SinkState> = OnceLock::new();
+    STATE.get_or_init(|| SinkState {
+        level: AtomicU8::new(LogLevel::Silent as u8),
+        sink: Mutex::new(Sink::Silent),
+    })
+}
+
+/// Set the global log level.
+pub fn set_log_level(level: LogLevel) {
+    state().level.store(level as u8, Ordering::Relaxed);
+}
+
+/// Current global log level.
+pub fn log_level() -> LogLevel {
+    match state().level.load(Ordering::Relaxed) {
+        0 => LogLevel::Silent,
+        1 => LogLevel::Info,
+        _ => LogLevel::Debug,
+    }
+}
+
+/// Replace the global sink.
+pub fn set_sink(sink: Sink) {
+    *state().sink.lock().unwrap_or_else(|e| e.into_inner()) = sink;
+}
+
+/// Install a fresh in-memory sink and return its buffer (test helper).
+pub fn memory_sink() -> Arc<Mutex<Vec<String>>> {
+    let buffer = Arc::new(Mutex::new(Vec::new()));
+    set_sink(Sink::Memory(Arc::clone(&buffer)));
+    buffer
+}
+
+/// Emit one line if `level` is enabled.
+pub fn emit(level: LogLevel, line: &str) {
+    if log_level() < level {
+        return;
+    }
+    match &*state().sink.lock().unwrap_or_else(|e| e.into_inner()) {
+        Sink::Silent => {}
+        Sink::Stderr => eprintln!("{line}"),
+        Sink::Memory(buffer) => buffer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(line.to_string()),
+    }
+}

@@ -1,0 +1,178 @@
+//! Hierarchical wall-clock spans.
+//!
+//! A span measures one named region of work. Spans nest per thread (a
+//! thread-local stack tracks depth and parentage), carry `key = value`
+//! fields, and on completion fan out to the configured sink (structured
+//! line) and, when tracing is enabled, to the Chrome trace collector.
+//!
+//! Use the [`crate::span!`] macro rather than constructing spans directly:
+//! it skips *all* work — including formatting field values — when nothing
+//! is listening, which is what keeps instrumented hot loops within noise
+//! of uninstrumented ones.
+
+use crate::chrome::{self, TraceEvent};
+use crate::sink::{self, LogLevel};
+use std::cell::{Cell, RefCell};
+use std::fmt::Write as _;
+use std::marker::PhantomData;
+use std::time::Instant;
+
+thread_local! {
+    /// Names of the open spans on this thread, outermost first.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    /// Trace id attached to this thread's span output (serve request ids).
+    static TRACE_ID: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Attach (or clear) a trace id for all spans subsequently opened on this
+/// thread. The serving layer sets this per request / job so span lines and
+/// trace events can be correlated with HTTP responses.
+pub fn set_trace_id(id: Option<u64>) {
+    TRACE_ID.with(|t| t.set(id));
+}
+
+/// The trace id currently attached to this thread, if any.
+pub fn current_trace_id() -> Option<u64> {
+    TRACE_ID.with(|t| t.get())
+}
+
+/// True when opening a span would record or emit anything. The `span!`
+/// macro consults this before evaluating its field expressions.
+#[inline]
+pub fn span_active() -> bool {
+    chrome::tracing_enabled() || sink::log_level() > LogLevel::Silent
+}
+
+/// An open span; completes (and reports) on drop. `!Send` by construction —
+/// spans belong to the thread that opened them.
+pub struct Span {
+    /// `None` for inert spans (nothing listening at creation time).
+    live: Option<LiveSpan>,
+    _not_send: PhantomData<*const ()>,
+}
+
+struct LiveSpan {
+    name: &'static str,
+    fields: Vec<(&'static str, String)>,
+    start: Instant,
+    depth: usize,
+}
+
+impl Span {
+    /// Open a span. Prefer the [`crate::span!`] macro, which avoids
+    /// evaluating `fields` when inactive.
+    pub fn enter(name: &'static str, fields: Vec<(&'static str, String)>) -> Span {
+        let depth = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            s.push(name);
+            s.len() - 1
+        });
+        if sink::log_level() >= LogLevel::Debug {
+            sink::emit(
+                LogLevel::Debug,
+                &format_line("begin", name, depth, &fields, None),
+            );
+        }
+        Span {
+            live: Some(LiveSpan {
+                name,
+                fields,
+                start: Instant::now(),
+                depth,
+            }),
+            _not_send: PhantomData,
+        }
+    }
+
+    /// A span that records nothing (the `span!` macro's inactive branch).
+    pub fn inert() -> Span {
+        Span {
+            live: None,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Add a field after opening (e.g. a result computed inside the span).
+    pub fn record(&mut self, key: &'static str, value: impl ToString) {
+        if let Some(live) = &mut self.live {
+            live.fields.push((key, value.to_string()));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else {
+            return;
+        };
+        let elapsed = live.start.elapsed();
+        SPAN_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+        if sink::log_level() >= LogLevel::Info {
+            let dur_ms = elapsed.as_secs_f64() * 1e3;
+            sink::emit(
+                LogLevel::Info,
+                &format_line("span", live.name, live.depth, &live.fields, Some(dur_ms)),
+            );
+        }
+        if chrome::tracing_enabled() {
+            let end_us = chrome::trace_epoch().elapsed().as_micros() as u64;
+            let dur_us = elapsed.as_micros() as u64;
+            let mut args: Vec<(String, String)> = live
+                .fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect();
+            if let Some(id) = current_trace_id() {
+                args.push(("trace_id".to_string(), id.to_string()));
+            }
+            chrome::record(TraceEvent {
+                name: live.name.to_string(),
+                ts_us: end_us.saturating_sub(dur_us),
+                dur_us,
+                tid: chrome::current_tid(),
+                args,
+            });
+        }
+    }
+}
+
+/// `event=span name=epoch depth=1 dur_ms=3.214 trace_id=7 epoch=3`
+fn format_line(
+    event: &str,
+    name: &str,
+    depth: usize,
+    fields: &[(&'static str, String)],
+    dur_ms: Option<f64>,
+) -> String {
+    let mut line = format!("event={event} name={name} depth={depth}");
+    if let Some(ms) = dur_ms {
+        let _ = write!(line, " dur_ms={ms:.3}");
+    }
+    if let Some(id) = current_trace_id() {
+        let _ = write!(line, " trace_id={id}");
+    }
+    for (k, v) in fields {
+        let _ = write!(line, " {k}={v}");
+    }
+    line
+}
+
+/// Open a hierarchical span: `let _span = span!("epoch", epoch = 3);`
+///
+/// Field values are only formatted when a sink or the trace collector is
+/// active, so an idle `span!` costs two relaxed atomic loads and a branch.
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::span_active() {
+            $crate::Span::enter(
+                $name,
+                vec![$((stringify!($key), ::std::string::ToString::to_string(&$value))),*],
+            )
+        } else {
+            $crate::Span::inert()
+        }
+    };
+}

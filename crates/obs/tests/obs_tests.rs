@@ -1,0 +1,278 @@
+//! sam-obs integration tests: registry concurrency, exposition formats,
+//! span nesting, Chrome trace validity.
+//!
+//! Sink, log level, and the trace collector are process-global, so tests
+//! that touch them serialise on one mutex (Rust runs tests in threads of a
+//! single process).
+
+use sam_obs::{span, LogLevel, Registry};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Serialises tests that mutate global sink / level / tracing state.
+fn global_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Reset global obs state after a test that changed it.
+fn reset_globals() {
+    sam_obs::set_log_level(LogLevel::Silent);
+    sam_obs::set_sink(sam_obs::Sink::Silent);
+    sam_obs::disable_tracing();
+    let _ = sam_obs::take_chrome_trace();
+}
+
+#[test]
+fn counters_bumped_from_eight_threads_lose_nothing() {
+    let registry = Registry::new();
+    let counter = registry.counter("test_concurrent_total");
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let counter = Arc::clone(&counter);
+            scope.spawn(move || {
+                for _ in 0..10_000 {
+                    counter.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(counter.get(), 80_000);
+
+    // Lazy registration from many threads resolves to one metric.
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let registry = &registry;
+            scope.spawn(move || {
+                registry.counter("test_concurrent_total").add(5);
+            });
+        }
+    });
+    assert_eq!(counter.get(), 80_040);
+}
+
+#[test]
+fn gauges_and_histograms_roundtrip() {
+    let registry = Registry::new();
+    registry.gauge("test_gauge").set(2.5);
+    assert_eq!(registry.gauge("test_gauge").get(), 2.5);
+    let h = registry.histogram("test_latency");
+    h.record(Duration::from_micros(700));
+    assert_eq!(registry.histogram("test_latency").count(), 1);
+}
+
+#[test]
+fn prometheus_exposition_format() {
+    let registry = Registry::new();
+    // Counter without _total gets the suffix appended; with it, unchanged.
+    registry.counter("requests").add(3);
+    registry.counter("sam_batches_total").add(7);
+    registry
+        .counter_with("labelled_total", &[("model", "a\"b\\c\nd")])
+        .inc();
+    registry.gauge("sam_mean_batch_size").set(4.0);
+    let h = registry.histogram("sam_estimate_latency_seconds");
+    h.record(Duration::from_micros(3));
+    h.record(Duration::from_millis(2));
+
+    let text = registry.render_prometheus();
+
+    // Counter naming + TYPE lines.
+    assert!(text.contains("# TYPE requests_total counter"), "{text}");
+    assert!(text.contains("requests_total 3"), "{text}");
+    assert!(text.contains("sam_batches_total 7"), "{text}");
+    assert!(
+        !text.contains("sam_batches_total_total"),
+        "suffix must not double up: {text}"
+    );
+
+    // Label escaping: backslash, quote, newline.
+    assert!(
+        text.contains(r#"labelled_total{model="a\"b\\c\nd"} 1"#),
+        "{text}"
+    );
+
+    // Gauge.
+    assert!(text.contains("# TYPE sam_mean_batch_size gauge"), "{text}");
+    assert!(text.contains("sam_mean_batch_size 4.0"), "{text}");
+
+    // Histogram: cumulative buckets, +Inf, sum, count.
+    assert!(
+        text.contains("# TYPE sam_estimate_latency_seconds histogram"),
+        "{text}"
+    );
+    assert!(
+        text.contains("sam_estimate_latency_seconds_bucket{le=\"+Inf\"} 2"),
+        "{text}"
+    );
+    assert!(
+        text.contains("sam_estimate_latency_seconds_count 2"),
+        "{text}"
+    );
+    assert!(text.contains("sam_estimate_latency_seconds_sum"), "{text}");
+    let bucket_lines: Vec<&str> = text
+        .lines()
+        .filter(|l| l.starts_with("sam_estimate_latency_seconds_bucket"))
+        .collect();
+    assert!(
+        bucket_lines.len() >= 3,
+        "expected several le buckets, got {bucket_lines:?}"
+    );
+    // Bucket counts are cumulative (monotone non-decreasing).
+    let counts: Vec<u64> = bucket_lines
+        .iter()
+        .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+        .collect();
+    assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+}
+
+#[test]
+fn json_rendering_is_valid_and_flat() {
+    let registry = Registry::new();
+    registry.counter("a_total").add(2);
+    registry.gauge("g").set(0.5);
+    registry.histogram("h").record(Duration::from_micros(10));
+    let text = registry.render_json();
+    let doc = serde_json::parse_value(&text).expect("registry JSON must parse");
+    assert_eq!(doc.get("a_total").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(doc.get("g").and_then(|v| v.as_f64()), Some(0.5));
+    assert_eq!(
+        doc.get("h")
+            .and_then(|h| h.get("count"))
+            .and_then(|v| v.as_u64()),
+        Some(1)
+    );
+}
+
+#[test]
+fn span_nesting_depth_and_ordering() {
+    let _guard = global_lock();
+    let buffer = sam_obs::memory_sink();
+    sam_obs::set_log_level(LogLevel::Info);
+
+    {
+        let _outer = span!("outer", run = 1);
+        {
+            let _inner = span!("inner");
+        }
+        {
+            let _inner2 = span!("inner2");
+        }
+    }
+
+    let lines = buffer.lock().unwrap().clone();
+    reset_globals();
+
+    // Completion order: inner, inner2, outer.
+    assert_eq!(lines.len(), 3, "{lines:?}");
+    assert!(
+        lines[0].contains("name=inner") && lines[0].contains("depth=1"),
+        "{lines:?}"
+    );
+    assert!(
+        lines[1].contains("name=inner2") && lines[1].contains("depth=1"),
+        "{lines:?}"
+    );
+    assert!(
+        lines[2].contains("name=outer") && lines[2].contains("depth=0"),
+        "{lines:?}"
+    );
+    assert!(lines[2].contains("run=1"), "{lines:?}");
+    assert!(lines[2].contains("dur_ms="), "{lines:?}");
+}
+
+#[test]
+fn debug_level_emits_begin_lines_too() {
+    let _guard = global_lock();
+    let buffer = sam_obs::memory_sink();
+    sam_obs::set_log_level(LogLevel::Debug);
+    {
+        let _s = span!("step");
+    }
+    let lines = buffer.lock().unwrap().clone();
+    reset_globals();
+    assert_eq!(lines.len(), 2, "{lines:?}");
+    assert!(lines[0].starts_with("event=begin name=step"), "{lines:?}");
+    assert!(lines[1].starts_with("event=span name=step"), "{lines:?}");
+}
+
+#[test]
+fn silent_spans_cost_nothing_and_emit_nothing() {
+    let _guard = global_lock();
+    reset_globals();
+    assert!(!sam_obs::span_active());
+    {
+        let _s = span!("hot", i = 42);
+    }
+    assert_eq!(sam_obs::event_count(), 0);
+}
+
+#[test]
+fn chrome_trace_is_valid_json_with_nested_spans_and_trace_ids() {
+    let _guard = global_lock();
+    reset_globals();
+    sam_obs::enable_tracing();
+    sam_obs::set_trace_id(Some(99));
+    {
+        let _outer = span!("generate", stage = "all");
+        {
+            let _inner = span!("sample", rows = 128);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    sam_obs::set_trace_id(None);
+    let json = sam_obs::take_chrome_trace();
+    reset_globals();
+
+    let doc = serde_json::parse_value(&json).expect("chrome trace must be valid JSON");
+    let events = doc.as_array().expect("trace is a JSON array");
+    assert_eq!(events.len(), 2, "{json}");
+    for e in events {
+        assert_eq!(e.get("ph").and_then(|v| v.as_str()), Some("X"));
+        assert!(e.get("ts").and_then(|v| v.as_u64()).is_some());
+        assert!(e.get("dur").and_then(|v| v.as_u64()).is_some());
+        assert!(e.get("tid").and_then(|v| v.as_u64()).is_some());
+        assert_eq!(
+            e.get("args")
+                .and_then(|a| a.get("trace_id"))
+                .and_then(|v| v.as_str()),
+            Some("99")
+        );
+    }
+    // Events complete inner-first; the outer span contains the inner one.
+    let inner = &events[0];
+    let outer = &events[1];
+    assert_eq!(inner.get("name").and_then(|v| v.as_str()), Some("sample"));
+    assert_eq!(outer.get("name").and_then(|v| v.as_str()), Some("generate"));
+    let (its, idur) = (
+        inner.get("ts").unwrap().as_u64().unwrap(),
+        inner.get("dur").unwrap().as_u64().unwrap(),
+    );
+    let (ots, odur) = (
+        outer.get("ts").unwrap().as_u64().unwrap(),
+        outer.get("dur").unwrap().as_u64().unwrap(),
+    );
+    assert!(
+        ots <= its && its + idur <= ots + odur + 1,
+        "inner not nested in outer"
+    );
+}
+
+#[test]
+fn span_record_adds_fields_after_open() {
+    let _guard = global_lock();
+    let buffer = sam_obs::memory_sink();
+    sam_obs::set_log_level(LogLevel::Info);
+    {
+        let mut s = span!("epoch", epoch = 2);
+        s.record("loss", 0.125);
+    }
+    let lines = buffer.lock().unwrap().clone();
+    reset_globals();
+    assert!(
+        lines[0].contains("epoch=2") && lines[0].contains("loss=0.125"),
+        "{lines:?}"
+    );
+}

@@ -165,10 +165,14 @@ fn run_group(group: Vec<EstimateJob>, metrics: &ServeMetrics) {
             .collect();
         estimate_cardinality_batch(group[0].entry.trained.model(), &requests, &mut rngs)
     };
-    ServeMetrics::bump(&metrics.batches);
-    metrics
-        .batched_requests
-        .fetch_add(batch_size as u64, std::sync::atomic::Ordering::Relaxed);
+    metrics.batches.inc();
+    metrics.batched_requests.add(batch_size as u64);
+    let batches = metrics.batches.get();
+    if batches > 0 {
+        metrics
+            .mean_batch_size
+            .set(metrics.batched_requests.get() as f64 / batches as f64);
+    }
     for (job, result) in group.into_iter().zip(results) {
         let _ = job.reply.try_send(BatchReply {
             result: result.map_err(|e| ServeError::BadRequest(e.to_string())),

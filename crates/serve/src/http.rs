@@ -84,6 +84,18 @@ pub fn write_json_response<W: Write>(out: &mut W, status: u16, body: &str) -> st
     out.flush()
 }
 
+/// Write a plain-text response (Prometheus exposition uses text/plain with
+/// the format version parameter).
+pub fn write_text_response<W: Write>(out: &mut W, status: u16, body: &str) -> std::io::Result<()> {
+    write!(
+        out,
+        "HTTP/1.1 {status} {}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        reason(status),
+        body.len(),
+    )?;
+    out.flush()
+}
+
 /// Canonical reason phrases for the statuses this server emits.
 pub fn reason(status: u16) -> &'static str {
     match status {

@@ -104,10 +104,16 @@ impl JobRegistry {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .insert(id, Arc::clone(&record));
-        ServeMetrics::bump(&metrics.jobs_started);
+        metrics.jobs_started.inc();
+        // Carry the submitting request's trace id onto the job thread so the
+        // job's generation spans correlate with the POST /generate request.
+        let trace_id = sam_obs::current_trace_id();
         let handle = std::thread::Builder::new()
             .name(format!("sam-serve-job-{id}"))
-            .spawn(move || run_job(&entry.trained, &config, &record, &metrics))
+            .spawn(move || {
+                sam_obs::set_trace_id(trace_id);
+                run_job(&entry.trained, &config, &record, &metrics)
+            })
             .expect("spawn generation job");
         self.handles
             .lock()
@@ -174,5 +180,5 @@ fn run_job(
         Err(e) => JobState::Failed(e.to_string()),
     };
     *record.state.lock().unwrap_or_else(|e| e.into_inner()) = outcome;
-    ServeMetrics::bump(&metrics.jobs_finished);
+    metrics.jobs_finished.inc();
 }

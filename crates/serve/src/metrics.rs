@@ -1,58 +1,92 @@
 //! Server-side request counters and latency tracking for `/metrics`.
+//!
+//! All metrics live on a per-server [`sam_obs::Registry`] (so two servers in
+//! one process never mix counts) and are exposed two ways:
+//!
+//! * `GET /metrics` — the original flat JSON document, shape-stable since
+//!   the subsystem landed (dashboards parse it);
+//! * `GET /metrics?format=prometheus` — Prometheus text exposition of the
+//!   server registry *plus* the process-global registry (training /
+//!   inference / pipeline instrumentation), rendered by `sam-obs`.
+//!
+//! The handles below are `Arc`s over atomics; bumping one is a single
+//! relaxed `fetch_add` — the registry lock is only taken at construction.
 
 use sam_metrics::LatencyHistogram;
+use sam_obs::{Counter, Gauge, Registry};
 use serde_json::{json, Value};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Cheap concurrent counters + an estimate-latency histogram. One instance
 /// per server, shared by every connection handler and inference worker.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServeMetrics {
+    registry: Registry,
     /// All HTTP requests routed (any endpoint, any outcome).
-    pub http_requests: AtomicU64,
+    pub http_requests: Arc<Counter>,
     /// `/estimate` calls answered 200.
-    pub estimates_ok: AtomicU64,
+    pub estimates_ok: Arc<Counter>,
     /// `/estimate` calls answered 4xx/5xx (excluding 429s/504s below).
-    pub estimate_errors: AtomicU64,
+    pub estimate_errors: Arc<Counter>,
     /// `/estimate` calls rejected with 429 (queue full).
-    pub rejected_overload: AtomicU64,
+    pub rejected_overload: Arc<Counter>,
     /// `/estimate` calls that missed their deadline (504).
-    pub deadline_exceeded: AtomicU64,
+    pub deadline_exceeded: Arc<Counter>,
     /// Micro-batches executed by inference workers.
-    pub batches: AtomicU64,
+    pub batches: Arc<Counter>,
     /// Requests summed over those micro-batches (ratio = mean batch size).
-    pub batched_requests: AtomicU64,
+    pub batched_requests: Arc<Counter>,
+    /// Running mean batch size (batched_requests / batches; 0 until the
+    /// first batch). Updated by the workers after every batch.
+    pub mean_batch_size: Arc<Gauge>,
     /// Generation jobs accepted.
-    pub jobs_started: AtomicU64,
+    pub jobs_started: Arc<Counter>,
     /// Generation jobs that reached a terminal state.
-    pub jobs_finished: AtomicU64,
+    pub jobs_finished: Arc<Counter>,
     /// End-to-end `/estimate` latency (arrival → reply).
-    pub estimate_latency: LatencyHistogram,
+    pub estimate_latency: Arc<LatencyHistogram>,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        let registry = Registry::new();
+        ServeMetrics {
+            http_requests: registry.counter("sam_http_requests_total"),
+            estimates_ok: registry.counter("sam_estimates_ok_total"),
+            estimate_errors: registry.counter("sam_estimate_errors_total"),
+            rejected_overload: registry.counter("sam_rejected_overload_total"),
+            deadline_exceeded: registry.counter("sam_deadline_exceeded_total"),
+            batches: registry.counter("sam_batches_total"),
+            batched_requests: registry.counter("sam_batched_requests_total"),
+            mean_batch_size: registry.gauge("sam_mean_batch_size"),
+            jobs_started: registry.counter("sam_jobs_started_total"),
+            jobs_finished: registry.counter("sam_jobs_finished_total"),
+            estimate_latency: registry.histogram("sam_estimate_latency_seconds"),
+            registry,
+        }
+    }
 }
 
 impl ServeMetrics {
-    /// Increment a counter.
-    pub fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// JSON rendering for the `/metrics` endpoint.
+    /// JSON rendering for the `/metrics` endpoint. The document shape is
+    /// frozen (see `json_shape_is_backward_compatible`): every key is always
+    /// present, including `mean_batch_size` — `0.0` before the first batch,
+    /// never absent.
     pub fn to_json(&self) -> Value {
-        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
-        let batches = load(&self.batches);
-        let batched = load(&self.batched_requests);
+        let batches = self.batches.get();
+        let batched = self.batched_requests.get();
         let lat = self.estimate_latency.snapshot();
         json!({
-            "http_requests": load(&self.http_requests),
-            "estimates_ok": load(&self.estimates_ok),
-            "estimate_errors": load(&self.estimate_errors),
-            "rejected_overload": load(&self.rejected_overload),
-            "deadline_exceeded": load(&self.deadline_exceeded),
+            "http_requests": self.http_requests.get(),
+            "estimates_ok": self.estimates_ok.get(),
+            "estimate_errors": self.estimate_errors.get(),
+            "rejected_overload": self.rejected_overload.get(),
+            "deadline_exceeded": self.deadline_exceeded.get(),
             "batches": batches,
             "batched_requests": batched,
             "mean_batch_size": if batches == 0 { 0.0 } else { batched as f64 / batches as f64 },
-            "jobs_started": load(&self.jobs_started),
-            "jobs_finished": load(&self.jobs_finished),
+            "jobs_started": self.jobs_started.get(),
+            "jobs_finished": self.jobs_finished.get(),
             "estimate_latency_ms": {
                 "count": lat.count,
                 "mean": lat.mean_ms,
@@ -64,6 +98,15 @@ impl ServeMetrics {
             },
         })
     }
+
+    /// Prometheus text exposition: this server's registry followed by the
+    /// process-global one (training / inference / pipeline metrics). Metric
+    /// names are disjoint between the two, so the concatenation is valid.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = self.registry.render_prometheus();
+        out.push_str(&Registry::global().render_prometheus());
+        out
+    }
 }
 
 #[cfg(test)]
@@ -74,15 +117,62 @@ mod tests {
     #[test]
     fn json_reflects_counters() {
         let m = ServeMetrics::default();
-        ServeMetrics::bump(&m.http_requests);
-        ServeMetrics::bump(&m.http_requests);
-        ServeMetrics::bump(&m.batches);
-        m.batched_requests.fetch_add(8, Ordering::Relaxed);
+        m.http_requests.inc();
+        m.http_requests.inc();
+        m.batches.inc();
+        m.batched_requests.add(8);
         m.estimate_latency.record(Duration::from_millis(3));
         let v = m.to_json();
         assert_eq!(v.get("http_requests").unwrap().as_u64(), Some(2));
         assert_eq!(v.get("mean_batch_size").unwrap().as_f64(), Some(8.0));
         let lat = v.get("estimate_latency_ms").unwrap();
         assert_eq!(lat.get("count").unwrap().as_u64(), Some(1));
+    }
+
+    /// The `/metrics` JSON document is an API: every key the original
+    /// implementation emitted must stay present (with the same types), and
+    /// `mean_batch_size` must be `0.0` — not absent — before any batch runs.
+    #[test]
+    fn json_shape_is_backward_compatible() {
+        let m = ServeMetrics::default();
+        let v = m.to_json();
+        for key in [
+            "http_requests",
+            "estimates_ok",
+            "estimate_errors",
+            "rejected_overload",
+            "deadline_exceeded",
+            "batches",
+            "batched_requests",
+            "jobs_started",
+            "jobs_finished",
+        ] {
+            assert_eq!(v.get(key).and_then(Value::as_u64), Some(0), "key {key}");
+        }
+        assert_eq!(
+            v.get("mean_batch_size").and_then(Value::as_f64),
+            Some(0.0),
+            "mean_batch_size must be present (0.0) even with zero batches"
+        );
+        let lat = v.get("estimate_latency_ms").expect("histogram object");
+        for key in ["count", "mean", "p50", "p90", "p95", "p99", "max"] {
+            assert!(lat.get(key).is_some(), "latency key {key}");
+        }
+    }
+
+    #[test]
+    fn prometheus_rendering_includes_server_metrics() {
+        let m = ServeMetrics::default();
+        m.batches.inc();
+        m.batched_requests.add(4);
+        m.mean_batch_size.set(4.0);
+        m.estimate_latency.record(Duration::from_micros(250));
+        let text = m.render_prometheus();
+        assert!(text.contains("# TYPE sam_batches_total counter"));
+        assert!(text.contains("sam_batches_total 1"));
+        assert!(text.contains("sam_mean_batch_size 4.0"));
+        assert!(text.contains("# TYPE sam_estimate_latency_seconds histogram"));
+        assert!(text.contains("sam_estimate_latency_seconds_bucket{le=\""));
+        assert!(text.contains("sam_estimate_latency_seconds_count 1"));
     }
 }

@@ -30,7 +30,7 @@ use sam_core::{GenerationConfig, JoinKeyStrategy};
 use sam_query::parse_query;
 use serde_json::{json, Value};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::RecvTimeoutError;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -82,6 +82,9 @@ struct ServerState {
     batcher: Batcher,
     shutting_down: AtomicBool,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Monotonic per-request trace id, attached to span output (and the
+    /// estimate response body) for request ↔ trace correlation.
+    next_trace_id: AtomicU64,
 }
 
 /// A running server. Dropping it shuts it down gracefully.
@@ -114,6 +117,7 @@ impl Server {
             batcher,
             shutting_down: AtomicBool::new(false),
             conn_threads: Mutex::new(Vec::new()),
+            next_trace_id: AtomicU64::new(0),
         });
         let accept_state = Arc::clone(&state);
         let accept_thread = std::thread::Builder::new()
@@ -205,21 +209,53 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
     }
 }
 
-fn handle_connection(stream: &TcpStream, state: &Arc<ServerState>) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    ServeMetrics::bump(&state.metrics.http_requests);
-    let mut reader = std::io::BufReader::new(stream);
-    let (status, body) = match http::read_request(&mut reader) {
-        Ok(request) => route(&request, state),
-        Err(e) => (e.status(), json!({"error": e.to_string()})),
-    };
-    let text = serde_json::to_string(&body).unwrap_or_else(|_| "{}".to_string());
-    let mut writer = stream;
-    let _ = http::write_json_response(&mut writer, status, &text);
+/// What a route handler produced: a JSON document or a preformatted text
+/// body (the Prometheus exposition).
+enum Reply {
+    Json(u16, Value),
+    Text(u16, String),
 }
 
-fn route(request: &Request, state: &Arc<ServerState>) -> (u16, Value) {
-    let result = match (request.method.as_str(), request.path.as_str()) {
+fn handle_connection(stream: &TcpStream, state: &Arc<ServerState>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    state.metrics.http_requests.inc();
+    let trace_id = state.next_trace_id.fetch_add(1, Ordering::Relaxed) + 1;
+    sam_obs::set_trace_id(Some(trace_id));
+    let mut reader = std::io::BufReader::new(stream);
+    let reply = match http::read_request(&mut reader) {
+        Ok(request) => {
+            let _span = sam_obs::span!("request", method = request.method, path = request.path);
+            route(&request, state)
+        }
+        Err(e) => Reply::Json(e.status(), json!({"error": e.to_string()})),
+    };
+    let mut writer = stream;
+    match reply {
+        Reply::Json(status, body) => {
+            let text = serde_json::to_string(&body).unwrap_or_else(|_| "{}".to_string());
+            let _ = http::write_json_response(&mut writer, status, &text);
+        }
+        Reply::Text(status, text) => {
+            let _ = http::write_text_response(&mut writer, status, &text);
+        }
+    }
+}
+
+fn route(request: &Request, state: &Arc<ServerState>) -> Reply {
+    // The request target may carry a query string (`/metrics?format=...`);
+    // http.rs deliberately leaves the split to the router.
+    let (path, query) = match request.path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (request.path.as_str(), ""),
+    };
+    if request.method == "GET" && path == "/metrics" {
+        return if query_param(query, "format") == Some("prometheus") {
+            Reply::Text(200, state.metrics.render_prometheus())
+        } else {
+            Reply::Json(200, state.metrics.to_json())
+        };
+    }
+    let result = match (request.method.as_str(), path) {
         ("GET", "/healthz") => Ok((
             200,
             json!({
@@ -228,7 +264,6 @@ fn route(request: &Request, state: &Arc<ServerState>) -> (u16, Value) {
                 "shutting_down": state.shutting_down.load(Ordering::SeqCst),
             }),
         )),
-        ("GET", "/metrics") => Ok((200, state.metrics.to_json())),
         ("GET", "/models") => Ok((200, list_models(state))),
         ("POST", "/models") => load_model_route(state, &request.body),
         ("POST", "/estimate") => estimate_route(state, &request.body),
@@ -237,9 +272,18 @@ fn route(request: &Request, state: &Arc<ServerState>) -> (u16, Value) {
         (_, path) => Err(ServeError::NotFound(format!("no route for {path}"))),
     };
     match result {
-        Ok((status, body)) => (status, body),
-        Err(e) => (e.status(), json!({"error": e.to_string()})),
+        Ok((status, body)) => Reply::Json(status, body),
+        Err(e) => Reply::Json(e.status(), json!({"error": e.to_string()})),
     }
+}
+
+/// Value of `key` in a raw query string (`a=1&b=2`), if present.
+fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v)
 }
 
 fn list_models(state: &ServerState) -> Value {
@@ -271,12 +315,12 @@ fn estimate_route(state: &ServerState, body: &str) -> Result<(u16, Value), Serve
     let result = run_estimate(state, body, started);
     match &result {
         Ok(_) => {
-            ServeMetrics::bump(&state.metrics.estimates_ok);
+            state.metrics.estimates_ok.inc();
             state.metrics.estimate_latency.record(started.elapsed());
         }
-        Err(ServeError::Overloaded) => ServeMetrics::bump(&state.metrics.rejected_overload),
-        Err(ServeError::DeadlineExceeded) => ServeMetrics::bump(&state.metrics.deadline_exceeded),
-        Err(_) => ServeMetrics::bump(&state.metrics.estimate_errors),
+        Err(ServeError::Overloaded) => state.metrics.rejected_overload.inc(),
+        Err(ServeError::DeadlineExceeded) => state.metrics.deadline_exceeded.inc(),
+        Err(_) => state.metrics.estimate_errors.inc(),
     }
     result
 }
@@ -325,6 +369,7 @@ fn run_estimate(
         }
     };
     let estimate = reply.result?;
+    let trace_id = sam_obs::current_trace_id().map_or(Value::Null, |id| json!(id));
     Ok((
         200,
         json!({
@@ -334,6 +379,7 @@ fn run_estimate(
             "samples": samples,
             "batch_size": reply.batch_size,
             "latency_ms": started.elapsed().as_secs_f64() * 1e3,
+            "trace_id": trace_id,
         }),
     ))
 }

@@ -17,6 +17,11 @@
 //!                  [--samples N] [--timeout-ms N]
 //! ```
 //!
+//! The pipeline subcommands (`demo`, `train`, `generate`, `serve`) also
+//! accept `--log-level {silent,info,debug}` (structured span lines on
+//! stderr) and `--trace-out PATH` (Chrome trace-event JSON, loadable in
+//! `chrome://tracing` / Perfetto; `serve` rewrites the file every 30 s).
+//!
 //! Data directories hold one `<table>.csv` per schema table (header row,
 //! `NULL` for SQL NULL). Workload files hold one `SELECT COUNT(*) …` query
 //! per line (blank lines and `--` comments ignored), optionally suffixed
@@ -181,6 +186,39 @@ fn build_workload(db: &Database, args: &Args, default_n: usize) -> Result<Worklo
     label_workload(db, queries).map_err(|e| e.to_string())
 }
 
+// ---------------------------------------------------------- observability
+
+/// Apply the global observability flags shared by every subcommand:
+/// `--log-level {silent,info,debug}` routes span lines to stderr, and
+/// `--trace-out PATH` turns on Chrome trace collection. Returns the trace
+/// path, if any; pass it to [`write_trace`] once the work is done.
+fn setup_obs(args: &Args) -> Result<Option<String>, String> {
+    if let Some(level) = args.get("log-level") {
+        let level: sam::obs::LogLevel = level.parse()?;
+        sam::obs::set_log_level(level);
+        sam::obs::set_sink(sam::obs::Sink::Stderr);
+    }
+    match args.get("trace-out") {
+        Some(path) => {
+            sam::obs::enable_tracing();
+            Ok(Some(path.to_string()))
+        }
+        None => Ok(None),
+    }
+}
+
+fn write_trace(trace_out: &Option<String>) -> Result<(), String> {
+    if let Some(path) = trace_out {
+        sam::obs::write_chrome_trace(Path::new(path))
+            .map_err(|e| format!("write trace {path}: {e}"))?;
+        println!(
+            "chrome trace written to {path} ({} events)",
+            sam::obs::event_count()
+        );
+    }
+    Ok(())
+}
+
 fn sam_config(args: &Args) -> Result<SamConfig, String> {
     let mut config = SamConfig::default();
     config.train.epochs = args.num("epochs", 10usize)?;
@@ -208,6 +246,7 @@ fn fidelity_report(generated: &Database, workload: &Workload, label: &str) {
 // ------------------------------------------------------------- subcommands
 
 fn demo(args: &Args) -> Result<(), String> {
+    let trace_out = setup_obs(args)?;
     let dataset = args.get("dataset").unwrap_or("census");
     let rows: usize = args.num("rows", 8_000)?;
     let seed: u64 = args.num("seed", 0)?;
@@ -233,6 +272,7 @@ fn demo(args: &Args) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     println!("generated in {:.1}s", report.wall_seconds);
     fidelity_report(&generated, &workload, "input constraints");
+    write_trace(&trace_out)?;
     Ok(())
 }
 
@@ -264,6 +304,7 @@ fn export(args: &Args) -> Result<(), String> {
 }
 
 fn train_cmd(args: &Args) -> Result<(), String> {
+    let trace_out = setup_obs(args)?;
     let schema_path = args.required("schema")?;
     let data_dir = args.required("data")?;
     let model_out = args.required("model-out")?;
@@ -281,10 +322,12 @@ fn train_cmd(args: &Args) -> Result<(), String> {
     let json = sam::ar::save_model(trained.model(), db.schema());
     fs::write(model_out, json).map_err(|e| format!("write {model_out}: {e}"))?;
     println!("model saved to {model_out}");
+    write_trace(&trace_out)?;
     Ok(())
 }
 
 fn generate(args: &Args) -> Result<(), String> {
+    let trace_out = setup_obs(args)?;
     let schema_path = args.required("schema")?;
     let out = args.required("out")?;
     let seed: u64 = args.num("seed", 0)?;
@@ -360,6 +403,7 @@ fn generate(args: &Args) -> Result<(), String> {
     fidelity_report(&generated, &workload, "input constraints");
     save_database(&generated, out)?;
     println!("synthetic database written to {out}/");
+    write_trace(&trace_out)?;
     Ok(())
 }
 
@@ -420,6 +464,7 @@ fn estimate(args: &Args) -> Result<(), String> {
 }
 
 fn serve(args: &Args) -> Result<(), String> {
+    let trace_out = setup_obs(args)?;
     let config = sam::serve::ServeConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:8080").to_string(),
         workers: args.num("workers", 2usize)?,
@@ -448,7 +493,11 @@ fn serve(args: &Args) -> Result<(), String> {
     );
     // Serve until the process is terminated; all work happens on the
     // server's own threads. Embedders use `Server::shutdown` to drain.
+    // With --trace-out the collected trace is re-exported periodically
+    // (the collector is non-draining, so each write is the full trace).
+    let interval = if trace_out.is_some() { 30 } else { 3600 };
     loop {
-        std::thread::sleep(std::time::Duration::from_secs(3600));
+        std::thread::sleep(std::time::Duration::from_secs(interval));
+        write_trace(&trace_out)?;
     }
 }

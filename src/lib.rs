@@ -20,6 +20,7 @@
 //! * [`datasets`] — synthetic Census / DMV / IMDB stand-ins.
 //! * [`engine`] — an in-memory executor for latency experiments.
 //! * [`metrics`] — Q-Error, cross entropy, percentile summaries.
+//! * [`obs`] — metrics registry, hierarchical spans, Chrome trace export.
 //! * [`serve`] — HTTP model serving: micro-batched estimates, async jobs.
 //!
 //! ## Quickstart
@@ -55,6 +56,7 @@ pub use sam_datasets as datasets;
 pub use sam_engine as engine;
 pub use sam_metrics as metrics;
 pub use sam_nn as nn;
+pub use sam_obs as obs;
 pub use sam_pgm as pgm;
 pub use sam_query as query;
 pub use sam_serve as serve;

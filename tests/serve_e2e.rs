@@ -13,7 +13,7 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
-fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, Json) {
+fn http_raw(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(120)))
@@ -32,8 +32,16 @@ fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u1
         .expect("status")
         .parse()
         .expect("numeric status");
-    let json = raw.split("\r\n\r\n").nth(1).expect("body");
-    (status, serde_json::parse_value(json).expect("JSON body"))
+    let payload = raw.split("\r\n\r\n").nth(1).expect("body").to_string();
+    (status, payload)
+}
+
+fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, Json) {
+    let (status, payload) = http_raw(addr, method, path, body);
+    (
+        status,
+        serde_json::parse_value(&payload).expect("JSON body"),
+    )
 }
 
 fn train_demo_model() -> (TrainedSam, Vec<Query>) {
@@ -142,6 +150,35 @@ fn concurrent_http_estimates_are_bit_identical_to_in_process() {
     assert_eq!(
         metrics.get("batched_requests").and_then(Json::as_u64),
         Some(total)
+    );
+
+    // Prometheus exposition: valid text format with non-zero batch counts
+    // and latency histogram buckets for the estimates just served.
+    let (status, prom) = http_raw(addr, "GET", "/metrics?format=prometheus", "");
+    assert_eq!(status, 200);
+    assert!(prom.contains("# TYPE sam_batches_total counter"), "{prom}");
+    let batches_line = prom
+        .lines()
+        .find(|l| l.starts_with("sam_batches_total "))
+        .expect("sam_batches_total sample");
+    let batches: u64 = batches_line
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(batches > 0, "served estimates must record batches: {prom}");
+    assert!(
+        prom.contains("# TYPE sam_estimate_latency_seconds histogram"),
+        "{prom}"
+    );
+    assert!(
+        prom.contains("sam_estimate_latency_seconds_bucket{le=\""),
+        "{prom}"
+    );
+    assert!(
+        prom.contains("sam_estimate_latency_seconds_bucket{le=\"+Inf\"}"),
+        "{prom}"
     );
     server.shutdown();
 }
