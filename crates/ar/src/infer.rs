@@ -10,7 +10,9 @@
 use crate::error::ArError;
 use crate::model::FrozenModel;
 use crate::model_schema::StepRule;
+use crate::trie::{PrefixTrie, OFF_TRIE};
 use rand::Rng;
+use rand::SeedableRng;
 use sam_nn::Matrix;
 use sam_query::Query;
 
@@ -49,13 +51,16 @@ pub fn estimate_cardinality(
 
 /// Inference counters on the global [`sam_obs::Registry`], resolved once.
 /// `forwards` counts network forward passes, `requests`/`batch_rows` size
-/// the micro-batches, and `dedup_hits` counts rows whose forward pass was
-/// skipped because an identical sample-path prefix was already queued.
+/// the micro-batches, `dedup_hits` counts rows whose forward pass was
+/// skipped because an identical sample-path prefix was already queued in
+/// the same batch, and `trie_hits` counts rows served from conditionals a
+/// *previous* batch cached on a shared [`PrefixTrie`].
 struct ObsCounters {
     forwards: std::sync::Arc<sam_obs::Counter>,
     requests: std::sync::Arc<sam_obs::Counter>,
     batch_rows: std::sync::Arc<sam_obs::Counter>,
     dedup_hits: std::sync::Arc<sam_obs::Counter>,
+    trie_hits: std::sync::Arc<sam_obs::Counter>,
 }
 
 fn obs_counters() -> &'static ObsCounters {
@@ -65,6 +70,7 @@ fn obs_counters() -> &'static ObsCounters {
         requests: sam_obs::counter("sam_estimate_requests_total"),
         batch_rows: sam_obs::counter("sam_estimate_batch_rows_total"),
         dedup_hits: sam_obs::counter("sam_dedup_hits_total"),
+        trie_hits: sam_obs::counter("sam_trie_hits_total"),
     })
 }
 
@@ -136,10 +142,34 @@ fn forward_row_parallel(model: &FrozenModel, input: &Matrix) -> Matrix {
 ///
 /// Requests whose predicates fail to resolve against the model schema get
 /// their own `Err` slot without affecting the rest of the batch.
+///
+/// Each call builds a private [`PrefixTrie`] that dedups identical prefixes
+/// within the batch; to additionally reuse conditionals *across* calls,
+/// keep a trie alive and use [`estimate_cardinality_batch_shared`].
 pub fn estimate_cardinality_batch<R: Rng>(
     model: &FrozenModel,
     requests: &[(&Query, usize)],
     rngs: &mut [R],
+) -> Vec<Result<f64, ArError>> {
+    let mut trie = PrefixTrie::new();
+    estimate_cardinality_batch_shared(model, requests, rngs, &mut trie)
+}
+
+/// [`estimate_cardinality_batch`] against a caller-owned [`PrefixTrie`].
+///
+/// The trie caches each visited prefix's conditional-probability row, so
+/// repeated workloads against the same frozen model (DNF
+/// inclusion–exclusion terms, a serving process handling many requests)
+/// skip the forward rows of every previously-seen prefix. Conditionals are
+/// a pure per-row function of the prefix, so cached reuse is bit-preserving
+/// — only cost changes, never estimates. The trie must only ever be shared
+/// across calls with the *same* model (serving keys tries by model
+/// version).
+pub fn estimate_cardinality_batch_shared<R: Rng>(
+    model: &FrozenModel,
+    requests: &[(&Query, usize)],
+    rngs: &mut [R],
+    trie: &mut PrefixTrie,
 ) -> Vec<Result<f64, ArError>> {
     assert_eq!(
         requests.len(),
@@ -176,41 +206,87 @@ pub fn estimate_cardinality_batch<R: Rng>(
         obs.requests.add(slots.len() as u64);
         obs.batch_rows.add(total_rows as u64);
         let mut factors = vec![1.0f64; total_rows];
-        // Sampled codes per path so far — both the forward input (as one-hot)
-        // and the dedup key.
+        // Sampled codes per path so far — the forward input (as one-hot) and
+        // the off-trie dedup key.
         let mut codes: Vec<Vec<u32>> = vec![Vec::with_capacity(n_cols); total_rows];
+        // Each path's trie node: always the node of its current code prefix
+        // (depth == column index), or OFF_TRIE past the node cap.
+        let mut node: Vec<usize> = vec![trie.root(); total_rows];
+
+        /// Where a live path reads column `i`'s conditionals from.
+        #[derive(Clone, Copy)]
+        enum Src {
+            /// Path already dead (or not yet classified).
+            Dead,
+            /// Served from the trie node's cached row (computed by an
+            /// earlier batch sharing this trie).
+            Cached,
+            /// Row of this column's freshly computed probability matrix.
+            Fresh(usize),
+        }
 
         for i in 0..n_cols {
-            // Paths with identical code prefixes have identical one-hot
-            // inputs, hence identical conditionals: run the forward pass on
-            // unique prefixes only. Co-batched requests share prefixes (every
-            // path starts empty; similar queries stay overlapped for several
-            // columns), so the shared forward work is paid once per batch —
-            // the micro-batching throughput win. Values are unchanged: each
-            // path reads the same conditionals a per-path forward would give.
-            let (probs, path_slot) = {
-                let mut uniq: std::collections::HashMap<&[u32], usize> =
-                    std::collections::HashMap::new();
-                let mut path_slot = vec![usize::MAX; total_rows];
+            // Paths with identical code prefixes sit on the same trie node
+            // and have identical one-hot inputs, hence identical
+            // conditionals: the forward pass runs on distinct *uncached*
+            // prefixes only. Co-batched requests share prefixes (every path
+            // starts empty; similar queries stay overlapped for several
+            // columns) — the micro-batching throughput win — and prefixes
+            // cached by earlier batches on a shared trie skip the forward
+            // entirely. Values are unchanged either way: each path reads
+            // the same conditionals a per-path forward would give.
+            let (src, reps, any_live) = {
+                let mut src = vec![Src::Dead; total_rows];
                 let mut reps: Vec<usize> = Vec::new();
-                let mut live_rows = 0u64;
+                let mut uniq_node: std::collections::HashMap<usize, usize> =
+                    std::collections::HashMap::new();
+                let mut uniq_codes: std::collections::HashMap<&[u32], usize> =
+                    std::collections::HashMap::new();
+                let mut any_live = false;
+                let mut cached_hits = 0u64;
+                let mut dedup_hits = 0u64;
                 for r in 0..total_rows {
                     if factors[r] == 0.0 {
                         continue;
                     }
-                    live_rows += 1;
+                    any_live = true;
+                    if trie.probs(node[r]).is_some() {
+                        src[r] = Src::Cached;
+                        cached_hits += 1;
+                        continue;
+                    }
                     let next = reps.len();
-                    let idx = *uniq.entry(codes[r].as_slice()).or_insert_with(|| {
-                        reps.push(r);
-                        next
-                    });
-                    path_slot[r] = idx;
+                    let idx = if node[r] != OFF_TRIE {
+                        *uniq_node.entry(node[r]).or_insert_with(|| {
+                            reps.push(r);
+                            next
+                        })
+                    } else {
+                        *uniq_codes.entry(codes[r].as_slice()).or_insert_with(|| {
+                            reps.push(r);
+                            next
+                        })
+                    };
+                    if idx != next {
+                        dedup_hits += 1;
+                    }
+                    src[r] = Src::Fresh(idx);
                 }
-                obs.dedup_hits.add(live_rows - reps.len() as u64);
-                if reps.is_empty() {
-                    // Every path died on an empty range; all estimates are 0.
-                    break;
-                }
+                obs.dedup_hits.add(dedup_hits);
+                obs.trie_hits.add(cached_hits);
+                let stats = trie.stats_mut();
+                stats.dedup_hits += dedup_hits;
+                stats.cached_hits += cached_hits;
+                (src, reps, any_live)
+            };
+            if !any_live {
+                // Every path died on an empty range; all estimates are 0.
+                break;
+            }
+
+            let probs = if reps.is_empty() {
+                None
+            } else {
                 let mut input = Matrix::zeros(reps.len(), width);
                 for (u, &r) in reps.iter().enumerate() {
                     for (j, &code) in codes[r].iter().enumerate() {
@@ -218,15 +294,30 @@ pub fn estimate_cardinality_batch<R: Rng>(
                     }
                 }
                 let logits = forward_row_parallel(model, &input);
-                (model.net.conditional_probs(&logits, i), path_slot)
+                let stats = trie.stats_mut();
+                stats.forwards += 1;
+                stats.forward_rows += reps.len() as u64;
+                let p = model.net.conditional_probs(&logits, i);
+                for (u, &r) in reps.iter().enumerate() {
+                    trie.set_probs(node[r], p.row(u));
+                }
+                Some(p)
             };
+
             for slot in &slots {
                 let rng = &mut rngs[slot.request];
                 for r in slot.start..slot.start + slot.rows {
                     if factors[r] == 0.0 {
                         continue;
                     }
-                    let p_row = probs.row(path_slot[r]);
+                    let p_row: &[f32] = match src[r] {
+                        Src::Dead => unreachable!("live path classified above"),
+                        Src::Cached => trie.probs(node[r]).expect("classified as cached"),
+                        Src::Fresh(u) => probs
+                            .as_ref()
+                            .expect("fresh rows imply a forward ran")
+                            .row(u),
+                    };
                     let code = match &slot.rules[i] {
                         StepRule::Free => sample_weighted(p_row, rng).unwrap_or(0),
                         StepRule::InRange(frac) => {
@@ -249,6 +340,7 @@ pub fn estimate_cardinality_batch<R: Rng>(
                         }
                     };
                     codes[r].push(code as u32);
+                    node[r] = trie.child(node[r], code as u32);
                 }
             }
         }
@@ -270,15 +362,34 @@ pub fn estimate_cardinality_batch<R: Rng>(
 /// (paper §2.2): each conjunction term is estimated with progressive
 /// sampling and combined with alternating signs. The result is clamped to
 /// be non-negative (individual term noise can push the sum below zero).
+///
+/// All inclusion–exclusion terms go through one
+/// [`estimate_cardinality_batch_shared`] call: the terms of a DNF differ
+/// only in which predicates constrain them, so their sample paths overlap
+/// heavily and the shared prefix trie collapses the overlapping forward
+/// rows. Each term gets an independent RNG stream seeded from the caller's
+/// RNG, so every term's estimate is exactly what a standalone call with
+/// that stream would return.
 pub fn estimate_dnf_cardinality(
     model: &FrozenModel,
     dnf: &sam_query::DnfQuery,
     n_samples: usize,
     rng: &mut impl Rng,
 ) -> Result<f64, ArError> {
+    let terms = dnf.inclusion_exclusion_terms();
+    if terms.is_empty() {
+        return Ok(0.0);
+    }
+    let mut rngs: Vec<rand::rngs::StdRng> = terms
+        .iter()
+        .map(|_| rand::rngs::StdRng::seed_from_u64(rng.gen()))
+        .collect();
+    let requests: Vec<(&Query, usize)> = terms.iter().map(|(_, q)| (q, n_samples)).collect();
+    let mut trie = PrefixTrie::new();
+    let estimates = estimate_cardinality_batch_shared(model, &requests, &mut rngs, &mut trie);
     let mut total = 0.0f64;
-    for (sign, q) in dnf.inclusion_exclusion_terms() {
-        total += sign as f64 * estimate_cardinality(model, &q, n_samples, rng)?;
+    for ((sign, _), est) in terms.iter().zip(estimates) {
+        total += *sign as f64 * est?;
     }
     Ok(total.max(0.0))
 }

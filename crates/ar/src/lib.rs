@@ -17,12 +17,17 @@ pub mod model_schema;
 pub mod persist;
 pub mod sample;
 pub mod train;
+pub mod trie;
 
 pub use encoding::ColumnEncoding;
 pub use error::ArError;
-pub use infer::{estimate_cardinality, estimate_cardinality_batch, estimate_dnf_cardinality};
+pub use infer::{
+    estimate_cardinality, estimate_cardinality_batch, estimate_cardinality_batch_shared,
+    estimate_dnf_cardinality,
+};
 pub use model::{ArModel, ArModelConfig, BoundNet, FrozenModel, FrozenNet, Net, TransformerDims};
 pub use model_schema::{ArColumn, ArColumnKind, ArSchema, EncodingOptions, StepRule};
 pub use persist::{load_model, save_model};
 pub use sample::{sample_batch, sample_model_rows, sample_model_rows_range, ModelRow};
 pub use train::{train, TrainConfig, TrainReport};
+pub use trie::{PrefixTrie, TrieStats};

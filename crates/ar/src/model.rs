@@ -4,8 +4,8 @@
 
 use crate::model_schema::ArSchema;
 use sam_nn::{
-    BoundMade, BoundTransformer, FrozenMade, FrozenTransformer, Made, MadeConfig, Matrix,
-    ParamStore, Tape, TransformerAr, TransformerConfig, Var,
+    BackendKind, BoundMade, BoundTransformer, FrozenMade, FrozenTransformer, Made, MadeConfig,
+    Matrix, ParamStore, Tape, TransformerAr, TransformerConfig, Var,
 };
 
 /// Transformer sizing (used when [`ArModelConfig::transformer`] is set).
@@ -195,6 +195,17 @@ impl FrozenNet {
         }
     }
 
+    /// Forward pass into a caller-provided logits buffer (hot sampling
+    /// loops reuse one buffer across columns instead of allocating per
+    /// forward). The Transformer backbone falls back to an allocating
+    /// forward moved into the buffer.
+    pub fn forward_into(&self, input: &Matrix, out: &mut Matrix) {
+        match self {
+            FrozenNet::Made(m) => m.forward_into(input, out),
+            FrozenNet::Transformer(t) => *out = t.forward(input),
+        }
+    }
+
     /// Row-wise softmax of column `i`'s logit block.
     pub fn conditional_probs(&self, logits: &Matrix, i: usize) -> Matrix {
         match self {
@@ -209,6 +220,26 @@ impl FrozenNet {
         match self {
             FrozenNet::Made(m) => Some(m),
             FrozenNet::Transformer(_) => None,
+        }
+    }
+
+    /// Rebuild over the given inference backend. The frozen weights are
+    /// shared, not copied; only the execution kernel changes. The
+    /// Transformer backbone has no alternative kernels yet and always runs
+    /// its reference path.
+    pub fn with_backend(self, kind: BackendKind) -> FrozenNet {
+        match self {
+            FrozenNet::Made(m) => FrozenNet::Made(m.with_backend(kind)),
+            other => other,
+        }
+    }
+
+    /// The active inference backend (Transformer reports the reference
+    /// path).
+    pub fn backend_kind(&self) -> BackendKind {
+        match self {
+            FrozenNet::Made(m) => m.backend_kind(),
+            FrozenNet::Transformer(_) => BackendKind::ReferenceF32,
         }
     }
 }
@@ -302,6 +333,22 @@ pub struct FrozenModel {
     pub schema: ArSchema,
     /// The frozen backbone.
     pub net: FrozenNet,
+}
+
+impl FrozenModel {
+    /// Rebuild over the given inference backend (weights shared, kernel
+    /// swapped) — see [`FrozenNet::with_backend`].
+    pub fn with_backend(self, kind: BackendKind) -> FrozenModel {
+        FrozenModel {
+            schema: self.schema,
+            net: self.net.with_backend(kind),
+        }
+    }
+
+    /// The active inference backend.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.net.backend_kind()
+    }
 }
 
 #[cfg(test)]

@@ -11,14 +11,17 @@ use crate::encoding::ColumnEncoding;
 use crate::error::ArError;
 use crate::model::FrozenModel;
 use crate::model_schema::{ArColumn, ArColumnKind, ArSchema};
-use sam_nn::{FrozenMade, Matrix};
+use sam_nn::{BackendKind, FrozenMade, Matrix};
 use sam_storage::{
     ColumnDef, ColumnRole, DataType, DatabaseSchema, Domain, ForeignKeyEdge, TableSchema, Value,
 };
 use serde::{Deserialize, Serialize};
 
-/// Format version for forward compatibility.
-const VERSION: u32 = 1;
+/// Current format version. Version 2 added the [`LayoutDto`] weight-layout
+/// section; files from every version in [`MIN_VERSION`]`..=VERSION` load.
+const VERSION: u32 = 2;
+/// Oldest format version [`load_model`] still accepts.
+const MIN_VERSION: u32 = 1;
 
 #[derive(Debug, Serialize, Deserialize)]
 enum ValueDto {
@@ -94,6 +97,19 @@ struct MatrixDto {
     data: Vec<f32>,
 }
 
+/// Weight-layout section (format v2+). On-disk weights are always the
+/// canonical row-major `f32` layout — quantised/blocked layouts are an
+/// *inference-time* repacking, so checkpoints stay lossless and portable —
+/// and `backend` records which kernel the model ran on when saved, restored
+/// as the default on load.
+#[derive(Debug, Serialize, Deserialize)]
+struct LayoutDto {
+    /// On-disk weight element encoding; `"f32"` is the only value written.
+    weights: String,
+    /// Preferred inference backend (`"f32"` / `"f16"`).
+    backend: String,
+}
+
 #[derive(Debug, Serialize, Deserialize)]
 struct ModelFile {
     version: u32,
@@ -108,6 +124,10 @@ struct ModelFile {
     /// Per-layer ResMADE residual flags (absent in plain MADE files).
     #[serde(default)]
     residual: Vec<bool>,
+    /// Weight layout + preferred backend (absent in v1 files ⇒ reference
+    /// `f32`).
+    #[serde(default)]
+    layout: Option<LayoutDto>,
 }
 
 fn schema_to_dto(schema: &DatabaseSchema) -> (Vec<TableDto>, Vec<EdgeDto>) {
@@ -257,20 +277,44 @@ pub fn save_model(model: &FrozenModel, db_schema: &DatabaseSchema) -> String {
         domain_sizes: model.schema.domain_sizes(),
         layers,
         residual: made.residual_flags().to_vec(),
+        layout: Some(LayoutDto {
+            weights: "f32".into(),
+            backend: made.backend_kind().name().into(),
+        }),
     };
     serde_json::to_string(&file).expect("model serialises")
 }
 
 /// Load a model saved by [`save_model`], returning it with its schema.
+///
+/// Accepts every format version in `MIN_VERSION..=VERSION`: v1 files
+/// (pre-layout) load onto the reference `f32` backend, v2 files restore the
+/// backend recorded at save time. Either way the loaded model can be
+/// re-targeted afterwards with [`FrozenModel::with_backend`].
 pub fn load_model(json: &str) -> Result<(FrozenModel, DatabaseSchema), ArError> {
     let file: ModelFile =
         serde_json::from_str(json).map_err(|e| ArError::Invalid(format!("model JSON: {e}")))?;
-    if file.version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&file.version) {
         return Err(ArError::Invalid(format!(
-            "unsupported model version {} (expected {VERSION})",
+            "unsupported model version {} (supported: {MIN_VERSION}..={VERSION})",
             file.version
         )));
     }
+    let backend = match &file.layout {
+        None => BackendKind::ReferenceF32,
+        Some(layout) => {
+            if layout.weights != "f32" {
+                return Err(ArError::Invalid(format!(
+                    "unsupported on-disk weight layout {:?} (expected \"f32\")",
+                    layout.weights
+                )));
+            }
+            layout
+                .backend
+                .parse::<BackendKind>()
+                .map_err(ArError::Invalid)?
+        }
+    };
     let db_schema = schema_from_dto(&file.tables, &file.edges)?;
 
     let columns = file
@@ -316,7 +360,8 @@ pub fn load_model(json: &str) -> Result<(FrozenModel, DatabaseSchema), ArError> 
         FrozenMade::from_parts(layers, file.domain_sizes)
     } else {
         FrozenMade::from_parts_residual(layers, file.residual, file.domain_sizes)
-    };
+    }
+    .with_backend(backend);
     Ok((
         FrozenModel {
             schema,
@@ -381,7 +426,38 @@ mod tests {
             ArSchema::build(db.schema(), &stats, &[], &EncodingOptions::default()).unwrap();
         let model = ArModel::new(schema, &ArModelConfig::default()).freeze();
         let json = save_model(&model, db.schema());
-        let bad = json.replace("\"version\":1", "\"version\":99");
+        let bad = json.replace("\"version\":2", "\"version\":99");
         assert!(load_model(&bad).is_err());
+        let bad_layout = json.replace("\"weights\":\"f32\"", "\"weights\":\"f64\"");
+        assert!(load_model(&bad_layout).is_err());
+    }
+
+    #[test]
+    fn backend_choice_survives_the_round_trip() {
+        let db = paper_example::figure3_database();
+        let stats = DatabaseStats::from_database(&db);
+        let schema =
+            ArSchema::build(db.schema(), &stats, &[], &EncodingOptions::default()).unwrap();
+        let model = ArModel::new(schema, &ArModelConfig::default())
+            .freeze()
+            .with_backend(sam_nn::BackendKind::BlockedF16);
+
+        let json = save_model(&model, db.schema());
+        assert!(json.contains("\"backend\":\"f16\""));
+        let (loaded, _) = load_model(&json).unwrap();
+        assert_eq!(loaded.backend_kind(), sam_nn::BackendKind::BlockedF16);
+        // Weights on disk stay f32, so hopping back to the reference
+        // backend restores bit-exact estimates.
+        let q = Query::single("A", vec![]);
+        let reference = model.with_backend(sam_nn::BackendKind::ReferenceF32);
+        let a = estimate_cardinality(&reference, &q, 32, &mut StdRng::seed_from_u64(3)).unwrap();
+        let b = estimate_cardinality(
+            &loaded.with_backend(sam_nn::BackendKind::ReferenceF32),
+            &q,
+            32,
+            &mut StdRng::seed_from_u64(3),
+        )
+        .unwrap();
+        assert_eq!(a, b);
     }
 }

@@ -60,9 +60,10 @@ pub fn sample_batch(model: &FrozenModel, rows: usize, rng: &mut StdRng) -> Vec<M
     let width = model.net.total_width();
     let n_cols = model.net.num_columns();
     let mut input = Matrix::zeros(rows, width);
+    let mut logits = Matrix::zeros(rows, width);
     let mut out = vec![vec![0u32; n_cols]; rows];
     for i in 0..n_cols {
-        let logits = model.net.forward(&input);
+        model.net.forward_into(&input, &mut logits);
         let probs = model.net.conditional_probs(&logits, i);
         let offset = model.net.offset(i);
         for (r, row) in out.iter_mut().enumerate() {

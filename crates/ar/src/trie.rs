@@ -1,0 +1,197 @@
+//! Prefix trie over sampled-code prefixes with cached conditionals.
+//!
+//! Progressive sampling evaluates the network on *prefixes* of sampled
+//! codes, and the conditional distribution at a prefix is a pure function
+//! of that prefix — the same one-hot input always yields the same logits.
+//! The trie exploits this twice:
+//!
+//! 1. **Within a batch**: paths holding identical prefixes land on the same
+//!    trie node, so the batch runs one forward row per *distinct* prefix
+//!    (subsuming the exact-prefix hash dedup the estimator used to do).
+//! 2. **Across batches**: a trie kept alive between calls (see
+//!    [`crate::infer::estimate_cardinality_batch_shared`]) caches each
+//!    node's conditional-probability row the first time it is computed, so
+//!    later batches that revisit a prefix skip its forward row entirely.
+//!    This is what makes shared estimation *strictly cheaper* than
+//!    per-batch dedup: repeated workloads (DNF inclusion–exclusion terms,
+//!    serving traffic against one model version) re-walk the hot prefixes.
+//!
+//! Because per-row forward arithmetic is row-independent in both backbones,
+//! a cached row is bit-identical to the row a fresh forward would produce —
+//! caching changes cost, never values.
+//!
+//! Memory is bounded by a node cap: once reached, paths fall off the trie
+//! (`OFF_TRIE`) and are deduped per batch by their raw code prefix instead.
+
+use std::collections::HashMap;
+
+/// Sentinel node id for paths that fell off the trie (node cap reached).
+pub(crate) const OFF_TRIE: usize = usize::MAX;
+
+/// Default maximum node count (~a few hundred MB worst case at serving
+/// domain sizes; real workloads share prefixes heavily and stay far below).
+pub const DEFAULT_NODE_CAP: usize = 1 << 17;
+
+#[derive(Debug, Default)]
+struct TrieNode {
+    children: HashMap<u32, usize>,
+    /// Conditional probabilities of column `depth(node)` given this prefix,
+    /// cached after the first forward pass that visits the node.
+    probs: Option<Box<[f32]>>,
+}
+
+/// Cost accounting for one or more estimation calls over a trie.
+///
+/// All counts are cumulative; diff two [`PrefixTrie::stats`] snapshots to
+/// measure a single call. `cached_hits` is the across-batch win; the sum
+/// `forward_rows + cached_hits + dedup_hits` equals the number of live
+/// (path, column) steps taken.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TrieStats {
+    /// Network forward launches (one per column with ≥1 uncached prefix).
+    pub forwards: u64,
+    /// Rows pushed through the network (distinct uncached prefixes).
+    pub forward_rows: u64,
+    /// Live path-steps served from a node's cached conditionals.
+    pub cached_hits: u64,
+    /// Live path-steps deduped within the current batch (prefix already
+    /// queued for this forward).
+    pub dedup_hits: u64,
+}
+
+/// A trie over sampled-code prefixes; see the module docs.
+#[derive(Debug)]
+pub struct PrefixTrie {
+    nodes: Vec<TrieNode>,
+    cap: usize,
+    stats: TrieStats,
+}
+
+impl Default for PrefixTrie {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PrefixTrie {
+    /// An empty trie (root only) with the default node cap.
+    pub fn new() -> Self {
+        Self::with_node_cap(DEFAULT_NODE_CAP)
+    }
+
+    /// An empty trie whose node count never exceeds `cap` (min 1: the root).
+    pub fn with_node_cap(cap: usize) -> Self {
+        PrefixTrie {
+            nodes: vec![TrieNode::default()],
+            cap: cap.max(1),
+            stats: TrieStats::default(),
+        }
+    }
+
+    /// The root node (empty prefix).
+    pub(crate) fn root(&self) -> usize {
+        0
+    }
+
+    /// Node count (root included).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Cumulative cost counters.
+    pub fn stats(&self) -> TrieStats {
+        self.stats
+    }
+
+    /// Drop all cached prefixes and counters (keeps the cap).
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.nodes.push(TrieNode::default());
+        self.stats = TrieStats::default();
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut TrieStats {
+        &mut self.stats
+    }
+
+    /// Step from `node` along `code`, creating the child if the cap allows;
+    /// `OFF_TRIE` when the path falls off the trie.
+    pub(crate) fn child(&mut self, node: usize, code: u32) -> usize {
+        if node == OFF_TRIE {
+            return OFF_TRIE;
+        }
+        if let Some(&c) = self.nodes[node].children.get(&code) {
+            return c;
+        }
+        if self.nodes.len() >= self.cap {
+            return OFF_TRIE;
+        }
+        let c = self.nodes.len();
+        self.nodes.push(TrieNode::default());
+        self.nodes[node].children.insert(code, c);
+        c
+    }
+
+    /// Cached conditionals at `node`, if a forward pass already visited it.
+    pub(crate) fn probs(&self, node: usize) -> Option<&[f32]> {
+        if node == OFF_TRIE {
+            return None;
+        }
+        self.nodes[node].probs.as_deref()
+    }
+
+    /// Cache `probs` at `node` (first writer wins; later writes of the same
+    /// prefix would be bit-identical anyway).
+    pub(crate) fn set_probs(&mut self, node: usize, probs: &[f32]) {
+        if node != OFF_TRIE && self.nodes[node].probs.is_none() {
+            self.nodes[node].probs = Some(probs.into());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descend_creates_and_reuses_nodes() {
+        let mut t = PrefixTrie::new();
+        assert!(t.is_empty());
+        let a = t.child(t.root(), 3);
+        let b = t.child(t.root(), 3);
+        assert_eq!(a, b);
+        let c = t.child(a, 1);
+        assert_ne!(c, a);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn cap_sends_paths_off_trie() {
+        let mut t = PrefixTrie::with_node_cap(2);
+        let a = t.child(t.root(), 0);
+        assert_ne!(a, OFF_TRIE);
+        // Cap reached: new prefixes fall off, existing ones still resolve.
+        assert_eq!(t.child(t.root(), 1), OFF_TRIE);
+        assert_eq!(t.child(t.root(), 0), a);
+        assert_eq!(t.child(OFF_TRIE, 0), OFF_TRIE);
+    }
+
+    #[test]
+    fn probs_cache_first_writer_wins() {
+        let mut t = PrefixTrie::new();
+        let n = t.child(t.root(), 0);
+        assert!(t.probs(n).is_none());
+        t.set_probs(n, &[0.25, 0.75]);
+        t.set_probs(n, &[1.0, 0.0]);
+        assert_eq!(t.probs(n).unwrap(), &[0.25, 0.75]);
+        assert!(t.probs(OFF_TRIE).is_none());
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.stats(), TrieStats::default());
+    }
+}

@@ -1,0 +1,83 @@
+//! Acceptance lock for the shared prefix trie: estimating a workload over
+//! a trie that already saw it must be *strictly cheaper* than per-batch
+//! exact-prefix dedup, while returning bit-identical estimates.
+//!
+//! This is the only test in this binary on purpose: it asserts on the
+//! process-global `sam_obs` counters, which other tests would contaminate.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sam_ar::{
+    estimate_cardinality_batch_shared, ArModel, ArModelConfig, ArSchema, EncodingOptions,
+    PrefixTrie,
+};
+use sam_query::Query;
+use sam_storage::{paper_example, DatabaseStats};
+
+#[test]
+fn shared_trie_strictly_reduces_forward_count() {
+    let db = paper_example::figure3_database();
+    let stats = DatabaseStats::from_database(&db);
+    let schema = ArSchema::build(db.schema(), &stats, &[], &EncodingOptions::default()).unwrap();
+    let model = ArModel::new(schema, &ArModelConfig::default()).freeze();
+
+    let queries = [
+        Query::join(vec!["A".into(), "B".into()], vec![]),
+        Query::join(vec!["A".into(), "B".into(), "C".into()], vec![]),
+        Query::single("A", vec![]),
+    ];
+    let counts = [16usize, 48, 7];
+    let seeds = [101u64, 7, 3];
+    let requests: Vec<(&Query, usize)> = queries.iter().zip(counts).collect();
+    let fresh_rngs =
+        || -> Vec<StdRng> { seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect() };
+
+    let forward_counter = sam_obs::counter("sam_forward_total");
+    let trie_hit_counter = sam_obs::counter("sam_trie_hits_total");
+    let mut trie = PrefixTrie::new();
+
+    // Round 1: cold trie — every distinct prefix pays a forward row.
+    let before = forward_counter.get();
+    let first = estimate_cardinality_batch_shared(&model, &requests, &mut fresh_rngs(), &mut trie);
+    let cold_forwards = forward_counter.get() - before;
+    let cold_stats = trie.stats();
+    assert!(cold_forwards > 0, "cold batch must run forward passes");
+    assert_eq!(cold_stats.cached_hits, 0, "nothing cached before round 1");
+
+    // Round 2, same workload and seeds on the warm trie: identical sample
+    // paths, so every conditional is served from the cache — zero forwards,
+    // a strict reduction over within-batch dedup (which would pay
+    // `cold_forwards` again).
+    let before = forward_counter.get();
+    let hits_before = trie_hit_counter.get();
+    let second = estimate_cardinality_batch_shared(&model, &requests, &mut fresh_rngs(), &mut trie);
+    let warm_forwards = forward_counter.get() - before;
+    assert!(
+        warm_forwards < cold_forwards,
+        "warm trie must strictly reduce forwards ({warm_forwards} vs {cold_forwards})"
+    );
+    assert_eq!(
+        warm_forwards, 0,
+        "identical workload should be fully cached"
+    );
+    assert!(
+        trie_hit_counter.get() > hits_before,
+        "cache hits must surface on the obs registry"
+    );
+    assert_eq!(
+        trie.stats().forward_rows,
+        cold_stats.forward_rows,
+        "round 2 added no forward rows"
+    );
+    assert!(trie.stats().cached_hits > 0);
+
+    // Cached conditionals are bit-preserving: identical RNG streams over a
+    // warm trie reproduce the cold estimates exactly.
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(
+            a.as_ref().unwrap(),
+            b.as_ref().unwrap(),
+            "warm-trie estimate diverged"
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Inference-backend microbenchmarks: the f32 reference kernel vs the
+//! blocked half-precision kernel, at the raw forward level and end-to-end
+//! through progressive sampling, plus the prefix-trie sharing ablation
+//! (fresh trie per batch vs a warm persistent trie). Numbers from this
+//! bench feed the backend table in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sam_ar::{
+    estimate_cardinality, estimate_cardinality_batch, estimate_cardinality_batch_shared, ArModel,
+    ArModelConfig, ArSchema, EncodingOptions, PrefixTrie,
+};
+use sam_nn::{BackendKind, Made, MadeConfig, Matrix, ParamStore};
+use sam_query::{Query, WorkloadGenerator};
+use sam_storage::DatabaseStats;
+
+const BACKENDS: [BackendKind; 2] = [BackendKind::ReferenceF32, BackendKind::BlockedF16];
+
+/// Raw `FrozenMade::forward` throughput on a MADE big enough for the
+/// blocked kernel's cache behaviour to matter (width 520, hidden 256×2).
+fn bench_forward(c: &mut Criterion) {
+    let domains = vec![64usize, 128, 200, 128];
+    let width: usize = domains.iter().sum();
+    let mut store = ParamStore::new();
+    let made = Made::new(
+        MadeConfig::new(domains.clone(), vec![256, 256], 11),
+        &mut store,
+    );
+
+    // One-hot rows, like progressive sampling produces: mostly zero input,
+    // which the blocked kernel skips per 64-wide block.
+    let rows = 64;
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut input = Matrix::zeros(rows, width);
+    for r in 0..rows {
+        let mut off = 0;
+        for &d in &domains {
+            input.set(r, off + rng.gen_range(0..d), 1.0);
+            off += d;
+        }
+    }
+
+    let mut group = c.benchmark_group("frozen_forward_backend");
+    group.sample_size(30);
+    for kind in BACKENDS {
+        let frozen = made.freeze_with(&store, kind);
+        let mut out = Matrix::zeros(rows, width);
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, _| {
+            b.iter(|| frozen.forward_into(&input, &mut out))
+        });
+    }
+    group.finish();
+}
+
+fn census_model() -> (ArModel, Vec<Query>) {
+    let db = sam_datasets::census(2_000, 2);
+    let stats = DatabaseStats::from_database(&db);
+    let mut gen = WorkloadGenerator::new(&db, 2);
+    let queries = gen.single_workload("census", 64);
+    let schema =
+        ArSchema::build(db.schema(), &stats, &queries, &EncodingOptions::default()).unwrap();
+    let model = ArModel::new(
+        schema,
+        &ArModelConfig {
+            hidden: vec![64, 64],
+            seed: 2,
+            residual: false,
+            transformer: None,
+        },
+    );
+    (model, queries)
+}
+
+/// End-to-end estimate latency per backend: forward passes dominate, so
+/// this is the user-visible f32-vs-f16 number.
+fn bench_estimate(c: &mut Criterion) {
+    let (model, queries) = census_model();
+    let mut group = c.benchmark_group("estimate_backend");
+    group.sample_size(20);
+    for kind in BACKENDS {
+        let model = model.freeze().with_backend(kind);
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, _| {
+            let mut rng = StdRng::seed_from_u64(0);
+            b.iter(|| estimate_cardinality(&model, &queries[0], 256, &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Trie-sharing ablation: the same 8-query batch estimated with a fresh
+/// trie every call (within-batch dedup only) vs a persistent warm trie
+/// (cross-batch conditional reuse — the serving steady state).
+fn bench_trie_sharing(c: &mut Criterion) {
+    let (model, queries) = census_model();
+    let model = model.freeze();
+    let requests: Vec<(&Query, usize)> = queries.iter().take(8).map(|q| (q, 64)).collect();
+    let seeds: Vec<u64> = (0..requests.len() as u64).collect();
+    let fresh_rngs =
+        || -> Vec<StdRng> { seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect() };
+
+    let mut group = c.benchmark_group("batch_estimate_trie");
+    group.sample_size(20);
+    group.bench_function("fresh_trie", |b| {
+        b.iter(|| {
+            let mut rngs = fresh_rngs();
+            estimate_cardinality_batch(&model, &requests, &mut rngs)
+        })
+    });
+    group.bench_function("warm_trie", |b| {
+        let mut trie = PrefixTrie::new();
+        let mut rngs = fresh_rngs();
+        estimate_cardinality_batch_shared(&model, &requests, &mut rngs, &mut trie);
+        b.iter(|| {
+            let mut rngs = fresh_rngs();
+            estimate_cardinality_batch_shared(&model, &requests, &mut rngs, &mut trie)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_estimate, bench_trie_sharing);
+criterion_main!(benches);

@@ -1,0 +1,488 @@
+//! Pluggable frozen-inference runtime.
+//!
+//! Every serving-path estimate and every generated tuple funnels through a
+//! frozen forward pass, so this is where serving throughput lives. The
+//! [`InferenceBackend`] trait is the seam: a backend owns a frozen MADE-style
+//! layer stack (affine layers with optional residual skips, ReLU between,
+//! none after the last) and pushes a row-chunk of inputs through it into a
+//! caller-provided output buffer. Two implementations ship:
+//!
+//! * [`ReferenceF32`] — exactly the historical `FrozenMade::forward` loop,
+//!   bit-for-bit. It shares the effective f32 weights with the frozen handle
+//!   (no copy) and doubles as the parity oracle for every other backend.
+//! * [`BlockedF16`] — weights repacked at freeze time into column-major
+//!   blocks sized for the row-chunked loop and stored as IEEE 754 `binary16`
+//!   bits (no external crates). The inner kernel dequantises one block into
+//!   an f32 scratch tile and reuses it for every row of the chunk, so the
+//!   conversion cost amortises across the batch; input zeros (one-hot rows
+//!   are almost entirely zero) skip the whole tile row. Accumulation stays
+//!   in f32 — only the stored weights are half precision.
+//!
+//! Future backends (int8 quantisation, SIMD kernels) implement the same
+//! trait and plug into the identical seam.
+
+use crate::matrix::Matrix;
+use std::fmt;
+use std::sync::Arc;
+
+// ------------------------------------------------------------------ binary16
+
+/// Convert an `f32` to IEEE 754 `binary16` bits with round-to-nearest-even.
+/// Overflow saturates to ±inf; NaN maps to a quiet NaN.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Inf / NaN: keep NaN-ness (quiet bit set), drop the payload.
+        return if mant != 0 {
+            sign | 0x7e00
+        } else {
+            sign | 0x7c00
+        };
+    }
+    // Re-bias: f32 exponent −127, f16 exponent −15.
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7c00; // overflow → ±inf
+    }
+    if unbiased >= -14 {
+        // Normal f16. Mantissa 23 → 10 bits, round to nearest even.
+        let mant16 = mant >> 13;
+        let round_bits = mant & 0x1fff;
+        let mut out = sign | (((unbiased + 15) as u16) << 10) | mant16 as u16;
+        if round_bits > 0x1000 || (round_bits == 0x1000 && (mant16 & 1) != 0) {
+            out += 1; // carries ripple into the exponent correctly
+        }
+        return out;
+    }
+    if unbiased >= -25 {
+        // Subnormal f16: implicit leading 1 becomes explicit, shifted.
+        let full = mant | 0x0080_0000;
+        let shift = (-14 - unbiased) + 13;
+        let mant16 = full >> shift;
+        let round_bit = 1u32 << (shift - 1);
+        let round_bits = full & ((round_bit << 1) - 1);
+        let mut out = sign | mant16 as u16;
+        if round_bits > round_bit || (round_bits == round_bit && (mant16 & 1) != 0) {
+            out += 1;
+        }
+        return out;
+    }
+    sign // underflow → ±0
+}
+
+/// Convert IEEE 754 `binary16` bits back to `f32` (exact).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h as u32) & 0x8000) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let mant = (h & 0x03ff) as u32;
+    let bits = match (exp, mant) {
+        (0, 0) => sign,
+        (0, m) => {
+            // Subnormal (`m × 2⁻²⁴`): normalise so the leading 1 sits at
+            // bit 10, then re-bias into a normal f32.
+            let lead = m.leading_zeros() - 21; // zeros above bit 10
+            let m10 = m << lead; // in [2¹⁰, 2¹¹): value = 2^(−14−lead)·(m10/2¹⁰)
+            let exp32 = 127 - 14 - lead;
+            sign | (exp32 << 23) | ((m10 & 0x03ff) << 13)
+        }
+        (0x1f, 0) => sign | 0x7f80_0000,
+        (0x1f, m) => sign | 0x7f80_0000 | (m << 13) | 0x0040_0000,
+        (e, m) => sign | ((e + 127 - 15) << 23) | (m << 13),
+    };
+    f32::from_bits(bits)
+}
+
+/// The 64K-entry `binary16 → f32` decode table, built once per process.
+/// Dequantisation in the blocked kernel is a single indexed load.
+fn f16_table() -> &'static [f32; 1 << 16] {
+    static TABLE: std::sync::OnceLock<Box<[f32; 1 << 16]>> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = vec![0.0f32; 1 << 16].into_boxed_slice();
+        for (i, slot) in t.iter_mut().enumerate() {
+            *slot = f16_bits_to_f32(i as u16);
+        }
+        t.try_into().expect("exact length")
+    })
+}
+
+// ----------------------------------------------------------------- the seam
+
+/// Which inference backend a frozen model runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Bit-exact f32 reference kernels (the parity oracle).
+    ReferenceF32,
+    /// Column-major-blocked `binary16` weights with f32 accumulation.
+    BlockedF16,
+}
+
+impl BackendKind {
+    /// Stable identifier, used by persistence and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::ReferenceF32 => "f32",
+            BackendKind::BlockedF16 => "f16",
+        }
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "f32" | "reference" | "reference_f32" => Ok(BackendKind::ReferenceF32),
+            "f16" | "blocked" | "blocked_f16" => Ok(BackendKind::BlockedF16),
+            other => Err(format!("unknown backend {other:?} (expected f32|f16)")),
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The frozen layer stack a backend executes: effective (already masked)
+/// affine layers plus per-layer residual-skip flags. This is the canonical
+/// f32 form — persistence serialises it and every backend is derived from it.
+#[derive(Debug, Clone)]
+pub struct FrozenLayers {
+    /// Per layer: (effective weights `out×in`, bias `1×out`).
+    pub layers: Vec<(Matrix, Matrix)>,
+    /// Per layer: add the layer input to its output before the activation.
+    pub residual: Vec<bool>,
+}
+
+/// A frozen-inference backend: forwards a row-chunk of inputs through the
+/// frozen layer stack into a caller-provided output buffer.
+///
+/// Rows are independent sample paths, so implementations are free to chunk
+/// or reorder work per row as long as per-row arithmetic is preserved.
+pub trait InferenceBackend: Send + Sync + fmt::Debug {
+    /// Which backend this is.
+    fn kind(&self) -> BackendKind;
+
+    /// Forward `input` (rows × in_width) into `out` (rows × out_width).
+    /// Every element of `out` is overwritten.
+    fn forward_into(&self, input: &Matrix, out: &mut Matrix);
+}
+
+/// Build a backend of `kind` over `params`.
+pub fn build_backend(kind: BackendKind, params: &Arc<FrozenLayers>) -> Arc<dyn InferenceBackend> {
+    match kind {
+        BackendKind::ReferenceF32 => Arc::new(ReferenceF32::new(Arc::clone(params))),
+        BackendKind::BlockedF16 => Arc::new(BlockedF16::new(params)),
+    }
+}
+
+// -------------------------------------------------------------- ReferenceF32
+
+/// The historical `FrozenMade::forward` loop, unchanged: row-major
+/// `matmul_transb`, bias broadcast, optional residual, ReLU between layers.
+/// Shares the f32 weights with the frozen handle; bit-identical by
+/// construction and locked by parity tests.
+#[derive(Debug, Clone)]
+pub struct ReferenceF32 {
+    params: Arc<FrozenLayers>,
+}
+
+impl ReferenceF32 {
+    /// Wrap shared frozen layers.
+    pub fn new(params: Arc<FrozenLayers>) -> Self {
+        ReferenceF32 { params }
+    }
+}
+
+impl InferenceBackend for ReferenceF32 {
+    fn kind(&self) -> BackendKind {
+        BackendKind::ReferenceF32
+    }
+
+    fn forward_into(&self, input: &Matrix, out: &mut Matrix) {
+        let mut h = input.clone();
+        let last = self.params.layers.len() - 1;
+        for (i, (w, b)) in self.params.layers.iter().enumerate() {
+            let mut y = h.matmul_transb(w);
+            for r in 0..y.rows() {
+                let row = y.row_mut(r);
+                for (o, &bb) in row.iter_mut().zip(b.row(0)) {
+                    *o += bb;
+                }
+            }
+            if self.params.residual[i] {
+                y.add_assign(&h);
+            }
+            if i != last {
+                y = y.map(|v| v.max(0.0));
+            }
+            h = y;
+        }
+        assert_eq!(
+            (out.rows(), out.cols()),
+            (h.rows(), h.cols()),
+            "output buffer shape mismatch"
+        );
+        out.data_mut().copy_from_slice(h.data());
+    }
+}
+
+// --------------------------------------------------------------- BlockedF16
+
+/// Outputs per weight block (the vectorised inner-loop width).
+const JB: usize = 16;
+/// Inputs per weight block (the dequantised scratch depth).
+const KB: usize = 64;
+
+/// One layer repacked for the blocked kernel: `binary16` weights laid out
+/// block-by-block, column-major within the block — for each input `k` of a
+/// block, the `JB` output weights sit contiguously, so the row-update inner
+/// loop is a unit-stride fused multiply-add over the scratch tile.
+#[derive(Debug, Clone)]
+struct PackedLayer {
+    out_dim: usize,
+    in_dim: usize,
+    /// Block grid: `j_blocks × k_blocks` tiles of `KB×JB` half weights,
+    /// zero-padded at the edges.
+    data: Vec<u16>,
+    bias: Vec<f32>,
+    residual: bool,
+}
+
+impl PackedLayer {
+    fn pack(w: &Matrix, b: &Matrix, residual: bool) -> PackedLayer {
+        let (out_dim, in_dim) = (w.rows(), w.cols());
+        let jbn = out_dim.div_ceil(JB);
+        let kbn = in_dim.div_ceil(KB);
+        let mut data = vec![0u16; jbn * kbn * JB * KB];
+        for jb in 0..jbn {
+            for kb in 0..kbn {
+                let base = (jb * kbn + kb) * JB * KB;
+                for kl in 0..KB.min(in_dim - kb * KB) {
+                    let k = kb * KB + kl;
+                    for jl in 0..JB.min(out_dim - jb * JB) {
+                        let j = jb * JB + jl;
+                        data[base + kl * JB + jl] = f32_to_f16_bits(w.get(j, k));
+                    }
+                }
+            }
+        }
+        PackedLayer {
+            out_dim,
+            in_dim,
+            data,
+            bias: b.row(0).to_vec(),
+            residual,
+        }
+    }
+
+    /// `y = x @ W.T + bias` over the packed blocks; `y` must be
+    /// `x.rows() × out_dim` and is fully overwritten.
+    fn forward(&self, x: &Matrix, y: &mut Matrix, scratch: &mut [f32]) {
+        debug_assert_eq!(x.cols(), self.in_dim);
+        debug_assert_eq!((y.rows(), y.cols()), (x.rows(), self.out_dim));
+        let table = f16_table();
+        let rows = x.rows();
+        for r in 0..rows {
+            y.row_mut(r).copy_from_slice(&self.bias);
+        }
+        let jbn = self.out_dim.div_ceil(JB);
+        let kbn = self.in_dim.div_ceil(KB);
+        for jb in 0..jbn {
+            let j0 = jb * JB;
+            let jn = JB.min(self.out_dim - j0);
+            for kb in 0..kbn {
+                let k0 = kb * KB;
+                let kn = KB.min(self.in_dim - k0);
+                // Dequantise the tile once; every row of the chunk reuses it.
+                let block = &self.data[(jb * kbn + kb) * JB * KB..][..JB * KB];
+                for (s, &h) in scratch.iter_mut().zip(block) {
+                    *s = table[h as usize];
+                }
+                for r in 0..rows {
+                    let x_row = &x.row(r)[k0..k0 + kn];
+                    let y_row = &mut y.row_mut(r)[j0..j0 + jn];
+                    for (kl, &a) in x_row.iter().enumerate() {
+                        if a == 0.0 {
+                            continue; // one-hot / post-ReLU rows are sparse
+                        }
+                        let tile = &scratch[kl * JB..kl * JB + jn];
+                        for (o, &wv) in y_row.iter_mut().zip(tile) {
+                            *o += a * wv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Half-precision blocked backend: `binary16` storage, f32 accumulation,
+/// weight tiles dequantised once per row-chunk.
+#[derive(Debug, Clone)]
+pub struct BlockedF16 {
+    layers: Vec<PackedLayer>,
+}
+
+impl BlockedF16 {
+    /// Repack frozen f32 layers into blocked `binary16` form.
+    pub fn new(params: &FrozenLayers) -> Self {
+        let layers = params
+            .layers
+            .iter()
+            .zip(&params.residual)
+            .map(|((w, b), &residual)| PackedLayer::pack(w, b, residual))
+            .collect();
+        BlockedF16 { layers }
+    }
+}
+
+impl InferenceBackend for BlockedF16 {
+    fn kind(&self) -> BackendKind {
+        BackendKind::BlockedF16
+    }
+
+    fn forward_into(&self, input: &Matrix, out: &mut Matrix) {
+        let rows = input.rows();
+        let last = self.layers.len() - 1;
+        let mut scratch = [0.0f32; JB * KB];
+        let mut h = input.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut y = if i == last {
+                // Write the final layer straight into the caller's buffer.
+                std::mem::replace(out, Matrix::zeros(0, 0))
+            } else {
+                Matrix::zeros(rows, layer.out_dim)
+            };
+            layer.forward(&h, &mut y, &mut scratch);
+            if layer.residual {
+                y.add_assign(&h);
+            }
+            if i != last {
+                y = y.map(|v| v.max(0.0));
+                h = y;
+            } else {
+                *out = y;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_round_trips_representable_values() {
+        for &x in &[0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0] {
+            assert_eq!(f16_bits_to_f32(f32_to_f16_bits(x)), x, "{x}");
+        }
+        // Every f16 bit pattern decodes and re-encodes to itself (finite
+        // values; NaN payloads are normalised to one quiet NaN).
+        for bits in 0u16..=0xffff {
+            let x = f16_bits_to_f32(bits);
+            if x.is_nan() {
+                assert!(f16_bits_to_f32(f32_to_f16_bits(x)).is_nan());
+            } else {
+                assert_eq!(f32_to_f16_bits(x), bits, "bits {bits:#06x} ({x})");
+            }
+        }
+    }
+
+    #[test]
+    fn f16_conversion_error_is_bounded() {
+        // Relative error of a single f32→f16 round trip is at most 2^-11
+        // for normal values.
+        let mut x = 6.1e-5f32; // just above the f16 normal threshold
+        while x < 6.0e4 {
+            for v in [x, -x] {
+                let rt = f16_bits_to_f32(f32_to_f16_bits(v));
+                assert!(
+                    ((rt - v) / v).abs() <= 1.0 / 2048.0,
+                    "{v} → {rt}: relative error too large"
+                );
+            }
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn f16_handles_specials() {
+        assert_eq!(f32_to_f16_bits(f32::INFINITY), 0x7c00);
+        assert_eq!(f32_to_f16_bits(f32::NEG_INFINITY), 0xfc00);
+        assert_eq!(f32_to_f16_bits(1e10), 0x7c00, "overflow saturates to inf");
+        assert_eq!(f32_to_f16_bits(1e-10), 0x0000, "underflow flushes to zero");
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+        // Subnormal f16 (smallest positive: 2^-24).
+        let tiny = 5.960_464_5e-8f32;
+        assert_eq!(f32_to_f16_bits(tiny), 0x0001);
+        assert_eq!(f16_bits_to_f32(0x0001), tiny);
+    }
+
+    fn layer_stack(seed: u64, dims: &[(usize, usize)]) -> Arc<FrozenLayers> {
+        // Deterministic pseudo-random weights without pulling in rand here.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f32 / (1u64 << 53) as f32) * 2.0 - 0.5
+        };
+        let layers = dims
+            .iter()
+            .map(|&(out, inp)| {
+                (
+                    Matrix::from_fn(out, inp, |_, _| next()),
+                    Matrix::from_fn(1, out, |_, _| next()),
+                )
+            })
+            .collect::<Vec<_>>();
+        Arc::new(FrozenLayers {
+            residual: vec![false; layers.len()],
+            layers,
+        })
+    }
+
+    #[test]
+    fn blocked_f16_tracks_reference_within_tolerance() {
+        let params = layer_stack(3, &[(50, 37), (50, 50), (37, 50)]);
+        let reference = ReferenceF32::new(Arc::clone(&params));
+        let blocked = BlockedF16::new(&params);
+        let input = Matrix::from_fn(9, 37, |r, c| if (r + c) % 3 == 0 { 0.0 } else { 0.3 });
+        let mut a = Matrix::zeros(9, 37);
+        let mut b = Matrix::zeros(9, 37);
+        reference.forward_into(&input, &mut a);
+        blocked.forward_into(&input, &mut b);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            let scale = x.abs().max(1.0);
+            assert!(
+                (x - y).abs() / scale < 2e-2,
+                "f16 diverged: {x} vs {y} (rel {})",
+                (x - y).abs() / scale
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_f16_handles_residual_and_ragged_dims() {
+        // Dims deliberately not multiples of the block sizes; middle layer
+        // residual.
+        let mut params = (*layer_stack(9, &[(70, 23), (70, 70), (23, 70)])).clone();
+        params.residual[1] = true;
+        let params = Arc::new(params);
+        let reference = ReferenceF32::new(Arc::clone(&params));
+        let blocked = BlockedF16::new(&params);
+        let input = Matrix::from_fn(130, 23, |r, c| if (r * 7 + c) % 5 == 0 { 0.7 } else { 0.0 });
+        let mut a = Matrix::zeros(130, 23);
+        let mut b = Matrix::zeros(130, 23);
+        reference.forward_into(&input, &mut a);
+        blocked.forward_into(&input, &mut b);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() / x.abs().max(1.0) < 2e-2, "{x} vs {y}");
+        }
+    }
+}

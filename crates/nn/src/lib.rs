@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod gumbel;
 pub mod made;
 pub mod matrix;
@@ -16,6 +17,10 @@ pub mod optim;
 pub mod tape;
 pub mod transformer;
 
+pub use backend::{
+    f16_bits_to_f32, f32_to_f16_bits, BackendKind, BlockedF16, FrozenLayers, InferenceBackend,
+    ReferenceF32,
+};
 pub use gumbel::{gumbel_noise, gumbel_softmax, log_mask, NEG_LARGE};
 pub use made::{BoundMade, FrozenMade, Made, MadeConfig};
 pub use matrix::Matrix;

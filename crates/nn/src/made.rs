@@ -7,12 +7,14 @@
 //! `< i`, so `softmax(logits_i)` is `P(X_i | x_{<i})` and their chain product
 //! is the joint (Eq 3 of the paper, no independence assumptions).
 
+use crate::backend::{build_backend, BackendKind, FrozenLayers, InferenceBackend};
 use crate::matrix::Matrix;
 use crate::optim::{ParamId, ParamStore};
 use crate::tape::{Tape, Var};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Architecture hyperparameters.
 #[derive(Debug, Clone)]
@@ -185,8 +187,15 @@ impl Made {
         BoundMade { made: self, vars }
     }
 
-    /// Snapshot the effective (masked) weights for fast inference/sampling.
+    /// Snapshot the effective (masked) weights for fast inference/sampling
+    /// on the bit-exact [`BackendKind::ReferenceF32`] runtime.
     pub fn freeze(&self, store: &ParamStore) -> FrozenMade {
+        self.freeze_with(store, BackendKind::ReferenceF32)
+    }
+
+    /// Snapshot onto a chosen inference backend (the weights are repacked at
+    /// freeze time; see [`crate::backend`]).
+    pub fn freeze_with(&self, store: &ParamStore, kind: BackendKind) -> FrozenMade {
         let layers = self
             .layers
             .iter()
@@ -195,13 +204,14 @@ impl Made {
                 (eff, store.value(l.b).clone())
             })
             .collect();
-        FrozenMade {
-            layers,
-            residual: self.layers.iter().map(|l| l.residual).collect(),
-            offsets: self.offsets.clone(),
-            domain_sizes: self.config.domain_sizes.clone(),
-            total_width: self.total_width,
-        }
+        FrozenMade::assemble(
+            Arc::new(FrozenLayers {
+                layers,
+                residual: self.layers.iter().map(|l| l.residual).collect(),
+            }),
+            self.config.domain_sizes.clone(),
+            kind,
+        )
     }
 }
 
@@ -246,35 +256,45 @@ impl<'m> BoundMade<'m> {
 
 /// An immutable snapshot of a trained MADE for inference and sampling
 /// (`Send + Sync`; safe to share across sampling threads).
+///
+/// A thin handle: the canonical f32 layer stack lives in a shared
+/// [`FrozenLayers`], and every forward pass is executed by the attached
+/// [`InferenceBackend`] — the bit-exact f32 reference by default, or a
+/// repacked kernel chosen at freeze/load time (see [`crate::backend`]).
 #[derive(Debug, Clone)]
 pub struct FrozenMade {
-    /// Per layer: (effective masked weights `out×in`, bias `1×out`).
-    layers: Vec<(Matrix, Matrix)>,
-    /// Per layer: residual skip flag.
-    residual: Vec<bool>,
+    /// Canonical effective (masked) weights — persistence and parity oracle.
+    params: Arc<FrozenLayers>,
+    /// The kernel executing forward passes.
+    backend: Arc<dyn InferenceBackend>,
     offsets: Vec<usize>,
     domain_sizes: Vec<usize>,
     total_width: usize,
 }
 
 impl FrozenMade {
-    /// Reassemble from raw parts (model deserialisation). `layers` hold the
-    /// *effective* (already masked) weights.
-    pub fn from_parts(layers: Vec<(Matrix, Matrix)>, domain_sizes: Vec<usize>) -> Self {
+    fn assemble(params: Arc<FrozenLayers>, domain_sizes: Vec<usize>, kind: BackendKind) -> Self {
         let mut offsets = Vec::with_capacity(domain_sizes.len());
         let mut total = 0usize;
         for &d in &domain_sizes {
             offsets.push(total);
             total += d;
         }
-        let residual = vec![false; layers.len()];
+        let backend = build_backend(kind, &params);
         FrozenMade {
-            layers,
-            residual,
+            params,
+            backend,
             offsets,
             domain_sizes,
             total_width: total,
         }
+    }
+
+    /// Reassemble from raw parts (model deserialisation). `layers` hold the
+    /// *effective* (already masked) weights.
+    pub fn from_parts(layers: Vec<(Matrix, Matrix)>, domain_sizes: Vec<usize>) -> Self {
+        let residual = vec![false; layers.len()];
+        Self::from_parts_residual(layers, residual, domain_sizes)
     }
 
     /// Reassemble with per-layer residual flags (ResMADE deserialisation).
@@ -283,20 +303,36 @@ impl FrozenMade {
         residual: Vec<bool>,
         domain_sizes: Vec<usize>,
     ) -> Self {
-        let mut out = Self::from_parts(layers, domain_sizes);
-        assert_eq!(residual.len(), out.layers.len());
-        out.residual = residual;
+        assert_eq!(residual.len(), layers.len());
+        Self::assemble(
+            Arc::new(FrozenLayers { layers, residual }),
+            domain_sizes,
+            BackendKind::ReferenceF32,
+        )
+    }
+
+    /// The same model re-hosted on a different inference backend (weights
+    /// are repacked from the canonical f32 stack; cheap for f32, one-time
+    /// quantisation cost for f16).
+    pub fn with_backend(&self, kind: BackendKind) -> FrozenMade {
+        let mut out = self.clone();
+        out.backend = build_backend(kind, &self.params);
         out
+    }
+
+    /// Which backend executes this model's forward passes.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
     }
 
     /// Per-layer residual flags.
     pub fn residual_flags(&self) -> &[bool] {
-        &self.residual
+        &self.params.residual
     }
 
     /// The effective (masked) layer weights and biases.
     pub fn layers(&self) -> &[(Matrix, Matrix)] {
-        &self.layers
+        &self.params.layers
     }
 
     /// Number of modelled columns.
@@ -321,25 +357,16 @@ impl FrozenMade {
 
     /// Forward pass: `input` (batch × total_width) → logits.
     pub fn forward(&self, input: &Matrix) -> Matrix {
-        let mut h = input.clone();
-        let last = self.layers.len() - 1;
-        for (i, (w, b)) in self.layers.iter().enumerate() {
-            let mut y = h.matmul_transb(w);
-            for r in 0..y.rows() {
-                let row = y.row_mut(r);
-                for (o, &bb) in row.iter_mut().zip(b.row(0)) {
-                    *o += bb;
-                }
-            }
-            if self.residual[i] {
-                y.add_assign(&h);
-            }
-            if i != last {
-                y = y.map(|v| v.max(0.0));
-            }
-            h = y;
-        }
-        h
+        let mut out = Matrix::zeros(input.rows(), self.total_width);
+        self.backend.forward_into(input, &mut out);
+        out
+    }
+
+    /// Forward pass into a caller-provided logits buffer
+    /// (`input.rows() × total_width`), avoiding the output allocation on
+    /// hot sampling loops. Every element of `out` is overwritten.
+    pub fn forward_into(&self, input: &Matrix, out: &mut Matrix) {
+        self.backend.forward_into(input, out);
     }
 
     /// Row-wise softmax of column `i`'s logit block.

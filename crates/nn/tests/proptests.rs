@@ -1,14 +1,72 @@
 //! Property-based tests for the neural substrate: algebraic identities of
-//! the matrix kernels, randomized gradient checks of the tape, and MADE's
-//! autoregressive invariant under random configurations.
+//! the matrix kernels, randomized gradient checks of the tape, MADE's
+//! autoregressive invariant under random configurations, and inference
+//! backend parity (the `ReferenceF32` bit-match lock and the `BlockedF16`
+//! tolerance bound).
 
 use proptest::prelude::*;
-use sam_nn::{Made, MadeConfig, Matrix, ParamStore, Tape};
+use sam_nn::{BackendKind, FrozenMade, Made, MadeConfig, Matrix, ParamStore, Tape};
 use std::rc::Rc;
 
 fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     prop::collection::vec(-2.0f32..2.0, rows * cols)
         .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// The pre-refactor `FrozenMade::forward` loop, kept verbatim as the oracle
+/// the `ReferenceF32` backend must bit-match forever.
+fn legacy_forward(frozen: &FrozenMade, input: &Matrix) -> Matrix {
+    let mut h = input.clone();
+    let last = frozen.layers().len() - 1;
+    for (i, (w, b)) in frozen.layers().iter().enumerate() {
+        let mut y = h.matmul_transb(w);
+        for r in 0..y.rows() {
+            let row = y.row_mut(r);
+            for (o, &bb) in row.iter_mut().zip(b.row(0)) {
+                *o += bb;
+            }
+        }
+        if frozen.residual_flags()[i] {
+            y.add_assign(&h);
+        }
+        if i != last {
+            y = y.map(|v| v.max(0.0));
+        }
+        h = y;
+    }
+    h
+}
+
+/// A random frozen MADE plus a batch of random one-hot-ish inputs.
+fn random_frozen(
+    domains: &[usize],
+    hidden: Vec<usize>,
+    seed: u64,
+    residual: bool,
+) -> (FrozenMade, Matrix) {
+    let mut store = ParamStore::new();
+    let made = Made::new(
+        MadeConfig {
+            domain_sizes: domains.to_vec(),
+            hidden,
+            seed,
+            residual,
+        },
+        &mut store,
+    );
+    let frozen = made.freeze(&store);
+    let width = frozen.total_width();
+    let mut input = Matrix::zeros(37, width);
+    // One-hot rows with a seeded spread, like real sampling prefixes.
+    for r in 0..input.rows() {
+        for (i, &d) in domains.iter().enumerate() {
+            if (r + i) % 3 != 0 {
+                let code = (r * 31 + i * 17 + seed as usize) % d;
+                input.set(r, frozen.offset(i) + code, 1.0);
+            }
+        }
+    }
+    (frozen, input)
 }
 
 proptest! {
@@ -117,6 +175,56 @@ proptest! {
                     "column {} leaked into column {}", j, i
                 );
             }
+        }
+    }
+
+    /// `ReferenceF32` bit-matches the pre-refactor forward loop and stays
+    /// within float tolerance of the tape-bound training forward, and
+    /// `BlockedF16` stays within its half-precision tolerance — all on
+    /// random model shapes, seeds, and residual settings.
+    #[test]
+    fn backend_parity(
+        domains in prop::collection::vec(2usize..5, 2..5),
+        hidden in 6usize..20,
+        seed in 0u64..1000,
+        residual in any::<bool>(),
+    ) {
+        let (frozen, input) = random_frozen(&domains, vec![hidden, hidden], seed, residual);
+        let reference = frozen.forward(&input);
+
+        // (a) ReferenceF32 is bit-exact against the legacy loop.
+        let legacy = legacy_forward(&frozen, &input);
+        for (x, y) in reference.data().iter().zip(legacy.data()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+
+        // (b) Matches the tape-bound training forward within float tolerance.
+        let mut store = ParamStore::new();
+        let made = Made::new(
+            MadeConfig {
+                domain_sizes: domains.clone(),
+                hidden: vec![hidden, hidden],
+                seed,
+                residual,
+            },
+            &mut store,
+        );
+        let mut tape = Tape::new();
+        let bound = made.bind(&mut tape, &store);
+        let x = tape.leaf(input.clone());
+        let logits = bound.forward(&mut tape, x);
+        let tape_out = tape.value(logits);
+        for (x, y) in reference.data().iter().zip(tape_out.data()) {
+            prop_assert!((x - y).abs() < 1e-4, "reference {} vs tape {}", x, y);
+        }
+
+        // (c) BlockedF16 within relative half-precision tolerance.
+        let f16 = frozen.with_backend(BackendKind::BlockedF16);
+        prop_assert_eq!(f16.backend_kind(), BackendKind::BlockedF16);
+        let half = f16.forward(&input);
+        for (x, y) in reference.data().iter().zip(half.data()) {
+            let tol = 2e-2 * (1.0 + x.abs());
+            prop_assert!((x - y).abs() <= tol, "f32 {} vs f16 {}", x, y);
         }
     }
 

@@ -77,6 +77,27 @@ impl Query {
             .map(|p| (p.table.as_str(), p.column.as_str()))
             .collect()
     }
+
+    /// Deterministic canonical rendering, for use as a cache key.
+    ///
+    /// Incidental orderings are sorted away — the table list and the
+    /// predicate conjunction are order-insensitive for a conjunctive query
+    /// (the join closure and the per-column sampling rules come out the
+    /// same) — so syntactically different spellings of one query share a
+    /// key. Unlike [`fmt::Display`], this string is not meant to be parsed
+    /// back.
+    pub fn canonical_string(&self) -> String {
+        let mut tables: Vec<&str> = self.tables.iter().map(String::as_str).collect();
+        tables.sort_unstable();
+        tables.dedup();
+        let mut preds: Vec<String> = self.predicates.iter().map(|p| p.to_string()).collect();
+        preds.sort_unstable();
+        if preds.is_empty() {
+            format!("F {}", tables.join(","))
+        } else {
+            format!("F {} W {}", tables.join(","), preds.join(" AND "))
+        }
+    }
 }
 
 impl fmt::Display for Query {
@@ -178,6 +199,27 @@ mod tests {
             q.to_string(),
             "SELECT COUNT(*) FROM T WHERE T.a <= 5 AND T.b = 'x'"
         );
+    }
+
+    #[test]
+    fn canonical_string_is_order_insensitive() {
+        let a = Query::join(
+            vec!["B".into(), "A".into()],
+            vec![
+                Predicate::compare("B", "y", CompareOp::Eq, 1i64),
+                Predicate::compare("A", "a", CompareOp::Le, 5i64),
+            ],
+        );
+        let b = Query::join(
+            vec!["A".into(), "B".into()],
+            vec![
+                Predicate::compare("A", "a", CompareOp::Le, 5i64),
+                Predicate::compare("B", "y", CompareOp::Eq, 1i64),
+            ],
+        );
+        assert_eq!(a.canonical_string(), b.canonical_string());
+        let c = Query::join(vec!["A".into(), "B".into()], vec![]);
+        assert_ne!(a.canonical_string(), c.canonical_string());
     }
 
     #[test]

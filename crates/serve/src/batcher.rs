@@ -5,10 +5,13 @@
 //! never an unbounded backlog. A pool of worker threads drains the queue:
 //! each worker blocks for one request, then opportunistically drains up to
 //! `max_batch - 1` more without waiting, groups the drained requests by model,
-//! and runs one batched progressive-sampling pass per group
-//! ([`sam_ar::estimate_cardinality_batch`]). Batched estimates are
-//! bit-identical to sequential ones (each request keeps its own seeded RNG),
-//! so batching is invisible to clients except in throughput.
+//! and runs one batched progressive-sampling pass per group over the model
+//! entry's shared prefix trie
+//! ([`sam_ar::estimate_cardinality_batch_shared`]), so conditionals cached
+//! by earlier batches of the same model version are reused. Batched
+//! estimates are bit-identical to sequential ones (each request keeps its
+//! own seeded RNG), so batching is invisible to clients except in
+//! throughput.
 //!
 //! Shutdown: dropping the sender side lets workers finish draining whatever
 //! is queued, then exit on channel disconnect.
@@ -18,7 +21,7 @@ use crate::metrics::ServeMetrics;
 use crate::registry::ModelEntry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sam_ar::estimate_cardinality_batch;
+use sam_ar::estimate_cardinality_batch_shared;
 use sam_query::Query;
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
@@ -163,7 +166,14 @@ fn run_group(group: Vec<EstimateJob>, metrics: &ServeMetrics) {
             .iter()
             .map(|j| StdRng::seed_from_u64(j.seed))
             .collect();
-        estimate_cardinality_batch(group[0].entry.trained.model(), &requests, &mut rngs)
+        let entry = &group[0].entry;
+        // The entry's trie persists across batches of this model version,
+        // so conditionals computed for earlier requests are reused here
+        // (bit-identical results, strictly fewer forward passes). Holding
+        // the lock across the pass serialises same-version groups; distinct
+        // versions still estimate concurrently.
+        let mut trie = entry.trie.lock().unwrap_or_else(|e| e.into_inner());
+        estimate_cardinality_batch_shared(entry.trained.model(), &requests, &mut rngs, &mut trie)
     };
     metrics.batches.inc();
     metrics.batched_requests.add(batch_size as u64);

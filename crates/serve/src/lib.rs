@@ -19,8 +19,12 @@
 //!   running jobs.
 
 #![warn(missing_docs)]
+// The vendored `json!` macro expands recursively per key; the estimate
+// response document overflows the default limit.
+#![recursion_limit = "256"]
 
 pub mod batcher;
+pub mod cache;
 pub mod error;
 pub mod http;
 pub mod jobs;
@@ -29,6 +33,7 @@ pub mod registry;
 pub mod server;
 
 pub use batcher::{BatchReply, Batcher, EstimateJob};
+pub use cache::{EstimateCache, EstimateKey};
 pub use error::ServeError;
 pub use jobs::{JobRecord, JobRegistry, JobState};
 pub use metrics::ServeMetrics;

@@ -39,6 +39,11 @@ pub struct ServeMetrics {
     /// Running mean batch size (batched_requests / batches; 0 until the
     /// first batch). Updated by the workers after every batch.
     pub mean_batch_size: Arc<Gauge>,
+    /// `/estimate` calls answered from the LRU estimate cache (no batcher
+    /// round trip).
+    pub cache_hits: Arc<Counter>,
+    /// `/estimate` calls that missed the cache and went to the batcher.
+    pub cache_misses: Arc<Counter>,
     /// Generation jobs accepted.
     pub jobs_started: Arc<Counter>,
     /// Generation jobs that reached a terminal state.
@@ -59,6 +64,8 @@ impl Default for ServeMetrics {
             batches: registry.counter("sam_batches_total"),
             batched_requests: registry.counter("sam_batched_requests_total"),
             mean_batch_size: registry.gauge("sam_mean_batch_size"),
+            cache_hits: registry.counter("sam_estimate_cache_hits_total"),
+            cache_misses: registry.counter("sam_estimate_cache_misses_total"),
             jobs_started: registry.counter("sam_jobs_started_total"),
             jobs_finished: registry.counter("sam_jobs_finished_total"),
             estimate_latency: registry.histogram("sam_estimate_latency_seconds"),
@@ -85,6 +92,8 @@ impl ServeMetrics {
             "batches": batches,
             "batched_requests": batched,
             "mean_batch_size": if batches == 0 { 0.0 } else { batched as f64 / batches as f64 },
+            "cache_hits": self.cache_hits.get(),
+            "cache_misses": self.cache_misses.get(),
             "jobs_started": self.jobs_started.get(),
             "jobs_finished": self.jobs_finished.get(),
             "estimate_latency_ms": {

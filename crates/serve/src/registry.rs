@@ -6,10 +6,11 @@
 //! per-name and bump on every swap, letting clients detect reloads.
 
 use crate::error::ServeError;
-use sam_ar::TrainReport;
+use sam_ar::{PrefixTrie, TrainReport};
 use sam_core::{Sam, TrainedSam};
+use sam_nn::BackendKind;
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// One registered model version.
 pub struct ModelEntry {
@@ -19,6 +20,13 @@ pub struct ModelEntry {
     pub version: u64,
     /// The trained pipeline (shared with in-flight requests and jobs).
     pub trained: Arc<TrainedSam>,
+    /// Shared sampled-prefix trie for this exact model version: batched
+    /// estimates reuse conditionals cached by earlier batches
+    /// ([`sam_ar::estimate_cardinality_batch_shared`]). Living on the entry
+    /// means a hot swap starts a fresh trie — a version bump is the only
+    /// invalidation needed, because cached conditionals are pure functions
+    /// of this version's weights.
+    pub trie: Mutex<PrefixTrie>,
 }
 
 impl ModelEntry {
@@ -37,12 +45,26 @@ impl ModelEntry {
 #[derive(Default)]
 pub struct ModelRegistry {
     inner: RwLock<HashMap<String, Arc<ModelEntry>>>,
+    /// Inference backend forced onto every loaded model; `None` honours the
+    /// backend recorded in each checkpoint.
+    backend_override: Option<BackendKind>,
 }
 
 impl ModelRegistry {
-    /// Empty registry.
+    /// Empty registry honouring each checkpoint's recorded backend.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty registry that re-targets every model loaded through
+    /// [`load_file`](Self::load_file) onto `backend` (the server's
+    /// `--backend` flag). Models inserted programmatically keep whatever
+    /// backend they were frozen with.
+    pub fn with_backend_override(backend: Option<BackendKind>) -> Self {
+        ModelRegistry {
+            inner: RwLock::default(),
+            backend_override: backend,
+        }
     }
 
     /// Register (or hot-swap) `trained` under `name`; returns the new version.
@@ -55,6 +77,7 @@ impl ModelRegistry {
                 name: name.to_string(),
                 version,
                 trained: Arc::new(trained),
+                trie: Mutex::new(PrefixTrie::new()),
             }),
         );
         version
@@ -69,6 +92,10 @@ impl ModelRegistry {
             .map_err(|e| ServeError::BadRequest(format!("cannot read model file {path}: {e}")))?;
         let (model, db_schema) = sam_ar::load_model(&text)
             .map_err(|e| ServeError::BadRequest(format!("cannot load model {path}: {e}")))?;
+        let model = match self.backend_override {
+            Some(kind) => model.with_backend(kind),
+            None => model,
+        };
         // Persisted models carry no training telemetry; serve with an empty report.
         let report = TrainReport {
             epoch_losses: Vec::new(),

@@ -21,12 +21,14 @@
 //! state before [`Server::shutdown`] returns).
 
 use crate::batcher::{Batcher, EstimateJob};
+use crate::cache::{EstimateCache, EstimateKey};
 use crate::error::ServeError;
 use crate::http::{self, Request};
 use crate::jobs::JobRegistry;
 use crate::metrics::ServeMetrics;
 use crate::registry::ModelRegistry;
 use sam_core::{GenerationConfig, JoinKeyStrategy};
+use sam_nn::BackendKind;
 use sam_query::parse_query;
 use serde_json::{json, Value};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -59,6 +61,11 @@ pub struct ServeConfig {
     pub default_samples: usize,
     /// Per-request deadline when the request omits `timeout_ms`.
     pub default_timeout_ms: u64,
+    /// LRU estimate-cache entries (0 disables the cache).
+    pub cache_capacity: usize,
+    /// Force every model loaded over HTTP onto this inference backend;
+    /// `None` honours each checkpoint's recorded backend.
+    pub backend: Option<BackendKind>,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +77,8 @@ impl Default for ServeConfig {
             max_batch: 16,
             default_samples: 200,
             default_timeout_ms: 10_000,
+            cache_capacity: 1024,
+            backend: None,
         }
     }
 }
@@ -80,6 +89,9 @@ struct ServerState {
     jobs: JobRegistry,
     metrics: Arc<ServeMetrics>,
     batcher: Batcher,
+    /// Completed estimates keyed on (model, version, canonical query,
+    /// samples, seed); consulted before the batcher.
+    cache: EstimateCache,
     shutting_down: AtomicBool,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
     /// Monotonic per-request trace id, attached to span output (and the
@@ -109,12 +121,15 @@ impl Server {
             config.max_batch,
             Arc::clone(&metrics),
         );
+        let cache = EstimateCache::new(config.cache_capacity);
+        let registry = ModelRegistry::with_backend_override(config.backend);
         let state = Arc::new(ServerState {
             config,
-            registry: ModelRegistry::new(),
+            registry,
             jobs: JobRegistry::new(),
             metrics,
             batcher,
+            cache,
             shutting_down: AtomicBool::new(false),
             conn_threads: Mutex::new(Vec::new()),
             next_trace_id: AtomicU64::new(0),
@@ -348,6 +363,34 @@ fn run_estimate(
     let query =
         parse_query(sql).map_err(|e| ServeError::BadRequest(format!("invalid SQL: {e}")))?;
 
+    // Estimation is deterministic in this key, so a cached answer is the
+    // answer; the version component makes hot swaps self-invalidating.
+    let cache_key = EstimateKey {
+        model: entry.name.clone(),
+        version: entry.version,
+        query: query.canonical_string(),
+        samples,
+        seed,
+    };
+    if let Some(estimate) = state.cache.get(&cache_key) {
+        state.metrics.cache_hits.inc();
+        let trace_id = sam_obs::current_trace_id().map_or(Value::Null, |id| json!(id));
+        return Ok((
+            200,
+            json!({
+                "model": entry.name.clone(),
+                "model_version": entry.version,
+                "estimate": estimate,
+                "samples": samples,
+                "batch_size": 0,
+                "cached": true,
+                "latency_ms": started.elapsed().as_secs_f64() * 1e3,
+                "trace_id": trace_id,
+            }),
+        ));
+    }
+    state.metrics.cache_misses.inc();
+
     let deadline = started + Duration::from_millis(timeout_ms);
     let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
     state.batcher.submit(EstimateJob {
@@ -369,6 +412,7 @@ fn run_estimate(
         }
     };
     let estimate = reply.result?;
+    state.cache.insert(cache_key, estimate);
     let trace_id = sam_obs::current_trace_id().map_or(Value::Null, |id| json!(id));
     Ok((
         200,
@@ -378,6 +422,7 @@ fn run_estimate(
             "estimate": estimate,
             "samples": samples,
             "batch_size": reply.batch_size,
+            "cached": false,
             "latency_ms": started.elapsed().as_secs_f64() * 1e3,
             "trace_id": trace_id,
         }),

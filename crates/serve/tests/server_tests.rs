@@ -235,6 +235,122 @@ fn hot_swap_bumps_version_without_downtime() {
 }
 
 #[test]
+fn repeated_estimate_is_served_from_cache() {
+    let server = start_server(ServeConfig::default());
+    let addr = server.addr();
+    let body = r#"{"model": "demo", "sql": "SELECT COUNT(*) FROM A, B", "samples": 64, "seed": 5}"#;
+
+    let (status, first) = http(addr, "POST", "/estimate", body);
+    assert_eq!(status, 200, "{first:?}");
+    assert_eq!(first.get("cached").and_then(Value::as_bool), Some(false));
+    let estimate = first.get("estimate").and_then(Value::as_f64).unwrap();
+
+    let (status, second) = http(addr, "POST", "/estimate", body);
+    assert_eq!(status, 200);
+    assert_eq!(second.get("cached").and_then(Value::as_bool), Some(true));
+    assert_eq!(second.get("batch_size").and_then(Value::as_u64), Some(0));
+    assert_eq!(
+        second.get("estimate").and_then(Value::as_f64),
+        Some(estimate),
+        "cached answer must equal the computed one"
+    );
+
+    // A different seed is a different key — computed, not served stale.
+    let other =
+        r#"{"model": "demo", "sql": "SELECT COUNT(*) FROM A, B", "samples": 64, "seed": 6}"#;
+    let (_, third) = http(addr, "POST", "/estimate", other);
+    assert_eq!(third.get("cached").and_then(Value::as_bool), Some(false));
+
+    let (_, metrics) = http(addr, "GET", "/metrics", "");
+    assert_eq!(metrics.get("cache_hits").and_then(Value::as_u64), Some(1));
+    assert_eq!(metrics.get("cache_misses").and_then(Value::as_u64), Some(2));
+
+    // Hot swap bumps the version, which invalidates every old cache key.
+    server.registry().insert("demo", tiny_model(9));
+    let (_, after_swap) = http(addr, "POST", "/estimate", body);
+    assert_eq!(
+        after_swap.get("cached").and_then(Value::as_bool),
+        Some(false),
+        "swap must not serve the old version's estimate"
+    );
+    assert_eq!(
+        after_swap.get("model_version").and_then(Value::as_u64),
+        Some(2)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn zero_capacity_disables_estimate_cache() {
+    let server = start_server(ServeConfig {
+        cache_capacity: 0,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let body = r#"{"model": "demo", "sql": "SELECT COUNT(*) FROM A", "samples": 32, "seed": 1}"#;
+    let (_, first) = http(addr, "POST", "/estimate", body);
+    let (_, second) = http(addr, "POST", "/estimate", body);
+    assert_eq!(first.get("cached").and_then(Value::as_bool), Some(false));
+    assert_eq!(second.get("cached").and_then(Value::as_bool), Some(false));
+    // Determinism holds without the cache (same seed → same estimate).
+    assert_eq!(
+        first.get("estimate").and_then(Value::as_f64),
+        second.get("estimate").and_then(Value::as_f64)
+    );
+    let (_, metrics) = http(addr, "GET", "/metrics", "");
+    assert_eq!(metrics.get("cache_hits").and_then(Value::as_u64), Some(0));
+    server.shutdown();
+}
+
+#[test]
+fn backend_override_applies_to_loaded_models() {
+    let trained = tiny_model(11);
+    let json = sam_ar::save_model(trained.model(), trained.db_schema());
+    let path =
+        std::env::temp_dir().join(format!("sam_backend_override_{}.json", std::process::id()));
+    std::fs::write(&path, &json).unwrap();
+
+    let server = Server::start(ServeConfig {
+        backend: Some(sam_nn::BackendKind::BlockedF16),
+        ..ServeConfig::default()
+    })
+    .expect("start server");
+    let addr = server.addr();
+    let load = format!(
+        r#"{{"name": "f16demo", "path": "{}"}}"#,
+        path.display().to_string().replace('\\', "/")
+    );
+    let (status, _) = http(addr, "POST", "/models", &load);
+    assert_eq!(status, 200);
+    let entry = server.registry().get("f16demo").unwrap();
+    assert_eq!(
+        entry.trained.model().backend_kind(),
+        sam_nn::BackendKind::BlockedF16
+    );
+
+    // Estimates on the f16 backend stay close to the f32 reference.
+    let q = sam_query::parse_query("SELECT COUNT(*) FROM A, B").unwrap();
+    let reference = sam_ar::estimate_cardinality(
+        trained.model(),
+        &q,
+        256,
+        &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1),
+    )
+    .unwrap();
+    let body =
+        r#"{"model": "f16demo", "sql": "SELECT COUNT(*) FROM A, B", "samples": 256, "seed": 1}"#;
+    let (status, est) = http(addr, "POST", "/estimate", body);
+    assert_eq!(status, 200, "{est:?}");
+    let value = est.get("estimate").and_then(Value::as_f64).unwrap();
+    assert!(
+        (value - reference).abs() <= 0.05 * (1.0 + reference.abs()),
+        "f16 {value} vs f32 {reference}"
+    );
+    let _ = std::fs::remove_file(&path);
+    server.shutdown();
+}
+
+#[test]
 fn shutdown_drains_running_generation_job() {
     let server = start_server(ServeConfig::default());
     let addr = server.addr();

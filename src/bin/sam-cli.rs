@@ -7,15 +7,22 @@
 //!                  [--queries N | --workload FILE] [--epochs N] [--seed N]
 //! sam-cli generate --schema schema.json (--data DIR | --stats stats.json) --out DIR
 //!                  [--model model.json] [--queries N | --workload FILE]
-//!                  [--epochs N] [--foj-samples N] [--seed N]
+//!                  [--epochs N] [--foj-samples N] [--seed N] [--backend f32|f16]
 //! sam-cli evaluate --schema schema.json --original DIR --generated DIR
 //!                  [--queries N | --workload FILE] [--seed N]
 //! sam-cli estimate --schema schema.json --data DIR [--queries N] [--epochs N] [--seed N]
-//!                  (then one SQL query per stdin line)
+//!                  [--backend f32|f16]  (then one SQL query per stdin line)
 //! sam-cli serve    [--addr HOST:PORT] [--models name=model.json,...]
 //!                  [--workers N] [--queue N] [--max-batch N]
-//!                  [--samples N] [--timeout-ms N]
+//!                  [--samples N] [--timeout-ms N] [--cache N]
+//!                  [--backend f32|f16]
 //! ```
+//!
+//! `--backend` picks the frozen-inference backend: `f32` (the exact
+//! reference kernel, default) or `f16` (blocked column-major kernel over
+//! half-precision weights — faster, ~1e-2 relative error). For `serve` it
+//! applies to every model loaded into the registry; for `generate` /
+//! `estimate` it retargets the trained or loaded model before inference.
 //!
 //! The pipeline subcommands (`demo`, `train`, `generate`, `serve`) also
 //! accept `--log-level {silent,info,debug}` (structured span lines on
@@ -219,6 +226,16 @@ fn write_trace(trace_out: &Option<String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse the optional `--backend {f32,f16}` flag shared by the inference
+/// subcommands. `None` means "leave the model on whatever backend it was
+/// frozen or loaded with".
+fn backend_arg(args: &Args) -> Result<Option<sam::nn::BackendKind>, String> {
+    match args.get("backend") {
+        Some(v) => v.parse::<sam::nn::BackendKind>().map(Some),
+        None => Ok(None),
+    }
+}
+
 fn sam_config(args: &Args) -> Result<SamConfig, String> {
     let mut config = SamConfig::default();
     config.train.epochs = args.num("epochs", 10usize)?;
@@ -391,6 +408,13 @@ fn generate(args: &Args) -> Result<(), String> {
             trained
         }
     };
+    let trained = match backend_arg(args)? {
+        Some(kind) => {
+            println!("inference backend: {kind}");
+            trained.with_backend(kind)
+        }
+        None => trained,
+    };
 
     let (generated, report) = trained
         .generate(&GenerationConfig {
@@ -439,6 +463,13 @@ fn estimate(args: &Args) -> Result<(), String> {
     let workload = build_workload(&db, args, 1_500)?;
     let config = sam_config(args)?;
     let trained = Sam::fit(db.schema(), &stats, &workload, &config).map_err(|e| e.to_string())?;
+    let trained = match backend_arg(args)? {
+        Some(kind) => {
+            println!("inference backend: {kind}");
+            trained.with_backend(kind)
+        }
+        None => trained,
+    };
     println!("model trained; enter one SQL query per line (Ctrl-D to end):");
 
     let mut rng = StdRng::seed_from_u64(args.num("seed", 0u64)?);
@@ -472,6 +503,8 @@ fn serve(args: &Args) -> Result<(), String> {
         max_batch: args.num("max-batch", 16usize)?,
         default_samples: args.num("samples", 200usize)?,
         default_timeout_ms: args.num("timeout-ms", 10_000u64)?,
+        cache_capacity: args.num("cache", 1024usize)?,
+        backend: backend_arg(args)?,
     };
     let server = sam::serve::Server::start(config).map_err(|e| e.to_string())?;
     if let Some(models) = args.get("models") {
