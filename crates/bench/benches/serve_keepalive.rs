@@ -1,0 +1,128 @@
+//! HTTP transport benchmark: 64 sequential estimates over **one keep-alive
+//! connection** vs **one fresh connection per request**.
+//!
+//! The request is identical in both modes and hits the estimate cache after
+//! the warm-up, so the measured difference is the transport: TCP connect +
+//! per-connection thread spawn + teardown, paid 64× in per-connection mode
+//! and once in keep-alive mode. This is the workload shape of an estimator
+//! service inside a query optimizer — thousands of small sequential calls —
+//! and the reason `sam-serve` holds connections open by default.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sam_core::{Sam, SamConfig, TrainedSam};
+use sam_query::{label_workload, WorkloadGenerator};
+use sam_serve::{ServeConfig, Server};
+use sam_storage::{paper_example, DatabaseStats};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+const REQUESTS: usize = 64;
+const BODY: &str =
+    r#"{"model": "demo", "sql": "SELECT COUNT(*) FROM A", "samples": 64, "seed": 1}"#;
+
+fn tiny_model() -> TrainedSam {
+    let db = paper_example::figure3_database();
+    let stats = DatabaseStats::from_database(&db);
+    let mut gen = WorkloadGenerator::new(&db, 7);
+    let workload = label_workload(&db, gen.multi_workload(24, 2)).unwrap();
+    let config = SamConfig {
+        model: sam_ar::ArModelConfig {
+            hidden: vec![12],
+            seed: 3,
+            residual: false,
+            transformer: None,
+        },
+        train: sam_ar::TrainConfig {
+            epochs: 4,
+            batch_size: 8,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    Sam::fit(db.schema(), &stats, &workload, &config).unwrap()
+}
+
+/// The full request as one buffer, so it leaves in a single write — a
+/// multi-write request would trip Nagle + delayed ACK and measure the
+/// client's sloppiness instead of the server's transport.
+fn request_bytes(close: bool) -> Vec<u8> {
+    format!(
+        "POST /estimate HTTP/1.1\r\nHost: bench\r\nConnection: {}\r\nContent-Length: {}\r\n\r\n{BODY}",
+        if close { "close" } else { "keep-alive" },
+        BODY.len()
+    )
+    .into_bytes()
+}
+
+/// Read one `Content-Length`-framed response off a keep-alive connection.
+fn read_framed(reader: &mut BufReader<&TcpStream>) {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("status line");
+    assert!(line.contains("200"), "unexpected response: {line}");
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        reader.read_line(&mut line).expect("header line");
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some(v) = trimmed
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+            .and_then(|v| v.parse().ok())
+        {
+            content_length = v;
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("response body");
+}
+
+/// 64 sequential estimates over a single keep-alive connection.
+fn keepalive_burst(addr: SocketAddr, request: &[u8]) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(&stream);
+    for _ in 0..REQUESTS {
+        (&stream).write_all(request).expect("write request");
+        read_framed(&mut reader);
+    }
+}
+
+/// 64 sequential estimates, each on its own connection.
+fn per_connection_burst(addr: SocketAddr, request: &[u8]) {
+    for _ in 0..REQUESTS {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        stream.write_all(request).expect("write request");
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).expect("read response");
+        assert!(raw.starts_with(b"HTTP/1.1 200"), "unexpected response");
+    }
+}
+
+fn bench_keepalive(c: &mut Criterion) {
+    let server = Server::start(ServeConfig::default()).expect("start server");
+    server.registry().insert("demo", tiny_model());
+    let addr = server.addr();
+    let keep_alive = request_bytes(false);
+    let close = request_bytes(true);
+    // Warm the estimate cache so both modes measure transport, not inference.
+    per_connection_burst(addr, &close);
+
+    let mut group = c.benchmark_group("serve_keepalive");
+    group.sample_size(20);
+    group.bench_function("keep_alive_64", |b| {
+        b.iter(|| keepalive_burst(addr, &keep_alive))
+    });
+    group.bench_function("per_connection_64", |b| {
+        b.iter(|| per_connection_burst(addr, &close))
+    });
+    group.finish();
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_keepalive);
+criterion_main!(benches);

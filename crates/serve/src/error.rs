@@ -10,6 +10,9 @@ pub enum ServeError {
     BadRequest(String),
     /// Unknown model, job, or route → 404.
     NotFound(String),
+    /// The resource exists but is in the wrong state for the request
+    /// (e.g. exporting a job that has not finished) → 409.
+    Conflict(String),
     /// The micro-batch queue is full → 429 (backpressure).
     Overloaded,
     /// The request's deadline passed before a worker produced a result → 504.
@@ -26,6 +29,7 @@ impl ServeError {
         match self {
             ServeError::BadRequest(_) => 400,
             ServeError::NotFound(_) => 404,
+            ServeError::Conflict(_) => 409,
             ServeError::Overloaded => 429,
             ServeError::DeadlineExceeded => 504,
             ServeError::ShuttingDown => 503,
@@ -39,6 +43,7 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
             ServeError::NotFound(m) => write!(f, "not found: {m}"),
+            ServeError::Conflict(m) => write!(f, "conflict: {m}"),
             ServeError::Overloaded => write!(f, "estimate queue is full, retry later"),
             ServeError::DeadlineExceeded => write!(f, "request deadline exceeded"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
@@ -57,6 +62,7 @@ mod tests {
     fn statuses_match_semantics() {
         assert_eq!(ServeError::BadRequest("x".into()).status(), 400);
         assert_eq!(ServeError::NotFound("x".into()).status(), 404);
+        assert_eq!(ServeError::Conflict("x".into()).status(), 409);
         assert_eq!(ServeError::Overloaded.status(), 429);
         assert_eq!(ServeError::DeadlineExceeded.status(), 504);
         assert_eq!(ServeError::ShuttingDown.status(), 503);

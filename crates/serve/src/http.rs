@@ -1,8 +1,18 @@
-//! Minimal HTTP/1.1 framing over `std::io` — just enough for a JSON API.
+//! Minimal HTTP/1.1 framing over `std::io` — request parsing, framed JSON /
+//! text responses, and chunked transfer encoding for streamed bodies.
 //!
-//! One request per connection (`Connection: close`). Requests are parsed
-//! from any [`BufRead`] so the parser is unit-testable without sockets;
-//! responses are written to any [`Write`].
+//! Connections are **persistent by default** (HTTP/1.1 keep-alive): the
+//! parser records the negotiated connection state on each [`Request`] and
+//! the response writers echo it, so a client can issue many requests over
+//! one socket. `Connection: close` (or HTTP/1.0 without
+//! `Connection: keep-alive`) downgrades to one-request-per-connection.
+//! Requests are parsed from any [`BufRead`] so the parser is unit-testable
+//! without sockets; responses are written to any [`Write`].
+//!
+//! Streaming bodies (the CSV export endpoint) use [`ChunkedWriter`], which
+//! frames an arbitrary `Write` stream as HTTP/1.1 chunked transfer encoding
+//! through a fixed-size buffer — memory stays bounded no matter how large
+//! the streamed relation is.
 
 use crate::error::ServeError;
 use std::io::{BufRead, Write};
@@ -11,27 +21,54 @@ use std::io::{BufRead, Write};
 /// are small; anything bigger is a client error.
 pub const MAX_BODY_BYTES: usize = 1 << 20;
 
-/// A parsed HTTP request: method, path, and (possibly empty) body.
+/// Largest accepted header section (64 KiB across all header lines).
+pub const MAX_HEADER_BYTES: usize = 64 << 10;
+
+/// Buffered bytes per chunk emitted by [`ChunkedWriter`] (64 KiB). This is
+/// the whole per-connection memory footprint of a streamed export.
+pub const CHUNK_BYTES: usize = 64 << 10;
+
+/// A parsed HTTP request: method, path, body, and negotiated connection
+/// state.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// Uppercased method token (`GET`, `POST`, ...).
     pub method: String,
-    /// Request target as sent (no query-string splitting; the API is
-    /// JSON-body based).
+    /// Request target as sent (query string included; the router splits it).
     pub path: String,
     /// Raw UTF-8 body.
     pub body: String,
+    /// Whether the client negotiated a persistent connection: HTTP/1.1
+    /// unless `Connection: close`, HTTP/1.0 only with
+    /// `Connection: keep-alive`. The response **must** echo this (a `close`
+    /// response on a keep-alive request strands the client's next request).
+    pub keep_alive: bool,
 }
 
 /// Read and parse one HTTP/1.1 request from `reader`.
-pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ServeError> {
+///
+/// Returns `Ok(None)` on clean end-of-stream before any byte of a request —
+/// the normal way a keep-alive client ends a connection between requests.
+///
+/// # Errors
+///
+/// [`ServeError::BadRequest`] on malformed framing: garbled request line,
+/// oversized header section, a `Content-Length` above [`MAX_BODY_BYTES`]
+/// (rejected *before* reading the body, so oversized uploads get an
+/// immediate 400 instead of a slow drain), or a body shorter than declared.
+/// [`ServeError::Internal`] on transport I/O errors. After any error the
+/// connection must be closed: request framing can no longer be trusted.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, ServeError> {
     let bad = |m: &str| ServeError::BadRequest(m.to_string());
     let mut line = String::new();
-    reader
+    let n = reader
         .read_line(&mut line)
         .map_err(|e| ServeError::Internal(format!("read request line: {e}")))?;
-    if line.is_empty() {
-        return Err(bad("empty request"));
+    if n == 0 {
+        return Ok(None);
+    }
+    if line.trim().is_empty() {
+        return Err(bad("empty request line"));
     }
     let mut parts = line.split_whitespace();
     let method = parts
@@ -39,12 +76,16 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ServeError> {
         .ok_or_else(|| bad("missing method"))?
         .to_string();
     let path = parts.next().ok_or_else(|| bad("missing path"))?.to_string();
-    match parts.next() {
-        Some(v) if v.starts_with("HTTP/1") => {}
+    let http10 = match parts.next() {
+        Some("HTTP/1.0") => true,
+        Some(v) if v.starts_with("HTTP/1") => false,
         _ => return Err(bad("expected HTTP/1.x request")),
-    }
+    };
 
     let mut content_length = 0usize;
+    // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
+    let mut keep_alive = !http10;
+    let mut header_bytes = 0usize;
     loop {
         let mut header = String::new();
         let n = reader
@@ -53,16 +94,33 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ServeError> {
         if n == 0 || header.trim().is_empty() {
             break;
         }
+        header_bytes += n;
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(bad("header section too large"));
+        }
         if let Some((name, value)) = header.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
+            let name = name.trim();
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
                 content_length = value
-                    .trim()
                     .parse::<usize>()
                     .map_err(|_| bad("invalid Content-Length"))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                // Token list; `close` wins over anything else.
+                let mut close = false;
+                let mut ka = false;
+                for token in value.split(',') {
+                    let token = token.trim();
+                    close |= token.eq_ignore_ascii_case("close");
+                    ka |= token.eq_ignore_ascii_case("keep-alive");
+                }
+                keep_alive = if close { false } else { ka || !http10 };
             }
         }
     }
     if content_length > MAX_BODY_BYTES {
+        // Reject before reading: the client learns immediately (400) instead
+        // of pushing a megabyte-scale body into a dead connection.
         return Err(bad("request body too large"));
     }
     let mut buf = vec![0u8; content_length];
@@ -70,30 +128,189 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ServeError> {
         .read_exact(&mut buf)
         .map_err(|e| ServeError::BadRequest(format!("short body: {e}")))?;
     let body = String::from_utf8(buf).map_err(|_| bad("body is not UTF-8"))?;
-    Ok(Request { method, path, body })
+    Ok(Some(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    }))
 }
 
-/// Write a JSON response with the given status and serialised body.
-pub fn write_json_response<W: Write>(out: &mut W, status: u16, body: &str) -> std::io::Result<()> {
+fn connection_token(keep_alive: bool) -> &'static str {
+    if keep_alive {
+        "keep-alive"
+    } else {
+        "close"
+    }
+}
+
+/// Write a JSON response with the given status and serialised body, echoing
+/// the negotiated connection state.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_json_response<W: Write>(
+    out: &mut W,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
     write!(
         out,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{body}",
         reason(status),
         body.len(),
+        connection_token(keep_alive),
     )?;
     out.flush()
 }
 
 /// Write a plain-text response (Prometheus exposition uses text/plain with
-/// the format version parameter).
-pub fn write_text_response<W: Write>(out: &mut W, status: u16, body: &str) -> std::io::Result<()> {
+/// the format version parameter), echoing the negotiated connection state.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_text_response<W: Write>(
+    out: &mut W,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
     write!(
         out,
-        "HTTP/1.1 {status} {}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status} {}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{body}",
         reason(status),
         body.len(),
+        connection_token(keep_alive),
     )?;
     out.flush()
+}
+
+/// Write the status line + headers of a chunked streaming response. The
+/// body follows through a [`ChunkedWriter`] over the same stream.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_chunked_header<W: Write>(
+    out: &mut W,
+    status: u16,
+    content_type: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    write!(
+        out,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+        reason(status),
+        connection_token(keep_alive),
+    )
+}
+
+/// [`Write`] adapter that frames everything written through it as HTTP/1.1
+/// chunked transfer encoding.
+///
+/// Bytes accumulate in a fixed [`CHUNK_BYTES`] buffer; each time it fills, a
+/// `<hex len>\r\n<data>\r\n` chunk goes out. [`finish`](Self::finish) flushes
+/// the tail and writes the terminal `0\r\n\r\n` chunk. Because the buffer
+/// never grows, streaming a 100-million-row relation costs the same memory
+/// as streaming ten rows.
+pub struct ChunkedWriter<'a, W: Write> {
+    inner: &'a mut W,
+    buf: Vec<u8>,
+}
+
+impl<'a, W: Write> ChunkedWriter<'a, W> {
+    /// Wrap `inner`; headers (with `Transfer-Encoding: chunked`) must
+    /// already have been written via [`write_chunked_header`].
+    pub fn new(inner: &'a mut W) -> Self {
+        ChunkedWriter {
+            inner,
+            buf: Vec::with_capacity(CHUNK_BYTES),
+        }
+    }
+
+    fn emit_chunk(&mut self) -> std::io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        write!(self.inner, "{:x}\r\n", self.buf.len())?;
+        self.inner.write_all(&self.buf)?;
+        self.inner.write_all(b"\r\n")?;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Flush buffered bytes and write the terminal chunk. Must be called
+    /// exactly once; dropping without it leaves the stream unterminated
+    /// (which clients correctly treat as a truncated response).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn finish(mut self) -> std::io::Result<()> {
+        self.emit_chunk()?;
+        self.inner.write_all(b"0\r\n\r\n")?;
+        self.inner.flush()
+    }
+}
+
+impl<W: Write> Write for ChunkedWriter<'_, W> {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        // Fill the buffer only up to CHUNK_BYTES, emitting whenever it is
+        // exactly full — the buffer (and so every chunk) never exceeds
+        // CHUNK_BYTES no matter how large a single write is.
+        let mut rest = data;
+        while !rest.is_empty() {
+            let take = (CHUNK_BYTES - self.buf.len()).min(rest.len());
+            self.buf.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if self.buf.len() == CHUNK_BYTES {
+                self.emit_chunk()?;
+            }
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.emit_chunk()?;
+        self.inner.flush()
+    }
+}
+
+/// Decode an HTTP/1.1 chunked body back into bytes (test + client helper).
+///
+/// # Errors
+///
+/// [`ServeError::BadRequest`] on malformed chunk framing (bad size line,
+/// truncated chunk, missing terminal chunk).
+pub fn decode_chunked(raw: &[u8]) -> Result<Vec<u8>, ServeError> {
+    let bad = |m: &str| ServeError::BadRequest(m.to_string());
+    let mut out = Vec::new();
+    let mut rest = raw;
+    loop {
+        let line_end = rest
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .ok_or_else(|| bad("missing chunk-size CRLF"))?;
+        let size_line = std::str::from_utf8(&rest[..line_end])
+            .map_err(|_| bad("chunk size is not UTF-8"))?
+            .trim();
+        let size = usize::from_str_radix(size_line, 16).map_err(|_| bad("invalid chunk size"))?;
+        rest = &rest[line_end + 2..];
+        if size == 0 {
+            return Ok(out);
+        }
+        if rest.len() < size + 2 {
+            return Err(bad("truncated chunk"));
+        }
+        out.extend_from_slice(&rest[..size]);
+        if &rest[size..size + 2] != b"\r\n" {
+            return Err(bad("missing chunk-data CRLF"));
+        }
+        rest = &rest[size + 2..];
+    }
 }
 
 /// Canonical reason phrases for the statuses this server emits.
@@ -103,6 +320,7 @@ pub fn reason(status: u16) -> &'static str {
         202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
+        409 => "Conflict",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -119,41 +337,137 @@ mod tests {
     #[test]
     fn parses_post_with_body() {
         let raw = "POST /estimate HTTP/1.1\r\nHost: x\r\nContent-Length: 9\r\n\r\n{\"a\": 1}x";
-        let req = read_request(&mut Cursor::new(raw)).unwrap();
+        let req = read_request(&mut Cursor::new(raw)).unwrap().unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/estimate");
         assert_eq!(req.body, "{\"a\": 1}x");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
     }
 
     #[test]
     fn parses_get_without_body() {
-        let req = read_request(&mut Cursor::new("GET /healthz HTTP/1.1\r\n\r\n")).unwrap();
+        let req = read_request(&mut Cursor::new("GET /healthz HTTP/1.1\r\n\r\n"))
+            .unwrap()
+            .unwrap();
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/healthz");
         assert_eq!(req.body, "");
     }
 
     #[test]
+    fn negotiates_connection_state() {
+        let close = read_request(&mut Cursor::new(
+            "GET / HTTP/1.1\r\nConnection: close\r\n\r\n",
+        ))
+        .unwrap()
+        .unwrap();
+        assert!(!close.keep_alive);
+        let old = read_request(&mut Cursor::new("GET / HTTP/1.0\r\n\r\n"))
+            .unwrap()
+            .unwrap();
+        assert!(!old.keep_alive, "HTTP/1.0 defaults to close");
+        let old_ka = read_request(&mut Cursor::new(
+            "GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n",
+        ))
+        .unwrap()
+        .unwrap();
+        assert!(old_ka.keep_alive, "HTTP/1.0 opts in explicitly");
+        // `close` wins inside a token list, case-insensitively.
+        let mixed = read_request(&mut Cursor::new(
+            "GET / HTTP/1.1\r\nConnection: keep-alive, CLOSE\r\n\r\n",
+        ))
+        .unwrap()
+        .unwrap();
+        assert!(!mixed.keep_alive);
+    }
+
+    #[test]
+    fn eof_between_requests_is_clean() {
+        assert_eq!(read_request(&mut Cursor::new("")).unwrap(), None);
+    }
+
+    #[test]
     fn rejects_garbage() {
-        assert!(read_request(&mut Cursor::new("")).is_err());
         assert!(read_request(&mut Cursor::new("nonsense\r\n\r\n")).is_err());
-        let oversize = format!(
-            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
-            MAX_BODY_BYTES + 1
-        );
-        assert!(read_request(&mut Cursor::new(oversize)).is_err());
+        assert!(read_request(&mut Cursor::new("\r\n")).is_err());
         // Declared body longer than what arrives.
         let short = "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
         assert!(read_request(&mut Cursor::new(short)).is_err());
     }
 
     #[test]
+    fn oversized_body_is_rejected_without_reading_it() {
+        // The body bytes never arrive; the 400 must not wait for them.
+        let oversize = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let err = read_request(&mut Cursor::new(oversize)).unwrap_err();
+        assert!(err.to_string().contains("too large"), "{err}");
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn oversized_header_section_is_rejected() {
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..9000 {
+            raw.push_str(&format!("X-Filler-{i}: aaaaaaaa\r\n"));
+        }
+        raw.push_str("\r\n");
+        let err = read_request(&mut Cursor::new(raw)).unwrap_err();
+        assert!(err.to_string().contains("header"), "{err}");
+    }
+
+    #[test]
     fn writes_framed_response() {
         let mut out = Vec::new();
-        write_json_response(&mut out, 429, "{\"error\":\"full\"}").unwrap();
+        write_json_response(&mut out, 429, "{\"error\":\"full\"}", false).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
         assert!(text.contains("Content-Length: 16\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("{\"error\":\"full\"}"));
+    }
+
+    #[test]
+    fn responses_echo_keep_alive() {
+        let mut out = Vec::new();
+        write_json_response(&mut out, 200, "{}", true).unwrap();
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("Connection: keep-alive\r\n"));
+        let mut out = Vec::new();
+        write_text_response(&mut out, 200, "x 1", true).unwrap();
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("Connection: keep-alive\r\n"));
+    }
+
+    #[test]
+    fn chunked_round_trip() {
+        let mut raw = Vec::new();
+        {
+            let mut w = ChunkedWriter::new(&mut raw);
+            w.write_all(b"hello ").unwrap();
+            w.write_all(&vec![b'x'; CHUNK_BYTES]).unwrap();
+            w.write_all(b" world").unwrap();
+            w.finish().unwrap();
+        }
+        let decoded = decode_chunked(&raw).unwrap();
+        assert_eq!(decoded.len(), 12 + CHUNK_BYTES);
+        assert!(decoded.starts_with(b"hello "));
+        assert!(decoded.ends_with(b" world"));
+        assert!(raw.ends_with(b"0\r\n\r\n"));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let mut raw = Vec::new();
+        {
+            let mut w = ChunkedWriter::new(&mut raw);
+            w.write_all(b"data").unwrap();
+            w.finish().unwrap();
+        }
+        assert!(decode_chunked(&raw[..raw.len() - 5]).is_err());
     }
 }

@@ -3,12 +3,21 @@
 //! `POST /generate` is accepted immediately: generation runs on its own
 //! thread through [`TrainedSam::generate_controlled`], which reports stage +
 //! progress and honours cancellation via [`JobControl`]. Clients poll
-//! `GET /jobs/{id}`. Shutdown *drains*: [`JobRegistry::drain`] joins every
-//! job thread, so accepted jobs always reach a terminal state.
+//! `GET /jobs/{id}` and stream finished relations from
+//! `GET /jobs/{id}/export` (the record keeps the generated [`Database`]
+//! alive for exactly that). Shutdown *drains*: [`JobRegistry::drain`] joins
+//! every job thread, so accepted jobs always reach a terminal state.
+//!
+//! With a [`Journal`] attached, every lifecycle transition is appended to
+//! the on-disk log and completed results are persisted as CSV, which is
+//! what makes jobs replayable across a server restart (see
+//! [`crate::journal`]).
 
+use crate::journal::Journal;
 use crate::metrics::ServeMetrics;
 use crate::registry::ModelEntry;
-use sam_core::{GenerationConfig, JobControl, SamError, TrainedSam};
+use sam_core::{GenerationConfig, JobControl, JobStage, SamError, TrainedSam};
+use sam_storage::Database;
 use serde_json::{json, Value};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -19,8 +28,13 @@ use std::thread::JoinHandle;
 pub enum JobState {
     /// Still generating (see [`JobControl`] for stage/progress).
     Running,
-    /// Finished successfully; payload is the result summary JSON.
-    Done(Value),
+    /// Finished successfully.
+    Done {
+        /// Result summary served at `GET /jobs/{id}`.
+        summary: Value,
+        /// The generated database, held for streamed export.
+        db: Arc<Database>,
+    },
     /// Failed with an error message.
     Failed(String),
     /// Cancelled before completion.
@@ -29,7 +43,7 @@ pub enum JobState {
 
 /// One generation job: control handle plus current state.
 pub struct JobRecord {
-    /// Job id (unique per server).
+    /// Job id (unique per server, stable across journal replays).
     pub id: u64,
     /// Model name the job runs against.
     pub model: String,
@@ -49,12 +63,32 @@ impl JobRecord {
         )
     }
 
+    /// The generated database, once the job is done (`None` while running
+    /// or after failure/cancellation).
+    pub fn result_database(&self) -> Option<Arc<Database>> {
+        match &*self.state.lock().unwrap_or_else(|e| e.into_inner()) {
+            JobState::Done { db, .. } => Some(Arc::clone(db)),
+            _ => None,
+        }
+    }
+
+    /// Short state label (`running` / `done` / `failed` / `cancelled`),
+    /// for error messages and logs.
+    pub fn state_label(&self) -> &'static str {
+        match &*self.state.lock().unwrap_or_else(|e| e.into_inner()) {
+            JobState::Running => "running",
+            JobState::Done { .. } => "done",
+            JobState::Failed(_) => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
     /// Status document served at `GET /jobs/{id}`.
     pub fn status_json(&self) -> Value {
         let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         let (label, result, error) = match &*state {
             JobState::Running => ("running", Value::Null, Value::Null),
-            JobState::Done(summary) => ("done", summary.clone(), Value::Null),
+            JobState::Done { summary, .. } => ("done", summary.clone(), Value::Null),
             JobState::Failed(msg) => ("failed", Value::Null, Value::String(msg.clone())),
             JobState::Cancelled => ("cancelled", Value::Null, Value::Null),
         };
@@ -71,18 +105,53 @@ impl JobRecord {
     }
 }
 
+/// Summary document for a finished generation run.
+fn summary_json(db: &Database, foj_samples: usize, wall_seconds: f64) -> Value {
+    let tables: Vec<Value> = db
+        .tables()
+        .iter()
+        .map(|t| json!({"table": t.name(), "rows": t.num_rows()}))
+        .collect();
+    json!({
+        "tables": Value::Array(tables),
+        "foj_samples": foj_samples,
+        "wall_seconds": wall_seconds,
+    })
+}
+
 /// Concurrent job table. All methods take `&self`.
 #[derive(Default)]
 pub struct JobRegistry {
     next_id: AtomicU64,
     jobs: Mutex<HashMap<u64, Arc<JobRecord>>>,
     handles: Mutex<Vec<JoinHandle<()>>>,
+    journal: Option<Arc<Journal>>,
 }
 
 impl JobRegistry {
-    /// Empty registry.
+    /// Empty registry without journaling.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty registry; with `Some(journal)`, every job lifecycle event is
+    /// appended to it and completed results are persisted as CSV.
+    pub fn with_journal(journal: Option<Arc<Journal>>) -> Self {
+        JobRegistry {
+            journal,
+            ..Self::default()
+        }
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.journal.as_ref()
+    }
+
+    /// Ensure freshly assigned ids start after `id` (journal replay keeps
+    /// original job ids; new jobs must not collide with them).
+    pub fn reserve_through(&self, id: u64) {
+        self.next_id.fetch_max(id, Ordering::Relaxed);
     }
 
     /// Start a generation job on its own thread; returns the job id.
@@ -93,6 +162,37 @@ impl JobRegistry {
         metrics: Arc<ServeMetrics>,
     ) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(journal) = &self.journal {
+            journal.accepted(id, &entry.name, entry.version, &config);
+        }
+        self.spawn_with_id(id, entry, config, metrics);
+        id
+    }
+
+    /// Re-spawn a journal-replayed interrupted job under its original id.
+    /// The recorded config carries the RNG seed, so the regenerated
+    /// database is bit-for-bit what the interrupted run would have produced.
+    pub fn respawn(
+        &self,
+        id: u64,
+        entry: Arc<ModelEntry>,
+        config: GenerationConfig,
+        metrics: Arc<ServeMetrics>,
+    ) {
+        self.reserve_through(id);
+        if let Some(journal) = &self.journal {
+            journal.resumed(id);
+        }
+        self.spawn_with_id(id, entry, config, metrics);
+    }
+
+    fn spawn_with_id(
+        &self,
+        id: u64,
+        entry: Arc<ModelEntry>,
+        config: GenerationConfig,
+        metrics: Arc<ServeMetrics>,
+    ) {
         let record = Arc::new(JobRecord {
             id,
             model: entry.name.clone(),
@@ -105,6 +205,7 @@ impl JobRegistry {
             .unwrap_or_else(|e| e.into_inner())
             .insert(id, Arc::clone(&record));
         metrics.jobs_started.inc();
+        let journal = self.journal.clone();
         // Carry the submitting request's trace id onto the job thread so the
         // job's generation spans correlate with the POST /generate request.
         let trace_id = sam_obs::current_trace_id();
@@ -112,14 +213,41 @@ impl JobRegistry {
             .name(format!("sam-serve-job-{id}"))
             .spawn(move || {
                 sam_obs::set_trace_id(trace_id);
-                run_job(&entry.trained, &config, &record, &metrics)
+                run_job(
+                    &entry.trained,
+                    &config,
+                    &record,
+                    &metrics,
+                    journal.as_deref(),
+                )
             })
             .expect("spawn generation job");
         self.handles
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .push(handle);
-        id
+    }
+
+    /// Insert a job record already in a terminal state (journal replay of
+    /// completed / failed / cancelled jobs). No thread is spawned.
+    pub fn insert_terminal(&self, id: u64, model: &str, version: u64, state: JobState) {
+        self.reserve_through(id);
+        let control = JobControl::new();
+        if matches!(state, JobState::Done { .. }) {
+            control.set_stage(JobStage::Finished);
+            control.set_progress(1, 1);
+        }
+        let record = Arc::new(JobRecord {
+            id,
+            model: model.to_string(),
+            version,
+            control,
+            state: Mutex::new(state),
+        });
+        self.jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(id, record);
     }
 
     /// Look up a job by id.
@@ -162,22 +290,43 @@ fn run_job(
     config: &GenerationConfig,
     record: &JobRecord,
     metrics: &ServeMetrics,
+    journal: Option<&Journal>,
 ) {
+    if let Some(journal) = journal {
+        journal.running(record.id);
+    }
     let outcome = match trained.generate_controlled(config, &record.control) {
         Ok((db, report)) => {
-            let tables: Vec<Value> = db
-                .tables()
-                .iter()
-                .map(|t| json!({"table": t.name(), "rows": t.num_rows()}))
-                .collect();
-            JobState::Done(json!({
-                "tables": Value::Array(tables),
-                "foj_samples": report.foj_samples,
-                "wall_seconds": report.wall_seconds,
-            }))
+            let summary = summary_json(&db, report.foj_samples, report.wall_seconds);
+            if let Some(journal) = journal {
+                // Persist-then-commit: CSVs land on disk before the
+                // `completed` event, so a `completed` in the log implies the
+                // results it promises exist.
+                match journal.persist_results(record.id, &db) {
+                    Ok(()) => journal.completed(record.id, &summary),
+                    Err(e) => {
+                        sam_obs::counter("sam_journal_persist_errors_total").inc();
+                        journal.failed(record.id, &format!("persist results: {e}"));
+                    }
+                }
+            }
+            JobState::Done {
+                summary,
+                db: Arc::new(db),
+            }
         }
-        Err(SamError::Cancelled) => JobState::Cancelled,
-        Err(e) => JobState::Failed(e.to_string()),
+        Err(SamError::Cancelled) => {
+            if let Some(journal) = journal {
+                journal.cancelled(record.id);
+            }
+            JobState::Cancelled
+        }
+        Err(e) => {
+            if let Some(journal) = journal {
+                journal.failed(record.id, &e.to_string());
+            }
+            JobState::Failed(e.to_string())
+        }
     };
     *record.state.lock().unwrap_or_else(|e| e.into_inner()) = outcome;
     metrics.jobs_finished.inc();

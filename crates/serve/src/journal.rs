@@ -1,0 +1,414 @@
+//! Append-only on-disk job journal: restart-safe generation serving.
+//!
+//! With `--journal-dir` (or [`ServeConfig::journal_dir`]) set, every
+//! generation job writes its lifecycle to `journal.jsonl` — one JSON object
+//! per line, append-only, flushed per event and fsynced on terminal events:
+//!
+//! ```text
+//! accepted → running → relation* → completed | failed | cancelled
+//!                  ↑ resumed (after a restart replays an interrupted job)
+//! ```
+//!
+//! Completed jobs additionally persist their generated relations as CSV
+//! under `<dir>/jobs/<id>/<table>.csv` (written to a temp file, then
+//! renamed, so a crash mid-write never leaves a half table behind).
+//!
+//! [`Journal::replay`] folds the log into the **last known state per job**.
+//! The server applies it at startup ([`Server::replay_journal`]): completed
+//! jobs reload their CSVs and are re-servable (status *and* streamed
+//! export); interrupted jobs (last event `accepted`/`running`/`resumed`)
+//! are re-spawned with their recorded [`GenerationConfig`] — the RNG seed
+//! lives in the config, so the regenerated database is bit-for-bit the one
+//! the crashed run would have produced.
+//!
+//! [`ServeConfig::journal_dir`]: crate::server::ServeConfig::journal_dir
+//! [`Server::replay_journal`]: crate::server::Server::replay_journal
+
+use crate::error::ServeError;
+use sam_core::{GenerationConfig, JoinKeyStrategy};
+use sam_obs::Counter;
+use sam_storage::csv::write_csv;
+use sam_storage::Database;
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// File name of the event log inside the journal directory.
+pub const JOURNAL_FILE: &str = "journal.jsonl";
+
+/// Last known state of a job, folded from the event log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayState {
+    /// Accepted (and possibly running) when the server stopped — must be
+    /// re-run from its recorded config.
+    Interrupted,
+    /// Reached `completed`; the summary document was recorded and the
+    /// result CSVs should exist on disk.
+    Completed(Value),
+    /// Reached `failed` with this error message.
+    Failed(String),
+    /// Reached `cancelled`.
+    Cancelled,
+}
+
+/// One job reconstructed from the journal.
+#[derive(Debug, Clone)]
+pub struct ReplayedJob {
+    /// Job id as originally served.
+    pub id: u64,
+    /// Model name the job ran against.
+    pub model: String,
+    /// Model version at original submission (informational — replay binds
+    /// to the currently registered version).
+    pub version: u64,
+    /// Full generation config, including the RNG seed.
+    pub config: GenerationConfig,
+    /// Last state the journal records.
+    pub state: ReplayState,
+}
+
+fn strategy_str(s: JoinKeyStrategy) -> &'static str {
+    match s {
+        JoinKeyStrategy::GroupAndMerge => "group_and_merge",
+        JoinKeyStrategy::PairwiseViews => "pairwise_views",
+    }
+}
+
+fn parse_strategy(s: &str) -> Option<JoinKeyStrategy> {
+    match s {
+        "group_and_merge" => Some(JoinKeyStrategy::GroupAndMerge),
+        "pairwise_views" => Some(JoinKeyStrategy::PairwiseViews),
+        _ => None,
+    }
+}
+
+/// Append-only journal over one directory. Cheap to clone via [`Arc`];
+/// all writers share one buffered file handle behind a mutex.
+pub struct Journal {
+    dir: PathBuf,
+    file: Mutex<BufWriter<File>>,
+    /// Events appended (mirrored on `/metrics` as `journal_events`).
+    events: Arc<Counter>,
+}
+
+impl Journal {
+    /// Open (creating the directory and log file if needed) a journal under
+    /// `dir`. `events` is the serve-metrics counter bumped per append.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Internal`] if the directory or log file cannot be
+    /// created or opened for append.
+    pub fn open(dir: &Path, events: Arc<Counter>) -> Result<Journal, ServeError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| ServeError::Internal(format!("create journal dir {dir:?}: {e}")))?;
+        let path = dir.join(JOURNAL_FILE);
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| ServeError::Internal(format!("open journal {path:?}: {e}")))?;
+        Ok(Journal {
+            dir: dir.to_path_buf(),
+            file: Mutex::new(BufWriter::new(file)),
+            events,
+        })
+    }
+
+    /// The directory this journal lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Directory holding job `id`'s persisted result CSVs.
+    pub fn job_dir(&self, id: u64) -> PathBuf {
+        self.dir.join("jobs").join(id.to_string())
+    }
+
+    fn append(&self, event: &Value, sync: bool) {
+        let _span = sam_obs::span!(
+            "journal_append",
+            event = event.get("event").and_then(Value::as_str).unwrap_or("?")
+        );
+        let line = serde_json::to_string(event).unwrap_or_else(|_| "{}".to_string());
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        // Journal I/O is best-effort by design: a full disk must degrade
+        // durability, not take serving down.
+        let _ = writeln!(file, "{line}");
+        let _ = file.flush();
+        if sync {
+            let _ = file.get_ref().sync_data();
+        }
+        self.events.inc();
+    }
+
+    /// Record acceptance of a new job (the event that makes it resumable).
+    pub fn accepted(&self, id: u64, model: &str, version: u64, config: &GenerationConfig) {
+        self.append(
+            &json!({
+                "event": "accepted",
+                "job": id,
+                "model": model,
+                "version": version,
+                "foj_samples": config.foj_samples,
+                "batch": config.batch,
+                "seed": config.seed,
+                "strategy": strategy_str(config.strategy),
+            }),
+            true,
+        );
+    }
+
+    /// Record that a replayed interrupted job was re-spawned.
+    pub fn resumed(&self, id: u64) {
+        self.append(&json!({"event": "resumed", "job": id}), true);
+    }
+
+    /// Record that the job thread started generating.
+    pub fn running(&self, id: u64) {
+        self.append(&json!({"event": "running", "job": id}), false);
+    }
+
+    /// Record per-relation progress: `table` was generated with `rows` rows
+    /// (and, when journaling results, persisted to disk).
+    pub fn relation(&self, id: u64, table: &str, rows: usize) {
+        self.append(
+            &json!({"event": "relation", "job": id, "table": table, "rows": rows}),
+            false,
+        );
+    }
+
+    /// Record successful completion with the job's summary document.
+    pub fn completed(&self, id: u64, summary: &Value) {
+        self.append(
+            &json!({"event": "completed", "job": id, "summary": summary}),
+            true,
+        );
+    }
+
+    /// Record failure.
+    pub fn failed(&self, id: u64, error: &str) {
+        self.append(&json!({"event": "failed", "job": id, "error": error}), true);
+    }
+
+    /// Record cancellation.
+    pub fn cancelled(&self, id: u64) {
+        self.append(&json!({"event": "cancelled", "job": id}), true);
+    }
+
+    /// Persist every relation of `db` as CSV under [`job_dir`](Self::job_dir),
+    /// emitting one `relation` event per table. Each file is written to a
+    /// `.tmp` sibling and renamed, so readers never observe half a table.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Internal`] on filesystem errors (the job itself still
+    /// completes; the caller downgrades this to a log line).
+    pub fn persist_results(&self, id: u64, db: &Database) -> Result<(), ServeError> {
+        let mut span = sam_obs::span!("journal_persist", job = id);
+        let dir = self.job_dir(id);
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| ServeError::Internal(format!("create {dir:?}: {e}")))?;
+        let mut bytes = 0u64;
+        for table in db.tables() {
+            let path = dir.join(format!("{}.csv", table.name()));
+            let tmp = dir.join(format!("{}.csv.tmp", table.name()));
+            let file = File::create(&tmp)
+                .map_err(|e| ServeError::Internal(format!("create {tmp:?}: {e}")))?;
+            let mut writer = BufWriter::new(file);
+            write_csv(table, &mut writer)
+                .map_err(|e| ServeError::Internal(format!("write {tmp:?}: {e}")))?;
+            writer
+                .flush()
+                .and_then(|()| writer.get_ref().sync_data())
+                .map_err(|e| ServeError::Internal(format!("sync {tmp:?}: {e}")))?;
+            bytes += std::fs::metadata(&tmp).map(|m| m.len()).unwrap_or(0);
+            std::fs::rename(&tmp, &path)
+                .map_err(|e| ServeError::Internal(format!("rename {tmp:?}: {e}")))?;
+            self.relation(id, table.name(), table.num_rows());
+        }
+        span.record("bytes", bytes);
+        Ok(())
+    }
+
+    /// Fold the event log into the last known state of every job, sorted by
+    /// id. Unknown events and malformed lines are skipped (forward
+    /// compatibility over strictness — a newer server's extra events must
+    /// not brick an older one's replay).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Internal`] if the log file exists but cannot be read.
+    pub fn replay(&self) -> Result<Vec<ReplayedJob>, ServeError> {
+        let path = self.dir.join(JOURNAL_FILE);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(ServeError::Internal(format!("read journal {path:?}: {e}"))),
+        };
+        let mut jobs: BTreeMap<u64, ReplayedJob> = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Ok(doc) = serde_json::parse_value(line) else {
+                continue;
+            };
+            let (Some(event), Some(id)) = (
+                doc.get("event").and_then(Value::as_str),
+                doc.get("job").and_then(Value::as_u64),
+            ) else {
+                continue;
+            };
+            match event {
+                "accepted" => {
+                    let Some(model) = doc.get("model").and_then(Value::as_str) else {
+                        continue;
+                    };
+                    let strategy = doc
+                        .get("strategy")
+                        .and_then(Value::as_str)
+                        .and_then(parse_strategy)
+                        .unwrap_or(JoinKeyStrategy::GroupAndMerge);
+                    jobs.insert(
+                        id,
+                        ReplayedJob {
+                            id,
+                            model: model.to_string(),
+                            version: doc.get("version").and_then(Value::as_u64).unwrap_or(0),
+                            config: GenerationConfig {
+                                foj_samples: doc
+                                    .get("foj_samples")
+                                    .and_then(Value::as_u64)
+                                    .unwrap_or(0)
+                                    as usize,
+                                batch: doc.get("batch").and_then(Value::as_u64).unwrap_or(1).max(1)
+                                    as usize,
+                                seed: doc.get("seed").and_then(Value::as_u64).unwrap_or(0),
+                                strategy,
+                            },
+                            state: ReplayState::Interrupted,
+                        },
+                    );
+                }
+                "running" | "resumed" | "relation" => {
+                    if let Some(job) = jobs.get_mut(&id) {
+                        // Still non-terminal; relation events may precede a
+                        // completed that never made it to disk.
+                        if matches!(job.state, ReplayState::Interrupted) {
+                            job.state = ReplayState::Interrupted;
+                        }
+                    }
+                }
+                "completed" => {
+                    if let Some(job) = jobs.get_mut(&id) {
+                        job.state = ReplayState::Completed(
+                            doc.get("summary").cloned().unwrap_or(Value::Null),
+                        );
+                    }
+                }
+                "failed" => {
+                    if let Some(job) = jobs.get_mut(&id) {
+                        job.state = ReplayState::Failed(
+                            doc.get("error")
+                                .and_then(Value::as_str)
+                                .unwrap_or("unknown error")
+                                .to_string(),
+                        );
+                    }
+                }
+                "cancelled" => {
+                    if let Some(job) = jobs.get_mut(&id) {
+                        job.state = ReplayState::Cancelled;
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(jobs.into_values().collect())
+    }
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal").field("dir", &self.dir).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_journal(tag: &str) -> Journal {
+        let dir =
+            std::env::temp_dir().join(format!("sam_journal_unit_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Journal::open(&dir, sam_obs::counter("test_journal_events")).unwrap()
+    }
+
+    fn config(seed: u64) -> GenerationConfig {
+        GenerationConfig {
+            foj_samples: 123,
+            batch: 7,
+            seed,
+            strategy: JoinKeyStrategy::GroupAndMerge,
+        }
+    }
+
+    #[test]
+    fn replay_folds_to_last_state() {
+        let journal = temp_journal("fold");
+        journal.accepted(1, "m", 1, &config(9));
+        journal.running(1);
+        journal.completed(1, &json!({"tables": []}));
+        journal.accepted(2, "m", 1, &config(10));
+        journal.running(2);
+        journal.accepted(3, "m", 2, &config(11));
+        journal.running(3);
+        journal.failed(3, "boom");
+        journal.accepted(4, "m", 2, &config(12));
+        journal.cancelled(4);
+
+        let jobs = journal.replay().unwrap();
+        assert_eq!(jobs.len(), 4);
+        assert!(matches!(jobs[0].state, ReplayState::Completed(_)));
+        assert_eq!(jobs[1].state, ReplayState::Interrupted);
+        assert_eq!(jobs[1].config.seed, 10);
+        assert_eq!(jobs[1].config.foj_samples, 123);
+        assert_eq!(jobs[2].state, ReplayState::Failed("boom".into()));
+        assert_eq!(jobs[3].state, ReplayState::Cancelled);
+        let _ = std::fs::remove_dir_all(journal.dir());
+    }
+
+    #[test]
+    fn replay_survives_garbage_lines_and_missing_file() {
+        let journal = temp_journal("garbage");
+        assert!(journal.replay().unwrap().is_empty());
+        journal.accepted(1, "m", 1, &config(1));
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(journal.dir().join(JOURNAL_FILE))
+            .unwrap()
+            .write_all(b"not json\n{\"event\":\"mystery\",\"job\":1}\n")
+            .unwrap();
+        let jobs = journal.replay().unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].state, ReplayState::Interrupted);
+        let _ = std::fs::remove_dir_all(journal.dir());
+    }
+
+    #[test]
+    fn strategy_round_trips() {
+        for s in [
+            JoinKeyStrategy::GroupAndMerge,
+            JoinKeyStrategy::PairwiseViews,
+        ] {
+            assert_eq!(parse_strategy(strategy_str(s)), Some(s));
+        }
+        assert_eq!(parse_strategy("nonsense"), None);
+    }
+}

@@ -14,9 +14,22 @@
 //!   a full queue is immediate 429 backpressure.
 //! * [`JobRegistry`] — async generation jobs with stage/progress polling and
 //!   cooperative cancellation ([`sam_core::JobControl`]).
-//! * [`Server`] — hand-rolled HTTP/1.1 + JSON front end with per-request
-//!   deadlines and graceful shutdown that drains queued estimates and
-//!   running jobs.
+//! * [`Journal`] — append-only on-disk job log ([`ServeConfig::journal_dir`]):
+//!   completed jobs survive a restart (status + export), interrupted jobs
+//!   resume bit-for-bit from their recorded seed
+//!   ([`Server::replay_journal`]).
+//! * [`Server`] — hand-rolled HTTP/1.1 + JSON front end: **keep-alive
+//!   connections by default** (pipelining honoured, idle timeout,
+//!   per-connection request cap, negotiated `Connection` state echoed),
+//!   streaming **chunked-CSV export** of finished jobs with bounded memory
+//!   (≤ 64 KiB in flight per export), per-request deadlines, and graceful
+//!   shutdown that drains queued estimates and running jobs.
+//!
+//! Operator guide (endpoints, flags, metrics, degradation):
+//! `docs/SERVING.md` at the repository root.
+//!
+//! [`ServeConfig::journal_dir`]: server::ServeConfig::journal_dir
+//! [`Server::replay_journal`]: server::Server::replay_journal
 
 #![warn(missing_docs)]
 // The vendored `json!` macro expands recursively per key; the estimate
@@ -28,6 +41,7 @@ pub mod cache;
 pub mod error;
 pub mod http;
 pub mod jobs;
+pub mod journal;
 pub mod metrics;
 pub mod registry;
 pub mod server;
@@ -36,6 +50,7 @@ pub use batcher::{BatchReply, Batcher, EstimateJob};
 pub use cache::{EstimateCache, EstimateKey};
 pub use error::ServeError;
 pub use jobs::{JobRecord, JobRegistry, JobState};
+pub use journal::{Journal, ReplayState, ReplayedJob};
 pub use metrics::ServeMetrics;
 pub use registry::{ModelEntry, ModelRegistry};
-pub use server::{ServeConfig, Server};
+pub use server::{ReplaySummary, ServeConfig, Server};

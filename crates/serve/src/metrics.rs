@@ -24,6 +24,10 @@ pub struct ServeMetrics {
     registry: Registry,
     /// All HTTP requests routed (any endpoint, any outcome).
     pub http_requests: Arc<Counter>,
+    /// TCP connections accepted. With keep-alive clients this grows much
+    /// slower than `http_requests`; the ratio is the mean requests per
+    /// connection.
+    pub http_connections: Arc<Counter>,
     /// `/estimate` calls answered 200.
     pub estimates_ok: Arc<Counter>,
     /// `/estimate` calls answered 4xx/5xx (excluding 429s/504s below).
@@ -48,6 +52,14 @@ pub struct ServeMetrics {
     pub jobs_started: Arc<Counter>,
     /// Generation jobs that reached a terminal state.
     pub jobs_finished: Arc<Counter>,
+    /// Relation exports streamed to completion (`GET /jobs/{id}/export`).
+    pub exports_ok: Arc<Counter>,
+    /// Events appended to the on-disk job journal (0 without
+    /// `--journal-dir`).
+    pub journal_events: Arc<Counter>,
+    /// Jobs reconstructed from the journal at startup (completed reloads +
+    /// interrupted resumes + terminal re-inserts).
+    pub jobs_replayed: Arc<Counter>,
     /// End-to-end `/estimate` latency (arrival → reply).
     pub estimate_latency: Arc<LatencyHistogram>,
 }
@@ -57,6 +69,7 @@ impl Default for ServeMetrics {
         let registry = Registry::new();
         ServeMetrics {
             http_requests: registry.counter("sam_http_requests_total"),
+            http_connections: registry.counter("sam_http_connections_total"),
             estimates_ok: registry.counter("sam_estimates_ok_total"),
             estimate_errors: registry.counter("sam_estimate_errors_total"),
             rejected_overload: registry.counter("sam_rejected_overload_total"),
@@ -68,6 +81,9 @@ impl Default for ServeMetrics {
             cache_misses: registry.counter("sam_estimate_cache_misses_total"),
             jobs_started: registry.counter("sam_jobs_started_total"),
             jobs_finished: registry.counter("sam_jobs_finished_total"),
+            exports_ok: registry.counter("sam_exports_ok_total"),
+            journal_events: registry.counter("sam_journal_events_total"),
+            jobs_replayed: registry.counter("sam_jobs_replayed_total"),
             estimate_latency: registry.histogram("sam_estimate_latency_seconds"),
             registry,
         }
@@ -85,6 +101,7 @@ impl ServeMetrics {
         let lat = self.estimate_latency.snapshot();
         json!({
             "http_requests": self.http_requests.get(),
+            "http_connections": self.http_connections.get(),
             "estimates_ok": self.estimates_ok.get(),
             "estimate_errors": self.estimate_errors.get(),
             "rejected_overload": self.rejected_overload.get(),
@@ -96,6 +113,9 @@ impl ServeMetrics {
             "cache_misses": self.cache_misses.get(),
             "jobs_started": self.jobs_started.get(),
             "jobs_finished": self.jobs_finished.get(),
+            "exports_ok": self.exports_ok.get(),
+            "journal_events": self.journal_events.get(),
+            "jobs_replayed": self.jobs_replayed.get(),
             "estimate_latency_ms": {
                 "count": lat.count,
                 "mean": lat.mean_ms,

@@ -1,8 +1,13 @@
-//! The HTTP server: accept loop, routing, and graceful shutdown.
+//! The HTTP server: accept loop, keep-alive connection handling, routing,
+//! journal replay, and graceful shutdown.
 //!
-//! Built on `std::net::TcpListener` with one thread per connection (requests
-//! are short; the expensive work happens in the batcher / job threads).
-//! Endpoints:
+//! Built on `std::net::TcpListener` with one thread per connection. Each
+//! connection serves **many requests** (HTTP/1.1 keep-alive): the handler
+//! loops read → route → respond until the client sends
+//! `Connection: close`, the idle timeout passes between requests, the
+//! per-connection request cap is reached, or the server starts draining
+//! (in-flight requests always finish; their response carries
+//! `Connection: close`). Endpoints:
 //!
 //! | Route | Effect |
 //! |---|---|
@@ -12,26 +17,38 @@
 //! | `POST /estimate` | micro-batched cardinality estimate |
 //! | `POST /generate` | start an async generation job (202) |
 //! | `GET /jobs/{id}` | poll job state / stage / progress |
+//! | `GET /jobs/{id}/export` | stream a finished relation as chunked CSV |
 //! | `POST /jobs/{id}/cancel` | request cooperative cancellation |
 //! | `GET /metrics` | counters + latency percentiles |
 //!
-//! Shutdown order matters: stop accepting, join connection handlers (they may
-//! still be waiting on estimate replies), drain + stop the batcher, then join
-//! all generation jobs (drain semantics — accepted jobs reach a terminal
-//! state before [`Server::shutdown`] returns).
+//! With [`ServeConfig::journal_dir`] set, accepted jobs are journaled to
+//! disk and [`Server::replay_journal`] (call it after loading models)
+//! restores them across restarts — completed jobs re-serve status and
+//! export from persisted CSVs, interrupted ones re-run from their recorded
+//! RNG seed. See [`crate::journal`].
+//!
+//! Shutdown order matters: stop accepting, join connection handlers (they
+//! may still be waiting on estimate replies), drain + stop the batcher,
+//! then join all generation jobs (drain semantics — accepted jobs reach a
+//! terminal state before [`Server::shutdown`] returns).
 
 use crate::batcher::{Batcher, EstimateJob};
 use crate::cache::{EstimateCache, EstimateKey};
 use crate::error::ServeError;
-use crate::http::{self, Request};
-use crate::jobs::JobRegistry;
+use crate::http::{self, ChunkedWriter, Request};
+use crate::jobs::{JobRegistry, JobState};
+use crate::journal::{Journal, ReplayState};
 use crate::metrics::ServeMetrics;
 use crate::registry::ModelRegistry;
 use sam_core::{GenerationConfig, JoinKeyStrategy};
 use sam_nn::BackendKind;
 use sam_query::parse_query;
+use sam_storage::csv::write_csv;
+use sam_storage::{csv::read_csv, Database, Table};
 use serde_json::{json, Value};
+use std::io::BufRead;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::RecvTimeoutError;
 use std::sync::{Arc, Mutex};
@@ -45,6 +62,11 @@ const MAX_FOJ_SAMPLES: usize = 5_000_000;
 /// Grace period past a request's deadline before the handler gives up
 /// waiting for the worker's own 504 (avoids racing the worker).
 const DEADLINE_GRACE: Duration = Duration::from_millis(100);
+/// Poll tick while waiting for the next request on an idle keep-alive
+/// connection; bounds how long shutdown waits on idle connections.
+const IDLE_POLL_TICK: Duration = Duration::from_millis(100);
+/// Read timeout once a request has started arriving.
+const REQUEST_READ_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -66,6 +88,16 @@ pub struct ServeConfig {
     /// Force every model loaded over HTTP onto this inference backend;
     /// `None` honours each checkpoint's recorded backend.
     pub backend: Option<BackendKind>,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub idle_timeout_ms: u64,
+    /// Requests served per connection before the server closes it (the
+    /// response to the last one carries `Connection: close`). Bounds the
+    /// lifetime of any single connection for fair load balancing.
+    pub max_conn_requests: usize,
+    /// Directory for the on-disk job journal and persisted results;
+    /// `None` disables journaling (jobs die with the process).
+    pub journal_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -79,8 +111,23 @@ impl Default for ServeConfig {
             default_timeout_ms: 10_000,
             cache_capacity: 1024,
             backend: None,
+            idle_timeout_ms: 30_000,
+            max_conn_requests: 1_000,
+            journal_dir: None,
         }
     }
+}
+
+/// What [`Server::replay_journal`] restored.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplaySummary {
+    /// Completed jobs whose results were reloaded from persisted CSVs.
+    pub completed: usize,
+    /// Interrupted jobs re-spawned from their recorded config/seed.
+    pub resumed: usize,
+    /// Jobs restored in a failed/cancelled terminal state, plus jobs that
+    /// could not be restored (model gone, results missing).
+    pub failed: usize,
 }
 
 struct ServerState {
@@ -108,6 +155,11 @@ pub struct Server {
 
 impl Server {
     /// Bind and start serving in background threads.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Internal`] if the address cannot be bound or the
+    /// journal directory (when configured) cannot be created.
     pub fn start(config: ServeConfig) -> Result<Server, ServeError> {
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| ServeError::Internal(format!("bind {}: {e}", config.addr)))?;
@@ -115,6 +167,13 @@ impl Server {
             .local_addr()
             .map_err(|e| ServeError::Internal(format!("local_addr: {e}")))?;
         let metrics = Arc::new(ServeMetrics::default());
+        let journal = match &config.journal_dir {
+            Some(dir) => Some(Arc::new(Journal::open(
+                dir,
+                Arc::clone(&metrics.journal_events),
+            )?)),
+            None => None,
+        };
         let batcher = Batcher::start(
             config.workers,
             config.queue_capacity,
@@ -126,7 +185,7 @@ impl Server {
         let state = Arc::new(ServerState {
             config,
             registry,
-            jobs: JobRegistry::new(),
+            jobs: JobRegistry::with_journal(journal),
             metrics,
             batcher,
             cache,
@@ -166,6 +225,109 @@ impl Server {
         &self.state.metrics
     }
 
+    /// Replay the on-disk journal: restore every journaled job to its last
+    /// known state. Call **after** registering/loading models — replay
+    /// binds each job to the model registered under its recorded name.
+    ///
+    /// Completed jobs reload their persisted CSVs (status and export are
+    /// served as if the job had just finished); interrupted jobs re-run
+    /// from their recorded config, whose seed makes the rerun bit-for-bit
+    /// identical; failed/cancelled jobs are restored in that terminal
+    /// state. Jobs whose model is no longer registered (or whose persisted
+    /// results are unreadable) are restored as failed with an explanatory
+    /// error rather than dropped.
+    ///
+    /// No-op returning the default summary when journaling is off.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Internal`] if the journal log exists but cannot be
+    /// read at all; per-job restore problems are folded into
+    /// [`ReplaySummary::failed`] instead of aborting the replay.
+    pub fn replay_journal(&self) -> Result<ReplaySummary, ServeError> {
+        let Some(journal) = self.state.jobs.journal().cloned() else {
+            return Ok(ReplaySummary::default());
+        };
+        let mut span = sam_obs::span!("journal_replay");
+        let mut summary = ReplaySummary::default();
+        for job in journal.replay()? {
+            self.state.metrics.jobs_replayed.inc();
+            let entry = self.state.registry.get(&job.model);
+            match (job.state, entry) {
+                (ReplayState::Completed(job_summary), Some(entry)) => {
+                    match load_persisted_results(&journal, job.id, &entry.trained) {
+                        Ok(db) => {
+                            self.state.jobs.insert_terminal(
+                                job.id,
+                                &job.model,
+                                entry.version,
+                                JobState::Done {
+                                    summary: job_summary,
+                                    db: Arc::new(db),
+                                },
+                            );
+                            summary.completed += 1;
+                        }
+                        Err(e) => {
+                            self.state.jobs.insert_terminal(
+                                job.id,
+                                &job.model,
+                                job.version,
+                                JobState::Failed(format!(
+                                    "completed before restart, but results unavailable: {e}"
+                                )),
+                            );
+                            summary.failed += 1;
+                        }
+                    }
+                }
+                (ReplayState::Interrupted, Some(entry)) => {
+                    self.state.jobs.respawn(
+                        job.id,
+                        entry,
+                        job.config,
+                        Arc::clone(&self.state.metrics),
+                    );
+                    summary.resumed += 1;
+                }
+                (ReplayState::Failed(msg), _) => {
+                    self.state.jobs.insert_terminal(
+                        job.id,
+                        &job.model,
+                        job.version,
+                        JobState::Failed(msg),
+                    );
+                    summary.failed += 1;
+                }
+                (ReplayState::Cancelled, _) => {
+                    self.state.jobs.insert_terminal(
+                        job.id,
+                        &job.model,
+                        job.version,
+                        JobState::Cancelled,
+                    );
+                    summary.failed += 1;
+                }
+                (_, None) => {
+                    self.state.jobs.insert_terminal(
+                        job.id,
+                        &job.model,
+                        job.version,
+                        JobState::Failed(format!(
+                            "model '{}' not registered after restart",
+                            job.model
+                        )),
+                    );
+                    summary.failed += 1;
+                }
+            }
+        }
+        span.record("completed", summary.completed);
+        span.record("resumed", summary.resumed);
+        span.record("failed", summary.failed);
+        Ok(summary)
+    }
+
     /// Graceful shutdown: stop accepting connections, finish in-flight
     /// requests, drain the estimate queue, and join every generation job.
     /// Idempotent; also runs on drop.
@@ -202,6 +364,30 @@ impl Drop for Server {
     }
 }
 
+/// Load a completed job's persisted CSVs back into a [`Database`], using
+/// the model's target schema for typing.
+fn load_persisted_results(
+    journal: &Journal,
+    id: u64,
+    trained: &sam_core::TrainedSam,
+) -> Result<Database, ServeError> {
+    let dir = journal.job_dir(id);
+    let schema = trained.db_schema();
+    let mut tables: Vec<Table> = Vec::new();
+    for table_schema in schema.tables() {
+        let path = dir.join(format!("{}.csv", table_schema.name));
+        let file = std::fs::File::open(&path)
+            .map_err(|e| ServeError::Internal(format!("open {path:?}: {e}")))?;
+        let table = read_csv(table_schema.clone(), std::io::BufReader::new(file))
+            .map_err(|e| ServeError::Internal(format!("parse {path:?}: {e}")))?;
+        tables.push(table);
+    }
+    // No integrity re-check: these are bytes we persisted ourselves, and
+    // replay must stay cheap even for large results.
+    Database::new(schema.clone(), tables, false)
+        .map_err(|e| ServeError::Internal(format!("rebuild database for job {id}: {e}")))
+}
+
 fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
     for conn in listener.incoming() {
         if state.shutting_down.load(Ordering::SeqCst) {
@@ -224,36 +410,127 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
     }
 }
 
-/// What a route handler produced: a JSON document or a preformatted text
-/// body (the Prometheus exposition).
+/// What a route handler produced: a JSON document, a preformatted text
+/// body (the Prometheus exposition), or a streamed CSV export.
 enum Reply {
     Json(u16, Value),
     Text(u16, String),
+    /// Stream `table` of the job's result database as chunked CSV.
+    CsvStream(Arc<Database>, usize),
+}
+
+/// Why the connection loop stopped waiting for request bytes.
+enum IdleOutcome {
+    /// First byte of the next request is buffered.
+    RequestReady,
+    /// Client closed, idle deadline passed, server is draining, or the
+    /// transport failed — close the connection.
+    Close,
+}
+
+/// Wait (in short poll ticks, so shutdown is observed promptly) until the
+/// next request starts arriving or the connection should close.
+fn wait_for_request(
+    stream: &TcpStream,
+    reader: &mut std::io::BufReader<&TcpStream>,
+    state: &ServerState,
+    idle_timeout: Duration,
+) -> IdleOutcome {
+    let idle_deadline = Instant::now() + idle_timeout;
+    let _ = stream.set_read_timeout(Some(IDLE_POLL_TICK));
+    loop {
+        if state.shutting_down.load(Ordering::SeqCst) {
+            return IdleOutcome::Close;
+        }
+        match reader.fill_buf() {
+            Ok([]) => return IdleOutcome::Close, // clean EOF
+            Ok(_) => return IdleOutcome::RequestReady,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if Instant::now() >= idle_deadline {
+                    return IdleOutcome::Close;
+                }
+            }
+            Err(_) => return IdleOutcome::Close,
+        }
+    }
 }
 
 fn handle_connection(stream: &TcpStream, state: &Arc<ServerState>) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    state.metrics.http_requests.inc();
-    let trace_id = state.next_trace_id.fetch_add(1, Ordering::Relaxed) + 1;
-    sam_obs::set_trace_id(Some(trace_id));
+    state.metrics.http_connections.inc();
+    // Responses are written in several small pieces (status line, headers,
+    // chunks); without TCP_NODELAY, Nagle holds each piece for the client's
+    // delayed ACK (~40ms) on long-lived keep-alive connections.
+    let _ = stream.set_nodelay(true);
+    let idle_timeout = Duration::from_millis(state.config.idle_timeout_ms.max(1));
+    let max_requests = state.config.max_conn_requests.max(1);
     let mut reader = std::io::BufReader::new(stream);
-    let reply = match http::read_request(&mut reader) {
-        Ok(request) => {
-            let _span = sam_obs::span!("request", method = request.method, path = request.path);
-            route(&request, state)
-        }
-        Err(e) => Reply::Json(e.status(), json!({"error": e.to_string()})),
-    };
-    let mut writer = stream;
-    match reply {
-        Reply::Json(status, body) => {
-            let text = serde_json::to_string(&body).unwrap_or_else(|_| "{}".to_string());
-            let _ = http::write_json_response(&mut writer, status, &text);
-        }
-        Reply::Text(status, text) => {
-            let _ = http::write_text_response(&mut writer, status, &text);
+    let mut served = 0usize;
+    while let IdleOutcome::RequestReady = wait_for_request(stream, &mut reader, state, idle_timeout)
+    {
+        let _ = stream.set_read_timeout(Some(REQUEST_READ_TIMEOUT));
+        state.metrics.http_requests.inc();
+        let trace_id = state.next_trace_id.fetch_add(1, Ordering::Relaxed) + 1;
+        sam_obs::set_trace_id(Some(trace_id));
+        served += 1;
+        let (reply, keep_alive) = match http::read_request(&mut reader) {
+            Ok(Some(request)) => {
+                let _span = sam_obs::span!("request", method = request.method, path = request.path);
+                // The server may close even when the client asked to keep
+                // the connection: request cap reached or drain started.
+                let keep = request.keep_alive
+                    && served < max_requests
+                    && !state.shutting_down.load(Ordering::SeqCst);
+                (route(&request, state), keep)
+            }
+            Ok(None) => break, // clean EOF mid-negotiation
+            // Framing can't be trusted after a parse error: answer and close.
+            Err(e) => (
+                Reply::Json(e.status(), json!({"error": e.to_string()})),
+                false,
+            ),
+        };
+        let mut writer = stream;
+        let io = match reply {
+            Reply::Json(status, body) => {
+                let text = serde_json::to_string(&body).unwrap_or_else(|_| "{}".to_string());
+                http::write_json_response(&mut writer, status, &text, keep_alive)
+            }
+            Reply::Text(status, text) => {
+                http::write_text_response(&mut writer, status, &text, keep_alive)
+            }
+            Reply::CsvStream(db, table_index) => {
+                stream_csv_export(&mut writer, &db, table_index, keep_alive, state)
+            }
+        };
+        if io.is_err() || !keep_alive {
+            break;
         }
     }
+}
+
+/// Stream one relation as chunked CSV. All validation happened in the
+/// router; from here on the status line is committed, so mid-stream errors
+/// can only abort the connection (clients detect the missing terminal
+/// chunk as truncation).
+fn stream_csv_export(
+    writer: &mut &TcpStream,
+    db: &Database,
+    table_index: usize,
+    keep_alive: bool,
+    state: &ServerState,
+) -> std::io::Result<()> {
+    let table = &db.tables()[table_index];
+    let mut span = sam_obs::span!("export", table = table.name(), rows = table.num_rows());
+    http::write_chunked_header(writer, 200, "text/csv", keep_alive)?;
+    let mut chunked = ChunkedWriter::new(writer);
+    write_csv(table, &mut chunked)?;
+    chunked.finish()?;
+    state.metrics.exports_ok.inc();
+    span.record("ok", true);
+    Ok(())
 }
 
 fn route(request: &Request, state: &Arc<ServerState>) -> Reply {
@@ -268,6 +545,12 @@ fn route(request: &Request, state: &Arc<ServerState>) -> Reply {
             Reply::Text(200, state.metrics.render_prometheus())
         } else {
             Reply::Json(200, state.metrics.to_json())
+        };
+    }
+    if request.method == "GET" && path.starts_with("/jobs/") && path.ends_with("/export") {
+        return match export_route(state, path, query) {
+            Ok(reply) => reply,
+            Err(e) => Reply::Json(e.status(), json!({"error": e.to_string()})),
         };
     }
     let result = match (request.method.as_str(), path) {
@@ -290,6 +573,42 @@ fn route(request: &Request, state: &Arc<ServerState>) -> Reply {
         Ok((status, body)) => Reply::Json(status, body),
         Err(e) => Reply::Json(e.status(), json!({"error": e.to_string()})),
     }
+}
+
+/// `GET /jobs/{id}/export?relation=R[&format=csv]` — resolve the job's
+/// result database and the requested relation; the connection handler does
+/// the actual streaming.
+fn export_route(state: &ServerState, path: &str, query: &str) -> Result<Reply, ServeError> {
+    let id_part = path["/jobs/".len()..]
+        .strip_suffix("/export")
+        .expect("router matched suffix");
+    let id = parse_job_id(id_part)?;
+    let record = state
+        .jobs
+        .get(id)
+        .ok_or_else(|| ServeError::NotFound(format!("job {id}")))?;
+    match query_param(query, "format") {
+        None | Some("csv") => {}
+        Some(other) => {
+            return Err(ServeError::BadRequest(format!(
+                "unsupported export format '{other}' (only csv)"
+            )))
+        }
+    }
+    let db = record.result_database().ok_or_else(|| {
+        ServeError::Conflict(format!(
+            "job {id} is not done (state: {})",
+            record.state_label()
+        ))
+    })?;
+    let relation = query_param(query, "relation")
+        .ok_or_else(|| ServeError::BadRequest("missing query parameter 'relation'".to_string()))?;
+    let table_index = db
+        .tables()
+        .iter()
+        .position(|t| t.name() == relation)
+        .ok_or_else(|| ServeError::NotFound(format!("relation '{relation}' in job {id}")))?;
+    Ok(Reply::CsvStream(db, table_index))
 }
 
 /// Value of `key` in a raw query string (`a=1&b=2`), if present.

@@ -1,0 +1,209 @@
+//! Streamed CSV export: chunked framing, bit-for-bit round-trips through
+//! `sam-storage`, error statuses, and bounded chunk sizes on large tables.
+
+mod support;
+
+use sam_serve::http::decode_chunked;
+use sam_serve::{JobState, ServeConfig, Server};
+use sam_storage::csv::{read_csv, write_csv};
+use sam_storage::{ColumnDef, DataType, Database, Table, TableSchema, Value as Dv};
+use serde_json::{json, Value};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use support::{http, tiny_model, wait_done, Conn};
+
+fn start_server(config: ServeConfig) -> Server {
+    let server = Server::start(config).expect("start server");
+    server.registry().insert("demo", tiny_model(3));
+    server
+}
+
+/// Every relation of a finished job streams as chunked CSV that decodes to
+/// exactly the bytes `sam_storage::csv::write_csv` produces, and parses
+/// back into an identical table — and the keep-alive connection stays
+/// usable after the streamed body.
+#[test]
+fn chunked_export_round_trips_through_storage() {
+    let server = start_server(ServeConfig::default());
+    let addr = server.addr();
+    let (status, accepted) = http(
+        addr,
+        "POST",
+        "/generate",
+        r#"{"model": "demo", "foj_samples": 400, "batch": 64, "seed": 11}"#,
+    );
+    assert_eq!(status, 202, "{accepted:?}");
+    let id = accepted.get("job_id").and_then(Value::as_u64).unwrap();
+    wait_done(addr, id);
+
+    let db = server
+        .jobs()
+        .get(id)
+        .unwrap()
+        .result_database()
+        .expect("finished job keeps its database");
+    let mut conn = Conn::open(addr);
+    for table in db.tables() {
+        let response = conn.request(
+            "GET",
+            &format!("/jobs/{id}/export?relation={}", table.name()),
+            "",
+        );
+        assert_eq!(response.status, 200);
+        assert_eq!(response.header("transfer-encoding"), Some("chunked"));
+        assert_eq!(response.header("content-type"), Some("text/csv"));
+        assert!(
+            response.header("content-length").is_none(),
+            "chunked responses must not carry Content-Length"
+        );
+        assert_eq!(response.header("connection"), Some("keep-alive"));
+
+        let decoded = decode_chunked(&response.body).expect("well-formed chunked stream");
+        let mut direct = Vec::new();
+        write_csv(table, &mut direct).unwrap();
+        assert_eq!(
+            decoded,
+            direct,
+            "table {}: streamed bytes differ from write_csv",
+            table.name()
+        );
+
+        let back = read_csv(table.schema().clone(), decoded.as_slice()).unwrap();
+        assert_eq!(back.num_rows(), table.num_rows());
+        for r in 0..table.num_rows() {
+            assert_eq!(back.row(r), table.row(r), "table {} row {r}", table.name());
+        }
+    }
+    // Chunked framing must leave the connection in a clean state.
+    assert_eq!(conn.request("GET", "/healthz", "").status, 200);
+
+    let (_, metrics) = http(addr, "GET", "/metrics", "");
+    assert_eq!(
+        metrics.get("exports_ok").and_then(Value::as_u64),
+        Some(db.tables().len() as u64)
+    );
+    server.shutdown();
+}
+
+/// Export error statuses: 404 for unknown jobs and relations, 400 for a
+/// missing relation parameter or unsupported format, 409 while the job is
+/// not done (running or cancelled).
+#[test]
+fn export_errors_are_statused_not_hung() {
+    let server = start_server(ServeConfig::default());
+    let addr = server.addr();
+
+    let (status, _) = http(addr, "GET", "/jobs/99/export?relation=A", "");
+    assert_eq!(status, 404, "unknown job");
+
+    // A job big enough that it is still running when we poke at it.
+    let (status, accepted) = http(
+        addr,
+        "POST",
+        "/generate",
+        r#"{"model": "demo", "foj_samples": 2000000, "batch": 64, "seed": 2}"#,
+    );
+    assert_eq!(status, 202);
+    let id = accepted.get("job_id").and_then(Value::as_u64).unwrap();
+    let (status, body) = http(addr, "GET", &format!("/jobs/{id}/export?relation=A"), "");
+    assert_eq!(status, 409, "running job must refuse export: {body:?}");
+    assert!(body
+        .get("error")
+        .and_then(Value::as_str)
+        .unwrap()
+        .contains("not done"));
+
+    // Cancel and wait for the terminal state; export still refuses.
+    let (status, _) = http(addr, "POST", &format!("/jobs/{id}/cancel"), "");
+    assert_eq!(status, 200);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (_, polled) = http(addr, "GET", &format!("/jobs/{id}"), "");
+        match polled.get("state").and_then(Value::as_str) {
+            Some("cancelled") | Some("done") => break,
+            _ if Instant::now() > deadline => panic!("job did not terminate: {polled:?}"),
+            _ => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    let (status, _) = http(addr, "GET", &format!("/jobs/{id}/export?relation=A"), "");
+    assert!(
+        status == 409 || status == 200,
+        "cancelled-or-done job gave {status}"
+    );
+
+    // A small job run to completion, for parameter errors.
+    let (_, accepted) = http(
+        addr,
+        "POST",
+        "/generate",
+        r#"{"model": "demo", "foj_samples": 300, "batch": 64, "seed": 3}"#,
+    );
+    let id = accepted.get("job_id").and_then(Value::as_u64).unwrap();
+    wait_done(addr, id);
+
+    let (status, body) = http(addr, "GET", &format!("/jobs/{id}/export"), "");
+    assert_eq!(status, 400, "missing relation parameter: {body:?}");
+    let (status, _) = http(addr, "GET", &format!("/jobs/{id}/export?relation=Nope"), "");
+    assert_eq!(status, 404, "unknown relation");
+    let (status, _) = http(
+        addr,
+        "GET",
+        &format!("/jobs/{id}/export?relation=A&format=parquet"),
+        "",
+    );
+    assert_eq!(status, 400, "unsupported format");
+    server.shutdown();
+}
+
+/// A 100k-row relation streams in many bounded chunks (none larger than
+/// the 64 KiB streaming buffer), and the decoded CSV is complete — the
+/// acceptance test for memory-bounded export.
+#[test]
+fn hundred_thousand_row_export_streams_in_bounded_chunks() {
+    const ROWS: usize = 100_000;
+    let server = start_server(ServeConfig::default());
+    let addr = server.addr();
+
+    let schema = TableSchema::new(
+        "big",
+        vec![
+            ColumnDef::content("id", DataType::Int),
+            ColumnDef::content("label", DataType::Str),
+        ],
+    );
+    let rows: Vec<Vec<Dv>> = (0..ROWS)
+        .map(|i| vec![Dv::Int(i as i64), Dv::str(format!("row-{i:06}"))])
+        .collect();
+    let table = Table::from_rows(schema, &rows).unwrap();
+    server.jobs().insert_terminal(
+        7,
+        "demo",
+        1,
+        JobState::Done {
+            summary: json!({"tables": [{"table": "big", "rows": ROWS}]}),
+            db: Arc::new(Database::single(table)),
+        },
+    );
+
+    let mut conn = Conn::open(addr);
+    let response = conn.request("GET", "/jobs/7/export?relation=big", "");
+    assert_eq!(response.status, 200);
+    assert!(
+        response.chunks >= 4,
+        "a ~1.7 MB table must stream in many chunks, got {}",
+        response.chunks
+    );
+    assert!(
+        response.max_chunk <= 64 * 1024,
+        "chunk of {} bytes exceeds the 64 KiB streaming buffer",
+        response.max_chunk
+    );
+
+    let decoded = decode_chunked(&response.body).expect("well-formed chunked stream");
+    let newlines = decoded.iter().filter(|&&b| b == b'\n').count();
+    assert_eq!(newlines, ROWS + 1, "header + one line per row");
+    let text = String::from_utf8(decoded).unwrap();
+    assert!(text.starts_with("id,label\n"));
+    assert!(text.ends_with(&format!("{},row-{:06}\n", ROWS - 1, ROWS - 1)));
+    server.shutdown();
+}

@@ -1,0 +1,215 @@
+//! Restart-safety through the job journal: completed jobs are re-servable
+//! after a restart, interrupted jobs resume bit-for-bit from their recorded
+//! seed, and unrecoverable jobs are restored as failed — never dropped.
+
+mod support;
+
+use sam_core::{GenerationConfig, JoinKeyStrategy};
+use sam_serve::http::decode_chunked;
+use sam_serve::{Journal, ServeConfig, Server};
+use sam_storage::csv::write_csv;
+use serde_json::Value;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+use support::{http, tiny_model, wait_done, Conn};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sam_journal_it_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn journalled_config(dir: &Path) -> ServeConfig {
+    ServeConfig {
+        journal_dir: Some(dir.to_path_buf()),
+        ..ServeConfig::default()
+    }
+}
+
+fn export(addr: std::net::SocketAddr, id: u64, relation: &str) -> Vec<u8> {
+    let mut conn = Conn::open(addr);
+    let response = conn.request("GET", &format!("/jobs/{id}/export?relation={relation}"), "");
+    assert_eq!(response.status, 200);
+    decode_chunked(&response.body).expect("well-formed chunked stream")
+}
+
+/// A job completed before shutdown is re-servable after a restart: same
+/// status document, byte-identical export (reloaded from persisted CSVs),
+/// and fresh submissions get ids above the replayed ones.
+#[test]
+fn completed_job_is_reservable_after_restart() {
+    let dir = temp_dir("completed");
+
+    let first = Server::start(journalled_config(&dir)).expect("start server");
+    first.registry().insert("demo", tiny_model(3));
+    let addr = first.addr();
+    let (status, accepted) = http(
+        addr,
+        "POST",
+        "/generate",
+        r#"{"model": "demo", "foj_samples": 400, "batch": 64, "seed": 11}"#,
+    );
+    assert_eq!(status, 202, "{accepted:?}");
+    let id = accepted.get("job_id").and_then(Value::as_u64).unwrap();
+    let done = wait_done(addr, id);
+    let before = export(addr, id, "A");
+    first.shutdown();
+    drop(first);
+
+    let second = Server::start(journalled_config(&dir)).expect("restart server");
+    second.registry().insert("demo", tiny_model(3));
+    let replay = second.replay_journal().expect("replay");
+    assert_eq!(replay.completed, 1, "{replay:?}");
+    assert_eq!(replay.resumed, 0);
+    assert_eq!(replay.failed, 0);
+    let addr = second.addr();
+
+    let (status, polled) = http(addr, "GET", &format!("/jobs/{id}"), "");
+    assert_eq!(status, 200, "replayed job must be known");
+    assert_eq!(polled.get("state").and_then(Value::as_str), Some("done"));
+    assert_eq!(polled.get("progress").and_then(Value::as_f64), Some(1.0));
+    assert_eq!(
+        polled.get("result").and_then(|r| r.get("tables")),
+        done.get("result").and_then(|r| r.get("tables")),
+        "summary must survive the restart"
+    );
+
+    assert_eq!(
+        export(addr, id, "A"),
+        before,
+        "export after restart must be byte-identical"
+    );
+
+    // New ids must not collide with replayed ones.
+    let (status, accepted) = http(
+        addr,
+        "POST",
+        "/generate",
+        r#"{"model": "demo", "foj_samples": 200, "batch": 64, "seed": 1}"#,
+    );
+    assert_eq!(status, 202);
+    assert!(accepted.get("job_id").and_then(Value::as_u64).unwrap() > id);
+
+    let (_, metrics) = http(addr, "GET", "/metrics", "");
+    assert_eq!(
+        metrics.get("jobs_replayed").and_then(Value::as_u64),
+        Some(1)
+    );
+    // The fresh submission journaled at least its `accepted` event.
+    assert!(
+        metrics
+            .get("journal_events")
+            .and_then(Value::as_u64)
+            .unwrap()
+            >= 1
+    );
+    second.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A job interrupted mid-run (journal records accepted + running, no
+/// terminal event — exactly what a crash leaves behind) is re-spawned
+/// under its original id and, because the config carries the RNG seed,
+/// regenerates a bit-for-bit identical database.
+#[test]
+fn interrupted_job_resumes_bit_for_bit() {
+    let dir = temp_dir("resume");
+    let config = GenerationConfig {
+        foj_samples: 400,
+        batch: 64,
+        seed: 11,
+        strategy: JoinKeyStrategy::GroupAndMerge,
+    };
+    let trained = tiny_model(3);
+    let (direct, _) = trained.generate(&config).expect("direct generate");
+
+    // Simulate the crash: lifecycle written up to `running`, then nothing.
+    {
+        let journal = Journal::open(&dir, sam_obs::counter("test_resume_events")).unwrap();
+        journal.accepted(5, "demo", 1, &config);
+        journal.running(5);
+    }
+
+    let server = Server::start(journalled_config(&dir)).expect("start server");
+    server.registry().insert("demo", trained);
+    let replay = server.replay_journal().expect("replay");
+    assert_eq!(replay.resumed, 1, "{replay:?}");
+
+    let record = server.jobs().get(5).expect("resumed under original id");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while !record.is_finished() {
+        assert!(Instant::now() < deadline, "resumed job did not finish");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(record.state_label(), "done");
+
+    let addr = server.addr();
+    for table in direct.tables() {
+        let mut want = Vec::new();
+        write_csv(table, &mut want).unwrap();
+        assert_eq!(
+            export(addr, 5, table.name()),
+            want,
+            "table {}: resumed run differs from the uninterrupted one",
+            table.name()
+        );
+    }
+
+    // Fresh ids continue above the resumed job's.
+    let (status, accepted) = http(
+        addr,
+        "POST",
+        "/generate",
+        r#"{"model": "demo", "foj_samples": 200, "batch": 64, "seed": 1}"#,
+    );
+    assert_eq!(status, 202);
+    assert_eq!(accepted.get("job_id").and_then(Value::as_u64), Some(6));
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Jobs that cannot be restored — model no longer registered, persisted
+/// results missing, or recorded as failed — come back as failed records
+/// with explanatory errors, not silently dropped.
+#[test]
+fn unrecoverable_jobs_are_restored_as_failed() {
+    let dir = temp_dir("unrecoverable");
+    let config = GenerationConfig {
+        foj_samples: 100,
+        batch: 32,
+        seed: 1,
+        strategy: JoinKeyStrategy::GroupAndMerge,
+    };
+    {
+        let journal = Journal::open(&dir, sam_obs::counter("test_unrecoverable_events")).unwrap();
+        // Model gone after restart.
+        journal.accepted(1, "ghost", 1, &config);
+        // Completed, but its persisted CSVs are missing (e.g. pruned).
+        journal.accepted(2, "demo", 1, &config);
+        journal.completed(2, &serde_json::json!({"tables": []}));
+        // Failed before the restart.
+        journal.accepted(3, "demo", 1, &config);
+        journal.failed(3, "boom");
+    }
+
+    let server = Server::start(journalled_config(&dir)).expect("start server");
+    server.registry().insert("demo", tiny_model(3));
+    let replay = server.replay_journal().expect("replay");
+    assert_eq!(replay.failed, 3, "{replay:?}");
+    assert_eq!(replay.completed, 0);
+    assert_eq!(replay.resumed, 0);
+
+    let addr = server.addr();
+    let expect_failed = |id: u64, needle: &str| {
+        let (status, polled) = http(addr, "GET", &format!("/jobs/{id}"), "");
+        assert_eq!(status, 200);
+        assert_eq!(polled.get("state").and_then(Value::as_str), Some("failed"));
+        let error = polled.get("error").and_then(Value::as_str).unwrap();
+        assert!(error.contains(needle), "job {id}: {error:?}");
+    };
+    expect_failed(1, "not registered");
+    expect_failed(2, "results unavailable");
+    expect_failed(3, "boom");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

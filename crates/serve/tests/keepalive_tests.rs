@@ -1,0 +1,168 @@
+//! Keep-alive connection handling: request pipelining over one socket,
+//! `Connection` negotiation, the per-connection request cap, idle timeout,
+//! and prompt rejection of oversized bodies.
+
+mod support;
+
+use sam_serve::{ServeConfig, Server};
+use serde_json::Value;
+use std::time::{Duration, Instant};
+use support::{tiny_model, Conn};
+
+fn start_server(config: ServeConfig) -> Server {
+    let server = Server::start(config).expect("start server");
+    server.registry().insert("demo", tiny_model(3));
+    server
+}
+
+/// N pipelined requests written back-to-back over one socket must all be
+/// answered on that socket: the connection counter stays at 1 while the
+/// request counter sees every request.
+#[test]
+fn pipelined_requests_share_one_connection() {
+    const N: usize = 5;
+    let server = start_server(ServeConfig::default());
+    let mut conn = Conn::open(server.addr());
+
+    // Pipelining proper: all N requests hit the wire before any response
+    // is read.
+    for _ in 0..N {
+        conn.send("GET", "/healthz", "");
+    }
+    for i in 0..N {
+        let response = conn.read_response().expect("pipelined response");
+        assert_eq!(response.status, 200, "request {i}");
+        assert_eq!(response.header("connection"), Some("keep-alive"));
+    }
+
+    // The metrics request itself rides the same connection.
+    let metrics = conn.request("GET", "/metrics", "").json();
+    assert_eq!(
+        metrics.get("http_connections").and_then(Value::as_u64),
+        Some(1),
+        "all requests must share one connection"
+    );
+    assert_eq!(
+        metrics.get("http_requests").and_then(Value::as_u64),
+        Some(N as u64 + 1)
+    );
+    server.shutdown();
+}
+
+/// `Connection: close` is echoed and honoured; HTTP/1.0 defaults to close.
+#[test]
+fn connection_close_is_echoed_and_honoured() {
+    let server = start_server(ServeConfig::default());
+
+    let mut conn = Conn::open(server.addr());
+    conn.send_with("GET", "/healthz", "", &["Connection: close"]);
+    let response = conn.read_response().expect("response");
+    assert_eq!(response.status, 200);
+    assert_eq!(response.header("connection"), Some("close"));
+    assert!(
+        conn.read_response().is_none(),
+        "server must close after Connection: close"
+    );
+
+    // HTTP/1.0 without a Connection header defaults to close.
+    let mut conn = Conn::open(server.addr());
+    conn.send_raw("GET /healthz HTTP/1.0\r\nHost: test\r\nContent-Length: 0\r\n\r\n");
+    let response = conn.read_response().expect("response");
+    assert_eq!(response.status, 200);
+    assert_eq!(response.header("connection"), Some("close"));
+    assert!(conn.read_response().is_none());
+    server.shutdown();
+}
+
+/// The per-connection request cap closes the connection after the limit,
+/// announcing it on the last response.
+#[test]
+fn request_cap_closes_connection() {
+    let server = start_server(ServeConfig {
+        max_conn_requests: 2,
+        ..ServeConfig::default()
+    });
+    let mut conn = Conn::open(server.addr());
+
+    let first = conn.request("GET", "/healthz", "");
+    assert_eq!(first.header("connection"), Some("keep-alive"));
+    let second = conn.request("GET", "/healthz", "");
+    assert_eq!(
+        second.header("connection"),
+        Some("close"),
+        "response at the cap must announce the close"
+    );
+    assert!(conn.read_response().is_none(), "cap reached → close");
+
+    // A fresh connection serves again.
+    let mut conn = Conn::open(server.addr());
+    assert_eq!(conn.request("GET", "/healthz", "").status, 200);
+    server.shutdown();
+}
+
+/// A connection idle between requests is closed once the idle timeout
+/// passes — without disturbing a request that arrives in time.
+#[test]
+fn idle_connection_times_out() {
+    let server = start_server(ServeConfig {
+        idle_timeout_ms: 300,
+        ..ServeConfig::default()
+    });
+
+    // Active use within the window keeps the connection alive.
+    let mut conn = Conn::open(server.addr());
+    assert_eq!(conn.request("GET", "/healthz", "").status, 200);
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(conn.request("GET", "/healthz", "").status, 200);
+
+    // Going idle past the timeout gets the connection closed.
+    let started = Instant::now();
+    assert!(
+        conn.read_response().is_none(),
+        "idle connection must be closed by the server"
+    );
+    let waited = started.elapsed();
+    assert!(
+        waited < Duration::from_secs(10),
+        "close took {waited:?}, expected roughly the 300ms idle timeout"
+    );
+    server.shutdown();
+}
+
+/// A `Content-Length` beyond the body cap is rejected with 400 *before*
+/// the server tries to read the body — the client gets an answer promptly
+/// even though it never sends a byte of payload.
+#[test]
+fn oversized_body_is_rejected_promptly() {
+    let server = start_server(ServeConfig::default());
+    let mut conn = Conn::open(server.addr());
+    let oversized = (1usize << 20) + 1;
+    conn.send_raw(&format!(
+        "POST /estimate HTTP/1.1\r\nHost: test\r\nContent-Length: {oversized}\r\n\r\n"
+    ));
+    let started = Instant::now();
+    let response = conn.read_response().expect("prompt 400");
+    assert_eq!(response.status, 400);
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "server must answer without waiting for the declared body"
+    );
+    // Framing can't be trusted after the refusal: connection closes.
+    assert_eq!(response.header("connection"), Some("close"));
+    assert!(conn.read_response().is_none());
+    server.shutdown();
+}
+
+/// A malformed request line gets a 400 and the connection is closed (the
+/// parser cannot re-synchronise on the next request boundary).
+#[test]
+fn parse_error_answers_then_closes() {
+    let server = start_server(ServeConfig::default());
+    let mut conn = Conn::open(server.addr());
+    conn.send_raw("NONSENSE\r\n\r\n");
+    let response = conn.read_response().expect("error response");
+    assert_eq!(response.status, 400);
+    assert_eq!(response.header("connection"), Some("close"));
+    assert!(conn.read_response().is_none());
+    server.shutdown();
+}

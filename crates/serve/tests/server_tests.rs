@@ -33,7 +33,9 @@ fn tiny_model(arch_seed: u64) -> TrainedSam {
     Sam::fit(db.schema(), &stats, &workload, &config).unwrap()
 }
 
-/// Blocking one-shot HTTP client: send a request, read the full response.
+/// Blocking one-shot HTTP client: send a request (downgrading to
+/// `Connection: close` so reading to EOF frames the response), read the
+/// full response.
 fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, Value) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
@@ -41,7 +43,7 @@ fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u1
         .unwrap();
     write!(
         stream,
-        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     )
     .expect("write request");

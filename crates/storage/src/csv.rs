@@ -132,37 +132,80 @@ fn needs_quoting(s: &str) -> bool {
     s == "NULL" || s.contains([',', '"', '\n'])
 }
 
-/// Write a table as CSV (header row + one record per row).
-pub fn write_csv<W: Write>(table: &Table, writer: &mut W) -> std::io::Result<()> {
-    let header: Vec<&str> = table
-        .schema()
-        .columns
-        .iter()
-        .map(|c| c.name.as_str())
-        .collect();
-    writeln!(writer, "{}", header.join(","))?;
-    for row in table.iter_rows() {
+/// Incremental CSV writer: header on construction, then one record at a
+/// time. This is the streaming seam the serving layer's chunked export
+/// builds on — rows flow straight through to the underlying [`Write`]
+/// (e.g. an HTTP chunked-encoding adapter), so memory stays bounded
+/// regardless of how many rows are written.
+///
+/// [`write_csv`] is the convenience wrapper for whole in-memory tables.
+pub struct CsvWriter<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> CsvWriter<W> {
+    /// Write the header row for `schema` and return the writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn new(schema: &TableSchema, mut writer: W) -> std::io::Result<Self> {
+        let header: Vec<&str> = schema.columns.iter().map(|c| c.name.as_str()).collect();
+        writeln!(writer, "{}", header.join(","))?;
+        Ok(CsvWriter { writer })
+    }
+
+    /// Write one record (the caller guarantees arity matches the schema).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write_row(&mut self, row: &[Value]) -> std::io::Result<()> {
         let mut first = true;
-        for v in &row {
+        for v in row {
             if !first {
-                write!(writer, ",")?;
+                write!(self.writer, ",")?;
             }
             first = false;
             match v {
-                Value::Null => write!(writer, "NULL")?,
-                Value::Int(x) => write!(writer, "{x}")?,
-                Value::Float(x) => write!(writer, "{x}")?,
+                Value::Null => write!(self.writer, "NULL")?,
+                Value::Int(x) => write!(self.writer, "{x}")?,
+                Value::Float(x) => write!(self.writer, "{x}")?,
                 Value::Str(s) => {
                     if needs_quoting(s) {
-                        write!(writer, "\"{}\"", s.replace('"', "\"\""))?;
+                        write!(self.writer, "\"{}\"", s.replace('"', "\"\""))?;
                     } else {
-                        write!(writer, "{s}")?;
+                        write!(self.writer, "{s}")?;
                     }
                 }
             }
         }
-        writeln!(writer)?;
+        writeln!(self.writer)
     }
+
+    /// Flush and hand back the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+/// Write a table as CSV (header row + one record per row), streaming row
+/// by row through [`CsvWriter`].
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_csv<W: Write>(table: &Table, writer: &mut W) -> std::io::Result<()> {
+    let mut csv = CsvWriter::new(table.schema(), writer)?;
+    for row in table.iter_rows() {
+        csv.write_row(&row)?;
+    }
+    csv.finish()?;
     Ok(())
 }
 

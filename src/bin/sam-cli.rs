@@ -15,7 +15,8 @@
 //! sam-cli serve    [--addr HOST:PORT] [--models name=model.json,...]
 //!                  [--workers N] [--queue N] [--max-batch N]
 //!                  [--samples N] [--timeout-ms N] [--cache N]
-//!                  [--backend f32|f16]
+//!                  [--backend f32|f16] [--journal-dir DIR]
+//!                  [--idle-timeout-ms N] [--conn-requests N]
 //! ```
 //!
 //! `--backend` picks the frozen-inference backend: `f32` (the exact
@@ -23,6 +24,13 @@
 //! half-precision weights — faster, ~1e-2 relative error). For `serve` it
 //! applies to every model loaded into the registry; for `generate` /
 //! `estimate` it retargets the trained or loaded model before inference.
+//!
+//! `serve --journal-dir DIR` makes generation jobs restart-safe: every job
+//! is journaled to `DIR/journal.jsonl`, completed results are persisted as
+//! CSV under `DIR/jobs/<id>/`, and on startup the journal is replayed —
+//! completed jobs are re-servable (status + `GET /jobs/{id}/export`),
+//! interrupted ones re-run from their recorded RNG seed. See
+//! `docs/SERVING.md` for the full operator guide.
 //!
 //! The pipeline subcommands (`demo`, `train`, `generate`, `serve`) also
 //! accept `--log-level {silent,info,debug}` (structured span lines on
@@ -505,7 +513,11 @@ fn serve(args: &Args) -> Result<(), String> {
         default_timeout_ms: args.num("timeout-ms", 10_000u64)?,
         cache_capacity: args.num("cache", 1024usize)?,
         backend: backend_arg(args)?,
+        idle_timeout_ms: args.num("idle-timeout-ms", 30_000u64)?,
+        max_conn_requests: args.num("conn-requests", 1_000usize)?,
+        journal_dir: args.get("journal-dir").map(PathBuf::from),
     };
+    let journalled = config.journal_dir.is_some();
     let server = sam::serve::Server::start(config).map_err(|e| e.to_string())?;
     if let Some(models) = args.get("models") {
         for spec in models.split(',') {
@@ -518,6 +530,15 @@ fn serve(args: &Args) -> Result<(), String> {
                 .map_err(|e| e.to_string())?;
             println!("loaded model {name} v{version} from {path}");
         }
+    }
+    // Replay after model loading: interrupted jobs re-bind to the model
+    // registered under their recorded name.
+    if journalled {
+        let replay = server.replay_journal().map_err(|e| e.to_string())?;
+        println!(
+            "journal replay: {} completed reloaded, {} interrupted resumed, {} failed/terminal",
+            replay.completed, replay.resumed, replay.failed
+        );
     }
     println!(
         "sam-serve listening on http://{} ({} models loaded; POST /models to add more)",

@@ -20,7 +20,7 @@ fn http_raw(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) ->
         .unwrap();
     write!(
         stream,
-        "{method} {path} HTTP/1.1\r\nHost: e2e\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: e2e\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     )
     .expect("write request");
