@@ -1,0 +1,261 @@
+//! Crash-safe training checkpoints.
+//!
+//! [`crate::train()`] can periodically snapshot *everything* the training
+//! loop mutates — parameter values, Adam moments and step counter, the
+//! shuffle/noise RNG state, the completed-epoch count and per-epoch losses
+//! — so that a run killed at any instant resumes **bit-for-bit identical**
+//! to the uninterrupted run. Three choices make that exactness hold:
+//!
+//! 1. All `f32` data is stored as raw `u32` bit patterns, never as decimal
+//!    floats, so no JSON round-trip can perturb a single ULP.
+//! 2. Checkpoints are written with the tmp+fsync+rename commit protocol
+//!    ([`sam_fault::write_atomic`]) — a crash leaves either the previous
+//!    checkpoint or the new one, never a torn mix — and the whole file is
+//!    framed with a CRC-32 so silent corruption is detected, not loaded.
+//! 3. A config **fingerprint** (seed, batch size, hyperparameter bit
+//!    patterns, workload size, parameter count — everything that shapes
+//!    the training trajectory *except* `epochs`, so a resumed run may
+//!    extend training) is stored and verified on resume; a checkpoint from
+//!    a different run is rejected loudly instead of silently diverging.
+
+use crate::error::ArError;
+use sam_fault::{crash_point, crc32, write_atomic, FaultFs, RealFs};
+use sam_nn::Matrix;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// First line of a checkpoint file: magic, then the CRC-32 of the JSON body.
+const MAGIC: &str = "SAMCKPT1";
+/// Checkpoint file name inside the checkpoint directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.json";
+
+/// Where and how often [`crate::train()`] checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Directory holding `checkpoint.json` (created if missing).
+    pub dir: PathBuf,
+    /// Snapshot every `every` completed epochs (a final snapshot is always
+    /// written when training finishes). Clamped to at least 1.
+    pub every: usize,
+    /// Filesystem to write through — [`RealFs`] in production, a
+    /// [`sam_fault::FaultyFs`] under test.
+    pub fs: Arc<dyn FaultFs>,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint into `dir` every `every` epochs on the real filesystem.
+    pub fn new(dir: impl Into<PathBuf>, every: usize) -> Self {
+        CheckpointConfig {
+            dir: dir.into(),
+            every: every.max(1),
+            fs: Arc::new(RealFs),
+        }
+    }
+
+    /// Swap in a different (typically fault-injecting) filesystem.
+    pub fn with_fs(mut self, fs: Arc<dyn FaultFs>) -> Self {
+        self.fs = fs;
+        self
+    }
+
+    /// Path of the checkpoint file.
+    pub fn path(&self) -> PathBuf {
+        self.dir.join(CHECKPOINT_FILE)
+    }
+}
+
+/// A matrix stored as raw bit patterns (lossless across JSON).
+#[derive(Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub(crate) struct MatrixBits {
+    rows: usize,
+    cols: usize,
+    bits: Vec<u32>,
+}
+
+impl MatrixBits {
+    pub(crate) fn from_matrix(m: &Matrix) -> Self {
+        MatrixBits {
+            rows: m.rows(),
+            cols: m.cols(),
+            bits: m.data().iter().map(|f| f.to_bits()).collect(),
+        }
+    }
+
+    pub(crate) fn to_matrix(&self) -> Result<Matrix, ArError> {
+        if self.bits.len() != self.rows * self.cols {
+            return Err(ArError::Invalid(format!(
+                "checkpoint matrix {}x{} carries {} scalars",
+                self.rows,
+                self.cols,
+                self.bits.len()
+            )));
+        }
+        Ok(Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.bits.iter().map(|&b| f32::from_bits(b)).collect(),
+        ))
+    }
+}
+
+/// Everything that shapes the training trajectory except `epochs`.
+/// Hyperparameter floats are compared by bit pattern.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub(crate) struct Fingerprint {
+    pub seed: u64,
+    pub batch_size: usize,
+    pub lr_bits: u32,
+    pub temperature_bits: u32,
+    pub eps_bits: u32,
+    pub straight_through: bool,
+    pub samples_per_query: usize,
+    pub workload_len: usize,
+    pub num_scalars: usize,
+}
+
+/// The full on-disk snapshot of the training loop's mutable state.
+#[derive(Debug, Serialize, Deserialize)]
+pub(crate) struct CheckpointState {
+    pub version: u32,
+    pub fingerprint: Fingerprint,
+    /// Epochs fully completed before this snapshot.
+    pub epochs_done: usize,
+    /// Per-epoch mean losses, as bit patterns.
+    pub epoch_loss_bits: Vec<u32>,
+    /// xoshiro256** state of the shuffle/noise RNG (4 words).
+    pub rng_state: Vec<u64>,
+    /// The query visit order as left by the last epoch's shuffle. Shuffles
+    /// permute in place, so epoch N's order depends on epoch N-1's — it is
+    /// part of the trajectory and must survive a restart.
+    pub order: Vec<u64>,
+    /// Adam step counter.
+    pub adam_t: u64,
+    /// Parameter values, in `ParamStore` order.
+    pub params: Vec<MatrixBits>,
+    /// Adam first moments.
+    pub adam_m: Vec<MatrixBits>,
+    /// Adam second moments.
+    pub adam_v: Vec<MatrixBits>,
+}
+
+/// Serialise and durably write a snapshot. Crash points on the way:
+/// `train.ckpt.pre_write` (nothing written yet), the generic
+/// `atomic.tmp_written` / `atomic.pre_rename` inside the commit protocol,
+/// and `train.ckpt.saved` (snapshot committed, training not yet resumed).
+pub(crate) fn save(cfg: &CheckpointConfig, state: &CheckpointState) -> Result<(), ArError> {
+    let json = serde_json::to_string(state).expect("checkpoint serialises");
+    let framed = format!("{MAGIC} {:08x}\n{json}", crc32(json.as_bytes()));
+    crash_point("train.ckpt.pre_write");
+    cfg.fs.create_dir_all(&cfg.dir)?;
+    write_atomic(&*cfg.fs, &cfg.path(), framed.as_bytes())?;
+    crash_point("train.ckpt.saved");
+    Ok(())
+}
+
+/// Load the snapshot from `cfg.dir`, if one exists. A missing file is
+/// `Ok(None)` (fresh run); a file that fails magic/CRC/JSON validation is
+/// an error — the atomic commit protocol means a valid run never produces
+/// one, so it signals real corruption and must not be silently ignored.
+pub(crate) fn load(cfg: &CheckpointConfig) -> Result<Option<CheckpointState>, ArError> {
+    let path = cfg.path();
+    if !cfg.fs.exists(&path) {
+        return Ok(None);
+    }
+    let bytes = cfg.fs.read(&path)?;
+    parse(&bytes, &path).map(Some)
+}
+
+fn parse(bytes: &[u8], path: &Path) -> Result<CheckpointState, ArError> {
+    let corrupt =
+        |what: &str| ArError::Invalid(format!("corrupt checkpoint {}: {what}", path.display()));
+    let text = std::str::from_utf8(bytes).map_err(|_| corrupt("not UTF-8"))?;
+    let (header, body) = text
+        .split_once('\n')
+        .ok_or_else(|| corrupt("no header line"))?;
+    let crc_hex = header
+        .strip_prefix(MAGIC)
+        .and_then(|rest| rest.strip_prefix(' '))
+        .ok_or_else(|| corrupt("bad magic"))?;
+    let expected = u32::from_str_radix(crc_hex.trim(), 16).map_err(|_| corrupt("bad CRC field"))?;
+    let actual = crc32(body.as_bytes());
+    if actual != expected {
+        return Err(corrupt(&format!(
+            "CRC mismatch {actual:08x} != {expected:08x}"
+        )));
+    }
+    let state: CheckpointState =
+        serde_json::from_str(body).map_err(|e| corrupt(&format!("bad JSON: {e}")))?;
+    if state.rng_state.len() != 4 {
+        return Err(corrupt("rng state must be 4 words"));
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_state() -> CheckpointState {
+        CheckpointState {
+            version: 1,
+            fingerprint: Fingerprint {
+                seed: 7,
+                batch_size: 4,
+                lr_bits: 0.01f32.to_bits(),
+                temperature_bits: 1.0f32.to_bits(),
+                eps_bits: 1e-6f32.to_bits(),
+                straight_through: true,
+                samples_per_query: 1,
+                workload_len: 8,
+                num_scalars: 2,
+            },
+            epochs_done: 3,
+            epoch_loss_bits: vec![1.5f32.to_bits(), 0.7f32.to_bits(), f32::NAN.to_bits()],
+            rng_state: vec![1, 2, 3, 4],
+            order: vec![3, 0, 2, 1],
+            adam_t: 12,
+            params: vec![MatrixBits::from_matrix(&Matrix::from_vec(
+                1,
+                2,
+                vec![0.1, -0.2],
+            ))],
+            adam_m: vec![MatrixBits::from_matrix(&Matrix::zeros(1, 2))],
+            adam_v: vec![MatrixBits::from_matrix(&Matrix::zeros(1, 2))],
+        }
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact_including_nan() {
+        let dir = std::env::temp_dir().join(format!("sam_ckpt_rt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = CheckpointConfig::new(&dir, 1);
+        let state = tiny_state();
+        save(&cfg, &state).unwrap();
+        let loaded = load(&cfg).unwrap().unwrap();
+        assert_eq!(loaded.epochs_done, 3);
+        assert_eq!(loaded.epoch_loss_bits, state.epoch_loss_bits);
+        assert_eq!(loaded.rng_state, state.rng_state);
+        assert_eq!(loaded.adam_t, 12);
+        assert_eq!(loaded.params, state.params);
+        assert_eq!(loaded.fingerprint, state.fingerprint);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_checkpoint_is_none_and_corruption_is_loud() {
+        let dir = std::env::temp_dir().join(format!("sam_ckpt_corrupt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = CheckpointConfig::new(&dir, 1);
+        assert!(load(&cfg).unwrap().is_none());
+        save(&cfg, &tiny_state()).unwrap();
+        // Flip one byte in the body: CRC must catch it.
+        let path = cfg.path();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 2;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load(&cfg), Err(ArError::Invalid(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -13,6 +13,9 @@ pub enum ArError {
     Storage(sam_storage::StorageError),
     /// The workload or configuration is unusable (message).
     Invalid(String),
+    /// An I/O failure while persisting or restoring model state (message —
+    /// the underlying `io::Error` is not `Clone`).
+    Io(String),
 }
 
 impl fmt::Display for ArError {
@@ -22,6 +25,7 @@ impl fmt::Display for ArError {
             ArError::UnknownColumn(t, c) => write!(f, "unknown column in query: {t}.{c}"),
             ArError::Storage(e) => write!(f, "storage error: {e}"),
             ArError::Invalid(m) => write!(f, "invalid input: {m}"),
+            ArError::Io(m) => write!(f, "i/o error: {m}"),
         }
     }
 }
@@ -38,5 +42,11 @@ impl std::error::Error for ArError {
 impl From<sam_storage::StorageError> for ArError {
     fn from(e: sam_storage::StorageError) -> Self {
         ArError::Storage(e)
+    }
+}
+
+impl From<std::io::Error> for ArError {
+    fn from(e: std::io::Error) -> Self {
+        ArError::Io(e.to_string())
     }
 }

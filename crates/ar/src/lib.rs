@@ -9,6 +9,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod encoding;
 pub mod error;
 pub mod infer;
@@ -19,6 +20,7 @@ pub mod sample;
 pub mod train;
 pub mod trie;
 
+pub use checkpoint::CheckpointConfig;
 pub use encoding::ColumnEncoding;
 pub use error::ArError;
 pub use infer::{
@@ -27,7 +29,7 @@ pub use infer::{
 };
 pub use model::{ArModel, ArModelConfig, BoundNet, FrozenModel, FrozenNet, Net, TransformerDims};
 pub use model_schema::{ArColumn, ArColumnKind, ArSchema, EncodingOptions, StepRule};
-pub use persist::{load_model, save_model};
+pub use persist::{load_model, load_model_file, save_model, save_model_file};
 pub use sample::{sample_batch, sample_model_rows, sample_model_rows_range, ModelRow};
 pub use train::{train, TrainConfig, TrainReport};
 pub use trie::{PrefixTrie, TrieStats};

@@ -11,6 +11,7 @@ use crate::encoding::ColumnEncoding;
 use crate::error::ArError;
 use crate::model::FrozenModel;
 use crate::model_schema::{ArColumn, ArColumnKind, ArSchema};
+use sam_fault::FaultFs;
 use sam_nn::{BackendKind, FrozenMade, Matrix};
 use sam_storage::{
     ColumnDef, ColumnRole, DataType, DatabaseSchema, Domain, ForeignKeyEdge, TableSchema, Value,
@@ -283,6 +284,37 @@ pub fn save_model(model: &FrozenModel, db_schema: &DatabaseSchema) -> String {
         }),
     };
     serde_json::to_string(&file).expect("model serialises")
+}
+
+/// Durably write a trained model to `path` through a [`FaultFs`], using the
+/// tmp+fsync+rename commit protocol: a crash at any instant leaves either
+/// the previous file (or nothing) or the complete new model — never a torn
+/// JSON. Crash points: `model.save.pre_write` plus the generic
+/// `atomic.tmp_written` / `atomic.pre_rename` inside the commit.
+pub fn save_model_file(
+    model: &FrozenModel,
+    db_schema: &DatabaseSchema,
+    path: &std::path::Path,
+    fs: &dyn FaultFs,
+) -> Result<(), ArError> {
+    let json = save_model(model, db_schema);
+    sam_fault::crash_point("model.save.pre_write");
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        fs.create_dir_all(parent)?;
+    }
+    sam_fault::write_atomic(fs, path, json.as_bytes())?;
+    Ok(())
+}
+
+/// Load a model from `path` through a [`FaultFs`].
+pub fn load_model_file(
+    path: &std::path::Path,
+    fs: &dyn FaultFs,
+) -> Result<(FrozenModel, DatabaseSchema), ArError> {
+    let bytes = fs.read(path)?;
+    let json = std::str::from_utf8(&bytes)
+        .map_err(|_| ArError::Invalid(format!("model file {} is not UTF-8", path.display())))?;
+    load_model(json)
 }
 
 /// Load a model saved by [`save_model`], returning it with its schema.

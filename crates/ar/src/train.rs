@@ -11,12 +11,14 @@
 //! of Q-Error used by learned estimators.
 
 #![allow(clippy::needless_range_loop)]
+use crate::checkpoint::{self, CheckpointConfig};
 use crate::error::ArError;
 use crate::model::ArModel;
 use crate::model_schema::StepRule;
 use rand::prelude::*;
 use rand::rngs::StdRng;
-use sam_nn::{gumbel_softmax, Adam, Matrix, Tape, NEG_LARGE};
+use sam_fault::{crash_point, sweep_tmp_files};
+use sam_nn::{gumbel_softmax, Adam, Matrix, ParamId, ParamStore, Tape, NEG_LARGE};
 use sam_query::Workload;
 use std::rc::Rc;
 use std::time::Instant;
@@ -40,6 +42,12 @@ pub struct TrainConfig {
     pub eps: f32,
     /// Shuffling / noise seed.
     pub seed: u64,
+    /// Crash-safe checkpointing: where and how often to snapshot the full
+    /// training state (weights, optimiser, RNG, epoch). `None` disables
+    /// checkpointing. When set and a valid checkpoint for the same
+    /// fingerprint exists, training auto-resumes from it, bit-for-bit
+    /// identical to an uninterrupted run.
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl Default for TrainConfig {
@@ -53,6 +61,7 @@ impl Default for TrainConfig {
             samples_per_query: 1,
             eps: 1e-6,
             seed: 0,
+            checkpoint: None,
         }
     }
 }
@@ -99,6 +108,57 @@ pub fn train(
     let mut adam = Adam::new(store, config.lr);
     let mut epoch_losses = Vec::with_capacity(config.epochs);
 
+    // Crash-safe checkpointing: sweep orphaned tmp files, then resume from
+    // a committed snapshot if one exists for this exact training setup.
+    let fingerprint = checkpoint::Fingerprint {
+        seed: config.seed,
+        batch_size: config.batch_size,
+        lr_bits: config.lr.to_bits(),
+        temperature_bits: config.temperature.to_bits(),
+        eps_bits: config.eps.to_bits(),
+        straight_through: config.straight_through,
+        samples_per_query: config.samples_per_query,
+        workload_len: workload.len(),
+        num_scalars: store.num_scalars(),
+    };
+    let mut start_epoch = 0usize;
+    if let Some(ckpt) = &config.checkpoint {
+        ckpt.fs.create_dir_all(&ckpt.dir)?;
+        sweep_tmp_files(&*ckpt.fs, &ckpt.dir)?;
+        if let Some(saved) = checkpoint::load(ckpt)? {
+            if saved.fingerprint != fingerprint {
+                return Err(ArError::Invalid(format!(
+                    "checkpoint in {} was written by a different training setup; \
+                     refusing to resume (delete it to start fresh)",
+                    ckpt.dir.display()
+                )));
+            }
+            restore_params(store, &saved.params)?;
+            let m = restore_matrices(&saved.adam_m)?;
+            let v = restore_matrices(&saved.adam_v)?;
+            adam.import_state(saved.adam_t, m, v);
+            rng = StdRng::from_state([
+                saved.rng_state[0],
+                saved.rng_state[1],
+                saved.rng_state[2],
+                saved.rng_state[3],
+            ]);
+            if saved.order.len() != order.len() {
+                return Err(ArError::Invalid(
+                    "checkpoint visit order does not match workload size".into(),
+                ));
+            }
+            order = saved.order.iter().map(|&i| i as usize).collect();
+            epoch_losses = saved
+                .epoch_loss_bits
+                .iter()
+                .map(|&b| f32::from_bits(b))
+                .collect();
+            start_epoch = saved.epochs_done;
+            crash_point("train.ckpt.resumed");
+        }
+    }
+
     // Observability: one span per training run and per epoch, with the
     // epoch's mean loss / last grad norm / constraint throughput exported
     // as gauges on the global registry.
@@ -113,7 +173,7 @@ pub fn train(
     let throughput_gauge = sam_obs::gauge("sam_train_constraints_per_sec");
     let epochs_counter = sam_obs::counter("sam_train_epochs_total");
 
-    for epoch in 0..config.epochs {
+    for epoch in start_epoch..config.epochs {
         let mut epoch_span = sam_obs::span!("epoch", epoch = epoch);
         let mut last_grad_norm = 0.0f32;
         order.shuffle(&mut rng);
@@ -227,6 +287,28 @@ pub fn train(
         }
         epoch_span.record("loss", mean_loss);
         epoch_span.record("grad_norm", last_grad_norm);
+
+        if let Some(ckpt) = &config.checkpoint {
+            let done = epoch + 1;
+            if done % ckpt.every == 0 || done == config.epochs {
+                let (t, m, v) = adam.export_state();
+                let state = checkpoint::CheckpointState {
+                    version: 1,
+                    fingerprint: fingerprint.clone(),
+                    epochs_done: done,
+                    epoch_loss_bits: epoch_losses.iter().map(|l| l.to_bits()).collect(),
+                    rng_state: rng.state().to_vec(),
+                    order: order.iter().map(|&i| i as u64).collect(),
+                    adam_t: t,
+                    params: (0..store.len())
+                        .map(|i| checkpoint::MatrixBits::from_matrix(store.value(ParamId(i))))
+                        .collect(),
+                    adam_m: m.iter().map(checkpoint::MatrixBits::from_matrix).collect(),
+                    adam_v: v.iter().map(checkpoint::MatrixBits::from_matrix).collect(),
+                };
+                checkpoint::save(ckpt, &state)?;
+            }
+        }
     }
     train_span.record(
         "wall_seconds",
@@ -238,6 +320,39 @@ pub fn train(
         constraints_processed: workload.len() * config.epochs,
         wall_seconds: start.elapsed().as_secs_f64(),
     })
+}
+
+/// Overwrite every parameter in `store` with checkpointed bit patterns.
+fn restore_params(
+    store: &mut ParamStore,
+    saved: &[crate::checkpoint::MatrixBits],
+) -> Result<(), ArError> {
+    if saved.len() != store.len() {
+        return Err(ArError::Invalid(format!(
+            "checkpoint has {} parameter tensors, model has {}",
+            saved.len(),
+            store.len()
+        )));
+    }
+    for (i, bits) in saved.iter().enumerate() {
+        let m = bits.to_matrix()?;
+        let current = store.value(ParamId(i));
+        if m.rows() != current.rows() || m.cols() != current.cols() {
+            return Err(ArError::Invalid(format!(
+                "checkpoint tensor {i} is {}x{}, model expects {}x{}",
+                m.rows(),
+                m.cols(),
+                current.rows(),
+                current.cols()
+            )));
+        }
+        *store.value_mut(ParamId(i)) = m;
+    }
+    Ok(())
+}
+
+fn restore_matrices(saved: &[crate::checkpoint::MatrixBits]) -> Result<Vec<Matrix>, ArError> {
+    saved.iter().map(|b| b.to_matrix()).collect()
 }
 
 #[cfg(test)]
@@ -313,6 +428,115 @@ mod tests {
             }
         }
         assert!(ok >= 12, "only {ok}/16 estimates within 3x");
+    }
+
+    /// The checkpoint acceptance bar: a run interrupted at a checkpoint
+    /// boundary and resumed must produce a final model and final
+    /// checkpoint file *byte-identical* to the uninterrupted run.
+    #[test]
+    fn checkpoint_resume_is_bit_for_bit_identical() {
+        let db = paper_example::figure3_database();
+        let single = sam_storage::Database::single(db.table_by_name("A").unwrap().clone());
+        let stats = DatabaseStats::from_database(&single);
+        let mut gen = WorkloadGenerator::new(&single, 5);
+        let workload = label_workload(&single, gen.single_workload("A", 24)).unwrap();
+        let schema = ArSchema::build(
+            single.schema(),
+            &stats,
+            &workload
+                .queries
+                .iter()
+                .map(|q| q.query.clone())
+                .collect::<Vec<_>>(),
+            &EncodingOptions::default(),
+        )
+        .unwrap();
+        let model_cfg = ArModelConfig {
+            hidden: vec![8],
+            seed: 11,
+            residual: false,
+            transformer: None,
+        };
+        let base = std::env::temp_dir().join(format!("sam_train_ckpt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let dir_a = base.join("uninterrupted");
+        let dir_b = base.join("interrupted");
+        let cfg = |dir: &std::path::Path, epochs: usize| TrainConfig {
+            epochs,
+            batch_size: 8,
+            lr: 1e-2,
+            seed: 21,
+            checkpoint: Some(crate::checkpoint::CheckpointConfig::new(dir, 2)),
+            ..TrainConfig::default()
+        };
+
+        // Run A: 5 epochs straight through.
+        let mut model_a = ArModel::new(schema.clone(), &model_cfg);
+        let report_a = train(&mut model_a, &workload, &cfg(&dir_a, 5)).unwrap();
+
+        // Run B: killed after 2 epochs (simulated by a short first run),
+        // then restarted with the full epoch budget — auto-resumes.
+        let mut model_b1 = ArModel::new(schema.clone(), &model_cfg);
+        train(&mut model_b1, &workload, &cfg(&dir_b, 2)).unwrap();
+        let mut model_b2 = ArModel::new(schema, &model_cfg);
+        let report_b = train(&mut model_b2, &workload, &cfg(&dir_b, 5)).unwrap();
+
+        assert_eq!(
+            report_a
+                .epoch_losses
+                .iter()
+                .map(|l| l.to_bits())
+                .collect::<Vec<_>>(),
+            report_b
+                .epoch_losses
+                .iter()
+                .map(|l| l.to_bits())
+                .collect::<Vec<_>>(),
+            "per-epoch losses must match to the bit"
+        );
+        let json_a = crate::persist::save_model(&model_a.freeze(), single.schema());
+        let json_b = crate::persist::save_model(&model_b2.freeze(), single.schema());
+        assert_eq!(json_a, json_b, "final saved models must be byte-identical");
+        let ckpt_a = std::fs::read(dir_a.join(crate::checkpoint::CHECKPOINT_FILE)).unwrap();
+        let ckpt_b = std::fs::read(dir_b.join(crate::checkpoint::CHECKPOINT_FILE)).unwrap();
+        assert_eq!(ckpt_a, ckpt_b, "final checkpoints must be byte-identical");
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    /// A checkpoint from a different training setup must be refused, not
+    /// silently (and wrongly) resumed.
+    #[test]
+    fn checkpoint_fingerprint_mismatch_is_refused() {
+        let db = paper_example::figure3_database();
+        let single = sam_storage::Database::single(db.table_by_name("A").unwrap().clone());
+        let stats = DatabaseStats::from_database(&single);
+        let mut gen = WorkloadGenerator::new(&single, 6);
+        let workload = label_workload(&single, gen.single_workload("A", 8)).unwrap();
+        let schema = ArSchema::build(
+            single.schema(),
+            &stats,
+            &workload
+                .queries
+                .iter()
+                .map(|q| q.query.clone())
+                .collect::<Vec<_>>(),
+            &EncodingOptions::default(),
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join(format!("sam_train_fpr_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mk = || ArModel::new(schema.clone(), &ArModelConfig::default());
+        let cfg = |seed| TrainConfig {
+            epochs: 1,
+            batch_size: 4,
+            seed,
+            checkpoint: Some(crate::checkpoint::CheckpointConfig::new(&dir, 1)),
+            ..TrainConfig::default()
+        };
+        train(&mut mk(), &workload, &cfg(1)).unwrap();
+        let err = train(&mut mk(), &workload, &cfg(2)).unwrap_err();
+        assert!(matches!(err, ArError::Invalid(m) if m.contains("different training setup")));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

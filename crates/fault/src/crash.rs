@@ -1,0 +1,51 @@
+//! Named crash points: deterministic "the power died *here*" markers.
+//!
+//! Durability code calls [`crash_point`] at every instant where a hard
+//! crash is semantically distinct (tmp file written but not renamed, data
+//! fsynced but commit record unwritten, …). Normally the call reads one
+//! cached `Option` and returns immediately. When the process is started
+//! with the environment variable [`CRASH_ENV`] (`SAM_FAULT_CRASH`) set to
+//! a point's name, reaching that point calls
+//! `std::process::exit(`[`CRASH_EXIT_CODE`]`)` — an immediate exit, not a
+//! panic, so no `Drop` impl gets to flush half-written buffers on the way
+//! out. That is what makes subprocess crash-matrix tests honest: the
+//! on-disk state the parent inspects is exactly what a kill at that
+//! instant leaves behind.
+
+use std::sync::OnceLock;
+
+/// Environment variable naming the crash point to trigger.
+pub const CRASH_ENV: &str = "SAM_FAULT_CRASH";
+
+/// Exit code of a triggered crash point, chosen to be distinguishable from
+/// test-harness failures (101) and clean exits (0).
+pub const CRASH_EXIT_CODE: i32 = 86;
+
+/// The crash point this process is armed to trigger, if any (read once
+/// from [`CRASH_ENV`] and cached).
+pub fn armed_crash_point() -> Option<&'static str> {
+    static NAME: OnceLock<Option<String>> = OnceLock::new();
+    NAME.get_or_init(|| std::env::var(CRASH_ENV).ok().filter(|s| !s.is_empty()))
+        .as_deref()
+}
+
+/// Mark a named crash point. Exits the process with [`CRASH_EXIT_CODE`]
+/// iff the environment armed exactly this name; otherwise a no-op.
+pub fn crash_point(name: &str) {
+    if armed_crash_point() == Some(name) {
+        eprintln!("sam-fault: crash point {name:?} reached, exiting {CRASH_EXIT_CODE}");
+        std::process::exit(CRASH_EXIT_CODE);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_crash_point_is_a_no_op() {
+        // The test runner never sets SAM_FAULT_CRASH, so this must return.
+        crash_point("test.point.that.does.not.exist");
+        assert_eq!(armed_crash_point(), None);
+    }
+}

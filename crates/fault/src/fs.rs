@@ -1,0 +1,378 @@
+//! The filesystem seam: [`FaultFs`] is the narrow trait every durability
+//! path writes through, [`RealFs`] the production passthrough, and
+//! [`FaultyFs`] the deterministic fault-injecting wrapper.
+
+use crate::plan::{FaultKind, FaultPlan};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// An open writable file. `write_all`/`flush` come from [`Write`];
+/// `sync_data` is the durability barrier (fsync).
+pub trait FaultFile: Write + Send {
+    /// Flush OS buffers to stable storage (fsync / `fdatasync`).
+    fn sync_data(&mut self) -> io::Result<()>;
+}
+
+/// The filesystem operations durability code is allowed to use. Narrow by
+/// design: everything the journal, CSV persistence, and checkpoints need —
+/// and nothing more, so a fault plan can cover the whole surface.
+pub trait FaultFs: Send + Sync + std::fmt::Debug {
+    /// Create (truncating) a file for writing.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn FaultFile>>;
+    /// Open (creating if absent) a file for appending.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn FaultFile>>;
+    /// Read a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Atomically rename `from` onto `to` (same directory).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Delete a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Create a directory and all parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Entries (files and directories) directly under `path`.
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>>;
+    /// Size of a file in bytes.
+    fn file_len(&self, path: &Path) -> io::Result<u64>;
+    /// Truncate (or extend with zeros) a file to `len` bytes.
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+    /// Whether a path exists.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+// ------------------------------------------------------------------ RealFs
+
+/// Production filesystem: direct `std::fs` passthrough, no overhead beyond
+/// the vtable call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealFs;
+
+impl FaultFile for std::fs::File {
+    fn sync_data(&mut self) -> io::Result<()> {
+        std::fs::File::sync_data(self)
+    }
+}
+
+impl FaultFs for RealFs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn FaultFile>> {
+        Ok(Box::new(std::fs::File::create(path)?))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn FaultFile>> {
+        Ok(Box::new(
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?,
+        ))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(path)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        Ok(entries)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        Ok(std::fs::metadata(path)?.len())
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let file = std::fs::OpenOptions::new().write(true).open(path)?;
+        file.set_len(len)?;
+        file.sync_data()
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+// ----------------------------------------------------------------- FaultyFs
+
+/// Shared mutable core of a [`FaultyFs`]: the plan and the operation
+/// counter every opened file reports into.
+#[derive(Debug)]
+struct Injector {
+    plan: Mutex<FaultPlan>,
+    ops: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl Injector {
+    /// Account one write-ish operation and return the fault to inject, if
+    /// the plan schedules one at this index.
+    fn next_op(&self) -> Option<FaultKind> {
+        let n = self.ops.fetch_add(1, Ordering::SeqCst);
+        let fault = self
+            .plan
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .fault_at(n);
+        if fault.is_some() {
+            self.injected.fetch_add(1, Ordering::SeqCst);
+        }
+        fault
+    }
+}
+
+fn storage_full(what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::StorageFull,
+        format!("injected ENOSPC on {what}"),
+    )
+}
+
+/// A fault-injecting filesystem: wraps [`RealFs`] and executes a
+/// [`FaultPlan`] over the instance-global sequence of write and sync
+/// operations. Reads, renames, and metadata always succeed (those failure
+/// modes are modelled by crash points instead). Cheap to clone; clones
+/// share the plan and the operation counter.
+#[derive(Debug, Clone)]
+pub struct FaultyFs {
+    inner: RealFs,
+    injector: Arc<Injector>,
+}
+
+impl FaultyFs {
+    /// A faulty filesystem executing `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultyFs {
+            inner: RealFs,
+            injector: Arc::new(Injector {
+                plan: Mutex::new(plan),
+                ops: AtomicU64::new(0),
+                injected: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Replace the active plan (the operation counter keeps running).
+    pub fn set_plan(&self, plan: FaultPlan) {
+        *self.injector.plan.lock().unwrap_or_else(|e| e.into_inner()) = plan;
+    }
+
+    /// Write/sync operations performed so far (successful or faulted).
+    pub fn ops(&self) -> u64 {
+        self.injector.ops.load(Ordering::SeqCst)
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injector.injected.load(Ordering::SeqCst)
+    }
+}
+
+/// A file handle that consults the shared injector on every write/sync.
+struct FaultyFile {
+    inner: Box<dyn FaultFile>,
+    injector: Arc<Injector>,
+}
+
+impl Write for FaultyFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.injector.next_op() {
+            None => self.inner.write(buf),
+            Some(FaultKind::WriteError) => Err(storage_full("write")),
+            Some(FaultKind::TornWrite { keep_bytes }) => {
+                let keep = keep_bytes.min(buf.len());
+                if keep > 0 {
+                    self.inner.write_all(&buf[..keep])?;
+                    let _ = self.inner.flush();
+                }
+                Err(storage_full("torn write"))
+            }
+            // A scheduled sync error on a write degrades to plain failure.
+            Some(FaultKind::SyncError) => Err(storage_full("write")),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl FaultFile for FaultyFile {
+    fn sync_data(&mut self) -> io::Result<()> {
+        match self.injector.next_op() {
+            Some(FaultKind::SyncError) | Some(FaultKind::WriteError) => Err(storage_full("fsync")),
+            Some(FaultKind::TornWrite { .. }) => Err(storage_full("fsync")),
+            None => self.inner.sync_data(),
+        }
+    }
+}
+
+impl FaultFs for FaultyFs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn FaultFile>> {
+        Ok(Box::new(FaultyFile {
+            inner: self.inner.create(path)?,
+            injector: Arc::clone(&self.injector),
+        }))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn FaultFile>> {
+        Ok(Box::new(FaultyFile {
+            inner: self.inner.open_append(path)?,
+            injector: Arc::clone(&self.injector),
+        }))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.inner.read(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.inner.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(path)
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        self.inner.list_dir(path)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        self.inner.file_len(path)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        self.inner.truncate(path, len)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+// ------------------------------------------------------------ atomic write
+
+/// Durably write `bytes` to `path` via the tmp+fsync+rename commit
+/// protocol: write `<path>.tmp`, fsync it, rename onto `path`. A crash at
+/// any instant leaves either the old file (or nothing) or the complete new
+/// file — never a torn mix. Crash points: `atomic.tmp_written` (tmp
+/// complete, not yet durable), `atomic.pre_rename` (durable, not yet
+/// visible).
+pub fn write_atomic(fs: &dyn FaultFs, path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_sibling(path);
+    {
+        let mut file = fs.create(&tmp)?;
+        file.write_all(bytes)?;
+        file.flush()?;
+        crate::crash::crash_point("atomic.tmp_written");
+        file.sync_data()?;
+    }
+    crate::crash::crash_point("atomic.pre_rename");
+    fs.rename(&tmp, path)
+}
+
+/// The `.tmp` sibling used by [`write_atomic`] (and swept by
+/// [`crate::sweep_tmp_files`] after a crash).
+pub fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultKind, FaultPlan};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("sam_fault_fs_{tag}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn real_fs_round_trips() {
+        let dir = temp_path("real");
+        let _ = std::fs::remove_dir_all(&dir);
+        let fs = RealFs;
+        fs.create_dir_all(&dir).unwrap();
+        let path = dir.join("x.txt");
+        {
+            let mut f = fs.create(&path).unwrap();
+            f.write_all(b"hello").unwrap();
+            f.sync_data().unwrap();
+        }
+        assert_eq!(fs.read(&path).unwrap(), b"hello");
+        assert_eq!(fs.file_len(&path).unwrap(), 5);
+        fs.truncate(&path, 2).unwrap();
+        assert_eq!(fs.read(&path).unwrap(), b"he");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn nth_write_fails_with_enospc() {
+        let dir = temp_path("nth");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let fs = FaultyFs::new(FaultPlan::fail_nth(1, FaultKind::WriteError));
+        let mut f = fs.create(&dir.join("a")).unwrap();
+        f.write_all(b"first").unwrap(); // op 0: ok
+        let err = f.write_all(b"second").unwrap_err(); // op 1: ENOSPC
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert_eq!(fs.injected(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_keeps_prefix() {
+        let dir = temp_path("torn");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let fs = FaultyFs::new(FaultPlan::fail_nth(
+            0,
+            FaultKind::TornWrite { keep_bytes: 3 },
+        ));
+        let path = dir.join("t");
+        let mut f = fs.create(&path).unwrap();
+        let err = f.write_all(b"abcdef").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        drop(f);
+        assert_eq!(fs.read(&path).unwrap(), b"abc", "exactly the torn prefix");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_atomic_survives_write_faults() {
+        let dir = temp_path("atomic");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.json");
+        std::fs::write(&path, b"old").unwrap();
+        // Fault on the tmp write: the visible file must keep its old bytes.
+        let fs = FaultyFs::new(FaultPlan::fail_nth(0, FaultKind::WriteError));
+        assert!(write_atomic(&fs, &path, b"new contents").is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), b"old");
+        // No fault: the new bytes land.
+        fs.set_plan(FaultPlan::none());
+        write_atomic(&fs, &path, b"new contents").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"new contents");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,117 @@
+//! Deterministic fault schedules.
+//!
+//! A [`FaultPlan`] is a list of faults keyed on the *global write index* of
+//! a [`crate::FaultyFs`] instance: "the 3rd `write` call fails with
+//! `ENOSPC`", "the 7th write persists only its first 12 bytes, then
+//! fails". Plans are plain data — build them explicitly for targeted
+//! tests, or derive a pseudo-random one from a seed with
+//! [`FaultPlan::from_seed`] for sweep-style tests; either way the schedule
+//! is fully reproducible.
+
+/// What goes wrong when a scheduled fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The write fails outright with `ENOSPC`-style `StorageFull`; no
+    /// bytes reach the file.
+    WriteError,
+    /// A torn write: only the first `keep_bytes` bytes of the buffer reach
+    /// the file, then the write fails — what a power cut mid-write leaves.
+    TornWrite {
+        /// Bytes of the attempted buffer that land on disk.
+        keep_bytes: usize,
+    },
+    /// The fsync fails (`sync_data` on the open file); data may or may not
+    /// be durable, the caller must treat it as not.
+    SyncError,
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledFault {
+    /// 0-based index into the instance's write/sync operation sequence.
+    pub nth_op: u64,
+    /// The failure to inject there.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of injected faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Scheduled faults (any order; matched by exact `nth_op`).
+    pub faults: Vec<ScheduledFault>,
+}
+
+impl FaultPlan {
+    /// The empty plan: every operation succeeds.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Fail exactly the `nth` write-ish operation with `kind`.
+    pub fn fail_nth(nth: u64, kind: FaultKind) -> Self {
+        FaultPlan {
+            faults: vec![ScheduledFault { nth_op: nth, kind }],
+        }
+    }
+
+    /// Derive a reproducible pseudo-random plan: over the first `horizon`
+    /// operations, each independently fails with probability
+    /// `fail_per_1024 / 1024`, alternating error kinds. Same seed → same
+    /// plan, always.
+    pub fn from_seed(seed: u64, horizon: u64, fail_per_1024: u32) -> Self {
+        let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            // SplitMix64: tiny, well-distributed, and dependency-free.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut faults = Vec::new();
+        for op in 0..horizon {
+            let roll = next();
+            if (roll % 1024) < u64::from(fail_per_1024) {
+                let kind = match roll >> 32 & 3 {
+                    0 => FaultKind::WriteError,
+                    1 => FaultKind::SyncError,
+                    _ => FaultKind::TornWrite {
+                        keep_bytes: (roll >> 40) as usize % 64,
+                    },
+                };
+                faults.push(ScheduledFault { nth_op: op, kind });
+            }
+        }
+        FaultPlan { faults }
+    }
+
+    /// The fault scheduled for operation `nth_op`, if any.
+    pub fn fault_at(&self, nth_op: u64) -> Option<FaultKind> {
+        self.faults
+            .iter()
+            .find(|f| f.nth_op == nth_op)
+            .map(|f| f.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let a = FaultPlan::from_seed(42, 1000, 64);
+        let b = FaultPlan::from_seed(42, 1000, 64);
+        assert_eq!(a.faults, b.faults);
+        assert!(!a.faults.is_empty(), "64/1024 over 1000 ops should fire");
+        let c = FaultPlan::from_seed(43, 1000, 64);
+        assert_ne!(a.faults, c.faults, "different seeds, different plans");
+    }
+
+    #[test]
+    fn fault_at_matches_exact_index() {
+        let plan = FaultPlan::fail_nth(3, FaultKind::WriteError);
+        assert_eq!(plan.fault_at(3), Some(FaultKind::WriteError));
+        assert_eq!(plan.fault_at(2), None);
+    }
+}

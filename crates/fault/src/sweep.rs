@@ -1,0 +1,66 @@
+//! Startup sweep for orphaned temporary files.
+//!
+//! Every atomic write in this workspace goes tmp → fsync → rename. A crash
+//! between the tmp write and the rename leaves a `*.tmp` orphan that will
+//! never be renamed; on the next startup the owning subsystem calls
+//! [`sweep_tmp_files`] on its directory to delete them before replaying.
+
+use crate::fs::FaultFs;
+use std::io;
+use std::path::Path;
+
+/// Remove every `*.tmp` file under `dir`, recursing into subdirectories.
+/// Returns the number of files removed. A missing `dir` counts as empty.
+/// Removal errors on individual files are propagated — a sweep that cannot
+/// clean up must not silently report success.
+pub fn sweep_tmp_files(fs: &dyn FaultFs, dir: &Path) -> io::Result<usize> {
+    if !fs.exists(dir) {
+        return Ok(0);
+    }
+    let mut removed = 0;
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(current) = stack.pop() {
+        for entry in fs.list_dir(&current)? {
+            if entry.is_dir() {
+                stack.push(entry);
+            } else if entry.extension().is_some_and(|e| e == "tmp") {
+                fs.remove_file(&entry)?;
+                removed += 1;
+            }
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::RealFs;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("sam_fault_sweep_{tag}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn sweeps_tmp_files_recursively() {
+        let dir = temp_dir("rec");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("sub")).unwrap();
+        std::fs::write(dir.join("keep.csv"), b"a,b\n").unwrap();
+        std::fs::write(dir.join("orphan.csv.tmp"), b"partial").unwrap();
+        std::fs::write(dir.join("sub/ckpt.json.tmp"), b"partial").unwrap();
+        let removed = sweep_tmp_files(&RealFs, &dir).unwrap();
+        assert_eq!(removed, 2);
+        assert!(dir.join("keep.csv").exists());
+        assert!(!dir.join("orphan.csv.tmp").exists());
+        assert!(!dir.join("sub/ckpt.json.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_dir_is_empty() {
+        let dir = temp_dir("missing_nonexistent");
+        assert_eq!(sweep_tmp_files(&RealFs, &dir).unwrap(), 0);
+    }
+}

@@ -160,6 +160,33 @@ impl Adam {
         }
     }
 
+    /// The optimiser's mutable state for checkpointing: the step counter
+    /// and the first/second moment estimates, in parameter order.
+    pub fn export_state(&self) -> (u64, &[Matrix], &[Matrix]) {
+        (self.t, &self.m, &self.v)
+    }
+
+    /// Restore state captured by [`Adam::export_state`]. Panics if the
+    /// moment vectors do not match this optimiser's parameter layout —
+    /// a checkpoint from a differently-shaped model is never silently
+    /// accepted.
+    pub fn import_state(&mut self, t: u64, m: Vec<Matrix>, v: Vec<Matrix>) {
+        let shapes_match = |ours: &[Matrix], theirs: &[Matrix]| {
+            ours.len() == theirs.len()
+                && ours
+                    .iter()
+                    .zip(theirs)
+                    .all(|(a, b)| a.rows() == b.rows() && a.cols() == b.cols())
+        };
+        assert!(
+            shapes_match(&self.m, &m) && shapes_match(&self.v, &v),
+            "Adam::import_state: checkpoint moment shapes do not match model"
+        );
+        self.t = t;
+        self.m = m;
+        self.v = v;
+    }
+
     /// Apply one Adam step from the accumulated gradients, then zero them.
     pub fn step(&mut self, store: &mut ParamStore) {
         let scale = clip_scale(store, self.clip_norm);

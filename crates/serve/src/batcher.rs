@@ -19,13 +19,14 @@
 use crate::error::ServeError;
 use crate::metrics::ServeMetrics;
 use crate::registry::ModelEntry;
+use crate::sync::Lock;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sam_ar::estimate_cardinality_batch_shared;
 use sam_query::Query;
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -55,8 +56,8 @@ pub struct BatchReply {
 
 /// Handle over the queue and worker pool.
 pub struct Batcher {
-    tx: Mutex<Option<SyncSender<EstimateJob>>>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+    tx: Lock<Option<SyncSender<EstimateJob>>>,
+    workers: Lock<Vec<JoinHandle<()>>>,
 }
 
 impl Batcher {
@@ -68,7 +69,7 @@ impl Batcher {
         metrics: Arc<ServeMetrics>,
     ) -> Batcher {
         let (tx, rx) = std::sync::mpsc::sync_channel::<EstimateJob>(queue_capacity.max(1));
-        let rx = Arc::new(Mutex::new(rx));
+        let rx = Arc::new(Lock::new(rx));
         let handles = (0..workers.max(1))
             .map(|i| {
                 let rx = Arc::clone(&rx);
@@ -81,15 +82,15 @@ impl Batcher {
             })
             .collect();
         Batcher {
-            tx: Mutex::new(Some(tx)),
-            workers: Mutex::new(handles),
+            tx: Lock::new(Some(tx)),
+            workers: Lock::new(handles),
         }
     }
 
     /// Enqueue without blocking. Full queue → [`ServeError::Overloaded`];
     /// after [`shutdown`](Self::shutdown) → [`ServeError::ShuttingDown`].
     pub fn submit(&self, job: EstimateJob) -> Result<(), ServeError> {
-        let guard = self.tx.lock().unwrap_or_else(|e| e.into_inner());
+        let guard = self.tx.lock();
         let tx = guard.as_ref().ok_or(ServeError::ShuttingDown)?;
         match tx.try_send(job) {
             Ok(()) => Ok(()),
@@ -100,24 +101,19 @@ impl Batcher {
 
     /// Stop accepting work, let workers drain the queue, and join them.
     pub fn shutdown(&self) {
-        drop(self.tx.lock().unwrap_or_else(|e| e.into_inner()).take());
-        let handles: Vec<_> = self
-            .workers
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .drain(..)
-            .collect();
+        drop(self.tx.lock().take());
+        let handles: Vec<_> = self.workers.lock().drain(..).collect();
         for h in handles {
             let _ = h.join();
         }
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<EstimateJob>>, max_batch: usize, metrics: &ServeMetrics) {
+fn worker_loop(rx: &Lock<Receiver<EstimateJob>>, max_batch: usize, metrics: &ServeMetrics) {
     loop {
         let mut jobs = Vec::new();
         {
-            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+            let guard = rx.lock();
             match guard.recv() {
                 Ok(job) => jobs.push(job),
                 // All senders dropped: queue fully drained, worker exits.
@@ -160,7 +156,12 @@ fn worker_loop(rx: &Mutex<Receiver<EstimateJob>>, max_batch: usize, metrics: &Se
 
 fn run_group(group: Vec<EstimateJob>, metrics: &ServeMetrics) {
     let batch_size = group.len();
-    let results = {
+    // A panic inside estimation (a model-invariant violation, an indexing
+    // bug) must not kill the worker thread: every waiter in the group would
+    // hang until its deadline and the pool would silently shrink. Contain
+    // it, answer 500s, and keep the worker alive. `Lock` clears the trie
+    // mutex's poison on the next acquisition.
+    let results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let requests: Vec<(&Query, usize)> = group.iter().map(|j| (&j.query, j.samples)).collect();
         let mut rngs: Vec<StdRng> = group
             .iter()
@@ -172,8 +173,22 @@ fn run_group(group: Vec<EstimateJob>, metrics: &ServeMetrics) {
         // (bit-identical results, strictly fewer forward passes). Holding
         // the lock across the pass serialises same-version groups; distinct
         // versions still estimate concurrently.
-        let mut trie = entry.trie.lock().unwrap_or_else(|e| e.into_inner());
+        let mut trie = entry.trie.lock();
         estimate_cardinality_batch_shared(entry.trained.model(), &requests, &mut rngs, &mut trie)
+    }));
+    let results = match results {
+        Ok(results) => results,
+        Err(payload) => {
+            metrics.worker_panics.inc();
+            let msg = crate::sync::panic_message(payload.as_ref());
+            for job in group {
+                let _ = job.reply.try_send(BatchReply {
+                    result: Err(ServeError::Internal(format!("estimation panicked: {msg}"))),
+                    batch_size,
+                });
+            }
+            return;
+        }
     };
     metrics.batches.inc();
     metrics.batched_requests.add(batch_size as u64);

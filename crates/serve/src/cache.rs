@@ -15,8 +15,8 @@
 //! methods take `&self`; the single mutex is held only for map/queue
 //! bookkeeping, never across an estimate.
 
+use crate::sync::Lock;
 use std::collections::{HashMap, VecDeque};
-use std::sync::Mutex;
 
 /// Cache key: everything that determines an estimate's value.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -54,7 +54,7 @@ struct Inner {
 #[derive(Debug)]
 pub struct EstimateCache {
     capacity: usize,
-    inner: Mutex<Inner>,
+    inner: Lock<Inner>,
 }
 
 impl EstimateCache {
@@ -62,7 +62,7 @@ impl EstimateCache {
     pub fn new(capacity: usize) -> Self {
         EstimateCache {
             capacity,
-            inner: Mutex::new(Inner::default()),
+            inner: Lock::new(Inner::default()),
         }
     }
 
@@ -73,11 +73,7 @@ impl EstimateCache {
 
     /// Current entry count.
     pub fn len(&self) -> usize {
-        self.inner
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .map
-            .len()
+        self.inner.lock().map.len()
     }
 
     /// True when no estimates are cached.
@@ -90,7 +86,7 @@ impl EstimateCache {
         if self.capacity == 0 {
             return None;
         }
-        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut inner = self.inner.lock();
         let stamp = inner.next_stamp;
         let value = match inner.map.get_mut(key) {
             None => return None,
@@ -111,7 +107,7 @@ impl EstimateCache {
         if self.capacity == 0 {
             return;
         }
-        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut inner = self.inner.lock();
         let stamp = inner.next_stamp;
         inner.next_stamp += 1;
         inner.map.insert(key.clone(), Entry { value, stamp });
@@ -204,7 +200,7 @@ mod tests {
         for _ in 0..1000 {
             assert_eq!(cache.get(&key("a", 0)), Some(1.0));
         }
-        let inner = cache.inner.lock().unwrap();
+        let inner = cache.inner.lock();
         assert!(
             inner.order.len() <= 2 * 4 + 16 + 1,
             "queue grew to {}",

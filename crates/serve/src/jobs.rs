@@ -16,12 +16,13 @@
 use crate::journal::Journal;
 use crate::metrics::ServeMetrics;
 use crate::registry::ModelEntry;
+use crate::sync::Lock;
 use sam_core::{GenerationConfig, JobControl, JobStage, SamError, TrainedSam};
 use sam_storage::Database;
 use serde_json::{json, Value};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Terminal or running state of a generation job.
@@ -51,22 +52,19 @@ pub struct JobRecord {
     pub version: u64,
     /// Cooperative cancel / progress handle shared with the job thread.
     pub control: JobControl,
-    state: Mutex<JobState>,
+    state: Lock<JobState>,
 }
 
 impl JobRecord {
     /// Whether the job reached a terminal state.
     pub fn is_finished(&self) -> bool {
-        !matches!(
-            *self.state.lock().unwrap_or_else(|e| e.into_inner()),
-            JobState::Running
-        )
+        !matches!(*self.state.lock(), JobState::Running)
     }
 
     /// The generated database, once the job is done (`None` while running
     /// or after failure/cancellation).
     pub fn result_database(&self) -> Option<Arc<Database>> {
-        match &*self.state.lock().unwrap_or_else(|e| e.into_inner()) {
+        match &*self.state.lock() {
             JobState::Done { db, .. } => Some(Arc::clone(db)),
             _ => None,
         }
@@ -75,7 +73,7 @@ impl JobRecord {
     /// Short state label (`running` / `done` / `failed` / `cancelled`),
     /// for error messages and logs.
     pub fn state_label(&self) -> &'static str {
-        match &*self.state.lock().unwrap_or_else(|e| e.into_inner()) {
+        match &*self.state.lock() {
             JobState::Running => "running",
             JobState::Done { .. } => "done",
             JobState::Failed(_) => "failed",
@@ -85,7 +83,7 @@ impl JobRecord {
 
     /// Status document served at `GET /jobs/{id}`.
     pub fn status_json(&self) -> Value {
-        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let state = self.state.lock();
         let (label, result, error) = match &*state {
             JobState::Running => ("running", Value::Null, Value::Null),
             JobState::Done { summary, .. } => ("done", summary.clone(), Value::Null),
@@ -123,8 +121,8 @@ fn summary_json(db: &Database, foj_samples: usize, wall_seconds: f64) -> Value {
 #[derive(Default)]
 pub struct JobRegistry {
     next_id: AtomicU64,
-    jobs: Mutex<HashMap<u64, Arc<JobRecord>>>,
-    handles: Mutex<Vec<JoinHandle<()>>>,
+    jobs: Lock<HashMap<u64, Arc<JobRecord>>>,
+    handles: Lock<Vec<JoinHandle<()>>>,
     journal: Option<Arc<Journal>>,
 }
 
@@ -198,12 +196,9 @@ impl JobRegistry {
             model: entry.name.clone(),
             version: entry.version,
             control: JobControl::new(),
-            state: Mutex::new(JobState::Running),
+            state: Lock::new(JobState::Running),
         });
-        self.jobs
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert(id, Arc::clone(&record));
+        self.jobs.lock().insert(id, Arc::clone(&record));
         metrics.jobs_started.inc();
         let journal = self.journal.clone();
         // Carry the submitting request's trace id onto the job thread so the
@@ -222,10 +217,7 @@ impl JobRegistry {
                 )
             })
             .expect("spawn generation job");
-        self.handles
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push(handle);
+        self.handles.lock().push(handle);
     }
 
     /// Insert a job record already in a terminal state (journal replay of
@@ -242,21 +234,14 @@ impl JobRegistry {
             model: model.to_string(),
             version,
             control,
-            state: Mutex::new(state),
+            state: Lock::new(state),
         });
-        self.jobs
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert(id, record);
+        self.jobs.lock().insert(id, record);
     }
 
     /// Look up a job by id.
     pub fn get(&self, id: u64) -> Option<Arc<JobRecord>> {
-        self.jobs
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(&id)
-            .cloned()
+        self.jobs.lock().get(&id).cloned()
     }
 
     /// Request cancellation; returns false for unknown ids.
@@ -273,12 +258,7 @@ impl JobRegistry {
     /// Join every job thread (drain semantics — jobs run to completion or to
     /// their next cancellation check; none are abandoned mid-write).
     pub fn drain(&self) {
-        let handles: Vec<_> = self
-            .handles
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .drain(..)
-            .collect();
+        let handles: Vec<_> = self.handles.lock().drain(..).collect();
         for h in handles {
             let _ = h.join();
         }
@@ -295,7 +275,29 @@ fn run_job(
     if let Some(journal) = journal {
         journal.running(record.id);
     }
-    let outcome = match trained.generate_controlled(config, &record.control) {
+    // A panicking generation must still reach a terminal state: an abandoned
+    // `Running` record would poll as in-flight forever and block `drain` on
+    // restart-time accounting. Contain the panic and fail the job instead.
+    let generated = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        trained.generate_controlled(config, &record.control)
+    }));
+    let generated = match generated {
+        Ok(result) => result,
+        Err(payload) => {
+            metrics.worker_panics.inc();
+            let msg = format!(
+                "generation panicked: {}",
+                crate::sync::panic_message(payload.as_ref())
+            );
+            if let Some(journal) = journal {
+                journal.failed(record.id, &msg);
+            }
+            *record.state.lock() = JobState::Failed(msg);
+            metrics.jobs_finished.inc();
+            return;
+        }
+    };
+    let outcome = match generated {
         Ok((db, report)) => {
             let summary = summary_json(&db, report.foj_samples, report.wall_seconds);
             if let Some(journal) = journal {
@@ -328,6 +330,6 @@ fn run_job(
             JobState::Failed(e.to_string())
         }
     };
-    *record.state.lock().unwrap_or_else(|e| e.into_inner()) = outcome;
+    *record.state.lock() = outcome;
     metrics.jobs_finished.inc();
 }

@@ -1,8 +1,9 @@
 //! Append-only on-disk job journal: restart-safe generation serving.
 //!
 //! With `--journal-dir` (or [`ServeConfig::journal_dir`]) set, every
-//! generation job writes its lifecycle to `journal.jsonl` — one JSON object
-//! per line, append-only, flushed per event and fsynced on terminal events:
+//! generation job writes its lifecycle to `journal.jsonl` — one CRC-framed
+//! JSON record per line, append-only, flushed per event and fsynced on
+//! terminal events:
 //!
 //! ```text
 //! accepted → running → relation* → completed | failed | cancelled
@@ -10,34 +11,64 @@
 //! ```
 //!
 //! Completed jobs additionally persist their generated relations as CSV
-//! under `<dir>/jobs/<id>/<table>.csv` (written to a temp file, then
-//! renamed, so a crash mid-write never leaves a half table behind).
+//! under `<dir>/jobs/<id>/<table>.csv` (written to a temp file, fsynced,
+//! then renamed, so a crash mid-write never leaves a half table behind).
 //!
-//! [`Journal::replay`] folds the log into the **last known state per job**.
-//! The server applies it at startup ([`Server::replay_journal`]): completed
-//! jobs reload their CSVs and are re-servable (status *and* streamed
-//! export); interrupted jobs (last event `accepted`/`running`/`resumed`)
-//! are re-spawned with their recorded [`GenerationConfig`] — the RNG seed
-//! lives in the config, so the regenerated database is bit-for-bit the one
-//! the crashed run would have produced.
+//! ## Record framing and corruption handling
+//!
+//! Each line is `<8-hex-crc32> <json>`; the CRC covers the JSON text, so
+//! any single-bit flip (and any burst up to 32 bits) is detected. Lines
+//! beginning with `{` are the pre-framing legacy format and still replay.
+//! [`Journal::open_with`] runs recovery before accepting writes:
+//!
+//! * a **torn tail** (a final line a crash cut short) is truncated away
+//!   and counted on `journal_torn_tails`;
+//! * **corrupt mid-log records** are moved to `quarantine.jsonl` and
+//!   counted on `journal_corrupt_records` — never parsed, never silently
+//!   dropped;
+//! * orphaned `*.tmp` files from interrupted atomic writes are swept.
+//!
+//! ## Compaction
+//!
+//! [`Journal::compact`] folds the log into per-job final states, writes
+//! them to `snapshot.jsonl` with the atomic tmp+fsync+rename protocol, and
+//! truncates the log. [`Journal::replay`] folds the snapshot first, then
+//! the log; the `accepted` fold never downgrades a snapshot-restored state,
+//! so a crash anywhere inside compaction replays to the same jobs.
+//!
+//! [`Journal::replay`] folds everything into the **last known state per
+//! job**. The server applies it at startup ([`Server::replay_journal`]):
+//! completed jobs reload their CSVs and are re-servable (status *and*
+//! streamed export); interrupted jobs (last event `accepted`/`running`/
+//! `resumed`) are re-spawned with their recorded [`GenerationConfig`] — the
+//! RNG seed lives in the config, so the regenerated database is bit-for-bit
+//! the one the crashed run would have produced.
+//!
+//! All durability I/O goes through a [`sam_fault::FaultFs`], so every
+//! failure mode above is exercised deterministically in tests.
 //!
 //! [`ServeConfig::journal_dir`]: crate::server::ServeConfig::journal_dir
 //! [`Server::replay_journal`]: crate::server::Server::replay_journal
 
 use crate::error::ServeError;
+use crate::sync::Lock;
 use sam_core::{GenerationConfig, JoinKeyStrategy};
+use sam_fault::{crash_point, crc32, sweep_tmp_files, write_atomic, FaultFile, FaultFs};
 use sam_obs::Counter;
-use sam_storage::csv::write_csv;
+use sam_storage::csv::write_csv_atomic;
 use sam_storage::Database;
 use serde_json::{json, Value};
 use std::collections::BTreeMap;
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Write};
+use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// File name of the event log inside the journal directory.
 pub const JOURNAL_FILE: &str = "journal.jsonl";
+/// File name of the compaction snapshot (replayed before the log).
+pub const SNAPSHOT_FILE: &str = "snapshot.jsonl";
+/// File name corrupt records are moved to during recovery.
+pub const QUARANTINE_FILE: &str = "quarantine.jsonl";
 
 /// Last known state of a job, folded from the event log.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,36 +116,105 @@ fn parse_strategy(s: &str) -> Option<JoinKeyStrategy> {
     }
 }
 
+/// The journal's observability counters (mirrored on `/metrics`).
+#[derive(Debug, Clone)]
+pub struct JournalCounters {
+    /// Events appended.
+    pub events: Arc<Counter>,
+    /// Corrupt records quarantined during recovery or skipped during
+    /// replay.
+    pub corrupt_records: Arc<Counter>,
+    /// Torn tails truncated during recovery.
+    pub torn_tails: Arc<Counter>,
+    /// Compactions performed.
+    pub compactions: Arc<Counter>,
+}
+
+impl JournalCounters {
+    /// Counters for a journal outside a server (CLI tools, tests): the
+    /// given `events` counter plus process-global counters for the rest.
+    pub fn standalone(events: Arc<Counter>) -> Self {
+        JournalCounters {
+            events,
+            corrupt_records: sam_obs::counter("sam_journal_corrupt_records_total"),
+            torn_tails: sam_obs::counter("sam_journal_torn_tails_total"),
+            compactions: sam_obs::counter("sam_journal_compactions_total"),
+        }
+    }
+}
+
+/// Frame a JSON record for the log: CRC-32 of the text, space, the text.
+fn frame(json: &str) -> String {
+    format!("{:08x} {json}", crc32(json.as_bytes()))
+}
+
+/// Extract the JSON payload of a log line, if the line is intact:
+/// CRC-framed lines must pass their checksum, legacy lines (starting `{`)
+/// must simply be non-empty. Returns `None` for corrupt lines.
+fn line_payload(line: &str) -> Option<&str> {
+    if line.starts_with('{') {
+        return Some(line);
+    }
+    let (crc_hex, body) = line.split_at_checked(8)?;
+    let body = body.strip_prefix(' ')?;
+    let expected = u32::from_str_radix(crc_hex, 16).ok()?;
+    (crc32(body.as_bytes()) == expected).then_some(body)
+}
+
 /// Append-only journal over one directory. Cheap to clone via [`Arc`];
-/// all writers share one buffered file handle behind a mutex.
+/// all writers share one file handle behind a mutex.
 pub struct Journal {
     dir: PathBuf,
-    file: Mutex<BufWriter<File>>,
-    /// Events appended (mirrored on `/metrics` as `journal_events`).
-    events: Arc<Counter>,
+    fs: Arc<dyn FaultFs>,
+    file: Lock<Box<dyn FaultFile>>,
+    counters: JournalCounters,
 }
 
 impl Journal {
-    /// Open (creating the directory and log file if needed) a journal under
-    /// `dir`. `events` is the serve-metrics counter bumped per append.
+    /// Open a journal under `dir` on the real filesystem with standalone
+    /// counters — see [`Journal::open_with`] for the full constructor.
     ///
     /// # Errors
     ///
     /// [`ServeError::Internal`] if the directory or log file cannot be
     /// created or opened for append.
     pub fn open(dir: &Path, events: Arc<Counter>) -> Result<Journal, ServeError> {
-        std::fs::create_dir_all(dir)
+        Journal::open_with(
+            dir,
+            JournalCounters::standalone(events),
+            sam_fault::real_fs(),
+        )
+    }
+
+    /// Open (creating the directory and log file if needed) a journal under
+    /// `dir`, doing all I/O through `fs`. Runs recovery first: sweeps
+    /// orphaned `*.tmp` files, truncates a torn tail, and quarantines
+    /// corrupt mid-log records into [`QUARANTINE_FILE`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Internal`] if recovery fails or the log file cannot be
+    /// created or opened for append.
+    pub fn open_with(
+        dir: &Path,
+        counters: JournalCounters,
+        fs: Arc<dyn FaultFs>,
+    ) -> Result<Journal, ServeError> {
+        fs.create_dir_all(dir)
             .map_err(|e| ServeError::Internal(format!("create journal dir {dir:?}: {e}")))?;
+        sweep_tmp_files(&*fs, dir)
+            .map_err(|e| ServeError::Internal(format!("sweep tmp files in {dir:?}: {e}")))?;
+        recover(&*fs, dir, &counters)
+            .map_err(|e| ServeError::Internal(format!("recover journal in {dir:?}: {e}")))?;
         let path = dir.join(JOURNAL_FILE);
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)
+        let file = fs
+            .open_append(&path)
             .map_err(|e| ServeError::Internal(format!("open journal {path:?}: {e}")))?;
         Ok(Journal {
             dir: dir.to_path_buf(),
-            file: Mutex::new(BufWriter::new(file)),
-            events,
+            fs,
+            file: Lock::new(file),
+            counters,
         })
     }
 
@@ -128,38 +228,35 @@ impl Journal {
         self.dir.join("jobs").join(id.to_string())
     }
 
+    /// Current size of the event log in bytes (0 if missing).
+    pub fn log_len(&self) -> u64 {
+        self.fs.file_len(&self.dir.join(JOURNAL_FILE)).unwrap_or(0)
+    }
+
     fn append(&self, event: &Value, sync: bool) {
         let _span = sam_obs::span!(
             "journal_append",
             event = event.get("event").and_then(Value::as_str).unwrap_or("?")
         );
-        let line = serde_json::to_string(event).unwrap_or_else(|_| "{}".to_string());
-        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        let json = serde_json::to_string(event).unwrap_or_else(|_| "{}".to_string());
+        let line = format!("{}\n", frame(&json));
+        let mut file = self.file.lock();
+        crash_point("journal.append.pre_write");
         // Journal I/O is best-effort by design: a full disk must degrade
-        // durability, not take serving down.
-        let _ = writeln!(file, "{line}");
+        // durability, not take serving down. The line goes out in ONE write
+        // call, so an injected torn write models a real mid-line crash.
+        let _ = file.write_all(line.as_bytes());
         let _ = file.flush();
+        crash_point("journal.append.written");
         if sync {
-            let _ = file.get_ref().sync_data();
+            let _ = file.sync_data();
         }
-        self.events.inc();
+        self.counters.events.inc();
     }
 
     /// Record acceptance of a new job (the event that makes it resumable).
     pub fn accepted(&self, id: u64, model: &str, version: u64, config: &GenerationConfig) {
-        self.append(
-            &json!({
-                "event": "accepted",
-                "job": id,
-                "model": model,
-                "version": version,
-                "foj_samples": config.foj_samples,
-                "batch": config.batch,
-                "seed": config.seed,
-                "strategy": strategy_str(config.strategy),
-            }),
-            true,
-        );
+        self.append(&accepted_event(id, model, version, config), true);
     }
 
     /// Record that a replayed interrupted job was re-spawned.
@@ -200,8 +297,9 @@ impl Journal {
     }
 
     /// Persist every relation of `db` as CSV under [`job_dir`](Self::job_dir),
-    /// emitting one `relation` event per table. Each file is written to a
-    /// `.tmp` sibling and renamed, so readers never observe half a table.
+    /// emitting one `relation` event per table. Each file is written with
+    /// the atomic tmp+fsync+rename protocol, so readers (and restarts)
+    /// never observe half a table.
     ///
     /// # Errors
     ///
@@ -210,127 +308,274 @@ impl Journal {
     pub fn persist_results(&self, id: u64, db: &Database) -> Result<(), ServeError> {
         let mut span = sam_obs::span!("journal_persist", job = id);
         let dir = self.job_dir(id);
-        std::fs::create_dir_all(&dir)
+        self.fs
+            .create_dir_all(&dir)
             .map_err(|e| ServeError::Internal(format!("create {dir:?}: {e}")))?;
         let mut bytes = 0u64;
         for table in db.tables() {
             let path = dir.join(format!("{}.csv", table.name()));
-            let tmp = dir.join(format!("{}.csv.tmp", table.name()));
-            let file = File::create(&tmp)
-                .map_err(|e| ServeError::Internal(format!("create {tmp:?}: {e}")))?;
-            let mut writer = BufWriter::new(file);
-            write_csv(table, &mut writer)
-                .map_err(|e| ServeError::Internal(format!("write {tmp:?}: {e}")))?;
-            writer
-                .flush()
-                .and_then(|()| writer.get_ref().sync_data())
-                .map_err(|e| ServeError::Internal(format!("sync {tmp:?}: {e}")))?;
-            bytes += std::fs::metadata(&tmp).map(|m| m.len()).unwrap_or(0);
-            std::fs::rename(&tmp, &path)
-                .map_err(|e| ServeError::Internal(format!("rename {tmp:?}: {e}")))?;
+            write_csv_atomic(table, &path, &*self.fs)
+                .map_err(|e| ServeError::Internal(format!("persist {path:?}: {e}")))?;
+            bytes += self.fs.file_len(&path).unwrap_or(0);
             self.relation(id, table.name(), table.num_rows());
         }
         span.record("bytes", bytes);
         Ok(())
     }
 
-    /// Fold the event log into the last known state of every job, sorted by
-    /// id. Unknown events and malformed lines are skipped (forward
-    /// compatibility over strictness — a newer server's extra events must
-    /// not brick an older one's replay).
+    /// Fold the snapshot (if any) and the event log into the last known
+    /// state of every job, sorted by id. Unknown events are skipped
+    /// (forward compatibility over strictness — a newer server's extra
+    /// events must not brick an older one's replay); corrupt lines are
+    /// skipped and counted on `journal_corrupt_records`.
     ///
     /// # Errors
     ///
-    /// [`ServeError::Internal`] if the log file exists but cannot be read.
+    /// [`ServeError::Internal`] if the snapshot or log file exists but
+    /// cannot be read.
     pub fn replay(&self) -> Result<Vec<ReplayedJob>, ServeError> {
-        let path = self.dir.join(JOURNAL_FILE);
-        let text = match std::fs::read_to_string(&path) {
-            Ok(t) => t,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
-            Err(e) => return Err(ServeError::Internal(format!("read journal {path:?}: {e}"))),
-        };
         let mut jobs: BTreeMap<u64, ReplayedJob> = BTreeMap::new();
-        for line in text.lines() {
-            let line = line.trim();
-            if line.is_empty() {
+        for name in [SNAPSHOT_FILE, JOURNAL_FILE] {
+            let path = self.dir.join(name);
+            if !self.fs.exists(&path) {
                 continue;
             }
-            let Ok(doc) = serde_json::parse_value(line) else {
-                continue;
-            };
-            let (Some(event), Some(id)) = (
-                doc.get("event").and_then(Value::as_str),
-                doc.get("job").and_then(Value::as_u64),
-            ) else {
-                continue;
-            };
-            match event {
-                "accepted" => {
-                    let Some(model) = doc.get("model").and_then(Value::as_str) else {
-                        continue;
-                    };
-                    let strategy = doc
-                        .get("strategy")
-                        .and_then(Value::as_str)
-                        .and_then(parse_strategy)
-                        .unwrap_or(JoinKeyStrategy::GroupAndMerge);
-                    jobs.insert(
-                        id,
-                        ReplayedJob {
-                            id,
-                            model: model.to_string(),
-                            version: doc.get("version").and_then(Value::as_u64).unwrap_or(0),
-                            config: GenerationConfig {
-                                foj_samples: doc
-                                    .get("foj_samples")
-                                    .and_then(Value::as_u64)
-                                    .unwrap_or(0)
-                                    as usize,
-                                batch: doc.get("batch").and_then(Value::as_u64).unwrap_or(1).max(1)
-                                    as usize,
-                                seed: doc.get("seed").and_then(Value::as_u64).unwrap_or(0),
-                                strategy,
-                            },
-                            state: ReplayState::Interrupted,
-                        },
-                    );
+            let bytes = self
+                .fs
+                .read(&path)
+                .map_err(|e| ServeError::Internal(format!("read journal {path:?}: {e}")))?;
+            for raw in bytes.split(|&b| b == b'\n') {
+                if raw.is_empty() {
+                    continue;
                 }
-                "running" | "resumed" | "relation" => {
-                    if let Some(job) = jobs.get_mut(&id) {
-                        // Still non-terminal; relation events may precede a
-                        // completed that never made it to disk.
-                        if matches!(job.state, ReplayState::Interrupted) {
-                            job.state = ReplayState::Interrupted;
-                        }
-                    }
-                }
-                "completed" => {
-                    if let Some(job) = jobs.get_mut(&id) {
-                        job.state = ReplayState::Completed(
-                            doc.get("summary").cloned().unwrap_or(Value::Null),
-                        );
-                    }
-                }
-                "failed" => {
-                    if let Some(job) = jobs.get_mut(&id) {
-                        job.state = ReplayState::Failed(
-                            doc.get("error")
-                                .and_then(Value::as_str)
-                                .unwrap_or("unknown error")
-                                .to_string(),
-                        );
-                    }
-                }
-                "cancelled" => {
-                    if let Some(job) = jobs.get_mut(&id) {
-                        job.state = ReplayState::Cancelled;
-                    }
-                }
-                _ => {}
+                let payload = std::str::from_utf8(raw).ok().and_then(line_payload);
+                let Some(payload) = payload else {
+                    self.counters.corrupt_records.inc();
+                    continue;
+                };
+                let Ok(doc) = serde_json::parse_value(payload.trim()) else {
+                    self.counters.corrupt_records.inc();
+                    continue;
+                };
+                fold_event(&mut jobs, &doc);
             }
         }
         Ok(jobs.into_values().collect())
     }
+
+    /// Compact the journal: fold the current state, write it to
+    /// [`SNAPSHOT_FILE`] with the atomic commit protocol, then truncate the
+    /// log. Replay after a crash at *any* point inside compaction yields
+    /// the same jobs — the snapshot is replayed first and the `accepted`
+    /// fold never downgrades a state it already restored. Returns the
+    /// number of jobs in the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Internal`] on filesystem errors; the journal stays
+    /// replayable (the old snapshot+log remain authoritative).
+    pub fn compact(&self) -> Result<usize, ServeError> {
+        let mut span = sam_obs::span!("journal_compact");
+        let jobs = self.replay()?;
+        let mut snapshot = String::new();
+        for job in &jobs {
+            let accepted = accepted_event(job.id, &job.model, job.version, &job.config);
+            snapshot.push_str(&frame(
+                &serde_json::to_string(&accepted).unwrap_or_default(),
+            ));
+            snapshot.push('\n');
+            let terminal = match &job.state {
+                ReplayState::Interrupted => None,
+                ReplayState::Completed(summary) => {
+                    Some(json!({"event": "completed", "job": job.id, "summary": summary}))
+                }
+                ReplayState::Failed(error) => {
+                    Some(json!({"event": "failed", "job": job.id, "error": error}))
+                }
+                ReplayState::Cancelled => Some(json!({"event": "cancelled", "job": job.id})),
+            };
+            if let Some(event) = terminal {
+                snapshot.push_str(&frame(&serde_json::to_string(&event).unwrap_or_default()));
+                snapshot.push('\n');
+            }
+        }
+        crash_point("journal.compact.pre_snapshot");
+        let snap_path = self.dir.join(SNAPSHOT_FILE);
+        write_atomic(&*self.fs, &snap_path, snapshot.as_bytes())
+            .map_err(|e| ServeError::Internal(format!("write snapshot {snap_path:?}: {e}")))?;
+        crash_point("journal.compact.snapshotted");
+        // Truncate under the writer lock so no append lands in between; the
+        // append handle is O_APPEND, so later writes start at the new end.
+        let log_path = self.dir.join(JOURNAL_FILE);
+        {
+            let _file = self.file.lock();
+            self.fs
+                .truncate(&log_path, 0)
+                .map_err(|e| ServeError::Internal(format!("truncate {log_path:?}: {e}")))?;
+        }
+        crash_point("journal.compact.truncated");
+        self.counters.compactions.inc();
+        span.record("jobs", jobs.len());
+        Ok(jobs.len())
+    }
+}
+
+fn accepted_event(id: u64, model: &str, version: u64, config: &GenerationConfig) -> Value {
+    json!({
+        "event": "accepted",
+        "job": id,
+        "model": model,
+        "version": version,
+        "foj_samples": config.foj_samples,
+        "batch": config.batch,
+        "seed": config.seed,
+        "strategy": strategy_str(config.strategy),
+    })
+}
+
+/// Apply one event document to the fold. `accepted` only fills a vacant
+/// slot: after compaction the snapshot is authoritative, and a stale
+/// `accepted` left in a not-yet-truncated log must not downgrade a
+/// terminal state back to `Interrupted`.
+fn fold_event(jobs: &mut BTreeMap<u64, ReplayedJob>, doc: &Value) {
+    let (Some(event), Some(id)) = (
+        doc.get("event").and_then(Value::as_str),
+        doc.get("job").and_then(Value::as_u64),
+    ) else {
+        return;
+    };
+    match event {
+        "accepted" => {
+            let Some(model) = doc.get("model").and_then(Value::as_str) else {
+                return;
+            };
+            let strategy = doc
+                .get("strategy")
+                .and_then(Value::as_str)
+                .and_then(parse_strategy)
+                .unwrap_or(JoinKeyStrategy::GroupAndMerge);
+            jobs.entry(id).or_insert_with(|| ReplayedJob {
+                id,
+                model: model.to_string(),
+                version: doc.get("version").and_then(Value::as_u64).unwrap_or(0),
+                config: GenerationConfig {
+                    foj_samples: doc.get("foj_samples").and_then(Value::as_u64).unwrap_or(0)
+                        as usize,
+                    batch: doc.get("batch").and_then(Value::as_u64).unwrap_or(1).max(1) as usize,
+                    seed: doc.get("seed").and_then(Value::as_u64).unwrap_or(0),
+                    strategy,
+                },
+                state: ReplayState::Interrupted,
+            });
+        }
+        "running" | "resumed" | "relation" => {
+            // Still non-terminal; nothing to update — relation events may
+            // precede a completed that never made it to disk.
+        }
+        "completed" => {
+            if let Some(job) = jobs.get_mut(&id) {
+                job.state =
+                    ReplayState::Completed(doc.get("summary").cloned().unwrap_or(Value::Null));
+            }
+        }
+        "failed" => {
+            if let Some(job) = jobs.get_mut(&id) {
+                job.state = ReplayState::Failed(
+                    doc.get("error")
+                        .and_then(Value::as_str)
+                        .unwrap_or("unknown error")
+                        .to_string(),
+                );
+            }
+        }
+        "cancelled" => {
+            if let Some(job) = jobs.get_mut(&id) {
+                job.state = ReplayState::Cancelled;
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Pre-open recovery: classify every line of the log as intact, corrupt
+/// (mid-log), or a torn tail. Torn tails are truncated away; corrupt lines
+/// are moved to [`QUARANTINE_FILE`] and the remaining intact lines written
+/// back atomically.
+fn recover(fs: &dyn FaultFs, dir: &Path, counters: &JournalCounters) -> std::io::Result<()> {
+    let path = dir.join(JOURNAL_FILE);
+    if !fs.exists(&path) {
+        return Ok(());
+    }
+    let bytes = fs.read(&path)?;
+    let mut intact: Vec<&[u8]> = Vec::new();
+    let mut quarantined: Vec<&[u8]> = Vec::new();
+    let mut torn_tail = false;
+    let mut good_prefix_len = 0usize; // bytes of leading intact lines
+    let mut prefix_clean = true;
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let end = bytes[offset..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|p| offset + p);
+        let (line, next, complete) = match end {
+            Some(nl) => (&bytes[offset..nl], nl + 1, true),
+            None => (&bytes[offset..], bytes.len(), false),
+        };
+        let valid = complete
+            && std::str::from_utf8(line)
+                .ok()
+                .and_then(line_payload)
+                .is_some();
+        if valid {
+            intact.push(line);
+            if prefix_clean {
+                good_prefix_len = next;
+            }
+        } else if line.is_empty() {
+            // A bare blank line is harmless; keep position but drop it.
+        } else if complete {
+            quarantined.push(line);
+            prefix_clean = false;
+        } else {
+            // The unterminated final line: a torn tail. Not quarantined as
+            // corrupt — it is the expected residue of a crash mid-append.
+            torn_tail = true;
+        }
+        offset = next;
+    }
+    if quarantined.is_empty() && !torn_tail && offset == bytes.len() && good_prefix_len == offset {
+        return Ok(()); // clean log, nothing to do
+    }
+    if !quarantined.is_empty() {
+        let mut q = fs.open_append(&dir.join(QUARANTINE_FILE))?;
+        for line in &quarantined {
+            q.write_all(line)?;
+            q.write_all(b"\n")?;
+            counters.corrupt_records.inc();
+        }
+        q.sync_data()?;
+        crash_point("journal.recover.quarantined");
+        // Rewrite the log with only the intact lines, atomically.
+        let mut clean = Vec::with_capacity(bytes.len());
+        for line in &intact {
+            clean.extend_from_slice(line);
+            clean.push(b'\n');
+        }
+        write_atomic(fs, &path, &clean)?;
+        if torn_tail {
+            counters.torn_tails.inc();
+        }
+    } else if torn_tail || good_prefix_len < bytes.len() {
+        // Only a torn tail (possibly with trailing blank lines): truncate
+        // to the last complete intact line.
+        fs.truncate(&path, good_prefix_len as u64)?;
+        if torn_tail {
+            counters.torn_tails.inc();
+        }
+        crash_point("journal.recover.truncated");
+    }
+    Ok(())
 }
 
 impl std::fmt::Debug for Journal {
@@ -342,12 +587,17 @@ impl std::fmt::Debug for Journal {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Write;
 
-    fn temp_journal(tag: &str) -> Journal {
+    fn temp_dir(tag: &str) -> PathBuf {
         let dir =
             std::env::temp_dir().join(format!("sam_journal_unit_{tag}_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        Journal::open(&dir, sam_obs::counter("test_journal_events")).unwrap()
+        dir
+    }
+
+    fn temp_journal(tag: &str) -> Journal {
+        Journal::open(&temp_dir(tag), sam_obs::counter("test_journal_events")).unwrap()
     }
 
     fn config(seed: u64) -> GenerationConfig {
@@ -357,6 +607,15 @@ mod tests {
             seed,
             strategy: JoinKeyStrategy::GroupAndMerge,
         }
+    }
+
+    fn append_raw(journal: &Journal, bytes: &[u8]) {
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(journal.dir().join(JOURNAL_FILE))
+            .unwrap()
+            .write_all(bytes)
+            .unwrap();
     }
 
     #[test]
@@ -389,15 +648,25 @@ mod tests {
         let journal = temp_journal("garbage");
         assert!(journal.replay().unwrap().is_empty());
         journal.accepted(1, "m", 1, &config(1));
-        std::fs::OpenOptions::new()
-            .append(true)
-            .open(journal.dir().join(JOURNAL_FILE))
-            .unwrap()
-            .write_all(b"not json\n{\"event\":\"mystery\",\"job\":1}\n")
-            .unwrap();
+        append_raw(&journal, b"not json\n{\"event\":\"mystery\",\"job\":1}\n");
         let jobs = journal.replay().unwrap();
         assert_eq!(jobs.len(), 1);
         assert_eq!(jobs[0].state, ReplayState::Interrupted);
+        let _ = std::fs::remove_dir_all(journal.dir());
+    }
+
+    #[test]
+    fn legacy_plain_json_lines_still_replay() {
+        let journal = temp_journal("legacy");
+        append_raw(
+            &journal,
+            b"{\"event\":\"accepted\",\"job\":5,\"model\":\"m\",\"version\":1,\
+              \"foj_samples\":10,\"batch\":2,\"seed\":3,\"strategy\":\"group_and_merge\"}\n\
+              {\"event\":\"completed\",\"job\":5,\"summary\":{\"ok\":true}}\n",
+        );
+        let jobs = journal.replay().unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert!(matches!(jobs[0].state, ReplayState::Completed(_)));
         let _ = std::fs::remove_dir_all(journal.dir());
     }
 
@@ -410,5 +679,139 @@ mod tests {
             assert_eq!(parse_strategy(strategy_str(s)), Some(s));
         }
         assert_eq!(parse_strategy("nonsense"), None);
+    }
+
+    /// Recovery truncates a torn tail (crash mid-append) and the journal
+    /// replays the surviving prefix.
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = temp_dir("torn");
+        {
+            let journal = Journal::open(&dir, sam_obs::counter("test_torn_events")).unwrap();
+            journal.accepted(1, "m", 1, &config(1));
+            journal.completed(1, &json!({}));
+        }
+        // A crash mid-append: half a framed line, no newline.
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join(JOURNAL_FILE))
+            .unwrap()
+            .write_all(b"deadbeef {\"event\":\"acc")
+            .unwrap();
+        let counters = JournalCounters::standalone(sam_obs::counter("test_torn_events2"));
+        let torn_before = counters.torn_tails.get();
+        let journal = Journal::open_with(&dir, counters.clone(), sam_fault::real_fs()).unwrap();
+        assert_eq!(counters.torn_tails.get(), torn_before + 1);
+        let jobs = journal.replay().unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert!(matches!(jobs[0].state, ReplayState::Completed(_)));
+        // The tail is gone from disk; appends continue cleanly.
+        journal.accepted(2, "m", 1, &config(2));
+        assert_eq!(journal.replay().unwrap().len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A corrupt mid-log record (bit flip) is quarantined, counted, and the
+    /// rest of the log replays.
+    #[test]
+    fn corrupt_mid_log_record_is_quarantined() {
+        let dir = temp_dir("quarantine");
+        {
+            let journal = Journal::open(&dir, sam_obs::counter("test_q_events")).unwrap();
+            journal.accepted(1, "m", 1, &config(1));
+            journal.accepted(2, "m", 1, &config(2));
+            journal.completed(2, &json!({}));
+        }
+        let path = dir.join(JOURNAL_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one bit inside the first record's JSON body.
+        let flip_at = 20;
+        bytes[flip_at] ^= 0x04;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let counters = JournalCounters::standalone(sam_obs::counter("test_q_events2"));
+        let corrupt_before = counters.corrupt_records.get();
+        let journal = Journal::open_with(&dir, counters.clone(), sam_fault::real_fs()).unwrap();
+        assert_eq!(counters.corrupt_records.get(), corrupt_before + 1);
+        let quarantine = std::fs::read_to_string(dir.join(QUARANTINE_FILE)).unwrap();
+        assert_eq!(quarantine.lines().count(), 1, "one record quarantined");
+        let jobs = journal.replay().unwrap();
+        assert_eq!(jobs.len(), 1, "job 1's corrupted accept is gone");
+        assert_eq!(jobs[0].id, 2);
+        assert!(matches!(jobs[0].state, ReplayState::Completed(_)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Compaction preserves replayability bit-for-bit, shrinks the log, and
+    /// replays identically even if the log was never truncated (crash
+    /// between snapshot and truncate).
+    #[test]
+    fn compaction_preserves_replay_and_is_crash_idempotent() {
+        let dir = temp_dir("compact");
+        let journal = Journal::open(&dir, sam_obs::counter("test_c_events")).unwrap();
+        journal.accepted(1, "m", 1, &config(1));
+        journal.running(1);
+        journal.completed(1, &json!({"tables": [{"t": "A"}]}));
+        journal.accepted(2, "m", 1, &config(2));
+        journal.failed(2, "boom");
+        journal.accepted(3, "m", 2, &config(3));
+        journal.running(3);
+
+        let before = journal.replay().unwrap();
+        let log_before = journal.log_len();
+        assert!(log_before > 0);
+
+        let jobs = journal.compact().unwrap();
+        assert_eq!(jobs, 3);
+        assert_eq!(journal.log_len(), 0, "log truncated");
+
+        let after = journal.replay().unwrap();
+        assert_eq!(before.len(), after.len());
+        for (b, a) in before.iter().zip(&after) {
+            assert_eq!(b.id, a.id);
+            assert_eq!(b.state, a.state);
+            assert_eq!(b.config.seed, a.config.seed);
+            assert_eq!(b.model, a.model);
+        }
+
+        // Simulate the compaction crash window: snapshot written, log NOT
+        // truncated (restore the old log contents). Replay must not change.
+        let stale_log: String = before
+            .iter()
+            .flat_map(|j| {
+                let acc =
+                    serde_json::to_string(&accepted_event(j.id, &j.model, j.version, &j.config))
+                        .unwrap();
+                vec![frame(&acc) + "\n"]
+            })
+            .collect();
+        std::fs::write(dir.join(JOURNAL_FILE), stale_log).unwrap();
+        let replayed = journal.replay().unwrap();
+        for (b, a) in before.iter().zip(&replayed) {
+            assert_eq!(
+                b.state, a.state,
+                "stale accepted must not downgrade job {}",
+                b.id
+            );
+        }
+
+        // New activity after compaction still lands in the log and replays.
+        journal.accepted(4, "m", 2, &config(4));
+        assert_eq!(journal.replay().unwrap().len(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Appends framed with CRC: every line round-trips through
+    /// `line_payload`, and a flipped bit is rejected.
+    #[test]
+    fn framing_round_trips_and_rejects_flips() {
+        let json = r#"{"event":"running","job":9}"#;
+        let line = frame(json);
+        assert_eq!(line_payload(&line), Some(json));
+        let mut flipped = line.into_bytes();
+        let last = flipped.len() - 3;
+        flipped[last] ^= 0x10;
+        let flipped = String::from_utf8(flipped).unwrap();
+        assert_eq!(line_payload(&flipped), None);
     }
 }

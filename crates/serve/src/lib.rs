@@ -45,6 +45,7 @@ pub mod journal;
 pub mod metrics;
 pub mod registry;
 pub mod server;
+pub mod sync;
 
 pub use batcher::{BatchReply, Batcher, EstimateJob};
 pub use cache::{EstimateCache, EstimateKey};

@@ -60,6 +60,16 @@ pub struct ServeMetrics {
     /// Jobs reconstructed from the journal at startup (completed reloads +
     /// interrupted resumes + terminal re-inserts).
     pub jobs_replayed: Arc<Counter>,
+    /// Corrupt journal records quarantined during recovery or skipped
+    /// during replay.
+    pub journal_corrupt_records: Arc<Counter>,
+    /// Torn journal tails truncated during recovery.
+    pub journal_torn_tails: Arc<Counter>,
+    /// Journal compactions performed (manual or replay-triggered).
+    pub journal_compactions: Arc<Counter>,
+    /// Worker or job threads that panicked and were recovered (the request
+    /// got a 500 / the job failed instead of hanging forever).
+    pub worker_panics: Arc<Counter>,
     /// End-to-end `/estimate` latency (arrival → reply).
     pub estimate_latency: Arc<LatencyHistogram>,
 }
@@ -84,6 +94,10 @@ impl Default for ServeMetrics {
             exports_ok: registry.counter("sam_exports_ok_total"),
             journal_events: registry.counter("sam_journal_events_total"),
             jobs_replayed: registry.counter("sam_jobs_replayed_total"),
+            journal_corrupt_records: registry.counter("sam_journal_corrupt_records_total"),
+            journal_torn_tails: registry.counter("sam_journal_torn_tails_total"),
+            journal_compactions: registry.counter("sam_journal_compactions_total"),
+            worker_panics: registry.counter("sam_worker_panics_total"),
             estimate_latency: registry.histogram("sam_estimate_latency_seconds"),
             registry,
         }
@@ -116,6 +130,10 @@ impl ServeMetrics {
             "exports_ok": self.exports_ok.get(),
             "journal_events": self.journal_events.get(),
             "jobs_replayed": self.jobs_replayed.get(),
+            "journal_corrupt_records": self.journal_corrupt_records.get(),
+            "journal_torn_tails": self.journal_torn_tails.get(),
+            "journal_compactions": self.journal_compactions.get(),
+            "worker_panics": self.worker_panics.get(),
             "estimate_latency_ms": {
                 "count": lat.count,
                 "mean": lat.mean_ms,
@@ -126,6 +144,16 @@ impl ServeMetrics {
                 "max": lat.max_ms,
             },
         })
+    }
+
+    /// The journal's counter bundle, wired to this server's registry.
+    pub fn journal_counters(&self) -> crate::journal::JournalCounters {
+        crate::journal::JournalCounters {
+            events: Arc::clone(&self.journal_events),
+            corrupt_records: Arc::clone(&self.journal_corrupt_records),
+            torn_tails: Arc::clone(&self.journal_torn_tails),
+            compactions: Arc::clone(&self.journal_compactions),
+        }
     }
 
     /// Prometheus text exposition: this server's registry followed by the

@@ -6,11 +6,12 @@
 //! per-name and bump on every swap, letting clients detect reloads.
 
 use crate::error::ServeError;
+use crate::sync::{Lock, RwLock};
 use sam_ar::{PrefixTrie, TrainReport};
 use sam_core::{Sam, TrainedSam};
 use sam_nn::BackendKind;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::Arc;
 
 /// One registered model version.
 pub struct ModelEntry {
@@ -26,7 +27,7 @@ pub struct ModelEntry {
     /// means a hot swap starts a fresh trie — a version bump is the only
     /// invalidation needed, because cached conditionals are pure functions
     /// of this version's weights.
-    pub trie: Mutex<PrefixTrie>,
+    pub trie: Lock<PrefixTrie>,
 }
 
 impl ModelEntry {
@@ -69,7 +70,7 @@ impl ModelRegistry {
 
     /// Register (or hot-swap) `trained` under `name`; returns the new version.
     pub fn insert(&self, name: &str, trained: TrainedSam) -> u64 {
-        let mut map = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        let mut map = self.inner.write();
         let version = map.get(name).map_or(0, |e| e.version) + 1;
         map.insert(
             name.to_string(),
@@ -77,7 +78,7 @@ impl ModelRegistry {
                 name: name.to_string(),
                 version,
                 trained: Arc::new(trained),
-                trie: Mutex::new(PrefixTrie::new()),
+                trie: Lock::new(PrefixTrie::new()),
             }),
         );
         version
@@ -107,29 +108,19 @@ impl ModelRegistry {
 
     /// Resolve a model by name.
     pub fn get(&self, name: &str) -> Option<Arc<ModelEntry>> {
-        self.inner
-            .read()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(name)
-            .cloned()
+        self.inner.read().get(name).cloned()
     }
 
     /// All registered models, sorted by name.
     pub fn list(&self) -> Vec<Arc<ModelEntry>> {
-        let mut entries: Vec<_> = self
-            .inner
-            .read()
-            .unwrap_or_else(|e| e.into_inner())
-            .values()
-            .cloned()
-            .collect();
+        let mut entries: Vec<_> = self.inner.read().values().cloned().collect();
         entries.sort_by(|a, b| a.name.cmp(&b.name));
         entries
     }
 
     /// Number of registered models.
     pub fn len(&self) -> usize {
-        self.inner.read().unwrap_or_else(|e| e.into_inner()).len()
+        self.inner.read().len()
     }
 
     /// Whether the registry is empty.

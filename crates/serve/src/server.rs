@@ -40,6 +40,7 @@ use crate::jobs::{JobRegistry, JobState};
 use crate::journal::{Journal, ReplayState};
 use crate::metrics::ServeMetrics;
 use crate::registry::ModelRegistry;
+use crate::sync::Lock;
 use sam_core::{GenerationConfig, JoinKeyStrategy};
 use sam_nn::BackendKind;
 use sam_query::parse_query;
@@ -51,7 +52,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::RecvTimeoutError;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -98,6 +99,9 @@ pub struct ServeConfig {
     /// Directory for the on-disk job journal and persisted results;
     /// `None` disables journaling (jobs die with the process).
     pub journal_dir: Option<PathBuf>,
+    /// Compact the journal during [`Server::replay_journal`] when the log
+    /// exceeds this many bytes; `None` disables auto-compaction.
+    pub journal_compact_bytes: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -114,6 +118,7 @@ impl Default for ServeConfig {
             idle_timeout_ms: 30_000,
             max_conn_requests: 1_000,
             journal_dir: None,
+            journal_compact_bytes: Some(4 * 1024 * 1024),
         }
     }
 }
@@ -140,7 +145,7 @@ struct ServerState {
     /// samples, seed); consulted before the batcher.
     cache: EstimateCache,
     shutting_down: AtomicBool,
-    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    conn_threads: Lock<Vec<JoinHandle<()>>>,
     /// Monotonic per-request trace id, attached to span output (and the
     /// estimate response body) for request ↔ trace correlation.
     next_trace_id: AtomicU64,
@@ -150,7 +155,7 @@ struct ServerState {
 pub struct Server {
     state: Arc<ServerState>,
     addr: SocketAddr,
-    accept_thread: Mutex<Option<JoinHandle<()>>>,
+    accept_thread: Lock<Option<JoinHandle<()>>>,
 }
 
 impl Server {
@@ -168,9 +173,10 @@ impl Server {
             .map_err(|e| ServeError::Internal(format!("local_addr: {e}")))?;
         let metrics = Arc::new(ServeMetrics::default());
         let journal = match &config.journal_dir {
-            Some(dir) => Some(Arc::new(Journal::open(
+            Some(dir) => Some(Arc::new(Journal::open_with(
                 dir,
-                Arc::clone(&metrics.journal_events),
+                metrics.journal_counters(),
+                sam_fault::real_fs(),
             )?)),
             None => None,
         };
@@ -190,7 +196,7 @@ impl Server {
             batcher,
             cache,
             shutting_down: AtomicBool::new(false),
-            conn_threads: Mutex::new(Vec::new()),
+            conn_threads: Lock::new(Vec::new()),
             next_trace_id: AtomicU64::new(0),
         });
         let accept_state = Arc::clone(&state);
@@ -201,7 +207,7 @@ impl Server {
         Ok(Server {
             state,
             addr,
-            accept_thread: Mutex::new(Some(accept_thread)),
+            accept_thread: Lock::new(Some(accept_thread)),
         })
     }
 
@@ -325,6 +331,14 @@ impl Server {
         span.record("completed", summary.completed);
         span.record("resumed", summary.resumed);
         span.record("failed", summary.failed);
+
+        // Auto-compaction: replay already paid for the full fold, so this
+        // is the natural moment to shrink an oversized log to a snapshot.
+        if let Some(limit) = self.state.config.journal_compact_bytes {
+            if journal.log_len() > limit {
+                journal.compact()?;
+            }
+        }
         Ok(summary)
     }
 
@@ -335,21 +349,10 @@ impl Server {
         self.state.shutting_down.store(true, Ordering::SeqCst);
         // Wake the blocking accept so the loop observes the flag.
         let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self
-            .accept_thread
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .take()
-        {
+        if let Some(handle) = self.accept_thread.lock().take() {
             let _ = handle.join();
         }
-        let conns: Vec<_> = self
-            .state
-            .conn_threads
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .drain(..)
-            .collect();
+        let conns: Vec<_> = self.state.conn_threads.lock().drain(..).collect();
         for handle in conns {
             let _ = handle.join();
         }
@@ -402,7 +405,7 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
             .name("sam-serve-conn".to_string())
             .spawn(move || handle_connection(&stream, &conn_state));
         if let Ok(handle) = spawned {
-            let mut threads = state.conn_threads.lock().unwrap_or_else(|e| e.into_inner());
+            let mut threads = state.conn_threads.lock();
             // Reap finished handlers so the vec stays bounded on long runs.
             threads.retain(|h| !h.is_finished());
             threads.push(handle);

@@ -209,6 +209,26 @@ pub fn write_csv<W: Write>(table: &Table, writer: &mut W) -> std::io::Result<()>
     Ok(())
 }
 
+/// Durably write a table as CSV to `path` through a [`sam_fault::FaultFs`]:
+/// the bytes go to a `.tmp` sibling, are fsynced, and renamed into place —
+/// a crash at any instant leaves either the old file (or nothing) or the
+/// complete new CSV, never a torn one. Crash points: `csv.pre_write` plus
+/// the generic `atomic.*` points inside the commit protocol.
+///
+/// # Errors
+///
+/// Propagates I/O errors (including injected faults) from the filesystem.
+pub fn write_csv_atomic(
+    table: &Table,
+    path: &std::path::Path,
+    fs: &dyn sam_fault::FaultFs,
+) -> std::io::Result<()> {
+    let mut buf = Vec::new();
+    write_csv(table, &mut buf)?;
+    sam_fault::crash_point("csv.pre_write");
+    sam_fault::write_atomic(fs, path, &buf)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,6 +5,7 @@
 //! sam-cli export   --dataset census|dmv|imdb --out DIR [--rows N] [--seed N]
 //! sam-cli train    --schema schema.json --data DIR --model-out model.json
 //!                  [--queries N | --workload FILE] [--epochs N] [--seed N]
+//!                  [--checkpoint-dir DIR] [--checkpoint-every N]
 //! sam-cli generate --schema schema.json (--data DIR | --stats stats.json) --out DIR
 //!                  [--model model.json] [--queries N | --workload FILE]
 //!                  [--epochs N] [--foj-samples N] [--seed N] [--backend f32|f16]
@@ -16,7 +17,9 @@
 //!                  [--workers N] [--queue N] [--max-batch N]
 //!                  [--samples N] [--timeout-ms N] [--cache N]
 //!                  [--backend f32|f16] [--journal-dir DIR]
-//!                  [--idle-timeout-ms N] [--conn-requests N]
+//!                  [--journal-compact-bytes N] [--idle-timeout-ms N]
+//!                  [--conn-requests N]
+//! sam-cli journal  compact DIR
 //! ```
 //!
 //! `--backend` picks the frozen-inference backend: `f32` (the exact
@@ -26,11 +29,16 @@
 //! `estimate` it retargets the trained or loaded model before inference.
 //!
 //! `serve --journal-dir DIR` makes generation jobs restart-safe: every job
-//! is journaled to `DIR/journal.jsonl`, completed results are persisted as
+//! is journaled to `DIR/journal.jsonl` (CRC-framed records; torn tails and
+//! corrupt lines are recovered on open), completed results are persisted as
 //! CSV under `DIR/jobs/<id>/`, and on startup the journal is replayed —
 //! completed jobs are re-servable (status + `GET /jobs/{id}/export`),
-//! interrupted ones re-run from their recorded RNG seed. See
-//! `docs/SERVING.md` for the full operator guide.
+//! interrupted ones re-run from their recorded RNG seed. When the replayed
+//! log exceeds `--journal-compact-bytes` (default 4 MiB; 0 disables) it is
+//! folded into `snapshot.jsonl`; `sam-cli journal compact DIR` does the
+//! same offline. `train --checkpoint-dir DIR` snapshots training state
+//! every `--checkpoint-every` epochs; rerunning with identical flags
+//! resumes bit-for-bit. See `docs/SERVING.md` for the full operator guide.
 //!
 //! The pipeline subcommands (`demo`, `train`, `generate`, `serve`) also
 //! accept `--log-level {silent,info,debug}` (structured span lines on
@@ -64,10 +72,12 @@ fn main() -> ExitCode {
     }
 }
 
-/// Minimal flag parser: `--key value` pairs after the subcommand.
+/// Minimal flag parser: `--key value` pairs after the subcommand, plus bare
+/// positional words (e.g. `journal compact DIR`) collected in order.
 struct Args {
     command: String,
     flags: HashMap<String, String>,
+    positional: Vec<String>,
 }
 
 impl Args {
@@ -75,11 +85,14 @@ impl Args {
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let command = argv.first().cloned().ok_or_else(usage)?;
         let mut flags = HashMap::new();
+        let mut positional = Vec::new();
         let mut i = 1;
         while i < argv.len() {
-            let key = argv[i]
-                .strip_prefix("--")
-                .ok_or_else(|| format!("expected --flag, got {:?}", argv[i]))?;
+            let Some(key) = argv[i].strip_prefix("--") else {
+                positional.push(argv[i].clone());
+                i += 1;
+                continue;
+            };
             let value = argv
                 .get(i + 1)
                 .cloned()
@@ -87,7 +100,11 @@ impl Args {
             flags.insert(key.to_string(), value);
             i += 2;
         }
-        Ok(Args { command, flags })
+        Ok(Args {
+            command,
+            flags,
+            positional,
+        })
     }
 
     fn get(&self, key: &str) -> Option<&str> {
@@ -107,7 +124,7 @@ impl Args {
 }
 
 fn usage() -> String {
-    "usage: sam-cli <demo|export|train|generate|evaluate|estimate|serve> [--flags]\n\
+    "usage: sam-cli <demo|export|train|generate|evaluate|estimate|serve|journal> [--flags]\n\
      run with a subcommand; see the crate docs for details"
         .into()
 }
@@ -122,6 +139,7 @@ fn run() -> Result<(), String> {
         "evaluate" => evaluate(&args),
         "estimate" => estimate(&args),
         "serve" => serve(&args),
+        "journal" => journal_cmd(&args),
         other => Err(format!("unknown subcommand {other:?}\n{}", usage())),
     }
 }
@@ -249,6 +267,13 @@ fn sam_config(args: &Args) -> Result<SamConfig, String> {
     config.train.epochs = args.num("epochs", 10usize)?;
     config.train.seed = args.num("seed", 0u64)?;
     config.model.seed = config.train.seed;
+    // `--checkpoint-dir DIR [--checkpoint-every N]`: atomic training
+    // snapshots every N epochs; an interrupted run restarted with the same
+    // flags auto-resumes bit-for-bit.
+    if let Some(dir) = args.get("checkpoint-dir") {
+        let every: usize = args.num("checkpoint-every", 1usize)?;
+        config.train.checkpoint = Some(sam::ar::CheckpointConfig::new(Path::new(dir), every));
+    }
     Ok(config)
 }
 
@@ -516,6 +541,10 @@ fn serve(args: &Args) -> Result<(), String> {
         idle_timeout_ms: args.num("idle-timeout-ms", 30_000u64)?,
         max_conn_requests: args.num("conn-requests", 1_000usize)?,
         journal_dir: args.get("journal-dir").map(PathBuf::from),
+        journal_compact_bytes: match args.num("journal-compact-bytes", 4 * 1024 * 1024u64)? {
+            0 => None, // 0 disables replay-time auto-compaction
+            n => Some(n),
+        },
     };
     let journalled = config.journal_dir.is_some();
     let server = sam::serve::Server::start(config).map_err(|e| e.to_string())?;
@@ -554,4 +583,32 @@ fn serve(args: &Args) -> Result<(), String> {
         std::thread::sleep(std::time::Duration::from_secs(interval));
         write_trace(&trace_out)?;
     }
+}
+
+/// `sam-cli journal compact DIR` — offline journal maintenance: replay the
+/// job log (recovery runs first: torn tails truncated, corrupt records
+/// quarantined), fold it into `snapshot.jsonl`, and truncate the log. Safe
+/// to run only while no server is serving the directory.
+fn journal_cmd(args: &Args) -> Result<(), String> {
+    let (action, dir) = match args.positional.as_slice() {
+        [action, dir] => (action.as_str(), dir),
+        _ => return Err("usage: sam-cli journal compact DIR".into()),
+    };
+    if action != "compact" {
+        return Err(format!(
+            "unknown journal action {action:?} (expected \"compact\")"
+        ));
+    }
+    let journal = sam::serve::Journal::open(
+        Path::new(dir),
+        sam::obs::counter("sam_journal_events_total"),
+    )
+    .map_err(|e| e.to_string())?;
+    let before = journal.log_len();
+    let jobs = journal.compact().map_err(|e| e.to_string())?;
+    println!(
+        "compacted {dir}: {jobs} jobs in snapshot, log {before} -> {} bytes",
+        journal.log_len()
+    );
+    Ok(())
 }

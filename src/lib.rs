@@ -54,6 +54,7 @@ pub use sam_ar as ar;
 pub use sam_core as core;
 pub use sam_datasets as datasets;
 pub use sam_engine as engine;
+pub use sam_fault as fault;
 pub use sam_metrics as metrics;
 pub use sam_nn as nn;
 pub use sam_obs as obs;

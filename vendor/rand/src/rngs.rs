@@ -20,6 +20,24 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+impl StdRng {
+    /// The raw xoshiro256\*\* state, for checkpointing. Restoring it with
+    /// [`StdRng::from_state`] resumes the stream at exactly this point.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from a state captured by [`StdRng::state`].
+    /// An all-zero state (a fixed point of xoshiro) is remapped to a fixed
+    /// non-zero state, mirroring the `seed_from_u64` guard.
+    pub fn from_state(mut s: [u64; 4]) -> Self {
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        StdRng { s }
+    }
+}
+
 impl SeedableRng for StdRng {
     fn seed_from_u64(seed: u64) -> Self {
         let mut sm = seed;
