@@ -1,0 +1,790 @@
+//! Streaming DEFLATE compression for export bodies (RFC 1951), with gzip
+//! (RFC 1952) and zlib (RFC 1950) framings — zero external dependencies.
+//!
+//! The encoder emits *fixed-Huffman* blocks over a greedy LZ77 matcher
+//! (hash-chained 3-byte prefixes, 258-byte max match). Input accumulates in
+//! a bounded [`BLOCK_BYTES`] buffer; each full buffer is compressed and
+//! flushed as one block, so memory stays constant no matter how large the
+//! streamed body is — the same bounded-memory contract as
+//! [`crate::http::ChunkedWriter`], which these encoders are designed to
+//! wrap. CSV/JSONL exports are highly repetitive, so fixed-Huffman + LZ77
+//! typically shrinks them 3–6×.
+//!
+//! [`inflate`] decodes the subset this encoder emits (stored and
+//! fixed-Huffman blocks) so tests and in-process clients can round-trip
+//! without an external zlib; real gzip tools decode our output because we
+//! only ever emit spec-compliant blocks.
+
+use std::io::Write;
+
+/// Input buffered per DEFLATE block (also the LZ77 match window, since the
+/// matcher never looks across a block boundary).
+pub const BLOCK_BYTES: usize = 64 << 10;
+
+/// Longest match DEFLATE can encode.
+const MAX_MATCH: usize = 258;
+/// Shortest match worth encoding.
+const MIN_MATCH: usize = 3;
+/// Hash-chain probes per position (compression effort knob).
+const MAX_CHAIN: usize = 48;
+/// Farthest back a match may refer (DEFLATE window size). Blocks are
+/// 64 KiB, so the matcher must cut chains that reach past this.
+const MAX_DIST: usize = 32 << 10;
+/// 3-byte prefix hash table size (power of two).
+const HASH_SIZE: usize = 1 << 15;
+
+/// `(extra_bits, base_length)` for length codes 257..=285.
+const LENGTH_TABLE: [(u32, u16); 29] = [
+    (0, 3),
+    (0, 4),
+    (0, 5),
+    (0, 6),
+    (0, 7),
+    (0, 8),
+    (0, 9),
+    (0, 10),
+    (1, 11),
+    (1, 13),
+    (1, 15),
+    (1, 17),
+    (2, 19),
+    (2, 23),
+    (2, 27),
+    (2, 31),
+    (3, 35),
+    (3, 43),
+    (3, 51),
+    (3, 59),
+    (4, 67),
+    (4, 83),
+    (4, 99),
+    (4, 115),
+    (5, 131),
+    (5, 163),
+    (5, 195),
+    (5, 227),
+    (0, 258),
+];
+
+/// `(extra_bits, base_distance)` for distance codes 0..=29.
+const DIST_TABLE: [(u32, u16); 30] = [
+    (0, 1),
+    (0, 2),
+    (0, 3),
+    (0, 4),
+    (1, 5),
+    (1, 7),
+    (2, 9),
+    (2, 13),
+    (3, 17),
+    (3, 25),
+    (4, 33),
+    (4, 49),
+    (5, 65),
+    (5, 97),
+    (6, 129),
+    (6, 193),
+    (7, 257),
+    (7, 385),
+    (8, 513),
+    (8, 769),
+    (9, 1025),
+    (9, 1537),
+    (10, 2049),
+    (10, 3073),
+    (11, 4097),
+    (11, 6145),
+    (12, 8193),
+    (12, 12289),
+    (13, 16385),
+    (13, 24577),
+];
+
+// ------------------------------------------------------------ checksums
+
+/// Incremental IEEE CRC-32 (the gzip trailer checksum). Byte-compatible
+/// with [`sam_fault::crc32`], but usable over a stream.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Fresh checksum.
+    pub fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    /// Fold `data` into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut c = self.state;
+        for &byte in data {
+            c ^= byte as u32;
+            for _ in 0..8 {
+                c = (c >> 1) ^ (0xEDB8_8320 & 0u32.wrapping_sub(c & 1));
+            }
+        }
+        self.state = c;
+    }
+
+    /// The checksum of everything folded in so far.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// Incremental Adler-32 (the zlib trailer checksum).
+#[derive(Debug, Clone)]
+pub struct Adler32 {
+    a: u32,
+    b: u32,
+}
+
+impl Default for Adler32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Adler32 {
+    /// Fresh checksum.
+    pub fn new() -> Self {
+        Adler32 { a: 1, b: 0 }
+    }
+
+    /// Fold `data` into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        const MOD: u32 = 65_521;
+        // 5552 is the largest n with n*(n+1)/2*255 + (n+1)*(MOD-1) < 2^32.
+        for chunk in data.chunks(5552) {
+            for &byte in chunk {
+                self.a += byte as u32;
+                self.b += self.a;
+            }
+            self.a %= MOD;
+            self.b %= MOD;
+        }
+    }
+
+    /// The checksum of everything folded in so far.
+    pub fn finish(&self) -> u32 {
+        (self.b << 16) | self.a
+    }
+}
+
+// ------------------------------------------------------------- bit sink
+
+/// LSB-first bit packer writing completed bytes straight through to `W`.
+struct BitWriter<W: Write> {
+    inner: W,
+    bits: u32,
+    nbits: u32,
+}
+
+impl<W: Write> BitWriter<W> {
+    fn new(inner: W) -> Self {
+        BitWriter {
+            inner,
+            bits: 0,
+            nbits: 0,
+        }
+    }
+
+    /// Write `n` bits of `value`, LSB first (DEFLATE's non-Huffman fields).
+    fn put(&mut self, value: u32, n: u32) -> std::io::Result<()> {
+        debug_assert!(n <= 16 && (n == 32 || value < (1 << n)));
+        self.bits |= value << self.nbits;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.inner.write_all(&[(self.bits & 0xFF) as u8])?;
+            self.bits >>= 8;
+            self.nbits -= 8;
+        }
+        Ok(())
+    }
+
+    /// Write a Huffman code: DEFLATE packs codes MSB-first, so the bit
+    /// order is reversed relative to [`Self::put`].
+    fn put_code(&mut self, code: u32, len: u32) -> std::io::Result<()> {
+        let mut rev = 0u32;
+        for i in 0..len {
+            rev |= ((code >> i) & 1) << (len - 1 - i);
+        }
+        self.put(rev, len)
+    }
+
+    /// Pad to a byte boundary with zero bits.
+    fn align(&mut self) -> std::io::Result<()> {
+        if self.nbits > 0 {
+            self.inner.write_all(&[(self.bits & 0xFF) as u8])?;
+            self.bits = 0;
+            self.nbits = 0;
+        }
+        Ok(())
+    }
+}
+
+// -------------------------------------------------------------- encoder
+
+/// The content codings the export endpoint can negotiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Coding {
+    /// RFC 1952 gzip framing around the DEFLATE stream.
+    Gzip,
+    /// RFC 1950 zlib framing (the HTTP `deflate` token, per the RFC 9110
+    /// definition).
+    Deflate,
+}
+
+impl Coding {
+    /// The `Content-Encoding` token for this coding.
+    pub fn token(self) -> &'static str {
+        match self {
+            Coding::Gzip => "gzip",
+            Coding::Deflate => "deflate",
+        }
+    }
+}
+
+/// A streaming DEFLATE encoder with optional gzip/zlib framing.
+///
+/// Write plaintext in with [`Write`]; call [`finish`](Self::finish) exactly
+/// once to flush the final block and the trailer checksum. Dropping without
+/// `finish` truncates the stream (detectable by any decoder).
+pub struct Encoder<W: Write> {
+    bw: BitWriter<W>,
+    buf: Vec<u8>,
+    coding: Coding,
+    crc: Crc32,
+    adler: Adler32,
+    total_in: u64,
+    header_written: bool,
+}
+
+impl<W: Write> Encoder<W> {
+    /// Wrap `inner` with the given framing.
+    pub fn new(inner: W, coding: Coding) -> Self {
+        Encoder {
+            bw: BitWriter::new(inner),
+            buf: Vec::with_capacity(BLOCK_BYTES),
+            coding,
+            crc: Crc32::new(),
+            adler: Adler32::new(),
+            total_in: 0,
+            header_written: false,
+        }
+    }
+
+    fn write_header(&mut self) -> std::io::Result<()> {
+        match self.coding {
+            Coding::Gzip => {
+                // magic, CM=deflate, no flags, no mtime, XFL=0, OS=unknown.
+                self.bw
+                    .inner
+                    .write_all(&[0x1F, 0x8B, 8, 0, 0, 0, 0, 0, 0, 0xFF])
+            }
+            // CMF=0x78 (deflate, 32K window), FLG makes the pair a
+            // multiple of 31 with no preset dictionary.
+            Coding::Deflate => self.bw.inner.write_all(&[0x78, 0x9C]),
+        }
+    }
+
+    /// Compress and emit the buffered input as one fixed-Huffman block.
+    fn emit_block(&mut self, last: bool) -> std::io::Result<()> {
+        if !self.header_written {
+            self.write_header()?;
+            self.header_written = true;
+        }
+        self.bw.put(last as u32, 1)?;
+        self.bw.put(0b01, 2)?; // BTYPE=01: fixed Huffman
+        let data = std::mem::take(&mut self.buf);
+        let tokens = Lz77::tokenize(&data);
+        for token in tokens {
+            match token {
+                Token::Literal(byte) => put_literal(&mut self.bw, byte)?,
+                Token::Match { len, dist } => put_match(&mut self.bw, len, dist)?,
+            }
+        }
+        // End-of-block symbol 256: 7-bit code 0.
+        self.bw.put_code(0, 7)?;
+        self.buf = data;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Flush the final block and the framing trailer, returning the inner
+    /// writer. Must be called exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        self.emit_block(true)?;
+        self.bw.align()?;
+        match self.coding {
+            Coding::Gzip => {
+                let crc = self.crc.finish();
+                let isize = (self.total_in & 0xFFFF_FFFF) as u32;
+                self.bw.inner.write_all(&crc.to_le_bytes())?;
+                self.bw.inner.write_all(&isize.to_le_bytes())?;
+            }
+            Coding::Deflate => {
+                let adler = self.adler.finish();
+                self.bw.inner.write_all(&adler.to_be_bytes())?;
+            }
+        }
+        self.bw.inner.flush()?;
+        Ok(self.bw.inner)
+    }
+}
+
+impl<W: Write> Write for Encoder<W> {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.crc.update(data);
+        self.adler.update(data);
+        self.total_in += data.len() as u64;
+        let mut rest = data;
+        while !rest.is_empty() {
+            let take = (BLOCK_BYTES - self.buf.len()).min(rest.len());
+            self.buf.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if self.buf.len() == BLOCK_BYTES {
+                self.emit_block(false)?;
+            }
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        // Deliberately do NOT emit a partial block: flush only pushes
+        // already-encoded bytes down. Compression state stays buffered.
+        self.bw.inner.flush()
+    }
+}
+
+enum Token {
+    Literal(u8),
+    Match { len: usize, dist: usize },
+}
+
+/// Greedy hash-chain LZ77 matcher over one block.
+struct Lz77;
+
+impl Lz77 {
+    fn hash(data: &[u8], pos: usize) -> usize {
+        let h = (data[pos] as u32) << 16 | (data[pos + 1] as u32) << 8 | data[pos + 2] as u32;
+        (h.wrapping_mul(0x9E37_79B1) >> 17) as usize & (HASH_SIZE - 1)
+    }
+
+    fn tokenize(data: &[u8]) -> Vec<Token> {
+        let n = data.len();
+        let mut tokens = Vec::with_capacity(n / 3 + 8);
+        if n < MIN_MATCH {
+            tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+            return tokens;
+        }
+        let mut head = vec![usize::MAX; HASH_SIZE];
+        let mut prev = vec![usize::MAX; n];
+        let mut pos = 0usize;
+        while pos < n {
+            let mut best_len = 0usize;
+            let mut best_dist = 0usize;
+            if pos + MIN_MATCH <= n {
+                let h = Self::hash(data, pos);
+                let mut candidate = head[h];
+                let mut chain = 0;
+                // Chains are newest-first, so the first candidate beyond
+                // the window ends the walk.
+                while candidate != usize::MAX && chain < MAX_CHAIN && pos - candidate <= MAX_DIST {
+                    let limit = (n - pos).min(MAX_MATCH);
+                    let mut len = 0usize;
+                    while len < limit && data[candidate + len] == data[pos + len] {
+                        len += 1;
+                    }
+                    if len > best_len {
+                        best_len = len;
+                        best_dist = pos - candidate;
+                        if len == limit {
+                            break;
+                        }
+                    }
+                    candidate = prev[candidate];
+                    chain += 1;
+                }
+                prev[pos] = head[h];
+                head[h] = pos;
+            }
+            if best_len >= MIN_MATCH {
+                tokens.push(Token::Match {
+                    len: best_len,
+                    dist: best_dist,
+                });
+                // Index the skipped positions so later matches can refer
+                // into this run.
+                let run_end = (pos + best_len).min(n.saturating_sub(MIN_MATCH - 1));
+                for (p, slot) in prev.iter_mut().enumerate().take(run_end).skip(pos + 1) {
+                    let h = Self::hash(data, p);
+                    *slot = head[h];
+                    head[h] = p;
+                }
+                pos += best_len;
+            } else {
+                tokens.push(Token::Literal(data[pos]));
+                pos += 1;
+            }
+        }
+        tokens
+    }
+}
+
+/// Emit a literal byte with the fixed literal/length code.
+fn put_literal<W: Write>(bw: &mut BitWriter<W>, byte: u8) -> std::io::Result<()> {
+    let sym = byte as u32;
+    if sym < 144 {
+        bw.put_code(0x30 + sym, 8)
+    } else {
+        bw.put_code(0x190 + (sym - 144), 9)
+    }
+}
+
+/// Emit a length/distance pair with the fixed codes.
+fn put_match<W: Write>(bw: &mut BitWriter<W>, len: usize, dist: usize) -> std::io::Result<()> {
+    debug_assert!((MIN_MATCH..=MAX_MATCH).contains(&len));
+    debug_assert!((1..=32768).contains(&dist));
+    let lcode = LENGTH_TABLE
+        .iter()
+        .rposition(|&(_, base)| len >= base as usize)
+        .expect("length in table");
+    let (lextra, lbase) = LENGTH_TABLE[lcode];
+    let sym = 257 + lcode as u32;
+    if sym < 280 {
+        bw.put_code(sym - 256, 7)?;
+    } else {
+        bw.put_code(0xC0 + (sym - 280), 8)?;
+    }
+    if lextra > 0 {
+        bw.put((len - lbase as usize) as u32, lextra)?;
+    }
+    let dcode = DIST_TABLE
+        .iter()
+        .rposition(|&(_, base)| dist >= base as usize)
+        .expect("distance in table");
+    let (dextra, dbase) = DIST_TABLE[dcode];
+    bw.put_code(dcode as u32, 5)?;
+    if dextra > 0 {
+        bw.put((dist - dbase as usize) as u32, dextra)?;
+    }
+    Ok(())
+}
+
+// -------------------------------------------------------------- decoder
+
+/// LSB-first bit reader over a byte slice.
+struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    bits: u32,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        BitReader {
+            data,
+            pos: 0,
+            bits: 0,
+            nbits: 0,
+        }
+    }
+
+    fn take(&mut self, n: u32) -> Result<u32, String> {
+        while self.nbits < n {
+            let byte = *self
+                .data
+                .get(self.pos)
+                .ok_or_else(|| "unexpected end of deflate stream".to_string())?;
+            self.bits |= (byte as u32) << self.nbits;
+            self.nbits += 8;
+            self.pos += 1;
+        }
+        let v = self.bits & ((1u32 << n) - 1);
+        self.bits >>= n;
+        self.nbits -= n;
+        Ok(v)
+    }
+
+    /// Read `n` bits accumulating MSB-first (Huffman code order).
+    fn take_code(&mut self, n: u32) -> Result<u32, String> {
+        let mut v = 0u32;
+        for _ in 0..n {
+            v = (v << 1) | self.take(1)?;
+        }
+        Ok(v)
+    }
+
+    fn align(&mut self) {
+        self.bits = 0;
+        self.nbits = 0;
+    }
+}
+
+/// Decode a raw DEFLATE stream produced by [`Encoder`] (stored and
+/// fixed-Huffman blocks; dynamic-Huffman blocks are rejected — this
+/// decoder exists for tests and in-process clients, not as a general
+/// inflater).
+///
+/// # Errors
+///
+/// A description of the framing violation, truncation, or unsupported
+/// block type.
+pub fn inflate(data: &[u8]) -> Result<Vec<u8>, String> {
+    let mut br = BitReader::new(data);
+    let mut out = Vec::new();
+    loop {
+        let last = br.take(1)? == 1;
+        match br.take(2)? {
+            0 => {
+                br.align();
+                if br.pos + 4 > br.data.len() {
+                    return Err("truncated stored-block header".into());
+                }
+                let len = u16::from_le_bytes([br.data[br.pos], br.data[br.pos + 1]]) as usize;
+                let nlen = u16::from_le_bytes([br.data[br.pos + 2], br.data[br.pos + 3]]);
+                if nlen != !(len as u16) {
+                    return Err("stored-block LEN/NLEN mismatch".into());
+                }
+                br.pos += 4;
+                if br.pos + len > br.data.len() {
+                    return Err("truncated stored block".into());
+                }
+                out.extend_from_slice(&br.data[br.pos..br.pos + len]);
+                br.pos += len;
+            }
+            1 => loop {
+                let sym = decode_fixed_litlen(&mut br)?;
+                match sym {
+                    0..=255 => out.push(sym as u8),
+                    256 => break,
+                    257..=285 => {
+                        let (lextra, lbase) = LENGTH_TABLE[sym as usize - 257];
+                        let len = lbase as usize + br.take(lextra)? as usize;
+                        let dcode = br.take_code(5)? as usize;
+                        if dcode >= DIST_TABLE.len() {
+                            return Err(format!("invalid distance code {dcode}"));
+                        }
+                        let (dextra, dbase) = DIST_TABLE[dcode];
+                        let dist = dbase as usize + br.take(dextra)? as usize;
+                        if dist == 0 || dist > out.len() {
+                            return Err("distance before start of output".into());
+                        }
+                        let start = out.len() - dist;
+                        for i in 0..len {
+                            let byte = out[start + i];
+                            out.push(byte);
+                        }
+                    }
+                    _ => return Err(format!("invalid literal/length symbol {sym}")),
+                }
+            },
+            2 => return Err("dynamic-Huffman blocks unsupported by this decoder".into()),
+            _ => return Err("reserved block type".into()),
+        }
+        if last {
+            return Ok(out);
+        }
+    }
+}
+
+/// Decode one fixed-table literal/length symbol (canonical incremental
+/// decode: 7-bit, then 8-bit, then 9-bit ranges).
+fn decode_fixed_litlen(br: &mut BitReader<'_>) -> Result<u32, String> {
+    let c7 = br.take_code(7)?;
+    if c7 <= 0b0010111 {
+        return Ok(256 + c7);
+    }
+    let c8 = (c7 << 1) | br.take(1)?;
+    if (0x30..=0xBF).contains(&c8) {
+        return Ok(c8 - 0x30);
+    }
+    if (0xC0..=0xC7).contains(&c8) {
+        return Ok(280 + (c8 - 0xC0));
+    }
+    let c9 = (c8 << 1) | br.take(1)?;
+    if (0x190..=0x1FF).contains(&c9) {
+        return Ok(144 + (c9 - 0x190));
+    }
+    Err(format!("invalid fixed literal/length code {c9:#x}"))
+}
+
+/// Strip the gzip framing and decode the payload with [`inflate`],
+/// verifying the CRC-32 and length trailer.
+///
+/// # Errors
+///
+/// A description of the framing violation or checksum mismatch.
+pub fn gunzip(data: &[u8]) -> Result<Vec<u8>, String> {
+    if data.len() < 18 || data[0] != 0x1F || data[1] != 0x8B || data[2] != 8 {
+        return Err("not a gzip stream".into());
+    }
+    if data[3] != 0 {
+        return Err("gzip FLG bits unsupported by this decoder".into());
+    }
+    let payload = &data[10..data.len() - 8];
+    let out = inflate(payload)?;
+    let trailer = &data[data.len() - 8..];
+    let crc = u32::from_le_bytes(trailer[..4].try_into().unwrap());
+    let isize = u32::from_le_bytes(trailer[4..].try_into().unwrap());
+    let mut check = Crc32::new();
+    check.update(&out);
+    if check.finish() != crc {
+        return Err("gzip CRC mismatch".into());
+    }
+    if out.len() as u32 != isize {
+        return Err("gzip ISIZE mismatch".into());
+    }
+    Ok(out)
+}
+
+/// Strip the zlib framing and decode the payload with [`inflate`],
+/// verifying the Adler-32 trailer.
+///
+/// # Errors
+///
+/// A description of the framing violation or checksum mismatch.
+pub fn zlib_decode(data: &[u8]) -> Result<Vec<u8>, String> {
+    if data.len() < 6 || data[0] & 0x0F != 8 {
+        return Err("not a zlib stream".into());
+    }
+    if !u16::from_be_bytes([data[0], data[1]]).is_multiple_of(31) {
+        return Err("zlib header check failed".into());
+    }
+    let payload = &data[2..data.len() - 4];
+    let out = inflate(payload)?;
+    let adler = u32::from_be_bytes(data[data.len() - 4..].try_into().unwrap());
+    let mut check = Adler32::new();
+    check.update(&out);
+    if check.finish() != adler {
+        return Err("zlib Adler-32 mismatch".into());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(coding: Coding, data: &[u8]) -> Vec<u8> {
+        let mut enc = Encoder::new(Vec::new(), coding);
+        enc.write_all(data).unwrap();
+        let framed = enc.finish().unwrap();
+        match coding {
+            Coding::Gzip => gunzip(&framed).unwrap(),
+            Coding::Deflate => zlib_decode(&framed).unwrap(),
+        }
+    }
+
+    #[test]
+    fn incremental_crc_matches_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut crc = Crc32::new();
+        crc.update(&data[..10]);
+        crc.update(&data[10..]);
+        assert_eq!(crc.finish(), sam_fault::crc32(data));
+        assert_eq!(Crc32::new().finish(), sam_fault::crc32(b""));
+    }
+
+    #[test]
+    fn adler_known_value() {
+        // Adler-32 of "Wikipedia" per the reference definition.
+        let mut a = Adler32::new();
+        a.update(b"Wikipedia");
+        assert_eq!(a.finish(), 0x11E6_0398);
+    }
+
+    #[test]
+    fn empty_input_round_trips() {
+        assert_eq!(round_trip(Coding::Gzip, b""), b"");
+        assert_eq!(round_trip(Coding::Deflate, b""), b"");
+    }
+
+    #[test]
+    fn short_and_incompressible_inputs_round_trip() {
+        assert_eq!(round_trip(Coding::Gzip, b"ab"), b"ab");
+        let noise: Vec<u8> = (0..4096u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        assert_eq!(round_trip(Coding::Gzip, &noise), noise);
+        assert_eq!(round_trip(Coding::Deflate, &noise), noise);
+    }
+
+    #[test]
+    fn repetitive_input_compresses_well() {
+        let mut data = Vec::new();
+        for i in 0..5000 {
+            data.extend_from_slice(format!("row-{},value,{}\n", i % 100, i % 7).as_bytes());
+        }
+        let mut enc = Encoder::new(Vec::new(), Coding::Gzip);
+        enc.write_all(&data).unwrap();
+        let framed = enc.finish().unwrap();
+        assert_eq!(gunzip(&framed).unwrap(), data);
+        assert!(
+            framed.len() * 4 < data.len(),
+            "expected ≥4× compression on repetitive CSV, got {} -> {}",
+            data.len(),
+            framed.len()
+        );
+    }
+
+    #[test]
+    fn multi_block_input_round_trips() {
+        // Spans several BLOCK_BYTES buffers, written in awkward slices.
+        let mut data = Vec::new();
+        let mut x = 1u64;
+        while data.len() < 3 * BLOCK_BYTES + 777 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            data.extend_from_slice(format!("{x},{},end\n", x % 3).as_bytes());
+        }
+        let mut enc = Encoder::new(Vec::new(), Coding::Deflate);
+        for chunk in data.chunks(1234) {
+            enc.write_all(chunk).unwrap();
+        }
+        let framed = enc.finish().unwrap();
+        assert_eq!(zlib_decode(&framed).unwrap(), data);
+    }
+
+    #[test]
+    fn all_byte_values_round_trip() {
+        // Exercises the 9-bit literal range (144..=255).
+        let data: Vec<u8> = (0..=255u8).cycle().take(2048).collect();
+        assert_eq!(round_trip(Coding::Gzip, &data), data);
+    }
+
+    #[test]
+    fn inflate_rejects_garbage() {
+        assert!(inflate(&[0xFF, 0xFF, 0xFF]).is_err());
+        assert!(gunzip(b"not gzip at all").is_err());
+        assert!(zlib_decode(&[0x78, 0x9C]).is_err());
+        // Corrupt one byte of a valid stream: CRC must catch it.
+        let mut enc = Encoder::new(Vec::new(), Coding::Gzip);
+        enc.write_all(b"hello hello hello hello").unwrap();
+        let mut framed = enc.finish().unwrap();
+        let mid = framed.len() / 2;
+        framed[mid] ^= 0x40;
+        assert!(gunzip(&framed).is_err());
+    }
+
+    #[test]
+    fn max_length_matches_encode_correctly() {
+        // A long run produces 258-byte matches (length code 285, 0 extra).
+        let data = vec![b'z'; 10_000];
+        assert_eq!(round_trip(Coding::Gzip, &data), data);
+    }
+}

@@ -43,6 +43,41 @@ pub struct Request {
     /// `Connection: keep-alive`. The response **must** echo this (a `close`
     /// response on a keep-alive request strands the client's next request).
     pub keep_alive: bool,
+    /// Content codings the client accepts (`Accept-Encoding` tokens,
+    /// lowercased, in client order, `q=0` entries dropped). Empty when the
+    /// header is absent — responses must then be sent identity-coded.
+    pub accept_encoding: Vec<String>,
+}
+
+impl Request {
+    /// Whether the client listed `coding` (or the `*` wildcard) in
+    /// `Accept-Encoding` with a non-zero quality.
+    pub fn accepts_encoding(&self, coding: &str) -> bool {
+        self.accept_encoding.iter().any(|t| t == coding || t == "*")
+    }
+}
+
+/// Parse an `Accept-Encoding` header value into accepted coding tokens
+/// (lowercased, client order preserved, entries with `q=0` dropped).
+fn parse_accept_encoding(value: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    for part in value.split(',') {
+        let mut items = part.split(';');
+        let token = items.next().unwrap_or("").trim().to_ascii_lowercase();
+        if token.is_empty() {
+            continue;
+        }
+        let mut quality = 1.0f64;
+        for param in items {
+            if let Some(q) = param.trim().strip_prefix("q=") {
+                quality = q.trim().parse().unwrap_or(0.0);
+            }
+        }
+        if quality > 0.0 {
+            tokens.push(token);
+        }
+    }
+    tokens
 }
 
 /// Read and parse one HTTP/1.1 request from `reader`.
@@ -85,6 +120,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, Serve
     let mut content_length = 0usize;
     // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
     let mut keep_alive = !http10;
+    let mut accept_encoding = Vec::new();
     let mut header_bytes = 0usize;
     loop {
         let mut header = String::new();
@@ -115,6 +151,8 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, Serve
                     ka |= token.eq_ignore_ascii_case("keep-alive");
                 }
                 keep_alive = if close { false } else { ka || !http10 };
+            } else if name.eq_ignore_ascii_case("accept-encoding") {
+                accept_encoding = parse_accept_encoding(value);
             }
         }
     }
@@ -133,6 +171,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, Serve
         path,
         body,
         keep_alive,
+        accept_encoding,
     }))
 }
 
@@ -200,10 +239,37 @@ pub fn write_chunked_header<W: Write>(
     content_type: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    write_chunked_header_encoded(out, status, content_type, None, keep_alive)
+}
+
+/// Like [`write_chunked_header`], with an optional `Content-Encoding`
+/// header for compressed streams (the chunked framing wraps the *encoded*
+/// bytes, per RFC 9112 — content coding applies before transfer coding).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_chunked_header_encoded<W: Write>(
+    out: &mut W,
+    status: u16,
+    content_type: &str,
+    content_encoding: Option<&str>,
+    keep_alive: bool,
+) -> std::io::Result<()> {
     write!(
         out,
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n",
         reason(status),
+    )?;
+    if let Some(coding) = content_encoding {
+        write!(
+            out,
+            "Content-Encoding: {coding}\r\nVary: Accept-Encoding\r\n"
+        )?;
+    }
+    write!(
+        out,
+        "Transfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
         connection_token(keep_alive),
     )
 }
@@ -379,6 +445,46 @@ mod tests {
         .unwrap()
         .unwrap();
         assert!(!mixed.keep_alive);
+    }
+
+    #[test]
+    fn parses_accept_encoding() {
+        let req = read_request(&mut Cursor::new(
+            "GET / HTTP/1.1\r\nAccept-Encoding: GZip, deflate;q=0.5, br;q=0\r\n\r\n",
+        ))
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.accept_encoding, vec!["gzip", "deflate"]);
+        assert!(req.accepts_encoding("gzip"));
+        assert!(req.accepts_encoding("deflate"));
+        assert!(!req.accepts_encoding("br"), "q=0 means not acceptable");
+
+        let plain = read_request(&mut Cursor::new("GET / HTTP/1.1\r\n\r\n"))
+            .unwrap()
+            .unwrap();
+        assert!(plain.accept_encoding.is_empty());
+        assert!(!plain.accepts_encoding("gzip"));
+
+        let wild = read_request(&mut Cursor::new(
+            "GET / HTTP/1.1\r\nAccept-Encoding: *\r\n\r\n",
+        ))
+        .unwrap()
+        .unwrap();
+        assert!(wild.accepts_encoding("gzip"), "wildcard accepts anything");
+    }
+
+    #[test]
+    fn chunked_header_carries_content_encoding() {
+        let mut out = Vec::new();
+        write_chunked_header_encoded(&mut out, 200, "text/csv", Some("gzip"), true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Encoding: gzip\r\n"));
+        assert!(text.contains("Vary: Accept-Encoding\r\n"));
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        let mut out = Vec::new();
+        write_chunked_header(&mut out, 200, "text/csv", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(!text.contains("Content-Encoding"));
     }
 
     #[test]

@@ -21,9 +21,11 @@
 //! * [`Server`] — hand-rolled HTTP/1.1 + JSON front end: **keep-alive
 //!   connections by default** (pipelining honoured, idle timeout,
 //!   per-connection request cap, negotiated `Connection` state echoed),
-//!   streaming **chunked-CSV export** of finished jobs with bounded memory
-//!   (≤ 64 KiB in flight per export), per-request deadlines, and graceful
-//!   shutdown that drains queued estimates and running jobs.
+//!   streaming **chunked CSV/JSONL export** of finished jobs with bounded
+//!   memory (≤ 64 KiB in flight per export), gzip/deflate content coding
+//!   negotiated via `Accept-Encoding` ([`compress`] — a dependency-free
+//!   DEFLATE), per-request deadlines, and graceful shutdown that drains
+//!   queued estimates and running jobs.
 //!
 //! Operator guide (endpoints, flags, metrics, degradation):
 //! `docs/SERVING.md` at the repository root.
@@ -38,6 +40,7 @@
 
 pub mod batcher;
 pub mod cache;
+pub mod compress;
 pub mod error;
 pub mod http;
 pub mod jobs;
@@ -49,6 +52,7 @@ pub mod sync;
 
 pub use batcher::{BatchReply, Batcher, EstimateJob};
 pub use cache::{EstimateCache, EstimateKey};
+pub use compress::{gunzip, zlib_decode, Coding, Encoder};
 pub use error::ServeError;
 pub use jobs::{JobRecord, JobRegistry, JobState};
 pub use journal::{Journal, ReplayState, ReplayedJob};

@@ -17,7 +17,7 @@
 //! | `POST /estimate` | micro-batched cardinality estimate |
 //! | `POST /generate` | start an async generation job (202) |
 //! | `GET /jobs/{id}` | poll job state / stage / progress |
-//! | `GET /jobs/{id}/export` | stream a finished relation as chunked CSV |
+//! | `GET /jobs/{id}/export` | stream a finished relation as chunked CSV/JSONL, gzip/deflate negotiated |
 //! | `POST /jobs/{id}/cancel` | request cooperative cancellation |
 //! | `GET /metrics` | counters + latency percentiles |
 //!
@@ -34,6 +34,7 @@
 
 use crate::batcher::{Batcher, EstimateJob};
 use crate::cache::{EstimateCache, EstimateKey};
+use crate::compress::{Coding, Encoder};
 use crate::error::ServeError;
 use crate::http::{self, ChunkedWriter, Request};
 use crate::jobs::{JobRegistry, JobState};
@@ -45,6 +46,7 @@ use sam_core::{GenerationConfig, JoinKeyStrategy};
 use sam_nn::BackendKind;
 use sam_query::parse_query;
 use sam_storage::csv::write_csv;
+use sam_storage::jsonl::write_jsonl;
 use sam_storage::{csv::read_csv, Database, Table};
 use serde_json::{json, Value};
 use std::io::BufRead;
@@ -413,13 +415,36 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
     }
 }
 
+/// Serialization of a streamed relation export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExportFormat {
+    Csv,
+    Jsonl,
+}
+
+impl ExportFormat {
+    fn content_type(self) -> &'static str {
+        match self {
+            ExportFormat::Csv => "text/csv",
+            ExportFormat::Jsonl => "application/jsonl",
+        }
+    }
+}
+
 /// What a route handler produced: a JSON document, a preformatted text
-/// body (the Prometheus exposition), or a streamed CSV export.
+/// body (the Prometheus exposition), or a streamed relation export.
 enum Reply {
     Json(u16, Value),
     Text(u16, String),
-    /// Stream `table` of the job's result database as chunked CSV.
-    CsvStream(Arc<Database>, usize),
+    /// Stream one table of a job's result database as a chunked body in
+    /// the given format, optionally compressed with the negotiated content
+    /// coding.
+    Export {
+        db: Arc<Database>,
+        table_index: usize,
+        format: ExportFormat,
+        coding: Option<Coding>,
+    },
 }
 
 /// Why the connection loop stopped waiting for request bytes.
@@ -504,9 +529,20 @@ fn handle_connection(stream: &TcpStream, state: &Arc<ServerState>) {
             Reply::Text(status, text) => {
                 http::write_text_response(&mut writer, status, &text, keep_alive)
             }
-            Reply::CsvStream(db, table_index) => {
-                stream_csv_export(&mut writer, &db, table_index, keep_alive, state)
-            }
+            Reply::Export {
+                db,
+                table_index,
+                format,
+                coding,
+            } => stream_export(
+                &mut writer,
+                &db,
+                table_index,
+                format,
+                coding,
+                keep_alive,
+                state,
+            ),
         };
         if io.is_err() || !keep_alive {
             break;
@@ -514,26 +550,57 @@ fn handle_connection(stream: &TcpStream, state: &Arc<ServerState>) {
     }
 }
 
-/// Stream one relation as chunked CSV. All validation happened in the
-/// router; from here on the status line is committed, so mid-stream errors
-/// can only abort the connection (clients detect the missing terminal
-/// chunk as truncation).
-fn stream_csv_export(
+/// Stream one relation as a chunked body in the requested format, through
+/// the negotiated content coding. All validation happened in the router;
+/// from here on the status line is committed, so mid-stream errors can only
+/// abort the connection (clients detect the missing terminal chunk as
+/// truncation). Compression composes with the bounded-chunk writer: rows →
+/// [`Encoder`] (64 KiB compression blocks) → [`ChunkedWriter`] (64 KiB
+/// transfer chunks) → socket, so memory stays bounded either way.
+fn stream_export(
     writer: &mut &TcpStream,
     db: &Database,
     table_index: usize,
+    format: ExportFormat,
+    coding: Option<Coding>,
     keep_alive: bool,
     state: &ServerState,
 ) -> std::io::Result<()> {
     let table = &db.tables()[table_index];
     let mut span = sam_obs::span!("export", table = table.name(), rows = table.num_rows());
-    http::write_chunked_header(writer, 200, "text/csv", keep_alive)?;
+    http::write_chunked_header_encoded(
+        writer,
+        200,
+        format.content_type(),
+        coding.map(Coding::token),
+        keep_alive,
+    )?;
     let mut chunked = ChunkedWriter::new(writer);
-    write_csv(table, &mut chunked)?;
-    chunked.finish()?;
+    match coding {
+        Some(coding) => {
+            let mut encoder = Encoder::new(chunked, coding);
+            write_rows(table, format, &mut encoder)?;
+            encoder.finish()?.finish()?;
+        }
+        None => {
+            write_rows(table, format, &mut chunked)?;
+            chunked.finish()?;
+        }
+    }
     state.metrics.exports_ok.inc();
     span.record("ok", true);
     Ok(())
+}
+
+fn write_rows<W: std::io::Write>(
+    table: &Table,
+    format: ExportFormat,
+    out: &mut W,
+) -> std::io::Result<()> {
+    match format {
+        ExportFormat::Csv => write_csv(table, out),
+        ExportFormat::Jsonl => write_jsonl(table, out),
+    }
 }
 
 fn route(request: &Request, state: &Arc<ServerState>) -> Reply {
@@ -551,7 +618,7 @@ fn route(request: &Request, state: &Arc<ServerState>) -> Reply {
         };
     }
     if request.method == "GET" && path.starts_with("/jobs/") && path.ends_with("/export") {
-        return match export_route(state, path, query) {
+        return match export_route(state, request, path, query) {
             Ok(reply) => reply,
             Err(e) => Reply::Json(e.status(), json!({"error": e.to_string()})),
         };
@@ -578,10 +645,17 @@ fn route(request: &Request, state: &Arc<ServerState>) -> Reply {
     }
 }
 
-/// `GET /jobs/{id}/export?relation=R[&format=csv]` — resolve the job's
-/// result database and the requested relation; the connection handler does
+/// `GET /jobs/{id}/export?relation=R[&format=csv|jsonl]` — resolve the
+/// job's result database, the requested relation and format, and the
+/// content coding the client accepts (gzip preferred over deflate; identity
+/// when the client sent no `Accept-Encoding`); the connection handler does
 /// the actual streaming.
-fn export_route(state: &ServerState, path: &str, query: &str) -> Result<Reply, ServeError> {
+fn export_route(
+    state: &ServerState,
+    request: &Request,
+    path: &str,
+    query: &str,
+) -> Result<Reply, ServeError> {
     let id_part = path["/jobs/".len()..]
         .strip_suffix("/export")
         .expect("router matched suffix");
@@ -590,14 +664,22 @@ fn export_route(state: &ServerState, path: &str, query: &str) -> Result<Reply, S
         .jobs
         .get(id)
         .ok_or_else(|| ServeError::NotFound(format!("job {id}")))?;
-    match query_param(query, "format") {
-        None | Some("csv") => {}
+    let format = match query_param(query, "format") {
+        None | Some("csv") => ExportFormat::Csv,
+        Some("jsonl") => ExportFormat::Jsonl,
         Some(other) => {
             return Err(ServeError::BadRequest(format!(
-                "unsupported export format '{other}' (only csv)"
+                "unsupported export format '{other}' (csv or jsonl)"
             )))
         }
-    }
+    };
+    let coding = if request.accepts_encoding("gzip") {
+        Some(Coding::Gzip)
+    } else if request.accepts_encoding("deflate") {
+        Some(Coding::Deflate)
+    } else {
+        None
+    };
     let db = record.result_database().ok_or_else(|| {
         ServeError::Conflict(format!(
             "job {id} is not done (state: {})",
@@ -611,7 +693,12 @@ fn export_route(state: &ServerState, path: &str, query: &str) -> Result<Reply, S
         .iter()
         .position(|t| t.name() == relation)
         .ok_or_else(|| ServeError::NotFound(format!("relation '{relation}' in job {id}")))?;
-    Ok(Reply::CsvStream(db, table_index))
+    Ok(Reply::Export {
+        db,
+        table_index,
+        format,
+        coding,
+    })
 }
 
 /// Value of `key` in a raw query string (`a=1&b=2`), if present.

@@ -1,11 +1,13 @@
-//! Streamed CSV export: chunked framing, bit-for-bit round-trips through
-//! `sam-storage`, error statuses, and bounded chunk sizes on large tables.
+//! Streamed CSV/JSONL export: chunked framing, bit-for-bit round-trips
+//! through `sam-storage`, negotiated gzip/deflate content coding, error
+//! statuses, and bounded chunk sizes on large tables.
 
 mod support;
 
 use sam_serve::http::decode_chunked;
-use sam_serve::{JobState, ServeConfig, Server};
+use sam_serve::{gunzip, zlib_decode, JobState, ServeConfig, Server};
 use sam_storage::csv::{read_csv, write_csv};
+use sam_storage::jsonl::write_jsonl;
 use sam_storage::{ColumnDef, DataType, Database, Table, TableSchema, Value as Dv};
 use serde_json::{json, Value};
 use std::sync::Arc;
@@ -81,6 +83,165 @@ fn chunked_export_round_trips_through_storage() {
     assert_eq!(
         metrics.get("exports_ok").and_then(Value::as_u64),
         Some(db.tables().len() as u64)
+    );
+    server.shutdown();
+}
+
+/// Run one small generation job to completion and return its id plus the
+/// server-side result database.
+fn finished_job(server: &Server) -> (u64, Arc<Database>) {
+    let addr = server.addr();
+    let (status, accepted) = http(
+        addr,
+        "POST",
+        "/generate",
+        r#"{"model": "demo", "foj_samples": 400, "batch": 64, "seed": 11}"#,
+    );
+    assert_eq!(status, 202, "{accepted:?}");
+    let id = accepted.get("job_id").and_then(Value::as_u64).unwrap();
+    wait_done(addr, id);
+    let db = server
+        .jobs()
+        .get(id)
+        .unwrap()
+        .result_database()
+        .expect("finished job keeps its database");
+    (id, db)
+}
+
+/// `Accept-Encoding: gzip` compresses the CSV export: the chunked body is
+/// a valid gzip stream that decodes to exactly the `write_csv` bytes, is
+/// smaller than the plaintext, and leaves the keep-alive connection clean.
+/// Without the header the body stays identity-coded.
+#[test]
+fn gzip_negotiated_export_round_trips() {
+    let server = start_server(ServeConfig::default());
+    let addr = server.addr();
+    // A relation big enough that the compression ratio is meaningful.
+    let schema = TableSchema::new(
+        "big",
+        vec![
+            ColumnDef::content("id", DataType::Int),
+            ColumnDef::content("label", DataType::Str),
+        ],
+    );
+    let rows: Vec<Vec<Dv>> = (0..20_000)
+        .map(|i| vec![Dv::Int(i as i64), Dv::str(format!("row-{i:06}"))])
+        .collect();
+    let table = Table::from_rows(schema, &rows).unwrap();
+    server.jobs().insert_terminal(
+        9,
+        "demo",
+        1,
+        JobState::Done {
+            summary: json!({"tables": [{"table": "big", "rows": 20_000}]}),
+            db: Arc::new(Database::single(table.clone())),
+        },
+    );
+    let mut direct = Vec::new();
+    write_csv(&table, &mut direct).unwrap();
+
+    let mut conn = Conn::open(addr);
+    let path = format!("/jobs/9/export?relation={}", table.name());
+    conn.send_with("GET", &path, "", &["Accept-Encoding: gzip, deflate"]);
+    let response = conn.read_response().expect("response");
+    assert_eq!(response.status, 200);
+    assert_eq!(
+        response.header("content-encoding"),
+        Some("gzip"),
+        "gzip preferred when the client lists both"
+    );
+    assert_eq!(response.header("vary"), Some("Accept-Encoding"));
+    assert_eq!(response.header("transfer-encoding"), Some("chunked"));
+    let compressed = decode_chunked(&response.body).expect("chunked stream");
+    assert_eq!(gunzip(&compressed).expect("valid gzip"), direct);
+    assert!(
+        compressed.len() < direct.len(),
+        "CSV must compress: {} -> {}",
+        direct.len(),
+        compressed.len()
+    );
+
+    // Same connection, no Accept-Encoding: identity body, no Vary.
+    let response = conn.request("GET", &path, "");
+    assert_eq!(response.status, 200);
+    assert_eq!(response.header("content-encoding"), None);
+    assert_eq!(response.header("vary"), None);
+    assert_eq!(decode_chunked(&response.body).unwrap(), direct);
+    server.shutdown();
+}
+
+/// A client that only accepts `deflate` gets a zlib-framed body (the HTTP
+/// `deflate` coding), and `q=0` rules a coding out.
+#[test]
+fn deflate_fallback_and_q_zero() {
+    let server = start_server(ServeConfig::default());
+    let addr = server.addr();
+    let (id, db) = finished_job(&server);
+    let table = &db.tables()[0];
+    let mut direct = Vec::new();
+    write_csv(table, &mut direct).unwrap();
+    let path = format!("/jobs/{id}/export?relation={}", table.name());
+
+    let mut conn = Conn::open(addr);
+    conn.send_with("GET", &path, "", &["Accept-Encoding: deflate"]);
+    let response = conn.read_response().expect("response");
+    assert_eq!(response.header("content-encoding"), Some("deflate"));
+    let compressed = decode_chunked(&response.body).unwrap();
+    assert_eq!(zlib_decode(&compressed).expect("valid zlib"), direct);
+
+    conn.send_with("GET", &path, "", &["Accept-Encoding: gzip;q=0, deflate"]);
+    let response = conn.read_response().expect("response");
+    assert_eq!(
+        response.header("content-encoding"),
+        Some("deflate"),
+        "gzip;q=0 must fall through to deflate"
+    );
+    server.shutdown();
+}
+
+/// `?format=jsonl` streams the relation as JSON Lines — bit-identical to
+/// `write_jsonl`, every line a JSON object — and composes with gzip.
+#[test]
+fn jsonl_export_round_trips_and_compresses() {
+    let server = start_server(ServeConfig::default());
+    let addr = server.addr();
+    let (id, db) = finished_job(&server);
+    let mut conn = Conn::open(addr);
+    for table in db.tables() {
+        let mut direct = Vec::new();
+        write_jsonl(table, &mut direct).unwrap();
+        let path = format!("/jobs/{id}/export?relation={}&format=jsonl", table.name());
+
+        let response = conn.request("GET", &path, "");
+        assert_eq!(response.status, 200);
+        assert_eq!(response.header("content-type"), Some("application/jsonl"));
+        let decoded = decode_chunked(&response.body).expect("chunked stream");
+        assert_eq!(decoded, direct, "table {}", table.name());
+        let text = std::str::from_utf8(&decoded).unwrap();
+        assert_eq!(text.lines().count(), table.num_rows(), "no header line");
+        for line in text.lines() {
+            let doc = serde_json::parse_value(line).expect("each line is JSON");
+            let Value::Object(fields) = doc else {
+                panic!("line is not a JSON object: {line}");
+            };
+            assert_eq!(
+                fields.len(),
+                table.schema().arity(),
+                "one key per column: {line}"
+            );
+        }
+
+        conn.send_with("GET", &path, "", &["Accept-Encoding: gzip"]);
+        let response = conn.read_response().expect("response");
+        assert_eq!(response.header("content-encoding"), Some("gzip"));
+        let compressed = decode_chunked(&response.body).unwrap();
+        assert_eq!(gunzip(&compressed).unwrap(), direct);
+    }
+    let (_, metrics) = http(addr, "GET", "/metrics", "");
+    assert_eq!(
+        metrics.get("exports_ok").and_then(Value::as_u64),
+        Some(2 * db.tables().len() as u64)
     );
     server.shutdown();
 }

@@ -1,0 +1,172 @@
+//! JSON Lines export for relations (no external dependencies).
+//!
+//! One JSON object per row, keys in schema column order, `\n` terminated —
+//! the `application/jsonl` sibling of [`crate::csv`]. SQL NULL maps to JSON
+//! `null`; strings are escaped per RFC 8259 (control characters as `\u00XX`).
+
+use crate::schema::TableSchema;
+use crate::table::Table;
+use crate::value::Value;
+use std::io::Write;
+
+/// Append `s` to `out` as a JSON string literal.
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Incremental JSONL writer: the streaming seam mirrors [`crate::csv::CsvWriter`]
+/// so the serving layer's bounded-chunk export can swap formats freely. Rows
+/// flow straight through to the underlying [`Write`]; memory stays bounded
+/// regardless of row count.
+pub struct JsonlWriter<W: Write> {
+    writer: W,
+    /// Pre-encoded JSON keys (`"name":`) in schema column order.
+    keys: Vec<String>,
+}
+
+impl<W: Write> JsonlWriter<W> {
+    /// Build a writer for `schema`'s columns. JSONL has no header row; the
+    /// schema fixes the key order of every emitted object.
+    pub fn new(schema: &TableSchema, writer: W) -> Self {
+        let keys = schema
+            .columns
+            .iter()
+            .map(|c| {
+                let mut key = String::new();
+                push_json_str(&mut key, &c.name);
+                key.push(':');
+                key
+            })
+            .collect();
+        JsonlWriter { writer, keys }
+    }
+
+    /// Write one record as a JSON object line (the caller guarantees arity
+    /// matches the schema).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write_row(&mut self, row: &[Value]) -> std::io::Result<()> {
+        let mut line = String::with_capacity(64);
+        line.push('{');
+        for (i, (key, v)) in self.keys.iter().zip(row).enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(key);
+            match v {
+                Value::Null => line.push_str("null"),
+                Value::Int(x) => line.push_str(&x.to_string()),
+                Value::Float(x) => {
+                    // JSON has no NaN/Inf; encode them as null rather than
+                    // emitting an unparseable document.
+                    if x.is_finite() {
+                        line.push_str(&x.to_string());
+                    } else {
+                        line.push_str("null");
+                    }
+                }
+                Value::Str(s) => push_json_str(&mut line, s),
+            }
+        }
+        line.push_str("}\n");
+        self.writer.write_all(line.as_bytes())
+    }
+
+    /// Flush and hand back the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+/// Write a table as JSON Lines (one object per row), streaming row by row
+/// through [`JsonlWriter`].
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_jsonl<W: Write>(table: &Table, writer: &mut W) -> std::io::Result<()> {
+    let mut jsonl = JsonlWriter::new(table.schema(), writer);
+    for row in table.iter_rows() {
+        jsonl.write_row(&row)?;
+    }
+    jsonl.finish()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::DataType;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "T",
+            vec![
+                ColumnDef::content("a", DataType::Int),
+                ColumnDef::content("b", DataType::Str),
+                ColumnDef::content("c", DataType::Float),
+            ],
+        )
+    }
+
+    #[test]
+    fn rows_become_object_lines() {
+        let t = Table::from_rows(
+            schema(),
+            &[
+                vec![Value::Int(1), Value::str("hello"), Value::Float(1.5)],
+                vec![Value::Null, Value::str("a,b"), Value::Float(-2.0)],
+                vec![Value::Int(3), Value::str("say \"hi\"\n"), Value::Null],
+            ],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_jsonl(&t, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "one line per row, no header");
+        assert_eq!(lines[0], r#"{"a":1,"b":"hello","c":1.5}"#);
+        assert_eq!(lines[1], r#"{"a":null,"b":"a,b","c":-2}"#);
+        assert_eq!(lines[2], r#"{"a":3,"b":"say \"hi\"\n","c":null}"#);
+        assert!(text.ends_with('\n'), "every record is newline-terminated");
+    }
+
+    #[test]
+    fn control_chars_and_non_finite_floats_stay_valid_json() {
+        let t = Table::from_rows(
+            schema(),
+            &[vec![
+                Value::Int(0),
+                Value::str("bell\u{7}tab\t"),
+                Value::Float(f64::NAN),
+            ]],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_jsonl(&t, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text, "{\"a\":0,\"b\":\"bell\\u0007tab\\t\",\"c\":null}\n");
+    }
+}

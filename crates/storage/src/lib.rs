@@ -3,7 +3,8 @@
 //! Dictionary-encoded in-memory relations, schemas with foreign-key join
 //! graphs (validated tree structure, paper §2.2), full-outer-join
 //! materialisation with indicator/fanout virtual columns (paper §4.1), the
-//! Theorem-2 *identifier columns* used by Group-and-Merge, CSV I/O, and the
+//! Theorem-2 *identifier columns* used by Group-and-Merge, CSV/JSONL I/O,
+//! and the
 //! metadata summary ([`stats::DatabaseStats`]) that is the only channel
 //! through which a workload-driven generator may observe the target database.
 
@@ -16,6 +17,7 @@ pub mod domain;
 pub mod error;
 pub mod foj;
 pub mod join_graph;
+pub mod jsonl;
 pub mod paper_example;
 pub mod schema;
 pub mod stats;

@@ -1,0 +1,39 @@
+//! Error type shared by the workgen layers.
+
+use std::fmt;
+
+/// Anything that can go wrong while synthesizing, mining, or replaying.
+#[derive(Debug)]
+pub enum WorkgenError {
+    /// A profile failed to parse or validate.
+    Profile(String),
+    /// The schema/stats pair cannot back a synthesis target (unknown column
+    /// override, empty schema, no filterable columns, …).
+    Target(String),
+    /// Query evaluation or estimation failed while labelling or mining.
+    Eval(String),
+    /// The load generator hit a configuration or protocol problem.
+    Load(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for WorkgenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkgenError::Profile(m) => write!(f, "profile: {m}"),
+            WorkgenError::Target(m) => write!(f, "target: {m}"),
+            WorkgenError::Eval(m) => write!(f, "eval: {m}"),
+            WorkgenError::Load(m) => write!(f, "load: {m}"),
+            WorkgenError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkgenError {}
+
+impl From<std::io::Error> for WorkgenError {
+    fn from(e: std::io::Error) -> Self {
+        WorkgenError::Io(e)
+    }
+}

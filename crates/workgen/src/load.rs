@@ -1,0 +1,461 @@
+//! Open-loop HTTP load generation against a running `sam-serve`.
+//!
+//! Replays a query trace as `POST /estimate` requests at a target *offered*
+//! rate over N keep-alive connections. The schedule is open-loop in the
+//! wrk2 sense: request `k` has the fixed scheduled start `t0 + k/rate`, and
+//! its latency is measured **from that scheduled instant**, not from the
+//! moment a connection happened to become free — so when the server falls
+//! behind, queueing delay shows up in the percentiles instead of being
+//! silently absorbed (no coordinated omission).
+//!
+//! Latencies land in the `sam-metrics` histogram machinery twice: a local
+//! [`LatencyHistogram`] snapshotted into the [`LoadReport`], and the global
+//! `sam-obs` registry (`workgen_load_latency`) so traces and other
+//! observers see the run.
+
+use crate::error::WorkgenError;
+use sam_metrics::{LatencyHistogram, LatencySnapshot};
+use sam_query::query::Query;
+use sam_storage::jsonl::push_json_str;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Load-run knobs.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address, e.g. `127.0.0.1:8080`.
+    pub addr: String,
+    /// Registered model name the estimates target.
+    pub model: String,
+    /// Offered request rate (requests / second).
+    pub rate: f64,
+    /// Keep-alive client connections.
+    pub connections: usize,
+    /// Run length; `ceil(rate * duration)` requests are scheduled.
+    pub duration: Duration,
+    /// Progressive samples per estimate request.
+    pub samples: u64,
+    /// Per-request timeout, sent to the server and applied to socket reads.
+    pub timeout_ms: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: "127.0.0.1:8080".to_string(),
+            model: "default".to_string(),
+            rate: 100.0,
+            connections: 4,
+            duration: Duration::from_secs(10),
+            samples: 64,
+            timeout_ms: 10_000,
+        }
+    }
+}
+
+/// Outcome of a load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// The offered rate the schedule was built for.
+    pub offered_rate: f64,
+    /// Requests scheduled (`ceil(rate * duration)`).
+    pub scheduled: u64,
+    /// Requests with a parsed HTTP response.
+    pub completed: u64,
+    /// Transport-level failures (connect, write, read, timeout).
+    pub errors: u64,
+    /// Responses with 2xx status.
+    pub status_2xx: u64,
+    /// Responses with 4xx status.
+    pub status_4xx: u64,
+    /// Responses with 5xx status.
+    pub status_5xx: u64,
+    /// Wall-clock run time in seconds.
+    pub elapsed_secs: f64,
+    /// Completed requests per second of wall clock.
+    pub throughput: f64,
+    /// Scheduled-start-to-response latency distribution.
+    pub latency: LatencySnapshot,
+}
+
+impl LoadReport {
+    /// Markdown table header matching [`LoadReport::markdown_row`].
+    pub fn markdown_header() -> String {
+        "| offered req/s | achieved req/s | completed | errors | 5xx | p50 ms | p95 ms | p99 ms | max ms |\n\
+         |---|---|---|---|---|---|---|---|---|"
+            .to_string()
+    }
+
+    /// One Markdown table row (the EXPERIMENTS.md format).
+    pub fn markdown_row(&self) -> String {
+        format!(
+            "| {:.0} | {:.1} | {} | {} | {} | {:.2} | {:.2} | {:.2} | {:.2} |",
+            self.offered_rate,
+            self.throughput,
+            self.completed,
+            self.errors,
+            self.status_5xx,
+            self.latency.p50_ms,
+            self.latency.p95_ms,
+            self.latency.p99_ms,
+            self.latency.max_ms,
+        )
+    }
+}
+
+/// Pre-rendered request: the full HTTP bytes for one trace entry.
+fn render_request(config: &LoadConfig, query: &Query, seed: u64) -> Vec<u8> {
+    let mut body = String::with_capacity(160);
+    body.push_str("{\"model\":");
+    push_json_str(&mut body, &config.model);
+    body.push_str(",\"sql\":");
+    push_json_str(&mut body, &query.to_string());
+    body.push_str(&format!(
+        ",\"samples\":{},\"seed\":{},\"timeout_ms\":{}}}",
+        config.samples, seed, config.timeout_ms
+    ));
+    let mut out = Vec::with_capacity(body.len() + 128);
+    out.extend_from_slice(b"POST /estimate HTTP/1.1\r\n");
+    out.extend_from_slice(format!("Host: {}\r\n", config.addr).as_bytes());
+    out.extend_from_slice(b"Connection: keep-alive\r\n");
+    out.extend_from_slice(b"Content-Type: application/json\r\n");
+    out.extend_from_slice(format!("Content-Length: {}\r\n\r\n", body.len()).as_bytes());
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+/// A keep-alive connection that lazily (re)connects.
+struct ClientConn {
+    addr: String,
+    timeout: Duration,
+    reader: Option<BufReader<TcpStream>>,
+}
+
+impl ClientConn {
+    fn new(addr: &str, timeout: Duration) -> ClientConn {
+        ClientConn {
+            addr: addr.to_string(),
+            timeout,
+            reader: None,
+        }
+    }
+
+    fn ensure(&mut self) -> std::io::Result<&mut BufReader<TcpStream>> {
+        if self.reader.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_write_timeout(Some(self.timeout))?;
+            stream.set_nodelay(true)?;
+            self.reader = Some(BufReader::new(stream));
+        }
+        Ok(self.reader.as_mut().expect("just ensured"))
+    }
+
+    /// One request/response exchange; returns the status code.
+    fn exchange(&mut self, request: &[u8]) -> std::io::Result<u16> {
+        let reader = self.ensure()?;
+        reader.get_mut().write_all(request)?;
+        let (status, close) = read_response(reader)?;
+        if close {
+            self.reader = None; // server announced the close; reconnect next time
+        }
+        Ok(status)
+    }
+
+    fn drop_conn(&mut self) {
+        self.reader = None;
+    }
+}
+
+/// Read one HTTP/1.1 response, discarding the body. Returns
+/// `(status, connection_closing)`.
+fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<(u16, bool)> {
+    let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed before status line",
+        ));
+    }
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let mut content_length: Option<usize> = None;
+    let mut chunked = false;
+    let mut close = false;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed inside headers",
+            ));
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            match name.as_str() {
+                "content-length" => {
+                    content_length = Some(value.parse().map_err(|_| bad("bad content-length"))?);
+                }
+                "transfer-encoding" if value.eq_ignore_ascii_case("chunked") => chunked = true,
+                "connection" if value.eq_ignore_ascii_case("close") => close = true,
+                _ => {}
+            }
+        }
+    }
+    let mut sink = Vec::new();
+    if chunked {
+        // Discard chunks until the terminating zero-size chunk.
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed inside chunked body",
+                ));
+            }
+            let size =
+                usize::from_str_radix(line.trim(), 16).map_err(|_| bad("bad chunk size line"))?;
+            sink.resize(size + 2, 0); // chunk data + trailing CRLF
+            reader.read_exact(&mut sink)?;
+            if size == 0 {
+                break;
+            }
+        }
+    } else if let Some(n) = content_length {
+        sink.resize(n, 0);
+        reader.read_exact(&mut sink)?;
+    } else {
+        // No framing: the body runs to EOF and the connection dies with it.
+        reader.read_to_end(&mut sink)?;
+        close = true;
+    }
+    Ok((status, close))
+}
+
+/// Shared run state across worker threads.
+struct RunState {
+    next: AtomicU64,
+    completed: AtomicU64,
+    errors: AtomicU64,
+    by_class: [AtomicU64; 3], // 2xx / 4xx / 5xx
+    latency: LatencyHistogram,
+}
+
+/// Replay `trace` against the server in `config` and report throughput and
+/// latency percentiles.
+///
+/// Worker `i` owns one keep-alive connection; workers pull scheduled
+/// requests from a shared counter, sleep until each request's scheduled
+/// instant, and time it from that instant. A transport error costs that
+/// one request (counted in `errors`) and the connection is re-established.
+///
+/// # Errors
+///
+/// [`WorkgenError::Load`] on invalid configuration (zero rate, empty
+/// trace, …) or if not a single request completed.
+pub fn run_load(trace: &[Query], config: &LoadConfig) -> Result<LoadReport, WorkgenError> {
+    if trace.is_empty() {
+        return Err(WorkgenError::Load("empty query trace".into()));
+    }
+    if !(config.rate > 0.0 && config.rate.is_finite()) {
+        return Err(WorkgenError::Load(format!("bad rate {}", config.rate)));
+    }
+    if config.connections == 0 {
+        return Err(WorkgenError::Load("need at least one connection".into()));
+    }
+    let scheduled = (config.rate * config.duration.as_secs_f64()).ceil() as u64;
+    if scheduled == 0 {
+        return Err(WorkgenError::Load(
+            "duration too short: zero requests".into(),
+        ));
+    }
+
+    // Pre-render every distinct request once; the schedule cycles the trace.
+    let requests: Vec<Vec<u8>> = trace
+        .iter()
+        .enumerate()
+        .map(|(i, q)| render_request(config, q, i as u64))
+        .collect();
+
+    let state = Arc::new(RunState {
+        next: AtomicU64::new(0),
+        completed: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+        by_class: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+        latency: LatencyHistogram::new(),
+    });
+    let global_latency = sam_obs::histogram("workgen_load_latency");
+    let interval = Duration::from_secs_f64(1.0 / config.rate);
+    // Small lead time so every worker is parked before the first slot.
+    let t0 = Instant::now() + Duration::from_millis(20);
+
+    let workers: Vec<_> = (0..config.connections)
+        .map(|_| {
+            let state = Arc::clone(&state);
+            let global_latency = Arc::clone(&global_latency);
+            let requests = requests.clone();
+            let addr = config.addr.clone();
+            let timeout = Duration::from_millis(config.timeout_ms.max(1));
+            std::thread::spawn(move || {
+                let mut conn = ClientConn::new(&addr, timeout);
+                loop {
+                    let k = state.next.fetch_add(1, Ordering::Relaxed);
+                    if k >= scheduled {
+                        break;
+                    }
+                    let due = t0 + interval.mul_f64(k as f64);
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                    let request = &requests[(k % requests.len() as u64) as usize];
+                    match conn.exchange(request) {
+                        Ok(status) => {
+                            // Latency from the *scheduled* start: queueing
+                            // behind a busy connection is part of the number.
+                            let lat = due.elapsed();
+                            state.latency.record(lat);
+                            global_latency.record(lat);
+                            state.completed.fetch_add(1, Ordering::Relaxed);
+                            let class = match status {
+                                200..=299 => 0,
+                                400..=499 => 1,
+                                _ => 2,
+                            };
+                            state.by_class[class].fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            state.errors.fetch_add(1, Ordering::Relaxed);
+                            conn.drop_conn();
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        let _ = w.join();
+    }
+
+    let elapsed_secs = (Instant::now() - t0).as_secs_f64().max(f64::MIN_POSITIVE);
+    let completed = state.completed.load(Ordering::Relaxed);
+    let errors = state.errors.load(Ordering::Relaxed);
+    if completed == 0 {
+        return Err(WorkgenError::Load(format!(
+            "no request completed against {} ({} transport errors)",
+            config.addr, errors
+        )));
+    }
+    Ok(LoadReport {
+        offered_rate: config.rate,
+        scheduled,
+        completed,
+        errors,
+        status_2xx: state.by_class[0].load(Ordering::Relaxed),
+        status_4xx: state.by_class[1].load(Ordering::Relaxed),
+        status_5xx: state.by_class[2].load(Ordering::Relaxed),
+        elapsed_secs,
+        throughput: completed as f64 / elapsed_secs,
+        latency: state.latency.snapshot(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        let q = Query::single("T", vec![]);
+        let bad_rate = LoadConfig {
+            rate: 0.0,
+            ..LoadConfig::default()
+        };
+        assert!(matches!(
+            run_load(std::slice::from_ref(&q), &bad_rate),
+            Err(WorkgenError::Load(_))
+        ));
+        assert!(matches!(
+            run_load(&[], &LoadConfig::default()),
+            Err(WorkgenError::Load(_))
+        ));
+        let no_conns = LoadConfig {
+            connections: 0,
+            ..LoadConfig::default()
+        };
+        assert!(matches!(
+            run_load(std::slice::from_ref(&q), &no_conns),
+            Err(WorkgenError::Load(_))
+        ));
+    }
+
+    #[test]
+    fn unreachable_server_reports_load_error() {
+        let q = Query::single("T", vec![]);
+        // Reserved TEST-NET-1 address: connects fail fast or time out.
+        let config = LoadConfig {
+            addr: "127.0.0.1:1".to_string(),
+            rate: 50.0,
+            connections: 2,
+            duration: Duration::from_millis(100),
+            timeout_ms: 200,
+            ..LoadConfig::default()
+        };
+        let err = run_load(std::slice::from_ref(&q), &config);
+        assert!(matches!(err, Err(WorkgenError::Load(_))));
+    }
+
+    #[test]
+    fn markdown_report_shape() {
+        let header = LoadReport::markdown_header();
+        assert_eq!(header.lines().count(), 2);
+        let cols = header.lines().next().unwrap().matches('|').count();
+        let report = LoadReport {
+            offered_rate: 100.0,
+            scheduled: 10,
+            completed: 10,
+            errors: 0,
+            status_2xx: 10,
+            status_4xx: 0,
+            status_5xx: 0,
+            elapsed_secs: 0.1,
+            throughput: 100.0,
+            latency: LatencyHistogram::new().snapshot(),
+        };
+        assert_eq!(report.markdown_row().matches('|').count(), cols);
+    }
+
+    #[test]
+    fn rendered_request_is_valid_http_with_json_body() {
+        let q = Query::single("T", vec![]);
+        let config = LoadConfig {
+            model: "demo".to_string(),
+            samples: 16,
+            ..LoadConfig::default()
+        };
+        let bytes = render_request(&config, &q, 3);
+        let text = String::from_utf8(bytes).unwrap();
+        let (head, body) = text.split_once("\r\n\r\n").unwrap();
+        assert!(head.starts_with("POST /estimate HTTP/1.1"));
+        assert!(head.contains(&format!("Content-Length: {}", body.len())));
+        let doc = serde_json::parse_value(body).expect("body must be JSON");
+        assert_eq!(doc.get("model").and_then(|v| v.as_str()), Some("demo"));
+        assert_eq!(doc.get("samples").and_then(|v| v.as_u64()), Some(16));
+        assert_eq!(
+            doc.get("sql").and_then(|v| v.as_str()),
+            Some("SELECT COUNT(*) FROM T")
+        );
+    }
+}

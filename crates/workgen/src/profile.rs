@@ -1,0 +1,538 @@
+//! Workload mixture profiles: every synthesizer knob in one TOML document.
+//!
+//! A profile plus a seed fully determines a synthesized workload (see
+//! [`crate::synth`]), so profiles are the unit of workload reproducibility:
+//! check the TOML into the experiment repo, quote the seed, and anyone can
+//! regenerate the identical byte stream. The parser is a hand-rolled TOML
+//! subset (sections, `key = value` with numbers / strings / booleans /
+//! number arrays, `#` comments) — enough for profiles, zero dependencies.
+//! Unknown sections or keys are **errors**, not silence: a typoed knob must
+//! not quietly fall back to its default.
+//!
+//! Reference for every knob: `docs/WORKGEN.md`.
+
+use crate::error::WorkgenError;
+use std::fmt::Write as _;
+
+/// Relative frequencies of the four predicate shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShapeWeights {
+    /// `col = v` point predicates.
+    pub point: f64,
+    /// Two-sided `lo <= col <= hi` range predicates.
+    pub range: f64,
+    /// `col IN (…)` list predicates.
+    pub in_list: f64,
+    /// Disjunctions of disjoint ranges on one column, materialized as an
+    /// IN list over the union (keeps the emitted query conjunctive).
+    pub dnf: f64,
+}
+
+/// Per-column overrides of the global knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnKnob {
+    /// Table name.
+    pub table: String,
+    /// Column name.
+    pub column: String,
+    /// Relative weight when choosing which column a predicate filters
+    /// (global default 1.0; 0 excludes the column).
+    pub weight: f64,
+    /// Override of [`SynthProfile::selectivity`] for this column.
+    pub selectivity: Option<f64>,
+    /// Override of [`SynthProfile::skew`] for this column.
+    pub skew: Option<f64>,
+}
+
+/// All synthesizer knobs. See `docs/WORKGEN.md` for the TOML reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthProfile {
+    /// Profile name (informational, echoed in reports).
+    pub name: String,
+    /// Default query count (`workgen synth --count` overrides).
+    pub queries: u64,
+    /// Weight of queries spanning `i + 1` tables; entries beyond the
+    /// schema's table count are ignored. Empty means single-table only.
+    pub join_weights: Vec<f64>,
+    /// Predicate-shape mixture.
+    pub shapes: ShapeWeights,
+    /// Fewest predicates per query.
+    pub preds_min: u32,
+    /// Most predicates per query.
+    pub preds_max: u32,
+    /// Target per-predicate selectivity as a fraction of the column's
+    /// domain (e.g. 0.1 → ranges cover ~10% of the distinct values).
+    pub selectivity: f64,
+    /// Log-uniform jitter half-width applied to `selectivity`: each
+    /// predicate's effective target is `selectivity * exp(U[-jitter, jitter])`.
+    pub jitter: f64,
+    /// Skew exponent for anchor placement: 0 = uniform over the domain,
+    /// larger values concentrate predicates on low-code (small) values —
+    /// anchor fraction is drawn as `u^(1 + skew)`.
+    pub skew: f64,
+    /// Attribute correlation in `[0, 1]`: the probability that each
+    /// predicate after the first re-uses the first predicate's relative
+    /// anchor position on its own domain (1.0 → all predicates of a query
+    /// aim at the same region of every column).
+    pub correlation: f64,
+    /// Fewest values per IN list.
+    pub in_min: u32,
+    /// Most values per IN list.
+    pub in_max: u32,
+    /// Fewest disjuncts per DNF predicate.
+    pub dnf_terms_min: u32,
+    /// Most disjuncts per DNF predicate.
+    pub dnf_terms_max: u32,
+    /// Cap on total codes a DNF union may expand to (bounds query text).
+    pub dnf_max_codes: u32,
+    /// Per-column overrides.
+    pub columns: Vec<ColumnKnob>,
+}
+
+impl Default for SynthProfile {
+    fn default() -> Self {
+        SynthProfile {
+            name: "default".to_string(),
+            queries: 1000,
+            join_weights: vec![1.0],
+            shapes: ShapeWeights {
+                point: 0.25,
+                range: 0.45,
+                in_list: 0.2,
+                dnf: 0.1,
+            },
+            preds_min: 1,
+            preds_max: 3,
+            selectivity: 0.2,
+            jitter: 1.0,
+            skew: 0.0,
+            correlation: 0.0,
+            in_min: 2,
+            in_max: 8,
+            dnf_terms_min: 2,
+            dnf_terms_max: 3,
+            dnf_max_codes: 64,
+            columns: Vec::new(),
+        }
+    }
+}
+
+impl SynthProfile {
+    /// The override knob for `table.column`, if any.
+    pub fn column_knob(&self, table: &str, column: &str) -> Option<&ColumnKnob> {
+        self.columns
+            .iter()
+            .find(|k| k.table == table && k.column == column)
+    }
+
+    /// Check knob ranges (weights non-negative, probabilities in `[0,1]`,
+    /// min ≤ max pairs ordered, at least one positive shape weight).
+    ///
+    /// # Errors
+    ///
+    /// [`WorkgenError::Profile`] naming the offending knob.
+    pub fn validate(&self) -> Result<(), WorkgenError> {
+        let bad = |m: String| Err(WorkgenError::Profile(m));
+        let weights = [
+            self.shapes.point,
+            self.shapes.range,
+            self.shapes.in_list,
+            self.shapes.dnf,
+        ];
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return bad("shape weights must be finite and non-negative".into());
+        }
+        if weights.iter().sum::<f64>() <= 0.0 {
+            return bad("at least one shape weight must be positive".into());
+        }
+        if self.join_weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return bad("joins.weights must be finite and non-negative".into());
+        }
+        if self.preds_min == 0 || self.preds_min > self.preds_max {
+            return bad(format!(
+                "predicates.min..max must satisfy 1 <= min <= max (got {}..{})",
+                self.preds_min, self.preds_max
+            ));
+        }
+        if !(self.selectivity > 0.0 && self.selectivity <= 1.0) {
+            return bad(format!(
+                "selectivity.target must be in (0, 1] (got {})",
+                self.selectivity
+            ));
+        }
+        if !(self.jitter >= 0.0 && self.jitter.is_finite()) {
+            return bad("selectivity.jitter must be finite and >= 0".into());
+        }
+        if !(self.skew >= 0.0 && self.skew.is_finite()) {
+            return bad("selectivity.skew must be finite and >= 0".into());
+        }
+        if !(0.0..=1.0).contains(&self.correlation) {
+            return bad(format!(
+                "correlation.strength must be in [0, 1] (got {})",
+                self.correlation
+            ));
+        }
+        if self.in_min == 0 || self.in_min > self.in_max {
+            return bad("in_lists.min..max must satisfy 1 <= min <= max".into());
+        }
+        if self.dnf_terms_min == 0 || self.dnf_terms_min > self.dnf_terms_max {
+            return bad("dnf.terms_min..terms_max must satisfy 1 <= min <= max".into());
+        }
+        if self.dnf_max_codes == 0 {
+            return bad("dnf.max_codes must be >= 1".into());
+        }
+        for k in &self.columns {
+            if !k.weight.is_finite() || k.weight < 0.0 {
+                return bad(format!(
+                    "columns.{}.{}: weight must be >= 0",
+                    k.table, k.column
+                ));
+            }
+            if let Some(s) = k.selectivity {
+                if !(s > 0.0 && s <= 1.0) {
+                    return bad(format!(
+                        "columns.{}.{}: selectivity must be in (0, 1]",
+                        k.table, k.column
+                    ));
+                }
+            }
+            if let Some(s) = k.skew {
+                if !(s >= 0.0 && s.is_finite()) {
+                    return bad(format!(
+                        "columns.{}.{}: skew must be finite and >= 0",
+                        k.table, k.column
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize to the TOML subset [`SynthProfile::from_toml`] reads.
+    /// `from_toml(to_toml(p)) == p` for any valid profile.
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# sam-workgen synthesis profile");
+        let _ = writeln!(out, "[profile]");
+        let _ = writeln!(out, "name = {:?}", self.name);
+        let _ = writeln!(out, "queries = {}", self.queries);
+        let _ = writeln!(out, "\n[joins]");
+        let _ = writeln!(out, "weights = {}", fmt_array(&self.join_weights));
+        let _ = writeln!(out, "\n[shapes]");
+        let _ = writeln!(out, "point = {}", fmt_f64(self.shapes.point));
+        let _ = writeln!(out, "range = {}", fmt_f64(self.shapes.range));
+        let _ = writeln!(out, "in = {}", fmt_f64(self.shapes.in_list));
+        let _ = writeln!(out, "dnf = {}", fmt_f64(self.shapes.dnf));
+        let _ = writeln!(out, "\n[predicates]");
+        let _ = writeln!(out, "min = {}", self.preds_min);
+        let _ = writeln!(out, "max = {}", self.preds_max);
+        let _ = writeln!(out, "\n[selectivity]");
+        let _ = writeln!(out, "target = {}", fmt_f64(self.selectivity));
+        let _ = writeln!(out, "jitter = {}", fmt_f64(self.jitter));
+        let _ = writeln!(out, "skew = {}", fmt_f64(self.skew));
+        let _ = writeln!(out, "\n[correlation]");
+        let _ = writeln!(out, "strength = {}", fmt_f64(self.correlation));
+        let _ = writeln!(out, "\n[in_lists]");
+        let _ = writeln!(out, "min = {}", self.in_min);
+        let _ = writeln!(out, "max = {}", self.in_max);
+        let _ = writeln!(out, "\n[dnf]");
+        let _ = writeln!(out, "terms_min = {}", self.dnf_terms_min);
+        let _ = writeln!(out, "terms_max = {}", self.dnf_terms_max);
+        let _ = writeln!(out, "max_codes = {}", self.dnf_max_codes);
+        for k in &self.columns {
+            let _ = writeln!(out, "\n[columns.{:?}]", format!("{}.{}", k.table, k.column));
+            let _ = writeln!(out, "weight = {}", fmt_f64(k.weight));
+            if let Some(s) = k.selectivity {
+                let _ = writeln!(out, "selectivity = {}", fmt_f64(s));
+            }
+            if let Some(s) = k.skew {
+                let _ = writeln!(out, "skew = {}", fmt_f64(s));
+            }
+        }
+        out
+    }
+
+    /// Parse a profile from the TOML subset, filling unset knobs from
+    /// [`SynthProfile::default`] and validating the result.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkgenError::Profile`] with the line number for syntax errors,
+    /// unknown sections/keys, type mismatches, or out-of-range knobs.
+    pub fn from_toml(text: &str) -> Result<SynthProfile, WorkgenError> {
+        let mut profile = SynthProfile::default();
+        let mut section = String::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            let fail = |m: String| Err(WorkgenError::Profile(format!("line {line_no}: {m}")));
+            if let Some(rest) = line.strip_prefix('[') {
+                let Some(name) = rest.strip_suffix(']') else {
+                    return fail("unterminated section header".into());
+                };
+                section = name.trim().to_string();
+                let known = [
+                    "profile",
+                    "joins",
+                    "shapes",
+                    "predicates",
+                    "selectivity",
+                    "correlation",
+                    "in_lists",
+                    "dnf",
+                ];
+                if !known.contains(&section.as_str()) && !section.starts_with("columns.") {
+                    return fail(format!("unknown section [{section}]"));
+                }
+                if let Some(col) = section.strip_prefix("columns.") {
+                    let spec = unquote(col.trim())
+                        .map_err(|m| WorkgenError::Profile(format!("line {line_no}: {m}")))?;
+                    let Some((table, column)) = spec.split_once('.') else {
+                        return fail(format!(
+                            "column section needs \"table.column\", got {spec:?}"
+                        ));
+                    };
+                    profile.columns.push(ColumnKnob {
+                        table: table.to_string(),
+                        column: column.to_string(),
+                        weight: 1.0,
+                        selectivity: None,
+                        skew: None,
+                    });
+                }
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return fail(format!("expected `key = value`, got {line:?}"));
+            };
+            let key = key.trim();
+            let value = value.trim();
+            apply_key(&mut profile, &section, key, value)
+                .map_err(|m| WorkgenError::Profile(format!("line {line_no}: {m}")))?;
+        }
+        profile.validate()?;
+        Ok(profile)
+    }
+}
+
+/// Set one `key = value` within `section` on the profile being built.
+fn apply_key(
+    profile: &mut SynthProfile,
+    section: &str,
+    key: &str,
+    value: &str,
+) -> Result<(), String> {
+    let unknown = || Err(format!("unknown key '{key}' in section [{section}]"));
+    match section {
+        "profile" => match key {
+            "name" => profile.name = unquote(value)?,
+            "queries" => profile.queries = parse_u64(value)?,
+            _ => return unknown(),
+        },
+        "joins" => match key {
+            "weights" => profile.join_weights = parse_array(value)?,
+            _ => return unknown(),
+        },
+        "shapes" => match key {
+            "point" => profile.shapes.point = parse_f64(value)?,
+            "range" => profile.shapes.range = parse_f64(value)?,
+            "in" => profile.shapes.in_list = parse_f64(value)?,
+            "dnf" => profile.shapes.dnf = parse_f64(value)?,
+            _ => return unknown(),
+        },
+        "predicates" => match key {
+            "min" => profile.preds_min = parse_u64(value)? as u32,
+            "max" => profile.preds_max = parse_u64(value)? as u32,
+            _ => return unknown(),
+        },
+        "selectivity" => match key {
+            "target" => profile.selectivity = parse_f64(value)?,
+            "jitter" => profile.jitter = parse_f64(value)?,
+            "skew" => profile.skew = parse_f64(value)?,
+            _ => return unknown(),
+        },
+        "correlation" => match key {
+            "strength" => profile.correlation = parse_f64(value)?,
+            _ => return unknown(),
+        },
+        "in_lists" => match key {
+            "min" => profile.in_min = parse_u64(value)? as u32,
+            "max" => profile.in_max = parse_u64(value)? as u32,
+            _ => return unknown(),
+        },
+        "dnf" => match key {
+            "terms_min" => profile.dnf_terms_min = parse_u64(value)? as u32,
+            "terms_max" => profile.dnf_terms_max = parse_u64(value)? as u32,
+            "max_codes" => profile.dnf_max_codes = parse_u64(value)? as u32,
+            _ => return unknown(),
+        },
+        s if s.starts_with("columns.") => {
+            let knob = profile
+                .columns
+                .last_mut()
+                .ok_or_else(|| "column key outside a [columns.\"T.c\"] section".to_string())?;
+            match key {
+                "weight" => knob.weight = parse_f64(value)?,
+                "selectivity" => knob.selectivity = Some(parse_f64(value)?),
+                "skew" => knob.skew = Some(parse_f64(value)?),
+                _ => return unknown(),
+            }
+        }
+        "" => return Err(format!("key '{key}' before any [section]")),
+        _ => return unknown(),
+    }
+    Ok(())
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A `#` inside a quoted string stays; profiles only quote in values,
+    // so scan with a simple in-quote flag.
+    let mut in_quotes = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_quotes = !in_quotes,
+            '#' if !in_quotes => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn unquote(value: &str) -> Result<String, String> {
+    let v = value.trim();
+    if let Some(inner) = v.strip_prefix('"').and_then(|r| r.strip_suffix('"')) {
+        if inner.contains('"') {
+            return Err(format!("embedded quote in string {v:?}"));
+        }
+        Ok(inner.to_string())
+    } else {
+        Err(format!("expected a quoted string, got {v:?}"))
+    }
+}
+
+fn parse_f64(value: &str) -> Result<f64, String> {
+    value
+        .parse::<f64>()
+        .map_err(|_| format!("expected a number, got {value:?}"))
+}
+
+fn parse_u64(value: &str) -> Result<u64, String> {
+    value
+        .parse::<u64>()
+        .map_err(|_| format!("expected a non-negative integer, got {value:?}"))
+}
+
+fn parse_array(value: &str) -> Result<Vec<f64>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|r| r.strip_suffix(']'))
+        .ok_or_else(|| format!("expected an array [..], got {value:?}"))?;
+    let inner = inner.trim();
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    inner.split(',').map(|p| parse_f64(p.trim())).collect()
+}
+
+fn fmt_f64(x: f64) -> String {
+    // Always keep a decimal point so the value re-parses as written.
+    let s = format!("{x}");
+    if s.contains(['.', 'e', 'E']) {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn fmt_array(xs: &[f64]) -> String {
+    let items: Vec<String> = xs.iter().map(|x| fmt_f64(*x)).collect();
+    format!("[{}]", items.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toml_round_trip_preserves_profile() {
+        let mut p = SynthProfile {
+            name: "mixed".into(),
+            queries: 5000,
+            join_weights: vec![0.6, 0.3, 0.1],
+            correlation: 0.7,
+            skew: 1.5,
+            ..SynthProfile::default()
+        };
+        p.columns.push(ColumnKnob {
+            table: "census".into(),
+            column: "age".into(),
+            weight: 2.0,
+            selectivity: Some(0.05),
+            skew: Some(2.0),
+        });
+        let text = p.to_toml();
+        let back = SynthProfile::from_toml(&text).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn defaults_fill_unset_sections() {
+        let p = SynthProfile::from_toml("[profile]\nname = \"tiny\"\n").unwrap();
+        assert_eq!(p.name, "tiny");
+        assert_eq!(p.queries, SynthProfile::default().queries);
+        assert_eq!(p.shapes, SynthProfile::default().shapes);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# header\n[profile]\n\nname = \"x\" # trailing\nqueries = 7\n";
+        let p = SynthProfile::from_toml(text).unwrap();
+        assert_eq!(p.name, "x");
+        assert_eq!(p.queries, 7);
+    }
+
+    #[test]
+    fn unknown_keys_and_sections_are_errors() {
+        assert!(matches!(
+            SynthProfile::from_toml("[profile]\nnom = \"typo\"\n"),
+            Err(WorkgenError::Profile(m)) if m.contains("unknown key 'nom'")
+        ));
+        assert!(matches!(
+            SynthProfile::from_toml("[shapez]\npoint = 1.0\n"),
+            Err(WorkgenError::Profile(m)) if m.contains("unknown section")
+        ));
+        assert!(matches!(
+            SynthProfile::from_toml("queries = 3\n"),
+            Err(WorkgenError::Profile(m)) if m.contains("before any")
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_bad_knobs() {
+        for text in [
+            "[shapes]\npoint = 0.0\nrange = 0.0\nin = 0.0\ndnf = 0.0\n",
+            "[predicates]\nmin = 3\nmax = 1\n",
+            "[selectivity]\ntarget = 1.5\n",
+            "[correlation]\nstrength = 2.0\n",
+            "[dnf]\nmax_codes = 0\n",
+        ] {
+            assert!(
+                matches!(SynthProfile::from_toml(text), Err(WorkgenError::Profile(_))),
+                "accepted invalid profile: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn column_sections_parse_quoted_names() {
+        let text = "[columns.\"T.c\"]\nweight = 3.0\nselectivity = 0.1\n";
+        let p = SynthProfile::from_toml(text).unwrap();
+        let k = p.column_knob("T", "c").expect("knob recorded");
+        assert_eq!(k.weight, 3.0);
+        assert_eq!(k.selectivity, Some(0.1));
+        assert_eq!(k.skew, None);
+    }
+}

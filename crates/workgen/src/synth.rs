@@ -1,0 +1,682 @@
+//! Deterministic workload synthesis.
+//!
+//! A [`SynthTarget`] is the filterable surface of a schema (content columns
+//! with their sorted domains, plus the join tree); a [`SynthProfile`] is the
+//! mixture; a seed picks the point in the mixture. Together they define one
+//! workload, byte for byte: query `i` draws every random choice from the
+//! dedicated sub-stream [`SplitMix64::for_index`]`(seed, attempt)`, so
+//! batching, buffering, and resume points can never reorder the output.
+//!
+//! Queries stream straight to a writer — synthesizing millions of queries
+//! holds only the dedup set (8 bytes per emitted query) in memory.
+
+use crate::error::WorkgenError;
+use crate::profile::SynthProfile;
+use crate::rng::SplitMix64;
+use sam_query::eval::evaluate_cardinality;
+use sam_query::predicate::{CompareOp, Predicate};
+use sam_query::query::Query;
+use sam_storage::{Database, DatabaseSchema, DatabaseStats, Domain, JoinGraph, Value};
+use std::collections::HashSet;
+use std::io::Write;
+use std::sync::Arc;
+
+/// One filterable column of the target.
+#[derive(Debug, Clone)]
+struct ColumnTarget {
+    name: String,
+    domain: Arc<Domain>,
+    /// Resolved selection weight (0 excludes the column).
+    weight: f64,
+    /// Resolved per-predicate selectivity target.
+    selectivity: f64,
+    /// Resolved anchor skew exponent.
+    skew: f64,
+}
+
+impl ColumnTarget {
+    fn usable(&self) -> bool {
+        self.weight > 0.0 && !self.domain.is_empty()
+    }
+}
+
+/// One relation of the target.
+#[derive(Debug, Clone)]
+struct TableTarget {
+    name: String,
+    columns: Vec<ColumnTarget>,
+}
+
+/// The synthesizer's view of a schema: join tree plus filterable columns
+/// with profile knobs resolved per column.
+#[derive(Debug, Clone)]
+pub struct SynthTarget {
+    graph: JoinGraph,
+    tables: Vec<TableTarget>,
+}
+
+/// A literal is only usable if its SQL rendering parses back: strings must
+/// not embed quotes or line breaks, floats must be finite.
+fn literal_round_trips(v: &Value) -> bool {
+    match v {
+        Value::Str(s) => !s.contains('\'') && !s.contains('\n') && !s.contains('\r'),
+        Value::Float(f) => f.is_finite(),
+        _ => true,
+    }
+}
+
+impl SynthTarget {
+    /// Resolve a schema + stats pair against a profile.
+    ///
+    /// Columns whose domain contains values that would not survive the SQL
+    /// round trip (embedded quotes, non-finite floats) are excluded rather
+    /// than risking unparseable output.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkgenError::Target`] if the join graph is invalid, a profile
+    /// column override names an unknown column, or no filterable column
+    /// remains anywhere in the schema.
+    pub fn new(
+        schema: &DatabaseSchema,
+        stats: &DatabaseStats,
+        profile: &SynthProfile,
+    ) -> Result<Self, WorkgenError> {
+        profile.validate()?;
+        let graph = JoinGraph::new(schema).map_err(|e| WorkgenError::Target(e.to_string()))?;
+        if graph.is_empty() {
+            return Err(WorkgenError::Target("schema has no tables".into()));
+        }
+        for k in &profile.columns {
+            let table = stats.table_by_name(&k.table).ok_or_else(|| {
+                WorkgenError::Target(format!("profile overrides unknown table {:?}", k.table))
+            })?;
+            if !table.columns.iter().any(|c| c.name == k.column) {
+                return Err(WorkgenError::Target(format!(
+                    "profile overrides unknown column {}.{}",
+                    k.table, k.column
+                )));
+            }
+        }
+        let tables = graph
+            .tables()
+            .iter()
+            .map(|name| {
+                let ts = stats
+                    .table_by_name(name)
+                    .ok_or_else(|| WorkgenError::Target(format!("stats missing table {name:?}")))?;
+                let columns = ts
+                    .columns
+                    .iter()
+                    .map(|cs| {
+                        let knob = profile.column_knob(name, &cs.name);
+                        let clean = cs.domain.values().iter().all(literal_round_trips);
+                        ColumnTarget {
+                            name: cs.name.clone(),
+                            domain: Arc::clone(&cs.domain),
+                            weight: if clean {
+                                knob.map_or(1.0, |k| k.weight)
+                            } else {
+                                0.0
+                            },
+                            selectivity: knob
+                                .and_then(|k| k.selectivity)
+                                .unwrap_or(profile.selectivity),
+                            skew: knob.and_then(|k| k.skew).unwrap_or(profile.skew),
+                        }
+                    })
+                    .collect();
+                Ok(TableTarget {
+                    name: name.clone(),
+                    columns,
+                })
+            })
+            .collect::<Result<Vec<TableTarget>, WorkgenError>>()?;
+        let any_usable = tables
+            .iter()
+            .any(|t| t.columns.iter().any(ColumnTarget::usable));
+        if !any_usable {
+            return Err(WorkgenError::Target(
+                "no filterable column in the schema (all excluded or empty)".into(),
+            ));
+        }
+        Ok(SynthTarget { graph, tables })
+    }
+
+    /// Convenience: target straight from a database instance.
+    pub fn from_database(db: &Database, profile: &SynthProfile) -> Result<Self, WorkgenError> {
+        SynthTarget::new(db.schema(), &DatabaseStats::from_database(db), profile)
+    }
+
+    /// Table names in join-graph order.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.iter().map(|t| t.name.as_str()).collect()
+    }
+}
+
+/// What a synthesis run produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthReport {
+    /// Queries requested.
+    pub requested: u64,
+    /// Distinct queries emitted (may fall short if the target's query space
+    /// is smaller than the request).
+    pub emitted: u64,
+    /// Generation attempts consumed (emitted + rejected duplicates).
+    pub attempts: u64,
+    /// Attempts rejected as duplicates of already-emitted queries.
+    pub duplicates: u64,
+    /// Bytes written.
+    pub bytes: u64,
+    /// Whether lines carry `-- card=N` labels.
+    pub labeled: bool,
+}
+
+/// FNV-1a over the canonical query string: the dedup key.
+fn query_key(q: &Query) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in q.canonical_string().bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A deterministic, deduplicated stream of synthesized queries.
+///
+/// Iterating yields up to `count` distinct queries; the sequence is a pure
+/// function of (target, profile, seed).
+pub struct QueryStream<'a> {
+    target: &'a SynthTarget,
+    profile: &'a SynthProfile,
+    seed: u64,
+    count: u64,
+    emitted: u64,
+    attempts: u64,
+    duplicates: u64,
+    max_attempts: u64,
+    seen: HashSet<u64>,
+}
+
+impl<'a> QueryStream<'a> {
+    /// A stream of `count` distinct queries for (profile, seed).
+    pub fn new(target: &'a SynthTarget, profile: &'a SynthProfile, seed: u64, count: u64) -> Self {
+        QueryStream {
+            target,
+            profile,
+            seed,
+            count,
+            emitted: 0,
+            attempts: 0,
+            duplicates: 0,
+            // Generous cap so tiny query spaces terminate rather than spin.
+            max_attempts: count.saturating_mul(32).saturating_add(1024),
+            seen: HashSet::new(),
+        }
+    }
+
+    /// Attempts consumed so far.
+    pub fn attempts(&self) -> u64 {
+        self.attempts
+    }
+
+    /// Duplicate attempts rejected so far.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Generate the query for one attempt sub-stream.
+    fn generate(&self, rng: &mut SplitMix64) -> Query {
+        let graph = &self.target.graph;
+        let n = graph.len();
+
+        // 1. Join size: weight i is the weight of (i+1)-table queries.
+        let mut join_weights: Vec<f64> =
+            self.profile.join_weights.iter().copied().take(n).collect();
+        if join_weights.iter().all(|w| *w <= 0.0) {
+            join_weights = vec![1.0];
+        }
+        let want_tables = rng.weighted(&join_weights) + 1;
+
+        // 2. Grow a connected subtree of the join graph.
+        let mut in_set = vec![false; n];
+        let start = rng.below(n as u64) as usize;
+        in_set[start] = true;
+        let mut chosen = vec![start];
+        while chosen.len() < want_tables {
+            let mut frontier: Vec<usize> = Vec::new();
+            for &t in &chosen {
+                if let Some(p) = graph.parent(t) {
+                    if !in_set[p] {
+                        frontier.push(p);
+                    }
+                }
+                for &c in graph.children(t) {
+                    if !in_set[c] {
+                        frontier.push(c);
+                    }
+                }
+            }
+            frontier.sort_unstable();
+            frontier.dedup();
+            let Some(&pick) = frontier.get(rng.below(frontier.len() as u64) as usize) else {
+                break;
+            };
+            in_set[pick] = true;
+            chosen.push(pick);
+        }
+        chosen.sort_unstable();
+        let tables: Vec<String> = chosen
+            .iter()
+            .map(|&t| self.target.tables[t].name.clone())
+            .collect();
+
+        // 3. Candidate columns across the chosen tables.
+        let mut candidates: Vec<(usize, usize)> = Vec::new();
+        for &t in &chosen {
+            for (c, col) in self.target.tables[t].columns.iter().enumerate() {
+                if col.usable() {
+                    candidates.push((t, c));
+                }
+            }
+        }
+        let want_preds = rng
+            .range_inclusive(self.profile.preds_min as u64, self.profile.preds_max as u64)
+            .min(candidates.len() as u64);
+
+        // 4. Predicates on distinct weighted columns.
+        let mut predicates: Vec<Predicate> = Vec::new();
+        let mut first_anchor: Option<f64> = None;
+        for _ in 0..want_preds {
+            let weights: Vec<f64> = candidates
+                .iter()
+                .map(|&(t, c)| self.target.tables[t].columns[c].weight)
+                .collect();
+            let (t, c) = candidates.remove(rng.weighted(&weights));
+            let table = &self.target.tables[t];
+            let col = &table.columns[c];
+            let correlated = first_anchor.is_some() && rng.next_f64() < self.profile.correlation;
+            let anchor = if correlated {
+                first_anchor.expect("checked above")
+            } else {
+                // Skew pushes the anchor toward the low end of the domain.
+                rng.next_f64().powf(1.0 + col.skew)
+            };
+            if first_anchor.is_none() {
+                first_anchor = Some(anchor);
+            }
+            self.push_shape(rng, table, col, anchor, &mut predicates);
+        }
+
+        Query::join(tables, predicates)
+    }
+
+    /// Effective selectivity for one predicate: the column target with
+    /// log-uniform jitter `exp(U[-jitter, jitter])`, clamped to `(0, 1]`.
+    fn effective_selectivity(&self, rng: &mut SplitMix64, col: &ColumnTarget) -> f64 {
+        let jitter = self.profile.jitter * (2.0 * rng.next_f64() - 1.0);
+        (col.selectivity * jitter.exp()).clamp(f64::MIN_POSITIVE, 1.0)
+    }
+
+    /// Append the predicate(s) for one shape draw on `col`.
+    fn push_shape(
+        &self,
+        rng: &mut SplitMix64,
+        table: &TableTarget,
+        col: &ColumnTarget,
+        anchor: f64,
+        out: &mut Vec<Predicate>,
+    ) {
+        let len = col.domain.len() as u64;
+        let shapes = &self.profile.shapes;
+        let shape = if len == 1 {
+            0 // single-value domains only support point predicates
+        } else {
+            rng.weighted(&[shapes.point, shapes.range, shapes.in_list, shapes.dnf])
+        };
+        // Map an anchor fraction to a start code leaving room for `width`.
+        let start_for = |a: f64, width: u64| -> u64 {
+            let max_start = len - width;
+            (((max_start + 1) as f64 * a) as u64).min(max_start)
+        };
+        match shape {
+            // Point: `col = v` at the anchor.
+            0 => {
+                let code = start_for(anchor, 1);
+                out.push(Predicate::compare(
+                    &table.name,
+                    &col.name,
+                    CompareOp::Eq,
+                    col.domain.value(code as u32).clone(),
+                ));
+            }
+            // Range: a two-sided window covering ~selectivity of the domain.
+            1 => {
+                let s = self.effective_selectivity(rng, col);
+                let width = ((s * len as f64).round() as u64).clamp(1, len);
+                let start = start_for(anchor, width);
+                let lo = col.domain.value(start as u32).clone();
+                let hi = col.domain.value((start + width - 1) as u32).clone();
+                out.push(Predicate::compare(
+                    &table.name,
+                    &col.name,
+                    CompareOp::Ge,
+                    lo,
+                ));
+                out.push(Predicate::compare(
+                    &table.name,
+                    &col.name,
+                    CompareOp::Le,
+                    hi,
+                ));
+            }
+            // IN: m distinct values drawn uniformly (Floyd's algorithm).
+            2 => {
+                let m = rng
+                    .range_inclusive(self.profile.in_min as u64, self.profile.in_max as u64)
+                    .min(len);
+                let mut codes: Vec<u32> = Vec::with_capacity(m as usize);
+                for j in (len - m)..len {
+                    let t = rng.below(j + 1) as u32;
+                    if codes.contains(&t) {
+                        codes.push(j as u32);
+                    } else {
+                        codes.push(t);
+                    }
+                }
+                codes.sort_unstable();
+                let values = codes.iter().map(|&c| col.domain.value(c).clone()).collect();
+                out.push(Predicate::in_list(&table.name, &col.name, values));
+            }
+            // DNF: k disjoint range disjuncts, materialized as the IN list
+            // of their union so the emitted query stays conjunctive.
+            _ => {
+                let k = rng
+                    .range_inclusive(
+                        self.profile.dnf_terms_min as u64,
+                        self.profile.dnf_terms_max as u64,
+                    )
+                    .min(len)
+                    .max(1);
+                let segment = len / k; // ≥ 1 because k ≤ len
+                let s = self.effective_selectivity(rng, col);
+                let width = ((s * len as f64 / k as f64).round() as u64)
+                    .clamp(1, segment)
+                    .min(((self.profile.dnf_max_codes as u64) / k).max(1));
+                let mut values = Vec::with_capacity((k * width) as usize);
+                for j in 0..k {
+                    let seg_start = j * segment;
+                    let offset = rng.below(segment - width + 1);
+                    for code in (seg_start + offset)..(seg_start + offset + width) {
+                        values.push(col.domain.value(code as u32).clone());
+                    }
+                }
+                out.push(Predicate::in_list(&table.name, &col.name, values));
+            }
+        }
+    }
+}
+
+impl Iterator for QueryStream<'_> {
+    type Item = Query;
+
+    fn next(&mut self) -> Option<Query> {
+        while self.emitted < self.count && self.attempts < self.max_attempts {
+            let mut rng = SplitMix64::for_index(self.seed, self.attempts);
+            self.attempts += 1;
+            let q = self.generate(&mut rng);
+            if self.seen.insert(query_key(&q)) {
+                self.emitted += 1;
+                return Some(q);
+            }
+            self.duplicates += 1;
+        }
+        None
+    }
+}
+
+/// Stream `count` distinct queries into `out` in the workload interchange
+/// format (one query per line). With `label_db`, each line carries its true
+/// cardinality as `-- card=N`, producing a file `sam-ar` training consumes
+/// directly.
+///
+/// # Errors
+///
+/// [`WorkgenError::Io`] on write failure; [`WorkgenError::Eval`] if
+/// labelling fails (labels only).
+pub fn synthesize_into<W: Write>(
+    target: &SynthTarget,
+    profile: &SynthProfile,
+    seed: u64,
+    count: u64,
+    label_db: Option<&Database>,
+    out: &mut W,
+) -> Result<SynthReport, WorkgenError> {
+    let mut stream = QueryStream::new(target, profile, seed, count);
+    let mut emitted = 0u64;
+    let mut bytes = 0u64;
+    let mut line = String::new();
+    for q in stream.by_ref() {
+        line.clear();
+        line.push_str(&q.to_string());
+        if let Some(db) = label_db {
+            let card =
+                evaluate_cardinality(db, &q).map_err(|e| WorkgenError::Eval(e.to_string()))?;
+            line.push_str(&format!(" -- card={card}"));
+        }
+        line.push('\n');
+        out.write_all(line.as_bytes())?;
+        emitted += 1;
+        bytes += line.len() as u64;
+    }
+    Ok(SynthReport {
+        requested: count,
+        emitted,
+        attempts: stream.attempts(),
+        duplicates: stream.duplicates(),
+        bytes,
+        labeled: label_db.is_some(),
+    })
+}
+
+/// Collect `count` distinct queries in memory (small workloads, miner seeds).
+pub fn synthesize(
+    target: &SynthTarget,
+    profile: &SynthProfile,
+    seed: u64,
+    count: u64,
+) -> Vec<Query> {
+    QueryStream::new(target, profile, seed, count).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ColumnKnob;
+    use sam_query::io::read_workload_entries;
+    use sam_storage::paper_example;
+    use sam_storage::schema::{ColumnDef, TableSchema};
+    use sam_storage::value::DataType;
+    use sam_storage::Table;
+
+    /// One table, one wide int column (codes 0..=199), one categorical.
+    fn wide_db() -> Database {
+        let schema = TableSchema::new(
+            "T",
+            vec![
+                ColumnDef::content("a", DataType::Int),
+                ColumnDef::content("s", DataType::Str),
+            ],
+        );
+        let rows: Vec<Vec<Value>> = (0..200)
+            .map(|i| vec![Value::Int(i), Value::str(format!("cat{}", i % 5))])
+            .collect();
+        Database::single(Table::from_rows(schema, &rows).unwrap())
+    }
+
+    fn profile() -> SynthProfile {
+        SynthProfile {
+            queries: 64,
+            ..SynthProfile::default()
+        }
+    }
+
+    #[test]
+    fn same_seed_is_byte_identical_different_seed_is_not() {
+        let db = wide_db();
+        let p = profile();
+        let target = SynthTarget::from_database(&db, &p).unwrap();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let mut c = Vec::new();
+        synthesize_into(&target, &p, 7, 50, None, &mut a).unwrap();
+        synthesize_into(&target, &p, 7, 50, None, &mut b).unwrap();
+        synthesize_into(&target, &p, 8, 50, None, &mut c).unwrap();
+        assert_eq!(a, b, "same (profile, seed) must be byte-identical");
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn emitted_queries_are_distinct_and_parse_back() {
+        let db = wide_db();
+        let p = profile();
+        let target = SynthTarget::from_database(&db, &p).unwrap();
+        let mut buf = Vec::new();
+        let report = synthesize_into(&target, &p, 3, 100, None, &mut buf).unwrap();
+        assert_eq!(report.emitted, 100);
+        assert_eq!(report.bytes, buf.len() as u64);
+        let entries = read_workload_entries(&buf[..]).unwrap();
+        assert_eq!(entries.len(), 100);
+        let mut keys: Vec<String> = entries.iter().map(|(q, _)| q.canonical_string()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 100, "emitted queries must be distinct");
+    }
+
+    #[test]
+    fn labels_match_true_cardinalities() {
+        let db = wide_db();
+        let p = profile();
+        let target = SynthTarget::from_database(&db, &p).unwrap();
+        let mut buf = Vec::new();
+        let report = synthesize_into(&target, &p, 5, 20, Some(&db), &mut buf).unwrap();
+        assert!(report.labeled);
+        let entries = read_workload_entries(&buf[..]).unwrap();
+        for (q, card) in entries {
+            let truth = evaluate_cardinality(&db, &q).unwrap();
+            assert_eq!(card, Some(truth), "label mismatch for {q}");
+        }
+    }
+
+    #[test]
+    fn join_queries_span_connected_subtrees() {
+        let db = paper_example::figure3_database();
+        let p = SynthProfile {
+            join_weights: vec![0.0, 1.0, 1.0],
+            ..profile()
+        };
+        let target = SynthTarget::from_database(&db, &p).unwrap();
+        let graph = db.graph();
+        let queries = synthesize(&target, &p, 11, 30);
+        assert!(!queries.is_empty());
+        for q in &queries {
+            assert!(q.tables.len() >= 2, "join weights exclude single tables");
+            let closure = q.table_closure(graph).expect("tables resolve");
+            assert_eq!(
+                closure.len(),
+                q.tables.len(),
+                "{q}: table set must already be connected"
+            );
+        }
+    }
+
+    #[test]
+    fn selectivity_knob_controls_range_width() {
+        let db = wide_db();
+        let mean_width = |sel: f64| {
+            let p = SynthProfile {
+                shapes: crate::profile::ShapeWeights {
+                    point: 0.0,
+                    range: 1.0,
+                    in_list: 0.0,
+                    dnf: 0.0,
+                },
+                selectivity: sel,
+                jitter: 0.0,
+                preds_min: 1,
+                preds_max: 1,
+                columns: vec![ColumnKnob {
+                    table: "T".into(),
+                    column: "s".into(),
+                    weight: 0.0,
+                    selectivity: None,
+                    skew: None,
+                }],
+                ..SynthProfile::default()
+            };
+            let target = SynthTarget::from_database(&db, &p).unwrap();
+            let queries = synthesize(&target, &p, 2, 40);
+            let total: u64 = queries
+                .iter()
+                .map(|q| evaluate_cardinality(&db, q).unwrap())
+                .sum();
+            total as f64 / queries.len() as f64
+        };
+        let narrow = mean_width(0.05);
+        let wide = mean_width(0.8);
+        // 200-row table: 5% ranges match ~10 rows, 80% ranges ~160.
+        assert!(
+            narrow < 30.0 && wide > 100.0 && narrow < wide / 3.0,
+            "selectivity knob ineffective: narrow={narrow} wide={wide}"
+        );
+    }
+
+    #[test]
+    fn columns_with_unsafe_literals_are_excluded() {
+        let schema = TableSchema::new(
+            "T",
+            vec![
+                ColumnDef::content("ok", DataType::Int),
+                ColumnDef::content("bad", DataType::Str),
+            ],
+        );
+        let rows: Vec<Vec<Value>> = (0..20)
+            .map(|i| vec![Value::Int(i), Value::str(format!("it's {i}"))])
+            .collect();
+        let db = Database::single(Table::from_rows(schema, &rows).unwrap());
+        let p = profile();
+        let target = SynthTarget::from_database(&db, &p).unwrap();
+        let queries = synthesize(&target, &p, 1, 30);
+        assert!(!queries.is_empty());
+        for q in &queries {
+            for pred in &q.predicates {
+                assert_eq!(pred.column, "ok", "unsafe column must never be filtered");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_query_space_terminates_short() {
+        // Domain of 2 values, point-only: the space holds a handful of
+        // distinct queries — the stream must stop, not spin.
+        let schema = TableSchema::new("T", vec![ColumnDef::content("a", DataType::Int)]);
+        let rows: Vec<Vec<Value>> = (0..2).map(|i| vec![Value::Int(i)]).collect();
+        let db = Database::single(Table::from_rows(schema, &rows).unwrap());
+        let p = SynthProfile {
+            shapes: crate::profile::ShapeWeights {
+                point: 1.0,
+                range: 0.0,
+                in_list: 0.0,
+                dnf: 0.0,
+            },
+            preds_min: 1,
+            preds_max: 1,
+            ..SynthProfile::default()
+        };
+        let target = SynthTarget::from_database(&db, &p).unwrap();
+        let mut buf = Vec::new();
+        let report = synthesize_into(&target, &p, 1, 1000, None, &mut buf).unwrap();
+        assert!(report.emitted <= 2, "only two point queries exist");
+        assert!(report.attempts <= report.requested * 32 + 1024);
+    }
+}

@@ -20,6 +20,16 @@
 //!                  [--journal-compact-bytes N] [--idle-timeout-ms N]
 //!                  [--conn-requests N]
 //! sam-cli journal  compact DIR
+//! sam-cli workgen  synth [--profile FILE] [--seed N] [--count N] [--out FILE]
+//!                  [--label true] (--schema schema.json --data DIR |
+//!                  --dataset census|dmv|imdb [--rows N] [--data-seed N])
+//! sam-cli workgen  mine  [--seeds FILE | --profile FILE --count N]
+//!                  [--model model.json] [--top-k N] [--rounds N] [--pool N]
+//!                  [--mutants N] [--samples N] [--seed N] [--out FILE]
+//!                  [--epochs N] (data flags as for synth)
+//! sam-cli workgen  load  --addr HOST:PORT --model NAME [--rate R]
+//!                  [--connections N] [--duration-ms N] [--samples N]
+//!                  [--timeout-ms N] [--workload FILE | data flags + --count N]
 //! ```
 //!
 //! `--backend` picks the frozen-inference backend: `f32` (the exact
@@ -124,7 +134,7 @@ impl Args {
 }
 
 fn usage() -> String {
-    "usage: sam-cli <demo|export|train|generate|evaluate|estimate|serve|journal> [--flags]\n\
+    "usage: sam-cli <demo|export|train|generate|evaluate|estimate|serve|journal|workgen> [--flags]\n\
      run with a subcommand; see the crate docs for details"
         .into()
 }
@@ -140,6 +150,7 @@ fn run() -> Result<(), String> {
         "estimate" => estimate(&args),
         "serve" => serve(&args),
         "journal" => journal_cmd(&args),
+        "workgen" => workgen_cmd(&args),
         other => Err(format!("unknown subcommand {other:?}\n{}", usage())),
     }
 }
@@ -609,6 +620,231 @@ fn journal_cmd(args: &Args) -> Result<(), String> {
     println!(
         "compacted {dir}: {jobs} jobs in snapshot, log {before} -> {} bytes",
         journal.log_len()
+    );
+    Ok(())
+}
+
+// ----------------------------------------------------------------- workgen
+
+/// `sam-cli workgen <synth|mine|load>` — workload tooling built on
+/// `sam-workgen`: deterministic query synthesis from a TOML profile,
+/// adversarial hard-query mining against a trained model, and open-loop
+/// load replay against a live `sam-cli serve`. See `docs/WORKGEN.md`.
+fn workgen_cmd(args: &Args) -> Result<(), String> {
+    match args.positional.first().map(String::as_str) {
+        Some("synth") => workgen_synth(args),
+        Some("mine") => workgen_mine(args),
+        Some("load") => workgen_load(args),
+        _ => Err("usage: sam-cli workgen <synth|mine|load> [--flags]".into()),
+    }
+}
+
+/// The database every workgen action runs against: `--schema` + `--data`
+/// CSVs, or a synthetic `--dataset` (sized by `--rows`, seeded separately
+/// from the synthesis `--seed` so workload and data vary independently).
+fn workgen_database(args: &Args) -> Result<Database, String> {
+    match (args.get("schema"), args.get("data")) {
+        (Some(schema), Some(data)) => load_database(schema, data),
+        (None, None) => {
+            let dataset = args.get("dataset").unwrap_or("census");
+            let rows: usize = args.num("rows", 2_000)?;
+            let seed: u64 = args.num("data-seed", 0)?;
+            synthetic(dataset, rows, seed)
+        }
+        _ => Err("provide both --schema and --data, or neither for --dataset".into()),
+    }
+}
+
+fn workgen_profile(args: &Args) -> Result<sam::workgen::SynthProfile, String> {
+    match args.get("profile") {
+        Some(path) => {
+            let text = fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            sam::workgen::SynthProfile::from_toml(&text).map_err(|e| e.to_string())
+        }
+        None => Ok(sam::workgen::SynthProfile::default()),
+    }
+}
+
+fn workgen_synth(args: &Args) -> Result<(), String> {
+    let profile = workgen_profile(args)?;
+    let db = workgen_database(args)?;
+    let seed: u64 = args.num("seed", 0)?;
+    let count: u64 = args.num("count", profile.queries)?;
+    let label: bool = args.num("label", false)?;
+    let target =
+        sam::workgen::SynthTarget::from_database(&db, &profile).map_err(|e| e.to_string())?;
+    let label_db = if label { Some(&db) } else { None };
+
+    let report = match args.get("out") {
+        Some(path) => {
+            let file = fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+            let mut out = std::io::BufWriter::new(file);
+            let report =
+                sam::workgen::synthesize_into(&target, &profile, seed, count, label_db, &mut out)
+                    .map_err(|e| e.to_string())?;
+            out.flush().map_err(|e| e.to_string())?;
+            report
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut out = std::io::BufWriter::new(stdout.lock());
+            let report =
+                sam::workgen::synthesize_into(&target, &profile, seed, count, label_db, &mut out)
+                    .map_err(|e| e.to_string())?;
+            out.flush().map_err(|e| e.to_string())?;
+            report
+        }
+    };
+    // Summary on stderr so `synth` pipes cleanly into files and tools.
+    eprintln!(
+        "profile {:?} seed {seed}: {} of {} distinct queries ({} attempts, {} duplicates, {} bytes{})",
+        profile.name,
+        report.emitted,
+        report.requested,
+        report.attempts,
+        report.duplicates,
+        report.bytes,
+        if report.labeled { ", labelled" } else { "" }
+    );
+    Ok(())
+}
+
+fn workgen_mine(args: &Args) -> Result<(), String> {
+    let db = workgen_database(args)?;
+    let stats = DatabaseStats::from_database(&db);
+
+    // A model to attack: load one, or train a fresh one on a generated
+    // workload (the usual quick path for synthetic datasets).
+    let trained = match args.get("model") {
+        Some(path) => {
+            let json = fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            let (model, model_schema) = sam::ar::load_model(&json).map_err(|e| e.to_string())?;
+            if &model_schema != db.schema() {
+                return Err("model schema does not match the target database".into());
+            }
+            println!("loaded trained model from {path}");
+            Sam::from_frozen(
+                model_schema,
+                model,
+                sam::ar::TrainReport {
+                    epoch_losses: vec![],
+                    constraints_processed: 0,
+                    wall_seconds: 0.0,
+                },
+            )
+        }
+        None => {
+            let workload = build_workload(&db, args, 500)?;
+            let config = sam_config(args)?;
+            let trained =
+                Sam::fit(db.schema(), &stats, &workload, &config).map_err(|e| e.to_string())?;
+            println!(
+                "trained attack target in {:.1}s",
+                trained.report.wall_seconds
+            );
+            trained
+        }
+    };
+
+    // Seed queries: an explicit file, or a synthesized baseline batch.
+    let seed: u64 = args.num("seed", 0)?;
+    let seeds = match args.get("seeds") {
+        Some(path) => load_workload_queries(path)?,
+        None => {
+            let profile = workgen_profile(args)?;
+            let target = sam::workgen::SynthTarget::from_database(&db, &profile)
+                .map_err(|e| e.to_string())?;
+            sam::workgen::synthesize(&target, &profile, seed, args.num("count", 64u64)?)
+        }
+    };
+
+    let config = sam::workgen::MinerConfig {
+        top_k: args.num("top-k", 10usize)?,
+        rounds: args.num("rounds", 8usize)?,
+        pool: args.num("pool", 16usize)?,
+        mutants: args.num("mutants", 4usize)?,
+        samples: args.num("samples", 64usize)?,
+        seed,
+    };
+    let report = sam::workgen::mine_hard_queries(trained.model(), &db, &seeds, &config)
+        .map_err(|e| e.to_string())?;
+
+    println!(
+        "baseline over {} seeds: mean Q-Error {:.2}, max {:.2}",
+        seeds.len(),
+        report.baseline_mean,
+        report.baseline_max
+    );
+    println!(
+        "mined {} hard queries ({} scored, {} rounds; worst climbed {:.2} -> {:.2}):",
+        report.worst.len(),
+        report.evaluated,
+        report.rounds_run,
+        report.worst_trail.first().copied().unwrap_or(f64::NAN),
+        report.worst_trail.last().copied().unwrap_or(f64::NAN),
+    );
+    for m in &report.worst {
+        println!(
+            "  q-error {:10.2}  est {:12.1}  true {:10}  {}",
+            m.q_error, m.estimate, m.truth, m.query
+        );
+    }
+
+    // `--out` persists the worst set as a labelled workload file, ready to
+    // feed back into training or `workgen load`.
+    if let Some(path) = args.get("out") {
+        let mut text = String::new();
+        for m in &report.worst {
+            text.push_str(&format!("{} -- card={}\n", m.query, m.truth));
+        }
+        fs::write(path, text).map_err(|e| format!("write {path}: {e}"))?;
+        println!("worst set written to {path}");
+    }
+    Ok(())
+}
+
+fn workgen_load(args: &Args) -> Result<(), String> {
+    let trace = match args.get("workload") {
+        Some(path) => load_workload_queries(path)?,
+        None => {
+            let db = workgen_database(args)?;
+            let profile = workgen_profile(args)?;
+            let target = sam::workgen::SynthTarget::from_database(&db, &profile)
+                .map_err(|e| e.to_string())?;
+            let seed: u64 = args.num("seed", 0)?;
+            sam::workgen::synthesize(&target, &profile, seed, args.num("count", 256u64)?)
+        }
+    };
+
+    let config = sam::workgen::LoadConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:8080").to_string(),
+        model: args.get("model").unwrap_or("default").to_string(),
+        rate: args.num("rate", 100.0f64)?,
+        connections: args.num("connections", 4usize)?,
+        duration: std::time::Duration::from_millis(args.num("duration-ms", 10_000u64)?),
+        samples: args.num("samples", 64u64)?,
+        timeout_ms: args.num("timeout-ms", 10_000u64)?,
+    };
+    eprintln!(
+        "replaying {} trace queries at {} req/s over {} connections for {:.1}s against http://{}",
+        trace.len(),
+        config.rate,
+        config.connections,
+        config.duration.as_secs_f64(),
+        config.addr
+    );
+    let report = sam::workgen::run_load(&trace, &config).map_err(|e| e.to_string())?;
+    println!("{}", sam::workgen::LoadReport::markdown_header());
+    println!("{}", report.markdown_row());
+    eprintln!(
+        "completed {} of {} scheduled ({} socket errors; {} 2xx / {} 4xx / {} 5xx) in {:.2}s",
+        report.completed,
+        report.scheduled,
+        report.errors,
+        report.status_2xx,
+        report.status_4xx,
+        report.status_5xx,
+        report.elapsed_secs
     );
     Ok(())
 }

@@ -22,6 +22,7 @@
 //! * [`metrics`] — Q-Error, cross entropy, percentile summaries.
 //! * [`obs`] — metrics registry, hierarchical spans, Chrome trace export.
 //! * [`serve`] — HTTP model serving: micro-batched estimates, async jobs.
+//! * [`workgen`] — workload synthesis, hard-query mining, load generation.
 //!
 //! ## Quickstart
 //!
@@ -62,6 +63,7 @@ pub use sam_pgm as pgm;
 pub use sam_query as query;
 pub use sam_serve as serve;
 pub use sam_storage as storage;
+pub use sam_workgen as workgen;
 
 /// The most common imports for using SAM end to end.
 pub mod prelude {
