@@ -147,6 +147,12 @@ impl<'m> BoundNet<'m> {
 }
 
 /// An immutable trained backbone (the sampling/estimation interface).
+///
+/// Cloning is cheap for MADE (weights are `Arc`-shared) and copies weights
+/// for the Transformer; it exists so a serving tier can derive a
+/// reference-backend shadow copy of a loaded model (see
+/// [`FrozenModel::reference_clone`]).
+#[derive(Clone)]
 pub enum FrozenNet {
     /// Frozen MADE.
     Made(FrozenMade),
@@ -328,6 +334,7 @@ impl ArModel {
 
 /// An immutable trained model: the sampling/estimation interface handed to
 /// the generation stage.
+#[derive(Clone)]
 pub struct FrozenModel {
     /// The model schema (column order, encodings, normaliser).
     pub schema: ArSchema,
@@ -348,6 +355,16 @@ impl FrozenModel {
     /// The active inference backend.
     pub fn backend_kind(&self) -> BackendKind {
         self.net.backend_kind()
+    }
+
+    /// A shadow copy of this model running on the bit-exact f32 reference
+    /// backend, leaving `self` untouched. Serving-tier quality monitors use
+    /// this to re-score sampled estimates: any divergence between the live
+    /// backend and the reference clone (same query, samples, and seed) is a
+    /// backend-parity defect, not model drift. Cheap for MADE (weights are
+    /// `Arc`-shared); copies weights for the Transformer backbone.
+    pub fn reference_clone(&self) -> FrozenModel {
+        self.clone().with_backend(BackendKind::ReferenceF32)
     }
 }
 

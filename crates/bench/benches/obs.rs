@@ -10,6 +10,10 @@
 //!   one inert `span!`, to make regressions attributable.
 //! * `estimate/traced` — the same workload with the in-memory collector
 //!   on, to show what tracing itself costs when enabled.
+//! * `flight/*` — the always-on flight recorder's per-request cost: one
+//!   `record` (the estimate-path event), one `record` under the sampling
+//!   arithmetic of 1% quality shadow-scoring, and a 50-event `recent` read
+//!   (the `GET /debug/flight` path, which must not stall writers).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -17,6 +21,7 @@ use rand::SeedableRng;
 use sam_ar::{
     estimate_cardinality_batch, ArModel, ArModelConfig, ArSchema, EncodingOptions, FrozenModel,
 };
+use sam_obs::{CacheOutcome, Endpoint, FlightRecorder};
 use sam_query::{Query, WorkloadGenerator};
 use sam_storage::DatabaseStats;
 
@@ -93,5 +98,55 @@ fn bench_primitives(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_estimate_overhead, bench_primitives);
+fn bench_flight_recorder(c: &mut Criterion) {
+    let recorder = FlightRecorder::new(512);
+    let mut group = c.benchmark_group("flight");
+    let mut trace = 0u64;
+    group.bench_function("record", |b| {
+        b.iter(|| {
+            trace += 1;
+            recorder.record(
+                trace,
+                Endpoint::Estimate,
+                1,
+                4,
+                CacheOutcome::Miss,
+                1_250_000,
+                200,
+            );
+        })
+    });
+    // The estimate path's extra arithmetic when 1% quality sampling is on:
+    // a counter-stride decision per request on top of the flight event.
+    let sample_counter = std::sync::atomic::AtomicU64::new(0);
+    group.bench_function("record_with_1pct_sampling", |b| {
+        b.iter(|| {
+            trace += 1;
+            recorder.record(
+                trace,
+                Endpoint::Estimate,
+                1,
+                4,
+                CacheOutcome::Miss,
+                1_250_000,
+                200,
+            );
+            let sampled = sample_counter
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                .is_multiple_of(100);
+            criterion::black_box(sampled)
+        })
+    });
+    group.bench_function("recent_50", |b| {
+        b.iter(|| criterion::black_box(recorder.recent(50).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_estimate_overhead,
+    bench_primitives,
+    bench_flight_recorder
+);
 criterion_main!(benches);

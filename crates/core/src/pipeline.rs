@@ -57,6 +57,7 @@ impl Default for GenerationConfig {
 }
 
 /// A trained SAM ready to generate databases.
+#[derive(Clone)]
 pub struct TrainedSam {
     db_schema: DatabaseSchema,
     model: FrozenModel,

@@ -71,6 +71,19 @@ impl LatencyHistogram {
             .collect()
     }
 
+    /// Index of the log2 bucket a nanosecond value falls into
+    /// (`floor(log2(ns))`, 0 ns joins bucket 0). Companion structures that
+    /// shadow the histogram's bucket layout — e.g. per-bucket exemplars —
+    /// use this to stay aligned.
+    pub fn bucket_index(ns: u64) -> usize {
+        bucket_of(ns)
+    }
+
+    /// Number of log2 buckets (fixed at 64).
+    pub const fn num_buckets() -> usize {
+        NUM_BUCKETS
+    }
+
     /// Exclusive upper bound of bucket `b` in nanoseconds (`2^(b+1)`, saturating
     /// at `u64::MAX` for the last bucket). Used by exposition formats that need
     /// cumulative `le` buckets.

@@ -1,0 +1,93 @@
+//! Property test for the histogram's percentile reconstruction: over
+//! adversarial latency distributions, the reported p50/p95/p99 must land
+//! within **one log2 bucket** of the exact nearest-rank quantile. That is
+//! the strongest guarantee a log-bucketed histogram can make — the rank
+//! selection over buckets is exact; only the position *inside* the winning
+//! bucket is interpolated (and the interpolant may touch the bucket's
+//! exclusive upper bound, i.e. the next bucket's floor).
+
+use proptest::prelude::*;
+use sam_metrics::LatencyHistogram;
+
+/// Exact nearest-rank quantile (the definition `percentile_ns` buckets).
+fn exact_quantile(sorted: &[u64], p: f64) -> u64 {
+    let rank = ((p * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+/// Latency populations a production service actually produces, each one a
+/// known failure mode for naive quantile sketches.
+fn arb_latencies() -> impl Strategy<Value = Vec<u64>> {
+    prop_oneof![
+        // Uniform noise across six decades.
+        prop::collection::vec(1u64..1_000_000_000, 1..400),
+        // Bimodal: fast cache hits + slow cold paths, nothing between.
+        prop::collection::vec(prop_oneof![100u64..200, 50_000_000u64..100_000_000], 2..300),
+        // Heavy tail: almost everything fast, rare catastrophic outliers.
+        prop::collection::vec(
+            prop_oneof![
+                20 => 1_000u64..10_000,
+                1 => 1_000_000_000u64..10_000_000_000
+            ],
+            1..300
+        ),
+        // Degenerate: every request identical (single occupied bucket).
+        (1u64..1_000_000_000, 1usize..200).prop_map(|(v, n)| vec![v; n]),
+        // Bucket-boundary adversary: exact powers of two and neighbours.
+        prop::collection::vec(
+            (0u32..40, 0i64..3)
+                .prop_map(|(e, d)| { (1u64 << e).saturating_add_signed(d - 1).max(1) }),
+            1..300
+        ),
+        // Zeros mixed in (0 ns joins bucket 0).
+        prop::collection::vec(0u64..100, 1..100),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn reported_quantiles_within_one_bucket_of_exact(values in arb_latencies()) {
+        let h = LatencyHistogram::new();
+        for &v in &values {
+            h.record_ns(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+
+        for p in [0.50, 0.95, 0.99] {
+            let exact = exact_quantile(&sorted, p);
+            let reported = h.percentile_ns(p);
+            prop_assert!(reported.is_finite() && reported >= 0.0);
+            // Never beyond the exactly-tracked maximum.
+            prop_assert!(
+                reported <= *sorted.last().unwrap() as f64,
+                "p{p}: reported {reported} above max {}",
+                sorted.last().unwrap()
+            );
+            let exact_bucket = LatencyHistogram::bucket_index(exact) as i64;
+            let reported_bucket =
+                LatencyHistogram::bucket_index(reported.round() as u64) as i64;
+            prop_assert!(
+                (reported_bucket - exact_bucket).abs() <= 1,
+                "p{p}: exact {exact} (bucket {exact_bucket}) vs reported \
+                 {reported} (bucket {reported_bucket}) over {} values",
+                sorted.len()
+            );
+        }
+    }
+
+    /// The snapshot's milliseconds views must agree with percentile_ns.
+    #[test]
+    fn snapshot_is_consistent_with_percentiles(values in arb_latencies()) {
+        let h = LatencyHistogram::new();
+        for &v in &values {
+            h.record_ns(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert!((snap.p50_ms - h.percentile_ns(0.50) / 1e6).abs() < 1e-12);
+        prop_assert!((snap.p99_ms - h.percentile_ns(0.99) / 1e6).abs() < 1e-12);
+        prop_assert!(snap.p50_ms <= snap.p95_ms && snap.p95_ms <= snap.p99_ms);
+        prop_assert!(snap.p99_ms <= snap.max_ms);
+    }
+}

@@ -345,6 +345,7 @@ impl<'m> BoundTransformer<'m> {
     }
 }
 
+#[derive(Clone)]
 struct FrozenBlock {
     wq: Matrix,
     bq: Matrix,
@@ -361,6 +362,7 @@ struct FrozenBlock {
 }
 
 /// Immutable Transformer snapshot for inference (`Send + Sync`).
+#[derive(Clone)]
 pub struct FrozenTransformer {
     domain_sizes: Vec<usize>,
     offsets: Vec<usize>,

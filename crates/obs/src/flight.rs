@@ -1,0 +1,511 @@
+//! Always-on request flight recorder: a fixed-size, lock-free ring buffer
+//! of recent request events, plus a small mutex-guarded slow-query log.
+//!
+//! Every served request records one [`FlightEvent`] — trace id, endpoint,
+//! model version, batch size, cache disposition, latency, HTTP outcome —
+//! into a [`FlightRecorder`]. The ring is sized at startup and never
+//! allocates afterwards; writers claim a slot with one `fetch_add` and
+//! store plain-old-data fields through per-slot atomics, so the record
+//! path costs a handful of relaxed stores and never blocks. Readers
+//! ([`FlightRecorder::recent`]) validate a per-slot sequence number before
+//! and after reading (seqlock-style) and drop any slot a writer raced
+//! them on, so a dump taken under load is a consistent sample of recent
+//! traffic rather than a torn one.
+//!
+//! The recorder backs the serving tier's `GET /debug/flight?last=N`
+//! endpoint and is dumped to stderr automatically when an inference
+//! worker panics, so the requests leading up to a crash are preserved.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Which endpoint family a request hit. Stored as a compact tag in the
+/// ring; rendered as a lowercase string in dumps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /estimate`.
+    Estimate,
+    /// `POST /generate`.
+    Generate,
+    /// `/jobs/*` status and listing.
+    Jobs,
+    /// `/jobs/{id}/export`.
+    Export,
+    /// `/models` listing and loading.
+    Models,
+    /// `/metrics`.
+    Metrics,
+    /// `/healthz`.
+    Health,
+    /// `/quality`.
+    Quality,
+    /// `/debug/*`.
+    Debug,
+    /// Anything else (including 404s).
+    Other,
+}
+
+impl Endpoint {
+    /// Stable lowercase name for dumps and logs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Endpoint::Estimate => "estimate",
+            Endpoint::Generate => "generate",
+            Endpoint::Jobs => "jobs",
+            Endpoint::Export => "export",
+            Endpoint::Models => "models",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Health => "healthz",
+            Endpoint::Quality => "quality",
+            Endpoint::Debug => "debug",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn to_u64(self) -> u64 {
+        match self {
+            Endpoint::Estimate => 0,
+            Endpoint::Generate => 1,
+            Endpoint::Jobs => 2,
+            Endpoint::Export => 3,
+            Endpoint::Models => 4,
+            Endpoint::Metrics => 5,
+            Endpoint::Health => 6,
+            Endpoint::Quality => 7,
+            Endpoint::Debug => 8,
+            Endpoint::Other => 9,
+        }
+    }
+
+    fn from_u64(v: u64) -> Endpoint {
+        match v {
+            0 => Endpoint::Estimate,
+            1 => Endpoint::Generate,
+            2 => Endpoint::Jobs,
+            3 => Endpoint::Export,
+            4 => Endpoint::Models,
+            5 => Endpoint::Metrics,
+            6 => Endpoint::Health,
+            7 => Endpoint::Quality,
+            8 => Endpoint::Debug,
+            _ => Endpoint::Other,
+        }
+    }
+}
+
+/// Cache disposition of an estimate request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The request does not go through the estimate cache.
+    NotApplicable,
+    /// Cache lookup missed; the request ran inference.
+    Miss,
+    /// Cache lookup hit; the request was answered without inference.
+    Hit,
+}
+
+impl CacheOutcome {
+    /// Stable lowercase name for dumps.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheOutcome::NotApplicable => "n/a",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Hit => "hit",
+        }
+    }
+
+    fn to_u64(self) -> u64 {
+        match self {
+            CacheOutcome::NotApplicable => 0,
+            CacheOutcome::Miss => 1,
+            CacheOutcome::Hit => 2,
+        }
+    }
+
+    fn from_u64(v: u64) -> CacheOutcome {
+        match v {
+            1 => CacheOutcome::Miss,
+            2 => CacheOutcome::Hit,
+            _ => CacheOutcome::NotApplicable,
+        }
+    }
+}
+
+/// One recorded request, as read back out of the ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Global event index (monotonic since server start).
+    pub seq: u64,
+    /// Unix timestamp of the record call, in milliseconds.
+    pub ts_ms: u64,
+    /// Per-request trace id (matches the `trace_id` in responses and logs).
+    pub trace_id: u64,
+    /// Endpoint family the request hit.
+    pub endpoint: Endpoint,
+    /// Version of the model that served the request (0 when no model was
+    /// involved).
+    pub model_version: u64,
+    /// Inference batch size the request rode in (0 when not batched).
+    pub batch_size: u64,
+    /// Estimate-cache disposition.
+    pub cache: CacheOutcome,
+    /// Wall-clock latency in nanoseconds.
+    pub latency_ns: u64,
+    /// HTTP status of the response.
+    pub status: u16,
+}
+
+/// All-atomic slot. A writer publishing event `n` stores `seq = 2n + 1`
+/// (write in progress), then the fields, then `seq = 2n + 2` (stable).
+/// Readers accept a slot only when `seq` reads `2n + 2` both before and
+/// after the field loads.
+#[derive(Debug)]
+struct Slot {
+    seq: AtomicU64,
+    /// Writer-exclusion flag: slots can alias when the ring wraps faster
+    /// than one write completes; the loser drops its event instead of
+    /// interleaving fields with the winner's.
+    busy: AtomicU64,
+    ts_ms: AtomicU64,
+    trace_id: AtomicU64,
+    endpoint: AtomicU64,
+    model_version: AtomicU64,
+    batch_size: AtomicU64,
+    cache: AtomicU64,
+    latency_ns: AtomicU64,
+    status: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            ts_ms: AtomicU64::new(0),
+            trace_id: AtomicU64::new(0),
+            endpoint: AtomicU64::new(0),
+            model_version: AtomicU64::new(0),
+            batch_size: AtomicU64::new(0),
+            cache: AtomicU64::new(0),
+            latency_ns: AtomicU64::new(0),
+            status: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Fixed-size lock-free ring buffer of recent [`FlightEvent`]s.
+///
+/// Writers never block and never allocate; the ring keeps the most recent
+/// `capacity` events, overwriting the oldest. Reading is best-effort: a
+/// slot being overwritten during a dump is skipped, never torn (every
+/// field is a plain atomic, so a lost race yields a stale-but-valid value
+/// that the sequence check then rejects).
+#[derive(Debug)]
+pub struct FlightRecorder {
+    slots: Box<[Slot]>,
+    head: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder holding the most recent `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            slots: (0..capacity).map(|_| Slot::new()).collect(),
+            head: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events recorded since creation (may exceed capacity).
+    pub fn total(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Events dropped because the ring wrapped onto a slot another writer
+    /// was still filling (only possible when the ring turns over faster
+    /// than one ~100ns write — a sign the capacity is far too small).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Record one request event. Lock-free: one `fetch_add` to claim a
+    /// slot plus a fixed number of atomic stores.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &self,
+        trace_id: u64,
+        endpoint: Endpoint,
+        model_version: u64,
+        batch_size: u64,
+        cache: CacheOutcome,
+        latency_ns: u64,
+        status: u16,
+    ) {
+        let n = self.head.fetch_add(1, Ordering::AcqRel);
+        let slot = &self.slots[(n % self.slots.len() as u64) as usize];
+        // Writer-writer exclusion: if an older writer is still filling this
+        // slot (the ring wrapped within one write duration), drop the event
+        // rather than interleave fields with the other writer's.
+        if slot
+            .busy
+            .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // Seqlock write: mark unstable, fence so the odd seq is visible
+        // before any field store, publish fields, mark stable with Release.
+        slot.seq.store(2 * n + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        slot.ts_ms.store(unix_ms(), Ordering::Relaxed);
+        slot.trace_id.store(trace_id, Ordering::Relaxed);
+        slot.endpoint.store(endpoint.to_u64(), Ordering::Relaxed);
+        slot.model_version.store(model_version, Ordering::Relaxed);
+        slot.batch_size.store(batch_size, Ordering::Relaxed);
+        slot.cache.store(cache.to_u64(), Ordering::Relaxed);
+        slot.latency_ns.store(latency_ns, Ordering::Relaxed);
+        slot.status.store(status as u64, Ordering::Relaxed);
+        slot.seq.store(2 * n + 2, Ordering::Release);
+        slot.busy.store(0, Ordering::Release);
+    }
+
+    /// The most recent `last` events, oldest first. Slots a writer is
+    /// concurrently overwriting are skipped.
+    pub fn recent(&self, last: usize) -> Vec<FlightEvent> {
+        let head = self.head.load(Ordering::Acquire);
+        let window = (last as u64).min(self.slots.len() as u64).min(head);
+        let mut out = Vec::with_capacity(window as usize);
+        for n in (head - window)..head {
+            let slot = &self.slots[(n % self.slots.len() as u64) as usize];
+            let expect = 2 * n + 2;
+            if slot.seq.load(Ordering::Acquire) != expect {
+                continue;
+            }
+            let event = FlightEvent {
+                seq: n,
+                ts_ms: slot.ts_ms.load(Ordering::Relaxed),
+                trace_id: slot.trace_id.load(Ordering::Relaxed),
+                endpoint: Endpoint::from_u64(slot.endpoint.load(Ordering::Relaxed)),
+                model_version: slot.model_version.load(Ordering::Relaxed),
+                batch_size: slot.batch_size.load(Ordering::Relaxed),
+                cache: CacheOutcome::from_u64(slot.cache.load(Ordering::Relaxed)),
+                latency_ns: slot.latency_ns.load(Ordering::Relaxed),
+                status: slot.status.load(Ordering::Relaxed) as u16,
+            };
+            // Seqlock read validation: fence so the field loads above can't
+            // drift past the re-check, then re-read seq — a writer that
+            // raced us has already bumped it past `expect`.
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) == expect {
+                out.push(event);
+            }
+        }
+        out
+    }
+
+    /// Dump the most recent `last` events to stderr, one line each,
+    /// prefixed with `reason`. Used on worker panic so the requests
+    /// leading up to a crash survive in the logs.
+    pub fn dump_stderr(&self, last: usize, reason: &str) {
+        let events = self.recent(last);
+        eprintln!("[flight] dump ({reason}): {} events", events.len());
+        for e in events {
+            eprintln!(
+                "[flight] seq={} ts_ms={} trace_id={} endpoint={} version={} batch={} cache={} latency_ms={:.3} status={}",
+                e.seq,
+                e.ts_ms,
+                e.trace_id,
+                e.endpoint.as_str(),
+                e.model_version,
+                e.batch_size,
+                e.cache.as_str(),
+                e.latency_ns as f64 / 1e6,
+                e.status,
+            );
+        }
+    }
+}
+
+/// One slow request, kept with enough context to reproduce it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowEntry {
+    /// Unix timestamp in milliseconds.
+    pub ts_ms: u64,
+    /// Trace id of the offending request.
+    pub trace_id: u64,
+    /// Wall-clock latency in milliseconds.
+    pub latency_ms: f64,
+    /// Model the request hit (empty when none).
+    pub model: String,
+    /// Request detail — the SQL text for estimates.
+    pub detail: String,
+}
+
+/// Bounded log of the slowest-path requests (those above the server's
+/// slow-query threshold). Writes are rare by construction, so a mutex is
+/// fine here; the estimate hot path only takes it for requests that
+/// already burned milliseconds.
+#[derive(Debug)]
+pub struct SlowLog {
+    capacity: usize,
+    entries: Mutex<Vec<SlowEntry>>,
+}
+
+impl SlowLog {
+    /// A log keeping the most recent `capacity` slow requests (minimum 1).
+    pub fn new(capacity: usize) -> SlowLog {
+        SlowLog {
+            capacity: capacity.max(1),
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Append one slow request, evicting the oldest beyond capacity.
+    pub fn push(&self, entry: SlowEntry) {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if entries.len() == self.capacity {
+            entries.remove(0);
+        }
+        entries.push(entry);
+    }
+
+    /// Recorded entries, oldest first.
+    pub fn entries(&self) -> Vec<SlowEntry> {
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+}
+
+/// Milliseconds since the Unix epoch (0 if the clock is before it).
+pub fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn record_n(rec: &FlightRecorder, n: u64) {
+        for i in 0..n {
+            rec.record(
+                i,
+                Endpoint::Estimate,
+                1,
+                4,
+                CacheOutcome::Miss,
+                1_000 * i,
+                200,
+            );
+        }
+    }
+
+    #[test]
+    fn empty_recorder_dumps_nothing() {
+        let rec = FlightRecorder::new(8);
+        assert!(rec.recent(10).is_empty());
+        assert_eq!(rec.total(), 0);
+    }
+
+    #[test]
+    fn recent_returns_newest_events_oldest_first() {
+        let rec = FlightRecorder::new(4);
+        record_n(&rec, 10);
+        assert_eq!(rec.total(), 10);
+        let events = rec.recent(3);
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![7, 8, 9]
+        );
+        assert_eq!(events[0].trace_id, 7);
+        assert_eq!(events[2].latency_ns, 9_000);
+    }
+
+    #[test]
+    fn window_is_clamped_to_capacity_and_total() {
+        let rec = FlightRecorder::new(4);
+        record_n(&rec, 2);
+        assert_eq!(rec.recent(100).len(), 2);
+        record_n(&rec, 10);
+        assert_eq!(rec.recent(100).len(), 4);
+    }
+
+    #[test]
+    fn round_trips_every_field() {
+        let rec = FlightRecorder::new(2);
+        rec.record(42, Endpoint::Quality, 7, 16, CacheOutcome::Hit, 12345, 503);
+        let events = rec.recent(1);
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.trace_id, 42);
+        assert_eq!(e.endpoint, Endpoint::Quality);
+        assert_eq!(e.model_version, 7);
+        assert_eq!(e.batch_size, 16);
+        assert_eq!(e.cache, CacheOutcome::Hit);
+        assert_eq!(e.latency_ns, 12345);
+        assert_eq!(e.status, 503);
+        assert!(e.ts_ms > 0);
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers_never_tear() {
+        let rec = Arc::new(FlightRecorder::new(16));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let rec = Arc::clone(&rec);
+                scope.spawn(move || {
+                    for i in 0..5_000u64 {
+                        // Writers encode an invariant: trace_id == latency_ns.
+                        let v = t * 1_000_000 + i;
+                        rec.record(v, Endpoint::Estimate, t, 1, CacheOutcome::Miss, v, 200);
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let rec = Arc::clone(&rec);
+                scope.spawn(move || {
+                    for _ in 0..500 {
+                        for e in rec.recent(16) {
+                            // A torn read would break the writer invariant.
+                            assert_eq!(e.trace_id, e.latency_ns, "torn slot read");
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.total(), 20_000);
+    }
+
+    #[test]
+    fn slow_log_evicts_oldest() {
+        let log = SlowLog::new(2);
+        for i in 0..3u64 {
+            log.push(SlowEntry {
+                ts_ms: i,
+                trace_id: i,
+                latency_ms: i as f64,
+                model: "m".to_string(),
+                detail: format!("q{i}"),
+            });
+        }
+        let entries = log.entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].trace_id, 1);
+        assert_eq!(entries[1].trace_id, 2);
+    }
+}

@@ -13,6 +13,10 @@
 //!   a configurable line sink (stderr / silent / in-memory). The inactive
 //!   path is two relaxed atomic loads, so instrumentation can live inside
 //!   hot loops.
+//! * **Flight recorder** ([`FlightRecorder`]) — an always-on, lock-free
+//!   ring buffer of recent request events (trace id, endpoint, latency,
+//!   outcome), dumped on demand or on worker panic, with per-bucket
+//!   latency [`Exemplars`] linking slow histogram buckets to trace ids.
 //! * **Chrome trace export** — when tracing is enabled every completed
 //!   span becomes a `chrome://tracing`-loadable complete event;
 //!   [`write_chrome_trace`] dumps the profile, which is how per-stage cost
@@ -32,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod flight;
 pub mod registry;
 pub mod sink;
 pub mod span;
@@ -40,7 +45,8 @@ pub use chrome::{
     chrome_trace_json, disable_tracing, enable_tracing, event_count, take_chrome_trace,
     tracing_enabled, write_chrome_trace, TraceEvent,
 };
-pub use registry::{Counter, Gauge, HistogramSample, Registry, Sample, SampleValue};
+pub use flight::{CacheOutcome, Endpoint, FlightEvent, FlightRecorder, SlowEntry, SlowLog};
+pub use registry::{Counter, Exemplars, Gauge, HistogramSample, Registry, Sample, SampleValue};
 pub use sink::{log_level, memory_sink, set_log_level, set_sink, LogLevel, Sink};
 pub use span::{current_trace_id, set_trace_id, span_active, Span};
 

@@ -85,11 +85,60 @@ impl MetricKey {
     }
 }
 
+/// Per-bucket exemplars for a latency histogram: the most recent
+/// `(trace_id, latency)` observed in each log2 bucket, so a slow bucket
+/// in `/metrics` links to a concrete request that can be looked up in the
+/// flight recorder. Stores are relaxed single-word writes — the hot path
+/// pays two stores, no RMW.
+#[derive(Debug)]
+pub struct Exemplars {
+    /// Parallel to [`LatencyHistogram`]'s buckets. `ns` holds the value
+    /// plus one so zero means "no exemplar yet".
+    trace_ids: Vec<AtomicU64>,
+    ns_plus_one: Vec<AtomicU64>,
+}
+
+impl Default for Exemplars {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Exemplars {
+    /// An empty exemplar set (one slot per histogram bucket).
+    pub fn new() -> Exemplars {
+        let n = LatencyHistogram::num_buckets();
+        Exemplars {
+            trace_ids: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            ns_plus_one: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Record `trace_id` as the latest exemplar for the bucket `ns` falls
+    /// into. Last writer wins; the two fields may briefly disagree under
+    /// contention, but both always refer to real observations in the same
+    /// bucket, which is all an exemplar promises.
+    pub fn observe(&self, ns: u64, trace_id: u64) {
+        let b = LatencyHistogram::bucket_index(ns);
+        self.ns_plus_one[b].store(ns.saturating_add(1), Ordering::Relaxed);
+        self.trace_ids[b].store(trace_id, Ordering::Relaxed);
+    }
+
+    /// Latest `(trace_id, latency_ns)` exemplar for bucket `b`, if any.
+    pub fn bucket(&self, b: usize) -> Option<(u64, u64)> {
+        let ns = self.ns_plus_one.get(b)?.load(Ordering::Relaxed);
+        if ns == 0 {
+            return None;
+        }
+        Some((self.trace_ids[b].load(Ordering::Relaxed), ns - 1))
+    }
+}
+
 #[derive(Debug, Clone)]
 enum Metric {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
-    Histogram(Arc<LatencyHistogram>),
+    Histogram(Arc<LatencyHistogram>, Option<Arc<Exemplars>>),
 }
 
 /// Point-in-time value of one registered metric.
@@ -114,6 +163,10 @@ pub struct HistogramSample {
     /// `(upper_bound_seconds, cumulative_count)`, ascending; excludes `+Inf`
     /// (whose cumulative count is `count`).
     pub buckets: Vec<(f64, u64)>,
+    /// Exemplars parallel to `buckets`: `(trace_id, value_seconds)` of the
+    /// latest observation in that bucket, when the histogram was registered
+    /// with exemplar support.
+    pub exemplars: Vec<Option<(u64, f64)>>,
 }
 
 /// One row of [`Registry::snapshot`].
@@ -132,6 +185,8 @@ pub struct Sample {
 #[derive(Debug, Default)]
 pub struct Registry {
     metrics: Mutex<BTreeMap<MetricKey, Metric>>,
+    /// Optional `# HELP` text per registered metric name.
+    help: Mutex<BTreeMap<String, String>>,
 }
 
 impl Registry {
@@ -202,11 +257,43 @@ impl Registry {
         let mut map = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
         match map
             .entry(key)
-            .or_insert_with(|| Metric::Histogram(Arc::new(LatencyHistogram::new())))
+            .or_insert_with(|| Metric::Histogram(Arc::new(LatencyHistogram::new()), None))
         {
-            Metric::Histogram(h) => Arc::clone(h),
+            Metric::Histogram(h, _) => Arc::clone(h),
             _ => panic!("metric {name:?} already registered with a different type"),
         }
+    }
+
+    /// Get or create a latency histogram with per-bucket exemplar slots.
+    /// The caller records latencies on the histogram and trace ids on the
+    /// [`Exemplars`]; the Prometheus renderer then annotates each bucket
+    /// with the latest trace id that landed in it (OpenMetrics exemplar
+    /// syntax), so a slow bucket points at a concrete request.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a non-histogram type.
+    pub fn histogram_with_exemplars(&self, name: &str) -> (Arc<LatencyHistogram>, Arc<Exemplars>) {
+        let key = MetricKey::new(name, &[]);
+        let mut map = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        match map.entry(key).or_insert_with(|| {
+            Metric::Histogram(
+                Arc::new(LatencyHistogram::new()),
+                Some(Arc::new(Exemplars::new())),
+            )
+        }) {
+            Metric::Histogram(h, ex) => {
+                let ex = ex.get_or_insert_with(|| Arc::new(Exemplars::new()));
+                (Arc::clone(h), Arc::clone(ex))
+            }
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Attach `# HELP` text to a metric name. Rendered once per family in
+    /// the Prometheus exposition; idempotent (last call wins).
+    pub fn describe(&self, name: &str, help: &str) {
+        let mut map = self.help.lock().unwrap_or_else(|e| e.into_inner());
+        map.insert(name.to_string(), help.to_string());
     }
 
     /// Point-in-time values of every registered metric, name-sorted. The
@@ -220,7 +307,9 @@ impl Registry {
                 value: match metric {
                     Metric::Counter(c) => SampleValue::Counter(c.get()),
                     Metric::Gauge(g) => SampleValue::Gauge(g.get()),
-                    Metric::Histogram(h) => SampleValue::Histogram(histogram_sample(h)),
+                    Metric::Histogram(h, ex) => {
+                        SampleValue::Histogram(histogram_sample(h, ex.as_deref()))
+                    }
                 },
             })
             .collect()
@@ -272,27 +361,35 @@ impl Registry {
     ///
     /// * counters get a `_total` suffix when the registered name lacks one;
     /// * histograms expose cumulative `_bucket{le="…"}` series in seconds,
-    ///   plus `_sum` and `_count`;
+    ///   plus `_sum` and `_count`, with OpenMetrics-style ` # {trace_id=…}`
+    ///   exemplar annotations on buckets when registered via
+    ///   [`Registry::histogram_with_exemplars`];
+    /// * every family gets a `# TYPE` line and, when [`Registry::describe`]d,
+    ///   a `# HELP` line (help text escaped per the spec);
     /// * label values are escaped per the spec (`\\`, `\"`, `\n`).
     pub fn render_prometheus(&self) -> String {
+        let help = self.help.lock().unwrap_or_else(|e| e.into_inner()).clone();
         let mut out = String::new();
         let mut last_name = String::new();
+        let mut header = |out: &mut String, raw: &str, name: &str, kind: &str| {
+            if name != last_name {
+                if let Some(h) = help.get(raw) {
+                    let _ = writeln!(out, "# HELP {name} {}", escape_help(h));
+                }
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+                last_name = name.to_string();
+            }
+        };
         for sample in self.snapshot() {
             match &sample.value {
                 SampleValue::Counter(v) => {
                     let name = counter_name(&sample.name);
-                    if name != last_name {
-                        let _ = writeln!(out, "# TYPE {name} counter");
-                        last_name = name.clone();
-                    }
+                    header(&mut out, &sample.name, &name, "counter");
                     let _ = writeln!(out, "{name}{} {v}", label_block(&sample.labels));
                 }
                 SampleValue::Gauge(v) => {
                     let name = sanitize_name(&sample.name);
-                    if name != last_name {
-                        let _ = writeln!(out, "# TYPE {name} gauge");
-                        last_name = name.clone();
-                    }
+                    header(&mut out, &sample.name, &name, "gauge");
                     let _ = writeln!(
                         out,
                         "{name}{} {}",
@@ -302,12 +399,15 @@ impl Registry {
                 }
                 SampleValue::Histogram(h) => {
                     let name = sanitize_name(&sample.name);
-                    let _ = writeln!(out, "# TYPE {name} histogram");
-                    last_name = name.clone();
+                    header(&mut out, &sample.name, &name, "histogram");
                     let mut cumulative = 0;
-                    for (le, c) in &h.buckets {
+                    for (b, (le, c)) in h.buckets.iter().enumerate() {
                         cumulative = *c;
-                        let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {c}", prom_f64(*le));
+                        let _ = write!(out, "{name}_bucket{{le=\"{}\"}} {c}", prom_f64(*le));
+                        if let Some(Some((trace_id, seconds))) = h.exemplars.get(b) {
+                            let _ = write!(out, " # {{trace_id=\"{trace_id}\"}} {seconds}");
+                        }
+                        out.push('\n');
                     }
                     debug_assert!(cumulative <= h.count);
                     let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
@@ -320,22 +420,28 @@ impl Registry {
     }
 }
 
-fn histogram_sample(h: &LatencyHistogram) -> HistogramSample {
+fn histogram_sample(h: &LatencyHistogram, ex: Option<&Exemplars>) -> HistogramSample {
     let counts = h.bucket_counts();
     let last_nonzero = counts.iter().rposition(|&c| c > 0);
     let mut buckets = Vec::new();
+    let mut exemplars = Vec::new();
     let mut cumulative = 0u64;
     if let Some(last) = last_nonzero {
         for (b, &c) in counts.iter().enumerate().take(last + 1) {
             cumulative += c;
             let le = LatencyHistogram::bucket_bounds_ns(b) as f64 / 1e9;
             buckets.push((le, cumulative));
+            exemplars.push(
+                ex.and_then(|ex| ex.bucket(b))
+                    .map(|(trace_id, ns)| (trace_id, ns as f64 / 1e9)),
+            );
         }
     }
     HistogramSample {
         count: h.count(),
         sum_seconds: h.sum_ns() as f64 / 1e9,
         buckets,
+        exemplars,
     }
 }
 
@@ -376,6 +482,19 @@ fn label_block(labels: &[(String, String)]) -> String {
         let _ = write!(out, "{}=\"{}\"", sanitize_name(k), escape_label_value(v));
     }
     out.push('}');
+    out
+}
+
+/// Escape `# HELP` text: backslash and newline (quotes are legal there).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
     out
 }
 

@@ -276,3 +276,129 @@ fn span_record_adds_fields_after_open() {
         "{lines:?}"
     );
 }
+
+#[test]
+fn help_and_type_emitted_for_every_family_including_histograms() {
+    let registry = Registry::new();
+    registry.describe("req", "Total requests\nserved (with \\ backslash)");
+    registry.describe("temp", "Current temperature");
+    registry.describe("lat_seconds", "Request latency");
+    registry.counter("req").add(1);
+    registry.gauge("temp").set(1.0);
+    registry
+        .histogram("lat_seconds")
+        .record(Duration::from_micros(50));
+
+    let text = registry.render_prometheus();
+
+    // HELP precedes TYPE for each described family; help text is escaped.
+    assert!(
+        text.contains("# HELP req_total Total requests\\nserved (with \\\\ backslash)\n# TYPE req_total counter"),
+        "{text}"
+    );
+    assert!(
+        text.contains("# HELP temp Current temperature\n# TYPE temp gauge"),
+        "{text}"
+    );
+    assert!(
+        text.contains("# HELP lat_seconds Request latency\n# TYPE lat_seconds histogram"),
+        "{text}"
+    );
+    // Histogram family headers appear exactly once.
+    assert_eq!(text.matches("# TYPE lat_seconds histogram").count(), 1);
+    assert_eq!(text.matches("# HELP lat_seconds").count(), 1);
+}
+
+#[test]
+fn hostile_label_values_are_escaped_and_parseable() {
+    let registry = Registry::new();
+    let hostile = [
+        ("backslashes", "C:\\temp\\x"),
+        ("quotes", "say \"hi\" twice"),
+        ("newlines", "line1\nline2\n"),
+        ("mixed", "\\\"\n\\n\"\\"),
+    ];
+    for (k, v) in hostile {
+        registry.counter_with("hostile_total", &[(k, v)]).inc();
+    }
+    let text = registry.render_prometheus();
+    for line in text.lines().filter(|l| l.starts_with("hostile_total{")) {
+        // Exposition lines must stay one line each and keep quotes balanced
+        // after escaping (count unescaped quotes: every value is wrapped in
+        // exactly one pair).
+        let inner = line
+            .strip_prefix("hostile_total{")
+            .and_then(|l| l.rsplit_once("} "))
+            .map(|(l, _)| l)
+            .unwrap_or_else(|| panic!("malformed line {line:?}"));
+        let mut unescaped_quotes = 0;
+        let mut chars = inner.chars();
+        while let Some(c) = chars.next() {
+            match c {
+                '\\' => {
+                    let e = chars.next().expect("dangling backslash");
+                    assert!(
+                        e == '\\' || e == '"' || e == 'n',
+                        "bad escape \\{e} in {line:?}"
+                    );
+                }
+                '"' => unescaped_quotes += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(unescaped_quotes % 2, 0, "unbalanced quotes in {line:?}");
+    }
+    // Raw newline must never appear inside a sample line.
+    assert_eq!(
+        text.lines()
+            .filter(|l| l.starts_with("hostile_total"))
+            .count(),
+        4,
+        "{text}"
+    );
+}
+
+#[test]
+fn histogram_exemplars_link_buckets_to_trace_ids() {
+    let registry = Registry::new();
+    let (h, ex) = registry.histogram_with_exemplars("exlat_seconds");
+    // A fast request and a slow one, with distinct trace ids.
+    h.record_ns(1_000);
+    ex.observe(1_000, 7);
+    h.record_ns(40_000_000);
+    ex.observe(40_000_000, 99);
+
+    let text = registry.render_prometheus();
+    let fast: Vec<&str> = text
+        .lines()
+        .filter(|l| l.contains("# {trace_id=\"7\"}"))
+        .collect();
+    let slow: Vec<&str> = text
+        .lines()
+        .filter(|l| l.contains("# {trace_id=\"99\"}"))
+        .collect();
+    assert_eq!(fast.len(), 1, "{text}");
+    assert_eq!(slow.len(), 1, "{text}");
+    // The slow exemplar sits on a larger-le bucket than the fast one.
+    assert!(fast[0].starts_with("exlat_seconds_bucket{le="), "{text}");
+    assert!(
+        slow[0].contains(" 0.04"),
+        "exemplar value in seconds: {text}"
+    );
+    // Re-registering returns the same handles.
+    let (h2, ex2) = registry.histogram_with_exemplars("exlat_seconds");
+    assert_eq!(h2.count(), 2);
+    ex2.observe(1_500, 8);
+    assert_eq!(
+        ex.bucket(sam_metrics::LatencyHistogram::bucket_index(1_500)),
+        Some((8, 1_500))
+    );
+}
+
+#[test]
+fn plain_histogram_has_no_exemplar_annotations() {
+    let registry = Registry::new();
+    registry.histogram("plain_seconds").record_ns(5_000);
+    let text = registry.render_prometheus();
+    assert!(!text.contains("# {"), "{text}");
+}

@@ -6,6 +6,13 @@
 //! `--`) are ignored. A fully labelled file is exactly what the paper's
 //! cloud provider receives from the customer — queries plus counts, no
 //! data.
+//!
+//! Lines starting with `{` are parsed as JSON objects instead — the shape
+//! the serving tier's quality-drift audit log emits — taking the query
+//! from the `"sql"` field and the label from an integral `"truth"` /
+//! `"card"` / `"cardinality"` field when present. The two line styles can
+//! be mixed freely, so a drift audit JSONL re-seeds `workgen mine`
+//! without conversion.
 
 use crate::query::{LabeledQuery, Query, Workload};
 use crate::sql::parse_query;
@@ -55,6 +62,14 @@ pub fn read_workload_entries<R: BufRead>(
         if line.is_empty() || line.starts_with("--") {
             continue;
         }
+        if line.starts_with('{') {
+            let (sql, card) =
+                parse_jsonl_entry(line).map_err(|m| WorkloadIoError::Parse(line_no, m))?;
+            let q =
+                parse_query(&sql).map_err(|e| WorkloadIoError::Parse(line_no, e.to_string()))?;
+            out.push((q, card));
+            continue;
+        }
         let (sql, card) = match line.split_once("-- card=") {
             Some((sql, n)) => {
                 let card: u64 = n.trim().parse().map_err(|_| {
@@ -68,6 +83,23 @@ pub fn read_workload_entries<R: BufRead>(
         out.push((q, card));
     }
     Ok(out)
+}
+
+/// Extract `(sql, optional label)` from one JSONL audit line.
+fn parse_jsonl_entry(line: &str) -> Result<(String, Option<u64>), String> {
+    let doc = serde_json::parse_value(line).map_err(|e| format!("bad JSONL entry: {e}"))?;
+    let sql = doc
+        .get("sql")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| "JSONL entry has no \"sql\" string field".to_string())?
+        .to_string();
+    // The audit log's "truth" is the reference estimate in parity mode, so
+    // only integral values are trusted as cardinality labels.
+    let card = ["truth", "card", "cardinality"]
+        .iter()
+        .find_map(|k| doc.get(k))
+        .and_then(|v| v.as_u64());
+    Ok((sql, card))
 }
 
 /// Read a *fully labelled* workload (every line must carry `-- card=N`).
@@ -142,6 +174,35 @@ mod tests {
         assert!(matches!(err, WorkloadIoError::MissingLabel(1)));
         // But the relaxed readers accept it.
         assert_eq!(read_queries(text.as_bytes()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn jsonl_audit_lines_mix_with_plain_sql() {
+        let text = concat!(
+            "{\"ts_ms\":1,\"model\":\"m\",\"sql\":\"SELECT COUNT(*) FROM A\",\"estimate\":3.5,\"truth\":7,\"q_error\":2.0,\"trace_id\":42}\n",
+            "SELECT COUNT(*) FROM A -- card=4\n",
+            "{\"sql\":\"SELECT COUNT(*) FROM A\",\"truth\":2.5}\n",
+        );
+        let entries = read_workload_entries(text.as_bytes()).unwrap();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].1, Some(7));
+        assert_eq!(entries[1].1, Some(4));
+        // Fractional truth (parity-mode reference estimate) is not a label.
+        assert_eq!(entries[2].1, None);
+    }
+
+    #[test]
+    fn jsonl_without_sql_field_is_rejected() {
+        let text = "{\"query\": 1}\n";
+        assert!(matches!(
+            read_workload_entries(text.as_bytes()).unwrap_err(),
+            WorkloadIoError::Parse(1, _)
+        ));
+        let garbage = "{not json\n";
+        assert!(matches!(
+            read_workload_entries(garbage.as_bytes()).unwrap_err(),
+            WorkloadIoError::Parse(1, _)
+        ));
     }
 
     #[test]

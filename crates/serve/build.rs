@@ -1,0 +1,24 @@
+//! Embed the git revision into the binary so `/debug/buildinfo` and the
+//! `sam_build_info` metric can report exactly which build is serving.
+//! Builds from a tarball (no `.git`) fall back to `"unknown"`.
+
+use std::process::Command;
+
+fn main() {
+    let sha = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=SAM_GIT_SHA={sha}");
+    // Re-run when HEAD moves so the embedded sha tracks the checkout.
+    for p in [".git/HEAD", "../../.git/HEAD"] {
+        if std::path::Path::new(p).exists() {
+            println!("cargo:rerun-if-changed={p}");
+        }
+    }
+}

@@ -62,11 +62,14 @@ pub struct Batcher {
 
 impl Batcher {
     /// Start `workers` threads behind a queue of `queue_capacity` slots.
+    /// With a flight recorder attached, a worker panic dumps the recent
+    /// request history to stderr before the 500s go out.
     pub fn start(
         workers: usize,
         queue_capacity: usize,
         max_batch: usize,
         metrics: Arc<ServeMetrics>,
+        flight: Option<Arc<sam_obs::FlightRecorder>>,
     ) -> Batcher {
         let (tx, rx) = std::sync::mpsc::sync_channel::<EstimateJob>(queue_capacity.max(1));
         let rx = Arc::new(Lock::new(rx));
@@ -74,10 +77,11 @@ impl Batcher {
             .map(|i| {
                 let rx = Arc::clone(&rx);
                 let metrics = Arc::clone(&metrics);
+                let flight = flight.clone();
                 let max_batch = max_batch.max(1);
                 std::thread::Builder::new()
                     .name(format!("sam-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, max_batch, &metrics))
+                    .spawn(move || worker_loop(&rx, max_batch, &metrics, flight.as_deref()))
                     .expect("spawn inference worker")
             })
             .collect();
@@ -109,7 +113,12 @@ impl Batcher {
     }
 }
 
-fn worker_loop(rx: &Lock<Receiver<EstimateJob>>, max_batch: usize, metrics: &ServeMetrics) {
+fn worker_loop(
+    rx: &Lock<Receiver<EstimateJob>>,
+    max_batch: usize,
+    metrics: &ServeMetrics,
+    flight: Option<&sam_obs::FlightRecorder>,
+) {
     loop {
         let mut jobs = Vec::new();
         {
@@ -149,12 +158,16 @@ fn worker_loop(rx: &Lock<Receiver<EstimateJob>>, max_batch: usize, metrics: &Ser
                 .push(job);
         }
         for (_, group) in groups {
-            run_group(group, metrics);
+            run_group(group, metrics, flight);
         }
     }
 }
 
-fn run_group(group: Vec<EstimateJob>, metrics: &ServeMetrics) {
+fn run_group(
+    group: Vec<EstimateJob>,
+    metrics: &ServeMetrics,
+    flight: Option<&sam_obs::FlightRecorder>,
+) {
     let batch_size = group.len();
     // A panic inside estimation (a model-invariant violation, an indexing
     // bug) must not kill the worker thread: every waiter in the group would
@@ -181,6 +194,11 @@ fn run_group(group: Vec<EstimateJob>, metrics: &ServeMetrics) {
         Err(payload) => {
             metrics.worker_panics.inc();
             let msg = crate::sync::panic_message(payload.as_ref());
+            // The requests leading up to a crash are the context a
+            // post-mortem needs; preserve them in the logs right away.
+            if let Some(flight) = flight {
+                flight.dump_stderr(50, &format!("worker panic: {msg}"));
+            }
             for job in group {
                 let _ = job.reply.try_send(BatchReply {
                     result: Err(ServeError::Internal(format!("estimation panicked: {msg}"))),

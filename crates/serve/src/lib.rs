@@ -18,6 +18,11 @@
 //!   completed jobs survive a restart (status + export), interrupted jobs
 //!   resume bit-for-bit from their recorded seed
 //!   ([`Server::replay_journal`]).
+//! * [`QualityMonitor`] — shadow-samples a fraction of live estimates and
+//!   scores them off the hot path (exactly, against attached reference
+//!   relations, or for parity against the f32 reference backend), keeping
+//!   per-model-version sliding-window Q-Error stats behind `GET /quality`
+//!   and streaming threshold breaches to a JSONL audit file.
 //! * [`Server`] — hand-rolled HTTP/1.1 + JSON front end: **keep-alive
 //!   connections by default** (pipelining honoured, idle timeout,
 //!   per-connection request cap, negotiated `Connection` state echoed),
@@ -46,6 +51,7 @@ pub mod http;
 pub mod jobs;
 pub mod journal;
 pub mod metrics;
+pub mod quality;
 pub mod registry;
 pub mod server;
 pub mod sync;
@@ -57,5 +63,6 @@ pub use error::ServeError;
 pub use jobs::{JobRecord, JobRegistry, JobState};
 pub use journal::{Journal, ReplayState, ReplayedJob};
 pub use metrics::ServeMetrics;
+pub use quality::{QualityConfig, QualityCounters, QualityMonitor, QualityTask};
 pub use registry::{ModelEntry, ModelRegistry};
 pub use server::{ReplaySummary, ServeConfig, Server};

@@ -13,9 +13,10 @@
 //! relaxed `fetch_add` — the registry lock is only taken at construction.
 
 use sam_metrics::LatencyHistogram;
-use sam_obs::{Counter, Gauge, Registry};
+use sam_obs::{Counter, Exemplars, Gauge, Registry};
 use serde_json::{json, Value};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Cheap concurrent counters + an estimate-latency histogram. One instance
 /// per server, shared by every connection handler and inference worker.
@@ -72,11 +73,64 @@ pub struct ServeMetrics {
     pub worker_panics: Arc<Counter>,
     /// End-to-end `/estimate` latency (arrival → reply).
     pub estimate_latency: Arc<LatencyHistogram>,
+    /// Per-bucket exemplars for `estimate_latency`: the latest trace id
+    /// that landed in each latency bucket, rendered in the Prometheus
+    /// exposition so slow buckets link to flight-recorder entries.
+    pub estimate_exemplars: Arc<Exemplars>,
+    /// Estimates shadow-scored by the quality monitor.
+    pub quality_samples: Arc<Counter>,
+    /// Shadow scores whose Q-Error crossed the alert threshold.
+    pub quality_alerts: Arc<Counter>,
+    /// Shadow-scoring tasks dropped (scorer queue full or scoring failed).
+    pub quality_dropped: Arc<Counter>,
+    /// Worst Q-Error currently in any model's sliding window.
+    pub quality_worst_qerror: Arc<Gauge>,
+    /// Seconds since the server started (derived at render time).
+    pub uptime_seconds: Arc<Gauge>,
+    /// Estimate-cache hit ratio `hits / (hits + misses)` (derived at
+    /// render time; 0 before any lookup).
+    pub cache_hit_ratio: Arc<Gauge>,
+    /// When this server's metrics were created (≈ server start).
+    pub started: Instant,
 }
 
 impl Default for ServeMetrics {
     fn default() -> Self {
         let registry = Registry::new();
+        for (name, help) in [
+            ("sam_http_requests_total", "HTTP requests routed"),
+            ("sam_estimates_ok_total", "Estimates answered 200"),
+            (
+                "sam_estimate_latency_seconds",
+                "End-to-end /estimate latency (arrival to reply)",
+            ),
+            (
+                "sam_estimate_cache_hit_ratio",
+                "Estimate-cache hits / lookups",
+            ),
+            (
+                "sam_quality_samples_total",
+                "Estimates shadow-scored by the quality drift monitor",
+            ),
+            (
+                "sam_quality_alerts_total",
+                "Shadow scores whose Q-Error crossed the alert threshold",
+            ),
+            (
+                "sam_quality_worst_qerror",
+                "Worst Q-Error in any model's sliding window",
+            ),
+            ("sam_uptime_seconds", "Seconds since server start"),
+            (
+                "sam_build_info",
+                "Constant 1; version/git_sha/backend in labels",
+            ),
+            ("sam_worker_panics_total", "Recovered worker panics"),
+        ] {
+            registry.describe(name, help);
+        }
+        let (estimate_latency, estimate_exemplars) =
+            registry.histogram_with_exemplars("sam_estimate_latency_seconds");
         ServeMetrics {
             http_requests: registry.counter("sam_http_requests_total"),
             http_connections: registry.counter("sam_http_connections_total"),
@@ -98,7 +152,15 @@ impl Default for ServeMetrics {
             journal_torn_tails: registry.counter("sam_journal_torn_tails_total"),
             journal_compactions: registry.counter("sam_journal_compactions_total"),
             worker_panics: registry.counter("sam_worker_panics_total"),
-            estimate_latency: registry.histogram("sam_estimate_latency_seconds"),
+            estimate_latency,
+            estimate_exemplars,
+            quality_samples: registry.counter("sam_quality_samples_total"),
+            quality_alerts: registry.counter("sam_quality_alerts_total"),
+            quality_dropped: registry.counter("sam_quality_dropped_total"),
+            quality_worst_qerror: registry.gauge("sam_quality_worst_qerror"),
+            uptime_seconds: registry.gauge("sam_uptime_seconds"),
+            cache_hit_ratio: registry.gauge("sam_estimate_cache_hit_ratio"),
+            started: Instant::now(),
             registry,
         }
     }
@@ -110,6 +172,7 @@ impl ServeMetrics {
     /// present, including `mean_batch_size` — `0.0` before the first batch,
     /// never absent.
     pub fn to_json(&self) -> Value {
+        self.refresh_derived();
         let batches = self.batches.get();
         let batched = self.batched_requests.get();
         let lat = self.estimate_latency.snapshot();
@@ -134,6 +197,12 @@ impl ServeMetrics {
             "journal_torn_tails": self.journal_torn_tails.get(),
             "journal_compactions": self.journal_compactions.get(),
             "worker_panics": self.worker_panics.get(),
+            "quality_samples": self.quality_samples.get(),
+            "quality_alerts": self.quality_alerts.get(),
+            "quality_dropped": self.quality_dropped.get(),
+            "quality_worst_qerror": self.quality_worst_qerror.get(),
+            "uptime_seconds": self.uptime_seconds.get(),
+            "cache_hit_ratio": self.cache_hit_ratio.get(),
             "estimate_latency_ms": {
                 "count": lat.count,
                 "mean": lat.mean_ms,
@@ -156,10 +225,50 @@ impl ServeMetrics {
         }
     }
 
+    /// The quality monitor's counter bundle, wired to this registry.
+    pub fn quality_counters(&self) -> crate::quality::QualityCounters {
+        crate::quality::QualityCounters {
+            samples: Arc::clone(&self.quality_samples),
+            alerts: Arc::clone(&self.quality_alerts),
+            dropped: Arc::clone(&self.quality_dropped),
+            worst: Arc::clone(&self.quality_worst_qerror),
+        }
+    }
+
+    /// Publish build identity as the conventional constant-1 `build_info`
+    /// gauge with the identity in labels. Called once at server start.
+    pub fn set_build_info(&self, version: &str, git_sha: &str, backend: &str) {
+        self.registry
+            .gauge_with(
+                "sam_build_info",
+                &[
+                    ("version", version),
+                    ("git_sha", git_sha),
+                    ("backend", backend),
+                ],
+            )
+            .set(1.0);
+    }
+
+    /// Recompute the derived gauges (uptime, cache hit ratio) from their
+    /// sources. Cheap; called at every render so scrapes are current.
+    fn refresh_derived(&self) {
+        self.uptime_seconds
+            .set(self.started.elapsed().as_secs_f64());
+        let hits = self.cache_hits.get();
+        let lookups = hits + self.cache_misses.get();
+        self.cache_hit_ratio.set(if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        });
+    }
+
     /// Prometheus text exposition: this server's registry followed by the
     /// process-global one (training / inference / pipeline metrics). Metric
     /// names are disjoint between the two, so the concatenation is valid.
     pub fn render_prometheus(&self) -> String {
+        self.refresh_derived();
         let mut out = self.registry.render_prometheus();
         out.push_str(&Registry::global().render_prometheus());
         out

@@ -10,7 +10,9 @@ use crate::sync::{Lock, RwLock};
 use sam_ar::{PrefixTrie, TrainReport};
 use sam_core::{Sam, TrainedSam};
 use sam_nn::BackendKind;
+use sam_storage::{csv::read_csv, Database, Table};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 
 /// One registered model version.
@@ -28,6 +30,13 @@ pub struct ModelEntry {
     /// invalidation needed, because cached conditionals are pure functions
     /// of this version's weights.
     pub trie: Lock<PrefixTrie>,
+    /// The relations this model was trained to represent, when the
+    /// operator attached them (the `data` field of `POST /models`, or the
+    /// third part of a `--models name=path=datadir` spec). With reference
+    /// data present the quality monitor scores sampled estimates against
+    /// *exact* cardinalities; without it, against the f32 reference
+    /// backend only.
+    pub reference: Option<Arc<Database>>,
 }
 
 impl ModelEntry {
@@ -70,6 +79,26 @@ impl ModelRegistry {
 
     /// Register (or hot-swap) `trained` under `name`; returns the new version.
     pub fn insert(&self, name: &str, trained: TrainedSam) -> u64 {
+        self.insert_entry(name, trained, None)
+    }
+
+    /// Register (or hot-swap) `trained` under `name` with its reference
+    /// relations attached, enabling exact-mode quality scoring.
+    pub fn insert_with_reference(
+        &self,
+        name: &str,
+        trained: TrainedSam,
+        reference: Arc<Database>,
+    ) -> u64 {
+        self.insert_entry(name, trained, Some(reference))
+    }
+
+    fn insert_entry(
+        &self,
+        name: &str,
+        trained: TrainedSam,
+        reference: Option<Arc<Database>>,
+    ) -> u64 {
         let mut map = self.inner.write();
         let version = map.get(name).map_or(0, |e| e.version) + 1;
         map.insert(
@@ -79,6 +108,7 @@ impl ModelRegistry {
                 version,
                 trained: Arc::new(trained),
                 trie: Lock::new(PrefixTrie::new()),
+                reference,
             }),
         );
         version
@@ -89,6 +119,19 @@ impl ModelRegistry {
     /// name is a hot swap: the version bumps and new requests see the new
     /// model while in-flight ones finish on the old `Arc`.
     pub fn load_file(&self, name: &str, path: &str) -> Result<u64, ServeError> {
+        self.load_file_with_data(name, path, None)
+    }
+
+    /// [`load_file`](Self::load_file), optionally also loading the model's
+    /// reference relations from a directory of `{table}.csv` files (one per
+    /// table of the model's target schema) so the quality monitor can score
+    /// in exact mode.
+    pub fn load_file_with_data(
+        &self,
+        name: &str,
+        path: &str,
+        data_dir: Option<&str>,
+    ) -> Result<u64, ServeError> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| ServeError::BadRequest(format!("cannot read model file {path}: {e}")))?;
         let (model, db_schema) = sam_ar::load_model(&text)
@@ -97,13 +140,17 @@ impl ModelRegistry {
             Some(kind) => model.with_backend(kind),
             None => model,
         };
+        let reference = match data_dir {
+            Some(dir) => Some(Arc::new(load_reference_database(&db_schema, dir.as_ref())?)),
+            None => None,
+        };
         // Persisted models carry no training telemetry; serve with an empty report.
         let report = TrainReport {
             epoch_losses: Vec::new(),
             constraints_processed: 0,
             wall_seconds: 0.0,
         };
-        Ok(self.insert(name, Sam::from_frozen(db_schema, model, report)))
+        Ok(self.insert_entry(name, Sam::from_frozen(db_schema, model, report), reference))
     }
 
     /// Resolve a model by name.
@@ -127,4 +174,25 @@ impl ModelRegistry {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+}
+
+/// Read `{table}.csv` for every table of `schema` from `dir` and assemble
+/// the reference [`Database`] (with integrity checking — this is
+/// operator-supplied data, not bytes we persisted ourselves).
+fn load_reference_database(
+    schema: &sam_storage::DatabaseSchema,
+    dir: &Path,
+) -> Result<Database, ServeError> {
+    let mut tables: Vec<Table> = Vec::new();
+    for table_schema in schema.tables() {
+        let path = dir.join(format!("{}.csv", table_schema.name));
+        let file = std::fs::File::open(&path).map_err(|e| {
+            ServeError::BadRequest(format!("cannot open reference data {path:?}: {e}"))
+        })?;
+        let table = read_csv(table_schema.clone(), std::io::BufReader::new(file))
+            .map_err(|e| ServeError::BadRequest(format!("cannot parse {path:?}: {e}")))?;
+        tables.push(table);
+    }
+    Database::new(schema.clone(), tables, true)
+        .map_err(|e| ServeError::BadRequest(format!("reference data inconsistent: {e}")))
 }

@@ -20,6 +20,11 @@
 //! | `GET /jobs/{id}/export` | stream a finished relation as chunked CSV/JSONL, gzip/deflate negotiated |
 //! | `POST /jobs/{id}/cancel` | request cooperative cancellation |
 //! | `GET /metrics` | counters + latency percentiles |
+//! | `GET /quality` | per-model-version shadow-scored Q-Error drift stats |
+//! | `GET /debug/buildinfo` | version, git sha, backend, uptime |
+//! | `GET /debug/flight?last=N` | recent request events from the flight recorder |
+//! | `GET /debug/slow` | slow-query log |
+//! | `GET`/`PUT /debug/loglevel` | inspect / change the log level live |
 //!
 //! With [`ServeConfig::journal_dir`] set, accepted jobs are journaled to
 //! disk and [`Server::replay_journal`] (call it after loading models)
@@ -40,10 +45,12 @@ use crate::http::{self, ChunkedWriter, Request};
 use crate::jobs::{JobRegistry, JobState};
 use crate::journal::{Journal, ReplayState};
 use crate::metrics::ServeMetrics;
+use crate::quality::{QualityConfig, QualityMonitor, QualityTask};
 use crate::registry::ModelRegistry;
 use crate::sync::Lock;
 use sam_core::{GenerationConfig, JoinKeyStrategy};
 use sam_nn::BackendKind;
+use sam_obs::{CacheOutcome, Endpoint, FlightRecorder, SlowEntry, SlowLog};
 use sam_query::parse_query;
 use sam_storage::csv::write_csv;
 use sam_storage::jsonl::write_jsonl;
@@ -104,6 +111,21 @@ pub struct ServeConfig {
     /// Compact the journal during [`Server::replay_journal`] when the log
     /// exceeds this many bytes; `None` disables auto-compaction.
     pub journal_compact_bytes: Option<u64>,
+    /// Fraction of answered `/estimate` requests shadow-scored by the
+    /// quality drift monitor (`--quality-sample`; 0 disables it).
+    pub quality_sample: f64,
+    /// Sliding-window size per model version for quality statistics.
+    pub quality_window: usize,
+    /// Q-Error above which a shadow score raises an alert and is appended
+    /// to the audit file (`--quality-alert-qerror`).
+    pub quality_alert_qerror: f64,
+    /// JSONL audit file for threshold-crossing estimates (consumable by
+    /// `workgen mine` as seeds); `None` keeps alerts in metrics only.
+    pub quality_audit: Option<PathBuf>,
+    /// Flight-recorder ring size in events (`--flight-capacity`).
+    pub flight_capacity: usize,
+    /// Requests at or above this latency enter the slow-query log.
+    pub slow_query_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -121,6 +143,12 @@ impl Default for ServeConfig {
             max_conn_requests: 1_000,
             journal_dir: None,
             journal_compact_bytes: Some(4 * 1024 * 1024),
+            quality_sample: 0.01,
+            quality_window: 256,
+            quality_alert_qerror: 100.0,
+            quality_audit: None,
+            flight_capacity: 512,
+            slow_query_ms: 250,
         }
     }
 }
@@ -151,6 +179,12 @@ struct ServerState {
     /// Monotonic per-request trace id, attached to span output (and the
     /// estimate response body) for request ↔ trace correlation.
     next_trace_id: AtomicU64,
+    /// Always-on ring of recent request events (`GET /debug/flight`).
+    flight: Arc<FlightRecorder>,
+    /// Requests above [`ServeConfig::slow_query_ms`] (`GET /debug/slow`).
+    slow: SlowLog,
+    /// Shadow-scoring quality drift monitor (`GET /quality`).
+    quality: QualityMonitor,
 }
 
 /// A running server. Dropping it shuts it down gracefully.
@@ -182,14 +216,34 @@ impl Server {
             )?)),
             None => None,
         };
+        let flight = Arc::new(FlightRecorder::new(config.flight_capacity));
         let batcher = Batcher::start(
             config.workers,
             config.queue_capacity,
             config.max_batch,
             Arc::clone(&metrics),
+            Some(Arc::clone(&flight)),
         );
         let cache = EstimateCache::new(config.cache_capacity);
         let registry = ModelRegistry::with_backend_override(config.backend);
+        let backend_label = config
+            .backend
+            .map_or_else(|| "per-model".to_string(), |b| b.to_string());
+        metrics.set_build_info(
+            env!("CARGO_PKG_VERSION"),
+            env!("SAM_GIT_SHA"),
+            &backend_label,
+        );
+        let quality = QualityMonitor::start(
+            QualityConfig {
+                sample: config.quality_sample,
+                window: config.quality_window,
+                alert_qerror: config.quality_alert_qerror,
+                audit_path: config.quality_audit.clone(),
+            },
+            metrics.quality_counters(),
+        );
+        let slow = SlowLog::new(64);
         let state = Arc::new(ServerState {
             config,
             registry,
@@ -200,6 +254,9 @@ impl Server {
             shutting_down: AtomicBool::new(false),
             conn_threads: Lock::new(Vec::new()),
             next_trace_id: AtomicU64::new(0),
+            flight,
+            slow,
+            quality,
         });
         let accept_state = Arc::clone(&state);
         let accept_thread = std::thread::Builder::new()
@@ -360,6 +417,13 @@ impl Server {
         }
         self.state.batcher.shutdown();
         self.state.jobs.drain();
+        self.state.quality.shutdown();
+    }
+
+    /// The flight recorder (programmatic access for tests and tools; HTTP
+    /// clients use `GET /debug/flight`).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.state.flight
     }
 }
 
@@ -447,6 +511,30 @@ enum Reply {
     },
 }
 
+/// Per-request telemetry the route handlers fill in and the connection
+/// handler flushes into the flight recorder (and, for slow estimates, the
+/// slow-query log) after the response is written.
+struct Telemetry {
+    endpoint: Endpoint,
+    model_version: u64,
+    batch_size: u64,
+    cache: CacheOutcome,
+    /// `(model, sql)` for estimates, so slow-log entries say what ran.
+    slow_detail: Option<(String, String)>,
+}
+
+impl Telemetry {
+    fn new() -> Telemetry {
+        Telemetry {
+            endpoint: Endpoint::Other,
+            model_version: 0,
+            batch_size: 0,
+            cache: CacheOutcome::NotApplicable,
+            slow_detail: None,
+        }
+    }
+}
+
 /// Why the connection loop stopped waiting for request bytes.
 enum IdleOutcome {
     /// First byte of the next request is buffered.
@@ -503,6 +591,8 @@ fn handle_connection(stream: &TcpStream, state: &Arc<ServerState>) {
         let trace_id = state.next_trace_id.fetch_add(1, Ordering::Relaxed) + 1;
         sam_obs::set_trace_id(Some(trace_id));
         served += 1;
+        let started = Instant::now();
+        let mut telemetry = Telemetry::new();
         let (reply, keep_alive) = match http::read_request(&mut reader) {
             Ok(Some(request)) => {
                 let _span = sam_obs::span!("request", method = request.method, path = request.path);
@@ -511,7 +601,7 @@ fn handle_connection(stream: &TcpStream, state: &Arc<ServerState>) {
                 let keep = request.keep_alive
                     && served < max_requests
                     && !state.shutting_down.load(Ordering::SeqCst);
-                (route(&request, state), keep)
+                (route(&request, state, &mut telemetry), keep)
             }
             Ok(None) => break, // clean EOF mid-negotiation
             // Framing can't be trusted after a parse error: answer and close.
@@ -519,6 +609,10 @@ fn handle_connection(stream: &TcpStream, state: &Arc<ServerState>) {
                 Reply::Json(e.status(), json!({"error": e.to_string()})),
                 false,
             ),
+        };
+        let status = match &reply {
+            Reply::Json(status, _) | Reply::Text(status, _) => *status,
+            Reply::Export { .. } => 200,
         };
         let mut writer = stream;
         let io = match reply {
@@ -544,6 +638,30 @@ fn handle_connection(stream: &TcpStream, state: &Arc<ServerState>) {
                 state,
             ),
         };
+        // Flight events include response-write time: that's the latency the
+        // client saw, which is what a post-mortem cares about.
+        let latency = started.elapsed();
+        state.flight.record(
+            trace_id,
+            telemetry.endpoint,
+            telemetry.model_version,
+            telemetry.batch_size,
+            telemetry.cache,
+            latency.as_nanos() as u64,
+            status,
+        );
+        if telemetry.endpoint == Endpoint::Estimate
+            && latency >= Duration::from_millis(state.config.slow_query_ms.max(1))
+        {
+            let (model, detail) = telemetry.slow_detail.unwrap_or_default();
+            state.slow.push(SlowEntry {
+                ts_ms: sam_obs::flight::unix_ms(),
+                trace_id,
+                latency_ms: latency.as_secs_f64() * 1e3,
+                model,
+                detail,
+            });
+        }
         if io.is_err() || !keep_alive {
             break;
         }
@@ -580,14 +698,17 @@ fn stream_export(
         Some(coding) => {
             let mut encoder = Encoder::new(chunked, coding);
             write_rows(table, format, &mut encoder)?;
-            encoder.finish()?.finish()?;
+            chunked = encoder.finish()?;
         }
         None => {
             write_rows(table, format, &mut chunked)?;
-            chunked.finish()?;
         }
     }
+    // Count before the terminal chunk goes out: a client that observes the
+    // end of the stream must also observe the bumped counter on its next
+    // `/metrics` scrape, even over a different connection.
     state.metrics.exports_ok.inc();
+    chunked.finish()?;
     span.record("ok", true);
     Ok(())
 }
@@ -603,13 +724,31 @@ fn write_rows<W: std::io::Write>(
     }
 }
 
-fn route(request: &Request, state: &Arc<ServerState>) -> Reply {
+/// Classify a request path for the flight recorder. Coarse by design: the
+/// recorder stores a `u64` per event, not a string.
+fn classify_endpoint(path: &str) -> Endpoint {
+    match path {
+        "/estimate" => Endpoint::Estimate,
+        "/generate" => Endpoint::Generate,
+        "/metrics" => Endpoint::Metrics,
+        "/healthz" => Endpoint::Health,
+        "/models" => Endpoint::Models,
+        "/quality" => Endpoint::Quality,
+        p if p.ends_with("/export") && p.starts_with("/jobs/") => Endpoint::Export,
+        p if p.starts_with("/jobs/") => Endpoint::Jobs,
+        p if p.starts_with("/debug/") => Endpoint::Debug,
+        _ => Endpoint::Other,
+    }
+}
+
+fn route(request: &Request, state: &Arc<ServerState>, telemetry: &mut Telemetry) -> Reply {
     // The request target may carry a query string (`/metrics?format=...`);
     // http.rs deliberately leaves the split to the router.
     let (path, query) = match request.path.split_once('?') {
         Some((p, q)) => (p, q),
         None => (request.path.as_str(), ""),
     };
+    telemetry.endpoint = classify_endpoint(path);
     if request.method == "GET" && path == "/metrics" {
         return if query_param(query, "format") == Some("prometheus") {
             Reply::Text(200, state.metrics.render_prometheus())
@@ -634,8 +773,16 @@ fn route(request: &Request, state: &Arc<ServerState>) -> Reply {
         )),
         ("GET", "/models") => Ok((200, list_models(state))),
         ("POST", "/models") => load_model_route(state, &request.body),
-        ("POST", "/estimate") => estimate_route(state, &request.body),
+        ("POST", "/estimate") => estimate_route(state, &request.body, telemetry),
         ("POST", "/generate") => generate_route(state, &request.body),
+        ("GET", "/quality") => Ok((200, state.quality.report())),
+        ("GET", "/debug/buildinfo") => Ok((200, buildinfo_route(state))),
+        ("GET", "/debug/flight") => Ok((200, flight_route(state, query))),
+        ("GET", "/debug/slow") => Ok((200, slow_route(state))),
+        ("GET", "/debug/loglevel") => {
+            Ok((200, json!({"level": log_level_name(sam_obs::log_level())})))
+        }
+        ("PUT", "/debug/loglevel") => loglevel_route(&request.body),
         (method, path) if path.starts_with("/jobs/") => job_route(state, method, path),
         (_, path) => Err(ServeError::NotFound(format!("no route for {path}"))),
     };
@@ -643,6 +790,100 @@ fn route(request: &Request, state: &Arc<ServerState>) -> Reply {
         Ok((status, body)) => Reply::Json(status, body),
         Err(e) => Reply::Json(e.status(), json!({"error": e.to_string()})),
     }
+}
+
+/// `GET /debug/buildinfo` — which build is serving, on what backend, for
+/// how long, and how the flight recorder is doing.
+fn buildinfo_route(state: &ServerState) -> Value {
+    let backend = state
+        .config
+        .backend
+        .map_or_else(|| "per-model".to_string(), |b| b.to_string());
+    json!({
+        "version": env!("CARGO_PKG_VERSION"),
+        "git_sha": env!("SAM_GIT_SHA"),
+        "backend": backend,
+        "uptime_seconds": state.metrics.started.elapsed().as_secs_f64(),
+        "models": state.registry.len(),
+        "flight": {
+            "capacity": state.flight.capacity(),
+            "total": state.flight.total(),
+            "dropped": state.flight.dropped(),
+        },
+    })
+}
+
+/// `GET /debug/flight?last=N` — the last N request events (default 50),
+/// oldest first.
+fn flight_route(state: &ServerState, query: &str) -> Value {
+    let last = query_param(query, "last")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(50);
+    let events: Vec<Value> = state
+        .flight
+        .recent(last)
+        .iter()
+        .map(|e| {
+            json!({
+                "seq": e.seq,
+                "ts_ms": e.ts_ms,
+                "trace_id": e.trace_id,
+                "endpoint": e.endpoint.as_str(),
+                "model_version": e.model_version,
+                "batch_size": e.batch_size,
+                "cache": e.cache.as_str(),
+                "latency_ms": e.latency_ns as f64 / 1e6,
+                "status": e.status,
+            })
+        })
+        .collect();
+    json!({
+        "capacity": state.flight.capacity(),
+        "total": state.flight.total(),
+        "dropped": state.flight.dropped(),
+        "events": Value::Array(events),
+    })
+}
+
+/// `GET /debug/slow` — requests that exceeded the slow-query threshold.
+fn slow_route(state: &ServerState) -> Value {
+    let entries: Vec<Value> = state
+        .slow
+        .entries()
+        .iter()
+        .map(|e| {
+            json!({
+                "ts_ms": e.ts_ms,
+                "trace_id": e.trace_id,
+                "latency_ms": e.latency_ms,
+                "model": e.model.clone(),
+                "detail": e.detail.clone(),
+            })
+        })
+        .collect();
+    json!({
+        "threshold_ms": state.config.slow_query_ms,
+        "entries": Value::Array(entries),
+    })
+}
+
+fn log_level_name(level: sam_obs::LogLevel) -> &'static str {
+    match level {
+        sam_obs::LogLevel::Silent => "silent",
+        sam_obs::LogLevel::Info => "info",
+        sam_obs::LogLevel::Debug => "debug",
+    }
+}
+
+/// `PUT /debug/loglevel` with `{"level": "silent"|"info"|"debug"}` —
+/// change the process log level without a restart.
+fn loglevel_route(body: &str) -> Result<(u16, Value), ServeError> {
+    let doc = parse_body(body)?;
+    let level: sam_obs::LogLevel = str_field(&doc, "level")?
+        .parse()
+        .map_err(ServeError::BadRequest)?;
+    sam_obs::set_log_level(level);
+    Ok((200, json!({"level": log_level_name(level)})))
 }
 
 /// `GET /jobs/{id}/export?relation=R[&format=csv|jsonl]` — resolve the
@@ -730,17 +971,35 @@ fn load_model_route(state: &ServerState, body: &str) -> Result<(u16, Value), Ser
     let doc = parse_body(body)?;
     let name = str_field(&doc, "name")?;
     let path = str_field(&doc, "path")?;
-    let version = state.registry.load_file(name, path)?;
+    // Optional directory of `{table}.csv` reference relations: with them
+    // attached, the quality monitor scores this model's sampled estimates
+    // against exact cardinalities instead of backend parity.
+    let data = doc.get("data").and_then(Value::as_str);
+    let version = state.registry.load_file_with_data(name, path, data)?;
     Ok((200, json!({"name": name, "version": version})))
 }
 
-fn estimate_route(state: &ServerState, body: &str) -> Result<(u16, Value), ServeError> {
+fn estimate_route(
+    state: &ServerState,
+    body: &str,
+    telemetry: &mut Telemetry,
+) -> Result<(u16, Value), ServeError> {
     let started = Instant::now();
-    let result = run_estimate(state, body, started);
+    let result = run_estimate(state, body, started, telemetry);
     match &result {
         Ok(_) => {
             state.metrics.estimates_ok.inc();
-            state.metrics.estimate_latency.record(started.elapsed());
+            let latency = started.elapsed();
+            state.metrics.estimate_latency.record(latency);
+            // Exemplar: link this request's latency bucket to its trace id,
+            // so a spike in the histogram points straight at a flight-recorder
+            // event to pull up.
+            if let Some(trace_id) = sam_obs::current_trace_id() {
+                state
+                    .metrics
+                    .estimate_exemplars
+                    .observe(latency.as_nanos() as u64, trace_id);
+            }
         }
         Err(ServeError::Overloaded) => state.metrics.rejected_overload.inc(),
         Err(ServeError::DeadlineExceeded) => state.metrics.deadline_exceeded.inc(),
@@ -753,6 +1012,7 @@ fn run_estimate(
     state: &ServerState,
     body: &str,
     started: Instant,
+    telemetry: &mut Telemetry,
 ) -> Result<(u16, Value), ServeError> {
     let doc = parse_body(body)?;
     let model_name = str_field(&doc, "model")?;
@@ -769,6 +1029,8 @@ fn run_estimate(
         .registry
         .get(model_name)
         .ok_or_else(|| ServeError::NotFound(format!("model '{model_name}'")))?;
+    telemetry.model_version = entry.version;
+    telemetry.slow_detail = Some((entry.name.clone(), sql.to_string()));
     let query =
         parse_query(sql).map_err(|e| ServeError::BadRequest(format!("invalid SQL: {e}")))?;
 
@@ -783,6 +1045,7 @@ fn run_estimate(
     };
     if let Some(estimate) = state.cache.get(&cache_key) {
         state.metrics.cache_hits.inc();
+        telemetry.cache = CacheOutcome::Hit;
         let trace_id = sam_obs::current_trace_id().map_or(Value::Null, |id| json!(id));
         return Ok((
             200,
@@ -799,6 +1062,11 @@ fn run_estimate(
         ));
     }
     state.metrics.cache_misses.inc();
+    telemetry.cache = CacheOutcome::Miss;
+
+    // The quality monitor needs the parsed query after the job consumes it;
+    // clone only when this request was actually picked for shadow scoring.
+    let shadow_query = state.quality.should_sample().then(|| query.clone());
 
     let deadline = started + Duration::from_millis(timeout_ms);
     let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
@@ -822,7 +1090,19 @@ fn run_estimate(
     };
     let estimate = reply.result?;
     state.cache.insert(cache_key, estimate);
-    let trace_id = sam_obs::current_trace_id().map_or(Value::Null, |id| json!(id));
+    telemetry.batch_size = reply.batch_size as u64;
+    let trace_id_num = sam_obs::current_trace_id();
+    if let Some(shadow) = shadow_query {
+        state.quality.submit(QualityTask {
+            entry: Arc::clone(&entry),
+            query: shadow,
+            estimate,
+            samples,
+            seed,
+            trace_id: trace_id_num.unwrap_or(0),
+        });
+    }
+    let trace_id = trace_id_num.map_or(Value::Null, |id| json!(id));
     Ok((
         200,
         json!({

@@ -106,6 +106,117 @@ impl LoadReport {
     }
 }
 
+/// Server-side counters scraped from `GET /metrics` (the JSON document).
+/// Scraped before and after a load run, the difference says what the
+/// *server* thinks happened — which the client-side numbers alone cannot
+/// (cache hits, worker panics, quality alerts are invisible from outside).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerCounters {
+    /// HTTP requests the server accepted.
+    pub http_requests: u64,
+    /// Estimates answered 200.
+    pub estimates_ok: u64,
+    /// Estimate-cache hits.
+    pub cache_hits: u64,
+    /// Estimate-cache misses.
+    pub cache_misses: u64,
+    /// Inference-worker panics contained by the batcher.
+    pub worker_panics: u64,
+    /// Estimates shadow-scored by the quality monitor.
+    pub quality_samples: u64,
+    /// Shadow scores whose Q-Error crossed the alert threshold.
+    pub quality_alerts: u64,
+}
+
+impl ServerCounters {
+    /// Counter-wise difference `self - before` (saturating, so a server
+    /// restart mid-run degrades to zeros instead of nonsense).
+    pub fn delta(&self, before: &ServerCounters) -> ServerCounters {
+        ServerCounters {
+            http_requests: self.http_requests.saturating_sub(before.http_requests),
+            estimates_ok: self.estimates_ok.saturating_sub(before.estimates_ok),
+            cache_hits: self.cache_hits.saturating_sub(before.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(before.cache_misses),
+            worker_panics: self.worker_panics.saturating_sub(before.worker_panics),
+            quality_samples: self.quality_samples.saturating_sub(before.quality_samples),
+            quality_alerts: self.quality_alerts.saturating_sub(before.quality_alerts),
+        }
+    }
+
+    /// Cache hit rate over the window, `None` before any lookup.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let lookups = self.cache_hits + self.cache_misses;
+        (lookups > 0).then(|| self.cache_hits as f64 / lookups as f64)
+    }
+
+    /// Markdown section for the load report (deltas over the run window).
+    pub fn markdown_section(&self) -> String {
+        let hit_rate = self
+            .cache_hit_rate()
+            .map_or_else(|| "n/a".to_string(), |r| format!("{:.1}%", r * 100.0));
+        format!(
+            "### Server-side delta (scraped from /metrics)\n\n\
+             | metric | value |\n|---|---|\n\
+             | http requests | {} |\n\
+             | estimates ok | {} |\n\
+             | cache hit rate | {hit_rate} |\n\
+             | worker panics | {} |\n\
+             | quality samples | {} |\n\
+             | quality alerts | {} |",
+            self.http_requests,
+            self.estimates_ok,
+            self.worker_panics,
+            self.quality_samples,
+            self.quality_alerts,
+        )
+    }
+}
+
+/// Scrape `GET /metrics` from the server and parse the counters this
+/// module reports on. `None` on any transport or parse problem — a load
+/// run must not fail because the scrape did.
+pub fn scrape_server_counters(addr: &str, timeout: Duration) -> Option<ServerCounters> {
+    let body = http_get_body(addr, "/metrics", timeout).ok()?;
+    let doc = serde_json::parse_value(&body).ok()?;
+    let field = |key: &str| doc.get(key).and_then(|v| v.as_u64()).unwrap_or(0);
+    Some(ServerCounters {
+        http_requests: field("http_requests"),
+        estimates_ok: field("estimates_ok"),
+        cache_hits: field("cache_hits"),
+        cache_misses: field("cache_misses"),
+        worker_panics: field("worker_panics"),
+        quality_samples: field("quality_samples"),
+        quality_alerts: field("quality_alerts"),
+    })
+}
+
+/// Minimal one-shot `GET` returning the response body as text.
+fn http_get_body(addr: &str, path: &str, timeout: Duration) -> std::io::Result<String> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut reader = BufReader::new(stream);
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    reader.get_mut().write_all(request.as_bytes())?;
+    // Headers, then (Connection: close) the body runs to EOF.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed inside headers",
+            ));
+        }
+        if line.trim_end().is_empty() {
+            break;
+        }
+    }
+    let mut body = String::new();
+    reader.read_to_string(&mut body)?;
+    Ok(body)
+}
+
 /// Pre-rendered request: the full HTTP bytes for one trace entry.
 fn render_request(config: &LoadConfig, query: &Query, seed: u64) -> Vec<u8> {
     let mut body = String::with_capacity(160);
@@ -435,6 +546,52 @@ mod tests {
             latency: LatencyHistogram::new().snapshot(),
         };
         assert_eq!(report.markdown_row().matches('|').count(), cols);
+    }
+
+    #[test]
+    fn server_counter_delta_and_section() {
+        let before = ServerCounters {
+            http_requests: 10,
+            estimates_ok: 8,
+            cache_hits: 2,
+            cache_misses: 6,
+            worker_panics: 0,
+            quality_samples: 1,
+            quality_alerts: 0,
+        };
+        let after = ServerCounters {
+            http_requests: 110,
+            estimates_ok: 104,
+            cache_hits: 26,
+            cache_misses: 78,
+            worker_panics: 1,
+            quality_samples: 3,
+            quality_alerts: 2,
+        };
+        let delta = after.delta(&before);
+        assert_eq!(delta.http_requests, 100);
+        assert_eq!(delta.cache_hits, 24);
+        assert_eq!(delta.cache_hit_rate(), Some(24.0 / 96.0));
+        let section = delta.markdown_section();
+        assert!(section.contains("| http requests | 100 |"));
+        assert!(section.contains("| cache hit rate | 25.0% |"));
+        assert!(section.contains("| quality alerts | 2 |"));
+        // Counter reset (restart mid-run) saturates to zero, and a window
+        // with no lookups has no hit rate.
+        let reset = before.delta(&after);
+        assert_eq!(reset.http_requests, 0);
+        assert_eq!(reset.cache_hit_rate(), None);
+        assert!(reset
+            .markdown_section()
+            .contains("| cache hit rate | n/a |"));
+    }
+
+    #[test]
+    fn scrape_unreachable_server_is_none() {
+        assert_eq!(
+            scrape_server_counters("127.0.0.1:1", Duration::from_millis(200)),
+            None
+        );
     }
 
     #[test]

@@ -13,12 +13,15 @@
 //!                  [--queries N | --workload FILE] [--seed N]
 //! sam-cli estimate --schema schema.json --data DIR [--queries N] [--epochs N] [--seed N]
 //!                  [--backend f32|f16]  (then one SQL query per stdin line)
-//! sam-cli serve    [--addr HOST:PORT] [--models name=model.json,...]
+//! sam-cli serve    [--addr HOST:PORT] [--models name=model.json[=datadir],...]
 //!                  [--workers N] [--queue N] [--max-batch N]
 //!                  [--samples N] [--timeout-ms N] [--cache N]
 //!                  [--backend f32|f16] [--journal-dir DIR]
 //!                  [--journal-compact-bytes N] [--idle-timeout-ms N]
-//!                  [--conn-requests N]
+//!                  [--conn-requests N] [--quality-sample F]
+//!                  [--quality-window N] [--quality-alert-qerror Q]
+//!                  [--quality-audit FILE] [--flight-capacity N]
+//!                  [--slow-ms N]
 //! sam-cli journal  compact DIR
 //! sam-cli workgen  synth [--profile FILE] [--seed N] [--count N] [--out FILE]
 //!                  [--label true] (--schema schema.json --data DIR |
@@ -49,6 +52,15 @@
 //! same offline. `train --checkpoint-dir DIR` snapshots training state
 //! every `--checkpoint-every` epochs; rerunning with identical flags
 //! resumes bit-for-bit. See `docs/SERVING.md` for the full operator guide.
+//!
+//! `serve` shadow-scores `--quality-sample` of answered estimates against
+//! the truth (exact when a model was loaded as `name=path=datadir`, f32
+//! backend parity otherwise) and serves drift stats at `GET /quality`;
+//! estimates whose Q-Error crosses `--quality-alert-qerror` are appended to
+//! `--quality-audit` as JSONL, which `workgen mine --seeds FILE` accepts
+//! directly. A `--flight-capacity`-event ring of recent requests backs
+//! `GET /debug/flight` and is dumped to stderr on a worker panic. See
+//! `docs/OBSERVABILITY.md`.
 //!
 //! The pipeline subcommands (`demo`, `train`, `generate`, `serve`) also
 //! accept `--log-level {silent,info,debug}` (structured span lines on
@@ -556,19 +568,39 @@ fn serve(args: &Args) -> Result<(), String> {
             0 => None, // 0 disables replay-time auto-compaction
             n => Some(n),
         },
+        quality_sample: args.num("quality-sample", 0.01f64)?,
+        quality_window: args.num("quality-window", 256usize)?,
+        quality_alert_qerror: args.num("quality-alert-qerror", 100.0f64)?,
+        quality_audit: args.get("quality-audit").map(PathBuf::from),
+        flight_capacity: args.num("flight-capacity", 512usize)?,
+        slow_query_ms: args.num("slow-ms", 250u64)?,
     };
     let journalled = config.journal_dir.is_some();
     let server = sam::serve::Server::start(config).map_err(|e| e.to_string())?;
     if let Some(models) = args.get("models") {
         for spec in models.split(',') {
-            let (name, path) = spec
-                .split_once('=')
-                .ok_or_else(|| format!("--models entries are name=path, got {spec:?}"))?;
+            // name=path loads the model alone; name=path=datadir also
+            // attaches the reference relations ({table}.csv under datadir)
+            // so the quality monitor scores in exact mode.
+            let mut parts = spec.splitn(3, '=');
+            let name = parts.next().unwrap_or_default().trim();
+            let path = parts.next().map(str::trim);
+            let data = parts.next().map(str::trim);
+            let Some(path) = path.filter(|p| !name.is_empty() && !p.is_empty()) else {
+                return Err(format!(
+                    "--models entries are name=path or name=path=datadir, got {spec:?}"
+                ));
+            };
             let version = server
                 .registry()
-                .load_file(name.trim(), path.trim())
+                .load_file_with_data(name, path, data)
                 .map_err(|e| e.to_string())?;
-            println!("loaded model {name} v{version} from {path}");
+            match data {
+                Some(dir) => {
+                    println!("loaded model {name} v{version} from {path} (reference data: {dir})")
+                }
+                None => println!("loaded model {name} v{version} from {path}"),
+            }
         }
     }
     // Replay after model loading: interrupted jobs re-bind to the model
@@ -833,9 +865,22 @@ fn workgen_load(args: &Args) -> Result<(), String> {
         config.duration.as_secs_f64(),
         config.addr
     );
+    // Bracket the run with server-side /metrics scrapes: the delta shows
+    // what the server saw (cache hits, panics, quality alerts) next to the
+    // client-side numbers. A failed scrape never fails the run.
+    let scrape_timeout = std::time::Duration::from_millis(config.timeout_ms.max(1));
+    let before = sam::workgen::scrape_server_counters(&config.addr, scrape_timeout);
     let report = sam::workgen::run_load(&trace, &config).map_err(|e| e.to_string())?;
+    let after = sam::workgen::scrape_server_counters(&config.addr, scrape_timeout);
     println!("{}", sam::workgen::LoadReport::markdown_header());
     println!("{}", report.markdown_row());
+    match (before, after) {
+        (Some(before), Some(after)) => {
+            println!();
+            println!("{}", after.delta(&before).markdown_section());
+        }
+        _ => eprintln!("note: /metrics scrape failed; no server-side delta section"),
+    }
     eprintln!(
         "completed {} of {} scheduled ({} socket errors; {} 2xx / {} 4xx / {} 5xx) in {:.2}s",
         report.completed,
