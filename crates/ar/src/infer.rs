@@ -7,13 +7,13 @@
 //! the normaliser times the mean path product.
 
 #![allow(clippy::needless_range_loop)]
+use crate::batch::SampleBatch;
 use crate::error::ArError;
 use crate::model::FrozenModel;
 use crate::model_schema::StepRule;
-use crate::trie::{PrefixTrie, OFF_TRIE};
+use crate::trie::PrefixTrie;
 use rand::Rng;
 use rand::SeedableRng;
-use sam_nn::Matrix;
 use sam_query::Query;
 
 /// Draw a category from an unnormalised weight row; returns `None` if the
@@ -75,59 +75,12 @@ fn obs_counters() -> &'static ObsCounters {
 }
 
 /// Per-request micro-batch state: resolved step rules plus the request's
-/// row window inside the stacked input matrix.
+/// row window inside the stacked sample batch.
 struct BatchSlot {
     request: usize,
     rules: Vec<StepRule>,
     start: usize,
     rows: usize,
-}
-
-/// Rows per rayon task in [`forward_row_parallel`]. Small enough that a
-/// default-sized micro-batch (8 × 64 paths) spans many cores, large enough
-/// that per-task overhead stays negligible.
-const PAR_FORWARD_ROWS: usize = 64;
-
-/// Network forward split into row blocks evaluated in parallel.
-///
-/// Both backbones process rows (sample paths) independently — MADE is
-/// row-wise matmul + activation, and the transformer attends only across
-/// column positions *within* a row — so the per-row arithmetic is exactly
-/// that of a single whole-matrix forward and the result is bit-identical.
-/// This is where micro-batching buys throughput: stacking many requests
-/// yields enough rows to occupy every core, which a lone low-path estimate
-/// cannot.
-fn forward_row_parallel(model: &FrozenModel, input: &Matrix) -> Matrix {
-    use rayon::prelude::*;
-    obs_counters().forwards.inc();
-    let rows = input.rows();
-    let width = input.cols();
-    if rows <= PAR_FORWARD_ROWS {
-        return model.net.forward(input);
-    }
-    let n_chunks = rows.div_ceil(PAR_FORWARD_ROWS);
-    let blocks: Vec<Matrix> = (0..n_chunks)
-        .into_par_iter()
-        .map(|c| {
-            let start = c * PAR_FORWARD_ROWS;
-            let end = (start + PAR_FORWARD_ROWS).min(rows);
-            let block = Matrix::from_vec(
-                end - start,
-                width,
-                input.data()[start * width..end * width].to_vec(),
-            );
-            model.net.forward(&block)
-        })
-        .collect();
-    let out_width = blocks[0].cols();
-    let mut out = Matrix::zeros(rows, out_width);
-    let mut at = 0usize;
-    for block in blocks {
-        let n = block.rows() * out_width;
-        out.data_mut()[at..at + n].copy_from_slice(block.data());
-        at += n;
-    }
-    out
 }
 
 /// Estimate several queries in one micro-batch, sharing each column's
@@ -171,6 +124,22 @@ pub fn estimate_cardinality_batch_shared<R: Rng>(
     rngs: &mut [R],
     trie: &mut PrefixTrie,
 ) -> Vec<Result<f64, ArError>> {
+    let mut batch = SampleBatch::new();
+    estimate_cardinality_batch_with(model, requests, rngs, trie, &mut batch)
+}
+
+/// [`estimate_cardinality_batch_shared`] against a caller-owned
+/// [`SampleBatch`] as well: the batch's activation/logits/probability
+/// buffers are reused across calls, so a steady-state serving loop performs
+/// no matrix allocations per request. The serving tier keeps one
+/// `SampleBatch` per model version alongside that version's shared trie.
+pub fn estimate_cardinality_batch_with<R: Rng>(
+    model: &FrozenModel,
+    requests: &[(&Query, usize)],
+    rngs: &mut [R],
+    trie: &mut PrefixTrie,
+    batch: &mut SampleBatch,
+) -> Vec<Result<f64, ArError>> {
     assert_eq!(
         requests.len(),
         rngs.len(),
@@ -178,7 +147,6 @@ pub fn estimate_cardinality_batch_shared<R: Rng>(
         requests.len(),
         rngs.len()
     );
-    let width = model.net.total_width();
     let n_cols = model.net.num_columns();
 
     let mut results: Vec<Option<Result<f64, ArError>>> = Vec::with_capacity(requests.len());
@@ -205,149 +173,71 @@ pub fn estimate_cardinality_batch_shared<R: Rng>(
         let obs = obs_counters();
         obs.requests.add(slots.len() as u64);
         obs.batch_rows.add(total_rows as u64);
-        let mut factors = vec![1.0f64; total_rows];
-        // Sampled codes per path so far — the forward input (as one-hot) and
-        // the off-trie dedup key.
-        let mut codes: Vec<Vec<u32>> = vec![Vec::with_capacity(n_cols); total_rows];
-        // Each path's trie node: always the node of its current code prefix
-        // (depth == column index), or OFF_TRIE past the node cap.
-        let mut node: Vec<usize> = vec![trie.root(); total_rows];
-
-        /// Where a live path reads column `i`'s conditionals from.
-        #[derive(Clone, Copy)]
-        enum Src {
-            /// Path already dead (or not yet classified).
-            Dead,
-            /// Served from the trie node's cached row (computed by an
-            /// earlier batch sharing this trie).
-            Cached,
-            /// Row of this column's freshly computed probability matrix.
-            Fresh(usize),
-        }
+        batch.reset(model, total_rows);
 
         for i in 0..n_cols {
             // Paths with identical code prefixes sit on the same trie node
             // and have identical one-hot inputs, hence identical
             // conditionals: the forward pass runs on distinct *uncached*
-            // prefixes only. Co-batched requests share prefixes (every path
-            // starts empty; similar queries stay overlapped for several
-            // columns) — the micro-batching throughput win — and prefixes
-            // cached by earlier batches on a shared trie skip the forward
-            // entirely. Values are unchanged either way: each path reads
-            // the same conditionals a per-path forward would give.
-            let (src, reps, any_live) = {
-                let mut src = vec![Src::Dead; total_rows];
-                let mut reps: Vec<usize> = Vec::new();
-                let mut uniq_node: std::collections::HashMap<usize, usize> =
-                    std::collections::HashMap::new();
-                let mut uniq_codes: std::collections::HashMap<&[u32], usize> =
-                    std::collections::HashMap::new();
-                let mut any_live = false;
-                let mut cached_hits = 0u64;
-                let mut dedup_hits = 0u64;
-                for r in 0..total_rows {
-                    if factors[r] == 0.0 {
-                        continue;
-                    }
-                    any_live = true;
-                    if trie.probs(node[r]).is_some() {
-                        src[r] = Src::Cached;
-                        cached_hits += 1;
-                        continue;
-                    }
-                    let next = reps.len();
-                    let idx = if node[r] != OFF_TRIE {
-                        *uniq_node.entry(node[r]).or_insert_with(|| {
-                            reps.push(r);
-                            next
-                        })
-                    } else {
-                        *uniq_codes.entry(codes[r].as_slice()).or_insert_with(|| {
-                            reps.push(r);
-                            next
-                        })
-                    };
-                    if idx != next {
-                        dedup_hits += 1;
-                    }
-                    src[r] = Src::Fresh(idx);
-                }
-                obs.dedup_hits.add(dedup_hits);
-                obs.trie_hits.add(cached_hits);
-                let stats = trie.stats_mut();
-                stats.dedup_hits += dedup_hits;
-                stats.cached_hits += cached_hits;
-                (src, reps, any_live)
-            };
-            if !any_live {
+            // prefixes only, selected by a batch row mask. Co-batched
+            // requests share prefixes (every path starts empty; similar
+            // queries stay overlapped for several columns) — the
+            // micro-batching throughput win — and prefixes cached by
+            // earlier batches on a shared trie skip the forward entirely.
+            // Values are unchanged either way: each path reads the same
+            // conditionals a per-path forward would give.
+            let summary = batch.begin_column(model, i, trie);
+            obs.dedup_hits.add(summary.dedup_hits);
+            obs.trie_hits.add(summary.cached_hits);
+            if summary.fresh_rows > 0 {
+                obs.forwards.inc();
+            }
+            if !summary.any_live {
                 // Every path died on an empty range; all estimates are 0.
                 break;
             }
 
-            let probs = if reps.is_empty() {
-                None
-            } else {
-                let mut input = Matrix::zeros(reps.len(), width);
-                for (u, &r) in reps.iter().enumerate() {
-                    for (j, &code) in codes[r].iter().enumerate() {
-                        input.set(u, model.net.offset(j) + code as usize, 1.0);
-                    }
-                }
-                let logits = forward_row_parallel(model, &input);
-                let stats = trie.stats_mut();
-                stats.forwards += 1;
-                stats.forward_rows += reps.len() as u64;
-                let p = model.net.conditional_probs(&logits, i);
-                for (u, &r) in reps.iter().enumerate() {
-                    trie.set_probs(node[r], p.row(u));
-                }
-                Some(p)
-            };
-
+            let d = model.net.domain_size(i);
             for slot in &slots {
                 let rng = &mut rngs[slot.request];
                 for r in slot.start..slot.start + slot.rows {
-                    if factors[r] == 0.0 {
+                    if !batch.is_live(r) {
                         continue;
                     }
-                    let p_row: &[f32] = match src[r] {
-                        Src::Dead => unreachable!("live path classified above"),
-                        Src::Cached => trie.probs(node[r]).expect("classified as cached"),
-                        Src::Fresh(u) => probs
-                            .as_ref()
-                            .expect("fresh rows imply a forward ran")
-                            .row(u),
-                    };
                     let code = match &slot.rules[i] {
-                        StepRule::Free => sample_weighted(p_row, rng).unwrap_or(0),
+                        StepRule::Free => {
+                            sample_weighted(batch.p_row(trie, r, d), rng).unwrap_or(0)
+                        }
                         StepRule::InRange(frac) => {
-                            let masked: Vec<f32> =
-                                p_row.iter().zip(frac).map(|(p, f)| p * f).collect();
+                            let masked: Vec<f32> = batch
+                                .p_row(trie, r, d)
+                                .iter()
+                                .zip(frac)
+                                .map(|(p, f)| p * f)
+                                .collect();
                             let mass: f32 = masked.iter().sum();
-                            factors[r] *= mass as f64;
+                            batch.scale_factor(r, mass as f64);
                             match sample_weighted(&masked, rng) {
                                 Some(c) => c,
                                 None => {
-                                    factors[r] = 0.0;
+                                    batch.kill(r);
                                     continue;
                                 }
                             }
                         }
                         StepRule::WeightBySampled(w) => {
-                            let code = sample_weighted(p_row, rng).unwrap_or(0);
-                            factors[r] *= w[code] as f64;
+                            let code = sample_weighted(batch.p_row(trie, r, d), rng).unwrap_or(0);
+                            batch.scale_factor(r, w[code] as f64);
                             code
                         }
                     };
-                    codes[r].push(code as u32);
-                    node[r] = trie.child(node[r], code as u32);
+                    batch.advance(trie, model, i, r, code as u32);
                 }
             }
         }
 
         for slot in &slots {
-            let window = &factors[slot.start..slot.start + slot.rows];
-            let mean = window.iter().sum::<f64>() / slot.rows as f64;
+            let mean = batch.mean_factor(slot.start, slot.rows);
             results[slot.request] = Some(Ok(mean * model.schema.normalizer()));
         }
     }

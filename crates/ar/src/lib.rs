@@ -9,6 +9,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod checkpoint;
 pub mod encoding;
 pub mod error;
@@ -20,16 +21,19 @@ pub mod sample;
 pub mod train;
 pub mod trie;
 
+pub use batch::SampleBatch;
 pub use checkpoint::CheckpointConfig;
 pub use encoding::ColumnEncoding;
 pub use error::ArError;
 pub use infer::{
     estimate_cardinality, estimate_cardinality_batch, estimate_cardinality_batch_shared,
-    estimate_dnf_cardinality,
+    estimate_cardinality_batch_with, estimate_dnf_cardinality,
 };
 pub use model::{ArModel, ArModelConfig, BoundNet, FrozenModel, FrozenNet, Net, TransformerDims};
 pub use model_schema::{ArColumn, ArColumnKind, ArSchema, EncodingOptions, StepRule};
 pub use persist::{load_model, load_model_file, save_model, save_model_file};
-pub use sample::{sample_batch, sample_model_rows, sample_model_rows_range, ModelRow};
+pub use sample::{
+    sample_batch, sample_batch_with, sample_model_rows, sample_model_rows_range, ModelRow,
+};
 pub use train::{train, TrainConfig, TrainReport};
 pub use trie::{PrefixTrie, TrieStats};

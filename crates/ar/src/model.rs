@@ -212,11 +212,79 @@ impl FrozenNet {
         }
     }
 
+    /// Batch-major forward with an optional row-liveness mask: only rows
+    /// with `live[r] == true` are forwarded and written in `out`;
+    /// masked-out rows are left untouched. Per-row results are bit-identical
+    /// to an unmasked forward (rows are independent in both backbones). The
+    /// Transformer backbone has no masked kernels and falls back to
+    /// gather→forward→scatter.
+    pub fn forward_batch_into(&self, input: &Matrix, live: Option<&[bool]>, out: &mut Matrix) {
+        match self {
+            FrozenNet::Made(m) => m.forward_batch_into(input, live, out),
+            FrozenNet::Transformer(t) => match live {
+                None => *out = t.forward(input),
+                Some(mask) => {
+                    let rows: Vec<usize> = mask
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(r, &m)| m.then_some(r))
+                        .collect();
+                    if rows.is_empty() {
+                        return;
+                    }
+                    let mut compact = Matrix::zeros(rows.len(), input.cols());
+                    for (c, &r) in rows.iter().enumerate() {
+                        compact.row_mut(c).copy_from_slice(input.row(r));
+                    }
+                    let compact_out = t.forward(&compact);
+                    for (c, &r) in rows.iter().enumerate() {
+                        out.row_mut(r).copy_from_slice(compact_out.row(c));
+                    }
+                }
+            },
+        }
+    }
+
     /// Row-wise softmax of column `i`'s logit block.
     pub fn conditional_probs(&self, logits: &Matrix, i: usize) -> Matrix {
         match self {
             FrozenNet::Made(m) => m.conditional_probs(logits, i),
             FrozenNet::Transformer(t) => t.conditional_probs(logits, i),
+        }
+    }
+
+    /// Row-wise softmax of column `i`'s logit block for masked rows only,
+    /// written into the leading `domain_size(i)` columns of the same rows
+    /// of `out` (a `rows × max_domain` buffer). Masked-out rows are left
+    /// untouched. The per-row arithmetic is exactly that of
+    /// [`conditional_probs`](Self::conditional_probs) — both backbones use
+    /// the identical softmax loop — so masked rows are bit-identical to an
+    /// unmasked call.
+    pub fn conditional_probs_masked_into(
+        &self,
+        logits: &Matrix,
+        i: usize,
+        live: &[bool],
+        out: &mut Matrix,
+    ) {
+        let off = self.offset(i);
+        let d = self.domain_size(i);
+        debug_assert!(out.cols() >= d);
+        for (r, &row_live) in live.iter().enumerate().take(logits.rows()) {
+            if !row_live {
+                continue;
+            }
+            let row = &logits.row(r)[off..off + d];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            let dst = &mut out.row_mut(r)[..d];
+            for (o, &v) in dst.iter_mut().zip(row) {
+                let e = (v - m).exp();
+                *o = e;
+                sum += e;
+            }
+            let inv = 1.0 / sum.max(f32::MIN_POSITIVE);
+            dst.iter_mut().for_each(|o| *o *= inv);
         }
     }
 

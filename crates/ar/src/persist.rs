@@ -107,7 +107,7 @@ struct MatrixDto {
 struct LayoutDto {
     /// On-disk weight element encoding; `"f32"` is the only value written.
     weights: String,
-    /// Preferred inference backend (`"f32"` / `"f16"`).
+    /// Preferred inference backend (`"f32"` / `"f16"` / `"int8"`).
     backend: String,
 }
 
@@ -491,5 +491,16 @@ mod tests {
         )
         .unwrap();
         assert_eq!(a, b);
+
+        // The quantised kernel round-trips the same way: weights on disk
+        // stay f32, only the preferred-backend tag changes.
+        let int8 = load_model(&json)
+            .unwrap()
+            .0
+            .with_backend(sam_nn::BackendKind::Int8Blocked);
+        let json = save_model(&int8, db.schema());
+        assert!(json.contains("\"backend\":\"int8\""));
+        let (reloaded, _) = load_model(&json).unwrap();
+        assert_eq!(reloaded.backend_kind(), sam_nn::BackendKind::Int8Blocked);
     }
 }

@@ -4,12 +4,12 @@
 //! batched; the paper notes the process is *embarrassingly parallel* (GPU
 //! batching in the original) — here batches run across CPU cores via rayon.
 
+use crate::batch::SampleBatch;
 use crate::infer::sample_weighted;
 use crate::model::FrozenModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
-use sam_nn::Matrix;
 
 /// One sampled full-outer-join row: a model bin code per model column.
 pub type ModelRow = Vec<u32>;
@@ -43,33 +43,47 @@ pub fn sample_model_rows_range(
     let batch = batch.max(1);
     let n_batches = count.div_ceil(batch);
     let batches = batches.start.min(n_batches)..batches.end.min(n_batches);
+    // One `SampleBatch` per rayon worker: steady-state generation reuses its
+    // activation/logits/probability buffers across every batch the worker
+    // draws instead of allocating three matrices per batch.
     batches
         .into_par_iter()
-        .flat_map_iter(|b| {
+        .map_init(SampleBatch::new, |scratch, b| {
             let rows = batch.min(count - b * batch);
             let mut rng =
                 StdRng::seed_from_u64(seed ^ (b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            sample_batch(model, rows, &mut rng)
+            sample_batch_with(model, rows, &mut rng, scratch)
         })
+        .flatten_iter()
         .collect()
 }
 
 /// Sample one batch of rows sequentially (used directly by tests and by the
 /// parallel driver above).
 pub fn sample_batch(model: &FrozenModel, rows: usize, rng: &mut StdRng) -> Vec<ModelRow> {
-    let width = model.net.total_width();
+    sample_batch_with(model, rows, rng, &mut SampleBatch::new())
+}
+
+/// [`sample_batch`] against caller-owned [`SampleBatch`] scratch, so a
+/// driver looping over many batches reuses the matrix buffers. Output is
+/// independent of the scratch's history (it is fully reset per call).
+pub fn sample_batch_with(
+    model: &FrozenModel,
+    rows: usize,
+    rng: &mut StdRng,
+    scratch: &mut SampleBatch,
+) -> Vec<ModelRow> {
     let n_cols = model.net.num_columns();
-    let mut input = Matrix::zeros(rows, width);
-    let mut logits = Matrix::zeros(rows, width);
+    scratch.reset_dense(model, rows);
     let mut out = vec![vec![0u32; n_cols]; rows];
     for i in 0..n_cols {
-        model.net.forward_into(&input, &mut logits);
-        let probs = model.net.conditional_probs(&logits, i);
+        scratch.forward_column_dense(model, i);
+        let d = model.net.domain_size(i);
         let offset = model.net.offset(i);
         for (r, row) in out.iter_mut().enumerate() {
-            let code = sample_weighted(probs.row(r), rng).unwrap_or(0);
+            let code = sample_weighted(scratch.dense_probs_row(r, d), rng).unwrap_or(0);
             row[i] = code as u32;
-            input.set(r, offset + code, 1.0);
+            scratch.set_input_onehot(r, offset + code);
         }
     }
     out

@@ -74,6 +74,9 @@ impl Default for PrefixTrie {
 }
 
 impl PrefixTrie {
+    /// The root node id (empty prefix); node ids index the node vector.
+    pub(crate) const ROOT: usize = 0;
+
     /// An empty trie (root only) with the default node cap.
     pub fn new() -> Self {
         Self::with_node_cap(DEFAULT_NODE_CAP)
@@ -89,8 +92,9 @@ impl PrefixTrie {
     }
 
     /// The root node (empty prefix).
+    #[cfg(test)]
     pub(crate) fn root(&self) -> usize {
-        0
+        Self::ROOT
     }
 
     /// Node count (root included).
@@ -152,6 +156,98 @@ impl PrefixTrie {
             self.nodes[node].probs = Some(probs.into());
         }
     }
+
+    /// Classify every live batch row for one column in a single pass,
+    /// expressing trie hits and within-batch dedup as row masks over the
+    /// batch (see [`ColumnMasks`]) instead of scatter/gather index vectors.
+    /// Rows whose node already carries cached conditionals are marked
+    /// `cached`; the first live row of each remaining prefix group becomes
+    /// its `fresh` representative (taking the forward row), and every later
+    /// member points at it through `rep`. On-trie groups key by node id,
+    /// off-trie ones by their raw code prefix. Trie-level cost counters are
+    /// updated here; the summary carries the same counts back to the caller
+    /// for process-wide metrics.
+    pub(crate) fn classify_column(
+        &mut self,
+        factors: &[f64],
+        node: &[usize],
+        codes: &[Vec<u32>],
+        masks: &mut ColumnMasks,
+    ) -> ColumnSummary {
+        masks.reset(factors.len());
+        let mut uniq_node: HashMap<usize, usize> = HashMap::new();
+        let mut uniq_codes: HashMap<&[u32], usize> = HashMap::new();
+        let mut summary = ColumnSummary::default();
+        for r in 0..factors.len() {
+            if factors[r] == 0.0 {
+                continue;
+            }
+            summary.any_live = true;
+            if self.probs(node[r]).is_some() {
+                masks.cached[r] = true;
+                summary.cached_hits += 1;
+                continue;
+            }
+            let rep = if node[r] != OFF_TRIE {
+                *uniq_node.entry(node[r]).or_insert(r)
+            } else {
+                *uniq_codes.entry(codes[r].as_slice()).or_insert(r)
+            };
+            masks.rep[r] = rep;
+            if rep == r {
+                masks.fresh[r] = true;
+                summary.fresh_rows += 1;
+            } else {
+                summary.dedup_hits += 1;
+            }
+        }
+        self.stats.dedup_hits += summary.dedup_hits;
+        self.stats.cached_hits += summary.cached_hits;
+        summary
+    }
+}
+
+/// Row-mask view of one column's batch classification, refilled in place by
+/// [`PrefixTrie::classify_column`] each column. The buffers live in a
+/// `SampleBatch` and are reused across columns and calls — the batch-major
+/// replacement for the per-column scatter/gather vectors the estimator used
+/// to rebuild.
+#[derive(Debug, Default)]
+pub(crate) struct ColumnMasks {
+    /// `fresh[r]`: row `r` represents its prefix group this column and
+    /// takes a forward row.
+    pub(crate) fresh: Vec<bool>,
+    /// `cached[r]`: row `r` reads conditionals an earlier batch cached on
+    /// its trie node.
+    pub(crate) cached: Vec<bool>,
+    /// `rep[r]`: the batch row whose freshly computed conditionals row `r`
+    /// reads (`rep[r] == r` for representatives; meaningful only for live,
+    /// uncached rows).
+    pub(crate) rep: Vec<usize>,
+}
+
+impl ColumnMasks {
+    fn reset(&mut self, rows: usize) {
+        self.fresh.clear();
+        self.fresh.resize(rows, false);
+        self.cached.clear();
+        self.cached.resize(rows, false);
+        self.rep.clear();
+        self.rep.resize(rows, 0);
+    }
+}
+
+/// Counts from one [`PrefixTrie::classify_column`] pass.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct ColumnSummary {
+    /// At least one row still has non-zero factor.
+    pub(crate) any_live: bool,
+    /// Rows marked fresh (the forward row count for this column).
+    pub(crate) fresh_rows: u64,
+    /// Live rows served from trie-cached conditionals.
+    pub(crate) cached_hits: u64,
+    /// Live rows deduped onto an in-batch representative.
+    pub(crate) dedup_hits: u64,
 }
 
 #[cfg(test)]

@@ -1,8 +1,9 @@
 //! Inference-backend microbenchmarks: the f32 reference kernel vs the
-//! blocked half-precision kernel, at the raw forward level and end-to-end
-//! through progressive sampling, plus the prefix-trie sharing ablation
-//! (fresh trie per batch vs a warm persistent trie). Numbers from this
-//! bench feed the backend table in EXPERIMENTS.md.
+//! blocked half-precision and per-block-quantised int8 kernels, at the raw
+//! forward level (single-row and batch-major), end-to-end through
+//! progressive sampling, plus the prefix-trie sharing ablation (fresh trie
+//! per batch vs a warm persistent trie). Numbers from this bench feed the
+//! backend table in EXPERIMENTS.md.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -15,7 +16,11 @@ use sam_nn::{BackendKind, Made, MadeConfig, Matrix, ParamStore};
 use sam_query::{Query, WorkloadGenerator};
 use sam_storage::DatabaseStats;
 
-const BACKENDS: [BackendKind; 2] = [BackendKind::ReferenceF32, BackendKind::BlockedF16];
+const BACKENDS: [BackendKind; 3] = [
+    BackendKind::ReferenceF32,
+    BackendKind::BlockedF16,
+    BackendKind::Int8Blocked,
+];
 
 /// Raw `FrozenMade::forward` throughput on a MADE big enough for the
 /// blocked kernel's cache behaviour to matter (width 520, hidden 256×2).
@@ -53,6 +58,42 @@ fn bench_forward(c: &mut Criterion) {
     group.finish();
 }
 
+/// Batch-major forward throughput: one matrix–matrix call over S live
+/// sample rows, per kernel × batch size — the inner loop of batch-major
+/// estimation. A ~30%-dead live mask mimics mid-query path die-off.
+fn bench_forward_batch(c: &mut Criterion) {
+    let domains = vec![64usize, 128, 200, 128];
+    let width: usize = domains.iter().sum();
+    let mut store = ParamStore::new();
+    let made = Made::new(
+        MadeConfig::new(domains.clone(), vec![256, 256], 11),
+        &mut store,
+    );
+
+    let mut group = c.benchmark_group("frozen_forward_batch");
+    group.sample_size(30);
+    for kind in BACKENDS {
+        let frozen = made.freeze_with(&store, kind);
+        for rows in [8usize, 64, 256] {
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut input = Matrix::zeros(rows, width);
+            for r in 0..rows {
+                let mut off = 0;
+                for &d in &domains {
+                    input.set(r, off + rng.gen_range(0..d), 1.0);
+                    off += d;
+                }
+            }
+            let live: Vec<bool> = (0..rows).map(|r| r % 3 != 2).collect();
+            let mut out = Matrix::zeros(rows, width);
+            group.bench_with_input(BenchmarkId::new(kind.name(), rows), &rows, |b, _| {
+                b.iter(|| frozen.forward_batch_into(&input, Some(&live), &mut out))
+            });
+        }
+    }
+    group.finish();
+}
+
 fn census_model() -> (ArModel, Vec<Query>) {
     let db = sam_datasets::census(2_000, 2);
     let stats = DatabaseStats::from_database(&db);
@@ -63,7 +104,7 @@ fn census_model() -> (ArModel, Vec<Query>) {
     let model = ArModel::new(
         schema,
         &ArModelConfig {
-            hidden: vec![64, 64],
+            hidden: vec![128, 128],
             seed: 2,
             residual: false,
             transformer: None,
@@ -119,5 +160,11 @@ fn bench_trie_sharing(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_forward, bench_estimate, bench_trie_sharing);
+criterion_group!(
+    benches,
+    bench_forward,
+    bench_forward_batch,
+    bench_estimate,
+    bench_trie_sharing
+);
 criterion_main!(benches);

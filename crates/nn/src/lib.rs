@@ -19,7 +19,7 @@ pub mod transformer;
 
 pub use backend::{
     f16_bits_to_f32, f32_to_f16_bits, BackendKind, BlockedF16, FrozenLayers, InferenceBackend,
-    ReferenceF32,
+    Int8Blocked, ReferenceF32,
 };
 pub use gumbel::{gumbel_noise, gumbel_softmax, log_mask, NEG_LARGE};
 pub use made::{BoundMade, FrozenMade, Made, MadeConfig};

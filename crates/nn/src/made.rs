@@ -369,6 +369,15 @@ impl FrozenMade {
         self.backend.forward_into(input, out);
     }
 
+    /// Batch-major forward with an optional row-liveness mask: only rows
+    /// with `live[r] == true` are forwarded and written in `out`;
+    /// masked-out rows are left untouched (see
+    /// [`InferenceBackend::forward_batch_into`]). Per-row results are
+    /// bit-identical to an unmasked forward.
+    pub fn forward_batch_into(&self, input: &Matrix, live: Option<&[bool]>, out: &mut Matrix) {
+        self.backend.forward_batch_into(input, live, out);
+    }
+
     /// Row-wise softmax of column `i`'s logit block.
     pub fn conditional_probs(&self, logits: &Matrix, i: usize) -> Matrix {
         let off = self.offsets[i];

@@ -2,7 +2,7 @@
 //! the matrix kernels, randomized gradient checks of the tape, MADE's
 //! autoregressive invariant under random configurations, and inference
 //! backend parity (the `ReferenceF32` bit-match lock and the `BlockedF16`
-//! tolerance bound).
+//! / `Int8Blocked` tolerance bounds).
 
 use proptest::prelude::*;
 use sam_nn::{BackendKind, FrozenMade, Made, MadeConfig, Matrix, ParamStore, Tape};
@@ -179,9 +179,10 @@ proptest! {
     }
 
     /// `ReferenceF32` bit-matches the pre-refactor forward loop and stays
-    /// within float tolerance of the tape-bound training forward, and
-    /// `BlockedF16` stays within its half-precision tolerance — all on
-    /// random model shapes, seeds, and residual settings.
+    /// within float tolerance of the tape-bound training forward,
+    /// `BlockedF16` stays within its half-precision tolerance, and
+    /// `Int8Blocked` within its stated per-block-quantisation tolerance —
+    /// all on random model shapes, seeds, and residual settings.
     #[test]
     fn backend_parity(
         domains in prop::collection::vec(2usize..5, 2..5),
@@ -225,6 +226,18 @@ proptest! {
         for (x, y) in reference.data().iter().zip(half.data()) {
             let tol = 2e-2 * (1.0 + x.abs());
             prop_assert!((x - y).abs() <= tol, "f32 {} vs f16 {}", x, y);
+        }
+
+        // (d) Int8Blocked within its stated logit tolerance: per-block
+        // symmetric quantisation bounds each weight's error by
+        // max|block| / 254, which across these layer widths stays inside a
+        // 1e-1 relative envelope.
+        let int8 = frozen.with_backend(BackendKind::Int8Blocked);
+        prop_assert_eq!(int8.backend_kind(), BackendKind::Int8Blocked);
+        let quant = int8.forward(&input);
+        for (x, y) in reference.data().iter().zip(quant.data()) {
+            let tol = 1e-1 * (1.0 + x.abs());
+            prop_assert!((x - y).abs() <= tol, "f32 {} vs int8 {}", x, y);
         }
     }
 

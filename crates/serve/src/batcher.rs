@@ -6,9 +6,10 @@
 //! each worker blocks for one request, then opportunistically drains up to
 //! `max_batch - 1` more without waiting, groups the drained requests by model,
 //! and runs one batched progressive-sampling pass per group over the model
-//! entry's shared prefix trie
-//! ([`sam_ar::estimate_cardinality_batch_shared`]), so conditionals cached
-//! by earlier batches of the same model version are reused. Batched
+//! entry's shared prefix trie and reusable sample batch
+//! ([`sam_ar::estimate_cardinality_batch_with`]), so conditionals cached by
+//! earlier batches of the same model version are reused and steady-state
+//! flushes allocate no activation matrices. Batched
 //! estimates are bit-identical to sequential ones (each request keeps its
 //! own seeded RNG), so batching is invisible to clients except in
 //! throughput.
@@ -22,7 +23,7 @@ use crate::registry::ModelEntry;
 use crate::sync::Lock;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sam_ar::estimate_cardinality_batch_shared;
+use sam_ar::estimate_cardinality_batch_with;
 use sam_query::Query;
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
@@ -183,11 +184,20 @@ fn run_group(
         let entry = &group[0].entry;
         // The entry's trie persists across batches of this model version,
         // so conditionals computed for earlier requests are reused here
-        // (bit-identical results, strictly fewer forward passes). Holding
-        // the lock across the pass serialises same-version groups; distinct
-        // versions still estimate concurrently.
+        // (bit-identical results, strictly fewer forward passes), and the
+        // entry's SampleBatch keeps the activation/logits buffers warm so
+        // steady-state flushes allocate no matrices. Holding the locks
+        // across the pass serialises same-version groups; distinct versions
+        // still estimate concurrently.
         let mut trie = entry.trie.lock();
-        estimate_cardinality_batch_shared(entry.trained.model(), &requests, &mut rngs, &mut trie)
+        let mut batch = entry.batch.lock();
+        estimate_cardinality_batch_with(
+            entry.trained.model(),
+            &requests,
+            &mut rngs,
+            &mut trie,
+            &mut batch,
+        )
     }));
     let results = match results {
         Ok(results) => results,

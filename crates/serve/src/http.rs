@@ -47,6 +47,11 @@ pub struct Request {
     /// lowercased, in client order, `q=0` entries dropped). Empty when the
     /// header is absent — responses must then be sent identity-coded.
     pub accept_encoding: Vec<String>,
+    /// First byte offset of a `Range: bytes=N-` header (the
+    /// resume-a-download form). Only this open-ended single-range shape is
+    /// honoured; any other `Range` value is ignored per RFC 9110 (the
+    /// server may then answer 200 with the full representation).
+    pub range_start: Option<u64>,
 }
 
 impl Request {
@@ -55,6 +60,17 @@ impl Request {
     pub fn accepts_encoding(&self, coding: &str) -> bool {
         self.accept_encoding.iter().any(|t| t == coding || t == "*")
     }
+}
+
+/// Parse a `Range` header value of the open-ended single-range form
+/// `bytes=N-` into `N`. Every other shape (closed ranges, suffix ranges,
+/// multiple ranges, non-byte units) yields `None` — the caller then serves
+/// the full representation, which RFC 9110 permits for any `Range` a server
+/// chooses not to honour.
+fn parse_range_start(value: &str) -> Option<u64> {
+    let spec = value.trim().strip_prefix("bytes=")?;
+    let start = spec.strip_suffix('-')?;
+    start.trim().parse::<u64>().ok()
 }
 
 /// Parse an `Accept-Encoding` header value into accepted coding tokens
@@ -121,6 +137,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, Serve
     // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
     let mut keep_alive = !http10;
     let mut accept_encoding = Vec::new();
+    let mut range_start = None;
     let mut header_bytes = 0usize;
     loop {
         let mut header = String::new();
@@ -153,6 +170,8 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, Serve
                 keep_alive = if close { false } else { ka || !http10 };
             } else if name.eq_ignore_ascii_case("accept-encoding") {
                 accept_encoding = parse_accept_encoding(value);
+            } else if name.eq_ignore_ascii_case("range") {
+                range_start = parse_range_start(value);
             }
         }
     }
@@ -172,6 +191,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, Serve
         body,
         keep_alive,
         accept_encoding,
+        range_start,
     }))
 }
 
@@ -195,12 +215,35 @@ pub fn write_json_response<W: Write>(
     body: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    write_json_response_with_headers(out, status, body, &[], keep_alive)
+}
+
+/// [`write_json_response`] with additional response headers (name, value)
+/// — e.g. the `Content-Range: bytes */N` a 416 answer carries.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_json_response_with_headers<W: Write>(
+    out: &mut W,
+    status: u16,
+    body: &str,
+    extra_headers: &[(&str, &str)],
+    keep_alive: bool,
+) -> std::io::Result<()> {
     write!(
         out,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{body}",
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
         reason(status),
         body.len(),
-        connection_token(keep_alive),
+    )?;
+    for (name, value) in extra_headers {
+        write!(out, "{name}: {value}\r\n")?;
+    }
+    write!(
+        out,
+        "Connection: {}\r\n\r\n{body}",
+        connection_token(keep_alive)
     )?;
     out.flush()
 }
@@ -256,6 +299,32 @@ pub fn write_chunked_header_encoded<W: Write>(
     content_encoding: Option<&str>,
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    write_chunked_headers(
+        out,
+        status,
+        content_type,
+        content_encoding,
+        None,
+        keep_alive,
+    )
+}
+
+/// Like [`write_chunked_header_encoded`], additionally carrying a
+/// `Content-Range` header for 206 partial-content streams (ranged
+/// responses are always identity-coded, so the two options are mutually
+/// exclusive in practice).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_chunked_headers<W: Write>(
+    out: &mut W,
+    status: u16,
+    content_type: &str,
+    content_encoding: Option<&str>,
+    content_range: Option<&str>,
+    keep_alive: bool,
+) -> std::io::Result<()> {
     write!(
         out,
         "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n",
@@ -266,6 +335,9 @@ pub fn write_chunked_header_encoded<W: Write>(
             out,
             "Content-Encoding: {coding}\r\nVary: Accept-Encoding\r\n"
         )?;
+    }
+    if let Some(range) = content_range {
+        write!(out, "Content-Range: {range}\r\n")?;
     }
     write!(
         out,
@@ -384,9 +456,11 @@ pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         202 => "Accepted",
+        206 => "Partial Content",
         400 => "Bad Request",
         404 => "Not Found",
         409 => "Conflict",
+        416 => "Range Not Satisfiable",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -485,6 +559,31 @@ mod tests {
         write_chunked_header(&mut out, 200, "text/csv", false).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(!text.contains("Content-Encoding"));
+    }
+
+    #[test]
+    fn parses_resume_range_and_ignores_other_shapes() {
+        let req = read_request(&mut Cursor::new(
+            "GET /jobs/1/export HTTP/1.1\r\nRange: bytes=1024-\r\n\r\n",
+        ))
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.range_start, Some(1024));
+        for other in [
+            "bytes=0-99",  // closed range
+            "bytes=-500",  // suffix range
+            "bytes=1-,5-", // multiple ranges
+            "items=3-",    // non-byte unit
+            "garbage",
+        ] {
+            let raw = format!("GET / HTTP/1.1\r\nRange: {other}\r\n\r\n");
+            let req = read_request(&mut Cursor::new(raw)).unwrap().unwrap();
+            assert_eq!(req.range_start, None, "shape {other:?} must be ignored");
+        }
+        let plain = read_request(&mut Cursor::new("GET / HTTP/1.1\r\n\r\n"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(plain.range_start, None);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use crate::error::ServeError;
 use crate::sync::{Lock, RwLock};
-use sam_ar::{PrefixTrie, TrainReport};
+use sam_ar::{PrefixTrie, SampleBatch, TrainReport};
 use sam_core::{Sam, TrainedSam};
 use sam_nn::BackendKind;
 use sam_storage::{csv::read_csv, Database, Table};
@@ -30,6 +30,12 @@ pub struct ModelEntry {
     /// invalidation needed, because cached conditionals are pure functions
     /// of this version's weights.
     pub trie: Lock<PrefixTrie>,
+    /// Reusable batch-major sample state for this model version: the
+    /// batcher stacks each flush's requests into it, so steady-state
+    /// serving performs no activation/logits matrix allocations. Like the
+    /// trie, it lives on the entry so a hot swap starts fresh buffers
+    /// sized for the new model.
+    pub batch: Lock<SampleBatch>,
     /// The relations this model was trained to represent, when the
     /// operator attached them (the `data` field of `POST /models`, or the
     /// third part of a `--models name=path=datadir` spec). With reference
@@ -108,6 +114,7 @@ impl ModelRegistry {
                 version,
                 trained: Arc::new(trained),
                 trie: Lock::new(PrefixTrie::new()),
+                batch: Lock::new(SampleBatch::new()),
                 reference,
             }),
         );

@@ -495,6 +495,13 @@ impl ExportFormat {
     }
 }
 
+/// Byte window of a ranged export: resume streaming at `start` of a
+/// `total`-byte identity serialization.
+struct ExportRange {
+    start: u64,
+    total: u64,
+}
+
 /// What a route handler produced: a JSON document, a preformatted text
 /// body (the Prometheus exposition), or a streamed relation export.
 enum Reply {
@@ -502,12 +509,19 @@ enum Reply {
     Text(u16, String),
     /// Stream one table of a job's result database as a chunked body in
     /// the given format, optionally compressed with the negotiated content
-    /// coding.
+    /// coding. With `range` set, only the byte suffix from `range.start`
+    /// goes out (206, identity-coded).
     Export {
         db: Arc<Database>,
         table_index: usize,
         format: ExportFormat,
         coding: Option<Coding>,
+        range: Option<ExportRange>,
+    },
+    /// `Range` start at or past the end of the representation: 416 with
+    /// the representation length in `Content-Range: bytes */total`.
+    RangeNotSatisfiable {
+        total: u64,
     },
 }
 
@@ -612,7 +626,9 @@ fn handle_connection(stream: &TcpStream, state: &Arc<ServerState>) {
         };
         let status = match &reply {
             Reply::Json(status, _) | Reply::Text(status, _) => *status,
-            Reply::Export { .. } => 200,
+            Reply::Export { range: None, .. } => 200,
+            Reply::Export { range: Some(_), .. } => 206,
+            Reply::RangeNotSatisfiable { .. } => 416,
         };
         let mut writer = stream;
         let io = match reply {
@@ -628,15 +644,30 @@ fn handle_connection(stream: &TcpStream, state: &Arc<ServerState>) {
                 table_index,
                 format,
                 coding,
+                range,
             } => stream_export(
                 &mut writer,
                 &db,
                 table_index,
                 format,
                 coding,
+                range,
                 keep_alive,
                 state,
             ),
+            Reply::RangeNotSatisfiable { total } => {
+                let body = serde_json::to_string(&json!({
+                    "error": format!("range start beyond representation end ({total} bytes)"),
+                }))
+                .unwrap_or_else(|_| "{}".to_string());
+                http::write_json_response_with_headers(
+                    &mut writer,
+                    416,
+                    &body,
+                    &[("Content-Range", &format!("bytes */{total}"))],
+                    keep_alive,
+                )
+            }
         };
         // Flight events include response-write time: that's the latency the
         // client saw, which is what a post-mortem cares about.
@@ -675,32 +706,50 @@ fn handle_connection(stream: &TcpStream, state: &Arc<ServerState>) {
 /// truncation). Compression composes with the bounded-chunk writer: rows →
 /// [`Encoder`] (64 KiB compression blocks) → [`ChunkedWriter`] (64 KiB
 /// transfer chunks) → socket, so memory stays bounded either way.
+#[allow(clippy::too_many_arguments)]
 fn stream_export(
     writer: &mut &TcpStream,
     db: &Database,
     table_index: usize,
     format: ExportFormat,
     coding: Option<Coding>,
+    range: Option<ExportRange>,
     keep_alive: bool,
     state: &ServerState,
 ) -> std::io::Result<()> {
     let table = &db.tables()[table_index];
     let mut span = sam_obs::span!("export", table = table.name(), rows = table.num_rows());
-    http::write_chunked_header_encoded(
+    let content_range = range
+        .as_ref()
+        .map(|r| format!("bytes {}-{}/{}", r.start, r.total - 1, r.total));
+    http::write_chunked_headers(
         writer,
-        200,
+        if range.is_some() { 206 } else { 200 },
         format.content_type(),
         coding.map(Coding::token),
+        content_range.as_deref(),
         keep_alive,
     )?;
     let mut chunked = ChunkedWriter::new(writer);
-    match coding {
-        Some(coding) => {
+    match (coding, range) {
+        (Some(coding), _) => {
+            // The router never negotiates a coding for ranged requests.
             let mut encoder = Encoder::new(chunked, coding);
             write_rows(table, format, &mut encoder)?;
             chunked = encoder.finish()?;
         }
-        None => {
+        (None, Some(r)) => {
+            // Resume: re-serialize deterministically, dropping the bytes
+            // the client already holds. Row serialization is a pure
+            // function of the stored table, so the suffix lines up exactly
+            // with the interrupted stream's.
+            let mut skip = SkipWriter {
+                inner: &mut chunked,
+                remaining: r.start,
+            };
+            write_rows(table, format, &mut skip)?;
+        }
+        (None, None) => {
             write_rows(table, format, &mut chunked)?;
         }
     }
@@ -721,6 +770,52 @@ fn write_rows<W: std::io::Write>(
     match format {
         ExportFormat::Csv => write_csv(table, out),
         ExportFormat::Jsonl => write_jsonl(table, out),
+    }
+}
+
+/// Byte length of `table`'s identity serialization in `format` — the
+/// counting pre-pass a ranged export needs to validate the offset and fill
+/// `Content-Range`, without buffering the representation.
+fn serialized_len(table: &Table, format: ExportFormat) -> std::io::Result<u64> {
+    let mut counter = CountingWriter(0);
+    write_rows(table, format, &mut counter)?;
+    Ok(counter.0)
+}
+
+/// [`Write`] sink that only counts.
+struct CountingWriter(u64);
+
+impl std::io::Write for CountingWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0 += buf.len() as u64;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// [`Write`] adapter that discards the first `remaining` bytes and forwards
+/// the rest — how a ranged export resumes mid-representation while the rows
+/// are re-serialized from the start.
+struct SkipWriter<'a, W: std::io::Write> {
+    inner: &'a mut W,
+    remaining: u64,
+}
+
+impl<W: std::io::Write> std::io::Write for SkipWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let skip = self.remaining.min(buf.len() as u64) as usize;
+        self.remaining -= skip as u64;
+        if skip < buf.len() {
+            self.inner.write_all(&buf[skip..])?;
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
     }
 }
 
@@ -891,6 +986,14 @@ fn loglevel_route(body: &str) -> Result<(u16, Value), ServeError> {
 /// content coding the client accepts (gzip preferred over deflate; identity
 /// when the client sent no `Accept-Encoding`); the connection handler does
 /// the actual streaming.
+///
+/// A `Range: bytes=N-` header resumes an interrupted download of a
+/// completed job: the response is `206 Partial Content` with
+/// `Content-Range: bytes N-(total-1)/total`, carrying exactly the byte
+/// suffix of the identity serialization (row output is deterministic, so
+/// the suffix continues the interrupted stream bit-for-bit). Ranges
+/// address identity bytes, so ranged responses ignore `Accept-Encoding`.
+/// `N` at or past the end is `416` with `Content-Range: bytes */total`.
 fn export_route(
     state: &ServerState,
     request: &Request,
@@ -914,13 +1017,6 @@ fn export_route(
             )))
         }
     };
-    let coding = if request.accepts_encoding("gzip") {
-        Some(Coding::Gzip)
-    } else if request.accepts_encoding("deflate") {
-        Some(Coding::Deflate)
-    } else {
-        None
-    };
     let db = record.result_database().ok_or_else(|| {
         ServeError::Conflict(format!(
             "job {id} is not done (state: {})",
@@ -934,11 +1030,36 @@ fn export_route(
         .iter()
         .position(|t| t.name() == relation)
         .ok_or_else(|| ServeError::NotFound(format!("relation '{relation}' in job {id}")))?;
+    let range = match request.range_start {
+        Some(start) => {
+            let total = serialized_len(&db.tables()[table_index], format).map_err(|e| {
+                ServeError::Internal(format!("cannot size export of '{relation}': {e}"))
+            })?;
+            if start >= total {
+                return Ok(Reply::RangeNotSatisfiable { total });
+            }
+            Some(ExportRange { start, total })
+        }
+        None => None,
+    };
+    // Byte ranges address the identity representation; a per-request
+    // compression stream has no stable offsets, so ranged responses skip
+    // coding negotiation entirely.
+    let coding = if range.is_some() {
+        None
+    } else if request.accepts_encoding("gzip") {
+        Some(Coding::Gzip)
+    } else if request.accepts_encoding("deflate") {
+        Some(Coding::Deflate)
+    } else {
+        None
+    };
     Ok(Reply::Export {
         db,
         table_index,
         format,
         coding,
+        range,
     })
 }
 

@@ -246,6 +246,88 @@ fn jsonl_export_round_trips_and_compresses() {
     server.shutdown();
 }
 
+/// `Range: bytes=N-` resumes an interrupted export of a completed job:
+/// 206 with `Content-Range` and exactly the byte suffix of the identity
+/// CSV (prefix + suffix reassemble the representation bit-for-bit), forced
+/// identity coding, and 416 with the representation size for a start past
+/// the end.
+#[test]
+fn ranged_export_resumes_mid_stream() {
+    let server = start_server(ServeConfig::default());
+    let addr = server.addr();
+    let (id, db) = finished_job(&server);
+    let table = &db.tables()[0];
+    let mut direct = Vec::new();
+    write_csv(table, &mut direct).unwrap();
+    let total = direct.len();
+    assert!(total > 3, "need a non-trivial export to cut");
+    let path = format!("/jobs/{id}/export?relation={}", table.name());
+
+    // Simulate an interrupted download: client kept the first third, then
+    // reconnects and asks for the rest.
+    let cut = total / 3;
+    let mut conn = Conn::open(addr);
+    conn.send_with("GET", &path, "", &[&format!("Range: bytes={cut}-")]);
+    let response = conn.read_response().expect("response");
+    assert_eq!(response.status, 206);
+    assert_eq!(
+        response.header("content-range"),
+        Some(format!("bytes {cut}-{}/{total}", total - 1).as_str())
+    );
+    assert_eq!(response.header("transfer-encoding"), Some("chunked"));
+    let suffix = decode_chunked(&response.body).expect("chunked stream");
+    assert_eq!(
+        suffix,
+        &direct[cut..],
+        "suffix continues the stream exactly"
+    );
+    let mut resumed = direct[..cut].to_vec();
+    resumed.extend_from_slice(&suffix);
+    assert_eq!(resumed, direct, "prefix + suffix reassemble the export");
+
+    // Ranges address identity bytes: compression stays off even when the
+    // client would accept it.
+    conn.send_with(
+        "GET",
+        &path,
+        "",
+        &[&format!("Range: bytes={cut}-"), "Accept-Encoding: gzip"],
+    );
+    let response = conn.read_response().expect("response");
+    assert_eq!(response.status, 206);
+    assert_eq!(response.header("content-encoding"), None);
+    assert_eq!(decode_chunked(&response.body).unwrap(), &direct[cut..]);
+
+    // `bytes=0-` is the whole representation — still a 206 partial answer.
+    conn.send_with("GET", &path, "", &["Range: bytes=0-"]);
+    let response = conn.read_response().expect("response");
+    assert_eq!(response.status, 206);
+    assert_eq!(
+        response.header("content-range"),
+        Some(format!("bytes 0-{}/{total}", total - 1).as_str())
+    );
+    assert_eq!(decode_chunked(&response.body).unwrap(), direct);
+
+    // Start at/past the end: 416 naming the representation size.
+    conn.send_with("GET", &path, "", &[&format!("Range: bytes={total}-")]);
+    let response = conn.read_response().expect("response");
+    assert_eq!(response.status, 416);
+    assert_eq!(
+        response.header("content-range"),
+        Some(format!("bytes */{total}").as_str())
+    );
+
+    // A closed range is ignored (RFC 9110 lets the server serve 200 full).
+    conn.send_with("GET", &path, "", &["Range: bytes=0-99"]);
+    let response = conn.read_response().expect("response");
+    assert_eq!(response.status, 200);
+    assert_eq!(decode_chunked(&response.body).unwrap(), direct);
+
+    // The keep-alive connection stays clean after ranged streams.
+    assert_eq!(conn.request("GET", "/healthz", "").status, 200);
+    server.shutdown();
+}
+
 /// Export error statuses: 404 for unknown jobs and relations, 400 for a
 /// missing relation parameter or unsupported format, 409 while the job is
 /// not done (running or cancelled).

@@ -8,15 +8,15 @@
 //!                  [--checkpoint-dir DIR] [--checkpoint-every N]
 //! sam-cli generate --schema schema.json (--data DIR | --stats stats.json) --out DIR
 //!                  [--model model.json] [--queries N | --workload FILE]
-//!                  [--epochs N] [--foj-samples N] [--seed N] [--backend f32|f16]
+//!                  [--epochs N] [--foj-samples N] [--seed N] [--backend f32|f16|int8]
 //! sam-cli evaluate --schema schema.json --original DIR --generated DIR
 //!                  [--queries N | --workload FILE] [--seed N]
 //! sam-cli estimate --schema schema.json --data DIR [--queries N] [--epochs N] [--seed N]
-//!                  [--backend f32|f16]  (then one SQL query per stdin line)
+//!                  [--backend f32|f16|int8]  (then one SQL query per stdin line)
 //! sam-cli serve    [--addr HOST:PORT] [--models name=model.json[=datadir],...]
 //!                  [--workers N] [--queue N] [--max-batch N]
 //!                  [--samples N] [--timeout-ms N] [--cache N]
-//!                  [--backend f32|f16] [--journal-dir DIR]
+//!                  [--backend f32|f16|int8] [--journal-dir DIR]
 //!                  [--journal-compact-bytes N] [--idle-timeout-ms N]
 //!                  [--conn-requests N] [--quality-sample F]
 //!                  [--quality-window N] [--quality-alert-qerror Q]
@@ -36,10 +36,14 @@
 //! ```
 //!
 //! `--backend` picks the frozen-inference backend: `f32` (the exact
-//! reference kernel, default) or `f16` (blocked column-major kernel over
-//! half-precision weights — faster, ~1e-2 relative error). For `serve` it
-//! applies to every model loaded into the registry; for `generate` /
-//! `estimate` it retargets the trained or loaded model before inference.
+//! reference kernel, default), `f16` (blocked column-major kernel over
+//! half-precision weights — faster, ~1e-2 relative error), or `int8`
+//! (blocked kernel over per-block-quantised 8-bit weights — fastest,
+//! ~1e-1 relative logit error, Q-Error parity in practice). An unknown
+//! value is rejected up front — `serve` refuses to start — with the valid
+//! kernel list in the error. For `serve` the flag applies to every model
+//! loaded into the registry; for `generate` / `estimate` it retargets the
+//! trained or loaded model before inference.
 //!
 //! `serve --journal-dir DIR` makes generation jobs restart-safe: every job
 //! is journaled to `DIR/journal.jsonl` (CRC-framed records; torn tails and
@@ -275,9 +279,9 @@ fn write_trace(trace_out: &Option<String>) -> Result<(), String> {
     Ok(())
 }
 
-/// Parse the optional `--backend {f32,f16}` flag shared by the inference
-/// subcommands. `None` means "leave the model on whatever backend it was
-/// frozen or loaded with".
+/// Parse the optional `--backend {f32,f16,int8}` flag shared by the
+/// inference subcommands. `None` means "leave the model on whatever backend
+/// it was frozen or loaded with".
 fn backend_arg(args: &Args) -> Result<Option<sam::nn::BackendKind>, String> {
     match args.get("backend") {
         Some(v) => v.parse::<sam::nn::BackendKind>().map(Some),

@@ -1,0 +1,62 @@
+//! CLI validation of the `--backend` kernel selector: unknown kernels are
+//! rejected up front with the valid list (`serve` refuses to start), and
+//! every shipped kernel name is accepted by the flag parser.
+
+use std::process::Command;
+
+fn sam_cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sam-cli"))
+}
+
+#[test]
+fn serve_refuses_to_start_on_unknown_backend() {
+    let out = sam_cli()
+        .args(["serve", "--addr", "127.0.0.1:0", "--backend", "turbo"])
+        .output()
+        .expect("run sam-cli");
+    assert!(
+        !out.status.success(),
+        "serve must refuse to start on an unknown backend"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown backend"),
+        "error names the problem: {stderr}"
+    );
+    for kernel in ["f32", "f16", "int8"] {
+        assert!(
+            stderr.contains(kernel),
+            "error lists valid kernel {kernel}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn serve_accepts_every_shipped_kernel_name() {
+    // A missing model file fails *after* flag validation, so reaching the
+    // "cannot read model file" error proves the backend name parsed.
+    for kernel in ["f32", "f16", "int8"] {
+        let out = sam_cli()
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--backend",
+                kernel,
+                "--models",
+                "m=/nonexistent/model.json",
+            ])
+            .output()
+            .expect("run sam-cli");
+        assert!(!out.status.success());
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("cannot read model file"),
+            "--backend {kernel} must parse (got: {stderr})"
+        );
+        assert!(
+            !stderr.contains("unknown backend"),
+            "--backend {kernel} wrongly rejected: {stderr}"
+        );
+    }
+}

@@ -2,20 +2,34 @@
 //!
 //! The build container has no network access, so the workspace vendors the
 //! small slice of rayon it uses: `into_par_iter()` over ranges and vectors
-//! with `map` / `flat_map_iter` / `for_each` / `collect` / `sum`. Work *is*
-//! executed in parallel — each combinator chain is evaluated stage-wise and
-//! the per-item closure runs on `std::thread::scope` workers, chunked over
-//! `available_parallelism` threads — it is simply not work-stealing.
+//! with `map` / `map_init` / `flat_map_iter` / `flatten_iter` / `for_each`
+//! / `collect` / `sum`. Work *is* executed in parallel — each combinator
+//! chain is evaluated stage-wise and the per-item closure runs on
+//! `std::thread::scope` workers, chunked over [`current_num_threads`]
+//! threads — it is simply not work-stealing.
 //!
 //! [`rayon`]: https://crates.io/crates/rayon
 
 use std::num::NonZeroUsize;
+use std::sync::OnceLock;
 
-/// Number of worker threads used for parallel evaluation.
+/// Number of worker threads used for parallel evaluation: the
+/// `RAYON_NUM_THREADS` environment variable when set to a positive integer
+/// (matching real rayon's default-pool override, read once per process),
+/// otherwise `available_parallelism`.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+    })
 }
 
 /// Run `items` through `f` on scoped worker threads, preserving order.
@@ -57,6 +71,55 @@ where
     out.into_iter().flatten().collect()
 }
 
+/// Like [`parallel_map`], but each worker chunk first builds a private
+/// mutable state with `init` and threads it through its items — the shim's
+/// counterpart of rayon's `map_init` (state per chunk, not per item).
+fn parallel_map_init<T, S, B, INIT, F>(items: Vec<T>, init: INIT, f: F) -> Vec<B>
+where
+    T: Send,
+    B: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> B + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        let mut state = init();
+        return items.into_iter().map(|x| f(&mut state, x)).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let init = &init;
+    let f = &f;
+    let mut out: Vec<Vec<B>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut state = init();
+                    c.into_iter().map(|x| f(&mut state, x)).collect::<Vec<B>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("rayon shim worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
 /// A parallel iterator: a materialised item list plus a parallel evaluator.
 pub trait ParallelIterator: Sized {
     /// Item type produced by this stage.
@@ -74,6 +137,23 @@ pub trait ParallelIterator: Sized {
         Map { base: self, f }
     }
 
+    /// Parallel map with per-worker mutable state built by `init` — reuse
+    /// expensive scratch (buffers, RNGs) across the items one worker chunk
+    /// processes. Mirrors rayon's `map_init`: the state is per *chunk*, so
+    /// output must not depend on how items are distributed over workers.
+    fn map_init<S, B, INIT, F>(self, init: INIT, f: F) -> MapInit<Self, INIT, F>
+    where
+        B: Send,
+        INIT: Fn() -> S + Sync + Send,
+        F: Fn(&mut S, Self::Item) -> B + Sync + Send,
+    {
+        MapInit {
+            base: self,
+            init,
+            f,
+        }
+    }
+
     /// Parallel map to a serial iterator per item, flattened.
     fn flat_map_iter<B, F, I>(self, f: F) -> FlatMapIter<Self, F>
     where
@@ -82,6 +162,15 @@ pub trait ParallelIterator: Sized {
         F: Fn(Self::Item) -> I + Sync + Send,
     {
         FlatMapIter { base: self, f }
+    }
+
+    /// Flatten a stage whose items are themselves serial iterators.
+    fn flatten_iter<B>(self) -> FlattenIter<Self>
+    where
+        Self::Item: IntoIterator<Item = B>,
+        B: Send,
+    {
+        FlattenIter { base: self }
     }
 
     /// Parallel filter.
@@ -149,6 +238,43 @@ where
     type Item = B;
     fn drive(self) -> Vec<B> {
         parallel_map(self.base.drive(), self.f)
+    }
+}
+
+/// `map_init` stage.
+pub struct MapInit<P, INIT, F> {
+    base: P,
+    init: INIT,
+    f: F,
+}
+
+impl<P, S, B, INIT, F> ParallelIterator for MapInit<P, INIT, F>
+where
+    P: ParallelIterator,
+    B: Send,
+    INIT: Fn() -> S + Sync + Send,
+    F: Fn(&mut S, P::Item) -> B + Sync + Send,
+{
+    type Item = B;
+    fn drive(self) -> Vec<B> {
+        parallel_map_init(self.base.drive(), self.init, self.f)
+    }
+}
+
+/// `flatten_iter` stage.
+pub struct FlattenIter<P> {
+    base: P,
+}
+
+impl<P, B> ParallelIterator for FlattenIter<P>
+where
+    P: ParallelIterator,
+    P::Item: IntoIterator<Item = B>,
+    B: Send,
+{
+    type Item = B;
+    fn drive(self) -> Vec<B> {
+        self.base.drive().into_iter().flatten().collect()
     }
 }
 
@@ -257,5 +383,28 @@ mod tests {
     fn sum_and_filter() {
         let s: usize = (0..100usize).into_par_iter().filter(|x| x % 2 == 0).sum();
         assert_eq!(s, (0..100).filter(|x| x % 2 == 0).sum());
+    }
+
+    #[test]
+    fn map_init_reuses_state_without_changing_output() {
+        let out: Vec<usize> = (0..257usize)
+            .into_par_iter()
+            .map_init(Vec::<usize>::new, |scratch, x| {
+                scratch.push(x); // per-worker scratch grows, output ignores it
+                x * 3
+            })
+            .collect();
+        assert_eq!(out, (0..257).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flatten_iter_preserves_order() {
+        let out: Vec<usize> = (0..10usize)
+            .into_par_iter()
+            .map(|x| vec![x; x])
+            .flatten_iter()
+            .collect();
+        let expect: Vec<usize> = (0..10).flat_map(|x| vec![x; x]).collect();
+        assert_eq!(out, expect);
     }
 }
