@@ -35,5 +35,5 @@ pub use persist::{load_model, load_model_file, save_model, save_model_file};
 pub use sample::{
     sample_batch, sample_batch_with, sample_model_rows, sample_model_rows_range, ModelRow,
 };
-pub use train::{train, TrainConfig, TrainReport};
+pub use train::{train, train_observed, TrainConfig, TrainControl, TrainProgress, TrainReport};
 pub use trie::{PrefixTrie, TrieStats};

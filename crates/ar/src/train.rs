@@ -77,11 +77,52 @@ pub struct TrainReport {
     pub wall_seconds: f64,
 }
 
+/// Per-epoch progress snapshot handed to a [`train_observed`] observer.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainProgress {
+    /// Epochs completed so far (1-based: the first callback reports 1, or
+    /// more when the run auto-resumed from a checkpoint).
+    pub epoch: usize,
+    /// Total epochs the run will perform.
+    pub total_epochs: usize,
+    /// Mean loss of the epoch that just finished.
+    pub loss: f32,
+    /// Epochs restored from a checkpoint before this run started (0 for a
+    /// fresh run). Restored epochs do not produce callbacks.
+    pub resumed_from: usize,
+}
+
+/// Observer verdict after each epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainControl {
+    /// Keep training.
+    Continue,
+    /// Stop cooperatively: [`train_observed`] returns an
+    /// [`ArError::Invalid`] whose message contains `"cancelled"`. Any
+    /// checkpoint written for the finished epochs stays valid, so a later
+    /// run with the same config resumes where the stop happened.
+    Stop,
+}
+
 /// Train `model` on a labelled workload with DPS.
 pub fn train(
     model: &mut ArModel,
     workload: &Workload,
     config: &TrainConfig,
+) -> Result<TrainReport, ArError> {
+    train_observed(model, workload, config, &mut |_| TrainControl::Continue)
+}
+
+/// [`train`], reporting progress after every epoch through `observe` and
+/// honouring its [`TrainControl`] verdict. The callback fires *after* the
+/// epoch's checkpoint (if due) is committed, so an external controller —
+/// e.g. a serving tier journalling training lifecycle events — sees only
+/// epochs that are safe to resume from.
+pub fn train_observed(
+    model: &mut ArModel,
+    workload: &Workload,
+    config: &TrainConfig,
+    observe: &mut dyn FnMut(TrainProgress) -> TrainControl,
 ) -> Result<TrainReport, ArError> {
     if workload.is_empty() {
         return Err(ArError::Invalid("empty workload".into()));
@@ -308,6 +349,20 @@ pub fn train(
                 };
                 checkpoint::save(ckpt, &state)?;
             }
+        }
+
+        let verdict = observe(TrainProgress {
+            epoch: epoch + 1,
+            total_epochs: config.epochs,
+            loss: mean_loss,
+            resumed_from: start_epoch,
+        });
+        if verdict == TrainControl::Stop {
+            return Err(ArError::Invalid(format!(
+                "training cancelled by observer after epoch {} of {}",
+                epoch + 1,
+                config.epochs
+            )));
         }
     }
     train_span.record(

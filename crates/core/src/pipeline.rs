@@ -13,8 +13,8 @@ use crate::error::SamError;
 use crate::job::{JobControl, JobStage};
 use crate::single::generate_single_relation;
 use sam_ar::{
-    sample_model_rows_range, train, ArModel, ArModelConfig, ArSchema, EncodingOptions, FrozenModel,
-    TrainConfig, TrainReport,
+    sample_model_rows_range, train_observed, ArModel, ArModelConfig, ArSchema, EncodingOptions,
+    FrozenModel, TrainConfig, TrainReport,
 };
 use sam_query::Workload;
 use sam_storage::{Database, DatabaseSchema, DatabaseStats};
@@ -78,10 +78,26 @@ impl Sam {
         workload: &Workload,
         config: &SamConfig,
     ) -> Result<TrainedSam, SamError> {
+        Sam::fit_observed(db_schema, stats, workload, config, &mut |_| {
+            sam_ar::TrainControl::Continue
+        })
+    }
+
+    /// [`fit`](Sam::fit), reporting per-epoch progress through `observe` and
+    /// honouring its [`sam_ar::TrainControl`] verdict — the entry point for
+    /// supervised training services that journal epoch events and support
+    /// cooperative cancellation.
+    pub fn fit_observed(
+        db_schema: &DatabaseSchema,
+        stats: &DatabaseStats,
+        workload: &Workload,
+        config: &SamConfig,
+        observe: &mut dyn FnMut(sam_ar::TrainProgress) -> sam_ar::TrainControl,
+    ) -> Result<TrainedSam, SamError> {
         let queries: Vec<sam_query::Query> = workload.iter().map(|lq| lq.query.clone()).collect();
         let ar_schema = ArSchema::build(db_schema, stats, &queries, &config.encoding)?;
         let mut model = ArModel::new(ar_schema, &config.model);
-        let report = train(&mut model, workload, &config.train)?;
+        let report = train_observed(&mut model, workload, &config.train, observe)?;
         Ok(TrainedSam {
             db_schema: db_schema.clone(),
             model: model.freeze(),

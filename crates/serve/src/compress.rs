@@ -10,10 +10,13 @@
 //! wrap. CSV/JSONL exports are highly repetitive, so fixed-Huffman + LZ77
 //! typically shrinks them 3–6×.
 //!
-//! [`inflate`] decodes the subset this encoder emits (stored and
-//! fixed-Huffman blocks) so tests and in-process clients can round-trip
-//! without an external zlib; real gzip tools decode our output because we
-//! only ever emit spec-compliant blocks.
+//! [`inflate`] decodes the full RFC 1951 block repertoire — stored,
+//! fixed-Huffman, and dynamic-Huffman — so compressed *request* bodies
+//! from any standards-conforming tool (`gzip`, zlib, browsers) decode,
+//! and [`gunzip`] skips the optional RFC 1952 header fields (FNAME,
+//! FEXTRA, FCOMMENT, FHCRC) real gzip tools emit. Real gzip tools decode
+//! our output in turn because the encoder only emits spec-compliant
+//! blocks.
 
 use std::io::Write;
 
@@ -534,15 +537,188 @@ impl<'a> BitReader<'a> {
     }
 }
 
-/// Decode a raw DEFLATE stream produced by [`Encoder`] (stored and
-/// fixed-Huffman blocks; dynamic-Huffman blocks are rejected — this
-/// decoder exists for tests and in-process clients, not as a general
-/// inflater).
+/// Canonical Huffman decoder built from per-symbol code lengths
+/// (RFC 1951 §3.2.2): counts-per-length plus symbols sorted by
+/// (length, symbol), decoded incrementally MSB-first — the classic
+/// "puff" algorithm. Incomplete codes are accepted at build time (the
+/// spec allows them for degenerate distance alphabets) and error at
+/// decode time if an unassigned code is actually read.
+struct Huffman {
+    /// `count[len]` = number of codes of bit length `len`.
+    count: [u16; 16],
+    /// Symbols ordered by (code length, symbol value).
+    symbols: Vec<u16>,
+}
+
+impl Huffman {
+    fn new(lengths: &[u8]) -> Result<Huffman, String> {
+        let mut count = [0u16; 16];
+        for &len in lengths {
+            if len > 15 {
+                return Err(format!("Huffman code length {len} out of range"));
+            }
+            count[len as usize] += 1;
+        }
+        count[0] = 0;
+        let mut left = 1i32;
+        for &c in &count[1..] {
+            left = (left << 1) - c as i32;
+            if left < 0 {
+                return Err("over-subscribed Huffman code".into());
+            }
+        }
+        let mut offsets = [0u16; 16];
+        for len in 1..15 {
+            offsets[len + 1] = offsets[len] + count[len];
+        }
+        let mut symbols = vec![0u16; lengths.iter().filter(|&&l| l != 0).count()];
+        for (sym, &len) in lengths.iter().enumerate() {
+            if len != 0 {
+                symbols[offsets[len as usize] as usize] = sym as u16;
+                offsets[len as usize] += 1;
+            }
+        }
+        Ok(Huffman { count, symbols })
+    }
+
+    fn decode(&self, br: &mut BitReader<'_>) -> Result<u32, String> {
+        let mut code = 0u32;
+        let mut first = 0u32;
+        let mut index = 0u32;
+        for len in 1..16 {
+            code |= br.take(1)?;
+            let count = self.count[len] as u32;
+            if code < first + count {
+                return Ok(self.symbols[(index + code - first) as usize] as u32);
+            }
+            index += count;
+            first = (first + count) << 1;
+            code <<= 1;
+        }
+        Err("invalid Huffman code".into())
+    }
+}
+
+/// Order in which code-length-code lengths appear in a dynamic block
+/// header (RFC 1951 §3.2.7).
+const CLEN_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
+
+/// Read a dynamic block's header and build its (literal/length, distance)
+/// decoding tables.
+fn read_dynamic_tables(br: &mut BitReader<'_>) -> Result<(Huffman, Huffman), String> {
+    let hlit = br.take(5)? as usize + 257;
+    let hdist = br.take(5)? as usize + 1;
+    let hclen = br.take(4)? as usize + 4;
+    if hlit > 286 || hdist > 30 {
+        return Err("dynamic block declares too many codes".into());
+    }
+    let mut clen = [0u8; 19];
+    for &slot in CLEN_ORDER.iter().take(hclen) {
+        clen[slot] = br.take(3)? as u8;
+    }
+    let cl_table = Huffman::new(&clen)?;
+    let mut lengths = vec![0u8; hlit + hdist];
+    let mut i = 0;
+    while i < lengths.len() {
+        let sym = cl_table.decode(br)?;
+        let (repeat, fill) = match sym {
+            0..=15 => {
+                lengths[i] = sym as u8;
+                i += 1;
+                continue;
+            }
+            16 => {
+                if i == 0 {
+                    return Err("length repeat with no previous length".into());
+                }
+                (3 + br.take(2)? as usize, lengths[i - 1])
+            }
+            17 => (3 + br.take(3)? as usize, 0),
+            18 => (11 + br.take(7)? as usize, 0),
+            _ => return Err(format!("invalid code-length symbol {sym}")),
+        };
+        if i + repeat > lengths.len() {
+            return Err("length repeat overflows the declared alphabet".into());
+        }
+        lengths[i..i + repeat].fill(fill);
+        i += repeat;
+    }
+    if lengths[256] == 0 {
+        return Err("dynamic block has no end-of-block code".into());
+    }
+    let litlen = Huffman::new(&lengths[..hlit])?;
+    let dist = Huffman::new(&lengths[hlit..])?;
+    Ok((litlen, dist))
+}
+
+/// The symbol tables in force for one compressed block: the implicit
+/// fixed tables of a BTYPE=1 block or the transmitted tables of a
+/// BTYPE=2 block.
+enum BlockTables {
+    Fixed,
+    Dynamic { litlen: Huffman, dist: Huffman },
+}
+
+impl BlockTables {
+    fn litlen(&self, br: &mut BitReader<'_>) -> Result<u32, String> {
+        match self {
+            BlockTables::Fixed => decode_fixed_litlen(br),
+            BlockTables::Dynamic { litlen, .. } => litlen.decode(br),
+        }
+    }
+
+    fn dist_code(&self, br: &mut BitReader<'_>) -> Result<u32, String> {
+        match self {
+            BlockTables::Fixed => br.take_code(5),
+            BlockTables::Dynamic { dist, .. } => dist.decode(br),
+        }
+    }
+}
+
+/// Decode one compressed block's symbol stream into `out`.
+fn decode_block(
+    br: &mut BitReader<'_>,
+    out: &mut Vec<u8>,
+    tables: &BlockTables,
+) -> Result<(), String> {
+    loop {
+        let sym = tables.litlen(br)?;
+        match sym {
+            0..=255 => out.push(sym as u8),
+            256 => return Ok(()),
+            257..=285 => {
+                let (lextra, lbase) = LENGTH_TABLE[sym as usize - 257];
+                let len = lbase as usize + br.take(lextra)? as usize;
+                let dcode = tables.dist_code(br)? as usize;
+                if dcode >= DIST_TABLE.len() {
+                    return Err(format!("invalid distance code {dcode}"));
+                }
+                let (dextra, dbase) = DIST_TABLE[dcode];
+                let dist = dbase as usize + br.take(dextra)? as usize;
+                if dist == 0 || dist > out.len() {
+                    return Err("distance before start of output".into());
+                }
+                let start = out.len() - dist;
+                for i in 0..len {
+                    let byte = out[start + i];
+                    out.push(byte);
+                }
+            }
+            _ => return Err(format!("invalid literal/length symbol {sym}")),
+        }
+    }
+}
+
+/// Decode a raw DEFLATE stream: stored, fixed-Huffman, and
+/// dynamic-Huffman blocks (the full RFC 1951 block repertoire), so
+/// request bodies compressed by any standards-conforming tool — not just
+/// by [`Encoder`] — decode.
 ///
 /// # Errors
 ///
-/// A description of the framing violation, truncation, or unsupported
-/// block type.
+/// A description of the framing violation, truncation, or invalid code.
 pub fn inflate(data: &[u8]) -> Result<Vec<u8>, String> {
     let mut br = BitReader::new(data);
     let mut out = Vec::new();
@@ -566,33 +742,11 @@ pub fn inflate(data: &[u8]) -> Result<Vec<u8>, String> {
                 out.extend_from_slice(&br.data[br.pos..br.pos + len]);
                 br.pos += len;
             }
-            1 => loop {
-                let sym = decode_fixed_litlen(&mut br)?;
-                match sym {
-                    0..=255 => out.push(sym as u8),
-                    256 => break,
-                    257..=285 => {
-                        let (lextra, lbase) = LENGTH_TABLE[sym as usize - 257];
-                        let len = lbase as usize + br.take(lextra)? as usize;
-                        let dcode = br.take_code(5)? as usize;
-                        if dcode >= DIST_TABLE.len() {
-                            return Err(format!("invalid distance code {dcode}"));
-                        }
-                        let (dextra, dbase) = DIST_TABLE[dcode];
-                        let dist = dbase as usize + br.take(dextra)? as usize;
-                        if dist == 0 || dist > out.len() {
-                            return Err("distance before start of output".into());
-                        }
-                        let start = out.len() - dist;
-                        for i in 0..len {
-                            let byte = out[start + i];
-                            out.push(byte);
-                        }
-                    }
-                    _ => return Err(format!("invalid literal/length symbol {sym}")),
-                }
-            },
-            2 => return Err("dynamic-Huffman blocks unsupported by this decoder".into()),
+            1 => decode_block(&mut br, &mut out, &BlockTables::Fixed)?,
+            2 => {
+                let (litlen, dist) = read_dynamic_tables(&mut br)?;
+                decode_block(&mut br, &mut out, &BlockTables::Dynamic { litlen, dist })?;
+            }
             _ => return Err("reserved block type".into()),
         }
         if last {
@@ -632,10 +786,38 @@ pub fn gunzip(data: &[u8]) -> Result<Vec<u8>, String> {
     if data.len() < 18 || data[0] != 0x1F || data[1] != 0x8B || data[2] != 8 {
         return Err("not a gzip stream".into());
     }
-    if data[3] != 0 {
-        return Err("gzip FLG bits unsupported by this decoder".into());
+    let flg = data[3];
+    if flg & 0xE0 != 0 {
+        return Err("gzip reserved FLG bits set".into());
     }
-    let payload = &data[10..data.len() - 8];
+    // Skip the optional header fields real gzip tools emit (RFC 1952):
+    // FEXTRA (2-byte LE length + payload), NUL-terminated FNAME and
+    // FCOMMENT, and the 2-byte FHCRC. FTEXT is a hint and needs nothing.
+    let body_end = data.len() - 8;
+    let mut pos = 10usize;
+    if flg & 0x04 != 0 {
+        if pos + 2 > body_end {
+            return Err("truncated gzip FEXTRA field".into());
+        }
+        let xlen = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
+        pos += 2 + xlen;
+    }
+    for (bit, field) in [(0x08u8, "FNAME"), (0x10, "FCOMMENT")] {
+        if flg & bit != 0 {
+            let nul = data[pos..body_end]
+                .iter()
+                .position(|&b| b == 0)
+                .ok_or_else(|| format!("truncated gzip {field} field"))?;
+            pos += nul + 1;
+        }
+    }
+    if flg & 0x02 != 0 {
+        pos += 2;
+    }
+    if pos > body_end {
+        return Err("gzip header overruns the stream".into());
+    }
+    let payload = &data[pos..body_end];
     let out = inflate(payload)?;
     let trailer = &data[data.len() - 8..];
     let crc = u32::from_le_bytes(trailer[..4].try_into().unwrap());
@@ -786,5 +968,206 @@ mod tests {
         // A long run produces 258-byte matches (length code 285, 0 extra).
         let data = vec![b'z'; 10_000];
         assert_eq!(round_trip(Coding::Gzip, &data), data);
+    }
+    const ZLIB_DYNAMIC: &[u8] = &[
+        0x78, 0xDA, 0xAD, 0x9A, 0x4B, 0x8B, 0x5E, 0x37, 0x0C, 0x86, 0xF7, 0xF9, 0x15, 0x67, 0x97,
+        0xB6, 0x90, 0x60, 0x5D, 0x6C, 0xC9, 0xD0, 0x59, 0x94, 0x74, 0x42, 0xA0, 0x6D, 0x02, 0xB9,
+        0xD0, 0x75, 0x98, 0x0E, 0xA5, 0x8B, 0xA6, 0xD0, 0x90, 0xFF, 0x9F, 0x59, 0x24, 0x60, 0xC1,
+        0x88, 0x23, 0xBF, 0x9C, 0xE5, 0x7C, 0x0B, 0x61, 0x3C, 0x7A, 0x24, 0xF9, 0x39, 0x7A, 0x77,
+        0xFB, 0xFB, 0xED, 0x8B, 0xF7, 0xC7, 0x8B, 0x37, 0x1F, 0x5E, 0xBF, 0xFF, 0xE1, 0xA7, 0x1F,
+        0x8F, 0x97, 0x6F, 0xDF, 0xFC, 0x71, 0xDC, 0xDD, 0x7F, 0xFA, 0xFC, 0xE5, 0xF3, 0xF1, 0xE7,
+        0xAB, 0xDB, 0xB7, 0xB7, 0xDF, 0xFE, 0x78, 0xFE, 0xF1, 0xEF, 0xFB, 0xE3, 0xE7, 0x9B, 0xA3,
+        0x1D, 0xBF, 0xBC, 0xFE, 0xF5, 0xFB, 0x6F, 0xFF, 0x7C, 0xBA, 0xFB, 0xEF, 0xDF, 0xFB, 0xE3,
+        0xE6, 0x78, 0xDA, 0x7E, 0x7B, 0x7A, 0x3C, 0x7B, 0x76, 0xDC, 0x7D, 0xFC, 0xFF, 0xAF, 0x9B,
+        0xF6, 0xE4, 0xDD, 0x66, 0x50, 0x7B, 0x3C, 0x28, 0xC9, 0x12, 0x95, 0xB6, 0xA3, 0x92, 0x3E,
+        0x1E, 0x96, 0xC7, 0x12, 0x56, 0xB7, 0xC3, 0x32, 0x3D, 0x1E, 0x56, 0xE6, 0x12, 0x76, 0xEE,
+        0x87, 0xF5, 0xE4, 0xB4, 0xEB, 0x1D, 0x8C, 0xED, 0xB0, 0xD2, 0x93, 0xBB, 0xED, 0x4B, 0x5C,
+        0xEE, 0xDB, 0x71, 0x95, 0x93, 0xE3, 0xFA, 0x12, 0x57, 0xF6, 0xCF, 0xAB, 0xF3, 0xF1, 0xB8,
+        0x4A, 0xEB, 0x3F, 0x6D, 0xFF, 0x7A, 0xFB, 0x48, 0xE2, 0x2E, 0x61, 0xC7, 0x7E, 0x32, 0x0C,
+        0x49, 0xAE, 0xD7, 0x96, 0xB8, 0xBE, 0x9F, 0xBB, 0x96, 0x70, 0x26, 0x2B, 0x68, 0xD4, 0x00,
+        0xD4, 0x12, 0xD6, 0x34, 0xB0, 0xC6, 0xFB, 0x27, 0xF6, 0x84, 0xB6, 0x15, 0x36, 0xD2, 0xFD,
+        0x1B, 0x9E, 0x09, 0x6E, 0x34, 0x03, 0x18, 0xFB, 0x19, 0x91, 0x61, 0x1C, 0x80, 0x9B, 0xFB,
+        0x19, 0x9C, 0x70, 0xAC, 0x01, 0x38, 0x80, 0x38, 0x4A, 0x48, 0xF6, 0x00, 0xF2, 0xFE, 0x79,
+        0x39, 0x23, 0x79, 0x25, 0x8E, 0x1D, 0xA8, 0x68, 0x09, 0xCA, 0xB2, 0x32, 0x27, 0xBC, 0x9F,
+        0x12, 0x92, 0xB1, 0x6C, 0xA1, 0xF6, 0xEC, 0xE7, 0xB0, 0x66, 0x34, 0xAF, 0xD4, 0x29, 0x40,
+        0x5D, 0x4F, 0x70, 0xE6, 0x95, 0x3A, 0xD5, 0xFD, 0x13, 0xF7, 0x04, 0x67, 0x09, 0x3D, 0xCE,
+        0x81, 0xC2, 0x96, 0xE0, 0xAC, 0x2B, 0x76, 0x9D, 0xF7, 0xB3, 0xC2, 0x32, 0x9E, 0x57, 0xEE,
+        0xBA, 0xED, 0xE7, 0xB1, 0x65, 0x0D, 0x74, 0x05, 0x6F, 0x00, 0xE0, 0x79, 0x02, 0x9E, 0xAC,
+        0xE4, 0x0D, 0xE0, 0xC4, 0x33, 0x21, 0x6F, 0x05, 0xCF, 0x80, 0x2B, 0xCE, 0xC2, 0xAE, 0xDC,
+        0x19, 0x90, 0x13, 0x09, 0xCF, 0x1C, 0x7A, 0x1D, 0x90, 0xC4, 0x94, 0xF1, 0xBC, 0x62, 0x37,
+        0x01, 0xEC, 0x38, 0xE1, 0x79, 0xA5, 0x6E, 0x02, 0x75, 0x42, 0x12, 0x9C, 0x29, 0x34, 0xBB,
+        0x86, 0x94, 0xB6, 0x84, 0x67, 0x0E, 0xDD, 0xAE, 0x01, 0xD5, 0x58, 0x33, 0xA0, 0x43, 0xBF,
+        0x23, 0xA0, 0x81, 0xF4, 0x84, 0xE8, 0x1E, 0x26, 0x0A, 0x00, 0xBC, 0x9E, 0x10, 0x4D, 0x1E,
+        0x22, 0x03, 0x3D, 0x7A, 0x64, 0x48, 0xAF, 0xE8, 0x91, 0x00, 0x53, 0x85, 0x25, 0xF0, 0xA9,
+        0xC6, 0x39, 0x68, 0x3F, 0x35, 0x2C, 0xC1, 0x6F, 0xA5, 0x8F, 0x3A, 0x32, 0xB9, 0x25, 0xF8,
+        0x71, 0x98, 0x35, 0x07, 0xC0, 0xDF, 0xCC, 0xF8, 0x0B, 0xC3, 0xE6, 0x00, 0xE6, 0xE3, 0x24,
+        0xB0, 0x06, 0x00, 0x0D, 0x18, 0xE8, 0x29, 0x41, 0x3B, 0xF0, 0xE7, 0xC0, 0x03, 0x84, 0x32,
+        0xB2, 0xE3, 0xBC, 0x09, 0x3C, 0x99, 0x38, 0x21, 0x5B, 0xC2, 0xC4, 0xD9, 0x00, 0x00, 0x25,
+        0x21, 0x5B, 0xC3, 0xCC, 0x49, 0xC8, 0xB3, 0x34, 0x43, 0x3B, 0x0C, 0x9D, 0xDC, 0x80, 0x3A,
+        0x97, 0xA0, 0xCD, 0x2B, 0x80, 0x2C, 0x6D, 0x3F, 0x35, 0x7A, 0x82, 0xB6, 0xAC, 0x04, 0xB2,
+        0x36, 0x60, 0x8A, 0x9B, 0xE7, 0x56, 0x85, 0x3B, 0x00, 0xE0, 0x18, 0x05, 0xB3, 0xC2, 0x03,
+        0x38, 0xB2, 0x49, 0x41, 0xAE, 0xB0, 0x01, 0xD7, 0xEC, 0xAD, 0xE0, 0x57, 0xD8, 0x81, 0xD4,
+        0x70, 0x3B, 0x57, 0x2C, 0x3C, 0x81, 0x6C, 0x9E, 0x5A, 0x90, 0x2C, 0x82, 0x10, 0xA8, 0x15,
+        0xCB, 0x42, 0x40, 0xD1, 0x20, 0x2A, 0x78, 0x96, 0x87, 0xC7, 0x19, 0x50, 0xE8, 0xFC, 0xDC,
+        0xB4, 0x88, 0x00, 0xA5, 0x99, 0x7B, 0xC1, 0xB5, 0x88, 0x22, 0xDD, 0x84, 0x0B, 0xB6, 0x45,
+        0x90, 0x0E, 0x28, 0xB3, 0xA0, 0x5B, 0xC4, 0x80, 0xAE, 0xAD, 0xE3, 0xDC, 0xB7, 0x88, 0x03,
+        0x73, 0x46, 0x97, 0x82, 0x70, 0x91, 0x09, 0xCC, 0x46, 0xA3, 0x15, 0x94, 0x8B, 0x36, 0x64,
+        0x9E, 0xB3, 0x82, 0x74, 0x51, 0x64, 0x06, 0x35, 0x3D, 0xB7, 0x2E, 0x2A, 0xC0, 0xD4, 0xEC,
+        0x54, 0xD0, 0x2E, 0xAA, 0xC0, 0xA4, 0xEF, 0x5E, 0xF0, 0x2E, 0x3A, 0x80, 0xD7, 0xC9, 0xEC,
+        0x05, 0xF1, 0xA2, 0x06, 0xBC, 0xA8, 0x7A, 0x45, 0xBC, 0x20, 0x4F, 0x40, 0xE2, 0x82, 0x79,
+        0xE9, 0x0D, 0x79, 0xB5, 0xCE, 0x82, 0x7A, 0xE9, 0x04, 0xBC, 0xB3, 0x79, 0x54, 0xDC, 0x8B,
+        0x00, 0x66, 0x40, 0xA4, 0x22, 0x5F, 0x14, 0x70, 0x19, 0xDA, 0x0A, 0xF6, 0xA5, 0x23, 0xFA,
+        0x45, 0xAD, 0xA0, 0x5F, 0xBA, 0x01, 0x67, 0xEE, 0x7A, 0xEE, 0x5F, 0xFA, 0x04, 0xAE, 0x79,
+        0x50, 0xC1, 0xC0, 0x8C, 0x86, 0x68, 0x39, 0x2F, 0x38, 0x98, 0x07, 0xB4, 0x81, 0x81, 0xAE,
+        0x17, 0x24, 0xCC, 0x40, 0xE4, 0xA7, 0xF3, 0xB9, 0x85, 0x19, 0x1D, 0x28, 0x1A, 0x3E, 0x0B,
+        0x1A, 0x66, 0x18, 0x52, 0xE8, 0x46, 0x41, 0xC3, 0x0C, 0x07, 0x8A, 0xF3, 0x28, 0x58, 0x18,
+        0x6B, 0x40, 0x3F, 0x21, 0x39, 0xB7, 0x30, 0x86, 0x74, 0x40, 0x6E, 0x05, 0x0B, 0x63, 0x02,
+        0x74, 0x6D, 0xB6, 0x82, 0x85, 0xB1, 0x0E, 0x4C, 0x1A, 0xA2, 0x05, 0x0B, 0x63, 0x06, 0x4C,
+        0x47, 0x4A, 0xE7, 0x16, 0xC6, 0x26, 0x32, 0xCF, 0x79, 0xC1, 0xC2, 0x38, 0xF2, 0xC9, 0xAF,
+        0xF7, 0x82, 0x85, 0x71, 0x06, 0xE6, 0xE6, 0xC1, 0x05, 0x0D, 0xE3, 0x8A, 0x7C, 0x57, 0x9D,
+        0xE7, 0x1A, 0xC6, 0x07, 0xF0, 0x3A, 0xB1, 0x51, 0xD0, 0x30, 0xEE, 0xC0, 0x8B, 0xCA, 0xA5,
+        0xA0, 0x61, 0x26, 0xF2, 0x08, 0x9C, 0xAD, 0xA0, 0x61, 0x1E, 0x72, 0x6E, 0xFF, 0xCC, 0xAD,
+        0x60, 0x61, 0xA6, 0x02, 0x4F, 0x6D, 0x2B, 0x48, 0x98, 0x39, 0x00, 0x3B, 0x90, 0x2D, 0x75,
+        0x04, 0x09, 0x33, 0x1D, 0x30, 0x1A, 0xD9, 0x5E, 0x47, 0x90, 0x30, 0x76, 0xD9, 0x5E, 0x47,
+        0x54, 0x30, 0xEC, 0x97, 0x6D, 0x76, 0xC4, 0xF5, 0x16, 0xA1, 0xCB, 0x56, 0x3B, 0x82, 0x80,
+        0x19, 0x17, 0xEE, 0x76, 0x04, 0xF4, 0x54, 0x2E, 0xDB, 0xED, 0x08, 0xFA, 0x85, 0x5A, 0xE7,
+        0xCB, 0xD6, 0x3B, 0x38, 0x7E, 0x81, 0x18, 0x72, 0xD9, 0x82, 0x47, 0xF0, 0x2F, 0x84, 0x4C,
+        0xE2, 0xE9, 0x86, 0x47, 0xDC, 0x97, 0xB8, 0x6E, 0xC3, 0x23, 0xF8, 0x17, 0x9A, 0xCD, 0x2F,
+        0xDB, 0xF1, 0x08, 0xFE, 0x85, 0x09, 0xA0, 0x8F, 0x0A, 0xFA, 0x85, 0x45, 0xFD, 0xAA, 0x2D,
+        0x8F, 0x60, 0x3F, 0xBB, 0xD1, 0x65, 0x5B, 0x1E, 0xC1, 0xBE, 0xB0, 0xCD, 0xEB, 0xF6, 0x3C,
+        0x82, 0x7D, 0x91, 0xC6, 0x72, 0xD9, 0xA2, 0x47, 0xB0, 0x2F, 0xC2, 0x00, 0x7F, 0xD9, 0xA6,
+        0x87, 0x47, 0xE3, 0x27, 0x97, 0x6D, 0x7A, 0x04, 0xFB, 0x22, 0x06, 0xB4, 0xD4, 0x6C, 0xD5,
+        0x23, 0x6E, 0xBD, 0xCC, 0x7E, 0xDD, 0xAE, 0x47, 0xB4, 0x2F, 0xE4, 0xFE, 0xE4, 0x2B, 0x36,
+        0x26, 0x03, 0xE7,
+    ];
+    const GZIP_DYNAMIC_FNAME: &[u8] = &[
+        0x1F, 0x8B, 0x08, 0x08, 0x00, 0x00, 0x00, 0x00, 0x02, 0xFF, 0x77, 0x6C, 0x2E, 0x73, 0x71,
+        0x6C, 0x00, 0xAD, 0x9A, 0x4B, 0x8B, 0x5E, 0x37, 0x0C, 0x86, 0xF7, 0xF9, 0x15, 0x67, 0x97,
+        0xB6, 0x90, 0x60, 0x5D, 0x6C, 0xC9, 0xD0, 0x59, 0x94, 0x74, 0x42, 0xA0, 0x6D, 0x02, 0xB9,
+        0xD0, 0x75, 0x98, 0x0E, 0xA5, 0x8B, 0xA6, 0xD0, 0x90, 0xFF, 0x9F, 0x59, 0x24, 0x60, 0xC1,
+        0x88, 0x23, 0xBF, 0x9C, 0xE5, 0x7C, 0x0B, 0x61, 0x3C, 0x7A, 0x24, 0xF9, 0x39, 0x7A, 0x77,
+        0xFB, 0xFB, 0xED, 0x8B, 0xF7, 0xC7, 0x8B, 0x37, 0x1F, 0x5E, 0xBF, 0xFF, 0xE1, 0xA7, 0x1F,
+        0x8F, 0x97, 0x6F, 0xDF, 0xFC, 0x71, 0xDC, 0xDD, 0x7F, 0xFA, 0xFC, 0xE5, 0xF3, 0xF1, 0xE7,
+        0xAB, 0xDB, 0xB7, 0xB7, 0xDF, 0xFE, 0x78, 0xFE, 0xF1, 0xEF, 0xFB, 0xE3, 0xE7, 0x9B, 0xA3,
+        0x1D, 0xBF, 0xBC, 0xFE, 0xF5, 0xFB, 0x6F, 0xFF, 0x7C, 0xBA, 0xFB, 0xEF, 0xDF, 0xFB, 0xE3,
+        0xE6, 0x78, 0xDA, 0x7E, 0x7B, 0x7A, 0x3C, 0x7B, 0x76, 0xDC, 0x7D, 0xFC, 0xFF, 0xAF, 0x9B,
+        0xF6, 0xE4, 0xDD, 0x66, 0x50, 0x7B, 0x3C, 0x28, 0xC9, 0x12, 0x95, 0xB6, 0xA3, 0x92, 0x3E,
+        0x1E, 0x96, 0xC7, 0x12, 0x56, 0xB7, 0xC3, 0x32, 0x3D, 0x1E, 0x56, 0xE6, 0x12, 0x76, 0xEE,
+        0x87, 0xF5, 0xE4, 0xB4, 0xEB, 0x1D, 0x8C, 0xED, 0xB0, 0xD2, 0x93, 0xBB, 0xED, 0x4B, 0x5C,
+        0xEE, 0xDB, 0x71, 0x95, 0x93, 0xE3, 0xFA, 0x12, 0x57, 0xF6, 0xCF, 0xAB, 0xF3, 0xF1, 0xB8,
+        0x4A, 0xEB, 0x3F, 0x6D, 0xFF, 0x7A, 0xFB, 0x48, 0xE2, 0x2E, 0x61, 0xC7, 0x7E, 0x32, 0x0C,
+        0x49, 0xAE, 0xD7, 0x96, 0xB8, 0xBE, 0x9F, 0xBB, 0x96, 0x70, 0x26, 0x2B, 0x68, 0xD4, 0x00,
+        0xD4, 0x12, 0xD6, 0x34, 0xB0, 0xC6, 0xFB, 0x27, 0xF6, 0x84, 0xB6, 0x15, 0x36, 0xD2, 0xFD,
+        0x1B, 0x9E, 0x09, 0x6E, 0x34, 0x03, 0x18, 0xFB, 0x19, 0x91, 0x61, 0x1C, 0x80, 0x9B, 0xFB,
+        0x19, 0x9C, 0x70, 0xAC, 0x01, 0x38, 0x80, 0x38, 0x4A, 0x48, 0xF6, 0x00, 0xF2, 0xFE, 0x79,
+        0x39, 0x23, 0x79, 0x25, 0x8E, 0x1D, 0xA8, 0x68, 0x09, 0xCA, 0xB2, 0x32, 0x27, 0xBC, 0x9F,
+        0x12, 0x92, 0xB1, 0x6C, 0xA1, 0xF6, 0xEC, 0xE7, 0xB0, 0x66, 0x34, 0xAF, 0xD4, 0x29, 0x40,
+        0x5D, 0x4F, 0x70, 0xE6, 0x95, 0x3A, 0xD5, 0xFD, 0x13, 0xF7, 0x04, 0x67, 0x09, 0x3D, 0xCE,
+        0x81, 0xC2, 0x96, 0xE0, 0xAC, 0x2B, 0x76, 0x9D, 0xF7, 0xB3, 0xC2, 0x32, 0x9E, 0x57, 0xEE,
+        0xBA, 0xED, 0xE7, 0xB1, 0x65, 0x0D, 0x74, 0x05, 0x6F, 0x00, 0xE0, 0x79, 0x02, 0x9E, 0xAC,
+        0xE4, 0x0D, 0xE0, 0xC4, 0x33, 0x21, 0x6F, 0x05, 0xCF, 0x80, 0x2B, 0xCE, 0xC2, 0xAE, 0xDC,
+        0x19, 0x90, 0x13, 0x09, 0xCF, 0x1C, 0x7A, 0x1D, 0x90, 0xC4, 0x94, 0xF1, 0xBC, 0x62, 0x37,
+        0x01, 0xEC, 0x38, 0xE1, 0x79, 0xA5, 0x6E, 0x02, 0x75, 0x42, 0x12, 0x9C, 0x29, 0x34, 0xBB,
+        0x86, 0x94, 0xB6, 0x84, 0x67, 0x0E, 0xDD, 0xAE, 0x01, 0xD5, 0x58, 0x33, 0xA0, 0x43, 0xBF,
+        0x23, 0xA0, 0x81, 0xF4, 0x84, 0xE8, 0x1E, 0x26, 0x0A, 0x00, 0xBC, 0x9E, 0x10, 0x4D, 0x1E,
+        0x22, 0x03, 0x3D, 0x7A, 0x64, 0x48, 0xAF, 0xE8, 0x91, 0x00, 0x53, 0x85, 0x25, 0xF0, 0xA9,
+        0xC6, 0x39, 0x68, 0x3F, 0x35, 0x2C, 0xC1, 0x6F, 0xA5, 0x8F, 0x3A, 0x32, 0xB9, 0x25, 0xF8,
+        0x71, 0x98, 0x35, 0x07, 0xC0, 0xDF, 0xCC, 0xF8, 0x0B, 0xC3, 0xE6, 0x00, 0xE6, 0xE3, 0x24,
+        0xB0, 0x06, 0x00, 0x0D, 0x18, 0xE8, 0x29, 0x41, 0x3B, 0xF0, 0xE7, 0xC0, 0x03, 0x84, 0x32,
+        0xB2, 0xE3, 0xBC, 0x09, 0x3C, 0x99, 0x38, 0x21, 0x5B, 0xC2, 0xC4, 0xD9, 0x00, 0x00, 0x25,
+        0x21, 0x5B, 0xC3, 0xCC, 0x49, 0xC8, 0xB3, 0x34, 0x43, 0x3B, 0x0C, 0x9D, 0xDC, 0x80, 0x3A,
+        0x97, 0xA0, 0xCD, 0x2B, 0x80, 0x2C, 0x6D, 0x3F, 0x35, 0x7A, 0x82, 0xB6, 0xAC, 0x04, 0xB2,
+        0x36, 0x60, 0x8A, 0x9B, 0xE7, 0x56, 0x85, 0x3B, 0x00, 0xE0, 0x18, 0x05, 0xB3, 0xC2, 0x03,
+        0x38, 0xB2, 0x49, 0x41, 0xAE, 0xB0, 0x01, 0xD7, 0xEC, 0xAD, 0xE0, 0x57, 0xD8, 0x81, 0xD4,
+        0x70, 0x3B, 0x57, 0x2C, 0x3C, 0x81, 0x6C, 0x9E, 0x5A, 0x90, 0x2C, 0x82, 0x10, 0xA8, 0x15,
+        0xCB, 0x42, 0x40, 0xD1, 0x20, 0x2A, 0x78, 0x96, 0x87, 0xC7, 0x19, 0x50, 0xE8, 0xFC, 0xDC,
+        0xB4, 0x88, 0x00, 0xA5, 0x99, 0x7B, 0xC1, 0xB5, 0x88, 0x22, 0xDD, 0x84, 0x0B, 0xB6, 0x45,
+        0x90, 0x0E, 0x28, 0xB3, 0xA0, 0x5B, 0xC4, 0x80, 0xAE, 0xAD, 0xE3, 0xDC, 0xB7, 0x88, 0x03,
+        0x73, 0x46, 0x97, 0x82, 0x70, 0x91, 0x09, 0xCC, 0x46, 0xA3, 0x15, 0x94, 0x8B, 0x36, 0x64,
+        0x9E, 0xB3, 0x82, 0x74, 0x51, 0x64, 0x06, 0x35, 0x3D, 0xB7, 0x2E, 0x2A, 0xC0, 0xD4, 0xEC,
+        0x54, 0xD0, 0x2E, 0xAA, 0xC0, 0xA4, 0xEF, 0x5E, 0xF0, 0x2E, 0x3A, 0x80, 0xD7, 0xC9, 0xEC,
+        0x05, 0xF1, 0xA2, 0x06, 0xBC, 0xA8, 0x7A, 0x45, 0xBC, 0x20, 0x4F, 0x40, 0xE2, 0x82, 0x79,
+        0xE9, 0x0D, 0x79, 0xB5, 0xCE, 0x82, 0x7A, 0xE9, 0x04, 0xBC, 0xB3, 0x79, 0x54, 0xDC, 0x8B,
+        0x00, 0x66, 0x40, 0xA4, 0x22, 0x5F, 0x14, 0x70, 0x19, 0xDA, 0x0A, 0xF6, 0xA5, 0x23, 0xFA,
+        0x45, 0xAD, 0xA0, 0x5F, 0xBA, 0x01, 0x67, 0xEE, 0x7A, 0xEE, 0x5F, 0xFA, 0x04, 0xAE, 0x79,
+        0x50, 0xC1, 0xC0, 0x8C, 0x86, 0x68, 0x39, 0x2F, 0x38, 0x98, 0x07, 0xB4, 0x81, 0x81, 0xAE,
+        0x17, 0x24, 0xCC, 0x40, 0xE4, 0xA7, 0xF3, 0xB9, 0x85, 0x19, 0x1D, 0x28, 0x1A, 0x3E, 0x0B,
+        0x1A, 0x66, 0x18, 0x52, 0xE8, 0x46, 0x41, 0xC3, 0x0C, 0x07, 0x8A, 0xF3, 0x28, 0x58, 0x18,
+        0x6B, 0x40, 0x3F, 0x21, 0x39, 0xB7, 0x30, 0x86, 0x74, 0x40, 0x6E, 0x05, 0x0B, 0x63, 0x02,
+        0x74, 0x6D, 0xB6, 0x82, 0x85, 0xB1, 0x0E, 0x4C, 0x1A, 0xA2, 0x05, 0x0B, 0x63, 0x06, 0x4C,
+        0x47, 0x4A, 0xE7, 0x16, 0xC6, 0x26, 0x32, 0xCF, 0x79, 0xC1, 0xC2, 0x38, 0xF2, 0xC9, 0xAF,
+        0xF7, 0x82, 0x85, 0x71, 0x06, 0xE6, 0xE6, 0xC1, 0x05, 0x0D, 0xE3, 0x8A, 0x7C, 0x57, 0x9D,
+        0xE7, 0x1A, 0xC6, 0x07, 0xF0, 0x3A, 0xB1, 0x51, 0xD0, 0x30, 0xEE, 0xC0, 0x8B, 0xCA, 0xA5,
+        0xA0, 0x61, 0x26, 0xF2, 0x08, 0x9C, 0xAD, 0xA0, 0x61, 0x1E, 0x72, 0x6E, 0xFF, 0xCC, 0xAD,
+        0x60, 0x61, 0xA6, 0x02, 0x4F, 0x6D, 0x2B, 0x48, 0x98, 0x39, 0x00, 0x3B, 0x90, 0x2D, 0x75,
+        0x04, 0x09, 0x33, 0x1D, 0x30, 0x1A, 0xD9, 0x5E, 0x47, 0x90, 0x30, 0x76, 0xD9, 0x5E, 0x47,
+        0x54, 0x30, 0xEC, 0x97, 0x6D, 0x76, 0xC4, 0xF5, 0x16, 0xA1, 0xCB, 0x56, 0x3B, 0x82, 0x80,
+        0x19, 0x17, 0xEE, 0x76, 0x04, 0xF4, 0x54, 0x2E, 0xDB, 0xED, 0x08, 0xFA, 0x85, 0x5A, 0xE7,
+        0xCB, 0xD6, 0x3B, 0x38, 0x7E, 0x81, 0x18, 0x72, 0xD9, 0x82, 0x47, 0xF0, 0x2F, 0x84, 0x4C,
+        0xE2, 0xE9, 0x86, 0x47, 0xDC, 0x97, 0xB8, 0x6E, 0xC3, 0x23, 0xF8, 0x17, 0x9A, 0xCD, 0x2F,
+        0xDB, 0xF1, 0x08, 0xFE, 0x85, 0x09, 0xA0, 0x8F, 0x0A, 0xFA, 0x85, 0x45, 0xFD, 0xAA, 0x2D,
+        0x8F, 0x60, 0x3F, 0xBB, 0xD1, 0x65, 0x5B, 0x1E, 0xC1, 0xBE, 0xB0, 0xCD, 0xEB, 0xF6, 0x3C,
+        0x82, 0x7D, 0x91, 0xC6, 0x72, 0xD9, 0xA2, 0x47, 0xB0, 0x2F, 0xC2, 0x00, 0x7F, 0xD9, 0xA6,
+        0x87, 0x47, 0xE3, 0x27, 0x97, 0x6D, 0x7A, 0x04, 0xFB, 0x22, 0x06, 0xB4, 0xD4, 0x6C, 0xD5,
+        0x23, 0x6E, 0xBD, 0xCC, 0x7E, 0xDD, 0xAE, 0x47, 0xB4, 0x2F, 0xE4, 0xFE, 0xE4, 0x2B, 0xFF,
+        0x6D, 0x43, 0xCA, 0xD5, 0x29, 0x00, 0x00,
+    ];
+
+    /// The workload text the dynamic-Huffman reference vectors compress
+    /// (regenerable: the exact bytes the Python snippet in the PR used).
+    fn reference_plaintext() -> Vec<u8> {
+        let mut plain = Vec::new();
+        for i in 0..120u64 {
+            plain.extend_from_slice(
+                format!(
+                    "SELECT COUNT(*) FROM census WHERE census.age <= {} AND \
+                     census.income = '{}K' -- card={}\n",
+                    i * 7 % 97,
+                    i * 13 % 50,
+                    i * i % 9973
+                )
+                .as_bytes(),
+            );
+        }
+        plain
+    }
+
+    /// zlib level 9 emits dynamic-Huffman blocks for this input; the
+    /// inflater must decode what real tools produce, not just its own
+    /// fixed-Huffman encoder output.
+    #[test]
+    fn decodes_dynamic_huffman_zlib_stream() {
+        assert_eq!(zlib_decode(ZLIB_DYNAMIC).unwrap(), reference_plaintext());
+    }
+
+    /// Stock `gzip` writes an FNAME header field (and dynamic blocks);
+    /// both must decode — this is the shape of a real `curl
+    /// --data-binary @wl.sql.gz` upload.
+    #[test]
+    fn decodes_gzip_with_fname_and_dynamic_blocks() {
+        assert_eq!(gunzip(GZIP_DYNAMIC_FNAME).unwrap(), reference_plaintext());
+    }
+
+    /// All optional RFC 1952 header fields at once (FEXTRA + FNAME +
+    /// FCOMMENT + FHCRC), spliced around our own encoder's payload.
+    #[test]
+    fn gunzip_skips_all_optional_header_fields() {
+        let data = b"header-field soup should not confuse the decoder";
+        let mut enc = Encoder::new(Vec::new(), Coding::Gzip);
+        enc.write_all(data).unwrap();
+        let framed = enc.finish().unwrap();
+        let (payload, trailer) = framed[10..].split_at(framed.len() - 18);
+        let mut fancy = vec![0x1F, 0x8B, 0x08, 0x1E, 0, 0, 0, 0, 0, 0xFF];
+        fancy.extend_from_slice(&[4, 0, b'x', b't', b'r', b'a']); // FEXTRA
+        fancy.extend_from_slice(b"wl.sql\0"); // FNAME
+        fancy.extend_from_slice(b"a comment\0"); // FCOMMENT
+        fancy.extend_from_slice(&[0xAB, 0xCD]); // FHCRC (unverified)
+        fancy.extend_from_slice(payload);
+        fancy.extend_from_slice(trailer);
+        assert_eq!(gunzip(&fancy).unwrap(), data);
+        // Reserved FLG bits must still be rejected.
+        let mut reserved = framed.clone();
+        reserved[3] = 0x20;
+        assert!(gunzip(&reserved).is_err());
     }
 }

@@ -18,8 +18,15 @@ use crate::error::ServeError;
 use std::io::{BufRead, Write};
 
 /// Largest accepted request body (1 MiB) — estimates and job submissions
-/// are small; anything bigger is a client error.
+/// are small; anything bigger is a client error. The limit applies to the
+/// bytes on the wire: a gzip/deflate-coded body (`Content-Encoding`) may
+/// decode to more, up to [`MAX_DECODED_BODY_BYTES`] — which is how large
+/// workload uploads reach `POST /train` without raising the wire cap.
 pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Largest accepted request body *after* content decoding (64 MiB) — the
+/// decompression-bomb guard for `Content-Encoding: gzip|deflate` uploads.
+pub const MAX_DECODED_BODY_BYTES: usize = 64 << 20;
 
 /// Largest accepted header section (64 KiB across all header lines).
 pub const MAX_HEADER_BYTES: usize = 64 << 10;
@@ -137,6 +144,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, Serve
     // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
     let mut keep_alive = !http10;
     let mut accept_encoding = Vec::new();
+    let mut content_encoding: Option<String> = None;
     let mut range_start = None;
     let mut header_bytes = 0usize;
     loop {
@@ -170,6 +178,8 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, Serve
                 keep_alive = if close { false } else { ka || !http10 };
             } else if name.eq_ignore_ascii_case("accept-encoding") {
                 accept_encoding = parse_accept_encoding(value);
+            } else if name.eq_ignore_ascii_case("content-encoding") {
+                content_encoding = Some(value.to_ascii_lowercase());
             } else if name.eq_ignore_ascii_case("range") {
                 range_start = parse_range_start(value);
             }
@@ -184,6 +194,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, Serve
     reader
         .read_exact(&mut buf)
         .map_err(|e| ServeError::BadRequest(format!("short body: {e}")))?;
+    let buf = decode_request_body(buf, content_encoding.as_deref())?;
     let body = String::from_utf8(buf).map_err(|_| bad("body is not UTF-8"))?;
     Ok(Some(Request {
         method,
@@ -193,6 +204,32 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, Serve
         accept_encoding,
         range_start,
     }))
+}
+
+/// Apply the request's `Content-Encoding` to the raw body bytes. Supports
+/// `gzip` (and its legacy `x-gzip` alias) and `deflate` — the same codings
+/// the export path emits — with zlib-wrapped **and** raw DEFLATE both
+/// accepted for `deflate` (clients disagree on which the token means).
+/// Decoded output above [`MAX_DECODED_BODY_BYTES`] is rejected.
+fn decode_request_body(buf: Vec<u8>, coding: Option<&str>) -> Result<Vec<u8>, ServeError> {
+    let bad = |m: String| ServeError::BadRequest(m);
+    let decoded = match coding {
+        None | Some("identity") => return Ok(buf),
+        Some("gzip") | Some("x-gzip") => crate::compress::gunzip(&buf)
+            .map_err(|e| bad(format!("cannot decode gzip body: {e}")))?,
+        Some("deflate") => crate::compress::zlib_decode(&buf)
+            .or_else(|_| crate::compress::inflate(&buf))
+            .map_err(|e| bad(format!("cannot decode deflate body: {e}")))?,
+        Some(other) => {
+            return Err(bad(format!(
+                "unsupported Content-Encoding {other:?} (gzip|deflate|identity)"
+            )))
+        }
+    };
+    if decoded.len() > MAX_DECODED_BODY_BYTES {
+        return Err(bad("decoded request body too large".into()));
+    }
+    Ok(decoded)
 }
 
 fn connection_token(keep_alive: bool) -> &'static str {
@@ -584,6 +621,38 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(plain.range_start, None);
+    }
+
+    #[test]
+    fn decodes_gzip_and_deflate_request_bodies() {
+        use crate::compress::{Coding, Encoder};
+        let payload = "SELECT COUNT(*) FROM t WHERE a = 1 -- card=7\n".repeat(64);
+        for coding in [Coding::Gzip, Coding::Deflate] {
+            let mut enc = Encoder::new(Vec::new(), coding);
+            enc.write_all(payload.as_bytes()).unwrap();
+            let compressed = enc.finish().unwrap();
+            let raw = format!(
+                "POST /train HTTP/1.1\r\nContent-Encoding: {}\r\nContent-Length: {}\r\n\r\n",
+                coding.token(),
+                compressed.len()
+            );
+            let mut framed = raw.into_bytes();
+            framed.extend_from_slice(&compressed);
+            let req = read_request(&mut Cursor::new(framed)).unwrap().unwrap();
+            assert_eq!(req.body, payload, "{coding:?} body must round-trip");
+        }
+    }
+
+    #[test]
+    fn unknown_content_encoding_is_rejected() {
+        let raw = "POST / HTTP/1.1\r\nContent-Encoding: br\r\nContent-Length: 2\r\n\r\nxx";
+        let err = read_request(&mut Cursor::new(raw)).unwrap_err();
+        assert!(err.to_string().contains("unsupported Content-Encoding"));
+        assert_eq!(err.status(), 400);
+        // identity is a no-op, not an error.
+        let raw = "POST / HTTP/1.1\r\nContent-Encoding: identity\r\nContent-Length: 2\r\n\r\nok";
+        let req = read_request(&mut Cursor::new(raw)).unwrap().unwrap();
+        assert_eq!(req.body, "ok");
     }
 
     #[test]

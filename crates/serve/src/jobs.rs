@@ -152,6 +152,14 @@ impl JobRegistry {
         self.next_id.fetch_max(id, Ordering::Relaxed);
     }
 
+    /// Mint a fresh id from the shared job-id space. Generation jobs,
+    /// training jobs ([`crate::training::TrainRegistry`]), and rollback
+    /// audit records all draw from this one counter, so `GET /jobs/{id}`
+    /// and the journal are unambiguous about what an id names.
+    pub fn allocate_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
     /// Start a generation job on its own thread; returns the job id.
     pub fn spawn(
         &self,
@@ -159,7 +167,7 @@ impl JobRegistry {
         config: GenerationConfig,
         metrics: Arc<ServeMetrics>,
     ) -> u64 {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let id = self.allocate_id();
         if let Some(journal) = &self.journal {
             journal.accepted(id, &entry.name, entry.version, &config);
         }

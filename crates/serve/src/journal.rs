@@ -10,6 +10,11 @@
 //!                  ↑ resumed (after a restart replays an interrupted job)
 //! ```
 //!
+//! Training jobs (`POST /train`) share the log and the id space with their
+//! own vocabulary — `train_accepted → running → epoch* → evaluating →
+//! promoted | rejected | failed | cancelled` — plus standalone `rollback`
+//! records; see [`TrainReplayState`].
+//!
 //! Completed jobs additionally persist their generated relations as CSV
 //! under `<dir>/jobs/<id>/<table>.csv` (written to a temp file, fsynced,
 //! then renamed, so a crash mid-write never leaves a half table behind).
@@ -69,6 +74,79 @@ pub const JOURNAL_FILE: &str = "journal.jsonl";
 pub const SNAPSHOT_FILE: &str = "snapshot.jsonl";
 /// File name corrupt records are moved to during recovery.
 pub const QUARANTINE_FILE: &str = "quarantine.jsonl";
+
+/// Last known state of a **training job**, folded from the event log.
+///
+/// Training jobs journal their own lifecycle alongside generation jobs:
+///
+/// ```text
+/// train_accepted → running → epoch* → evaluating → promoted | rejected
+///                      ↑ resumed                 ↘ failed | cancelled
+/// ```
+///
+/// `epoch` events are progress markers (the checkpoint under the job
+/// directory is the authoritative resume state); `promoted` carries the
+/// registry version the candidate was hot-swapped in as, and replaying it
+/// re-applies the promotion so a restarted server serves the same model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainReplayState {
+    /// The run had not reached a verdict when the server stopped — re-spawn
+    /// it; training auto-resumes bit-for-bit from the job's checkpoint.
+    Interrupted,
+    /// The candidate passed the promotion gate and was registered as
+    /// `version`; `summary` holds the shadow-evaluation scores.
+    Promoted {
+        /// Registry version the candidate was promoted as.
+        version: u64,
+        /// Shadow-evaluation summary (gate scores, holdout size).
+        summary: Value,
+    },
+    /// The candidate finished training but failed the promotion gate.
+    Rejected(Value),
+    /// Training errored with this message.
+    Failed(String),
+    /// Training was cancelled.
+    Cancelled,
+}
+
+/// One training job reconstructed from the journal.
+#[derive(Debug, Clone)]
+pub struct ReplayedTrain {
+    /// Job id as originally served (training and generation jobs share one
+    /// id space).
+    pub id: u64,
+    /// Registry name of the model being retrained.
+    pub model: String,
+    /// The full training spec recorded at accept time — opaque to the
+    /// journal; the training subsystem serialises and re-parses it.
+    pub spec: Value,
+    /// Last state the journal records.
+    pub state: TrainReplayState,
+}
+
+/// One model rollback reconstructed from the journal. Rollbacks are
+/// journalled (under their own id in the shared job-id space) so replay
+/// re-applies promotions *and* rollbacks in order, converging on the same
+/// served version the crashed server had.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RollbackRecord {
+    /// Id the rollback was journalled under.
+    pub id: u64,
+    /// Model name that was rolled back.
+    pub model: String,
+}
+
+/// Everything [`Journal::replay_full`] reconstructs, in one pass.
+#[derive(Debug, Clone, Default)]
+pub struct Replay {
+    /// Generation jobs, sorted by id.
+    pub jobs: Vec<ReplayedJob>,
+    /// Training jobs, sorted by id.
+    pub trains: Vec<ReplayedTrain>,
+    /// Rollbacks, sorted by id (interleave with training promotions by id
+    /// to reconstruct registry history).
+    pub rollbacks: Vec<RollbackRecord>,
+}
 
 /// Last known state of a job, folded from the event log.
 #[derive(Debug, Clone, PartialEq)]
@@ -296,6 +374,59 @@ impl Journal {
         self.append(&json!({"event": "cancelled", "job": id}), true);
     }
 
+    /// Record acceptance of a training job with its full spec (the event
+    /// that makes the run resumable — the spec plus the persisted workload
+    /// and checkpoint under the job directory reconstruct it exactly).
+    pub fn train_accepted(&self, id: u64, model: &str, spec: &Value) {
+        self.append(
+            &json!({"event": "train_accepted", "job": id, "model": model, "spec": spec}),
+            true,
+        );
+    }
+
+    /// Record one finished training epoch (progress marker; the checkpoint
+    /// is the authoritative resume state, so this is not fsynced).
+    pub fn epoch(&self, id: u64, epoch: usize, total: usize, loss: f32) {
+        self.append(
+            &json!({"event": "epoch", "job": id, "epoch": epoch, "total": total,
+                    "loss": loss as f64}),
+            false,
+        );
+    }
+
+    /// Record that training finished and shadow evaluation began.
+    pub fn evaluating(&self, id: u64) {
+        self.append(&json!({"event": "evaluating", "job": id}), false);
+    }
+
+    /// Record that the candidate passed the gate and was registered as
+    /// `version`. Persist the candidate's weights *before* this commit
+    /// event, so a replay that sees `promoted` can always re-load them.
+    pub fn promoted(&self, id: u64, version: u64, summary: &Value) {
+        self.append(
+            &json!({"event": "promoted", "job": id, "version": version, "summary": summary}),
+            true,
+        );
+    }
+
+    /// Record that the candidate finished training but failed the gate.
+    pub fn rejected(&self, id: u64, summary: &Value) {
+        self.append(
+            &json!({"event": "rejected", "job": id, "summary": summary}),
+            true,
+        );
+    }
+
+    /// Record an operator rollback of `model` (journalled under its own id
+    /// so replay re-applies promotions and rollbacks in order).
+    pub fn rollback(&self, id: u64, model: &str, from_version: u64, version: u64) {
+        self.append(
+            &json!({"event": "rollback", "job": id, "model": model,
+                    "from_version": from_version, "version": version}),
+            true,
+        );
+    }
+
     /// Persist every relation of `db` as CSV under [`job_dir`](Self::job_dir),
     /// emitting one `relation` event per table. Each file is written with
     /// the atomic tmp+fsync+rename protocol, so readers (and restarts)
@@ -324,17 +455,30 @@ impl Journal {
     }
 
     /// Fold the snapshot (if any) and the event log into the last known
-    /// state of every job, sorted by id. Unknown events are skipped
-    /// (forward compatibility over strictness — a newer server's extra
-    /// events must not brick an older one's replay); corrupt lines are
-    /// skipped and counted on `journal_corrupt_records`.
+    /// state of every **generation** job, sorted by id. Unknown events are
+    /// skipped (forward compatibility over strictness — a newer server's
+    /// extra events must not brick an older one's replay); corrupt lines
+    /// are skipped and counted on `journal_corrupt_records`.
     ///
     /// # Errors
     ///
     /// [`ServeError::Internal`] if the snapshot or log file exists but
     /// cannot be read.
     pub fn replay(&self) -> Result<Vec<ReplayedJob>, ServeError> {
-        let mut jobs: BTreeMap<u64, ReplayedJob> = BTreeMap::new();
+        Ok(self.replay_full()?.jobs)
+    }
+
+    /// [`replay`](Self::replay), additionally reconstructing training jobs
+    /// and rollback records — what [`Server::replay_journal`] applies.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Internal`] if the snapshot or log file exists but
+    /// cannot be read.
+    ///
+    /// [`Server::replay_journal`]: crate::server::Server::replay_journal
+    pub fn replay_full(&self) -> Result<Replay, ServeError> {
+        let mut entries: BTreeMap<u64, Entry> = BTreeMap::new();
         for name in [SNAPSHOT_FILE, JOURNAL_FILE] {
             let path = self.dir.join(name);
             if !self.fs.exists(&path) {
@@ -357,10 +501,18 @@ impl Journal {
                     self.counters.corrupt_records.inc();
                     continue;
                 };
-                fold_event(&mut jobs, &doc);
+                fold_event(&mut entries, &doc);
             }
         }
-        Ok(jobs.into_values().collect())
+        let mut replay = Replay::default();
+        for entry in entries.into_values() {
+            match entry {
+                Entry::Gen(job) => replay.jobs.push(job),
+                Entry::Train(train) => replay.trains.push(train),
+                Entry::Roll(record) => replay.rollbacks.push(record),
+            }
+        }
+        Ok(replay)
     }
 
     /// Compact the journal: fold the current state, write it to
@@ -376,14 +528,17 @@ impl Journal {
     /// replayable (the old snapshot+log remain authoritative).
     pub fn compact(&self) -> Result<usize, ServeError> {
         let mut span = sam_obs::span!("journal_compact");
-        let jobs = self.replay()?;
-        let mut snapshot = String::new();
-        for job in &jobs {
-            let accepted = accepted_event(job.id, &job.model, job.version, &job.config);
-            snapshot.push_str(&frame(
-                &serde_json::to_string(&accepted).unwrap_or_default(),
-            ));
+        let replay = self.replay_full()?;
+        let push = |snapshot: &mut String, event: &Value| {
+            snapshot.push_str(&frame(&serde_json::to_string(event).unwrap_or_default()));
             snapshot.push('\n');
+        };
+        let mut snapshot = String::new();
+        for job in &replay.jobs {
+            push(
+                &mut snapshot,
+                &accepted_event(job.id, &job.model, job.version, &job.config),
+            );
             let terminal = match &job.state {
                 ReplayState::Interrupted => None,
                 ReplayState::Completed(summary) => {
@@ -395,10 +550,42 @@ impl Journal {
                 ReplayState::Cancelled => Some(json!({"event": "cancelled", "job": job.id})),
             };
             if let Some(event) = terminal {
-                snapshot.push_str(&frame(&serde_json::to_string(&event).unwrap_or_default()));
-                snapshot.push('\n');
+                push(&mut snapshot, &event);
             }
         }
+        // Training jobs and rollbacks survive compaction the same way:
+        // their accept record plus (when reached) their terminal verdict.
+        for train in &replay.trains {
+            push(
+                &mut snapshot,
+                &json!({"event": "train_accepted", "job": train.id,
+                        "model": train.model, "spec": train.spec}),
+            );
+            let terminal = match &train.state {
+                TrainReplayState::Interrupted => None,
+                TrainReplayState::Promoted { version, summary } => Some(json!({
+                    "event": "promoted", "job": train.id,
+                    "version": version, "summary": summary
+                })),
+                TrainReplayState::Rejected(summary) => {
+                    Some(json!({"event": "rejected", "job": train.id, "summary": summary}))
+                }
+                TrainReplayState::Failed(error) => {
+                    Some(json!({"event": "failed", "job": train.id, "error": error}))
+                }
+                TrainReplayState::Cancelled => Some(json!({"event": "cancelled", "job": train.id})),
+            };
+            if let Some(event) = terminal {
+                push(&mut snapshot, &event);
+            }
+        }
+        for record in &replay.rollbacks {
+            push(
+                &mut snapshot,
+                &json!({"event": "rollback", "job": record.id, "model": record.model}),
+            );
+        }
+        let jobs = replay.jobs.len() + replay.trains.len() + replay.rollbacks.len();
         crash_point("journal.compact.pre_snapshot");
         let snap_path = self.dir.join(SNAPSHOT_FILE);
         write_atomic(&*self.fs, &snap_path, snapshot.as_bytes())
@@ -415,8 +602,8 @@ impl Journal {
         }
         crash_point("journal.compact.truncated");
         self.counters.compactions.inc();
-        span.record("jobs", jobs.len());
-        Ok(jobs.len())
+        span.record("jobs", jobs);
+        Ok(jobs)
     }
 }
 
@@ -433,11 +620,19 @@ fn accepted_event(id: u64, model: &str, version: u64, config: &GenerationConfig)
     })
 }
 
-/// Apply one event document to the fold. `accepted` only fills a vacant
-/// slot: after compaction the snapshot is authoritative, and a stale
-/// `accepted` left in a not-yet-truncated log must not downgrade a
-/// terminal state back to `Interrupted`.
-fn fold_event(jobs: &mut BTreeMap<u64, ReplayedJob>, doc: &Value) {
+/// One folded journal entry — a generation job, a training job, or a
+/// rollback record, all sharing the id space.
+enum Entry {
+    Gen(ReplayedJob),
+    Train(ReplayedTrain),
+    Roll(RollbackRecord),
+}
+
+/// Apply one event document to the fold. `accepted`/`train_accepted`/
+/// `rollback` only fill a vacant slot: after compaction the snapshot is
+/// authoritative, and a stale accept left in a not-yet-truncated log must
+/// not downgrade a terminal state back to `Interrupted`.
+fn fold_event(entries: &mut BTreeMap<u64, Entry>, doc: &Value) {
     let (Some(event), Some(id)) = (
         doc.get("event").and_then(Value::as_str),
         doc.get("job").and_then(Value::as_u64),
@@ -454,45 +649,88 @@ fn fold_event(jobs: &mut BTreeMap<u64, ReplayedJob>, doc: &Value) {
                 .and_then(Value::as_str)
                 .and_then(parse_strategy)
                 .unwrap_or(JoinKeyStrategy::GroupAndMerge);
-            jobs.entry(id).or_insert_with(|| ReplayedJob {
-                id,
-                model: model.to_string(),
-                version: doc.get("version").and_then(Value::as_u64).unwrap_or(0),
-                config: GenerationConfig {
-                    foj_samples: doc.get("foj_samples").and_then(Value::as_u64).unwrap_or(0)
-                        as usize,
-                    batch: doc.get("batch").and_then(Value::as_u64).unwrap_or(1).max(1) as usize,
-                    seed: doc.get("seed").and_then(Value::as_u64).unwrap_or(0),
-                    strategy,
-                },
-                state: ReplayState::Interrupted,
+            entries.entry(id).or_insert_with(|| {
+                Entry::Gen(ReplayedJob {
+                    id,
+                    model: model.to_string(),
+                    version: doc.get("version").and_then(Value::as_u64).unwrap_or(0),
+                    config: GenerationConfig {
+                        foj_samples: doc.get("foj_samples").and_then(Value::as_u64).unwrap_or(0)
+                            as usize,
+                        batch: doc.get("batch").and_then(Value::as_u64).unwrap_or(1).max(1)
+                            as usize,
+                        seed: doc.get("seed").and_then(Value::as_u64).unwrap_or(0),
+                        strategy,
+                    },
+                    state: ReplayState::Interrupted,
+                })
             });
         }
-        "running" | "resumed" | "relation" => {
-            // Still non-terminal; nothing to update — relation events may
-            // precede a completed that never made it to disk.
+        "train_accepted" => {
+            let Some(model) = doc.get("model").and_then(Value::as_str) else {
+                return;
+            };
+            entries.entry(id).or_insert_with(|| {
+                Entry::Train(ReplayedTrain {
+                    id,
+                    model: model.to_string(),
+                    spec: doc.get("spec").cloned().unwrap_or(Value::Null),
+                    state: TrainReplayState::Interrupted,
+                })
+            });
+        }
+        "rollback" => {
+            let Some(model) = doc.get("model").and_then(Value::as_str) else {
+                return;
+            };
+            entries.entry(id).or_insert_with(|| {
+                Entry::Roll(RollbackRecord {
+                    id,
+                    model: model.to_string(),
+                })
+            });
+        }
+        "running" | "resumed" | "relation" | "epoch" | "evaluating" => {
+            // Still non-terminal; nothing to update — relation/epoch events
+            // may precede a terminal record that never made it to disk.
         }
         "completed" => {
-            if let Some(job) = jobs.get_mut(&id) {
+            if let Some(Entry::Gen(job)) = entries.get_mut(&id) {
                 job.state =
                     ReplayState::Completed(doc.get("summary").cloned().unwrap_or(Value::Null));
             }
         }
+        "promoted" => {
+            if let Some(Entry::Train(train)) = entries.get_mut(&id) {
+                train.state = TrainReplayState::Promoted {
+                    version: doc.get("version").and_then(Value::as_u64).unwrap_or(0),
+                    summary: doc.get("summary").cloned().unwrap_or(Value::Null),
+                };
+            }
+        }
+        "rejected" => {
+            if let Some(Entry::Train(train)) = entries.get_mut(&id) {
+                train.state =
+                    TrainReplayState::Rejected(doc.get("summary").cloned().unwrap_or(Value::Null));
+            }
+        }
         "failed" => {
-            if let Some(job) = jobs.get_mut(&id) {
-                job.state = ReplayState::Failed(
-                    doc.get("error")
-                        .and_then(Value::as_str)
-                        .unwrap_or("unknown error")
-                        .to_string(),
-                );
+            let error = doc
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("unknown error")
+                .to_string();
+            match entries.get_mut(&id) {
+                Some(Entry::Gen(job)) => job.state = ReplayState::Failed(error),
+                Some(Entry::Train(train)) => train.state = TrainReplayState::Failed(error),
+                _ => {}
             }
         }
-        "cancelled" => {
-            if let Some(job) = jobs.get_mut(&id) {
-                job.state = ReplayState::Cancelled;
-            }
-        }
+        "cancelled" => match entries.get_mut(&id) {
+            Some(Entry::Gen(job)) => job.state = ReplayState::Cancelled,
+            Some(Entry::Train(train)) => train.state = TrainReplayState::Cancelled,
+            _ => {}
+        },
         _ => {}
     }
 }
@@ -799,6 +1037,84 @@ mod tests {
         journal.accepted(4, "m", 2, &config(4));
         assert_eq!(journal.replay().unwrap().len(), 4);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Training jobs fold through their own vocabulary and share the id
+    /// space with generation jobs and rollback records.
+    #[test]
+    fn train_events_fold_to_last_state() {
+        let journal = temp_journal("train_fold");
+        let spec = json!({"model": "m", "epochs": 8, "seed": 3});
+        // id 1: a generation job; ids 2-5: training jobs; id 6: a rollback.
+        journal.accepted(1, "m", 1, &config(9));
+        journal.completed(1, &json!({}));
+        journal.train_accepted(2, "m", &spec);
+        journal.running(2);
+        journal.epoch(2, 1, 8, 0.5);
+        journal.epoch(2, 2, 8, 0.25);
+        journal.train_accepted(3, "m", &spec);
+        journal.evaluating(3);
+        journal.promoted(3, 2, &json!({"candidate_p95": 1.5}));
+        journal.train_accepted(4, "m", &spec);
+        journal.rejected(4, &json!({"reason": "worse than incumbent"}));
+        journal.train_accepted(5, "m", &spec);
+        journal.failed(5, "boom");
+        journal.rollback(6, "m", 2, 3);
+
+        let replay = journal.replay_full().unwrap();
+        assert_eq!(replay.jobs.len(), 1, "generation jobs keep folding");
+        assert_eq!(replay.trains.len(), 4);
+        assert_eq!(replay.trains[0].state, TrainReplayState::Interrupted);
+        assert_eq!(replay.trains[0].spec, spec);
+        assert!(matches!(
+            replay.trains[1].state,
+            TrainReplayState::Promoted { version: 2, .. }
+        ));
+        assert!(matches!(
+            replay.trains[2].state,
+            TrainReplayState::Rejected(_)
+        ));
+        assert_eq!(
+            replay.trains[3].state,
+            TrainReplayState::Failed("boom".into())
+        );
+        assert_eq!(
+            replay.rollbacks,
+            vec![RollbackRecord {
+                id: 6,
+                model: "m".into()
+            }]
+        );
+        // The legacy view still returns only generation jobs.
+        assert_eq!(journal.replay().unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(journal.dir());
+    }
+
+    /// Compaction must retain training jobs and rollback records — the
+    /// snapshot replays to the same training state the log did.
+    #[test]
+    fn compaction_retains_train_records() {
+        let journal = temp_journal("train_compact");
+        let spec = json!({"model": "m", "epochs": 4});
+        journal.train_accepted(1, "m", &spec);
+        journal.running(1);
+        journal.epoch(1, 1, 4, 0.9);
+        journal.train_accepted(2, "m", &spec);
+        journal.promoted(2, 5, &json!({"candidate_p95": 2.0}));
+        journal.rollback(3, "m", 5, 6);
+
+        let before = journal.replay_full().unwrap();
+        let count = journal.compact().unwrap();
+        assert_eq!(count, 3, "two trains + one rollback in the snapshot");
+        assert_eq!(journal.log_len(), 0);
+
+        let after = journal.replay_full().unwrap();
+        assert_eq!(after.trains.len(), 2);
+        assert_eq!(after.trains[0].state, TrainReplayState::Interrupted);
+        assert_eq!(after.trains[0].spec, spec);
+        assert_eq!(after.trains[1].state, before.trains[1].state);
+        assert_eq!(after.rollbacks, before.rollbacks);
+        let _ = std::fs::remove_dir_all(journal.dir());
     }
 
     /// Appends framed with CRC: every line round-trips through

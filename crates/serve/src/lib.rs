@@ -18,6 +18,13 @@
 //!   completed jobs survive a restart (status + export), interrupted jobs
 //!   resume bit-for-bit from their recorded seed
 //!   ([`Server::replay_journal`]).
+//! * [`TrainRegistry`] — train-as-a-service: `POST /train` ingests a
+//!   streamed labelled workload (gzip/deflate request bodies accepted),
+//!   trains a candidate on a background thread with journaled + checkpointed
+//!   epochs (a SIGKILL mid-train resumes bit-for-bit on restart), shadow-
+//!   evaluates it against the incumbent on a held-out slice, and promotes
+//!   the winner as a new registry version — with
+//!   `POST /models/{name}/rollback` to walk back a bad promotion.
 //! * [`QualityMonitor`] — shadow-samples a fraction of live estimates and
 //!   scores them off the hot path (exactly, against attached reference
 //!   relations, or for parity against the f32 reference backend), keeping
@@ -41,7 +48,7 @@
 #![warn(missing_docs)]
 // The vendored `json!` macro expands recursively per key; the estimate
 // response document overflows the default limit.
-#![recursion_limit = "256"]
+#![recursion_limit = "512"]
 
 pub mod batcher;
 pub mod cache;
@@ -55,14 +62,20 @@ pub mod quality;
 pub mod registry;
 pub mod server;
 pub mod sync;
+pub mod training;
 
 pub use batcher::{BatchReply, Batcher, EstimateJob};
 pub use cache::{EstimateCache, EstimateKey};
 pub use compress::{gunzip, zlib_decode, Coding, Encoder};
 pub use error::ServeError;
 pub use jobs::{JobRecord, JobRegistry, JobState};
-pub use journal::{Journal, ReplayState, ReplayedJob};
+pub use journal::{
+    Journal, Replay, ReplayState, ReplayedJob, ReplayedTrain, RollbackRecord, TrainReplayState,
+};
 pub use metrics::ServeMetrics;
 pub use quality::{QualityConfig, QualityCounters, QualityMonitor, QualityTask};
 pub use registry::{ModelEntry, ModelRegistry};
 pub use server::{ReplaySummary, ServeConfig, Server};
+pub use training::{
+    split_workload, SplitWorkload, TrainRecord, TrainRegistry, TrainSpec, TrainState,
+};

@@ -53,6 +53,18 @@ pub struct ServeMetrics {
     pub jobs_started: Arc<Counter>,
     /// Generation jobs that reached a terminal state.
     pub jobs_finished: Arc<Counter>,
+    /// Training jobs accepted (`POST /train`).
+    pub trains_started: Arc<Counter>,
+    /// Training jobs whose candidate won shadow evaluation and was
+    /// hot-swapped in as a new model version.
+    pub trains_promoted: Arc<Counter>,
+    /// Training jobs whose candidate lost shadow evaluation (incumbent
+    /// kept serving).
+    pub trains_rejected: Arc<Counter>,
+    /// Training jobs that failed before a verdict.
+    pub trains_failed: Arc<Counter>,
+    /// Model rollbacks performed (`POST /models/{name}/rollback`).
+    pub rollbacks: Arc<Counter>,
     /// Relation exports streamed to completion (`GET /jobs/{id}/export`).
     pub exports_ok: Arc<Counter>,
     /// Events appended to the on-disk job journal (0 without
@@ -145,6 +157,11 @@ impl Default for ServeMetrics {
             cache_misses: registry.counter("sam_estimate_cache_misses_total"),
             jobs_started: registry.counter("sam_jobs_started_total"),
             jobs_finished: registry.counter("sam_jobs_finished_total"),
+            trains_started: registry.counter("sam_trains_started_total"),
+            trains_promoted: registry.counter("sam_trains_promoted_total"),
+            trains_rejected: registry.counter("sam_trains_rejected_total"),
+            trains_failed: registry.counter("sam_trains_failed_total"),
+            rollbacks: registry.counter("sam_rollbacks_total"),
             exports_ok: registry.counter("sam_exports_ok_total"),
             journal_events: registry.counter("sam_journal_events_total"),
             jobs_replayed: registry.counter("sam_jobs_replayed_total"),
@@ -190,6 +207,11 @@ impl ServeMetrics {
             "cache_misses": self.cache_misses.get(),
             "jobs_started": self.jobs_started.get(),
             "jobs_finished": self.jobs_finished.get(),
+            "trains_started": self.trains_started.get(),
+            "trains_promoted": self.trains_promoted.get(),
+            "trains_rejected": self.trains_rejected.get(),
+            "trains_failed": self.trains_failed.get(),
+            "rollbacks": self.rollbacks.get(),
             "exports_ok": self.exports_ok.get(),
             "journal_events": self.journal_events.get(),
             "jobs_replayed": self.jobs_replayed.get(),

@@ -57,10 +57,27 @@ impl ModelEntry {
     }
 }
 
+/// How many superseded versions each name retains for rollback.
+pub const HISTORY_CAP: usize = 4;
+
+/// One named slot: the live version, the retained prior versions, and the
+/// name's version counter. The counter lives on the slot — never derived
+/// from the current entry — so versions stay unique and monotone even after
+/// a rollback re-registers an older model, and so two concurrent loads
+/// (e.g. `POST /models` racing journal replay) can never mint the same id:
+/// assignment happens entirely under the registry write lock.
+struct ModelSlot {
+    current: Arc<ModelEntry>,
+    /// Superseded versions, oldest first, at most [`HISTORY_CAP`].
+    history: Vec<Arc<ModelEntry>>,
+    /// Next version to mint for this name; starts at 2 once v1 exists.
+    next_version: u64,
+}
+
 /// Concurrent name → model map. All methods take `&self`.
 #[derive(Default)]
 pub struct ModelRegistry {
-    inner: RwLock<HashMap<String, Arc<ModelEntry>>>,
+    inner: RwLock<HashMap<String, ModelSlot>>,
     /// Inference backend forced onto every loaded model; `None` honours the
     /// backend recorded in each checkpoint.
     backend_override: Option<BackendKind>,
@@ -105,20 +122,126 @@ impl ModelRegistry {
         trained: TrainedSam,
         reference: Option<Arc<Database>>,
     ) -> u64 {
+        self.swap_in(name, Arc::new(trained), reference)
+    }
+
+    /// Swap `trained` in as the new current version of `name`, retiring the
+    /// incumbent into the rollback history. The whole operation — version
+    /// assignment included — runs under one write lock.
+    fn swap_in(
+        &self,
+        name: &str,
+        trained: Arc<TrainedSam>,
+        reference: Option<Arc<Database>>,
+    ) -> u64 {
         let mut map = self.inner.write();
-        let version = map.get(name).map_or(0, |e| e.version) + 1;
-        map.insert(
-            name.to_string(),
-            Arc::new(ModelEntry {
-                name: name.to_string(),
-                version,
-                trained: Arc::new(trained),
-                trie: Lock::new(PrefixTrie::new()),
-                batch: Lock::new(SampleBatch::new()),
-                reference,
-            }),
-        );
-        version
+        match map.get_mut(name) {
+            Some(slot) => {
+                let version = slot.next_version;
+                slot.next_version += 1;
+                let entry = Arc::new(ModelEntry {
+                    name: name.to_string(),
+                    version,
+                    trained,
+                    trie: Lock::new(PrefixTrie::new()),
+                    batch: Lock::new(SampleBatch::new()),
+                    reference,
+                });
+                let old = std::mem::replace(&mut slot.current, entry);
+                slot.history.push(old);
+                if slot.history.len() > HISTORY_CAP {
+                    slot.history.remove(0);
+                }
+                version
+            }
+            None => {
+                let entry = Arc::new(ModelEntry {
+                    name: name.to_string(),
+                    version: 1,
+                    trained,
+                    trie: Lock::new(PrefixTrie::new()),
+                    batch: Lock::new(SampleBatch::new()),
+                    reference,
+                });
+                map.insert(
+                    name.to_string(),
+                    ModelSlot {
+                        current: entry,
+                        history: Vec::new(),
+                        next_version: 2,
+                    },
+                );
+                1
+            }
+        }
+    }
+
+    /// Promote an already-shared trained model (a training job's candidate)
+    /// as the new current version of `name`. Returns the minted version.
+    pub fn promote(
+        &self,
+        name: &str,
+        trained: Arc<TrainedSam>,
+        reference: Option<Arc<Database>>,
+    ) -> u64 {
+        self.swap_in(name, trained, reference)
+    }
+
+    /// Re-promote a persisted candidate (a training job's `model.json`)
+    /// under `name`, honouring the backend override and preserving the
+    /// slot's current reference database — journal replay's path for
+    /// re-applying a recorded promotion.
+    pub(crate) fn promote_from_file(&self, name: &str, path: &Path) -> Result<u64, ServeError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ServeError::Internal(format!("cannot read candidate {path:?}: {e}")))?;
+        let (model, db_schema) = sam_ar::load_model(&text)
+            .map_err(|e| ServeError::Internal(format!("cannot load candidate {path:?}: {e}")))?;
+        let model = match self.backend_override {
+            Some(kind) => model.with_backend(kind),
+            None => model,
+        };
+        let reference = self.get(name).and_then(|e| e.reference.clone());
+        let report = TrainReport {
+            epoch_losses: Vec::new(),
+            constraints_processed: 0,
+            wall_seconds: 0.0,
+        };
+        Ok(self.swap_in(
+            name,
+            Arc::new(Sam::from_frozen(db_schema, model, report)),
+            reference,
+        ))
+    }
+
+    /// Roll `name` back to its most recently superseded version. The
+    /// restored model is re-registered under a **new** monotone version (so
+    /// version-keyed caches and tries invalidate correctly) but serves the
+    /// prior version's weights bit-for-bit. The rolled-back current is
+    /// dropped from the slot — repeated rollbacks walk further back through
+    /// the history rather than toggling. Returns
+    /// `(new_version, restored_from_version)`.
+    pub fn rollback(&self, name: &str) -> Result<(u64, u64), ServeError> {
+        let mut map = self.inner.write();
+        let slot = map
+            .get_mut(name)
+            .ok_or_else(|| ServeError::NotFound(format!("no model named {name:?}")))?;
+        let prior = slot.history.pop().ok_or_else(|| {
+            ServeError::Conflict(format!(
+                "model {name:?} has no prior version to roll back to"
+            ))
+        })?;
+        let version = slot.next_version;
+        slot.next_version += 1;
+        let restored_from = prior.version;
+        slot.current = Arc::new(ModelEntry {
+            name: name.to_string(),
+            version,
+            trained: prior.trained.clone(),
+            trie: Lock::new(PrefixTrie::new()),
+            batch: Lock::new(SampleBatch::new()),
+            reference: prior.reference.clone(),
+        });
+        Ok((version, restored_from))
     }
 
     /// Load a persisted model (the `sam_ar::save_model` JSON format) from
@@ -162,12 +285,26 @@ impl ModelRegistry {
 
     /// Resolve a model by name.
     pub fn get(&self, name: &str) -> Option<Arc<ModelEntry>> {
-        self.inner.read().get(name).cloned()
+        self.inner.read().get(name).map(|s| s.current.clone())
+    }
+
+    /// Versions retained for rollback under `name`, oldest first.
+    pub fn history_versions(&self, name: &str) -> Vec<u64> {
+        self.inner
+            .read()
+            .get(name)
+            .map(|s| s.history.iter().map(|e| e.version).collect())
+            .unwrap_or_default()
     }
 
     /// All registered models, sorted by name.
     pub fn list(&self) -> Vec<Arc<ModelEntry>> {
-        let mut entries: Vec<_> = self.inner.read().values().cloned().collect();
+        let mut entries: Vec<_> = self
+            .inner
+            .read()
+            .values()
+            .map(|s| s.current.clone())
+            .collect();
         entries.sort_by(|a, b| a.name.cmp(&b.name));
         entries
     }
@@ -186,7 +323,7 @@ impl ModelRegistry {
 /// Read `{table}.csv` for every table of `schema` from `dir` and assemble
 /// the reference [`Database`] (with integrity checking — this is
 /// operator-supplied data, not bytes we persisted ourselves).
-fn load_reference_database(
+pub(crate) fn load_reference_database(
     schema: &sam_storage::DatabaseSchema,
     dir: &Path,
 ) -> Result<Database, ServeError> {

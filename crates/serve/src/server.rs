@@ -16,7 +16,9 @@
 //! | `POST /models` | load / hot-swap a persisted model from disk |
 //! | `POST /estimate` | micro-batched cardinality estimate |
 //! | `POST /generate` | start an async generation job (202) |
-//! | `GET /jobs/{id}` | poll job state / stage / progress |
+//! | `POST /train` | start a training job from a streamed workload body (202) |
+//! | `POST /models/{name}/rollback` | restore the previously promoted version |
+//! | `GET /jobs/{id}` | poll job state / stage / progress (generation and training) |
 //! | `GET /jobs/{id}/export` | stream a finished relation as chunked CSV/JSONL, gzip/deflate negotiated |
 //! | `POST /jobs/{id}/cancel` | request cooperative cancellation |
 //! | `GET /metrics` | counters + latency percentiles |
@@ -43,18 +45,19 @@ use crate::compress::{Coding, Encoder};
 use crate::error::ServeError;
 use crate::http::{self, ChunkedWriter, Request};
 use crate::jobs::{JobRegistry, JobState};
-use crate::journal::{Journal, ReplayState};
+use crate::journal::{Journal, ReplayState, ReplayedTrain, RollbackRecord, TrainReplayState};
 use crate::metrics::ServeMetrics;
 use crate::quality::{QualityConfig, QualityMonitor, QualityTask};
-use crate::registry::ModelRegistry;
+use crate::registry::{ModelEntry, ModelRegistry};
 use crate::sync::Lock;
+use crate::training::{self, TrainJob, TrainRegistry, TrainSpec, TrainState};
 use sam_core::{GenerationConfig, JoinKeyStrategy};
 use sam_nn::BackendKind;
 use sam_obs::{CacheOutcome, Endpoint, FlightRecorder, SlowEntry, SlowLog};
 use sam_query::parse_query;
 use sam_storage::csv::write_csv;
 use sam_storage::jsonl::write_jsonl;
-use sam_storage::{csv::read_csv, Database, Table};
+use sam_storage::{csv::read_csv, Database, DatabaseStats, Table};
 use serde_json::{json, Value};
 use std::io::BufRead;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -126,6 +129,11 @@ pub struct ServeConfig {
     pub flight_capacity: usize,
     /// Requests at or above this latency enter the slow-query log.
     pub slow_query_ms: u64,
+    /// Absolute promotion gate for training jobs: a candidate is promoted
+    /// only if its p95 holdout Q-Error is at or below this **and** does not
+    /// regress the incumbent's (`--promote-max-qerror`; a `POST /train`
+    /// request can tighten or loosen it with `max_qerror=`).
+    pub promote_max_qerror: f64,
 }
 
 impl Default for ServeConfig {
@@ -149,6 +157,7 @@ impl Default for ServeConfig {
             quality_audit: None,
             flight_capacity: 512,
             slow_query_ms: 250,
+            promote_max_qerror: 1000.0,
         }
     }
 }
@@ -167,8 +176,11 @@ pub struct ReplaySummary {
 
 struct ServerState {
     config: ServeConfig,
-    registry: ModelRegistry,
+    registry: Arc<ModelRegistry>,
     jobs: JobRegistry,
+    /// Background training jobs (`POST /train`); shares the job-id space
+    /// with `jobs` via [`JobRegistry::allocate_id`].
+    trains: TrainRegistry,
     metrics: Arc<ServeMetrics>,
     batcher: Batcher,
     /// Completed estimates keyed on (model, version, canonical query,
@@ -225,7 +237,7 @@ impl Server {
             Some(Arc::clone(&flight)),
         );
         let cache = EstimateCache::new(config.cache_capacity);
-        let registry = ModelRegistry::with_backend_override(config.backend);
+        let registry = Arc::new(ModelRegistry::with_backend_override(config.backend));
         let backend_label = config
             .backend
             .map_or_else(|| "per-model".to_string(), |b| b.to_string());
@@ -248,6 +260,7 @@ impl Server {
             config,
             registry,
             jobs: JobRegistry::with_journal(journal),
+            trains: TrainRegistry::new(),
             metrics,
             batcher,
             cache,
@@ -285,6 +298,11 @@ impl Server {
         &self.state.jobs
     }
 
+    /// The training-job registry.
+    pub fn trains(&self) -> &TrainRegistry {
+        &self.state.trains
+    }
+
     /// Server metrics.
     pub fn metrics(&self) -> &ServeMetrics {
         &self.state.metrics
@@ -302,6 +320,16 @@ impl Server {
     /// results are unreadable) are restored as failed with an explanatory
     /// error rather than dropped.
     ///
+    /// Training jobs and rollbacks replay the same way, **before** the
+    /// generation jobs and in journal order: recorded promotions re-load
+    /// the persisted candidate weights and hot-swap them back in, recorded
+    /// rollbacks re-apply, and an interrupted training job re-spawns from
+    /// its persisted workload split — auto-resuming from its last on-disk
+    /// checkpoint, so the resumed run is bit-for-bit what the interrupted
+    /// one would have produced. (Versions are re-minted during replay; they
+    /// match the recorded ones whenever the models loaded before replay
+    /// match the pre-restart loads.)
+    ///
     /// No-op returning the default summary when journaling is off.
     ///
     /// # Errors
@@ -315,7 +343,43 @@ impl Server {
         };
         let mut span = sam_obs::span!("journal_replay");
         let mut summary = ReplaySummary::default();
-        for job in journal.replay()? {
+        let replay = journal.replay_full()?;
+
+        // Registry history first: promotions and rollbacks re-apply in id
+        // order (ids are minted monotonically, so id order is event order),
+        // leaving the registry's current version and rollback history as
+        // the journal last recorded them. Generation jobs then bind to the
+        // restored registry state.
+        enum RegistryEvent<'a> {
+            Train(&'a ReplayedTrain),
+            Roll(&'a RollbackRecord),
+        }
+        let mut events: Vec<(u64, RegistryEvent)> = replay
+            .trains
+            .iter()
+            .map(|t| (t.id, RegistryEvent::Train(t)))
+            .chain(
+                replay
+                    .rollbacks
+                    .iter()
+                    .map(|r| (r.id, RegistryEvent::Roll(r))),
+            )
+            .collect();
+        events.sort_by_key(|(id, _)| *id);
+        for (id, event) in events {
+            self.state.jobs.reserve_through(id);
+            match event {
+                RegistryEvent::Roll(r) => {
+                    // The model (or its history) may be gone after a
+                    // restart with different loads; the rollback is then a
+                    // no-op rather than a replay abort.
+                    let _ = self.state.registry.rollback(&r.model);
+                }
+                RegistryEvent::Train(t) => self.replay_train(&journal, t, &mut summary),
+            }
+        }
+
+        for job in replay.jobs {
             self.state.metrics.jobs_replayed.inc();
             let entry = self.state.registry.get(&job.model);
             match (job.state, entry) {
@@ -401,9 +465,108 @@ impl Server {
         Ok(summary)
     }
 
+    /// Restore one journaled training job: re-apply a promotion from its
+    /// persisted candidate, re-insert terminal verdicts, or re-spawn an
+    /// interrupted run from its persisted workload split (checkpoint
+    /// auto-resume makes the rerun bit-for-bit).
+    fn replay_train(&self, journal: &Arc<Journal>, t: &ReplayedTrain, summary: &mut ReplaySummary) {
+        self.state.metrics.jobs_replayed.inc();
+        let terminal = |state: TrainState, version: u64| {
+            self.state
+                .trains
+                .insert_terminal(t.id, &t.model, version, state);
+        };
+        match &t.state {
+            TrainReplayState::Promoted { summary: eval, .. } => {
+                let path = journal.job_dir(t.id).join("model.json");
+                match self.state.registry.promote_from_file(&t.model, &path) {
+                    Ok(version) => {
+                        terminal(
+                            TrainState::Promoted {
+                                version,
+                                summary: eval.clone(),
+                            },
+                            version,
+                        );
+                        summary.completed += 1;
+                    }
+                    Err(e) => {
+                        terminal(
+                            TrainState::Failed(format!(
+                                "promoted before restart, but candidate unavailable: {e}"
+                            )),
+                            0,
+                        );
+                        summary.failed += 1;
+                    }
+                }
+            }
+            TrainReplayState::Rejected(eval) => {
+                terminal(
+                    TrainState::Rejected {
+                        summary: eval.clone(),
+                    },
+                    0,
+                );
+                summary.completed += 1;
+            }
+            TrainReplayState::Failed(msg) => {
+                terminal(TrainState::Failed(msg.clone()), 0);
+                summary.failed += 1;
+            }
+            TrainReplayState::Cancelled => {
+                terminal(TrainState::Cancelled, 0);
+                summary.failed += 1;
+            }
+            TrainReplayState::Interrupted => match self.respawn_train(journal, t) {
+                Ok(()) => summary.resumed += 1,
+                Err(e) => {
+                    terminal(
+                        TrainState::Failed(format!(
+                            "interrupted before restart and not resumable: {e}"
+                        )),
+                        0,
+                    );
+                    summary.failed += 1;
+                }
+            },
+        }
+    }
+
+    /// Re-spawn an interrupted training job under its original id, from the
+    /// spec recorded at acceptance and the workload split persisted next to
+    /// the journal.
+    fn respawn_train(&self, journal: &Arc<Journal>, t: &ReplayedTrain) -> Result<(), ServeError> {
+        let spec = TrainSpec::from_value(&t.spec)?;
+        let incumbent = self.state.registry.get(&spec.model).ok_or_else(|| {
+            ServeError::NotFound(format!(
+                "model '{}' not registered after restart",
+                spec.model
+            ))
+        })?;
+        let split = training::load_persisted_workload(journal, t.id)?;
+        let stats = resolve_stats(&spec, &incumbent)?;
+        journal.resumed(t.id);
+        self.state.trains.spawn(TrainJob {
+            id: t.id,
+            spec,
+            incumbent,
+            split,
+            stats,
+            registry: Arc::clone(&self.state.registry),
+            metrics: Arc::clone(&self.state.metrics),
+            journal: Some(Arc::clone(journal)),
+            promote_max_qerror: self.state.config.promote_max_qerror,
+        });
+        Ok(())
+    }
+
     /// Graceful shutdown: stop accepting connections, finish in-flight
-    /// requests, drain the estimate queue, and join every generation job.
-    /// Idempotent; also runs on drop.
+    /// requests, drain the estimate queue, and join every generation and
+    /// training job (for a long train, `POST /jobs/{id}/cancel` first — a
+    /// SIGKILL instead leaves an `Interrupted` journal state that resumes
+    /// from its checkpoint on the next replay). Idempotent; also runs on
+    /// drop.
     pub fn shutdown(&self) {
         self.state.shutting_down.store(true, Ordering::SeqCst);
         // Wake the blocking accept so the loop observes the flag.
@@ -417,6 +580,7 @@ impl Server {
         }
         self.state.batcher.shutdown();
         self.state.jobs.drain();
+        self.state.trains.drain();
         self.state.quality.shutdown();
     }
 
@@ -870,6 +1034,10 @@ fn route(request: &Request, state: &Arc<ServerState>, telemetry: &mut Telemetry)
         ("POST", "/models") => load_model_route(state, &request.body),
         ("POST", "/estimate") => estimate_route(state, &request.body, telemetry),
         ("POST", "/generate") => generate_route(state, &request.body),
+        ("POST", "/train") => train_route(state, &request.body, query),
+        ("POST", p) if p.starts_with("/models/") && p.ends_with("/rollback") => {
+            rollback_route(state, p)
+        }
         ("GET", "/quality") => Ok((200, state.quality.report())),
         ("GET", "/debug/buildinfo") => Ok((200, buildinfo_route(state))),
         ("GET", "/debug/flight") => Ok((200, flight_route(state, query))),
@@ -1272,8 +1440,11 @@ fn job_route(state: &ServerState, method: &str, path: &str) -> Result<(u16, Valu
     match method {
         "GET" => {
             let id = parse_job_id(rest)?;
+            if let Some(record) = state.jobs.get(id) {
+                return Ok((200, record.status_json()));
+            }
             let record = state
-                .jobs
+                .trains
                 .get(id)
                 .ok_or_else(|| ServeError::NotFound(format!("job {id}")))?;
             Ok((200, record.status_json()))
@@ -1283,7 +1454,7 @@ fn job_route(state: &ServerState, method: &str, path: &str) -> Result<(u16, Valu
                 .strip_suffix("/cancel")
                 .ok_or_else(|| ServeError::NotFound(format!("no route for {path}")))?;
             let id = parse_job_id(id_part)?;
-            if state.jobs.cancel(id) {
+            if state.jobs.cancel(id) || state.trains.cancel(id) {
                 Ok((200, json!({"job_id": id, "cancelled": true})))
             } else {
                 Err(ServeError::NotFound(format!("job {id}")))
@@ -1291,6 +1462,92 @@ fn job_route(state: &ServerState, method: &str, path: &str) -> Result<(u16, Valu
         }
         _ => Err(ServeError::NotFound(format!("no route for {path}"))),
     }
+}
+
+/// `POST /train?model=M&...` — accept a streamed labelled-workload body
+/// (the interchange format; gzip/deflate request coding handled upstream in
+/// [`http`]), split off the holdout slice, and start a training job. `202`
+/// with the job id; progress and verdict at `GET /jobs/{id}`.
+fn train_route(
+    state: &Arc<ServerState>,
+    body: &str,
+    query: &str,
+) -> Result<(u16, Value), ServeError> {
+    if state.shutting_down.load(Ordering::SeqCst) {
+        return Err(ServeError::ShuttingDown);
+    }
+    let spec = TrainSpec::from_query(query)?;
+    let incumbent = state.registry.get(&spec.model).ok_or_else(|| {
+        ServeError::NotFound(format!(
+            "model '{}' (register it via POST /models before retraining)",
+            spec.model
+        ))
+    })?;
+    let split = training::split_workload(body, spec.holdout, spec.seed)?;
+    let stats = resolve_stats(&spec, &incumbent)?;
+    let id = state.jobs.allocate_id();
+    if let Some(journal) = state.jobs.journal() {
+        // Persist-then-commit: the workload split lands on disk before the
+        // accepted event, so an accepted record is always resumable.
+        training::persist_workload(journal, id, &split)?;
+        journal.train_accepted(id, &spec.model, &spec.to_value());
+    }
+    state.trains.spawn(TrainJob {
+        id,
+        spec,
+        incumbent,
+        split,
+        stats,
+        registry: Arc::clone(&state.registry),
+        metrics: Arc::clone(&state.metrics),
+        journal: state.jobs.journal().cloned(),
+        promote_max_qerror: state.config.promote_max_qerror,
+    });
+    Ok((
+        202,
+        json!({"job_id": id, "status_url": format!("/jobs/{id}")}),
+    ))
+}
+
+/// Statistics source for retraining: an explicit `data=<dir>` of reference
+/// CSVs wins; otherwise the incumbent's attached reference database.
+fn resolve_stats(spec: &TrainSpec, incumbent: &ModelEntry) -> Result<DatabaseStats, ServeError> {
+    if let Some(dir) = &spec.data {
+        let db =
+            crate::registry::load_reference_database(incumbent.trained.db_schema(), dir.as_ref())?;
+        return Ok(DatabaseStats::from_database(&db));
+    }
+    if let Some(db) = &incumbent.reference {
+        return Ok(DatabaseStats::from_database(db));
+    }
+    Err(ServeError::BadRequest(format!(
+        "no statistics source for retraining '{}': pass data=<dir> or register the model with \
+         reference data",
+        spec.model
+    )))
+}
+
+/// `POST /models/{name}/rollback` — restore the most recently superseded
+/// version under a new version number (see
+/// [`crate::registry::ModelRegistry::rollback`]); journaled so the restore
+/// replays across restarts.
+fn rollback_route(state: &ServerState, path: &str) -> Result<(u16, Value), ServeError> {
+    let name = path["/models/".len()..]
+        .strip_suffix("/rollback")
+        .expect("router matched suffix");
+    if name.is_empty() {
+        return Err(ServeError::BadRequest("missing model name".to_string()));
+    }
+    let (version, restored_from) = state.registry.rollback(name)?;
+    if let Some(journal) = state.jobs.journal() {
+        let id = state.jobs.allocate_id();
+        journal.rollback(id, name, restored_from, version);
+    }
+    state.metrics.rollbacks.inc();
+    Ok((
+        200,
+        json!({"model": name, "version": version, "restored_from": restored_from}),
+    ))
 }
 
 fn parse_job_id(text: &str) -> Result<u64, ServeError> {

@@ -1,0 +1,105 @@
+//! Registry version-history semantics: unique monotone version minting
+//! under concurrent loads (the `POST /models` vs journal-replay race), and
+//! bit-for-bit rollback through the retained history.
+
+mod support;
+
+use sam_serve::registry::{ModelRegistry, HISTORY_CAP};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn temp_file(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sam_registry_{tag}_{}.json", std::process::id()))
+}
+
+/// Regression: two concurrent loads of the same name must never mint the
+/// same version id. Version assignment happens under one registry write
+/// lock, so N racing loads produce exactly the versions 1..=N.
+#[test]
+fn concurrent_loads_mint_unique_monotone_versions() {
+    let trained = support::tiny_model(11);
+    let path = temp_file("race");
+    std::fs::write(
+        &path,
+        sam_ar::save_model(trained.model(), trained.db_schema()),
+    )
+    .unwrap();
+
+    const LOADERS: usize = 8;
+    let registry = Arc::new(ModelRegistry::new());
+    let barrier = Arc::new(std::sync::Barrier::new(LOADERS));
+    let mut handles = Vec::new();
+    for _ in 0..LOADERS {
+        let registry = registry.clone();
+        let barrier = barrier.clone();
+        let path = path.to_str().unwrap().to_string();
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            registry.load_file("census", &path).unwrap()
+        }));
+    }
+    let versions: BTreeSet<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert_eq!(
+        versions,
+        (1..=LOADERS as u64).collect::<BTreeSet<_>>(),
+        "each racing load must mint a distinct version"
+    );
+    assert_eq!(registry.get("census").unwrap().version, LOADERS as u64);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Rollback restores the prior version's weights bit-for-bit under a fresh
+/// monotone version; versions never repeat, and repeated rollbacks walk
+/// back through the history rather than toggling.
+#[test]
+fn rollback_restores_prior_weights_under_new_version() {
+    let registry = ModelRegistry::new();
+    let a = support::tiny_model(1);
+    let b = support::tiny_model(2);
+    let a_json = sam_ar::save_model(a.model(), a.db_schema());
+    let b_json = sam_ar::save_model(b.model(), b.db_schema());
+    assert_ne!(a_json, b_json, "distinct seeds must give distinct models");
+
+    assert_eq!(registry.insert("m", a), 1);
+    assert_eq!(registry.insert("m", b), 2);
+    assert_eq!(registry.history_versions("m"), vec![1]);
+
+    // Roll back v2 -> the v1 weights, re-registered as v3.
+    let (version, restored_from) = registry.rollback("m").unwrap();
+    assert_eq!((version, restored_from), (3, 1));
+    let entry = registry.get("m").unwrap();
+    assert_eq!(entry.version, 3);
+    let served = sam_ar::save_model(entry.trained.model(), entry.trained.db_schema());
+    assert_eq!(
+        served, a_json,
+        "rollback must serve prior weights bit-for-bit"
+    );
+
+    // History is now empty (the rolled-back v2 is dropped, v1 was popped):
+    // a second rollback has nothing to restore.
+    let err = registry.rollback("m").unwrap_err();
+    assert!(err.to_string().contains("no prior version"), "{err}");
+
+    // Unknown names are NotFound, not Conflict.
+    assert!(registry.rollback("ghost").is_err());
+}
+
+/// The history is bounded: only the last `HISTORY_CAP` superseded versions
+/// stay rollback-able.
+#[test]
+fn history_is_bounded_to_cap() {
+    let registry = ModelRegistry::new();
+    let total = HISTORY_CAP as u64 + 3;
+    for i in 0..total {
+        registry.insert("m", support::tiny_model(i % 2));
+        assert_eq!(registry.get("m").unwrap().version, i + 1);
+    }
+    let history = registry.history_versions("m");
+    assert_eq!(history.len(), HISTORY_CAP);
+    assert_eq!(
+        history,
+        ((total - HISTORY_CAP as u64)..total).collect::<Vec<_>>(),
+        "history keeps the most recent superseded versions, oldest first"
+    );
+}

@@ -6,6 +6,11 @@
 //! sam-cli train    --schema schema.json --data DIR --model-out model.json
 //!                  [--queries N | --workload FILE] [--epochs N] [--seed N]
 //!                  [--checkpoint-dir DIR] [--checkpoint-every N]
+//! sam-cli train    --addr HOST:PORT --workload FILE [--model NAME]
+//!                  [--epochs N] [--batch N] [--lr F] [--seed N]
+//!                  [--hidden W1,W2] [--holdout F] [--eval-samples N]
+//!                  [--eval-seed N] [--checkpoint-every N] [--max-qerror Q]
+//!                  [--data DIR] [--follow true] [--poll-ms N]
 //! sam-cli generate --schema schema.json (--data DIR | --stats stats.json) --out DIR
 //!                  [--model model.json] [--queries N | --workload FILE]
 //!                  [--epochs N] [--foj-samples N] [--seed N] [--backend f32|f16|int8]
@@ -21,7 +26,7 @@
 //!                  [--conn-requests N] [--quality-sample F]
 //!                  [--quality-window N] [--quality-alert-qerror Q]
 //!                  [--quality-audit FILE] [--flight-capacity N]
-//!                  [--slow-ms N]
+//!                  [--slow-ms N] [--promote-max-qerror Q]
 //! sam-cli journal  compact DIR
 //! sam-cli workgen  synth [--profile FILE] [--seed N] [--count N] [--out FILE]
 //!                  [--label true] (--schema schema.json --data DIR |
@@ -56,6 +61,13 @@
 //! same offline. `train --checkpoint-dir DIR` snapshots training state
 //! every `--checkpoint-every` epochs; rerunning with identical flags
 //! resumes bit-for-bit. See `docs/SERVING.md` for the full operator guide.
+//!
+//! With `--addr`, `train` instead submits the workload to a running
+//! server's `POST /train` (train-as-a-service): the server trains a
+//! candidate on a background thread, shadow-evaluates it against the
+//! incumbent on a held-out slice, and hot-swaps the winner into the
+//! registry if it clears the `--promote-max-qerror` gate. `--follow true`
+//! polls the job to its terminal state. See `docs/TRAINING.md`.
 //!
 //! `serve` shadow-scores `--quality-sample` of answered estimates against
 //! the truth (exact when a model was loaded as `name=path=datadir`, f32
@@ -119,6 +131,13 @@ impl Args {
                 i += 1;
                 continue;
             };
+            // `--help` is the one valueless flag: it short-circuits into the
+            // subcommand's flag table, so it must parse without a value.
+            if key == "help" {
+                flags.insert("help".to_string(), "true".to_string());
+                i += 1;
+                continue;
+            }
             let value = argv
                 .get(i + 1)
                 .cloned()
@@ -151,8 +170,121 @@ impl Args {
 
 fn usage() -> String {
     "usage: sam-cli <demo|export|train|generate|evaluate|estimate|serve|journal|workgen> [--flags]\n\
-     run with a subcommand; see the crate docs for details"
+     run with a subcommand; `sam-cli <serve|train|workgen> --help` prints the flag table"
         .into()
+}
+
+/// `sam-cli serve --help`. `tests/docs_check.rs` asserts every flag listed
+/// here also appears in `docs/SERVING.md` (and the training flags in
+/// `docs/TRAINING.md`), so additions must land in both places.
+fn serve_help() {
+    println!(
+        "usage: sam-cli serve [--flags]\n\n\
+         listener:\n  \
+           --addr HOST:PORT            listen address (default 127.0.0.1:8080)\n  \
+           --models SPEC,SPEC          preload models: name=model.json or name=model.json=datadir\n  \
+           --workers N                 estimate worker threads (default 2)\n  \
+           --queue N                   batcher queue capacity; full queue = 429 (default 64)\n  \
+           --max-batch N               max estimates fused per batch (default 16)\n  \
+           --samples N                 default progressive-sampling count (default 200)\n  \
+           --timeout-ms N              per-request deadline (default 10000)\n  \
+           --cache N                   estimate cache entries (default 1024)\n  \
+           --backend KIND              inference backend: f32 | f16 | int8 (default: checkpoint's)\n  \
+           --idle-timeout-ms N         keep-alive idle connection timeout (default 30000)\n  \
+           --conn-requests N           max requests per connection (default 1000)\n\n\
+         durability:\n  \
+           --journal-dir DIR           journal jobs + training runs for crash recovery\n  \
+           --journal-compact-bytes N   auto-compact threshold on replay; 0 disables (default 4194304)\n\n\
+         training (POST /train):\n  \
+           --promote-max-qerror Q      promotion gate: candidate holdout p95 Q-Error ceiling\n                              \
+                                       (default 1000; per-job override via max_qerror)\n\n\
+         quality + debug:\n  \
+           --quality-sample F          fraction of estimates shadow-scored (default 0.01)\n  \
+           --quality-window N          per-model sliding window size (default 256)\n  \
+           --quality-alert-qerror Q    audit-log threshold (default 100)\n  \
+           --quality-audit FILE        JSONL audit sink for threshold breaches\n  \
+           --flight-capacity N         request flight-recorder ring size (default 512)\n  \
+           --slow-ms N                 slow-request log threshold (default 250)\n\n\
+         observability:\n  \
+           --log-level LEVEL           silent | info | debug span lines on stderr\n  \
+           --trace-out PATH            Chrome trace JSON, rewritten every 30 s\n\n\
+         See docs/SERVING.md and docs/TRAINING.md for the operator guides."
+    );
+}
+
+/// `sam-cli train --help` — local training plus the remote
+/// train-as-a-service client mode (`--addr`).
+fn train_help() {
+    println!(
+        "usage: sam-cli train --schema schema.json --data DIR --model-out model.json [--flags]\n       \
+                sam-cli train --addr HOST:PORT --workload FILE [--flags]   (remote mode)\n\n\
+         local mode (train in-process, save the model):\n  \
+           --schema FILE               schema.json for the target database\n  \
+           --data DIR                  directory of {{table}}.csv reference data\n  \
+           --model-out FILE            where to save the trained model JSON\n  \
+           --queries N                 synthesize a workload of N queries (default 2000)\n  \
+           --workload FILE             use this workload file instead of synthesizing\n  \
+           --epochs N                  training epochs (default 10)\n  \
+           --seed N                    RNG seed for workload + training (default 0)\n  \
+           --checkpoint-dir DIR        atomic training snapshots for bit-for-bit resume\n  \
+           --checkpoint-every N        snapshot every N epochs (default 1)\n  \
+           --log-level LEVEL           silent | info | debug span lines on stderr\n  \
+           --trace-out PATH            Chrome trace JSON\n\n\
+         remote mode (submit to a running sam-cli serve — see docs/TRAINING.md):\n  \
+           --addr HOST:PORT            the server; presence of this flag selects remote mode\n  \
+           --workload FILE             labelled workload to upload (SQL `-- card=N` or JSONL)\n  \
+           --model NAME                registry name to retrain (default \"default\")\n  \
+           --epochs N                  candidate training epochs (default 20)\n  \
+           --batch N                   minibatch size (default 32)\n  \
+           --lr F                      learning rate (default 0.005)\n  \
+           --seed N                    training seed (default 0)\n  \
+           --hidden W1,W2              candidate hidden widths (default 16)\n  \
+           --holdout F                 held-out fraction for shadow eval (default 0.2)\n  \
+           --eval-samples N            progressive samples per holdout estimate (default 200)\n  \
+           --eval-seed N               shadow-eval RNG seed (default 0)\n  \
+           --checkpoint-every N        journaled checkpoint cadence (default 1)\n  \
+           --max-qerror Q              per-job promotion gate override\n  \
+           --data DIR                  server-side reference data dir for statistics\n  \
+           --follow true               poll GET /jobs/{{id}} until the job is terminal\n  \
+           --poll-ms N                 polling interval with --follow (default 500)"
+    );
+}
+
+/// `sam-cli workgen --help` — flag table across `synth`, `mine`, `load`.
+fn workgen_help() {
+    println!(
+        "usage: sam-cli workgen <synth|mine|load> [--flags]\n\n\
+         target database (synth + mine, and load without --workload):\n  \
+           --schema FILE               schema.json (with --data)\n  \
+           --data DIR                  directory of {{table}}.csv files\n  \
+           --dataset NAME              census | dmv | imdb synthetic fallback (default census)\n  \
+           --rows N                    synthetic dataset size (default 2000)\n  \
+           --data-seed N               synthetic dataset seed (default 0)\n\n\
+         synth (deterministic query synthesis):\n  \
+           --profile FILE              TOML synthesis profile\n  \
+           --seed N                    synthesis RNG seed (default 0)\n  \
+           --count N                   queries to emit (default: profile's)\n  \
+           --label true                label each query with its true cardinality\n  \
+           --out FILE                  write workload here instead of stdout\n\n\
+         mine (adversarial hard-query mining):\n  \
+           --model FILE                trained model to attack (else trains one: --epochs)\n  \
+           --seeds FILE                seed queries (else synthesized: --profile --count)\n  \
+           --top-k N                   hard queries to keep (default 10)\n  \
+           --rounds N                  mutation rounds (default 8)\n  \
+           --pool N                    survivor pool size (default 16)\n  \
+           --mutants N                 mutants per survivor per round (default 4)\n  \
+           --samples N                 estimation samples per score (default 64)\n  \
+           --epochs N                  epochs when training the attack target (default 10)\n\n\
+         load (open-loop replay against a live server):\n  \
+           --addr HOST:PORT            the server (default 127.0.0.1:8080)\n  \
+           --model NAME                registry model name (default \"default\")\n  \
+           --rate R                    request rate per second (default 100)\n  \
+           --connections N             concurrent connections (default 4)\n  \
+           --duration-ms N             run length (default 10000)\n  \
+           --timeout-ms N              per-request timeout (default 10000)\n  \
+           --workload FILE             replay this trace instead of synthesizing\n\n\
+         See docs/WORKGEN.md for the operator guide."
+    );
 }
 
 fn run() -> Result<(), String> {
@@ -381,6 +513,15 @@ fn export(args: &Args) -> Result<(), String> {
 }
 
 fn train_cmd(args: &Args) -> Result<(), String> {
+    if args.get("help").is_some() {
+        train_help();
+        return Ok(());
+    }
+    // `--addr` selects remote mode: submit the workload to a running
+    // `sam-cli serve` as a train-as-a-service job instead of training here.
+    if args.get("addr").is_some() {
+        return train_remote(args);
+    }
     let trace_out = setup_obs(args)?;
     let schema_path = args.required("schema")?;
     let data_dir = args.required("data")?;
@@ -401,6 +542,174 @@ fn train_cmd(args: &Args) -> Result<(), String> {
     println!("model saved to {model_out}");
     write_trace(&trace_out)?;
     Ok(())
+}
+
+// ------------------------------------------------- remote training client
+
+/// One-shot HTTP/1.1 exchange over a fresh connection (`Connection: close`,
+/// so the body is simply everything after the header block). Returns
+/// `(status, body)`.
+fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> Result<(u16, String), String> {
+    use std::io::Read;
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(60)))
+        .map_err(|e| e.to_string())?;
+    let mut request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n",
+        body.len()
+    )
+    .into_bytes();
+    request.extend_from_slice(b"\r\n");
+    request.extend_from_slice(body);
+    stream.write_all(&request).map_err(|e| e.to_string())?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).map_err(|e| e.to_string())?;
+    let text = String::from_utf8_lossy(&raw);
+    let (head, payload) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed HTTP response from {addr}"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line from {addr}"))?;
+    Ok((status, payload.to_string()))
+}
+
+/// `sam-cli train --addr HOST:PORT --workload FILE [--follow true]` — the
+/// train-as-a-service client. Uploads the workload to `POST /train`, prints
+/// the job id, and with `--follow true` polls `GET /jobs/{id}` until the job
+/// reaches a terminal state (promoted / rejected / failed / cancelled).
+fn train_remote(args: &Args) -> Result<(), String> {
+    let addr = args.required("addr")?;
+    let workload_path = args.required("workload").map_err(|_| {
+        "remote mode needs --workload FILE (a labelled workload to upload)".to_string()
+    })?;
+    let body = fs::read(workload_path).map_err(|e| format!("read {workload_path}: {e}"))?;
+
+    // Assemble the /train query string from flags; only explicit flags are
+    // forwarded so the server's defaults stay authoritative.
+    let model = args.get("model").unwrap_or("default");
+    let mut query = format!("model={model}");
+    for (flag, param) in [
+        ("epochs", "epochs"),
+        ("batch", "batch"),
+        ("lr", "lr"),
+        ("seed", "seed"),
+        ("hidden", "hidden"),
+        ("holdout", "holdout"),
+        ("eval-samples", "eval_samples"),
+        ("eval-seed", "eval_seed"),
+        ("checkpoint-every", "checkpoint_every"),
+        ("max-qerror", "max_qerror"),
+        ("data", "data"),
+    ] {
+        if let Some(v) = args.get(flag) {
+            query.push_str(&format!("&{param}={v}"));
+        }
+    }
+
+    let (status, response) = http_request(addr, "POST", &format!("/train?{query}"), &body)?;
+    if status != 202 {
+        return Err(format!(
+            "POST /train returned {status}: {}",
+            response.trim()
+        ));
+    }
+    let doc =
+        serde_json::parse_value(&response).map_err(|e| format!("bad /train response: {e}"))?;
+    let job_id = doc
+        .get("job_id")
+        .and_then(serde_json::Value::as_u64)
+        .ok_or("no job_id in /train response")?;
+    println!(
+        "training job {job_id} accepted (model {model:?}, {} workload bytes)",
+        body.len()
+    );
+
+    let follow: bool = args.num("follow", false)?;
+    if !follow {
+        println!("poll GET http://{addr}/jobs/{job_id} for progress, or rerun with --follow true");
+        return Ok(());
+    }
+
+    let poll = std::time::Duration::from_millis(args.num("poll-ms", 500u64)?.max(10));
+    let mut last_line = String::new();
+    loop {
+        let (status, response) = http_request(addr, "GET", &format!("/jobs/{job_id}"), b"")?;
+        if status != 200 {
+            return Err(format!(
+                "GET /jobs/{job_id} returned {status}: {}",
+                response.trim()
+            ));
+        }
+        let doc =
+            serde_json::parse_value(&response).map_err(|e| format!("bad /jobs response: {e}"))?;
+        let state = doc
+            .get("state")
+            .and_then(serde_json::Value::as_str)
+            .unwrap_or("?");
+        let stage = doc
+            .get("stage")
+            .and_then(serde_json::Value::as_str)
+            .unwrap_or("?");
+        let line = match doc.get("training") {
+            Some(t) => {
+                let epoch = t
+                    .get("epoch")
+                    .and_then(serde_json::Value::as_u64)
+                    .unwrap_or(0);
+                let total = t
+                    .get("total_epochs")
+                    .and_then(serde_json::Value::as_u64)
+                    .unwrap_or(0);
+                match t.get("loss").and_then(serde_json::Value::as_f64) {
+                    Some(loss) => format!("{state} [{stage}] epoch {epoch}/{total} loss {loss:.4}"),
+                    None => format!("{state} [{stage}] epoch {epoch}/{total}"),
+                }
+            }
+            None => format!("{state} [{stage}]"),
+        };
+        if line != last_line {
+            println!("job {job_id}: {line}");
+            last_line = line;
+        }
+        match state {
+            "promoted" => {
+                let version = doc.get("model_version").and_then(serde_json::Value::as_u64);
+                match version {
+                    Some(v) => println!("candidate promoted: model {model:?} now v{v}"),
+                    None => println!("candidate promoted"),
+                }
+                return Ok(());
+            }
+            "rejected" => {
+                return Err(format!(
+                    "candidate rejected by the promotion gate: {}",
+                    doc.get("result")
+                        .map(serde_json::Value::to_string)
+                        .unwrap_or_default()
+                ));
+            }
+            "failed" => {
+                return Err(format!(
+                    "training job failed: {}",
+                    doc.get("error")
+                        .and_then(serde_json::Value::as_str)
+                        .unwrap_or("unknown")
+                ));
+            }
+            "cancelled" => return Err("training job was cancelled".into()),
+            _ => std::thread::sleep(poll),
+        }
+    }
 }
 
 fn generate(args: &Args) -> Result<(), String> {
@@ -555,6 +864,10 @@ fn estimate(args: &Args) -> Result<(), String> {
 }
 
 fn serve(args: &Args) -> Result<(), String> {
+    if args.get("help").is_some() {
+        serve_help();
+        return Ok(());
+    }
     let trace_out = setup_obs(args)?;
     let config = sam::serve::ServeConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:8080").to_string(),
@@ -578,6 +891,7 @@ fn serve(args: &Args) -> Result<(), String> {
         quality_audit: args.get("quality-audit").map(PathBuf::from),
         flight_capacity: args.num("flight-capacity", 512usize)?,
         slow_query_ms: args.num("slow-ms", 250u64)?,
+        promote_max_qerror: args.num("promote-max-qerror", 1000.0f64)?,
     };
     let journalled = config.journal_dir.is_some();
     let server = sam::serve::Server::start(config).map_err(|e| e.to_string())?;
@@ -667,6 +981,10 @@ fn journal_cmd(args: &Args) -> Result<(), String> {
 /// adversarial hard-query mining against a trained model, and open-loop
 /// load replay against a live `sam-cli serve`. See `docs/WORKGEN.md`.
 fn workgen_cmd(args: &Args) -> Result<(), String> {
+    if args.get("help").is_some() {
+        workgen_help();
+        return Ok(());
+    }
     match args.positional.first().map(String::as_str) {
         Some("synth") => workgen_synth(args),
         Some("mine") => workgen_mine(args),

@@ -1,0 +1,159 @@
+//! Docs-drift gate: the operator docs must keep up with the CLI.
+//!
+//! Two invariants, both cheap and both the kind that silently rot:
+//!
+//! 1. Every flag printed by `sam-cli <serve|train|workgen> --help` appears
+//!    in the corresponding operator guide (docs/SERVING.md, docs/TRAINING.md,
+//!    docs/WORKGEN.md). Adding a flag without documenting it fails CI.
+//! 2. Every relative markdown link in README.md, DESIGN.md, ROADMAP.md, and
+//!    docs/*.md resolves to a file that exists — renames and deletions can't
+//!    leave dangling links behind.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Run `sam-cli <subcommand> --help` and collect every `--flag` token from
+/// its output. The literal `[--flags]` placeholder in usage lines is not a
+/// flag and is skipped.
+fn help_flags(subcommand: &str) -> BTreeSet<String> {
+    let output = Command::new(env!("CARGO_BIN_EXE_sam-cli"))
+        .args([subcommand, "--help"])
+        .output()
+        .expect("run sam-cli --help");
+    assert!(
+        output.status.success(),
+        "`sam-cli {subcommand} --help` exited with {:?}",
+        output.status
+    );
+    let text = String::from_utf8(output.stdout).expect("utf-8 help text");
+    let mut flags = BTreeSet::new();
+    for token in text.split_whitespace() {
+        if let Some(rest) = token.strip_prefix("--") {
+            let flag: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '-')
+                .collect();
+            if !flag.is_empty() && flag != "flags" {
+                flags.insert(flag);
+            }
+        }
+    }
+    assert!(
+        flags.len() >= 5,
+        "suspiciously few flags parsed from `sam-cli {subcommand} --help`: {flags:?}"
+    );
+    flags
+}
+
+fn assert_flags_documented(subcommand: &str, doc: &str) {
+    let path = repo_root().join(doc);
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let missing: Vec<String> = help_flags(subcommand)
+        .into_iter()
+        .filter(|flag| !text.contains(&format!("--{flag}")))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "`sam-cli {subcommand} --help` lists flags that {doc} never mentions: \
+         {missing:?} — document them (or fix the help text)"
+    );
+}
+
+#[test]
+fn every_serve_flag_is_documented() {
+    assert_flags_documented("serve", "docs/SERVING.md");
+}
+
+#[test]
+fn every_train_flag_is_documented() {
+    assert_flags_documented("train", "docs/TRAINING.md");
+}
+
+#[test]
+fn every_workgen_flag_is_documented() {
+    assert_flags_documented("workgen", "docs/WORKGEN.md");
+}
+
+/// Extract `](target)` markdown link targets from `text`. Good enough for
+/// this repo's plain links; fenced code blocks are skipped so shell
+/// snippets containing `](...)`-shaped text can't false-positive.
+fn link_targets(text: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(open) = rest.find("](") {
+            let tail = &rest[open + 2..];
+            match tail.find(')') {
+                Some(close) => {
+                    targets.push(tail[..close].to_string());
+                    rest = &tail[close + 1..];
+                }
+                None => break,
+            }
+        }
+    }
+    targets
+}
+
+#[test]
+fn every_relative_markdown_link_resolves() {
+    let root = repo_root();
+    let mut files: Vec<PathBuf> = ["README.md", "DESIGN.md", "ROADMAP.md", "CHANGES.md"]
+        .iter()
+        .map(|f| root.join(f))
+        .filter(|p| p.exists())
+        .collect();
+    let docs = root.join("docs");
+    if docs.is_dir() {
+        for entry in std::fs::read_dir(&docs).expect("read docs/") {
+            let path = entry.expect("dir entry").path();
+            if path.extension().is_some_and(|e| e == "md") {
+                files.push(path);
+            }
+        }
+    }
+    assert!(
+        files.len() >= 5,
+        "expected several doc files, got {files:?}"
+    );
+
+    let mut broken = Vec::new();
+    for file in &files {
+        let text = std::fs::read_to_string(file)
+            .unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
+        let dir = file.parent().unwrap_or(Path::new("."));
+        for target in link_targets(&text) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+                || target.starts_with('#')
+                || target.is_empty()
+            {
+                continue;
+            }
+            let path_part = target.split('#').next().unwrap();
+            if !dir.join(path_part).exists() {
+                broken.push(format!("{} -> {target}", file.display()));
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "dangling markdown links (relative targets that do not exist):\n{}",
+        broken.join("\n")
+    );
+}
