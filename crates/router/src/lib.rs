@@ -1,0 +1,38 @@
+//! `sam-router`: fault-tolerant sharded serving for SAM models.
+//!
+//! A thin HTTP router fronts a pool of `sam-serve` worker processes. Each
+//! worker owns a consistent-hash partition of the model namespace (see
+//! [`ring`]) and a disjoint job-id range (see [`worker`]), so every request
+//! on the existing single-server HTTP surface routes to exactly one shard —
+//! clients keep speaking the same protocol to one address and cannot tell
+//! the pool from a single `sam-serve`.
+//!
+//! The router is also the supervisor: it spawns workers, health-probes
+//! them, restarts dead ones with bounded exponential backoff, retries
+//! idempotent requests once against a recovered shard, and answers `503`
+//! with `Retry-After` while a shard is down, draining, or mid-rebalance.
+//! Durability lives in the workers' per-shard journal stores: a restarted
+//! (or replacement) worker on the same store replays and resumes every
+//! accepted job, so a worker crash never loses work the pool acknowledged.
+//!
+//! Module map:
+//! - [`ring`] — consistent-hash ring (model name → slot)
+//! - [`worker`] — model/worker specs, job-id partition, process spawning
+//! - [`proxy`] — upstream connection pool, buffered exchange, streamed
+//!   relay, health probe
+//! - [`metrics`] — router counters in the shared [`sam_obs`] registry
+//! - [`router`] — the router itself: routing table, supervision loop,
+//!   draining rebalance
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod proxy;
+pub mod ring;
+pub mod router;
+pub mod worker;
+
+pub use metrics::RouterMetrics;
+pub use ring::HashRing;
+pub use router::{Router, RouterConfig};
+pub use worker::{job_id_base, slot_for_job, ModelSpec, WorkerHealth, WorkerSpec, JOB_ID_STRIDE};

@@ -1,0 +1,104 @@
+//! Router-side observability: counters for routed traffic, retries, worker
+//! restarts, and shard unavailability, registered in the shared
+//! [`sam_obs`] global registry so `GET /metrics?format=prometheus` against
+//! the router exposes them alongside everything else.
+
+use sam_obs::Counter;
+use std::sync::Arc;
+
+/// The router's counters (all monotonic).
+#[derive(Debug, Clone)]
+pub struct RouterMetrics {
+    /// Every request the router accepted from a client.
+    pub requests: Arc<Counter>,
+    /// Requests successfully answered by a worker (any upstream status).
+    pub proxied_ok: Arc<Counter>,
+    /// Idempotent requests re-sent to a shard after its first attempt
+    /// failed on a dead/restarting worker.
+    pub retries: Arc<Counter>,
+    /// Dead managed workers respawned by the supervisor.
+    pub worker_restarts: Arc<Counter>,
+    /// Requests answered 503 because the owning shard was down, draining,
+    /// or mid-rebalance.
+    pub unavailable: Arc<Counter>,
+    /// Requests that failed with an upstream transport error after retry.
+    pub upstream_errors: Arc<Counter>,
+    /// Fan-out requests (`/metrics`, `/models`, `/quality`) dispatched.
+    pub fanouts: Arc<Counter>,
+    /// Draining rebalances completed (worker join/leave).
+    pub rebalances: Arc<Counter>,
+}
+
+impl RouterMetrics {
+    /// Create (or re-attach to) the router counters in the global
+    /// registry.
+    pub fn new() -> RouterMetrics {
+        let reg = sam_obs::Registry::global();
+        reg.describe(
+            "sam_router_requests_total",
+            "requests accepted by the router",
+        );
+        reg.describe(
+            "sam_router_retries_total",
+            "idempotent requests retried after a worker failure",
+        );
+        reg.describe(
+            "sam_router_worker_restarts_total",
+            "dead workers respawned by the supervisor",
+        );
+        reg.describe(
+            "sam_router_unavailable_total",
+            "requests answered 503 while a shard was down or draining",
+        );
+        RouterMetrics {
+            requests: sam_obs::counter("sam_router_requests_total"),
+            proxied_ok: sam_obs::counter("sam_router_proxied_ok_total"),
+            retries: sam_obs::counter("sam_router_retries_total"),
+            worker_restarts: sam_obs::counter("sam_router_worker_restarts_total"),
+            unavailable: sam_obs::counter("sam_router_unavailable_total"),
+            upstream_errors: sam_obs::counter("sam_router_upstream_errors_total"),
+            fanouts: sam_obs::counter("sam_router_fanouts_total"),
+            rebalances: sam_obs::counter("sam_router_rebalances_total"),
+        }
+    }
+
+    /// The router's own corner of the merged `/metrics` JSON document.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "requests": self.requests.get(),
+            "proxied_ok": self.proxied_ok.get(),
+            "router_retries": self.retries.get(),
+            "worker_restarts": self.worker_restarts.get(),
+            "unavailable": self.unavailable.get(),
+            "upstream_errors": self.upstream_errors.get(),
+            "fanouts": self.fanouts.get(),
+            "rebalances": self.rebalances.get(),
+        })
+    }
+}
+
+impl Default for RouterMetrics {
+    fn default() -> Self {
+        RouterMetrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_register_and_render() {
+        let metrics = RouterMetrics::new();
+        let before = metrics.requests.get();
+        metrics.requests.inc();
+        metrics.worker_restarts.add(2);
+        assert_eq!(metrics.requests.get(), before + 1);
+        let json = serde_json::to_string(&metrics.to_json()).unwrap();
+        assert!(json.contains("\"worker_restarts\""));
+        assert!(json.contains("\"router_retries\""));
+        // Same names re-attach to the same underlying counters.
+        let again = RouterMetrics::new();
+        assert_eq!(again.requests.get(), metrics.requests.get());
+    }
+}

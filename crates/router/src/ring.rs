@@ -1,0 +1,243 @@
+//! Consistent-hash ring mapping model names to worker slots.
+//!
+//! Each slot contributes [`VNODES`] virtual points (FNV-1a of
+//! `"slot-{slot}/{vnode}"`) on a `u64` ring; a key is owned by the first
+//! point clockwise from its own hash. Virtual nodes smooth the partition so
+//! a pool of N workers each owns roughly 1/N of the namespace, and adding
+//! or removing a slot only moves the keys whose ownership actually changes
+//! — everything else keeps its worker (and that worker's warm caches and
+//! job store).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Virtual points per slot. 64 keeps the ownership spread within a few
+/// percent of uniform for small pools while the ring stays tiny.
+pub const VNODES: usize = 64;
+
+/// FNV-1a, the same dependency-free 64-bit hash used elsewhere in the
+/// workspace. Stability matters more than quality here: the ring must hash
+/// identically across router restarts and across versions.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    mix(hash)
+}
+
+/// Finalizer (splitmix64's) on top of FNV: raw FNV of short, similar
+/// strings clusters in the upper bits, which skews ring ownership badly —
+/// the avalanche pass restores a near-uniform spread.
+fn mix(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// The ring: an ordered map of virtual points to slot indices, rebuilt
+/// deterministically from the slot set on every membership change.
+#[derive(Debug, Clone, Default)]
+pub struct HashRing {
+    slots: BTreeSet<usize>,
+    points: BTreeMap<u64, usize>,
+}
+
+impl HashRing {
+    /// An empty ring ([`slot_for`](HashRing::slot_for) answers `None`).
+    pub fn new() -> HashRing {
+        HashRing::default()
+    }
+
+    /// Add a slot (no-op if present) and rebuild the ring.
+    pub fn add_slot(&mut self, slot: usize) {
+        if self.slots.insert(slot) {
+            self.rebuild();
+        }
+    }
+
+    /// Remove a slot (no-op if absent) and rebuild the ring.
+    pub fn remove_slot(&mut self, slot: usize) {
+        if self.slots.remove(&slot) {
+            self.rebuild();
+        }
+    }
+
+    /// Whether `slot` is a member.
+    pub fn contains(&self, slot: usize) -> bool {
+        self.slots.contains(&slot)
+    }
+
+    /// Member slots in ascending order.
+    pub fn slots(&self) -> Vec<usize> {
+        self.slots.iter().copied().collect()
+    }
+
+    /// True when no slot is registered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The slot owning `key`: first virtual point clockwise from the key's
+    /// hash, wrapping at the top of the `u64` space. `None` on an empty
+    /// ring.
+    pub fn slot_for(&self, key: &str) -> Option<usize> {
+        let hash = fnv1a(key.as_bytes());
+        self.points
+            .range(hash..)
+            .next()
+            .or_else(|| self.points.iter().next())
+            .map(|(_, slot)| *slot)
+    }
+
+    /// Ownership preview: where `key` would land if `slot` joined. Used to
+    /// compute the moved-model set of a rebalance before mutating the ring.
+    pub fn slot_for_with(&self, key: &str, extra_slot: usize) -> Option<usize> {
+        let mut preview = self.clone();
+        preview.add_slot(extra_slot);
+        preview.slot_for(key)
+    }
+
+    fn rebuild(&mut self) {
+        self.points.clear();
+        for &slot in &self.slots {
+            for vnode in 0..VNODES {
+                let point = fnv1a(format!("slot-{slot}/{vnode}").as_bytes());
+                // u64 collisions across a few hundred points are
+                // vanishingly rare; lowest slot wins deterministically if
+                // one ever happens.
+                self.points.entry(point).or_insert(slot);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("model-{i}")).collect()
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let ring = HashRing::new();
+        assert!(ring.is_empty());
+        assert_eq!(ring.slot_for("m"), None);
+    }
+
+    #[test]
+    fn single_slot_owns_everything() {
+        let mut ring = HashRing::new();
+        ring.add_slot(3);
+        for key in keys(50) {
+            assert_eq!(ring.slot_for(&key), Some(3));
+        }
+    }
+
+    #[test]
+    fn ownership_is_deterministic_and_total() {
+        let mut a = HashRing::new();
+        let mut b = HashRing::new();
+        for slot in 0..4 {
+            a.add_slot(slot);
+            b.add_slot(slot);
+        }
+        for key in keys(200) {
+            let owner = a.slot_for(&key).unwrap();
+            assert_eq!(Some(owner), b.slot_for(&key));
+            assert!(owner < 4);
+        }
+    }
+
+    #[test]
+    fn virtual_nodes_spread_ownership() {
+        let mut ring = HashRing::new();
+        for slot in 0..4 {
+            ring.add_slot(slot);
+        }
+        let mut counts = [0usize; 4];
+        for key in keys(1000) {
+            counts[ring.slot_for(&key).unwrap()] += 1;
+        }
+        for (slot, &count) in counts.iter().enumerate() {
+            assert!(
+                count > 100,
+                "slot {slot} owns only {count}/1000 keys: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn join_moves_only_keys_the_new_slot_takes() {
+        let mut ring = HashRing::new();
+        for slot in 0..3 {
+            ring.add_slot(slot);
+        }
+        let before: Vec<(String, usize)> = keys(500)
+            .into_iter()
+            .map(|k| {
+                let owner = ring.slot_for(&k).unwrap();
+                (k, owner)
+            })
+            .collect();
+        ring.add_slot(3);
+        let mut moved = 0;
+        for (key, old_owner) in &before {
+            let new_owner = ring.slot_for(key).unwrap();
+            if new_owner != *old_owner {
+                assert_eq!(new_owner, 3, "a join may only move keys TO the joiner");
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "the joiner took nothing — vacuous rebalance");
+        assert!(moved < 300, "a single join moved most of the namespace");
+    }
+
+    #[test]
+    fn leave_moves_only_the_departed_slots_keys() {
+        let mut ring = HashRing::new();
+        for slot in 0..4 {
+            ring.add_slot(slot);
+        }
+        let before: Vec<(String, usize)> = keys(500)
+            .into_iter()
+            .map(|k| {
+                let owner = ring.slot_for(&k).unwrap();
+                (k, owner)
+            })
+            .collect();
+        ring.remove_slot(2);
+        for (key, old_owner) in &before {
+            let new_owner = ring.slot_for(key).unwrap();
+            assert_ne!(new_owner, 2);
+            if *old_owner != 2 {
+                assert_eq!(
+                    new_owner, *old_owner,
+                    "a leave may only move the departed slot's keys"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn preview_matches_actual_join() {
+        let mut ring = HashRing::new();
+        ring.add_slot(0);
+        ring.add_slot(1);
+        let previews: Vec<(String, Option<usize>)> = keys(100)
+            .into_iter()
+            .map(|k| {
+                let p = ring.slot_for_with(&k, 2);
+                (k, p)
+            })
+            .collect();
+        ring.add_slot(2);
+        for (key, preview) in previews {
+            assert_eq!(preview, ring.slot_for(&key));
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Router integration tests against *external* in-process `sam-serve`
+//! workers (`WorkerSpec::external_addr`): routing by model, fan-out merges,
+//! degradation to `503` + `Retry-After` while a shard is down or draining,
+//! and the surviving shard answering throughout. The subprocess half of the
+//! story (spawn, restart, crash points, bit-for-bit resume) lives in the
+//! root `tests/router_failover.rs`.
+
+use sam_core::{Sam, SamConfig, TrainedSam};
+use sam_query::eval::label_workload;
+use sam_query::WorkloadGenerator;
+use sam_router::router::{Router, RouterConfig};
+use sam_router::worker::{ModelSpec, WorkerHealth, WorkerSpec};
+use sam_serve::{ServeConfig, Server};
+use sam_storage::{paper_example, DatabaseStats};
+use serde_json::Value;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn train_model(seed: u64) -> TrainedSam {
+    let db = paper_example::figure3_database();
+    let stats = DatabaseStats::from_database(&db);
+    let mut gen = WorkloadGenerator::new(&db, seed);
+    let workload = label_workload(&db, gen.multi_workload(16, 2)).unwrap();
+    let mut config = SamConfig::default();
+    config.model.hidden = vec![8];
+    config.model.seed = seed;
+    config.train.epochs = 2;
+    config.train.batch_size = 8;
+    Sam::fit(db.schema(), &stats, &workload, &config).unwrap()
+}
+
+fn start_worker(model: &str, seed: u64) -> Server {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .expect("start worker server");
+    server.registry().insert(model, train_model(seed));
+    server
+}
+
+/// One-shot HTTP exchange returning `(status, headers, body)`.
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, payload) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status token")
+        .parse()
+        .expect("numeric status");
+    (status, head.to_string(), payload.to_string())
+}
+
+fn wait_all_healthy(router: &Router, deadline: Duration) {
+    let until = Instant::now() + deadline;
+    loop {
+        let workers = router.workers();
+        if workers
+            .iter()
+            .all(|w| matches!(w.health(), WorkerHealth::Healthy))
+        {
+            return;
+        }
+        assert!(
+            Instant::now() < until,
+            "workers never became healthy: {:?}",
+            workers
+                .iter()
+                .map(|w| (w.slot, w.health().label()))
+                .collect::<Vec<_>>()
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn wait_unhealthy(router: &Router, slot: usize, deadline: Duration) {
+    let until = Instant::now() + deadline;
+    loop {
+        let health = router
+            .workers()
+            .into_iter()
+            .find(|w| w.slot == slot)
+            .expect("slot exists")
+            .health();
+        if !matches!(health, WorkerHealth::Healthy) {
+            return;
+        }
+        assert!(Instant::now() < until, "shard {slot} never went unhealthy");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn pinned(name: &str, slot: usize) -> ModelSpec {
+    ModelSpec {
+        name: name.to_string(),
+        path: "external-worker-owns-the-checkpoint".to_string(),
+        data: None,
+        pin: Some(slot),
+    }
+}
+
+#[test]
+fn routes_fan_out_and_degrade_with_retry_after() {
+    let alpha = start_worker("alpha", 11);
+    let beta = start_worker("beta", 23);
+
+    let router = Router::start(RouterConfig {
+        models: vec![pinned("alpha", 0), pinned("beta", 1)],
+        specs: vec![
+            WorkerSpec {
+                external_addr: Some(alpha.addr().to_string()),
+                ..WorkerSpec::default()
+            },
+            WorkerSpec {
+                external_addr: Some(beta.addr().to_string()),
+                ..WorkerSpec::default()
+            },
+        ],
+        health_interval_ms: 50,
+        retry_wait_ms: 300,
+        ..RouterConfig::default()
+    })
+    .expect("start router");
+    let addr = router.addr().to_string();
+    wait_all_healthy(&router, Duration::from_secs(10));
+
+    // Pass-through by model: each estimate lands on its owning shard.
+    for model in ["alpha", "beta"] {
+        let body = format!(
+            "{{\"model\":\"{model}\",\"sql\":\"SELECT COUNT(*) FROM A\",\"samples\":32,\"seed\":7}}"
+        );
+        let (status, _, payload) = http(&addr, "POST", "/estimate", &body);
+        assert_eq!(status, 200, "estimate {model}: {payload}");
+        let doc = serde_json::parse_value(&payload).unwrap();
+        assert!(doc.get("estimate").is_some(), "no estimate in {payload}");
+    }
+
+    // GET /models fans out and annotates each entry with its shard.
+    let (status, _, payload) = http(&addr, "GET", "/models", "");
+    assert_eq!(status, 200);
+    let doc = serde_json::parse_value(&payload).unwrap();
+    let models = doc.get("models").and_then(Value::as_array).unwrap();
+    let mut seen: Vec<(String, u64)> = models
+        .iter()
+        .map(|m| {
+            (
+                m.get("name").and_then(Value::as_str).unwrap().to_string(),
+                m.get("shard").and_then(Value::as_u64).unwrap(),
+            )
+        })
+        .collect();
+    seen.sort();
+    assert_eq!(
+        seen,
+        vec![("alpha".to_string(), 0), ("beta".to_string(), 1)]
+    );
+
+    // /metrics JSON is the numeric merge of every shard, plus router keys.
+    let (status, _, payload) = http(&addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let doc = serde_json::parse_value(&payload).unwrap();
+    assert!(doc.get("router").is_some(), "no router section: {payload}");
+    assert_eq!(doc.get("shards").and_then(Value::as_u64), Some(2));
+    // Summed counters come back as floats (numeric merge is f64-based).
+    let estimates = doc
+        .get("estimates_ok")
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0);
+    assert!(
+        estimates >= 2.0,
+        "merged estimates_ok = {estimates}: {payload}"
+    );
+
+    // The router's own buildinfo names its role.
+    let (status, _, payload) = http(&addr, "GET", "/debug/buildinfo", "");
+    assert_eq!(status, 200);
+    let doc = serde_json::parse_value(&payload).unwrap();
+    assert_eq!(doc.get("role").and_then(Value::as_str), Some("router"));
+
+    // Unknown models are a routing miss, not a proxied error.
+    let (status, _, _) = http(
+        &addr,
+        "POST",
+        "/estimate",
+        "{\"model\":\"ghost\",\"sql\":\"SELECT COUNT(*) FROM A\"}",
+    );
+    assert_eq!(status, 404);
+
+    // A *draining* shard (serve-side quiesce) rejects new generate work
+    // with 503 + Retry-After, relayed through the router unchanged.
+    let (status, _, _) = http(&alpha.addr().to_string(), "POST", "/admin/drain", "");
+    assert_eq!(status, 200);
+    let (status, head, _) = http(
+        &addr,
+        "POST",
+        "/generate",
+        "{\"model\":\"alpha\",\"seed\":1}",
+    );
+    assert_eq!(status, 503, "draining shard must refuse generate");
+    assert!(
+        head.to_ascii_lowercase().contains("retry-after:"),
+        "503 without Retry-After:\n{head}"
+    );
+    let (status, _, _) = http(&alpha.addr().to_string(), "POST", "/admin/resume", "");
+    assert_eq!(status, 200);
+
+    // Kill shard 1 outright (external worker: the router detects it but
+    // never restarts it). Non-idempotent requests for beta fail fast with
+    // 503 + Retry-After; alpha keeps answering 200 throughout.
+    let unavailable_before = router.metrics().unavailable.get();
+    beta.shutdown();
+    wait_unhealthy(&router, 1, Duration::from_secs(10));
+    let (status, head, _) = http(
+        &addr,
+        "POST",
+        "/generate",
+        "{\"model\":\"beta\",\"seed\":1}",
+    );
+    assert_eq!(status, 503, "dead shard must answer 503");
+    assert!(
+        head.to_ascii_lowercase().contains("retry-after:"),
+        "503 without Retry-After:\n{head}"
+    );
+    assert!(router.metrics().unavailable.get() > unavailable_before);
+
+    let (status, _, payload) = http(
+        &addr,
+        "POST",
+        "/estimate",
+        "{\"model\":\"alpha\",\"sql\":\"SELECT COUNT(*) FROM A\",\"samples\":16,\"seed\":3}",
+    );
+    assert_eq!(status, 200, "surviving shard must keep serving: {payload}");
+
+    router.shutdown();
+    alpha.shutdown();
+}

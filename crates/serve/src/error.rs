@@ -19,6 +19,9 @@ pub enum ServeError {
     DeadlineExceeded,
     /// The server is shutting down and no longer accepts work → 503.
     ShuttingDown,
+    /// The shard is quiesced for a rebalance (`POST /admin/drain`) and
+    /// rejects new generate/train work until resumed → 503.
+    Draining,
     /// Internal failure (I/O, poisoned state) → 500.
     Internal(String),
 }
@@ -33,6 +36,7 @@ impl ServeError {
             ServeError::Overloaded => 429,
             ServeError::DeadlineExceeded => 504,
             ServeError::ShuttingDown => 503,
+            ServeError::Draining => 503,
             ServeError::Internal(_) => 500,
         }
     }
@@ -47,6 +51,7 @@ impl fmt::Display for ServeError {
             ServeError::Overloaded => write!(f, "estimate queue is full, retry later"),
             ServeError::DeadlineExceeded => write!(f, "request deadline exceeded"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Draining => write!(f, "shard is draining for rebalance, retry shortly"),
             ServeError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -66,6 +71,7 @@ mod tests {
         assert_eq!(ServeError::Overloaded.status(), 429);
         assert_eq!(ServeError::DeadlineExceeded.status(), 504);
         assert_eq!(ServeError::ShuttingDown.status(), 503);
+        assert_eq!(ServeError::Draining.status(), 503);
         assert_eq!(ServeError::Internal("x".into()).status(), 500);
     }
 }

@@ -258,6 +258,12 @@ pub fn write_json_response<W: Write>(
 /// [`write_json_response`] with additional response headers (name, value)
 /// — e.g. the `Content-Range: bytes */N` a 416 answer carries.
 ///
+/// Degradation statuses (429 Overloaded, 503 Shutting Down / draining,
+/// 504 Deadline Exceeded) automatically carry `Retry-After: 1` unless the
+/// caller supplied its own `Retry-After` — well-behaved clients (and the
+/// router in front of a worker pool) back off briefly instead of
+/// hammering a shard that already said it cannot take the request.
+///
 /// # Errors
 ///
 /// Propagates I/O errors from the underlying writer.
@@ -274,6 +280,13 @@ pub fn write_json_response_with_headers<W: Write>(
         reason(status),
         body.len(),
     )?;
+    if matches!(status, 429 | 503 | 504)
+        && !extra_headers
+            .iter()
+            .any(|(name, _)| name.eq_ignore_ascii_case("retry-after"))
+    {
+        write!(out, "Retry-After: 1\r\n")?;
+    }
     for (name, value) in extra_headers {
         write!(out, "{name}: {value}\r\n")?;
     }
@@ -701,6 +714,30 @@ mod tests {
         assert!(text.contains("Content-Length: 16\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("{\"error\":\"full\"}"));
+    }
+
+    #[test]
+    fn degradation_statuses_carry_retry_after() {
+        for status in [429u16, 503, 504] {
+            let mut out = Vec::new();
+            write_json_response(&mut out, status, "{}", false).unwrap();
+            let text = String::from_utf8(out).unwrap();
+            assert!(
+                text.contains("Retry-After: 1\r\n"),
+                "status {status} missing Retry-After: {text}"
+            );
+        }
+        // Success statuses never carry it.
+        let mut out = Vec::new();
+        write_json_response(&mut out, 200, "{}", false).unwrap();
+        assert!(!String::from_utf8(out).unwrap().contains("Retry-After"));
+        // A caller-supplied Retry-After wins over the automatic one.
+        let mut out = Vec::new();
+        write_json_response_with_headers(&mut out, 503, "{}", &[("Retry-After", "7")], false)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Retry-After: 7\r\n"));
+        assert!(!text.contains("Retry-After: 1\r\n"));
     }
 
     #[test]

@@ -280,6 +280,11 @@ fn run_job(
     metrics: &ServeMetrics,
     journal: Option<&Journal>,
 ) {
+    // Deterministic worker-kill points for the sharded-serving failover
+    // tests: before any work, after generation (results in memory only),
+    // and after results are persisted-and-committed. A journal replay must
+    // recover the accepted job bit-for-bit from each of them.
+    sam_fault::crash_point("serve.job.pre_run");
     if let Some(journal) = journal {
         journal.running(record.id);
     }
@@ -305,6 +310,7 @@ fn run_job(
             return;
         }
     };
+    sam_fault::crash_point("serve.job.generated");
     let outcome = match generated {
         Ok((db, report)) => {
             let summary = summary_json(&db, report.foj_samples, report.wall_seconds);
@@ -313,7 +319,10 @@ fn run_job(
                 // `completed` event, so a `completed` in the log implies the
                 // results it promises exist.
                 match journal.persist_results(record.id, &db) {
-                    Ok(()) => journal.completed(record.id, &summary),
+                    Ok(()) => {
+                        sam_fault::crash_point("serve.job.persisted");
+                        journal.completed(record.id, &summary);
+                    }
                     Err(e) => {
                         sam_obs::counter("sam_journal_persist_errors_total").inc();
                         journal.failed(record.id, &format!("persist results: {e}"));

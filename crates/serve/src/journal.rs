@@ -74,6 +74,11 @@ pub const JOURNAL_FILE: &str = "journal.jsonl";
 pub const SNAPSHOT_FILE: &str = "snapshot.jsonl";
 /// File name corrupt records are moved to during recovery.
 pub const QUARANTINE_FILE: &str = "quarantine.jsonl";
+/// Advisory single-owner lock inside the journal directory, holding the
+/// owning pid. A second process opening the same store fails fast instead
+/// of interleaving appends; a lock left by a dead process (SIGKILL) is
+/// taken over on the next open.
+pub const LOCK_FILE: &str = "journal.lock";
 
 /// Last known state of a **training job**, folded from the event log.
 ///
@@ -239,6 +244,46 @@ fn line_payload(line: &str) -> Option<&str> {
     (crc32(body.as_bytes()) == expected).then_some(body)
 }
 
+/// Take the single-owner lock on a journal directory, or fail fast if a
+/// *running* process already holds it. The lock holds the owner's pid;
+/// liveness is checked against `/proc/<pid>` so a lock left behind by a
+/// SIGKILLed worker never wedges the store — its replacement takes over on
+/// the next open. A lock holding our own pid is also taken over (one
+/// process may reopen its own store, e.g. across a close/open cycle in
+/// tests).
+fn acquire_lock(fs: &dyn FaultFs, dir: &Path) -> Result<(), ServeError> {
+    let path = dir.join(LOCK_FILE);
+    if fs.exists(&path) {
+        let holder = fs
+            .read(&path)
+            .ok()
+            .and_then(|bytes| String::from_utf8(bytes).ok())
+            .and_then(|text| text.trim().parse::<u32>().ok());
+        if let Some(pid) = holder {
+            if pid != std::process::id() && pid_alive(pid) {
+                return Err(ServeError::Internal(format!(
+                    "journal dir {dir:?} is owned by running process {pid} \
+                     ({LOCK_FILE}); refusing to open a second owner — stop \
+                     that process first, or point this one at its own store"
+                )));
+            }
+        }
+    }
+    let mut file = fs
+        .create(&path)
+        .map_err(|e| ServeError::Internal(format!("create journal lock {path:?}: {e}")))?;
+    let _ = file.write_all(std::process::id().to_string().as_bytes());
+    let _ = file.flush();
+    Ok(())
+}
+
+/// Whether `pid` is a live process. Uses `/proc`; on platforms without it
+/// every lock reads as stale, degrading to lock-takeover (never to a
+/// wedged store).
+fn pid_alive(pid: u32) -> bool {
+    Path::new(&format!("/proc/{pid}")).exists()
+}
+
 /// Append-only journal over one directory. Cheap to clone via [`Arc`];
 /// all writers share one file handle behind a mutex.
 pub struct Journal {
@@ -246,6 +291,26 @@ pub struct Journal {
     fs: Arc<dyn FaultFs>,
     file: Lock<Box<dyn FaultFile>>,
     counters: JournalCounters,
+}
+
+impl Drop for Journal {
+    fn drop(&mut self) {
+        // Graceful release of the single-owner lock — but only while it
+        // still names this process: a replacement owner that took over
+        // after our SIGKILL-then-zombie must not have its lock clobbered
+        // by our late exit.
+        let path = self.dir.join(LOCK_FILE);
+        let ours = self
+            .fs
+            .read(&path)
+            .ok()
+            .and_then(|bytes| String::from_utf8(bytes).ok())
+            .and_then(|text| text.trim().parse::<u32>().ok())
+            == Some(std::process::id());
+        if ours {
+            let _ = self.fs.remove_file(&path);
+        }
+    }
 }
 
 impl Journal {
@@ -280,6 +345,7 @@ impl Journal {
     ) -> Result<Journal, ServeError> {
         fs.create_dir_all(dir)
             .map_err(|e| ServeError::Internal(format!("create journal dir {dir:?}: {e}")))?;
+        acquire_lock(&*fs, dir)?;
         sweep_tmp_files(&*fs, dir)
             .map_err(|e| ServeError::Internal(format!("sweep tmp files in {dir:?}: {e}")))?;
         recover(&*fs, dir, &counters)
@@ -1115,6 +1181,44 @@ mod tests {
         assert_eq!(after.trains[1].state, before.trains[1].state);
         assert_eq!(after.rollbacks, before.rollbacks);
         let _ = std::fs::remove_dir_all(journal.dir());
+    }
+
+    /// Two-owner protection: a lock held by a *running* process (pid 1 is
+    /// always alive) makes a second open fail fast with a clear error; a
+    /// lock left by a dead process is taken over; a graceful drop releases
+    /// the lock.
+    #[test]
+    fn lockfile_blocks_second_owner_and_recovers_stale() {
+        let dir = temp_dir("lock");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(LOCK_FILE), "1").unwrap();
+        let err = Journal::open(&dir, sam_obs::counter("test_journal_events")).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("owned by running process 1"),
+            "unhelpful two-owner error: {msg}"
+        );
+        assert_eq!(
+            std::fs::read_to_string(dir.join(LOCK_FILE)).unwrap(),
+            "1",
+            "a refused open must not clobber the holder's lock"
+        );
+
+        // Dead holder (u32::MAX is never a live pid): takeover.
+        std::fs::write(dir.join(LOCK_FILE), u32::MAX.to_string()).unwrap();
+        let journal = Journal::open(&dir, sam_obs::counter("test_journal_events")).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(dir.join(LOCK_FILE)).unwrap(),
+            std::process::id().to_string()
+        );
+        journal.accepted(1, "m", 2, &config(7));
+
+        // Graceful close releases the lock for the next owner.
+        drop(journal);
+        assert!(!dir.join(LOCK_FILE).exists());
+        let reopened = Journal::open(&dir, sam_obs::counter("test_journal_events")).unwrap();
+        assert_eq!(reopened.replay_full().unwrap().jobs.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Appends framed with CRC: every line round-trips through

@@ -134,6 +134,10 @@ pub struct ServeConfig {
     /// regress the incumbent's (`--promote-max-qerror`; a `POST /train`
     /// request can tighten or loosen it with `max_qerror=`).
     pub promote_max_qerror: f64,
+    /// First job id minus one: ids are minted from `job_id_base + 1`
+    /// upward. A sharded router gives each worker slot a disjoint base so
+    /// a job id alone identifies the shard that owns it (`--job-id-base`).
+    pub job_id_base: u64,
 }
 
 impl Default for ServeConfig {
@@ -158,6 +162,7 @@ impl Default for ServeConfig {
             flight_capacity: 512,
             slow_query_ms: 250,
             promote_max_qerror: 1000.0,
+            job_id_base: 0,
         }
     }
 }
@@ -187,6 +192,10 @@ struct ServerState {
     /// samples, seed); consulted before the batcher.
     cache: EstimateCache,
     shutting_down: AtomicBool,
+    /// Quiesced by a router rebalance (`POST /admin/drain`): new
+    /// generate/train work answers 503 until `POST /admin/resume`, while
+    /// reads keep working.
+    draining: AtomicBool,
     conn_threads: Lock<Vec<JoinHandle<()>>>,
     /// Monotonic per-request trace id, attached to span output (and the
     /// estimate response body) for request ↔ trace correlation.
@@ -256,15 +265,20 @@ impl Server {
             metrics.quality_counters(),
         );
         let slow = SlowLog::new(64);
+        let jobs = JobRegistry::with_journal(journal);
+        // Shard mode: mint every job id above this worker's range base so a
+        // router can route /jobs/{id} by the id alone.
+        jobs.reserve_through(config.job_id_base);
         let state = Arc::new(ServerState {
             config,
             registry,
-            jobs: JobRegistry::with_journal(journal),
+            jobs,
             trains: TrainRegistry::new(),
             metrics,
             batcher,
             cache,
             shutting_down: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             conn_threads: Lock::new(Vec::new()),
             next_trace_id: AtomicU64::new(0),
             flight,
@@ -1028,6 +1042,7 @@ fn route(request: &Request, state: &Arc<ServerState>, telemetry: &mut Telemetry)
                 "status": "ok",
                 "models": state.registry.len(),
                 "shutting_down": state.shutting_down.load(Ordering::SeqCst),
+                "draining": state.draining.load(Ordering::SeqCst),
             }),
         )),
         ("GET", "/models") => Ok((200, list_models(state))),
@@ -1046,6 +1061,11 @@ fn route(request: &Request, state: &Arc<ServerState>, telemetry: &mut Telemetry)
             Ok((200, json!({"level": log_level_name(sam_obs::log_level())})))
         }
         ("PUT", "/debug/loglevel") => loglevel_route(&request.body),
+        ("POST", "/admin/drain") => drain_route(state),
+        ("POST", "/admin/resume") => {
+            state.draining.store(false, Ordering::SeqCst);
+            Ok((200, json!({"draining": false})))
+        }
         (method, path) if path.starts_with("/jobs/") => job_route(state, method, path),
         (_, path) => Err(ServeError::NotFound(format!("no route for {path}"))),
     };
@@ -1411,6 +1431,9 @@ fn generate_route(state: &ServerState, body: &str) -> Result<(u16, Value), Serve
     if state.shutting_down.load(Ordering::SeqCst) {
         return Err(ServeError::ShuttingDown);
     }
+    if state.draining.load(Ordering::SeqCst) {
+        return Err(ServeError::Draining);
+    }
     let doc = parse_body(body)?;
     let model_name = str_field(&doc, "model")?;
     let foj_samples = opt_u64(&doc, "foj_samples")?
@@ -1464,6 +1487,29 @@ fn job_route(state: &ServerState, method: &str, path: &str) -> Result<(u16, Valu
     }
 }
 
+/// `POST /admin/drain` — quiesce this worker for a router rebalance: stop
+/// accepting generate/train work (503 + `Retry-After` until
+/// `POST /admin/resume`), join every in-flight job, and checkpoint the
+/// journal so a new owner of this shard's store resumes from a compact,
+/// fully-committed log. Estimates and reads keep working throughout.
+/// Idempotent; blocks until in-flight work lands.
+fn drain_route(state: &ServerState) -> Result<(u16, Value), ServeError> {
+    state.draining.store(true, Ordering::SeqCst);
+    state.jobs.drain();
+    state.trains.drain();
+    let mut compacted = 0;
+    if let Some(journal) = state.jobs.journal() {
+        compacted = journal.compact()?;
+    }
+    Ok((
+        200,
+        json!({
+            "draining": true,
+            "journal_events_compacted": compacted,
+        }),
+    ))
+}
+
 /// `POST /train?model=M&...` — accept a streamed labelled-workload body
 /// (the interchange format; gzip/deflate request coding handled upstream in
 /// [`http`]), split off the holdout slice, and start a training job. `202`
@@ -1475,6 +1521,9 @@ fn train_route(
 ) -> Result<(u16, Value), ServeError> {
     if state.shutting_down.load(Ordering::SeqCst) {
         return Err(ServeError::ShuttingDown);
+    }
+    if state.draining.load(Ordering::SeqCst) {
+        return Err(ServeError::Draining);
     }
     let spec = TrainSpec::from_query(query)?;
     let incumbent = state.registry.get(&spec.model).ok_or_else(|| {

@@ -26,7 +26,10 @@ pub mod rng;
 pub mod synth;
 
 pub use error::WorkgenError;
-pub use load::{run_load, scrape_server_counters, LoadConfig, LoadReport, ServerCounters};
+pub use load::{
+    run_load, run_load_with_seeds, scrape_server_counters, ClassReport, LoadConfig, LoadReport,
+    ServerCounters,
+};
 pub use miner::{mine_hard_queries, MinedQuery, MinerConfig, MinerReport};
 pub use profile::{ColumnKnob, ShapeWeights, SynthProfile};
 pub use rng::SplitMix64;

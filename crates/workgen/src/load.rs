@@ -79,6 +79,24 @@ pub struct LoadReport {
     pub throughput: f64,
     /// Scheduled-start-to-response latency distribution.
     pub latency: LatencySnapshot,
+    /// Per-class breakdown when the run mixed request classes (mined seed
+    /// queries vs synthetic trace); empty for a single-class run.
+    pub classes: Vec<ClassReport>,
+}
+
+/// Latency breakdown for one request class of a mixed load run.
+#[derive(Debug, Clone)]
+pub struct ClassReport {
+    /// Class label (`synthetic` or `mined`).
+    pub label: String,
+    /// Distinct queries of this class in the replayed trace.
+    pub trace_queries: u64,
+    /// Requests of this class with a parsed HTTP response.
+    pub completed: u64,
+    /// Transport-level failures on requests of this class.
+    pub errors: u64,
+    /// Scheduled-start-to-response latency distribution for this class.
+    pub latency: LatencySnapshot,
 }
 
 impl LoadReport {
@@ -103,6 +121,37 @@ impl LoadReport {
             self.latency.p99_ms,
             self.latency.max_ms,
         )
+    }
+
+    /// Markdown section breaking latency percentiles down by request class
+    /// (mined seed queries vs the synthetic trace). `None` unless the run
+    /// actually mixed classes — single-class runs have nothing to compare.
+    /// Deliberately a different column count from [`markdown_header`]
+    /// (9 columns) and the server-delta section (2), so table-shape-aware
+    /// consumers can tell the sections apart.
+    ///
+    /// [`markdown_header`]: LoadReport::markdown_header
+    pub fn markdown_class_section(&self) -> Option<String> {
+        if self.classes.len() < 2 {
+            return None;
+        }
+        let mut out = String::from(
+            "### Per-class latency (mined seeds vs synthetic)\n\n\
+             | class | trace queries | completed | errors | p50 ms | p95 ms |\n\
+             |---|---|---|---|---|---|",
+        );
+        for class in &self.classes {
+            out.push_str(&format!(
+                "\n| {} | {} | {} | {} | {:.2} | {:.2} |",
+                class.label,
+                class.trace_queries,
+                class.completed,
+                class.errors,
+                class.latency.p50_ms,
+                class.latency.p95_ms,
+            ));
+        }
+        Some(out)
     }
 }
 
@@ -178,7 +227,13 @@ impl ServerCounters {
 pub fn scrape_server_counters(addr: &str, timeout: Duration) -> Option<ServerCounters> {
     let body = http_get_body(addr, "/metrics", timeout).ok()?;
     let doc = serde_json::parse_value(&body).ok()?;
-    let field = |key: &str| doc.get(key).and_then(|v| v.as_u64()).unwrap_or(0);
+    // A router's merged /metrics sums counters across shards in f64, so
+    // the fields may come back as floats — accept either representation.
+    let field = |key: &str| {
+        doc.get(key)
+            .and_then(|v| v.as_u64().or_else(|| v.as_f64().map(|f| f as u64)))
+            .unwrap_or(0)
+    };
     Some(ServerCounters {
         http_requests: field("http_requests"),
         estimates_ok: field("estimates_ok"),
@@ -362,6 +417,11 @@ struct RunState {
     errors: AtomicU64,
     by_class: [AtomicU64; 3], // 2xx / 4xx / 5xx
     latency: LatencyHistogram,
+    // Per request-class (synthetic / mined) breakdown, indexed like `labels`
+    // in the run loop. Single-class runs only ever touch slot 0.
+    class_completed: Vec<AtomicU64>,
+    class_errors: Vec<AtomicU64>,
+    class_latency: Vec<LatencyHistogram>,
 }
 
 /// Replay `trace` against the server in `config` and report throughput and
@@ -377,7 +437,29 @@ struct RunState {
 /// [`WorkgenError::Load`] on invalid configuration (zero rate, empty
 /// trace, …) or if not a single request completed.
 pub fn run_load(trace: &[Query], config: &LoadConfig) -> Result<LoadReport, WorkgenError> {
-    if trace.is_empty() {
+    run_load_with_seeds(trace, &[], config)
+}
+
+/// Like [`run_load`], but replays a mined hard-query seed set *alongside*
+/// the synthetic trace and reports per-class latency percentiles
+/// ([`LoadReport::classes`], rendered by
+/// [`LoadReport::markdown_class_section`]).
+///
+/// The two traces are interleaved proportionally (each class appears
+/// throughout the request cycle at its share of the combined trace), so
+/// mined and synthetic requests experience the same server conditions and
+/// their percentiles are directly comparable. With an empty `mined` slice
+/// this is exactly `run_load`.
+///
+/// # Errors
+///
+/// Same as [`run_load`]; `synthetic` may be empty if `mined` is not.
+pub fn run_load_with_seeds(
+    synthetic: &[Query],
+    mined: &[Query],
+    config: &LoadConfig,
+) -> Result<LoadReport, WorkgenError> {
+    if synthetic.is_empty() && mined.is_empty() {
         return Err(WorkgenError::Load("empty query trace".into()));
     }
     if !(config.rate > 0.0 && config.rate.is_finite()) {
@@ -393,12 +475,26 @@ pub fn run_load(trace: &[Query], config: &LoadConfig) -> Result<LoadReport, Work
         ));
     }
 
-    // Pre-render every distinct request once; the schedule cycles the trace.
-    let requests: Vec<Vec<u8>> = trace
-        .iter()
-        .enumerate()
-        .map(|(i, q)| render_request(config, q, i as u64))
-        .collect();
+    // Pre-render every distinct request once (tagged with its class index);
+    // the schedule cycles the combined trace. Mined entries are spread
+    // proportionally through the cycle rather than appended as a block, so
+    // both classes sample the whole run, not disjoint phases of it.
+    let mixed = !synthetic.is_empty() && !mined.is_empty();
+    let class_count = if mixed { 2 } else { 1 };
+    let total = synthetic.len() + mined.len();
+    let mut requests: Vec<(Vec<u8>, usize)> = Vec::with_capacity(total);
+    let (mut si, mut mi) = (0usize, 0usize);
+    for k in 0..total {
+        let mined_due = (k + 1) * mined.len() / total;
+        let (query, class) = if mi < mined_due {
+            mi += 1;
+            (&mined[mi - 1], if mixed { 1 } else { 0 })
+        } else {
+            si += 1;
+            (&synthetic[si - 1], 0)
+        };
+        requests.push((render_request(config, query, k as u64), class));
+    }
 
     let state = Arc::new(RunState {
         next: AtomicU64::new(0),
@@ -406,6 +502,9 @@ pub fn run_load(trace: &[Query], config: &LoadConfig) -> Result<LoadReport, Work
         errors: AtomicU64::new(0),
         by_class: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
         latency: LatencyHistogram::new(),
+        class_completed: (0..class_count).map(|_| AtomicU64::new(0)).collect(),
+        class_errors: (0..class_count).map(|_| AtomicU64::new(0)).collect(),
+        class_latency: (0..class_count).map(|_| LatencyHistogram::new()).collect(),
     });
     let global_latency = sam_obs::histogram("workgen_load_latency");
     let interval = Duration::from_secs_f64(1.0 / config.rate);
@@ -431,15 +530,17 @@ pub fn run_load(trace: &[Query], config: &LoadConfig) -> Result<LoadReport, Work
                     if due > now {
                         std::thread::sleep(due - now);
                     }
-                    let request = &requests[(k % requests.len() as u64) as usize];
+                    let (request, trace_class) = &requests[(k % requests.len() as u64) as usize];
                     match conn.exchange(request) {
                         Ok(status) => {
                             // Latency from the *scheduled* start: queueing
                             // behind a busy connection is part of the number.
                             let lat = due.elapsed();
                             state.latency.record(lat);
+                            state.class_latency[*trace_class].record(lat);
                             global_latency.record(lat);
                             state.completed.fetch_add(1, Ordering::Relaxed);
+                            state.class_completed[*trace_class].fetch_add(1, Ordering::Relaxed);
                             let class = match status {
                                 200..=299 => 0,
                                 400..=499 => 1,
@@ -449,6 +550,7 @@ pub fn run_load(trace: &[Query], config: &LoadConfig) -> Result<LoadReport, Work
                         }
                         Err(_) => {
                             state.errors.fetch_add(1, Ordering::Relaxed);
+                            state.class_errors[*trace_class].fetch_add(1, Ordering::Relaxed);
                             conn.drop_conn();
                         }
                     }
@@ -469,6 +571,22 @@ pub fn run_load(trace: &[Query], config: &LoadConfig) -> Result<LoadReport, Work
             config.addr, errors
         )));
     }
+    let classes = if mixed {
+        let trace_counts = [synthetic.len() as u64, mined.len() as u64];
+        ["synthetic", "mined"]
+            .iter()
+            .enumerate()
+            .map(|(i, label)| ClassReport {
+                label: label.to_string(),
+                trace_queries: trace_counts[i],
+                completed: state.class_completed[i].load(Ordering::Relaxed),
+                errors: state.class_errors[i].load(Ordering::Relaxed),
+                latency: state.class_latency[i].snapshot(),
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
     Ok(LoadReport {
         offered_rate: config.rate,
         scheduled,
@@ -480,6 +598,7 @@ pub fn run_load(trace: &[Query], config: &LoadConfig) -> Result<LoadReport, Work
         elapsed_secs,
         throughput: completed as f64 / elapsed_secs,
         latency: state.latency.snapshot(),
+        classes,
     })
 }
 
@@ -544,8 +663,134 @@ mod tests {
             elapsed_secs: 0.1,
             throughput: 100.0,
             latency: LatencyHistogram::new().snapshot(),
+            classes: Vec::new(),
         };
         assert_eq!(report.markdown_row().matches('|').count(), cols);
+        // Single-class runs have nothing to compare.
+        assert!(report.markdown_class_section().is_none());
+    }
+
+    #[test]
+    fn class_section_shape_differs_from_main_table() {
+        let class = |label: &str| ClassReport {
+            label: label.to_string(),
+            trace_queries: 4,
+            completed: 8,
+            errors: 1,
+            latency: LatencyHistogram::new().snapshot(),
+        };
+        let report = LoadReport {
+            offered_rate: 100.0,
+            scheduled: 16,
+            completed: 16,
+            errors: 2,
+            status_2xx: 16,
+            status_4xx: 0,
+            status_5xx: 0,
+            elapsed_secs: 0.1,
+            throughput: 160.0,
+            latency: LatencyHistogram::new().snapshot(),
+            classes: vec![class("synthetic"), class("mined")],
+        };
+        let section = report.markdown_class_section().expect("two classes");
+        assert!(section.contains("| synthetic |"));
+        assert!(section.contains("| mined |"));
+        // Shape-aware report consumers key on column count: the class table
+        // must collide with neither the 9-column main table nor the
+        // 2-column server-delta table.
+        let main_cols = LoadReport::markdown_header()
+            .lines()
+            .next()
+            .unwrap()
+            .matches('|')
+            .count();
+        for line in section.lines().filter(|l| l.starts_with('|')) {
+            let cols = line.matches('|').count();
+            assert_ne!(cols, main_cols, "clashes with main table: {line}");
+            assert_ne!(cols, 3, "clashes with 2-column delta table: {line}");
+        }
+    }
+
+    #[test]
+    fn mixed_run_reports_both_classes_against_canned_server() {
+        use std::io::Write as _;
+        use std::net::TcpListener;
+
+        // Minimal canned HTTP server: reads each request's headers + body and
+        // answers 200 with an empty JSON object, keep-alive.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let mut conns = Vec::new();
+            for stream in listener.incoming().take(2) {
+                let stream = stream.expect("accept");
+                conns.push(std::thread::spawn(move || {
+                    let mut reader = BufReader::new(stream);
+                    loop {
+                        let mut content_length = 0usize;
+                        let mut line = String::new();
+                        loop {
+                            line.clear();
+                            match reader.read_line(&mut line) {
+                                Ok(0) | Err(_) => return,
+                                Ok(_) => {}
+                            }
+                            let trimmed = line.trim_end();
+                            if trimmed.is_empty() {
+                                break;
+                            }
+                            if let Some(v) = trimmed
+                                .to_ascii_lowercase()
+                                .strip_prefix("content-length:")
+                                .map(|v| v.trim().to_string())
+                            {
+                                content_length = v.parse().unwrap_or(0);
+                            }
+                        }
+                        let mut body = vec![0u8; content_length];
+                        if reader.read_exact(&mut body).is_err() {
+                            return;
+                        }
+                        let response = "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
+                             Content-Length: 2\r\n\r\n{}";
+                        if reader.get_mut().write_all(response.as_bytes()).is_err() {
+                            return;
+                        }
+                    }
+                }));
+            }
+            for c in conns {
+                let _ = c.join();
+            }
+        });
+
+        let synthetic = vec![Query::single("S", vec![]), Query::single("T", vec![])];
+        let mined = vec![Query::single("M", vec![])];
+        let config = LoadConfig {
+            addr,
+            rate: 200.0,
+            connections: 2,
+            duration: Duration::from_millis(150),
+            timeout_ms: 2_000,
+            ..LoadConfig::default()
+        };
+        let report = run_load_with_seeds(&synthetic, &mined, &config).expect("load run");
+        assert_eq!(report.classes.len(), 2);
+        assert_eq!(report.classes[0].label, "synthetic");
+        assert_eq!(report.classes[1].label, "mined");
+        assert_eq!(report.classes[0].trace_queries, 2);
+        assert_eq!(report.classes[1].trace_queries, 1);
+        // The proportional interleave cycles all three queries, so with ~30
+        // scheduled requests both classes must complete some.
+        assert!(report.classes[0].completed > 0, "synthetic class starved");
+        assert!(report.classes[1].completed > 0, "mined class starved");
+        assert_eq!(
+            report.completed,
+            report.classes[0].completed + report.classes[1].completed
+        );
+        assert!(report.markdown_class_section().is_some());
+        drop(report);
+        let _ = server.join();
     }
 
     #[test]

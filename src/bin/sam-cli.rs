@@ -10,7 +10,7 @@
 //!                  [--epochs N] [--batch N] [--lr F] [--seed N]
 //!                  [--hidden W1,W2] [--holdout F] [--eval-samples N]
 //!                  [--eval-seed N] [--checkpoint-every N] [--max-qerror Q]
-//!                  [--data DIR] [--follow true] [--poll-ms N]
+//!                  [--data DIR] [--follow true] [--poll-ms N] [--retries N]
 //! sam-cli generate --schema schema.json (--data DIR | --stats stats.json) --out DIR
 //!                  [--model model.json] [--queries N | --workload FILE]
 //!                  [--epochs N] [--foj-samples N] [--seed N] [--backend f32|f16|int8]
@@ -26,7 +26,13 @@
 //!                  [--conn-requests N] [--quality-sample F]
 //!                  [--quality-window N] [--quality-alert-qerror Q]
 //!                  [--quality-audit FILE] [--flight-capacity N]
-//!                  [--slow-ms N] [--promote-max-qerror Q]
+//!                  [--slow-ms N] [--promote-max-qerror Q] [--job-id-base N]
+//! sam-cli router   [--addr HOST:PORT] [--workers N]
+//!                  [--models name[@slot]=model.json[=datadir],...]
+//!                  [--store-root DIR] [--worker-cmd CMD] [--worker-flags F]
+//!                  [--health-interval-ms N] [--probe-timeout-ms N]
+//!                  [--proxy-timeout-ms N] [--restart-backoff-ms N]
+//!                  [--restart-backoff-cap-ms N] [--retry-wait-ms N]
 //! sam-cli journal  compact DIR
 //! sam-cli workgen  synth [--profile FILE] [--seed N] [--count N] [--out FILE]
 //!                  [--label true] (--schema schema.json --data DIR |
@@ -38,7 +44,13 @@
 //! sam-cli workgen  load  --addr HOST:PORT --model NAME [--rate R]
 //!                  [--connections N] [--duration-ms N] [--samples N]
 //!                  [--timeout-ms N] [--workload FILE | data flags + --count N]
+//!                  [--seeds FILE]
 //! ```
+//!
+//! `router` fronts a pool of `sam-cli serve` worker processes with a
+//! consistent-hash shard per worker: pass-through routing by model, health
+//! probes with bounded-backoff restarts of dead workers, and draining
+//! rebalance on join/leave. See `docs/SHARDING.md`.
 //!
 //! `--backend` picks the frozen-inference backend: `f32` (the exact
 //! reference kernel, default), `f16` (blocked column-major kernel over
@@ -169,8 +181,8 @@ impl Args {
 }
 
 fn usage() -> String {
-    "usage: sam-cli <demo|export|train|generate|evaluate|estimate|serve|journal|workgen> [--flags]\n\
-     run with a subcommand; `sam-cli <serve|train|workgen> --help` prints the flag table"
+    "usage: sam-cli <demo|export|train|generate|evaluate|estimate|serve|router|journal|workgen> [--flags]\n\
+     run with a subcommand; `sam-cli <serve|router|train|workgen> --help` prints the flag table"
         .into()
 }
 
@@ -194,7 +206,8 @@ fn serve_help() {
            --conn-requests N           max requests per connection (default 1000)\n\n\
          durability:\n  \
            --journal-dir DIR           journal jobs + training runs for crash recovery\n  \
-           --journal-compact-bytes N   auto-compact threshold on replay; 0 disables (default 4194304)\n\n\
+           --journal-compact-bytes N   auto-compact threshold on replay; 0 disables (default 4194304)\n  \
+           --job-id-base N             start job ids after N (sharded workers: see docs/SHARDING.md)\n\n\
          training (POST /train):\n  \
            --promote-max-qerror Q      promotion gate: candidate holdout p95 Q-Error ceiling\n                              \
                                        (default 1000; per-job override via max_qerror)\n\n\
@@ -246,7 +259,37 @@ fn train_help() {
            --max-qerror Q              per-job promotion gate override\n  \
            --data DIR                  server-side reference data dir for statistics\n  \
            --follow true               poll GET /jobs/{{id}} until the job is terminal\n  \
-           --poll-ms N                 polling interval with --follow (default 500)"
+           --poll-ms N                 polling interval with --follow (default 500)\n  \
+           --retries N                 retries for transient connection failures, with\n                              \
+                                       jittered exponential backoff (default 3)"
+    );
+}
+
+/// `sam-cli router --help`. Like the other help tables, `tests/docs_check.rs`
+/// asserts every flag listed here also appears in `docs/SHARDING.md`.
+fn router_help() {
+    println!(
+        "usage: sam-cli router [--flags]\n\n\
+         topology:\n  \
+           --addr HOST:PORT            router listen address (default 127.0.0.1:8080)\n  \
+           --workers N                 worker processes / shards to spawn (default 2)\n  \
+           --models SPEC,SPEC          preload models: name[@slot]=model.json[=datadir]\n                              \
+                                       (@slot pins the model to a shard; else hashed)\n  \
+           --store-root DIR            per-shard job stores: DIR/shard-N (default sam-shards)\n  \
+           --worker-cmd CMD            worker command (default: this binary + `serve`)\n  \
+           --worker-flags FLAGS        extra flags appended to every worker command line\n\n\
+         supervision:\n  \
+           --health-interval-ms N      health-probe period (default 200)\n  \
+           --probe-timeout-ms N        per-probe socket timeout (default 1000)\n  \
+           --proxy-timeout-ms N        proxied request timeout (default 120000)\n  \
+           --restart-backoff-ms N      restart backoff base after a worker death (default 100)\n  \
+           --restart-backoff-cap-ms N  restart backoff ceiling (default 5000)\n  \
+           --retry-wait-ms N           max wait for a shard to recover before retrying an\n                              \
+                                       idempotent request against it (default 2000)\n\n\
+         observability:\n  \
+           --log-level LEVEL           silent | info | debug span lines on stderr\n  \
+           --trace-out PATH            Chrome trace JSON, rewritten every 30 s\n\n\
+         See docs/SHARDING.md for the operator guide."
     );
 }
 
@@ -282,7 +325,9 @@ fn workgen_help() {
            --connections N             concurrent connections (default 4)\n  \
            --duration-ms N             run length (default 10000)\n  \
            --timeout-ms N              per-request timeout (default 10000)\n  \
-           --workload FILE             replay this trace instead of synthesizing\n\n\
+           --workload FILE             replay this trace instead of synthesizing\n  \
+           --seeds FILE                also replay this mined hard-query set, interleaved\n                              \
+                                       with the trace; reports per-class latency\n\n\
          See docs/WORKGEN.md for the operator guide."
     );
 }
@@ -297,6 +342,7 @@ fn run() -> Result<(), String> {
         "evaluate" => evaluate(&args),
         "estimate" => estimate(&args),
         "serve" => serve(&args),
+        "router" => router_cmd(&args),
         "journal" => journal_cmd(&args),
         "workgen" => workgen_cmd(&args),
         other => Err(format!("unknown subcommand {other:?}\n{}", usage())),
@@ -583,12 +629,53 @@ fn http_request(
     Ok((status, payload.to_string()))
 }
 
+/// [`http_request`] with bounded retries for *transient connection
+/// failures* — connects that are refused or reset before any response
+/// arrives, which `http_request` reports as `connect {addr}: …`. Those are
+/// exactly what a worker restart or a router failover window looks like
+/// from the client. Each retry backs off exponentially with jitter
+/// (equal-jitter: delay in `[base/2, base]`, base doubling from 100 ms,
+/// capped at 5 s). Anything the server actually answered — including
+/// rejections — is returned as-is, so terminal HTTP errors keep their
+/// non-zero exit and are never resubmitted.
+fn http_request_with_retry(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    retries: u32,
+) -> Result<(u16, String), String> {
+    let mut attempt = 0u32;
+    loop {
+        match http_request(addr, method, path, body) {
+            Ok(result) => return Ok(result),
+            Err(e) if attempt < retries && e.starts_with("connect ") => {
+                let base = 100u64.saturating_mul(1u64 << attempt.min(6)).min(5_000);
+                let nanos = std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| u64::from(d.subsec_nanos()))
+                    .unwrap_or(0);
+                let delay = base / 2 + nanos % (base / 2 + 1);
+                attempt += 1;
+                eprintln!(
+                    "transient connection failure ({e}); retry {attempt}/{retries} in {delay} ms"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(delay));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// `sam-cli train --addr HOST:PORT --workload FILE [--follow true]` — the
 /// train-as-a-service client. Uploads the workload to `POST /train`, prints
 /// the job id, and with `--follow true` polls `GET /jobs/{id}` until the job
 /// reaches a terminal state (promoted / rejected / failed / cancelled).
+/// Transient connection failures (server restarting, failover window) are
+/// retried up to `--retries` times with jittered exponential backoff.
 fn train_remote(args: &Args) -> Result<(), String> {
     let addr = args.required("addr")?;
+    let retries: u32 = args.num("retries", 3u32)?;
     let workload_path = args.required("workload").map_err(|_| {
         "remote mode needs --workload FILE (a labelled workload to upload)".to_string()
     })?;
@@ -616,7 +703,8 @@ fn train_remote(args: &Args) -> Result<(), String> {
         }
     }
 
-    let (status, response) = http_request(addr, "POST", &format!("/train?{query}"), &body)?;
+    let (status, response) =
+        http_request_with_retry(addr, "POST", &format!("/train?{query}"), &body, retries)?;
     if status != 202 {
         return Err(format!(
             "POST /train returned {status}: {}",
@@ -643,7 +731,8 @@ fn train_remote(args: &Args) -> Result<(), String> {
     let poll = std::time::Duration::from_millis(args.num("poll-ms", 500u64)?.max(10));
     let mut last_line = String::new();
     loop {
-        let (status, response) = http_request(addr, "GET", &format!("/jobs/{job_id}"), b"")?;
+        let (status, response) =
+            http_request_with_retry(addr, "GET", &format!("/jobs/{job_id}"), b"", retries)?;
         if status != 200 {
             return Err(format!(
                 "GET /jobs/{job_id} returned {status}: {}",
@@ -892,6 +981,7 @@ fn serve(args: &Args) -> Result<(), String> {
         flight_capacity: args.num("flight-capacity", 512usize)?,
         slow_query_ms: args.num("slow-ms", 250u64)?,
         promote_max_qerror: args.num("promote-max-qerror", 1000.0f64)?,
+        job_id_base: args.num("job-id-base", 0u64)?,
     };
     let journalled = config.journal_dir.is_some();
     let server = sam::serve::Server::start(config).map_err(|e| e.to_string())?;
@@ -939,6 +1029,70 @@ fn serve(args: &Args) -> Result<(), String> {
     // server's own threads. Embedders use `Server::shutdown` to drain.
     // With --trace-out the collected trace is re-exported periodically
     // (the collector is non-draining, so each write is the full trace).
+    let interval = if trace_out.is_some() { 30 } else { 3600 };
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(interval));
+        write_trace(&trace_out)?;
+    }
+}
+
+/// `sam-cli router` — fault-tolerant sharded serving: spawn and supervise a
+/// pool of `sam-cli serve` worker processes, each owning a consistent-hash
+/// partition of the model namespace, and front them on one address speaking
+/// the plain `sam-serve` HTTP surface. See `docs/SHARDING.md`.
+fn router_cmd(args: &Args) -> Result<(), String> {
+    if args.get("help").is_some() {
+        router_help();
+        return Ok(());
+    }
+    let trace_out = setup_obs(args)?;
+    let mut config = sam::router::RouterConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:8080").to_string(),
+        workers: args.num("workers", 2usize)?,
+        store_root: PathBuf::from(args.get("store-root").unwrap_or("sam-shards")),
+        health_interval_ms: args.num("health-interval-ms", 200u64)?,
+        probe_timeout_ms: args.num("probe-timeout-ms", 1_000u64)?,
+        proxy_timeout_ms: args.num("proxy-timeout-ms", 120_000u64)?,
+        restart_backoff_ms: args.num("restart-backoff-ms", 100u64)?,
+        restart_backoff_cap_ms: args.num("restart-backoff-cap-ms", 5_000u64)?,
+        retry_wait_ms: args.num("retry-wait-ms", 2_000u64)?,
+        ..Default::default()
+    };
+    // Workers default to this very binary's `serve` subcommand; an explicit
+    // `--worker-cmd` swaps in anything speaking the same surface.
+    config.worker_cmd = match args.get("worker-cmd") {
+        Some(cmd) => cmd.split_whitespace().map(str::to_string).collect(),
+        None => {
+            let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+            vec![exe.display().to_string(), "serve".to_string()]
+        }
+    };
+    if let Some(flags) = args.get("worker-flags") {
+        config.worker_flags = flags.split_whitespace().map(str::to_string).collect();
+    }
+    if let Some(models) = args.get("models") {
+        for spec in models.split(',') {
+            config.models.push(sam::router::ModelSpec::parse(spec)?);
+        }
+    }
+    let router = sam::router::Router::start(config).map_err(|e| e.to_string())?;
+    let workers = router.workers();
+    for worker in &workers {
+        println!(
+            "shard {}: worker at {} ({})",
+            worker.slot,
+            worker.addr(),
+            worker.health().label()
+        );
+    }
+    println!(
+        "sam-router listening on http://{} ({} shards, {} models placed)",
+        router.addr(),
+        workers.len(),
+        router.placement().len()
+    );
+    // Serve until terminated, like `serve`: supervision, routing, and
+    // rebalance all run on the router's own threads.
     let interval = if trace_out.is_some() { 30 } else { 3600 };
     loop {
         std::thread::sleep(std::time::Duration::from_secs(interval));
@@ -1169,6 +1323,13 @@ fn workgen_load(args: &Args) -> Result<(), String> {
             sam::workgen::synthesize(&target, &profile, seed, args.num("count", 256u64)?)
         }
     };
+    // `--seeds FILE` replays a mined hard-query set (e.g. `workgen mine
+    // --out`) interleaved with the trace; the report then carries per-class
+    // latency percentiles for mined vs synthetic queries.
+    let mined = match args.get("seeds") {
+        Some(path) => load_workload_queries(path)?,
+        None => Vec::new(),
+    };
 
     let config = sam::workgen::LoadConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:8080").to_string(),
@@ -1180,8 +1341,13 @@ fn workgen_load(args: &Args) -> Result<(), String> {
         timeout_ms: args.num("timeout-ms", 10_000u64)?,
     };
     eprintln!(
-        "replaying {} trace queries at {} req/s over {} connections for {:.1}s against http://{}",
+        "replaying {} trace queries{} at {} req/s over {} connections for {:.1}s against http://{}",
         trace.len(),
+        if mined.is_empty() {
+            String::new()
+        } else {
+            format!(" + {} mined seeds", mined.len())
+        },
         config.rate,
         config.connections,
         config.duration.as_secs_f64(),
@@ -1192,10 +1358,15 @@ fn workgen_load(args: &Args) -> Result<(), String> {
     // client-side numbers. A failed scrape never fails the run.
     let scrape_timeout = std::time::Duration::from_millis(config.timeout_ms.max(1));
     let before = sam::workgen::scrape_server_counters(&config.addr, scrape_timeout);
-    let report = sam::workgen::run_load(&trace, &config).map_err(|e| e.to_string())?;
+    let report =
+        sam::workgen::run_load_with_seeds(&trace, &mined, &config).map_err(|e| e.to_string())?;
     let after = sam::workgen::scrape_server_counters(&config.addr, scrape_timeout);
     println!("{}", sam::workgen::LoadReport::markdown_header());
     println!("{}", report.markdown_row());
+    if let Some(section) = report.markdown_class_section() {
+        println!();
+        println!("{section}");
+    }
     match (before, after) {
         (Some(before), Some(after)) => {
             println!();

@@ -22,6 +22,7 @@
 //! * [`metrics`] — Q-Error, cross entropy, percentile summaries.
 //! * [`obs`] — metrics registry, hierarchical spans, Chrome trace export.
 //! * [`serve`] — HTTP model serving: micro-batched estimates, async jobs.
+//! * [`router`] — fault-tolerant sharded serving: router + worker pool.
 //! * [`workgen`] — workload synthesis, hard-query mining, load generation.
 //!
 //! ## Quickstart
@@ -61,6 +62,7 @@ pub use sam_nn as nn;
 pub use sam_obs as obs;
 pub use sam_pgm as pgm;
 pub use sam_query as query;
+pub use sam_router as router;
 pub use sam_serve as serve;
 pub use sam_storage as storage;
 pub use sam_workgen as workgen;

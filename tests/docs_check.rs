@@ -2,9 +2,10 @@
 //!
 //! Two invariants, both cheap and both the kind that silently rot:
 //!
-//! 1. Every flag printed by `sam-cli <serve|train|workgen> --help` appears
-//!    in the corresponding operator guide (docs/SERVING.md, docs/TRAINING.md,
-//!    docs/WORKGEN.md). Adding a flag without documenting it fails CI.
+//! 1. Every flag printed by `sam-cli <serve|train|router|workgen> --help`
+//!    appears in the corresponding operator guide (docs/SERVING.md,
+//!    docs/TRAINING.md, docs/SHARDING.md, docs/WORKGEN.md). Adding a flag
+//!    without documenting it fails CI.
 //! 2. Every relative markdown link in README.md, DESIGN.md, ROADMAP.md, and
 //!    docs/*.md resolves to a file that exists — renames and deletions can't
 //!    leave dangling links behind.
@@ -73,6 +74,11 @@ fn every_serve_flag_is_documented() {
 #[test]
 fn every_train_flag_is_documented() {
     assert_flags_documented("train", "docs/TRAINING.md");
+}
+
+#[test]
+fn every_router_flag_is_documented() {
+    assert_flags_documented("router", "docs/SHARDING.md");
 }
 
 #[test]
